@@ -1,0 +1,60 @@
+// Ablation A2: how the clock duty cycle drives the SCPG saving — the
+// mechanism behind the paper's SCPG-Max columns.
+//
+//  * at low frequency, raising the clock-high fraction gates the logic
+//    longer and converges to the always-on leakage floor;
+//  * the feasibility limit duty_max(f) = 1 - (T_PGStart + T_eval +
+//    T_setup)/T shrinks with frequency and crosses 50% near 14 MHz for
+//    the multiplier (why the paper's SCPG column stops at 14.3 MHz);
+//  * below Fmax/2 the optimal duty is ABOVE 50%, near Fmax it drops
+//    BELOW 50% (the paper's "decreasing the duty cycle" case).
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace scpg;
+using namespace scpg::benchx;
+
+int main() {
+  std::cout << "=== A2: duty-cycle sweep (16-bit multiplier) ===\n\n";
+  MultSetup s = make_mult_setup();
+
+  std::cout << "measured power vs clock-high fraction at 100 kHz:\n";
+  TextTable t;
+  t.header({"duty high", "power uW", "model uW", "vs NoPG"});
+  const Frequency f = 100.0_kHz;
+  const double p_none =
+      in_uW(measure_mult(s.original, s.cfg, f, 0.5, false).avg_power);
+  for (double duty : {0.10, 0.25, 0.50, 0.75, 0.90, 0.97}) {
+    if (!s.model_gated.feasible(f, duty)) continue;
+    const double p =
+        in_uW(measure_mult(s.gated, s.cfg, f, duty, false).avg_power);
+    const double pm =
+        in_uW(s.model_gated.average_power_gated(f, duty));
+    t.row({TextTable::num(100.0 * duty, 0) + "%", TextTable::num(p, 2),
+           TextTable::num(pm, 2),
+           "-" + TextTable::num(100.0 * (1.0 - p / p_none), 1) + "%"});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nfeasible duty limit vs frequency (T_low must fit "
+               "T_PGStart + T_eval + T_setup):\n";
+  TextTable d;
+  d.header({"Clock", "duty_max", "SCPG@50% feasible", "SCPG-Max duty"});
+  for (double fm : {0.01, 0.1, 1.0, 5.0, 10.0, 14.3, 20.0, 28.0}) {
+    const Frequency fq{fm * 1e6};
+    const double dmax = s.model_gated.max_duty_high(fq);
+    const auto d50 = s.model_gated.duty_for(GatingMode::Scpg50, fq);
+    const auto dm = s.model_gated.duty_for(GatingMode::ScpgMax, fq);
+    d.row({TextTable::num(fm, 2) + " MHz",
+           TextTable::num(100.0 * dmax, 1) + "%",
+           d50 ? "yes" : "no",
+           dm ? TextTable::num(100.0 * *dm, 1) + "%" : "infeasible"});
+  }
+  d.print(std::cout);
+
+  std::cout << "\npaper anchors: SCPG-Max saving at 10 kHz rises from "
+               "39.9% (50% duty) to 80.2% (max duty); at 14.3 MHz both "
+               "collapse to 3.3% as duty_max approaches 50%.\n";
+  return 0;
+}

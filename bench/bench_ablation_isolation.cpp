@@ -1,0 +1,83 @@
+// Ablation A1: the paper's adaptive isolation controller (Fig 3) vs a
+// naive clock-only release, vs no isolation at all.
+//
+//  * adaptive (paper): NISO = !clk & rail_sense — isolation releases only
+//    when the virtual rail is back up;
+//  * clock-only: NISO = !clk — releases at the falling edge even if the
+//    rail is still ramping (safe only when T_PGStart is negligible);
+//  * none: domain outputs float into the always-on logic while gated,
+//    burning short-circuit power in every receiver (and corrupting
+//    registers at higher frequencies).
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace scpg;
+using namespace scpg::benchx;
+
+namespace {
+
+Netlist build_mult(bool isolation, bool adaptive) {
+  Netlist nl = gen::make_multiplier(bench_lib(), 16);
+  ScpgOptions opt;
+  opt.insert_isolation = isolation;
+  opt.adaptive_controller = adaptive;
+  apply_scpg(nl, opt);
+  return nl;
+}
+
+} // namespace
+
+int main() {
+  std::cout << "=== A1: isolation strategy ablation (16-bit multiplier, "
+               "SCPG @50%) ===\n\n";
+  MultSetup base = make_mult_setup();
+  Netlist adaptive = build_mult(true, true);
+  Netlist clock_only = build_mult(true, false);
+  Netlist none = build_mult(false, true);
+
+  TextTable t;
+  t.header({"Clock", "adaptive uW", "clk-only uW", "no-iso uW",
+            "no-iso penalty"});
+  for (double fm : {0.01, 0.1, 1.0, 5.0}) {
+    const Frequency f{fm * 1e6};
+    const double pa =
+        in_uW(measure_mult(adaptive, base.cfg, f, 0.5, false).avg_power);
+    const double pc =
+        in_uW(measure_mult(clock_only, base.cfg, f, 0.5, false).avg_power);
+    const double pn =
+        in_uW(measure_mult(none, base.cfg, f, 0.5, false).avg_power);
+    t.row({TextTable::num(fm, 2) + " MHz", TextTable::num(pa, 2),
+           TextTable::num(pc, 2), TextTable::num(pn, 2),
+           "+" + TextTable::num(100.0 * (pn / pa - 1.0), 1) + "%"});
+  }
+  t.print(std::cout);
+
+  std::cout
+      << "\nwithout isolation the collapsed domain's X outputs sit mid-rail "
+         "on every register input, multiplying receiver leakage — the "
+         "power cost the paper's clamps exist to avoid.\n";
+  std::cout << "the clock-only controller matches the adaptive one here "
+               "because T_PGStart (~1 ns) is tiny at these frequencies; "
+               "the adaptive sense is what makes the release safe at any "
+               "frequency and rail load.\n";
+
+  // Functional check: the adaptive controller never lets X reach a
+  // register; without isolation X is visible on register inputs during
+  // the gated phase (demonstrated in tests/test_scpg.cpp as well).
+  Simulator sim(none, base.cfg);
+  sim.init_flops_to_zero();
+  sim.drive_at(0, none.port_net("override_n"), Logic::L1);
+  const Frequency f = 100.0_kHz;
+  const SimTime T = to_fs(period(f));
+  sim.add_clock(none.port_net("clk"), f, 0.5, T / 2);
+  sim.drive_bus_at(0, "a", 1234, 16);
+  sim.drive_bus_at(0, "b", 567, 16);
+  sim.run_until(T * 4 + T / 2 + (3 * T) / 8);
+  int x_inputs = 0;
+  for (CellId ff : none.flops())
+    if (!is_known(sim.value(none.cell(ff).inputs[0]))) ++x_inputs;
+  std::cout << "\nmid-gated-phase X on register inputs without isolation: "
+            << x_inputs << " of " << none.flops().size() << " flops\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Reproduces the paper's energy-harvester scenarios (§III-A / §III-B):
+//
+//  S3 (multiplier): with a ~30 uW harvester budget, the unmodified design
+//     runs at 100 kHz / 294.4 pJ, SCPG at ~2 MHz / 13.3 pJ, SCPG-Max at
+//     ~5 MHz / 6.56 pJ -> 50x clock, 45x energy efficiency.
+//  S4 (SCM0): with a ~250 uW budget, no-PG at ~1 MHz / 253 pJ, SCPG at
+//     ~2 MHz / 130 pJ, SCPG-Max < 105 pJ -> >2x clock, >2.5x efficiency.
+//
+// Our budgets sit at the same relative margin above each design's leakage
+// floor as the paper's did (30/29.23 and 250/243.65), so the scenarios
+// are comparable despite the synthetic library's absolute offsets.
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace scpg;
+using namespace scpg::benchx;
+
+namespace {
+
+void report(const std::string& title, const BudgetComparison& c,
+            double paper_speedup, double paper_energy_gain) {
+  std::cout << title << "\n  budget: " << TextTable::num(in_uW(c.budget), 1)
+            << " uW\n";
+  TextTable t;
+  t.header({"mode", "clock", "power uW", "energy/op pJ"});
+  auto row = [&](const char* name, const BudgetPoint& p) {
+    t.row({name,
+           in_MHz(p.f) >= 1.0
+               ? TextTable::num(in_MHz(p.f), 2) + " MHz"
+               : TextTable::num(in_kHz(p.f), 0) + " kHz",
+           TextTable::num(in_uW(p.power), 2),
+           TextTable::num(in_pJ(p.energy), 2)});
+  };
+  row("No Power Gating", c.none);
+  row("SCPG @50%", c.scpg50);
+  row("SCPG-Max", c.scpg_max);
+  t.print(std::cout);
+  std::cout << "  clock speed-up (SCPG-Max vs NoPG):   "
+            << TextTable::num(c.speedup_max(), 1) << "x   [paper: ~"
+            << TextTable::num(paper_speedup, 0) << "x]\n";
+  std::cout << "  energy efficiency gain (SCPG-Max):   "
+            << TextTable::num(c.energy_gain_max(), 1) << "x   [paper: ~"
+            << TextTable::num(paper_energy_gain, 1) << "x]\n";
+  std::cout << "  (the paper quotes ratios between TABLE rows — decade "
+               "frequency steps — which quantises the no-gating point "
+               "down and inflates the headline factor; the continuous "
+               "solve above is the like-for-like number)\n\n";
+}
+
+} // namespace
+
+int main() {
+  std::cout << "=== Energy-harvester budget scenarios (paper §III-A, "
+               "§III-B) ===\n\n";
+
+  {
+    MultSetup s = make_mult_setup();
+    // Paper: 30 uW vs a 29.23 uW floor -> 2.6% margin.
+    const Power floor = s.model_original.average_power_ungated(1.0_kHz);
+    const BudgetComparison c =
+        compare_at_budget(s.model_original, s.model_gated, floor * 1.026,
+                          1.0_kHz, 40.0_MHz);
+    report("S3: 16-bit multiplier (paper: 30 uW harvester)", c, 50.0, 45.0);
+
+    // Paper-style lookup against the Table I frequency grid: pick the
+    // fastest row whose power fits the budget.
+    const double rows_mhz[] = {0.01, 0.1, 1, 2, 5, 8, 10, 14.3};
+    auto pick = [&](GatingMode mode) {
+      double best = rows_mhz[0];
+      for (double fm : rows_mhz) {
+        const Frequency f{fm * 1e6};
+        const ScpgPowerModel& mm =
+            mode == GatingMode::None ? s.model_original : s.model_gated;
+        if (mm.average_power(mode, f).v <= (floor * 1.026).v) best = fm;
+      }
+      return best;
+    };
+    const double f_none = pick(GatingMode::None);
+    const double f_max = pick(GatingMode::ScpgMax);
+    std::cout << "  paper-style Table-I row lookup: NoPG row "
+              << TextTable::num(f_none, 2) << " MHz vs SCPG-Max row "
+              << TextTable::num(f_max, 2) << " MHz -> "
+              << TextTable::num(f_max / f_none, 0)
+              << "x   [paper: 100 kHz vs ~5 MHz -> 50x]\n\n";
+  }
+  {
+    CpuSetup s = make_cpu_setup();
+    // Paper: 250 uW vs a 243.65 uW floor -> 2.6% margin.
+    const Power floor = s.model_original.average_power_ungated(1.0_kHz);
+    const BudgetComparison c =
+        compare_at_budget(s.model_original, s.model_gated, floor * 1.026,
+                          1.0_kHz, 20.0_MHz);
+    report("S4: SCM0 (paper: 250 uW harvester)", c, 2.0, 2.5);
+  }
+  return 0;
+}

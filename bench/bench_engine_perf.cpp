@@ -1,0 +1,95 @@
+// Engine micro-benchmarks (google-benchmark): throughput of the
+// substrates the reproduction is built on — event-driven simulation,
+// functional simulation, STA, the SCPG transform, and the analytic model.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "netlist/funcsim.hpp"
+#include "sta/sta.hpp"
+
+using namespace scpg;
+using namespace scpg::benchx;
+
+namespace {
+
+const Netlist& mult_gated() {
+  static const Netlist nl = [] {
+    Netlist n = gen::make_multiplier(bench_lib(), 16);
+    apply_scpg(n);
+    return n;
+  }();
+  return nl;
+}
+
+void BM_EventSimMultiplierCycle(benchmark::State& state) {
+  const Netlist& nl = mult_gated();
+  SimConfig cfg;
+  cfg.corner = {Voltage{0.6}, 25.0};
+  Simulator sim(nl, cfg);
+  sim.init_flops_to_zero();
+  sim.drive_at(0, nl.port_net("override_n"), Logic::L1);
+  const Frequency f{1e6};
+  const SimTime T = to_fs(period(f));
+  sim.add_clock(nl.port_net("clk"), f, 0.5, T / 2);
+  Rng rng(1);
+  SimTime t = T;
+  for (auto _ : state) {
+    sim.drive_bus_at(t, "a", rng.bits(16), 16);
+    sim.drive_bus_at(t, "b", rng.bits(16), 16);
+    t += T;
+    sim.run_until(t);
+    benchmark::DoNotOptimize(sim.tally().total().v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventSimMultiplierCycle);
+
+void BM_FuncSimMultiplierCycle(benchmark::State& state) {
+  static Netlist nl = gen::make_multiplier(bench_lib(), 16);
+  FuncSim fs(nl);
+  fs.reset();
+  fs.set_input("clk", Logic::L0);
+  Rng rng(2);
+  for (auto _ : state) {
+    fs.set_input_bus("a", rng.bits(16), 16);
+    fs.set_input_bus("b", rng.bits(16), 16);
+    fs.clock();
+    benchmark::DoNotOptimize(fs.toggles_last_cycle());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FuncSimMultiplierCycle);
+
+void BM_StaMultiplier(benchmark::State& state) {
+  const Netlist& nl = mult_gated();
+  for (auto _ : state) {
+    const StaReport r = run_sta(nl, {Voltage{0.6}, 25.0});
+    benchmark::DoNotOptimize(r.fmax.v);
+  }
+}
+BENCHMARK(BM_StaMultiplier);
+
+void BM_ScpgTransform(benchmark::State& state) {
+  for (auto _ : state) {
+    Netlist nl = gen::make_multiplier(bench_lib(), 16);
+    const ScpgInfo info = apply_scpg(nl);
+    benchmark::DoNotOptimize(info.isolation_cells);
+  }
+}
+BENCHMARK(BM_ScpgTransform);
+
+void BM_AnalyticModelPoint(benchmark::State& state) {
+  static MultSetup s = make_mult_setup();
+  double f = 1e5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        s.model_gated.average_power_gated(Frequency{f}, 0.5).v);
+    f = f < 1e7 ? f * 1.01 : 1e5;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AnalyticModelPoint);
+
+} // namespace
+
+BENCHMARK_MAIN();

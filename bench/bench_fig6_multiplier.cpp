@@ -1,0 +1,84 @@
+// Reproduces paper Fig 6(a)/(b): multiplier average power and energy per
+// operation vs clock frequency for {No Power Gating, SCPG, SCPG-Max}.
+// Dense curves come from the analytic model (cross-validated against the
+// simulator, tests/test_cross_validation.cpp); simulator anchor points are
+// overlaid at the Table I frequencies.  The convergence point (paper:
+// ~15 MHz) is located with the bisection solver.
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace scpg;
+using namespace scpg::benchx;
+
+int main() {
+  std::cout << "=== Fig 6: 16-bit multiplier, VDD = 0.6 V ===\n\n";
+  MultSetup s = make_mult_setup();
+
+  std::vector<double> fs, p_none, p_50, p_max, e_none, e_50, e_max;
+  for (double fm = 0.05; fm <= 15.0; fm += 0.05) {
+    const Frequency f{fm * 1e6};
+    fs.push_back(fm);
+    const Power pn = s.model_original.average_power_ungated(f);
+    const Power p5 = s.model_gated.average_power(GatingMode::Scpg50, f);
+    const Power pm = s.model_gated.average_power(GatingMode::ScpgMax, f);
+    p_none.push_back(in_uW(pn));
+    p_50.push_back(in_uW(p5));
+    p_max.push_back(in_uW(pm));
+    e_none.push_back(in_pJ(Energy{pn.v / f.v}));
+    e_50.push_back(in_pJ(Energy{p5.v / f.v}));
+    e_max.push_back(in_pJ(Energy{pm.v / f.v}));
+  }
+
+  AsciiChart power("Fig 6(a): avg power per cycle / uW  vs  clock / MHz");
+  power.series("No Power Gating", fs, p_none);
+  power.series("SCPG", fs, p_50);
+  power.series("SCPG-Max", fs, p_max);
+  power.print(std::cout);
+
+  AsciiChart energy("Fig 6(b): energy per operation / pJ  vs  clock / MHz");
+  energy.log_y(true);
+  energy.series("No Power Gating", fs, e_none);
+  energy.series("SCPG", fs, e_50);
+  energy.series("SCPG-Max", fs, e_max);
+  energy.print(std::cout);
+
+  const Frequency conv = convergence_frequency(
+      s.model_gated, GatingMode::Scpg50, 100.0_kHz, 40.0_MHz);
+  std::cout << "\nconvergence point (SCPG stops saving): "
+            << TextTable::num(in_MHz(conv), 1)
+            << " MHz   [paper Fig 6(a): ~15 MHz]\n\n";
+
+  // Simulator anchors at the Table I frequencies.
+  TextTable t("simulator anchor points (uW)");
+  t.header({"Clock MHz", "NoPG sim", "NoPG model", "SCPG sim",
+            "SCPG model"});
+  for (double fm : {0.01, 0.1, 1.0, 5.0, 10.0, 14.3}) {
+    const Frequency f{fm * 1e6};
+    const double sim_n =
+        in_uW(measure_mult(s.original, s.cfg, f, 0.5, false).avg_power);
+    const double sim_g =
+        in_uW(measure_mult(s.gated, s.cfg, f, 0.5, false).avg_power);
+    t.row({TextTable::num(fm, 2),
+           TextTable::num(sim_n, 2),
+           TextTable::num(in_uW(s.model_original.average_power_ungated(f)),
+                          2),
+           TextTable::num(sim_g, 2),
+           TextTable::num(
+               in_uW(s.model_gated.average_power(GatingMode::Scpg50, f)),
+               2)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nCSV (frequency_mhz,p_none_uw,p_scpg_uw,p_scpgmax_uw,"
+               "e_none_pj,e_scpg_pj,e_scpgmax_pj)\n";
+  TextTable csv;
+  csv.header({"f", "pn", "p5", "pm", "en", "e5", "em"});
+  for (std::size_t i = 0; i < fs.size(); i += 10)
+    csv.row({TextTable::num(fs[i], 2), TextTable::num(p_none[i], 3),
+             TextTable::num(p_50[i], 3), TextTable::num(p_max[i], 3),
+             TextTable::num(e_none[i], 3), TextTable::num(e_50[i], 3),
+             TextTable::num(e_max[i], 3)});
+  csv.print_csv(std::cout);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces paper Fig 9: energy per operation vs supply voltage for the
+// 16-bit multiplier under sub-threshold scaling, locating the minimum
+// energy point (paper: ~310 mV, ~1.7 pJ, ~10 MHz).
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace scpg;
+using namespace scpg::benchx;
+
+int main() {
+  std::cout << "=== Fig 9: multiplier energy/op vs VDD (sub-threshold "
+               "sweep) ===\n\n";
+  MultSetup s = make_mult_setup();
+  MepOptions opt;
+  opt.v_lo = Voltage{0.16};
+  opt.v_hi = Voltage{0.9};
+  opt.points = 60;
+  const MepResult r =
+      analyze_mep(s.original, s.e_dyn_original, s.cfg.corner, opt);
+
+  std::vector<double> vs, es, ed, el;
+  for (const MepPoint& p : r.sweep) {
+    vs.push_back(in_mV(p.vdd));
+    es.push_back(in_pJ(p.e_total()));
+    ed.push_back(in_pJ(p.e_dynamic));
+    el.push_back(in_pJ(p.e_leakage));
+  }
+  AsciiChart chart("energy per operation / pJ  vs  supply / mV");
+  chart.series("total", vs, es);
+  chart.series("dynamic", vs, ed);
+  chart.series("leakage", vs, el);
+  chart.print(std::cout);
+
+  std::cout << "\nminimum energy point:\n";
+  TextTable t;
+  t.header({"", "VDD mV", "E/op pJ", "fmax MHz", "power uW"});
+  t.row({"measured", TextTable::num(in_mV(r.minimum.vdd), 0),
+         TextTable::num(in_pJ(r.minimum.e_total()), 2),
+         TextTable::num(in_MHz(r.minimum.fmax), 1),
+         TextTable::num(in_uW(r.minimum.power()), 1)});
+  t.row({"paper", "310", "1.70", "~10", "17"});
+  t.print(std::cout);
+
+  std::cout << "\nCSV (vdd_mv,e_total_pj,e_dynamic_pj,e_leakage_pj)\n";
+  TextTable csv;
+  csv.header({"vdd", "et", "ed", "el"});
+  for (std::size_t i = 0; i < vs.size(); i += 3)
+    csv.row({TextTable::num(vs[i], 0), TextTable::num(es[i], 3),
+             TextTable::num(ed[i], 3), TextTable::num(el[i], 3)});
+  csv.print_csv(std::cout);
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Reproduces the paper's sleep-transistor sizing study (S1) and the
+// header-size-vs-convergence ablation (A3).
+//
+// Paper §III: "the best IR drop can be achieved with X2 size transistors
+// for the 16-bit multiplier, and X4 size transistors for the Cortex-M0"
+// under in-rush / ground-bounce constraints.
+#include <iostream>
+
+#include "common.hpp"
+#include "scpg/header_sizing.hpp"
+#include "scpg/rail_model.hpp"
+
+using namespace scpg;
+using namespace scpg::benchx;
+
+namespace {
+
+void sizing_study(const std::string& title, const ScpgPowerModel& model,
+                  const RailParams& rail, Energy e_dyn, Time t_eval,
+                  Current inrush_budget, int paper_pick) {
+  (void)model;
+  HeaderDemand d;
+  d.vdd = rail.vdd;
+  d.c_dom = rail.c_dom;
+  d.i_eval = Current{e_dyn.v / (rail.vdd.v * t_eval.v)};
+  HeaderConstraints c;
+  c.max_ir_frac = 0.05;
+  c.max_inrush = inrush_budget;
+
+  std::cout << title << "\n  domain demand: I_eval ~ "
+            << TextTable::num(in_uA(d.i_eval), 0) << " uA, C_rail "
+            << TextTable::num(in_pF(d.c_dom), 1)
+            << " pF; in-rush budget "
+            << TextTable::num(in_mA(c.max_inrush), 0) << " mA\n";
+  TextTable t;
+  t.header({"bank", "Ron eff", "IR drop", "IR %Vdd", "in-rush", "off leak",
+            "T_ready", "area", "feasible"});
+  for (const HeaderEval& e :
+       sweep_headers(bench_lib(), 4, d, c, {rail.vdd, 25.0})) {
+    t.row({"4 x X" + std::to_string(e.drive),
+           TextTable::num(e.ron_eff.v, 0) + " Ohm",
+           TextTable::num(in_mV(e.ir_drop), 1) + " mV",
+           TextTable::num(100.0 * e.ir_drop.v / d.vdd.v, 2) + "%",
+           TextTable::num(in_mA(e.inrush_peak), 1) + " mA",
+           TextTable::num(in_nW(e.off_leak), 0) + " nW",
+           TextTable::num(in_ns(e.t_ready), 2) + " ns",
+           TextTable::num(in_um2(e.area), 0) + " um2",
+           e.feasible() ? "yes" : "no"});
+  }
+  t.print(std::cout);
+  const HeaderEval pick =
+      choose_header(bench_lib(), 4, d, c, {rail.vdd, 25.0});
+  std::cout << "  chosen (lowest IR drop within constraints): X"
+            << pick.drive << "   [paper: X" << paper_pick << "]\n\n";
+}
+
+} // namespace
+
+int main() {
+  std::cout << "=== S1/A3: sleep transistor (header) sizing ===\n\n";
+
+  MultSetup m = make_mult_setup();
+  {
+    const RailParams rail = extract_rail_params(m.gated, m.cfg);
+    const Time t_eval = m.model_gated.t_eval_setup();
+    sizing_study("16-bit multiplier", m.model_gated, rail, m.e_dyn_gated,
+                 t_eval, Current{8e-3}, 2);
+  }
+  CpuSetup c = make_cpu_setup();
+  {
+    const RailParams rail = extract_rail_params(c.gated.netlist, c.cfg);
+    const Time t_eval = c.model_gated.t_eval_setup();
+    sizing_study("SCM0 (Cortex-M0 substitute)", c.model_gated, rail,
+                 c.e_dyn_gated, t_eval, Current{15e-3}, 4);
+  }
+
+  // A3: how the header bank size moves the SCPG overhead terms and the
+  // convergence frequency (bigger banks switch more gate cap and leak
+  // more when off, but recharge the rail faster).
+  std::cout << "A3: header drive vs multiplier convergence frequency\n";
+  TextTable t;
+  t.header({"bank", "hdr gate cap", "off leak", "convergence"});
+  for (int drive : bench_lib().drives_of(CellKind::Header)) {
+    Netlist nl = gen::make_multiplier(bench_lib(), 16);
+    ScpgOptions opt;
+    opt.header_drive = drive;
+    apply_scpg(nl, opt);
+    ScpgPowerModel model = ScpgPowerModel::extract(nl, m.cfg, m.e_dyn_gated);
+    const RailParams rail = extract_rail_params(nl, m.cfg);
+    const Frequency conv = convergence_frequency(model, GatingMode::Scpg50,
+                                                 100.0_kHz, 40.0_MHz);
+    t.row({"4 x X" + std::to_string(drive),
+           TextTable::num(in_fF(rail.hdr_gate_cap), 0) + " fF",
+           TextTable::num(in_nW(rail.p_hdr_off), 0) + " nW",
+           TextTable::num(in_MHz(conv), 1) + " MHz"});
+  }
+  t.print(std::cout);
+  return 0;
+}

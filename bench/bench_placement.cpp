@@ -1,0 +1,85 @@
+// Design Planning study (paper Fig 5, the step between the SCPG transform
+// and CTS/routing): "it is recommended that the combinational logic
+// domain is located in the center of the design to alleviate problems
+// with routing congestion between the combinational logic and the
+// sequential logic domains."
+//
+// This bench places the SCPG'd multiplier two ways — domain-oblivious vs
+// centre-clustered — derives routing capacitance from the wire lengths,
+// and re-runs timing and power on the annotated netlist.
+#include <iostream>
+
+#include "common.hpp"
+#include "place/placement.hpp"
+#include "sta/sta.hpp"
+
+using namespace scpg;
+using namespace scpg::benchx;
+
+namespace {
+
+struct Result {
+  double hpwl_mm;
+  double crossing_mm;
+  double bbox_frac;
+  double t_eval_ns;
+  double p_uw;
+};
+
+Result evaluate(Netlist& nl, SimConfig cfg, DomainStrategy strategy) {
+  PlaceOptions opt;
+  opt.strategy = strategy;
+  opt.passes = 20;
+  const Placement p = place(nl, opt);
+  apply_wire_caps(nl, p);
+  Result r;
+  r.hpwl_mm = p.hpwl_um / 1e3;
+  r.crossing_mm = crossing_hpwl_um(nl, p) / 1e3;
+  r.bbox_frac = gated_bbox_area_um2(nl, p) / (p.width_um * p.height_um);
+  r.t_eval_ns = in_ns(run_sta(nl, cfg.corner).t_eval);
+  r.p_uw = in_uW(measure_mult(nl, cfg, 1.0_MHz, 0.5, false).avg_power);
+  nl.clear_net_wire_caps();
+  return r;
+}
+
+} // namespace
+
+int main() {
+  std::cout << "=== Design Planning: gated-domain placement (SCPG'd 16-bit "
+               "multiplier) ===\n\n";
+  MultSetup s = make_mult_setup();
+
+  const Result mixed = evaluate(s.gated, s.cfg, DomainStrategy::Ignore);
+  const Result center =
+      evaluate(s.gated, s.cfg, DomainStrategy::CenterGated);
+
+  TextTable t("placement-annotated results (wire caps from HPWL, "
+              "0.18 fF/um)");
+  t.header({"metric", "oblivious", "centre-clustered (paper)"});
+  t.row({"total wirelength", TextTable::num(mixed.hpwl_mm, 2) + " mm",
+         TextTable::num(center.hpwl_mm, 2) + " mm"});
+  t.row({"domain-crossing wirelength",
+         TextTable::num(mixed.crossing_mm, 3) + " mm",
+         TextTable::num(center.crossing_mm, 3) + " mm"});
+  t.row({"gated-domain bbox / core",
+         TextTable::num(100.0 * mixed.bbox_frac, 0) + "%",
+         TextTable::num(100.0 * center.bbox_frac, 0) + "%"});
+  t.row({"T_eval @0.6 V", TextTable::num(mixed.t_eval_ns, 1) + " ns",
+         TextTable::num(center.t_eval_ns, 1) + " ns"});
+  t.row({"SCPG power @1 MHz", TextTable::num(mixed.p_uw, 2) + " uW",
+         TextTable::num(center.p_uw, 2) + " uW"});
+  t.print(std::cout);
+
+  std::cout <<
+      "\nreading the table:\n"
+      "  * the oblivious placement smears the gated domain across the\n"
+      "    whole core (bbox ~ the full die): the virtual rail and header\n"
+      "    bank must span everything and the domain boundary threads\n"
+      "    through every channel — the congestion the paper warns about;\n"
+      "  * centre-clustering contains the domain (the multiplier is ~93%\n"
+      "    gated cells, so the floor is its own area) and, as a bonus,\n"
+      "    the cluster seed even helps the optimiser: shorter wires,\n"
+      "    faster T_eval, slightly lower power — the paper's Design\n"
+      "    Planning recommendation, quantified.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Reproduces the paper's §IV comparison (S5): operate the sub-threshold
+// design at its minimum energy point, take its average power as the power
+// budget, and ask what SCPG achieves inside the same budget.  The paper's
+// result: sub-threshold wins on energy (~5x for the multiplier, ~4.8x for
+// the M0) at ~5x lower performance — SCPG trades energy for a much wider
+// performance range (and the override gives instant full speed).
+#include <iostream>
+
+#include "common.hpp"
+#include "util/error.hpp"
+
+using namespace scpg;
+using namespace scpg::benchx;
+
+namespace {
+
+void compare(const std::string& title, const ScpgPowerModel& gated,
+             const MepResult& mep, Frequency f_hi, double paper_perf,
+             double paper_energy) {
+  const Power budget = mep.minimum.power();
+  std::cout << title << "\n  sub-threshold MEP: "
+            << TextTable::num(in_mV(mep.minimum.vdd), 0) << " mV, "
+            << TextTable::num(in_MHz(mep.minimum.fmax), 1) << " MHz, "
+            << TextTable::num(in_pJ(mep.minimum.e_total()), 2) << " pJ/op, "
+            << TextTable::num(in_uW(budget), 1) << " uW\n";
+  try {
+    const Frequency f = max_frequency_for_budget(gated, GatingMode::ScpgMax,
+                                                 budget, 1.0_kHz, f_hi);
+    const Energy e = gated.energy_per_op(GatingMode::ScpgMax, f);
+    std::cout << "  SCPG-Max at the same budget: "
+              << TextTable::num(in_MHz(f), 2) << " MHz, "
+              << TextTable::num(in_pJ(e), 2) << " pJ/op\n";
+    std::cout << "  sub-threshold advantage: "
+              << TextTable::num(mep.minimum.fmax.v / f.v, 1)
+              << "x performance [paper ~" << TextTable::num(paper_perf, 0)
+              << "x], " << TextTable::num(e.v / mep.minimum.e_total().v, 1)
+              << "x energy [paper ~" << TextTable::num(paper_energy, 1)
+              << "x]\n";
+    const Power floor = gated.average_power(GatingMode::ScpgMax, 1.0_kHz);
+    if (budget.v < floor.v * 1.2)
+      std::cout << "  (note: the MEP budget sits only "
+                << TextTable::num(100.0 * (budget.v / floor.v - 1.0), 0)
+                << "% above the SCPG leakage floor, so this ratio is very "
+                   "sensitive; the paper's M0 budget had ~2.8x headroom — "
+                   "see EXPERIMENTS.md)\n";
+  } catch (const InfeasibleError&) {
+    std::cout << "  SCPG cannot meet the MEP power budget (leakage floor "
+                 "above budget)\n";
+  }
+  std::cout << "  ...but SCPG runs above threshold (stable) and the "
+               "override allows bursts to full speed.\n\n";
+}
+
+} // namespace
+
+int main() {
+  std::cout << "=== §IV: sub-threshold vs sub-clock power gating (S5) "
+               "===\n\n";
+  {
+    MultSetup s = make_mult_setup();
+    const MepResult mep =
+        analyze_mep(s.original, s.e_dyn_original, s.cfg.corner);
+    compare("multiplier", s.model_gated, mep, 40.0_MHz, 5.0, 5.0);
+  }
+  {
+    CpuSetup s = make_cpu_setup();
+    const MepResult mep =
+        analyze_mep(s.original.netlist, s.e_dyn_original, s.cfg.corner);
+    compare("SCM0", s.model_gated, mep, 20.0_MHz, 5.0, 4.8);
+  }
+  // The wider budget narrows the gap (paper: 2.9x at 40 uW for the
+  // multiplier).
+  {
+    MultSetup s = make_mult_setup();
+    const MepResult mep =
+        analyze_mep(s.original, s.e_dyn_original, s.cfg.corner);
+    const Power larger = mep.minimum.power() * 2.4;
+    const Frequency f = max_frequency_for_budget(
+        s.model_gated, GatingMode::ScpgMax, larger, 1.0_kHz, 40.0_MHz);
+    const Energy e = s.model_gated.energy_per_op(GatingMode::ScpgMax, f);
+    std::cout << "with a larger budget ("
+              << TextTable::num(in_uW(larger), 1)
+              << " uW) the energy gap narrows to "
+              << TextTable::num(e.v / mep.minimum.e_total().v, 1)
+              << "x  [paper: 2.9x at 40 uW]\n";
+  }
+  return 0;
+}

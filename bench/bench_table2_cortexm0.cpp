@@ -1,0 +1,66 @@
+// Reproduces paper Table II: power and energy per operation of the
+// sub-clock power gated SCM0 microcontroller (Cortex-M0 substitute)
+// running the Dhrystone-like workload at VDD = 0.6 V.
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace scpg;
+using namespace scpg::benchx;
+
+int main() {
+  std::cout << "=== Table II: SCM0 (Cortex-M0 substitute), VDD = 0.6 V, "
+               "Dhrystone-like workload ===\n\n";
+  CpuSetup s = make_cpu_setup();
+  std::cout << "designs: original " << s.original.netlist.num_cells()
+            << " cells, SCPG " << s.gated.netlist.num_cells() << " cells ("
+            << s.info.cells_gated << " gated, " << s.info.isolation_cells
+            << " isolation)\n";
+  std::cout << "dynamic energy/cycle (measured): "
+            << TextTable::num(in_pJ(s.e_dyn_gated), 2) << " pJ\n\n";
+
+  const double paper_saving_50[] = {28.1, 26.7, 13.0, 1.3, -2.7, -12.0};
+  const double paper_saving_max[] = {57.1, 55.3, 38.1, 20.8, 1.9, -11.0};
+  const double freqs_mhz[] = {0.01, 0.1, 1.0, 2.0, 5.0, 10.0};
+
+  std::vector<TableRow> rows;
+  for (double fm : freqs_mhz) {
+    const Frequency f{fm * 1e6};
+    TableRow r;
+    r.f = f;
+    r.p_none =
+        measure_cpu(s.original.netlist, s.cfg, f, 0.5, false).avg_power;
+    const auto d50 = s.model_gated.duty_for(GatingMode::Scpg50, f);
+    r.scpg50_feasible = d50.has_value();
+    r.p_50 = measure_cpu(s.gated.netlist, s.cfg, f, 0.5, false).avg_power;
+    const auto dmax = s.model_gated.duty_for(GatingMode::ScpgMax, f);
+    r.scpgmax_feasible = dmax.has_value();
+    r.duty_max = dmax.value_or(0.5);
+    r.p_max =
+        r.scpgmax_feasible
+            ? measure_cpu(s.gated.netlist, s.cfg, f, *dmax, false).avg_power
+            : r.p_50;
+    rows.push_back(r);
+  }
+  print_rows("Table II (measured; duty = SCPG-Max clock-high fraction)",
+             rows);
+
+  std::cout << "\npaper-vs-measured savings (SCPG @50% / SCPG-Max):\n";
+  TextTable cmp;
+  cmp.header({"Clock", "paper 50%", "ours 50%", "paper Max", "ours Max"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    cmp.row({TextTable::num(in_MHz(rows[i].f),
+                            in_MHz(rows[i].f) < 0.1 ? 3 : 2) +
+                 " MHz",
+             TextTable::num(paper_saving_50[i], 1) + "%",
+             TextTable::num(rows[i].saving_50(), 1) + "%",
+             TextTable::num(paper_saving_max[i], 1) + "%",
+             TextTable::num(rows[i].saving_max(), 1) + "%"});
+  }
+  cmp.print(std::cout);
+  std::cout << "\n(paper Table II absolute anchor: 243.65 uW no-PG at"
+               " 10 kHz; our SCM0 is ~2.5x smaller than the 6747-gate M0,"
+               " so absolute power scales accordingly — see"
+               " EXPERIMENTS.md)\n";
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Positions sub-clock power gating against traditional idle-mode power
+// gating — the comparison the paper's introduction frames (§I):
+// traditional PG saves leakage only while a block SLEEPS; SCPG saves it
+// while the block WORKS at a scaled frequency.
+//
+// Scenario: the 16-bit multiplier alternates active bursts (computing at
+// f_active, 50% duty available for SCPG) with idle stretches (traditional
+// PG asleep with the clock stopped; plain SCPG can park the clock high,
+// which gates its domain through the same header).  Average power is
+// simulated for several utilisation ratios.
+#include <iostream>
+
+#include "common.hpp"
+#include "scpg/traditional.hpp"
+
+using namespace scpg;
+using namespace scpg::benchx;
+
+namespace {
+
+/// Simulates `active` cycles of random operands followed by `idle` clock
+/// periods of quiet, and returns the average power over the whole span.
+Power run_profile(const Netlist& nl, SimConfig cfg, Frequency f,
+                  int active_cycles, int idle_periods, bool has_sleep_port,
+                  bool park_clock_high) {
+  Simulator sim(nl, cfg);
+  sim.init_flops_to_zero();
+  const NetId clk = nl.port_net("clk");
+  if (const PortId ov = nl.find_port("override_n"); ov.valid())
+    sim.drive_at(0, nl.port(ov).net, Logic::L1);
+  if (const PortId sl = nl.find_port("sleep_req"); sl.valid())
+    sim.drive_at(0, nl.port(sl).net, Logic::L0);
+  sim.drive_at(0, clk, Logic::L0);
+
+  Rng rng(0xC0FFEE);
+  const SimTime T = to_fs(period(f));
+  SimTime t = T; // settle before measuring
+  sim.run_until(t);
+  sim.reset_tally();
+
+  for (int rep = 0; rep < 3; ++rep) {
+    // Active burst: manual 50%-duty clock, fresh operands each cycle.
+    for (int c = 0; c < active_cycles; ++c) {
+      sim.drive_bus_at(t + T / 16, "a", rng.bits(16), 16);
+      sim.drive_bus_at(t + T / 16, "b", rng.bits(16), 16);
+      sim.drive_at(t + T / 2, clk, Logic::L1);
+      sim.drive_at(t + T, clk, Logic::L0);
+      t += T;
+    }
+    // Idle stretch.
+    if (has_sleep_port)
+      sim.drive_at(t, nl.port_net("sleep_req"), Logic::L1);
+    if (park_clock_high) sim.drive_at(t, clk, Logic::L1);
+    t += T * idle_periods;
+    sim.run_until(t);
+    if (has_sleep_port)
+      sim.drive_at(t, nl.port_net("sleep_req"), Logic::L0);
+    if (park_clock_high) sim.drive_at(t, clk, Logic::L0);
+    t += T; // wake margin
+    sim.run_until(t);
+  }
+  sim.run_until(t);
+  Simulator& s = sim;
+  return s.tally().average();
+}
+
+} // namespace
+
+int main() {
+  std::cout << "=== traditional idle-mode PG vs sub-clock PG (16-bit "
+               "multiplier, 1 MHz bursts, 0.6 V) ===\n\n";
+  const Library& lib = bench_lib();
+  SimConfig cfg;
+  cfg.corner = {0.6_V, 25.0};
+
+  Netlist plain = gen::make_multiplier(lib, 16);
+  Netlist trad = gen::make_multiplier(lib, 16);
+  const TraditionalPgInfo ti = apply_traditional_pg(trad);
+  Netlist scpg = gen::make_multiplier(lib, 16);
+  const ScpgInfo si = apply_scpg(scpg);
+
+  std::cout << "area overhead: traditional "
+            << TextTable::num(100.0 * ti.area_overhead(), 1)
+            << "% (retention balloons + fabric) vs SCPG "
+            << TextTable::num(100.0 * si.area_overhead(), 1)
+            << "% (no retention, no controller)\n\n";
+
+  const Frequency f = 1.0_MHz;
+  TextTable t("average power by workload utilisation (active burst of 32 "
+              "cycles; idle stretch sets the ratio)");
+  t.header({"active %", "no PG", "traditional PG", "SCPG", "SCPG+parked"});
+  for (int idle : {0, 32, 96, 320, 3168}) {
+    const double util = 32.0 / (32.0 + idle);
+    t.row({TextTable::num(100.0 * util, util < 0.05 ? 1 : 0) + "%",
+           TextTable::num(
+               in_uW(run_profile(plain, cfg, f, 32, idle, false, false)), 2),
+           TextTable::num(
+               in_uW(run_profile(trad, cfg, f, 32, idle, true, false)), 2),
+           TextTable::num(
+               in_uW(run_profile(scpg, cfg, f, 32, idle, false, false)), 2),
+           TextTable::num(
+               in_uW(run_profile(scpg, cfg, f, 32, idle, false, true)),
+               2)});
+  }
+  t.print(std::cout);
+
+  std::cout <<
+      "\nreading the table (the paper's positioning):\n"
+      "  * 100% active: traditional PG saves nothing (it cannot gate a\n"
+      "    clocked block) — SCPG saves its active-mode leakage;\n"
+      "  * mostly idle: traditional PG approaches its retention floor;\n"
+      "    plain SCPG leaks through the ungated low phase when the clock\n"
+      "    stops low, but parking the clock HIGH keeps its domain gated\n"
+      "    and matches traditional PG without any retention hardware;\n"
+      "  * in between, SCPG wins whenever the block computes at a scaled\n"
+      "    frequency — the regime the paper targets.\n";
+  return 0;
+}

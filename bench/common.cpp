@@ -1,0 +1,127 @@
+#include "common.hpp"
+
+#include <iomanip>
+#include <iostream>
+
+namespace scpg::benchx {
+
+namespace {
+
+Energy calibrate_dyn(const Netlist& nl, SimConfig cfg,
+                     const std::function<void(Simulator&, int)>& stim,
+                     const std::function<void(Simulator&)>& setup,
+                     int cycles) {
+  MeasureOptions mo;
+  mo.f = 1.0_MHz;
+  mo.sim = cfg;
+  mo.cycles = cycles;
+  mo.override_gating = true;
+  mo.stimulus = stim;
+  mo.setup = setup;
+  const MeasureResult r = measure_average_power(nl, mo);
+  return Energy{r.tally.dynamic_total().v / double(r.cycles)};
+}
+
+std::function<void(Simulator&, int)> mult_stimulus() {
+  auto rng = std::make_shared<Rng>(0xBEEF);
+  return [rng](Simulator& s, int) {
+    s.drive_bus_at(s.now() + to_fs(1.0_ns), "a", rng->bits(16), 16);
+    s.drive_bus_at(s.now() + to_fs(1.0_ns), "b", rng->bits(16), 16);
+  };
+}
+
+void cpu_setup_fn(Simulator& s) {
+  s.drive_at(0, s.netlist().port_net("rst_n"), Logic::L1);
+}
+
+} // namespace
+
+const Library& bench_lib() {
+  static const Library l = Library::scpg90();
+  return l;
+}
+
+MultSetup make_mult_setup() {
+  const Library& lib = bench_lib();
+  Netlist original = gen::make_multiplier(lib, 16);
+  Netlist gated = gen::make_multiplier(lib, 16);
+  const ScpgInfo info = apply_scpg(gated);
+  SimConfig cfg;
+  cfg.corner = {0.6_V, 25.0};
+  const Energy e_o =
+      calibrate_dyn(original, cfg, mult_stimulus(), {}, 24);
+  const Energy e_g = calibrate_dyn(gated, cfg, mult_stimulus(), {}, 24);
+  ScpgPowerModel mo = ScpgPowerModel::extract(original, cfg, e_o);
+  ScpgPowerModel mg = ScpgPowerModel::extract(gated, cfg, e_g);
+  return MultSetup{std::move(original), std::move(gated), info, cfg,
+                   e_o, e_g, std::move(mo), std::move(mg)};
+}
+
+MeasureResult measure_mult(const Netlist& nl, SimConfig cfg, Frequency f,
+                           double duty, bool override_gating, int cycles) {
+  MeasureOptions mo;
+  mo.f = f;
+  mo.duty_high = duty;
+  mo.sim = cfg;
+  mo.cycles = cycles;
+  mo.override_gating = override_gating;
+  mo.stimulus = mult_stimulus();
+  return measure_average_power(nl, mo);
+}
+
+CpuSetup make_cpu_setup(int dhrystone_iterations) {
+  const Library& lib = bench_lib();
+  auto image =
+      cpu::assemble(cpu::workloads::dhrystone_like(dhrystone_iterations));
+  cpu::Scm0 original = cpu::make_scm0(lib, image);
+  cpu::Scm0 gated = cpu::make_scm0(lib, image);
+  const ScpgInfo info =
+      apply_scpg(gated.netlist, cpu::scm0_scpg_options());
+  const SimConfig cfg = cpu::scm0_sim_config();
+  const Energy e_o =
+      calibrate_dyn(original.netlist, cfg, {}, cpu_setup_fn, 40);
+  const Energy e_g = calibrate_dyn(gated.netlist, cfg, {}, cpu_setup_fn, 40);
+  ScpgPowerModel mo = ScpgPowerModel::extract(original.netlist, cfg, e_o);
+  ScpgPowerModel mg = ScpgPowerModel::extract(gated.netlist, cfg, e_g);
+  return CpuSetup{std::move(image), std::move(original), std::move(gated),
+                  info, cfg, e_o, e_g, std::move(mo), std::move(mg)};
+}
+
+MeasureResult measure_cpu(const Netlist& nl, SimConfig cfg, Frequency f,
+                          double duty, bool override_gating, int cycles) {
+  MeasureOptions mo;
+  mo.f = f;
+  mo.duty_high = duty;
+  mo.sim = cfg;
+  mo.cycles = cycles;
+  mo.override_gating = override_gating;
+  mo.setup = cpu_setup_fn;
+  return measure_average_power(nl, mo);
+}
+
+void print_rows(const std::string& title,
+                const std::vector<TableRow>& rows) {
+  TextTable t(title);
+  t.header({"Clock", "NoPG uW", "NoPG pJ", "SCPG uW", "SCPG pJ", "Sav %",
+            "Max uW", "Max pJ", "Sav %", "duty"});
+  for (const TableRow& r : rows) {
+    // '*' marks points where the low phase no longer fits
+    // T_PGStart + T_eval + T_setup (run with timing violations, as the
+    // paper's highest-frequency rows effectively are).
+    const std::string m50 = r.scpg50_feasible ? "" : "*";
+    const std::string mmax = r.scpgmax_feasible ? "" : "*";
+    t.row({TextTable::num(in_MHz(r.f), in_MHz(r.f) < 0.1 ? 3 : 2) + " MHz",
+           TextTable::num(in_uW(r.p_none), 2),
+           TextTable::num(in_pJ(r.e_none()), 2),
+           TextTable::num(in_uW(r.p_50), 2) + m50,
+           TextTable::num(in_pJ(r.e_50()), 2) + m50,
+           TextTable::num(r.saving_50(), 1) + m50,
+           TextTable::num(in_uW(r.p_max), 2) + mmax,
+           TextTable::num(in_pJ(r.e_max()), 2) + mmax,
+           TextTable::num(r.saving_max(), 1) + mmax,
+           TextTable::num(100.0 * r.duty_max, 0) + "%" + mmax});
+  }
+  t.print(std::cout);
+}
+
+} // namespace scpg::benchx

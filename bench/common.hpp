@@ -1,0 +1,95 @@
+// Shared setup for the reproduction benches: builds the two case studies
+// (original + SCPG-transformed), calibrates dynamic energy, extracts the
+// analytic models, and provides the measurement loops used by every
+// table/figure binary.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "cpu/assembler.hpp"
+#include "cpu/core.hpp"
+#include "cpu/iss.hpp"
+#include "cpu/workloads.hpp"
+#include "gen/mult16.hpp"
+#include "mep/mep.hpp"
+#include "scpg/analysis.hpp"
+#include "scpg/measure.hpp"
+#include "scpg/model.hpp"
+#include "scpg/transform.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace scpg::benchx {
+
+using namespace scpg::literals;
+
+/// Process-lifetime cell library (netlists keep a pointer to it).
+[[nodiscard]] const Library& bench_lib();
+
+/// The 16-bit multiplier case study (paper §III-A).
+struct MultSetup {
+  Netlist original;
+  Netlist gated;
+  ScpgInfo info;
+  SimConfig cfg;          ///< multiplier rail calibration (defaults)
+  Energy e_dyn_original;  ///< measured dynamic energy/cycle, random operands
+  Energy e_dyn_gated;
+  ScpgPowerModel model_original;
+  ScpgPowerModel model_gated;
+};
+
+[[nodiscard]] MultSetup make_mult_setup();
+
+/// Measures the multiplier with fresh random operands every cycle.
+[[nodiscard]] MeasureResult measure_mult(const Netlist& nl, SimConfig cfg,
+                                         Frequency f, double duty,
+                                         bool override_gating,
+                                         int cycles = 24);
+
+/// The SCM0 microcontroller case study (paper §III-B).
+struct CpuSetup {
+  std::vector<std::uint16_t> image; ///< Dhrystone-like program
+  cpu::Scm0 original;
+  cpu::Scm0 gated;
+  ScpgInfo info;
+  SimConfig cfg;          ///< SCM0 rail calibration
+  Energy e_dyn_original;
+  Energy e_dyn_gated;
+  ScpgPowerModel model_original;
+  ScpgPowerModel model_gated;
+};
+
+[[nodiscard]] CpuSetup make_cpu_setup(int dhrystone_iterations = 5);
+
+/// Measures the SCM0 free-running its program image.
+[[nodiscard]] MeasureResult measure_cpu(const Netlist& nl, SimConfig cfg,
+                                        Frequency f, double duty,
+                                        bool override_gating,
+                                        int cycles = 40);
+
+/// One row of a paper-style table: power and energy in the three modes
+/// plus savings relative to no gating.
+struct TableRow {
+  Frequency f{};
+  Power p_none{}, p_50{}, p_max{};
+  double duty_max{0.5};
+  bool scpg50_feasible{true};
+  bool scpgmax_feasible{true};
+
+  [[nodiscard]] Energy e_none() const { return Energy{p_none.v / f.v}; }
+  [[nodiscard]] Energy e_50() const { return Energy{p_50.v / f.v}; }
+  [[nodiscard]] Energy e_max() const { return Energy{p_max.v / f.v}; }
+  [[nodiscard]] double saving_50() const {
+    return 100.0 * (1.0 - p_50.v / p_none.v);
+  }
+  [[nodiscard]] double saving_max() const {
+    return 100.0 * (1.0 - p_max.v / p_none.v);
+  }
+};
+
+/// Formats a TableRow block in the paper's Table I/II layout.
+void print_rows(const std::string& title,
+                const std::vector<TableRow>& rows);
+
+} // namespace scpg::benchx

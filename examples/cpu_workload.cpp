@@ -1,0 +1,100 @@
+// Runs a program on the SCM0 microcontroller three ways — instruction-set
+// simulator, zero-delay gate-level simulation, and the timed power
+// simulation with sub-clock power gating active — demonstrating the whole
+// CPU stack: assembler, ISS, gate-level core, SCPG transform, power
+// measurement.
+#include <iostream>
+
+#include "cpu/assembler.hpp"
+#include "cpu/core.hpp"
+#include "cpu/iss.hpp"
+#include "cpu/workloads.hpp"
+#include "netlist/funcsim.hpp"
+#include "scpg/measure.hpp"
+#include "scpg/transform.hpp"
+#include "util/table.hpp"
+
+using namespace scpg;
+using namespace scpg::cpu;
+using namespace scpg::literals;
+
+int main() {
+  const Library lib = Library::scpg90();
+
+  // A user program: sum of the first 20 squares via repeated addition
+  // (no hardware multiplier needed).
+  const std::string program = R"(
+; r5 = sum of k^2 for k = 1..20, computed as k^2 = sum of k copies of k
+        movi r5, 0            ; total
+        movi r1, 1            ; k
+        movi r6, 21           ; limit
+outer:  movi r2, 0            ; square accumulator
+        add  r3, r1, r0       ; counter = k
+inner:  add  r2, r2, r1
+        addi r3, r3, -1
+        bne  r3, r0, inner
+        add  r5, r5, r2
+        addi r1, r1, 1
+        bne  r1, r6, outer
+        st   r5, [r0+50]
+        halt
+)";
+  const auto image = assemble(program);
+  std::cout << "assembled " << image.size() << " words; first ones:\n";
+  for (std::size_t i = 0; i < 4; ++i)
+    std::cout << "  " << i << ": " << disassemble(image[i]) << '\n';
+
+  // 1. ISS (golden reference).
+  Iss iss(image);
+  const auto steps = iss.run(100000);
+  std::cout << "\nISS: " << steps << " instructions, result r5 = "
+            << iss.reg(5) << " (expected 2870)\n";
+
+  // 2. Zero-delay gate-level run, checked against the ISS.
+  Scm0 core = make_scm0(lib, image);
+  FuncSim fs(core.netlist);
+  fs.reset();
+  fs.set_input("clk", Logic::L0);
+  fs.set_input("rst_n", Logic::L1);
+  fs.eval();
+  int cycles = 0;
+  while (fs.output("halted") != Logic::L1 && cycles < 100000) {
+    fs.clock();
+    ++cycles;
+  }
+  auto* ram = dynamic_cast<RamModel*>(fs.macro_model(core.ram_cell));
+  std::cout << "gate-level: " << cycles << " cycles, mem[50] = "
+            << ram->word(50)
+            << (ram->word(50) == iss.mem(50) ? "  [matches ISS]"
+                                             : "  [MISMATCH]")
+            << '\n';
+
+  // 3. Timed power run with SCPG, at two operating points.
+  Scm0 gated = make_scm0(lib, image);
+  apply_scpg(gated.netlist, scm0_scpg_options());
+  const SimConfig cfg = scm0_sim_config();
+
+  TextTable t("\nSCM0 power running this program (0.6 V)");
+  t.header({"clock", "gating", "avg power", "energy/cycle"});
+  for (double fm : {0.1, 2.0}) {
+    for (bool ovr : {true, false}) {
+      MeasureOptions mo;
+      mo.f = Frequency{fm * 1e6};
+      mo.sim = cfg;
+      mo.cycles = 40;
+      mo.override_gating = ovr;
+      mo.setup = [](Simulator& s) {
+        s.drive_at(0, s.netlist().port_net("rst_n"), Logic::L1);
+      };
+      const MeasureResult r = measure_average_power(gated.netlist, mo);
+      t.row({TextTable::num(fm, 1) + " MHz", ovr ? "off (override)" : "on",
+             TextTable::num(in_uW(r.avg_power), 2) + " uW",
+             TextTable::num(in_pJ(r.energy_per_cycle), 2) + " pJ"});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nsub-clock power gating is transparent to the software: "
+               "the same binary, the same results, less power at low "
+               "clock rates.\n";
+  return 0;
+}

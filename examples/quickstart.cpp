@@ -1,0 +1,62 @@
+// Quickstart: apply sub-clock power gating to a small design and measure
+// the saving.
+//
+//   1. build a gate-level design (an 8-bit multiplier) against the
+//      synthetic 90 nm library;
+//   2. run apply_scpg() — the paper's two extra flow steps (domain split +
+//      power-gating fabric);
+//   3. simulate both designs at 100 kHz / 0.6 V and compare average power.
+#include <iostream>
+
+#include "gen/mult16.hpp"
+#include "netlist/report.hpp"
+#include "scpg/measure.hpp"
+#include "scpg/transform.hpp"
+#include "util/rng.hpp"
+
+using namespace scpg;
+using namespace scpg::literals;
+
+int main() {
+  const Library lib = Library::scpg90();
+
+  // 1. The design: an 8-bit registered multiplier.
+  Netlist original = gen::make_multiplier(lib, 8);
+  Netlist gated = gen::make_multiplier(lib, 8);
+
+  // 2. Sub-clock power gating, default options (X2 header bank, adaptive
+  //    isolation controller, boundary buffers).
+  const ScpgInfo info = apply_scpg(gated);
+  std::cout << "SCPG transform: " << info.cells_gated << " cells gated, "
+            << info.isolation_cells << " isolation cells, area +"
+            << int(100.0 * info.area_overhead() + 0.5) << "%\n\n";
+
+  // 3. Measure both at 100 kHz, 0.6 V, random operands each cycle.
+  MeasureOptions mo;
+  mo.f = 100.0_kHz;
+  mo.sim.corner = {0.6_V, 25.0};
+  mo.cycles = 16;
+  Rng rng(1);
+  mo.stimulus = [&rng](Simulator& s, int) {
+    s.drive_bus_at(s.now() + to_fs(1.0_ns), "a", rng.bits(8), 8);
+    s.drive_bus_at(s.now() + to_fs(1.0_ns), "b", rng.bits(8), 8);
+  };
+
+  const MeasureResult r0 = measure_average_power(original, mo);
+  const MeasureResult r1 = measure_average_power(gated, mo);
+
+  std::cout << "no power gating: " << in_uW(r0.avg_power) << " uW\n";
+  std::cout << "sub-clock gated: " << in_uW(r1.avg_power) << " uW\n";
+  std::cout << "saving:          "
+            << 100.0 * (1.0 - r1.avg_power.v / r0.avg_power.v) << " %\n\n";
+
+  std::cout << "energy buckets of the gated run (per "
+            << r1.cycles << " cycles):\n";
+  const PowerTally& t = r1.tally;
+  std::cout << "  dynamic   " << in_pJ(t.dynamic_total()) << " pJ\n";
+  std::cout << "  leak AON  " << in_pJ(t.leakage_aon) << " pJ\n";
+  std::cout << "  leak gated" << in_pJ(t.leakage_gated) << " pJ\n";
+  std::cout << "  overheads " << in_pJ(t.gating_overhead())
+            << " pJ (rail recharge + crowbar + header gate)\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// The paper's motivating application: a wireless sensor node powered by
+// an energy harvester (§I, §III-A).  The harvester delivers a strict
+// power budget; the question is how much computation fits inside it.
+//
+// This example sizes a 16-bit multiplier-based DSP block against three
+// harvester classes and shows the SCPG operating point for each — the
+// same analysis as the paper's "45x more energy efficient within the
+// same power budget" claim, through the public analysis API.
+#include <iostream>
+
+#include "gen/mult16.hpp"
+#include "util/error.hpp"
+#include "scpg/analysis.hpp"
+#include "scpg/measure.hpp"
+#include "scpg/transform.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace scpg;
+using namespace scpg::literals;
+
+int main() {
+  const Library lib = Library::scpg90();
+  Netlist original = gen::make_multiplier(lib, 16);
+  Netlist gated = gen::make_multiplier(lib, 16);
+  apply_scpg(gated);
+
+  SimConfig cfg;
+  cfg.corner = {0.6_V, 25.0};
+
+  // Calibrate the dynamic energy once with a short simulation.
+  Rng rng(11);
+  MeasureOptions mo;
+  mo.f = 1.0_MHz;
+  mo.sim = cfg;
+  mo.cycles = 16;
+  mo.override_gating = true;
+  mo.stimulus = [&rng](Simulator& s, int) {
+    s.drive_bus_at(s.now() + to_fs(1.0_ns), "a", rng.bits(16), 16);
+    s.drive_bus_at(s.now() + to_fs(1.0_ns), "b", rng.bits(16), 16);
+  };
+  const Energy e_dyn{
+      measure_average_power(gated, mo).tally.dynamic_total().v / 16.0};
+
+  const ScpgPowerModel m_orig = ScpgPowerModel::extract(original, cfg, e_dyn);
+  const ScpgPowerModel m_gated = ScpgPowerModel::extract(gated, cfg, e_dyn);
+
+  std::cout << "wireless sensor node DSP block (16-bit MAC core), 0.6 V\n";
+  std::cout << "leakage floor without gating: "
+            << TextTable::num(
+                   in_uW(m_orig.average_power_ungated(1.0_kHz)), 1)
+            << " uW\n\n";
+
+  struct Harvester {
+    const char* name;
+    Power budget;
+  };
+  const Harvester harvesters[] = {
+      {"thermoelectric wearable  (~35 uW)", 35.0_uW},
+      {"indoor photovoltaic cell (~60 uW)", 60.0_uW},
+      {"vibration harvester     (~120 uW)", 120.0_uW},
+  };
+
+  for (const Harvester& h : harvesters) {
+    std::cout << "== " << h.name << " ==\n";
+    try {
+      const BudgetComparison c =
+          compare_at_budget(m_orig, m_gated, h.budget, 1.0_kHz, 40.0_MHz);
+      TextTable t;
+      t.header({"mode", "multiplies/s", "energy/op"});
+      auto row = [&](const char* n, const BudgetPoint& p) {
+        t.row({n, TextTable::num(p.f.v / 1e3, 0) + " k",
+               TextTable::num(in_pJ(p.energy), 2) + " pJ"});
+      };
+      row("no gating", c.none);
+      row("SCPG @50%", c.scpg50);
+      row("SCPG-Max", c.scpg_max);
+      t.print(std::cout);
+      if (c.speedup_max() > 1.05)
+        std::cout << "SCPG-Max fits " << TextTable::num(c.speedup_max(), 1)
+                  << "x more work into the same harvester, "
+                  << TextTable::num(c.energy_gain_max(), 1)
+                  << "x more energy-efficiently\n\n";
+      else
+        std::cout << "this budget already runs above the SCPG convergence "
+                     "point - assert override_n and run ungated\n\n";
+    } catch (const InfeasibleError& e) {
+      std::cout << "infeasible: " << e.what() << "\n\n";
+    }
+  }
+
+  std::cout << "burst mode: assert override_n=0 and the block runs at "
+            << TextTable::num(
+                   in_MHz(Frequency{
+                       1.0 / (m_gated.t_eval_setup().v)}),
+                   0)
+            << " MHz from the same silicon (the paper's MSP430-style "
+               "slow/fast trade-off, §IV).\n";
+  return 0;
+}

@@ -1,0 +1,237 @@
+#include "cpu/assembler.hpp"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace scpg::cpu {
+
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+std::vector<std::string> tokenize_line(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  auto flush = [&] {
+    if (!cur.empty()) {
+      out.push_back(cur);
+      cur.clear();
+    }
+  };
+  for (char ch : line) {
+    if (ch == ';' || ch == '#') break;
+    if (std::isspace(static_cast<unsigned char>(ch)) || ch == ',') {
+      flush();
+    } else if (ch == ':' || ch == '[' || ch == ']' || ch == '+') {
+      flush();
+      out.push_back(std::string(1, ch));
+    } else {
+      cur += ch;
+    }
+  }
+  flush();
+  return out;
+}
+
+struct Statement {
+  int line;
+  std::vector<std::string> tokens; // without label definitions
+  int address;                     // assigned in pass 1
+};
+
+int parse_reg(const std::string& t, int line) {
+  if (t.size() >= 2 && (t[0] == 'r' || t[0] == 'R')) {
+    try {
+      const int n = std::stoi(t.substr(1));
+      if (n >= 0 && n < kNumRegs) return n;
+    } catch (const std::exception&) {
+    }
+  }
+  throw ParseError("expected a register, got '" + t + "'", line);
+}
+
+std::optional<long> parse_number(const std::string& t) {
+  try {
+    std::size_t pos = 0;
+    const long v = std::stol(t, &pos, 0); // handles decimal, 0x, negatives
+    if (pos == t.size()) return v;
+  } catch (const std::exception&) {
+  }
+  return std::nullopt;
+}
+
+class Assembler {
+public:
+  explicit Assembler(const std::string& source) {
+    pass1(source);
+  }
+
+  std::vector<std::uint16_t> run() {
+    std::vector<std::uint16_t> image;
+    for (const Statement& st : stmts_) {
+      const std::uint16_t w = emit(st);
+      if (std::size_t(st.address) >= image.size())
+        image.resize(std::size_t(st.address) + 1, enc_nop());
+      image[std::size_t(st.address)] = w;
+    }
+    return image;
+  }
+
+private:
+  void pass1(const std::string& source) {
+    std::istringstream is(source);
+    std::string line;
+    int lineno = 0;
+    int addr = 0;
+    while (std::getline(is, line)) {
+      ++lineno;
+      auto toks = tokenize_line(line);
+      // Leading `name :` pairs are label definitions.
+      while (toks.size() >= 2 && toks[1] == ":") {
+        const std::string& name = toks[0];
+        if (parse_number(name))
+          throw ParseError("label cannot be a number: '" + name + "'",
+                           lineno);
+        if (labels_.contains(name))
+          throw ParseError("duplicate label '" + name + "'", lineno);
+        labels_[name] = addr;
+        toks.erase(toks.begin(), toks.begin() + 2);
+      }
+      if (toks.empty()) continue;
+      if (toks[0] == ".org") {
+        if (toks.size() != 2)
+          throw ParseError(".org needs one operand", lineno);
+        const auto v = parse_number(toks[1]);
+        if (!v || *v < 0) throw ParseError("bad .org address", lineno);
+        addr = int(*v);
+        continue;
+      }
+      stmts_.push_back(Statement{lineno, std::move(toks), addr});
+      ++addr;
+    }
+  }
+
+  long resolve(const std::string& t, int line) const {
+    if (const auto v = parse_number(t)) return *v;
+    const auto it = labels_.find(t);
+    if (it == labels_.end())
+      throw ParseError("undefined label '" + t + "'", line);
+    return it->second;
+  }
+
+  static AluFn alu_fn(const std::string& m) {
+    if (m == "add") return AluFn::Add;
+    if (m == "sub") return AluFn::Sub;
+    if (m == "and") return AluFn::And;
+    if (m == "or") return AluFn::Or;
+    if (m == "xor") return AluFn::Xor;
+    if (m == "lsl") return AluFn::Lsl;
+    if (m == "lsr") return AluFn::Lsr;
+    if (m == "sltu") return AluFn::Sltu;
+    throw PreconditionError("not an alu op");
+  }
+
+  std::uint16_t emit(const Statement& st) const {
+    const auto& t = st.tokens;
+    const int line = st.line;
+    const std::string& m = t[0];
+    auto expect_count = [&](std::size_t n) {
+      if (t.size() != n)
+        throw ParseError("'" + m + "' has wrong operand count", line);
+    };
+    auto mem_operands = [&](int& rd, int& ra, long& off) {
+      // mnemonic rd [ ra + off ]  (7 tokens) or without +off (5 tokens)
+      if (t.size() == 7 && t[2] == "[" && t[4] == "+" && t[6] == "]") {
+        rd = parse_reg(t[1], line);
+        ra = parse_reg(t[3], line);
+        off = resolve(t[5], line);
+      } else if (t.size() == 5 && t[2] == "[" && t[4] == "]") {
+        rd = parse_reg(t[1], line);
+        ra = parse_reg(t[3], line);
+        off = 0;
+      } else {
+        throw ParseError("'" + m + "' expects rd, [ra+imm]", line);
+      }
+    };
+    try {
+      if (m == "add" || m == "sub" || m == "and" || m == "or" ||
+          m == "xor" || m == "lsl" || m == "lsr" || m == "sltu") {
+        expect_count(4);
+        return enc_alu(alu_fn(m), parse_reg(t[1], line),
+                       parse_reg(t[2], line), parse_reg(t[3], line));
+      }
+      if (m == "addi") {
+        expect_count(4);
+        return enc_addi(parse_reg(t[1], line), parse_reg(t[2], line),
+                        int(resolve(t[3], line)));
+      }
+      if (m == "movi") {
+        expect_count(3);
+        return enc_movi(parse_reg(t[1], line), int(resolve(t[2], line)));
+      }
+      if (m == "ld" || m == "st") {
+        int rd = 0, ra = 0;
+        long off = 0;
+        mem_operands(rd, ra, off);
+        return m == "ld" ? enc_ld(rd, ra, int(off))
+                         : enc_st(rd, ra, int(off));
+      }
+      if (m == "beq" || m == "bne" || m == "bltu") {
+        expect_count(4);
+        const Op op = m == "beq" ? Op::Beq : m == "bne" ? Op::Bne : Op::Bltu;
+        const long target = resolve(t[3], line);
+        const long off = target - (st.address + 1);
+        return enc_branch(op, parse_reg(t[1], line), parse_reg(t[2], line),
+                          int(off));
+      }
+      if (m == "jal") {
+        expect_count(3);
+        const long target = resolve(t[2], line);
+        const long off = target - (st.address + 1);
+        return enc_jal(parse_reg(t[1], line), int(off));
+      }
+      if (m == "jr") {
+        expect_count(2);
+        return enc_jr(parse_reg(t[1], line));
+      }
+      if (m == "halt") {
+        expect_count(1);
+        return enc_halt();
+      }
+      if (m == "nop") {
+        expect_count(1);
+        return enc_nop();
+      }
+      if (m == ".word") {
+        expect_count(2);
+        const long v = resolve(t[1], line);
+        if (v < 0 || v > 0xFFFF)
+          throw ParseError(".word value out of 16-bit range", line);
+        return std::uint16_t(v);
+      }
+    } catch (const PreconditionError& e) {
+      // Encoding-range failures (bad immediate, branch too far) become
+      // parse errors with the offending line.
+      throw ParseError(e.what(), line);
+    }
+    throw ParseError("unknown mnemonic '" + m + "'", line);
+  }
+
+  std::map<std::string, int> labels_;
+  std::vector<Statement> stmts_;
+};
+
+} // namespace
+
+std::vector<std::uint16_t> assemble(const std::string& source) {
+  Assembler a(source);
+  return a.run();
+}
+
+} // namespace scpg::cpu

@@ -1,0 +1,36 @@
+// Two-pass assembler for the SCM0 ISA.
+//
+// Syntax (one statement per line; ';' or '#' start a comment):
+//
+//   label:                     ; define a label
+//       movi  r1, 42           ; immediates in decimal or 0x hex
+//       addi  r1, r1, -1
+//       add   r2, r1, r3       ; ALU ops: add sub and or xor lsl lsr sltu
+//       ld    r4, [r2+3]       ; word load / store
+//       st    r4, [r2+3]
+//       beq   r1, r0, done     ; branch targets are labels or numbers
+//       jal   r7, subroutine
+//       jr    r7
+//       halt
+//       nop
+//   .org 16                    ; set the assembly origin (words)
+//   .word 0x1234               ; literal data word
+//
+// Branch/JAL offsets are computed relative to pc+1 (the hardware adds the
+// offset to the already-incremented pc).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpu/isa.hpp"
+
+namespace scpg::cpu {
+
+/// Assembles a program; throws ParseError with a line number on any error
+/// (unknown mnemonic, bad register, out-of-range immediate or branch
+/// distance, duplicate/undefined label).
+[[nodiscard]] std::vector<std::uint16_t> assemble(const std::string& source);
+
+} // namespace scpg::cpu

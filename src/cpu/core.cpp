@@ -1,0 +1,328 @@
+#include "cpu/core.hpp"
+
+#include "gen/arith.hpp"
+#include "gen/components.hpp"
+#include "netlist/builder.hpp"
+#include "util/error.hpp"
+
+namespace scpg::cpu {
+
+using namespace scpg::literals;
+
+namespace {
+
+constexpr std::uint32_t kRamWords = 1u << kAddrBits;
+
+std::uint32_t bus_to_u32(std::span<const Logic> in, std::size_t base,
+                         int bits, bool& known) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < bits; ++i) {
+    const Logic b = in[base + std::size_t(i)];
+    if (!is_known(b)) {
+      known = false;
+      return 0;
+    }
+    if (b == Logic::L1) v |= 1u << i;
+  }
+  return v;
+}
+
+void u32_to_bus(std::uint32_t v, std::span<Logic> out, int bits) {
+  for (int i = 0; i < bits; ++i)
+    out[std::size_t(i)] = from_bool((v >> i) & 1);
+}
+
+void x_bus(std::span<Logic> out, int bits) {
+  for (int i = 0; i < bits; ++i) out[std::size_t(i)] = Logic::X;
+}
+
+/// Asynchronous-read instruction ROM: inputs addr[kAddrBits], outputs 16.
+class RomModel final : public MacroModel {
+public:
+  explicit RomModel(std::vector<std::uint16_t> image)
+      : image_(std::move(image)) {}
+
+  void eval(std::span<const Logic> in, std::span<Logic> out) override {
+    bool known = true;
+    const std::uint32_t addr = bus_to_u32(in, 0, kAddrBits, known);
+    if (!known) {
+      x_bus(out, kInstrBits);
+      return;
+    }
+    const std::uint16_t w =
+        addr < image_.size() ? image_[addr] : enc_nop();
+    u32_to_bus(w, out, kInstrBits);
+  }
+
+private:
+  std::vector<std::uint16_t> image_;
+};
+
+} // namespace
+
+RamModel::RamModel() : mem_(kRamWords, 0) {}
+
+void RamModel::reset() { std::fill(mem_.begin(), mem_.end(), 0); }
+
+std::uint32_t RamModel::word(std::uint32_t addr) const {
+  SCPG_REQUIRE(addr < kRamWords, "RAM address out of range");
+  return mem_[addr];
+}
+
+void RamModel::set_word(std::uint32_t addr, std::uint32_t v) {
+  SCPG_REQUIRE(addr < kRamWords, "RAM address out of range");
+  mem_[addr] = v;
+}
+
+// Pin map: in[0]=CK, in[1]=WE, in[2..13]=addr, in[14..45]=wdata;
+// out[0..31]=rdata (asynchronous read).
+void RamModel::eval(std::span<const Logic> in, std::span<Logic> out) {
+  bool known = true;
+  const std::uint32_t addr = bus_to_u32(in, 2, kAddrBits, known);
+  if (!known) {
+    x_bus(out, kWordBits);
+    return;
+  }
+  u32_to_bus(mem_[addr], out, kWordBits);
+}
+
+void RamModel::clock_edge(std::span<const Logic> in) {
+  const Logic we = in[1];
+  if (we != Logic::L1) return;
+  bool known = true;
+  const std::uint32_t addr = bus_to_u32(in, 2, kAddrBits, known);
+  const std::uint32_t data = bus_to_u32(in, 14, kWordBits, known);
+  SCPG_REQUIRE(known,
+               "RAM write with unknown address or data (missing isolation?)");
+  mem_[addr] = data;
+}
+
+Scm0 make_scm0(const Library& lib, std::vector<std::uint16_t> rom_image) {
+  SCPG_REQUIRE(!rom_image.empty(), "empty program image");
+  SCPG_REQUIRE(rom_image.size() <= (1u << kAddrBits), "program too large");
+
+  Netlist nl("scm0", lib);
+  // The CPU datapath synthesises at X2 drive to meet the paper's 10 MHz
+  // top operating point at 0.6 V (the multiplier is fine at X1).
+  Builder b(nl, 2);
+
+  const NetId clk = b.input("clk");
+  const NetId rst_n = b.input("rst_n");
+
+  // --- architectural state (always-on domain after the SCPG transform) ---
+  // Forward-declared next-state nets.
+  Bus pc_d(kPcBits);
+  for (int i = 0; i < kPcBits; ++i)
+    pc_d[std::size_t(i)] = nl.add_net("pc_d[" + std::to_string(i) + "]");
+  const NetId halted_d = nl.add_net("halted_d");
+
+  Bus pc(kPcBits);
+  for (int i = 0; i < kPcBits; ++i) {
+    pc[std::size_t(i)] = nl.new_net();
+    nl.add_cell("pc_ff_" + std::to_string(i), lib.pick(CellKind::DffR, 1),
+                {pc_d[std::size_t(i)], clk, rst_n}, pc[std::size_t(i)]);
+  }
+  const NetId halted = nl.new_net();
+  nl.add_cell("halt_ff", lib.pick(CellKind::DffR, 1), {halted_d, clk, rst_n},
+              halted);
+
+  // --- instruction fetch ---------------------------------------------------
+  MacroSpec rom_spec;
+  rom_spec.type_name = "ROM4KX16";
+  rom_spec.num_inputs = kAddrBits;
+  rom_spec.num_outputs = kInstrBits;
+  rom_spec.access_delay = 1.5_ns;
+  rom_spec.input_cap = 1.5_fF;
+  // The paper measures core power only; memories are external (zero-power
+  // behavioural stand-ins, DESIGN.md §2).
+  rom_spec.make_model = [image = std::move(rom_image)] {
+    return std::make_unique<RomModel>(image);
+  };
+  const auto rom_idx = nl.add_macro_spec(std::move(rom_spec));
+  Bus instr(kInstrBits);
+  for (int i = 0; i < kInstrBits; ++i)
+    instr[std::size_t(i)] = nl.add_net("instr[" + std::to_string(i) + "]");
+  std::vector<NetId> rom_in(pc.begin(), pc.begin() + kAddrBits);
+  const CellId rom_cell = nl.add_macro_cell("u_rom", rom_idx, rom_in, instr);
+
+  // --- decode ----------------------------------------------------------------
+  const Bus op{instr[12], instr[13], instr[14], instr[15]};
+  const Bus rd{instr[9], instr[10], instr[11]};
+  const Bus ra{instr[6], instr[7], instr[8]};
+  const Bus rb{instr[3], instr[4], instr[5]};
+  const Bus funct{instr[0], instr[1], instr[2]};
+
+  const Bus op1h = gen::decoder(b, op); // 16 one-hot lines, 12 used
+  const NetId is_alu = op1h[std::size_t(Op::Alu)];
+  const NetId is_addi = op1h[std::size_t(Op::Addi)];
+  const NetId is_movi = op1h[std::size_t(Op::Movi)];
+  const NetId is_ld = op1h[std::size_t(Op::Ld)];
+  const NetId is_st = op1h[std::size_t(Op::St)];
+  const NetId is_beq = op1h[std::size_t(Op::Beq)];
+  const NetId is_bne = op1h[std::size_t(Op::Bne)];
+  const NetId is_bltu = op1h[std::size_t(Op::Bltu)];
+  const NetId is_jal = op1h[std::size_t(Op::Jal)];
+  const NetId is_jr = op1h[std::size_t(Op::Jr)];
+  const NetId is_halt = op1h[std::size_t(Op::Halt)];
+
+  const NetId zero = b.tie_lo();
+  auto zext = [&](const Bus& x, int width) {
+    Bus y(static_cast<std::size_t>(width));
+    for (int i = 0; i < width; ++i)
+      y[std::size_t(i)] =
+          std::size_t(i) < x.size() ? x[std::size_t(i)] : zero;
+    return y;
+  };
+  auto sext = [&](const Bus& x, int width) {
+    Bus y(static_cast<std::size_t>(width));
+    for (int i = 0; i < width; ++i)
+      y[std::size_t(i)] =
+          std::size_t(i) < x.size() ? x[std::size_t(i)] : x.back();
+    return y;
+  };
+
+  const Bus imm6{instr[0], instr[1], instr[2], instr[3], instr[4], instr[5]};
+  const Bus imm9{instr[0], instr[1], instr[2], instr[3], instr[4],
+                 instr[5], instr[6], instr[7], instr[8]};
+  const Bus boff6{instr[0], instr[1], instr[2], instr[9], instr[10],
+                  instr[11]};
+
+  // --- register file -----------------------------------------------------------
+  const NetId not_halted = b.NOT(halted);
+  // Write enable and data are wired after the datapath; pre-declare nets.
+  const NetId wen = nl.add_net("rf_wen");
+  Bus wdata(kWordBits);
+  for (int i = 0; i < kWordBits; ++i)
+    wdata[std::size_t(i)] = nl.add_net("rf_wdata[" + std::to_string(i) + "]");
+  // Store reads the rd register on port B.
+  const Bus raddr_b = b.mux_bus(rb, rd, is_st);
+  const gen::RegisterFile rf = gen::register_file(
+      b, kNumRegs, kWordBits, clk, rd, wdata, wen, ra, raddr_b);
+  const Bus& a_val = rf.rd_a;
+  const Bus& b_val = rf.rd_b;
+
+  // --- ALU ----------------------------------------------------------------------
+  const Bus f1h = gen::decoder(b, funct);
+  const NetId f_sub = f1h[std::size_t(AluFn::Sub)];
+  const NetId sub_sel = b.AND(is_alu, f_sub);
+
+  const Bus imm6s32 = sext(imm6, kWordBits);
+  const Bus imm6z32 = zext(imm6, kWordBits);
+  const NetId use_imm6z = b.OR(is_ld, is_st);
+  Bus opb = b.mux_bus(b_val, imm6s32, is_addi);
+  opb = b.mux_bus(opb, imm6z32, use_imm6z);
+
+  const Bus opb_inv = b.mux_bus(opb, b.not_bus(opb), sub_sel);
+  const auto add = gen::carry_select_add(b, a_val, opb_inv, sub_sel, 4);
+
+  const Bus and_b = b.and_bus(a_val, b_val);
+  const Bus or_b = b.or_bus(a_val, b_val);
+  const Bus xor_b = b.xor_bus(a_val, b_val);
+  const Bus shamt{b_val[0], b_val[1], b_val[2], b_val[3], b_val[4]};
+  const Bus shl = gen::shift_left(b, a_val, shamt);
+  const Bus shr = gen::shift_right(b, a_val, shamt);
+
+  // Comparator shared by BLTU / SLTU and the equality branches.
+  const auto cmp = gen::compare(b, a_val, b_val);
+  const Bus slt_bus = zext(Bus{cmp.lt}, kWordBits);
+
+  const Bus alu_y = gen::mux_tree(
+      b, {add.sum, add.sum, and_b, or_b, xor_b, shl, shr, slt_bus}, funct);
+
+  // --- data memory -----------------------------------------------------------
+  MacroSpec ram_spec;
+  ram_spec.type_name = "RAM4KX32";
+  ram_spec.num_inputs = 2 + kAddrBits + kWordBits;
+  ram_spec.num_outputs = kWordBits;
+  ram_spec.has_clock = true;
+  ram_spec.access_delay = 1.8_ns;
+  ram_spec.input_cap = 1.5_fF;
+  ram_spec.make_model = [] { return std::make_unique<RamModel>(); };
+  const auto ram_idx = nl.add_macro_spec(std::move(ram_spec));
+
+  const NetId ram_we = b.AND(is_st, not_halted);
+  std::vector<NetId> ram_in;
+  ram_in.push_back(clk);
+  ram_in.push_back(ram_we);
+  for (int i = 0; i < kAddrBits; ++i)
+    ram_in.push_back(add.sum[std::size_t(i)]);
+  for (int i = 0; i < kWordBits; ++i)
+    ram_in.push_back(b_val[std::size_t(i)]);
+  Bus rdata(kWordBits);
+  for (int i = 0; i < kWordBits; ++i)
+    rdata[std::size_t(i)] = nl.add_net("rdata[" + std::to_string(i) + "]");
+  const CellId ram_cell = nl.add_macro_cell("u_ram", ram_idx, ram_in, rdata);
+
+  // --- next PC -----------------------------------------------------------------
+  const Bus pc1 = gen::increment(b, pc);
+  const Bus boff16 = sext(boff6, kPcBits);
+  const Bus imm9s16 = sext(imm9, kPcBits);
+  const Bus br_target = gen::ripple_add(b, pc1, boff16).sum;
+  const Bus jal_target = gen::ripple_add(b, pc1, imm9s16).sum;
+  Bus jr_target(kPcBits);
+  for (int i = 0; i < kPcBits; ++i)
+    jr_target[std::size_t(i)] = a_val[std::size_t(i)];
+
+  const NetId taken = b.OR3(b.AND(is_beq, cmp.eq),
+                            b.AND(is_bne, b.NOT(cmp.eq)),
+                            b.AND(is_bltu, cmp.lt));
+  Bus np = b.mux_bus(pc1, br_target, taken);
+  np = b.mux_bus(np, jal_target, is_jal);
+  np = b.mux_bus(np, jr_target, is_jr);
+  const NetId hold_pc = b.OR(is_halt, halted);
+  np = b.mux_bus(np, pc, hold_pc);
+  for (int i = 0; i < kPcBits; ++i) {
+    const SpecId buf = lib.pick(CellKind::Buf, 1);
+    nl.add_cell("pc_d_buf_" + std::to_string(i), buf,
+                {np[std::size_t(i)]}, pc_d[std::size_t(i)]);
+  }
+
+  // --- write-back -----------------------------------------------------------------
+  const Bus pc1z32 = zext(pc1, kWordBits);
+  Bus result = b.mux_bus(alu_y, add.sum, is_addi);
+  result = b.mux_bus(result, zext(imm9, kWordBits), is_movi);
+  result = b.mux_bus(result, rdata, is_ld);
+  result = b.mux_bus(result, pc1z32, is_jal);
+  for (int i = 0; i < kWordBits; ++i) {
+    const SpecId buf = lib.pick(CellKind::Buf, 1);
+    nl.add_cell("wdata_buf_" + std::to_string(i), buf,
+                {result[std::size_t(i)]}, wdata[std::size_t(i)]);
+  }
+
+  const NetId writes_rd =
+      b.OR(b.OR3(is_alu, is_addi, is_movi), b.OR(is_ld, is_jal));
+  {
+    const SpecId and2 = lib.pick(CellKind::And2, 1);
+    nl.add_cell("rf_wen_gate", and2, {writes_rd, not_halted}, wen);
+  }
+
+  // --- halt flag ------------------------------------------------------------------
+  {
+    const SpecId or2 = lib.pick(CellKind::Or2, 1);
+    nl.add_cell("halt_or", or2, {halted, is_halt}, halted_d);
+  }
+
+  // --- observation ports ------------------------------------------------------------
+  b.output_bus("pc", pc);
+  b.output("halted", halted);
+
+  nl.check();
+  return Scm0{std::move(nl), rom_cell, ram_cell};
+}
+
+ScpgOptions scm0_scpg_options() {
+  ScpgOptions opt;
+  opt.header_drive = 4; // the paper's Cortex-M0 sizing result
+  opt.buffer_drive = 4; // register-file Q nets fan out widely
+  return opt;
+}
+
+SimConfig scm0_sim_config(Corner corner) {
+  SimConfig cfg;
+  cfg.corner = corner;
+  cfg.rail_cap_factor = 1.2;
+  cfg.crowbar_per_cell = Energy{1.5e-15};
+  return cfg;
+}
+
+} // namespace scpg::cpu

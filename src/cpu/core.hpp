@@ -1,0 +1,67 @@
+// Gate-level single-cycle SCM0 core.
+//
+// The paper's Cortex-M0 case study substitute: flip-flop state (PC, the
+// 8x32 register file, the halt flag) in the always-on domain, with one
+// combinational cloud — decode, register-file muxes, a carry-select ALU,
+// barrel shifters, comparator, memory addressing and next-PC logic — that
+// the SCPG transform power-gates.  Instruction ROM and data RAM are
+// behavioural macros (the paper's memories are external to the measured
+// core; ours are zero-power stand-ins, see DESIGN.md §2).
+//
+// Ports:
+//   in  clk, rst_n
+//   out pc[16], halted
+//
+// Preload the data RAM through `ram_cell` / Simulator::macro_model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/isa.hpp"
+#include "netlist/netlist.hpp"
+#include "scpg/transform.hpp"
+#include "sim/simulator.hpp"
+
+namespace scpg::cpu {
+
+/// Handle to the generated core.
+struct Scm0 {
+  Netlist netlist;
+  CellId rom_cell; ///< instruction ROM macro instance
+  CellId ram_cell; ///< data RAM macro instance
+};
+
+/// Behavioural model of the data RAM; exposed so tests/benches can
+/// preload and inspect memory through MacroModel pointers.
+class RamModel final : public MacroModel {
+public:
+  RamModel();
+  void eval(std::span<const Logic> in, std::span<Logic> out) override;
+  void clock_edge(std::span<const Logic> in) override;
+  void reset() override;
+
+  [[nodiscard]] std::uint32_t word(std::uint32_t addr) const;
+  void set_word(std::uint32_t addr, std::uint32_t v);
+
+private:
+  std::vector<std::uint32_t> mem_;
+};
+
+/// Builds the core around a program image.
+[[nodiscard]] Scm0 make_scm0(const Library& lib,
+                             std::vector<std::uint16_t> rom_image);
+
+/// SCPG options matched to the SCM0 domain (X4 headers — the paper's
+/// Cortex-M0 sizing result).
+[[nodiscard]] ScpgOptions scm0_scpg_options();
+
+/// Simulator calibration for the SCM0 domain.  The paper observes that a
+/// larger power-gated domain pays disproportionately more for rail
+/// recharge and crowbar current (§III-B); relative to the multiplier
+/// defaults this raises the rail capacitance share and the per-cell
+/// crowbar energy, placing the convergence point near the paper's ~5 MHz.
+[[nodiscard]] SimConfig scm0_sim_config(Corner corner = {Voltage{0.6},
+                                                         25.0});
+
+} // namespace scpg::cpu

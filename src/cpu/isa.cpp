@@ -1,0 +1,202 @@
+#include "cpu/isa.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace scpg::cpu {
+
+namespace {
+
+std::int32_t sext(std::uint32_t v, int bits) {
+  const std::uint32_t m = 1u << (bits - 1);
+  return std::int32_t((v ^ m) - m);
+}
+
+void check_reg(int r) {
+  SCPG_REQUIRE(r >= 0 && r < kNumRegs, "register index out of range");
+}
+
+void check_simm(int v, int bits) {
+  const int lo = -(1 << (bits - 1)), hi = (1 << (bits - 1)) - 1;
+  SCPG_REQUIRE(v >= lo && v <= hi,
+               "immediate " + std::to_string(v) + " does not fit in " +
+                   std::to_string(bits) + " signed bits");
+}
+
+void check_uimm(int v, int bits) {
+  SCPG_REQUIRE(v >= 0 && v < (1 << bits),
+               "immediate " + std::to_string(v) + " does not fit in " +
+                   std::to_string(bits) + " unsigned bits");
+}
+
+std::uint16_t pack(Op op, int rd, int ra, int rb, int funct) {
+  return std::uint16_t((int(op) << 12) | (rd << 9) | (ra << 6) | (rb << 3) |
+                       funct);
+}
+
+} // namespace
+
+Instr decode(std::uint16_t raw) {
+  Instr in;
+  const int opn = (raw >> 12) & 0xF;
+  SCPG_REQUIRE(opn <= int(Op::Nop), "undefined opcode " + std::to_string(opn));
+  in.op = Op(opn);
+  in.rd = (raw >> 9) & 7;
+  in.ra = (raw >> 6) & 7;
+  in.rb = (raw >> 3) & 7;
+  in.funct = AluFn(raw & 7);
+  switch (in.op) {
+    case Op::Addi:
+      in.imm = sext(raw & 0x3F, 6);
+      break;
+    case Op::Ld:
+    case Op::St:
+      in.imm = int(raw & 0x3F);
+      break;
+    case Op::Movi:
+      in.imm = int(raw & 0x1FF);
+      break;
+    case Op::Jal:
+      in.imm = sext(raw & 0x1FF, 9);
+      break;
+    case Op::Beq:
+    case Op::Bne:
+    case Op::Bltu:
+      in.imm = sext(std::uint32_t(((raw >> 9) & 7) << 3 | (raw & 7)), 6);
+      break;
+    default:
+      in.imm = 0;
+  }
+  return in;
+}
+
+std::uint16_t encode(const Instr& in) {
+  switch (in.op) {
+    case Op::Alu: return enc_alu(in.funct, in.rd, in.ra, in.rb);
+    case Op::Addi: return enc_addi(in.rd, in.ra, in.imm);
+    case Op::Movi: return enc_movi(in.rd, in.imm);
+    case Op::Ld: return enc_ld(in.rd, in.ra, in.imm);
+    case Op::St: return enc_st(in.rd, in.ra, in.imm);
+    case Op::Beq:
+    case Op::Bne:
+    case Op::Bltu:
+      return enc_branch(in.op, in.ra, in.rb, in.imm);
+    case Op::Jal: return enc_jal(in.rd, in.imm);
+    case Op::Jr: return enc_jr(in.ra);
+    case Op::Halt: return enc_halt();
+    case Op::Nop: return enc_nop();
+  }
+  throw PreconditionError("bad instruction");
+}
+
+std::uint16_t enc_alu(AluFn fn, int rd, int ra, int rb) {
+  check_reg(rd);
+  check_reg(ra);
+  check_reg(rb);
+  return pack(Op::Alu, rd, ra, rb, int(fn));
+}
+
+std::uint16_t enc_addi(int rd, int ra, int imm6) {
+  check_reg(rd);
+  check_reg(ra);
+  check_simm(imm6, 6);
+  return std::uint16_t((int(Op::Addi) << 12) | (rd << 9) | (ra << 6) |
+                       (imm6 & 0x3F));
+}
+
+std::uint16_t enc_movi(int rd, int imm9) {
+  check_reg(rd);
+  check_uimm(imm9, 9);
+  return std::uint16_t((int(Op::Movi) << 12) | (rd << 9) | imm9);
+}
+
+std::uint16_t enc_ld(int rd, int ra, int imm6) {
+  check_reg(rd);
+  check_reg(ra);
+  check_uimm(imm6, 6);
+  return std::uint16_t((int(Op::Ld) << 12) | (rd << 9) | (ra << 6) | imm6);
+}
+
+std::uint16_t enc_st(int rd, int ra, int imm6) {
+  check_reg(rd);
+  check_reg(ra);
+  check_uimm(imm6, 6);
+  return std::uint16_t((int(Op::St) << 12) | (rd << 9) | (ra << 6) | imm6);
+}
+
+std::uint16_t enc_branch(Op op, int ra, int rb, int off6) {
+  SCPG_REQUIRE(op == Op::Beq || op == Op::Bne || op == Op::Bltu,
+               "not a branch opcode");
+  check_reg(ra);
+  check_reg(rb);
+  check_simm(off6, 6);
+  const int u = off6 & 0x3F;
+  return std::uint16_t((int(op) << 12) | ((u >> 3) << 9) | (ra << 6) |
+                       (rb << 3) | (u & 7));
+}
+
+std::uint16_t enc_jal(int rd, int imm9) {
+  check_reg(rd);
+  check_simm(imm9, 9);
+  return std::uint16_t((int(Op::Jal) << 12) | (rd << 9) | (imm9 & 0x1FF));
+}
+
+std::uint16_t enc_jr(int ra) {
+  check_reg(ra);
+  return std::uint16_t((int(Op::Jr) << 12) | (ra << 6));
+}
+
+std::uint16_t enc_halt() { return std::uint16_t(int(Op::Halt) << 12); }
+std::uint16_t enc_nop() { return std::uint16_t(int(Op::Nop) << 12); }
+
+std::string disassemble(const Instr& in) {
+  static const char* alu_names[] = {"add",  "sub",  "and", "or",
+                                    "xor",  "lsl",  "lsr", "sltu"};
+  std::ostringstream os;
+  auto r = [](int i) { return "r" + std::to_string(i); };
+  switch (in.op) {
+    case Op::Alu:
+      os << alu_names[int(in.funct)] << ' ' << r(in.rd) << ", " << r(in.ra)
+         << ", " << r(in.rb);
+      break;
+    case Op::Addi:
+      os << "addi " << r(in.rd) << ", " << r(in.ra) << ", " << in.imm;
+      break;
+    case Op::Movi:
+      os << "movi " << r(in.rd) << ", " << in.imm;
+      break;
+    case Op::Ld:
+      os << "ld " << r(in.rd) << ", [" << r(in.ra) << "+" << in.imm << "]";
+      break;
+    case Op::St:
+      os << "st " << r(in.rd) << ", [" << r(in.ra) << "+" << in.imm << "]";
+      break;
+    case Op::Beq:
+      os << "beq " << r(in.ra) << ", " << r(in.rb) << ", " << in.imm;
+      break;
+    case Op::Bne:
+      os << "bne " << r(in.ra) << ", " << r(in.rb) << ", " << in.imm;
+      break;
+    case Op::Bltu:
+      os << "bltu " << r(in.ra) << ", " << r(in.rb) << ", " << in.imm;
+      break;
+    case Op::Jal:
+      os << "jal " << r(in.rd) << ", " << in.imm;
+      break;
+    case Op::Jr:
+      os << "jr " << r(in.ra);
+      break;
+    case Op::Halt:
+      os << "halt";
+      break;
+    case Op::Nop:
+      os << "nop";
+      break;
+  }
+  return os.str();
+}
+
+std::string disassemble(std::uint16_t raw) { return disassemble(decode(raw)); }
+
+} // namespace scpg::cpu

@@ -1,0 +1,98 @@
+// SCM0 instruction set architecture.
+//
+// SCM0 is this reproduction's stand-in for the ARM Cortex-M0 case study
+// (DESIGN.md §2): an M0-class microcontroller with compact 16-bit
+// instructions (Thumb-flavoured) over a 32-bit datapath, 8 general
+// registers, word-addressed memory, and a single-cycle gate-level
+// implementation whose combinational cloud is the SCPG gated domain.
+//
+// Encoding (16 bits):
+//   op[15:12] | rd[11:9] | ra[8:6] | rb[5:3] | funct[2:0]
+//   imm6  = instr[5:0]   (sign- or zero-extended per instruction)
+//   imm9  = instr[8:0]
+//   boff6 = {rd, funct}  (branch offset, sign-extended)
+//
+//   op 0  ALU    rd = ra <funct> rb   (ADD SUB AND OR XOR LSL LSR SLTU)
+//   op 1  ADDI   rd = ra + sext(imm6)
+//   op 2  MOVI   rd = zext(imm9)
+//   op 3  LD     rd = mem[ra + zext(imm6)]
+//   op 4  ST     mem[ra + zext(imm6)] = rd
+//   op 5  BEQ    if ra == rb: pc += sext(boff6)
+//   op 6  BNE    if ra != rb: pc += sext(boff6)
+//   op 7  BLTU   if ra <  rb (unsigned): pc += sext(boff6)
+//   op 8  JAL    rd = pc + 1; pc += sext(imm9)
+//   op 9  JR     pc = ra[15:0]
+//   op 10 HALT
+//   op 11 NOP
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace scpg::cpu {
+
+inline constexpr int kNumRegs = 8;
+inline constexpr int kInstrBits = 16;
+inline constexpr int kWordBits = 32;
+inline constexpr int kPcBits = 16;
+inline constexpr int kAddrBits = 12; ///< data/instruction address width
+
+enum class Op : std::uint8_t {
+  Alu = 0,
+  Addi = 1,
+  Movi = 2,
+  Ld = 3,
+  St = 4,
+  Beq = 5,
+  Bne = 6,
+  Bltu = 7,
+  Jal = 8,
+  Jr = 9,
+  Halt = 10,
+  Nop = 11,
+};
+
+enum class AluFn : std::uint8_t {
+  Add = 0,
+  Sub = 1,
+  And = 2,
+  Or = 3,
+  Xor = 4,
+  Lsl = 5,
+  Lsr = 6,
+  Sltu = 7,
+};
+
+/// Decoded instruction fields.
+struct Instr {
+  Op op{Op::Nop};
+  int rd{0};
+  int ra{0};
+  int rb{0};
+  AluFn funct{AluFn::Add};
+  std::int32_t imm{0}; ///< already extended (imm6/imm9/boff6 per op)
+};
+
+/// Field extraction from a raw 16-bit word.
+[[nodiscard]] Instr decode(std::uint16_t raw);
+
+/// Inverse of decode; validates field ranges.
+[[nodiscard]] std::uint16_t encode(const Instr& in);
+
+/// Human-readable form ("addi r1, r2, -3").
+[[nodiscard]] std::string disassemble(const Instr& in);
+[[nodiscard]] std::string disassemble(std::uint16_t raw);
+
+// Encoding helpers used by the assembler and tests.
+[[nodiscard]] std::uint16_t enc_alu(AluFn fn, int rd, int ra, int rb);
+[[nodiscard]] std::uint16_t enc_addi(int rd, int ra, int imm6);
+[[nodiscard]] std::uint16_t enc_movi(int rd, int imm9);
+[[nodiscard]] std::uint16_t enc_ld(int rd, int ra, int imm6);
+[[nodiscard]] std::uint16_t enc_st(int rd, int ra, int imm6);
+[[nodiscard]] std::uint16_t enc_branch(Op op, int ra, int rb, int off6);
+[[nodiscard]] std::uint16_t enc_jal(int rd, int imm9);
+[[nodiscard]] std::uint16_t enc_jr(int ra);
+[[nodiscard]] std::uint16_t enc_halt();
+[[nodiscard]] std::uint16_t enc_nop();
+
+} // namespace scpg::cpu

@@ -1,0 +1,113 @@
+#include "cpu/iss.hpp"
+
+#include "util/error.hpp"
+
+namespace scpg::cpu {
+
+namespace {
+constexpr std::uint32_t kAddrMask = (1u << kAddrBits) - 1;
+}
+
+Iss::Iss(std::vector<std::uint16_t> rom) : rom_(std::move(rom)) {
+  SCPG_REQUIRE(!rom_.empty(), "empty program");
+  SCPG_REQUIRE(rom_.size() <= (1u << kAddrBits), "program too large");
+  mem_.assign(1u << kAddrBits, 0);
+  reset();
+}
+
+void Iss::reset() {
+  regs_.fill(0);
+  pc_ = 0;
+  halted_ = false;
+}
+
+std::uint32_t Iss::reg(int r) const {
+  SCPG_REQUIRE(r >= 0 && r < kNumRegs, "register index out of range");
+  return regs_[std::size_t(r)];
+}
+
+void Iss::set_reg(int r, std::uint32_t v) {
+  SCPG_REQUIRE(r >= 0 && r < kNumRegs, "register index out of range");
+  regs_[std::size_t(r)] = v;
+}
+
+std::uint32_t Iss::mem(std::uint32_t addr) const {
+  return mem_[addr & kAddrMask];
+}
+
+void Iss::set_mem(std::uint32_t addr, std::uint32_t v) {
+  mem_[addr & kAddrMask] = v;
+}
+
+bool Iss::step() {
+  if (halted_) return false;
+  const std::uint16_t raw =
+      std::size_t(pc_) < rom_.size() ? rom_[pc_] : enc_nop();
+  const Instr in = decode(raw);
+  std::uint16_t next_pc = std::uint16_t(pc_ + 1);
+  const std::uint32_t a = regs_[std::size_t(in.ra)];
+  const std::uint32_t b = regs_[std::size_t(in.rb)];
+
+  switch (in.op) {
+    case Op::Alu: {
+      std::uint32_t y = 0;
+      switch (in.funct) {
+        case AluFn::Add: y = a + b; break;
+        case AluFn::Sub: y = a - b; break;
+        case AluFn::And: y = a & b; break;
+        case AluFn::Or: y = a | b; break;
+        case AluFn::Xor: y = a ^ b; break;
+        case AluFn::Lsl: y = (b & 31) < 32 ? a << (b & 31) : 0; break;
+        case AluFn::Lsr: y = a >> (b & 31); break;
+        case AluFn::Sltu: y = a < b ? 1 : 0; break;
+      }
+      regs_[std::size_t(in.rd)] = y;
+      break;
+    }
+    case Op::Addi:
+      regs_[std::size_t(in.rd)] = a + std::uint32_t(in.imm);
+      break;
+    case Op::Movi:
+      regs_[std::size_t(in.rd)] = std::uint32_t(in.imm);
+      break;
+    case Op::Ld:
+      regs_[std::size_t(in.rd)] = mem(a + std::uint32_t(in.imm));
+      break;
+    case Op::St:
+      set_mem(a + std::uint32_t(in.imm), regs_[std::size_t(in.rd)]);
+      break;
+    case Op::Beq:
+      if (a == b) next_pc = std::uint16_t(pc_ + 1 + in.imm);
+      break;
+    case Op::Bne:
+      if (a != b) next_pc = std::uint16_t(pc_ + 1 + in.imm);
+      break;
+    case Op::Bltu:
+      if (a < b) next_pc = std::uint16_t(pc_ + 1 + in.imm);
+      break;
+    case Op::Jal:
+      regs_[std::size_t(in.rd)] = std::uint32_t(pc_ + 1);
+      next_pc = std::uint16_t(pc_ + 1 + in.imm);
+      break;
+    case Op::Jr:
+      next_pc = std::uint16_t(a & 0xFFFF);
+      break;
+    case Op::Halt:
+      halted_ = true;
+      next_pc = pc_;
+      break;
+    case Op::Nop:
+      break;
+  }
+  pc_ = next_pc;
+  return !halted_;
+}
+
+std::uint64_t Iss::run(std::uint64_t max_steps) {
+  std::uint64_t n = 0;
+  while (n < max_steps && step()) ++n;
+  if (halted_ && n < max_steps) ++n; // count the halt itself
+  return n;
+}
+
+} // namespace scpg::cpu

@@ -1,0 +1,44 @@
+// Instruction-set simulator (golden reference for the gate-level core).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cpu/isa.hpp"
+
+namespace scpg::cpu {
+
+class Iss {
+public:
+  /// `rom` is the program image (word addressed); data memory has
+  /// 2^kAddrBits words, zero-initialised.
+  explicit Iss(std::vector<std::uint16_t> rom);
+
+  void reset();
+
+  /// Executes one instruction; no-op once halted.  Returns true while
+  /// running.
+  bool step();
+
+  /// Runs at most `max_steps` instructions; returns the number executed
+  /// (stops early at HALT).
+  std::uint64_t run(std::uint64_t max_steps);
+
+  [[nodiscard]] bool halted() const { return halted_; }
+  [[nodiscard]] std::uint16_t pc() const { return pc_; }
+  [[nodiscard]] std::uint32_t reg(int r) const;
+  void set_reg(int r, std::uint32_t v);
+  [[nodiscard]] std::uint32_t mem(std::uint32_t addr) const;
+  void set_mem(std::uint32_t addr, std::uint32_t v);
+  [[nodiscard]] const std::vector<std::uint16_t>& rom() const { return rom_; }
+
+private:
+  std::vector<std::uint16_t> rom_;
+  std::vector<std::uint32_t> mem_;
+  std::array<std::uint32_t, kNumRegs> regs_{};
+  std::uint16_t pc_{0};
+  bool halted_{false};
+};
+
+} // namespace scpg::cpu

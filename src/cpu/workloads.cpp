@@ -1,0 +1,174 @@
+#include "cpu/workloads.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace scpg::cpu::workloads {
+
+namespace {
+void check_imm9(int v, const char* what) {
+  SCPG_REQUIRE(v >= 1 && v <= 511,
+               std::string(what) + " must be in [1, 511]");
+}
+} // namespace
+
+std::string dhrystone_like(int iterations) {
+  check_imm9(iterations, "iterations");
+  std::ostringstream os;
+  os << R"(; Dhrystone-like mixed workload (string copy/compare, integer
+; arithmetic, record assignment, branching).  Checksum in r7 / mem[63].
+        movi r7, 0            ; checksum
+        movi r6, )" << iterations << R"(
+main_loop:
+        ; init source string: mem[0..11] = (65 + i) ^ r6
+        movi r1, 0
+        movi r2, 12
+init_loop:
+        movi r3, 65
+        add  r3, r3, r1
+        xor  r3, r3, r6
+        st   r3, [r1+0]
+        addi r1, r1, 1
+        bne  r1, r2, init_loop
+        ; string copy: mem[16..27] = mem[0..11]
+        movi r1, 0
+copy_loop:
+        ld   r3, [r1+0]
+        st   r3, [r1+16]
+        addi r1, r1, 1
+        bne  r1, r2, copy_loop
+        ; string compare + checksum accumulate
+        movi r1, 0
+cmp_loop:
+        ld   r3, [r1+0]
+        ld   r4, [r1+16]
+        beq  r3, r4, cmp_ok
+        addi r7, r7, 1        ; mismatch (never taken when correct)
+cmp_ok:
+        add  r7, r7, r3
+        addi r1, r1, 1
+        bne  r1, r2, cmp_loop
+        ; arithmetic block
+        movi r3, 3
+        lsl  r4, r7, r3
+        lsr  r5, r7, r3
+        xor  r4, r4, r5
+        sub  r4, r4, r6
+        and  r5, r4, r7
+        add  r7, r7, r4
+        add  r7, r7, r5
+        ; record assignment: mem[40..43]
+        st   r7, [r0+40]
+        ld   r3, [r0+40]
+        addi r3, r3, 5
+        st   r3, [r0+41]
+        st   r6, [r0+42]
+        add  r3, r3, r6
+        st   r3, [r0+43]
+        ; next iteration
+        addi r6, r6, -1
+        beq  r6, r0, done
+        jal  r1, main_loop
+done:
+        st   r7, [r0+63]
+        halt
+)";
+  return os.str();
+}
+
+std::string fibonacci(int n) {
+  check_imm9(n, "n");
+  std::ostringstream os;
+  os << R"(; iterative fibonacci: r1 = fib(n), stored to mem[60]
+        movi r1, 0
+        movi r2, 1
+        movi r3, )" << n << R"(
+fib_loop:
+        add  r5, r1, r2
+        add  r1, r2, r0
+        add  r2, r5, r0
+        addi r3, r3, -1
+        bne  r3, r0, fib_loop
+        st   r1, [r0+60]
+        add  r2, r1, r0
+        halt
+)";
+  return os.str();
+}
+
+std::string bubble_sort(int count) {
+  SCPG_REQUIRE(count >= 2 && count <= 60, "count must be in [2, 60]");
+  std::ostringstream os;
+  os << R"(; generate pseudo-random words in mem[0..count) and bubble-sort them
+        movi r6, )" << count << R"(
+        movi r1, 0
+        movi r4, 97
+gen_loop:
+        movi r5, 53
+        add  r4, r4, r5
+        movi r5, 255
+        and  r5, r4, r5
+        st   r5, [r1+0]
+        addi r1, r1, 1
+        bne  r1, r6, gen_loop
+outer:
+        movi r7, 0            ; swapped flag
+        movi r1, 0
+        addi r2, r6, -1
+inner:
+        ld   r3, [r1+0]
+        ld   r4, [r1+1]
+        bltu r3, r4, no_swap
+        beq  r3, r4, no_swap
+        st   r4, [r1+0]
+        st   r3, [r1+1]
+        movi r7, 1
+no_swap:
+        addi r1, r1, 1
+        bne  r1, r2, inner
+        bne  r7, r0, outer
+        halt
+)";
+  return os.str();
+}
+
+std::string arith_burst(int iterations) {
+  check_imm9(iterations, "iterations");
+  std::ostringstream os;
+  os << R"(; high-activity arithmetic loop (max-activity probe)
+        movi r6, )" << iterations << R"(
+        movi r1, 427
+        movi r2, 243
+burst:
+        add  r3, r1, r2
+        xor  r1, r3, r2
+        movi r4, 5
+        lsl  r5, r1, r4
+        sub  r2, r5, r3
+        or   r1, r1, r2
+        addi r6, r6, -1
+        bne  r6, r0, burst
+        halt
+)";
+  return os.str();
+}
+
+std::string idle_spin(int iterations) {
+  check_imm9(iterations, "iterations");
+  std::ostringstream os;
+  os << R"(; low-activity spin loop (min-activity probe)
+        movi r6, )" << iterations << R"(
+spin:
+        nop
+        nop
+        nop
+        nop
+        addi r6, r6, -1
+        bne  r6, r0, spin
+        halt
+)";
+  return os.str();
+}
+
+} // namespace scpg::cpu::workloads

@@ -1,0 +1,35 @@
+// Benchmark programs for SCM0.
+//
+// dhrystone_like() mirrors the mix the paper drives through the Cortex-M0
+// (Dhrystone: string copy/compare, integer arithmetic, record assignment,
+// branching) so that the switching-activity methodology of §III-B can be
+// reproduced: run the workload, group activity into 10-cycle vector
+// groups (Fig 7), and power the min/avg/max groups through the detailed
+// simulator.
+#pragma once
+
+#include <string>
+
+namespace scpg::cpu::workloads {
+
+/// Dhrystone-flavoured mixed workload (~4k cycles for `iterations` ~ 12):
+/// per iteration - copy a 12-word string, compare it against a reference,
+/// do an arithmetic block (sums, shifts, xors), update a 4-field record,
+/// and branch on the results.  Ends with HALT; the checksum lands in r7
+/// and memory[63].
+[[nodiscard]] std::string dhrystone_like(int iterations = 12);
+
+/// Iterative Fibonacci; fib(n) left in r2 and memory[60].
+[[nodiscard]] std::string fibonacci(int n);
+
+/// Bubble-sorts `count` pseudo-random words in memory[0..count);
+/// (used by tests as an ISS-vs-gate-level stressor).
+[[nodiscard]] std::string bubble_sort(int count);
+
+/// Tight arithmetic loop with high datapath activity (max-activity probe).
+[[nodiscard]] std::string arith_burst(int iterations);
+
+/// Idle spin loop with almost no datapath activity (min-activity probe).
+[[nodiscard]] std::string idle_spin(int iterations);
+
+} // namespace scpg::cpu::workloads

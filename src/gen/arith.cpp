@@ -1,0 +1,98 @@
+#include "gen/arith.hpp"
+
+#include "util/error.hpp"
+
+namespace scpg::gen {
+
+AddBit half_adder(Builder& b, NetId x, NetId y) {
+  return {b.XOR(x, y), b.AND(x, y)};
+}
+
+AddBit full_adder(Builder& b, NetId x, NetId y, NetId cin) {
+  const NetId t = b.XOR(x, y);
+  const NetId sum = b.XOR(t, cin);
+  const NetId c1 = b.AND(x, y);
+  const NetId c2 = b.AND(t, cin);
+  return {sum, b.OR(c1, c2)};
+}
+
+AddResult ripple_add(Builder& b, const Bus& x, const Bus& y, NetId cin) {
+  SCPG_REQUIRE(x.size() == y.size() && !x.empty(),
+               "adder operands must be equal, non-zero width");
+  AddResult r;
+  r.sum.resize(x.size());
+  NetId c = cin;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const AddBit bit = c.valid() ? full_adder(b, x[i], y[i], c)
+                                 : half_adder(b, x[i], y[i]);
+    r.sum[i] = bit.sum;
+    c = bit.carry;
+  }
+  r.carry = c;
+  return r;
+}
+
+AddResult carry_select_add(Builder& b, const Bus& x, const Bus& y, NetId cin,
+                           int block) {
+  SCPG_REQUIRE(x.size() == y.size() && !x.empty(),
+               "adder operands must be equal, non-zero width");
+  SCPG_REQUIRE(block >= 1, "block size must be positive");
+  AddResult r;
+  r.sum.resize(x.size());
+  // First block rippled directly from cin.
+  NetId c = cin;
+  const std::size_t first = std::min(std::size_t(block), x.size());
+  for (std::size_t i = 0; i < first; ++i) {
+    const AddBit bit = c.valid() ? full_adder(b, x[i], y[i], c)
+                                 : half_adder(b, x[i], y[i]);
+    r.sum[i] = bit.sum;
+    c = bit.carry;
+  }
+  // Subsequent blocks: compute both carry-in polarities, select by the
+  // incoming carry.
+  for (std::size_t base = first; base < x.size(); base += std::size_t(block)) {
+    const std::size_t end = std::min(base + std::size_t(block), x.size());
+    const NetId zero = b.tie_lo();
+    const NetId one = b.tie_hi();
+    NetId c0 = zero, c1 = one;
+    std::vector<NetId> s0(end - base), s1(end - base);
+    for (std::size_t i = base; i < end; ++i) {
+      const AddBit b0 = full_adder(b, x[i], y[i], c0);
+      const AddBit b1 = full_adder(b, x[i], y[i], c1);
+      s0[i - base] = b0.sum;
+      s1[i - base] = b1.sum;
+      c0 = b0.carry;
+      c1 = b1.carry;
+    }
+    for (std::size_t i = base; i < end; ++i)
+      r.sum[i] = b.MUX(s0[i - base], s1[i - base], c);
+    c = b.MUX(c0, c1, c);
+  }
+  r.carry = c;
+  return r;
+}
+
+AddResult subtract(Builder& b, const Bus& x, const Bus& y) {
+  return ripple_add(b, x, b.not_bus(y), b.tie_hi());
+}
+
+Bus increment(Builder& b, const Bus& x) {
+  // Half-adder chain with carry-in 1: sum_i = x_i ^ c, c' = x_i & c.
+  Bus out(x.size());
+  NetId c = b.tie_hi();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = b.XOR(x[i], c);
+    if (i + 1 < x.size()) c = b.AND(x[i], c);
+  }
+  return out;
+}
+
+CompareResult compare(Builder& b, const Bus& x, const Bus& y) {
+  const AddResult d = subtract(b, x, y);
+  CompareResult r;
+  r.eq = b.NOT(b.reduce_or(d.sum));
+  r.lt = b.NOT(d.carry); // borrow
+  return r;
+}
+
+} // namespace scpg::gen

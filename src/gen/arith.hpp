@@ -1,0 +1,55 @@
+// Arithmetic circuit generators (gate-level).
+//
+// These produce the datapath pieces of the two case studies: half/full
+// adders, ripple-carry and carry-select adders, subtract/compare, and
+// incrementers.  All functions append cells to the Builder's netlist and
+// return the result nets; buses are LSB-first.
+#pragma once
+
+#include "netlist/builder.hpp"
+
+namespace scpg::gen {
+
+struct AddBit {
+  NetId sum;
+  NetId carry;
+};
+
+/// sum = a ^ b, carry = a & b.
+[[nodiscard]] AddBit half_adder(Builder& b, NetId x, NetId y);
+
+/// Full adder from 2 XOR + 2 AND + 1 OR.
+[[nodiscard]] AddBit full_adder(Builder& b, NetId x, NetId y, NetId cin);
+
+struct AddResult {
+  Bus sum;     ///< same width as the operands
+  NetId carry; ///< carry out of the MSB
+};
+
+/// Ripple-carry adder; operands must have equal width.  `cin` may be
+/// invalid (treated as 0, using a half adder in the LSB).
+[[nodiscard]] AddResult ripple_add(Builder& b, const Bus& x, const Bus& y,
+                                   NetId cin = {});
+
+/// Carry-select adder with `block` wide ripple blocks (default 4): both
+/// carry polarities are computed per block and muxed, trading area for a
+/// much shorter critical path — used by the CPU ALU.
+[[nodiscard]] AddResult carry_select_add(Builder& b, const Bus& x,
+                                         const Bus& y, NetId cin = {},
+                                         int block = 4);
+
+/// x - y  (two's complement: x + ~y + 1); carry is the NOT-borrow.
+[[nodiscard]] AddResult subtract(Builder& b, const Bus& x, const Bus& y);
+
+/// x + 1.
+[[nodiscard]] Bus increment(Builder& b, const Bus& x);
+
+struct CompareResult {
+  NetId eq; ///< x == y
+  NetId lt; ///< x < y (unsigned)
+};
+
+/// Unsigned comparison via a subtractor.
+[[nodiscard]] CompareResult compare(Builder& b, const Bus& x, const Bus& y);
+
+} // namespace scpg::gen

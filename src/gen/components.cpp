@@ -1,0 +1,92 @@
+#include "gen/components.hpp"
+
+#include "util/error.hpp"
+
+namespace scpg::gen {
+
+Bus decoder(Builder& b, const Bus& sel) {
+  SCPG_REQUIRE(!sel.empty() && sel.size() <= 8, "decoder select width");
+  const std::size_t n = std::size_t(1) << sel.size();
+  Bus out(n);
+  for (std::size_t k = 0; k < n; ++k) out[k] = b.equal_const(sel, k);
+  return out;
+}
+
+Bus mux_tree(Builder& b, const std::vector<Bus>& choices, const Bus& sel) {
+  SCPG_REQUIRE(!choices.empty(), "mux tree needs choices");
+  SCPG_REQUIRE(choices.size() == (std::size_t(1) << sel.size()),
+               "mux tree requires 2^sel choices");
+  std::vector<Bus> level = choices;
+  for (std::size_t s = 0; s < sel.size(); ++s) {
+    std::vector<Bus> next;
+    next.reserve(level.size() / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+      next.push_back(b.mux_bus(level[i], level[i + 1], sel[s]));
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+Bus shift_left(Builder& b, const Bus& x, const Bus& amount) {
+  Bus cur = x;
+  const NetId zero = b.tie_lo();
+  for (std::size_t s = 0; s < amount.size(); ++s) {
+    const std::size_t k = std::size_t(1) << s;
+    Bus shifted(cur.size());
+    for (std::size_t i = 0; i < cur.size(); ++i)
+      shifted[i] = i >= k ? cur[i - k] : zero;
+    cur = b.mux_bus(cur, shifted, amount[s]);
+  }
+  return cur;
+}
+
+Bus shift_right(Builder& b, const Bus& x, const Bus& amount) {
+  Bus cur = x;
+  const NetId zero = b.tie_lo();
+  for (std::size_t s = 0; s < amount.size(); ++s) {
+    const std::size_t k = std::size_t(1) << s;
+    Bus shifted(cur.size());
+    for (std::size_t i = 0; i < cur.size(); ++i)
+      shifted[i] = i + k < cur.size() ? cur[i + k] : zero;
+    cur = b.mux_bus(cur, shifted, amount[s]);
+  }
+  return cur;
+}
+
+RegisterFile register_file(Builder& b, int regs, int width, NetId clk,
+                           const Bus& waddr, const Bus& wdata, NetId wen,
+                           const Bus& raddr_a, const Bus& raddr_b) {
+  SCPG_REQUIRE(regs >= 2 && (regs & (regs - 1)) == 0,
+               "register count must be a power of two");
+  SCPG_REQUIRE(int(wdata.size()) == width, "write data width mismatch");
+  SCPG_REQUIRE((std::size_t(1) << waddr.size()) == std::size_t(regs),
+               "write address width mismatch");
+
+  const Bus onehot = decoder(b, waddr);
+  RegisterFile rf;
+  rf.q.resize(std::size_t(regs));
+  for (int r = 0; r < regs; ++r) {
+    const NetId we_r = b.AND(wen, onehot[std::size_t(r)]);
+    Bus& q = rf.q[std::size_t(r)];
+    q.resize(std::size_t(width));
+    // Recirculating mux per bit: hold unless this register is written.
+    // The flop is created first so the mux can reference its output.
+    for (int bit = 0; bit < width; ++bit) {
+      // Build as: q = DFF(mux(q, wdata, we_r)); requires a forward
+      // reference, so allocate the q net explicitly.
+      NetId qn = b.netlist().add_net("rf_r" + std::to_string(r) + "_b" +
+                                     std::to_string(bit));
+      const NetId dn = b.MUX(qn, wdata[std::size_t(bit)], we_r);
+      const SpecId dff = b.lib().pick(CellKind::Dff, 1);
+      b.netlist().add_cell("rf_ff_" + std::to_string(r) + "_" +
+                               std::to_string(bit),
+                           dff, {dn, clk}, qn);
+      q[std::size_t(bit)] = qn;
+    }
+  }
+  rf.rd_a = mux_tree(b, rf.q, raddr_a);
+  rf.rd_b = mux_tree(b, rf.q, raddr_b);
+  return rf;
+}
+
+} // namespace scpg::gen

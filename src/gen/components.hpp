@@ -1,0 +1,39 @@
+// Structural building blocks shared by the case studies: decoders,
+// wide muxes, barrel shifters and register files.
+#pragma once
+
+#include "netlist/builder.hpp"
+
+namespace scpg::gen {
+
+/// One-hot decoder: output k is high iff sel == k.  Output width 2^sel.size().
+[[nodiscard]] Bus decoder(Builder& b, const Bus& sel);
+
+/// N-way mux tree over equal-width buses; sel is binary, LSB first.
+/// choices.size() must be a power of two equal to 2^sel.size().
+[[nodiscard]] Bus mux_tree(Builder& b, const std::vector<Bus>& choices,
+                           const Bus& sel);
+
+/// Logical left shift by a variable amount (sel bits select 1,2,4,... stages).
+[[nodiscard]] Bus shift_left(Builder& b, const Bus& x, const Bus& amount);
+
+/// Logical right shift.
+[[nodiscard]] Bus shift_right(Builder& b, const Bus& x, const Bus& amount);
+
+/// Synchronous register file built from flip-flops and muxes.
+struct RegisterFile {
+  std::vector<Bus> q; ///< current value of every register (flop outputs)
+  Bus rd_a;           ///< read port A data
+  Bus rd_b;           ///< read port B data
+};
+
+/// `regs` must be a power of two (= 2^waddr.size()).  Write is
+/// enable-gated through a per-bit recirculating mux; reads are
+/// combinational mux trees.
+[[nodiscard]] RegisterFile register_file(Builder& b, int regs, int width,
+                                         NetId clk, const Bus& waddr,
+                                         const Bus& wdata, NetId wen,
+                                         const Bus& raddr_a,
+                                         const Bus& raddr_b);
+
+} // namespace scpg::gen

@@ -1,0 +1,90 @@
+#include "gen/mult16.hpp"
+
+#include "gen/arith.hpp"
+#include "util/error.hpp"
+
+namespace scpg::gen {
+
+Bus multiplier_array(Builder& b, const Bus& a, const Bus& x) {
+  SCPG_REQUIRE(a.size() == x.size() && a.size() >= 2,
+               "multiplier operands must be equal width >= 2");
+  const std::size_t w = a.size();
+  Bus p(2 * w);
+
+  // Partial products pp[i][j] = a[j] & x[i], weight i + j.
+  auto pp = [&](std::size_t i, std::size_t j) { return b.AND(a[j], x[i]); };
+
+  // Row 0 initialises the running carry-save state: sum[j] has weight j.
+  Bus sum(w);
+  for (std::size_t j = 0; j < w; ++j) sum[j] = pp(0, j);
+  Bus carry; // carry[j] has weight i + j + 1 after processing row i
+  p[0] = sum[0];
+
+  for (std::size_t i = 1; i < w; ++i) {
+    Bus nsum(w), ncarry(w);
+    for (std::size_t j = 0; j < w; ++j) {
+      const NetId pij = pp(i, j);
+      // sum[j+1] has weight (i-1) + (j+1) = i + j; absent for j = w-1.
+      const bool have_sum = j + 1 < w;
+      const bool have_carry = !carry.empty();
+      if (have_sum && have_carry) {
+        const AddBit fa = full_adder(b, pij, sum[j + 1], carry[j]);
+        nsum[j] = fa.sum;
+        ncarry[j] = fa.carry;
+      } else if (have_sum || have_carry) {
+        const AddBit ha =
+            half_adder(b, pij, have_sum ? sum[j + 1] : carry[j]);
+        nsum[j] = ha.sum;
+        ncarry[j] = ha.carry;
+      } else {
+        nsum[j] = pij;
+        ncarry[j] = b.tie_lo();
+      }
+    }
+    sum = std::move(nsum);
+    carry = std::move(ncarry);
+    p[i] = sum[0];
+  }
+
+  // Final merge: weights w .. 2w-1 from sum[1..w-1] and carry[0..w-1].
+  NetId c; // invalid = 0
+  for (std::size_t j = 0; j < w; ++j) {
+    const bool have_sum = j + 1 < w;
+    NetId s_in = have_sum ? sum[j + 1] : NetId{};
+    if (s_in.valid() && c.valid()) {
+      const AddBit fa = full_adder(b, s_in, carry[j], c);
+      p[w + j] = fa.sum;
+      c = fa.carry;
+    } else if (s_in.valid() || c.valid()) {
+      const AddBit ha = half_adder(b, carry[j], s_in.valid() ? s_in : c);
+      p[w + j] = ha.sum;
+      c = ha.carry;
+    } else {
+      p[w + j] = carry[j];
+      c = NetId{};
+    }
+  }
+  return p;
+}
+
+Netlist make_multiplier(const Library& lib, int width) {
+  SCPG_REQUIRE(width >= 2 && width <= 32, "width must be in [2, 32]");
+  Netlist nl("mult" + std::to_string(width), lib);
+  Builder b(nl);
+
+  const NetId clk = b.input("clk");
+  const Bus a_in = b.input_bus("a", width);
+  const Bus b_in = b.input_bus("b", width);
+
+  // Always-on operand registers feed the gated combinational array.
+  const Bus a_reg = b.dff_bus(a_in, clk);
+  const Bus b_reg = b.dff_bus(b_in, clk);
+  const Bus prod = multiplier_array(b, a_reg, b_reg);
+  const Bus p_reg = b.dff_bus(prod, clk);
+  b.output_bus("p", p_reg);
+
+  nl.check();
+  return nl;
+}
+
+} // namespace scpg::gen

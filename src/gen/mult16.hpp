@@ -1,0 +1,23 @@
+// 16-bit parallel binary multiplier (case study 1, paper §III-A).
+//
+// A classic carry-save array multiplier: 256 partial-product AND gates,
+// 15 rows of carry-save adders, and a final ripple-carry merge.  The top
+// level registers both operands and the product, matching the paper's
+// architecture where the combinational array is fed from and captured by
+// always-on registers (Fig 2) — the array is the power-gated domain.
+#pragma once
+
+#include "netlist/builder.hpp"
+#include "netlist/netlist.hpp"
+
+namespace scpg::gen {
+
+/// Appends the unregistered multiplier array to a builder; returns the
+/// 2*width product bus.  Used directly by tests and inside the top level.
+[[nodiscard]] Bus multiplier_array(Builder& b, const Bus& a, const Bus& x);
+
+/// Builds the complete registered multiplier design:
+/// ports clk, a[width], b[width] -> p[2*width].
+[[nodiscard]] Netlist make_multiplier(const Library& lib, int width = 16);
+
+} // namespace scpg::gen

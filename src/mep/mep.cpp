@@ -1,0 +1,64 @@
+#include "mep/mep.hpp"
+
+#include <algorithm>
+
+#include "power/power.hpp"
+#include "util/error.hpp"
+#include "util/numeric.hpp"
+
+namespace scpg {
+
+MepPoint mep_point(const Netlist& nl, Energy e_dyn_ref, Corner ref_corner,
+                   Voltage vdd, double temp_c) {
+  const TechModel& tech = nl.lib().tech();
+  const Corner c{vdd, temp_c};
+  MepPoint p;
+  p.vdd = vdd;
+  const StaReport sta = run_sta(nl, c);
+  p.fmax = sta.fmax;
+  const double vr = vdd.v / ref_corner.vdd.v;
+  p.e_dynamic = e_dyn_ref * (vr * vr);
+  const Power leak = static_leakage(nl, c);
+  p.e_leakage = leak * period(p.fmax);
+  (void)tech;
+  return p;
+}
+
+MepResult analyze_mep(const Netlist& nl, Energy e_dyn_ref, Corner ref_corner,
+                      const MepOptions& opt) {
+  SCPG_REQUIRE(opt.points >= 5, "need at least 5 sweep points");
+  SCPG_REQUIRE(opt.v_lo.v > 0 && opt.v_hi.v > opt.v_lo.v,
+               "bad voltage range");
+  SCPG_REQUIRE(e_dyn_ref.v > 0, "dynamic reference energy must be positive");
+
+  MepResult r;
+  r.sweep.reserve(std::size_t(opt.points));
+  for (int i = 0; i < opt.points; ++i) {
+    const double v = opt.v_lo.v +
+                     (opt.v_hi.v - opt.v_lo.v) * double(i) /
+                         double(opt.points - 1);
+    r.sweep.push_back(
+        mep_point(nl, e_dyn_ref, ref_corner, Voltage{v}, opt.temp_c));
+  }
+
+  // Coarse minimum, then golden-section refinement around it.
+  std::size_t imin = 0;
+  for (std::size_t i = 1; i < r.sweep.size(); ++i)
+    if (r.sweep[i].e_total() < r.sweep[imin].e_total()) imin = i;
+  const double lo =
+      r.sweep[imin == 0 ? 0 : imin - 1].vdd.v;
+  const double hi =
+      r.sweep[std::min(imin + 1, r.sweep.size() - 1)].vdd.v;
+  const double v_min = golden_min(
+      [&](double v) {
+        return mep_point(nl, e_dyn_ref, ref_corner, Voltage{v}, opt.temp_c)
+            .e_total()
+            .v;
+      },
+      lo, hi, 1e-4);
+  r.minimum = mep_point(nl, e_dyn_ref, ref_corner, Voltage{v_min},
+                        opt.temp_c);
+  return r;
+}
+
+} // namespace scpg

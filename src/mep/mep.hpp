@@ -1,0 +1,54 @@
+// Sub-threshold / minimum-energy-point analysis (paper §IV).
+//
+// Sweeps the supply voltage and computes, at each point, the maximum
+// operating frequency (STA at that corner), the dynamic energy per
+// operation (CV^2 scaling of a reference measurement) and the leakage
+// energy per operation (static power x critical-path-limited period).
+// The energy minimum is the classic sub-threshold minimum energy point
+// where leakage energy equals dynamic energy; the paper's Figs 9/10 are
+// exactly this sweep for the two case studies.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sta/sta.hpp"
+
+namespace scpg {
+
+struct MepOptions {
+  Voltage v_lo{0.16};
+  Voltage v_hi{0.9};
+  int points{40};     ///< sweep resolution (refined around the minimum)
+  double temp_c{25.0};
+};
+
+struct MepPoint {
+  Voltage vdd{};
+  Frequency fmax{};
+  Energy e_dynamic{};
+  Energy e_leakage{};
+  [[nodiscard]] Energy e_total() const { return e_dynamic + e_leakage; }
+  /// Average power when running flat out at fmax.
+  [[nodiscard]] Power power() const {
+    return Power{e_total().v * fmax.v};
+  }
+};
+
+struct MepResult {
+  std::vector<MepPoint> sweep; ///< ascending vdd
+  MepPoint minimum;            ///< refined minimum-energy point
+};
+
+/// `e_dyn_ref` is the measured dynamic energy per operation at
+/// `ref_corner` (from a calibration simulation); it scales as CV^2.
+[[nodiscard]] MepResult analyze_mep(const Netlist& nl, Energy e_dyn_ref,
+                                    Corner ref_corner,
+                                    const MepOptions& opt = {});
+
+/// One point of the sweep (exposed for tests).
+[[nodiscard]] MepPoint mep_point(const Netlist& nl, Energy e_dyn_ref,
+                                 Corner ref_corner, Voltage vdd,
+                                 double temp_c);
+
+} // namespace scpg

@@ -1,0 +1,152 @@
+#include "netlist/builder.hpp"
+
+#include "util/error.hpp"
+
+namespace scpg {
+
+Builder::Builder(Netlist& nl, int drive) : nl_(&nl), drive_(drive) {}
+
+Bus Builder::input_bus(const std::string& name, int width) {
+  SCPG_REQUIRE(width >= 1, "bus width must be positive");
+  Bus b(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i)
+    b[std::size_t(i)] = nl_->add_input(name + "[" + std::to_string(i) + "]");
+  return b;
+}
+
+void Builder::output_bus(const std::string& name, const Bus& b) {
+  for (std::size_t i = 0; i < b.size(); ++i)
+    nl_->add_output(name + "[" + std::to_string(i) + "]", b[i]);
+}
+
+NetId Builder::gate(CellKind k, std::vector<NetId> inputs) {
+  // Not every kind exists at every drive; fall back to X1.
+  SpecId spec;
+  try {
+    spec = nl_->lib().pick(k, drive_);
+  } catch (const PreconditionError&) {
+    spec = nl_->lib().pick(k, 1);
+  }
+  return nl_->add_cell_auto(spec, std::move(inputs));
+}
+
+NetId Builder::tie_hi() {
+  if (!tie_hi_.valid()) tie_hi_ = gate(CellKind::TieHi, {});
+  return tie_hi_;
+}
+
+NetId Builder::tie_lo() {
+  if (!tie_lo_.valid()) tie_lo_ = gate(CellKind::TieLo, {});
+  return tie_lo_;
+}
+
+Bus Builder::dff_bus(const Bus& d, NetId clk) {
+  Bus q(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) q[i] = dff(d[i], clk);
+  return q;
+}
+
+Bus Builder::dffr_bus(const Bus& d, NetId clk, NetId rn) {
+  Bus q(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) q[i] = dffr(d[i], clk, rn);
+  return q;
+}
+
+Bus Builder::not_bus(const Bus& a) {
+  Bus y(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) y[i] = NOT(a[i]);
+  return y;
+}
+
+namespace {
+void require_same_width(const Bus& a, const Bus& b) {
+  SCPG_REQUIRE(a.size() == b.size(), "bus width mismatch");
+}
+} // namespace
+
+Bus Builder::and_bus(const Bus& a, const Bus& b) {
+  require_same_width(a, b);
+  Bus y(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) y[i] = AND(a[i], b[i]);
+  return y;
+}
+
+Bus Builder::or_bus(const Bus& a, const Bus& b) {
+  require_same_width(a, b);
+  Bus y(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) y[i] = OR(a[i], b[i]);
+  return y;
+}
+
+Bus Builder::xor_bus(const Bus& a, const Bus& b) {
+  require_same_width(a, b);
+  Bus y(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) y[i] = XOR(a[i], b[i]);
+  return y;
+}
+
+Bus Builder::mux_bus(const Bus& a, const Bus& b, NetId s) {
+  require_same_width(a, b);
+  Bus y(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) y[i] = MUX(a[i], b[i], s);
+  return y;
+}
+
+Bus Builder::mask_bus(const Bus& a, NetId en) {
+  Bus y(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) y[i] = AND(a[i], en);
+  return y;
+}
+
+NetId Builder::reduce_or(const Bus& a) {
+  SCPG_REQUIRE(!a.empty(), "reduction of an empty bus");
+  std::vector<NetId> level(a.begin(), a.end());
+  while (level.size() > 1) {
+    std::vector<NetId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+      next.push_back(OR(level[i], level[i + 1]));
+    if (level.size() % 2) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+NetId Builder::reduce_and(const Bus& a) {
+  SCPG_REQUIRE(!a.empty(), "reduction of an empty bus");
+  std::vector<NetId> level(a.begin(), a.end());
+  while (level.size() > 1) {
+    std::vector<NetId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+      next.push_back(AND(level[i], level[i + 1]));
+    if (level.size() % 2) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+NetId Builder::equal(const Bus& a, const Bus& b) {
+  require_same_width(a, b);
+  Bus eq(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) eq[i] = XNOR(a[i], b[i]);
+  return reduce_and(eq);
+}
+
+NetId Builder::equal_const(const Bus& a, std::uint64_t value) {
+  SCPG_REQUIRE(a.size() >= 64 || (value >> a.size()) == 0,
+               "constant wider than bus");
+  Bus terms(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    terms[i] = ((value >> i) & 1) ? a[i] : NOT(a[i]);
+  return reduce_and(terms);
+}
+
+Bus Builder::const_bus(std::uint64_t value, int width) {
+  SCPG_REQUIRE(width >= 1 && (width >= 64 || (value >> width) == 0),
+               "constant wider than bus");
+  Bus b(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i)
+    b[std::size_t(i)] = ((value >> i) & 1) ? tie_hi() : tie_lo();
+  return b;
+}
+
+} // namespace scpg

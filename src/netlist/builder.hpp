@@ -1,0 +1,116 @@
+// Ergonomic netlist construction.
+//
+// Builder wraps a Netlist with gate-level and bus-level helpers so that
+// circuit generators (src/gen, src/cpu) read like structural RTL:
+//
+//   Builder b(nl);
+//   auto a = b.input_bus("a", 16);
+//   auto sum = b.NOT(b.XOR(a[0], a[1]));
+//
+// A Bus is just a vector of nets, least-significant bit first.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace scpg {
+
+using Bus = std::vector<NetId>;
+
+class Builder {
+public:
+  /// Cells are instantiated at the given drive strength (default X1).
+  explicit Builder(Netlist& nl, int drive = 1);
+
+  [[nodiscard]] Netlist& netlist() { return *nl_; }
+  [[nodiscard]] const Library& lib() const { return nl_->lib(); }
+
+  // --- ports ---------------------------------------------------------------
+
+  NetId input(const std::string& name) { return nl_->add_input(name); }
+  Bus input_bus(const std::string& name, int width);
+  void output(const std::string& name, NetId n) { nl_->add_output(name, n); }
+  void output_bus(const std::string& name, const Bus& b);
+
+  // --- gates ---------------------------------------------------------------
+
+  NetId gate(CellKind k, std::vector<NetId> inputs);
+
+  NetId NOT(NetId a) { return gate(CellKind::Inv, {a}); }
+  NetId BUF(NetId a) { return gate(CellKind::Buf, {a}); }
+  NetId AND(NetId a, NetId b) { return gate(CellKind::And2, {a, b}); }
+  NetId OR(NetId a, NetId b) { return gate(CellKind::Or2, {a, b}); }
+  NetId NAND(NetId a, NetId b) { return gate(CellKind::Nand2, {a, b}); }
+  NetId NOR(NetId a, NetId b) { return gate(CellKind::Nor2, {a, b}); }
+  NetId XOR(NetId a, NetId b) { return gate(CellKind::Xor2, {a, b}); }
+  NetId XNOR(NetId a, NetId b) { return gate(CellKind::Xnor2, {a, b}); }
+  NetId NAND3(NetId a, NetId b, NetId c) {
+    return gate(CellKind::Nand3, {a, b, c});
+  }
+  NetId NOR3(NetId a, NetId b, NetId c) {
+    return gate(CellKind::Nor3, {a, b, c});
+  }
+  NetId AOI21(NetId a, NetId b, NetId c) {
+    return gate(CellKind::Aoi21, {a, b, c});
+  }
+  NetId OAI21(NetId a, NetId b, NetId c) {
+    return gate(CellKind::Oai21, {a, b, c});
+  }
+  /// MUX(a, b, s) = s ? b : a.
+  NetId MUX(NetId a, NetId b, NetId s) {
+    return gate(CellKind::Mux2, {a, b, s});
+  }
+
+  NetId AND3(NetId a, NetId b, NetId c) { return AND(AND(a, b), c); }
+  NetId OR3(NetId a, NetId b, NetId c) { return OR(OR(a, b), c); }
+
+  NetId tie_hi();
+  NetId tie_lo();
+
+  // --- sequential ----------------------------------------------------------
+
+  NetId dff(NetId d, NetId clk) { return gate(CellKind::Dff, {d, clk}); }
+  NetId dffr(NetId d, NetId clk, NetId rn) {
+    return gate(CellKind::DffR, {d, clk, rn});
+  }
+  Bus dff_bus(const Bus& d, NetId clk);
+  Bus dffr_bus(const Bus& d, NetId clk, NetId rn);
+
+  // --- bus operations -------------------------------------------------------
+
+  Bus not_bus(const Bus& a);
+  Bus and_bus(const Bus& a, const Bus& b);
+  Bus or_bus(const Bus& a, const Bus& b);
+  Bus xor_bus(const Bus& a, const Bus& b);
+  /// Per-bit 2:1 mux: s ? b : a.
+  Bus mux_bus(const Bus& a, const Bus& b, NetId s);
+  /// AND of every bit of `a` with the single net `en`.
+  Bus mask_bus(const Bus& a, NetId en);
+
+  /// Wide OR / AND reduction trees.
+  NetId reduce_or(const Bus& a);
+  NetId reduce_and(const Bus& a);
+  /// a == b (XNOR-reduce).
+  NetId equal(const Bus& a, const Bus& b);
+  /// a == constant.
+  NetId equal_const(const Bus& a, std::uint64_t value);
+
+  /// Constant bus from an integer literal (ties).
+  Bus const_bus(std::uint64_t value, int width);
+
+  // --- misc ----------------------------------------------------------------
+
+  /// Current drive strength used for new gates.
+  [[nodiscard]] int drive() const { return drive_; }
+  void set_drive(int d) { drive_ = d; }
+
+private:
+  Netlist* nl_;
+  int drive_;
+  NetId tie_hi_{};
+  NetId tie_lo_{};
+};
+
+} // namespace scpg

@@ -1,0 +1,88 @@
+#include "netlist/cts.hpp"
+
+#include "util/error.hpp"
+
+namespace scpg {
+
+CtsInfo synthesize_clock_tree(Netlist& nl, std::string_view clock_port,
+                              const CtsOptions& opt) {
+  SCPG_REQUIRE(opt.max_fanout >= 2, "max_fanout must be at least 2");
+  const NetId root = nl.port_net(clock_port);
+
+  // Clock sinks: sequential CK pins and clocked-macro clock pins.
+  std::vector<PinRef> sinks;
+  for (const PinRef& s : nl.net(root).sinks) {
+    const Cell& c = nl.cell(s.cell);
+    const bool is_ck =
+        (!c.is_macro() && kind_is_sequential(nl.kind_of(s.cell)) &&
+         s.pin == 1) ||
+        (c.is_macro() && nl.macro_spec(c.macro).has_clock && s.pin == 0);
+    if (is_ck) sinks.push_back(s);
+  }
+
+  CtsInfo info;
+  info.sinks = sinks.size();
+  if (sinks.empty() ||
+      nl.net(root).sinks.size() <= std::size_t(opt.max_fanout))
+    return info;
+
+  const SpecId buf = nl.lib().pick(CellKind::Buf, opt.buffer_drive);
+  std::size_t serial = 0;
+
+  // Bottom-up balanced construction: every element of `level` is a net
+  // that must be driven through the same number of remaining buffer
+  // stages.  Start with one leaf buffer per max_fanout sinks, then keep
+  // buffering until the root can drive the top level directly.
+  std::vector<std::vector<PinRef>> leaf_groups;
+  for (std::size_t i = 0; i < sinks.size();
+       i += std::size_t(opt.max_fanout)) {
+    leaf_groups.emplace_back(
+        sinks.begin() + std::ptrdiff_t(i),
+        sinks.begin() +
+            std::ptrdiff_t(std::min(i + std::size_t(opt.max_fanout),
+                                    sinks.size())));
+  }
+
+  // Create leaf buffers; their inputs are wired level by level below.
+  struct Pending {
+    CellId buffer;
+  };
+  std::vector<Pending> level;
+  for (auto& group : leaf_groups) {
+    const NetId out = nl.add_net("cts_l0_" + std::to_string(serial));
+    // Buffer input temporarily from the root; re-wired if more levels
+    // are needed.
+    const CellId bc = nl.add_cell("u_cts_" + std::to_string(serial), buf,
+                                  {root}, out);
+    ++serial;
+    for (const PinRef& s : group) nl.rewire_input(s.cell, s.pin, out);
+    level.push_back({bc});
+    ++info.buffers_inserted;
+  }
+  info.levels = 1;
+
+  while (level.size() > std::size_t(opt.max_fanout)) {
+    std::vector<Pending> next;
+    for (std::size_t i = 0; i < level.size();
+         i += std::size_t(opt.max_fanout)) {
+      const NetId out = nl.add_net("cts_l" + std::to_string(info.levels) +
+                                   "_" + std::to_string(serial));
+      const CellId bc = nl.add_cell("u_cts_" + std::to_string(serial), buf,
+                                    {root}, out);
+      ++serial;
+      const std::size_t end =
+          std::min(i + std::size_t(opt.max_fanout), level.size());
+      for (std::size_t k = i; k < end; ++k)
+        nl.rewire_input(level[k].buffer, 0, out);
+      next.push_back({bc});
+      ++info.buffers_inserted;
+    }
+    level = std::move(next);
+    ++info.levels;
+  }
+
+  nl.check();
+  return info;
+}
+
+} // namespace scpg

@@ -1,0 +1,39 @@
+// Clock tree synthesis (lite).
+//
+// Real flows buffer the clock into a balanced tree; the paper leans on
+// this ("the extensive, high-fanout clock tree of a processor can be
+// exploited for the power gating control signal", §II) — the SCPG header
+// control rides the same distribution network, and the SCPG transform
+// keeps every tree buffer always-on.
+//
+// synthesize_clock_tree() inserts a balanced buffer tree over the clock
+// sinks (flip-flop CK pins and clocked-macro clock pins): all sinks end
+// up behind the same number of buffer levels, so the tree is skew-
+// balanced by construction (the STA treats the clock as ideal; the event
+// simulator sees the real buffered arrivals).
+#pragma once
+
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+
+namespace scpg {
+
+struct CtsOptions {
+  int max_fanout{16};  ///< sinks (or child buffers) per buffer
+  int buffer_drive{4}; ///< drive strength of tree buffers
+};
+
+struct CtsInfo {
+  std::size_t buffers_inserted{0};
+  int levels{0}; ///< buffer levels between root and every sink
+  std::size_t sinks{0};
+};
+
+/// Buffers the named clock input.  No-op (levels == 0) when the fanout
+/// already fits.  Must run before a power-gating transform (the tree
+/// must be classified into the always-on domain).
+CtsInfo synthesize_clock_tree(Netlist& nl, std::string_view clock_port,
+                              const CtsOptions& opt = {});
+
+} // namespace scpg

@@ -1,0 +1,180 @@
+#include "netlist/funcsim.hpp"
+
+#include <array>
+
+#include "util/error.hpp"
+
+namespace scpg {
+
+FuncSim::FuncSim(const Netlist& nl) : nl_(&nl), topo_(nl.topo_order()) {
+  net_values_.assign(nl.num_nets(), Logic::X);
+  flop_state_.assign(nl.num_cells(), Logic::X);
+  macro_models_.resize(nl.num_cells());
+  for (std::uint32_t ci = 0; ci < nl.num_cells(); ++ci) {
+    const Cell& c = nl.cell(CellId{ci});
+    if (c.is_macro())
+      macro_models_[ci] = nl.macro_spec(c.macro).make_model();
+  }
+}
+
+void FuncSim::reset() {
+  for (std::uint32_t ci = 0; ci < nl_->num_cells(); ++ci) {
+    if (kind_is_sequential(nl_->kind_of(CellId{ci})))
+      flop_state_[ci] = Logic::L0;
+    if (macro_models_[ci]) macro_models_[ci]->reset();
+  }
+  std::fill(net_values_.begin(), net_values_.end(), Logic::X);
+}
+
+void FuncSim::set_input(std::string_view port, Logic v) {
+  const PortId p = nl_->find_port(port);
+  SCPG_REQUIRE(p.valid(), "unknown input port: " + std::string(port));
+  SCPG_REQUIRE(nl_->port(p).dir == PortDir::In,
+               "set_input on an output port: " + std::string(port));
+  net_values_[nl_->port(p).net.v] = v;
+}
+
+void FuncSim::set_input_bus(std::string_view name, std::uint64_t value,
+                            int width) {
+  for (int i = 0; i < width; ++i) {
+    const std::string pin = std::string(name) + "[" + std::to_string(i) + "]";
+    set_input(pin, from_bool((value >> i) & 1));
+  }
+}
+
+void FuncSim::propagate() {
+  std::size_t toggles = 0;
+  // Flop Q values first (they are sources for the combinational pass).
+  for (std::uint32_t ci = 0; ci < nl_->num_cells(); ++ci) {
+    const CellKind k = nl_->kind_of(CellId{ci});
+    if (!kind_is_sequential(k)) continue;
+    const Cell& c = nl_->cell(CellId{ci});
+    Logic q = flop_state_[ci];
+    if (k == CellKind::DffR) {
+      // Async active-low reset dominates.
+      const Logic rn = net_values_[c.inputs[2].v];
+      if (rn == Logic::L0) q = Logic::L0;
+    }
+    Logic& slot = net_values_[c.outputs[0].v];
+    if (slot != q) {
+      slot = q;
+      ++toggles;
+    }
+  }
+  // Combinational cells and macro read paths in topological order.
+  std::array<Logic, 8> in{};
+  std::array<Logic, 64> out{};
+  for (CellId id : topo_) {
+    const Cell& c = nl_->cell(id);
+    if (c.is_macro()) {
+      SCPG_REQUIRE(c.inputs.size() <= 64 && c.outputs.size() <= 64,
+                   "macro wider than the functional simulator supports");
+      std::array<Logic, 64> min{};
+      for (std::size_t i = 0; i < c.inputs.size(); ++i)
+        min[i] = net_values_[c.inputs[i].v];
+      macro_models_[id.v]->eval(
+          std::span<const Logic>(min.data(), c.inputs.size()),
+          std::span<Logic>(out.data(), c.outputs.size()));
+      for (std::size_t i = 0; i < c.outputs.size(); ++i) {
+        Logic& slot = net_values_[c.outputs[i].v];
+        if (slot != out[i]) {
+          slot = out[i];
+          ++toggles;
+        }
+      }
+      continue;
+    }
+    const CellKind k = nl_->spec_of(id).kind;
+    for (std::size_t i = 0; i < c.inputs.size(); ++i)
+      in[i] = net_values_[c.inputs[i].v];
+    const Logic y =
+        eval_cell(k, std::span<const Logic>(in.data(), c.inputs.size()));
+    Logic& slot = net_values_[c.outputs[0].v];
+    if (slot != y) {
+      slot = y;
+      ++toggles;
+    }
+  }
+  toggles_last_cycle_ = toggles;
+}
+
+void FuncSim::eval() { propagate(); }
+
+void FuncSim::clock() {
+  // Settle combinational logic from the current inputs, capture all flop D
+  // and clocked-macro inputs simultaneously, update state, re-settle.
+  propagate();
+  std::vector<std::pair<std::uint32_t, Logic>> captures;
+  captures.reserve(64);
+  for (std::uint32_t ci = 0; ci < nl_->num_cells(); ++ci) {
+    const CellKind k = nl_->kind_of(CellId{ci});
+    if (kind_is_sequential(k)) {
+      const Cell& c = nl_->cell(CellId{ci});
+      Logic d = net_values_[c.inputs[0].v];
+      if (k == CellKind::DffR && net_values_[c.inputs[2].v] == Logic::L0)
+        d = Logic::L0;
+      captures.emplace_back(ci, d);
+    }
+  }
+  std::array<Logic, 64> min{};
+  for (std::uint32_t ci = 0; ci < nl_->num_cells(); ++ci) {
+    const Cell& c = nl_->cell(CellId{ci});
+    if (!c.is_macro()) continue;
+    if (!nl_->macro_spec(c.macro).has_clock) continue;
+    for (std::size_t i = 0; i < c.inputs.size(); ++i)
+      min[i] = net_values_[c.inputs[i].v];
+    macro_models_[ci]->clock_edge(
+        std::span<const Logic>(min.data(), c.inputs.size()));
+  }
+  for (const auto& [ci, d] : captures) flop_state_[ci] = d;
+  propagate();
+}
+
+Logic FuncSim::net_value(NetId id) const {
+  SCPG_REQUIRE(id.v < net_values_.size(), "net id out of range");
+  return net_values_[id.v];
+}
+
+Logic FuncSim::output(std::string_view port) const {
+  const PortId p = nl_->find_port(port);
+  SCPG_REQUIRE(p.valid(), "unknown port: " + std::string(port));
+  return net_values_[nl_->port(p).net.v];
+}
+
+std::uint64_t FuncSim::read_bus(std::string_view name, int width) const {
+  SCPG_REQUIRE(width >= 1 && width <= 64, "bus width out of range");
+  std::uint64_t v = 0;
+  for (int i = 0; i < width; ++i) {
+    const std::string pin = std::string(name) + "[" + std::to_string(i) + "]";
+    // Bus bits may be named as ports (outputs) or as plain nets.
+    NetId net;
+    if (const PortId p = nl_->find_port(pin); p.valid())
+      net = nl_->port(p).net;
+    else
+      net = nl_->find_net(pin);
+    SCPG_REQUIRE(net.valid(), "unknown bus bit: " + pin);
+    const Logic b = net_values_[net.v];
+    SCPG_REQUIRE(is_known(b), "bus bit is X/Z: " + pin);
+    if (b == Logic::L1) v |= std::uint64_t(1) << i;
+  }
+  return v;
+}
+
+Logic FuncSim::flop_state(CellId flop) const {
+  SCPG_REQUIRE(kind_is_sequential(nl_->kind_of(flop)),
+               "flop_state on a non-flop cell");
+  return flop_state_[flop.v];
+}
+
+void FuncSim::set_flop_state(CellId flop, Logic v) {
+  SCPG_REQUIRE(kind_is_sequential(nl_->kind_of(flop)),
+               "set_flop_state on a non-flop cell");
+  flop_state_[flop.v] = v;
+}
+
+MacroModel* FuncSim::macro_model(CellId cell) {
+  SCPG_REQUIRE(cell.v < macro_models_.size(), "cell id out of range");
+  return macro_models_[cell.v].get();
+}
+
+} // namespace scpg

@@ -1,0 +1,76 @@
+// Cycle-accurate functional simulator (zero-delay).
+//
+// FuncSim evaluates a netlist one clock cycle at a time with no timing:
+// combinational logic settles instantly in topological order, and clock()
+// performs one global rising edge (flops capture D, clocked macros update).
+// It is the golden functional reference used by the equivalence tests
+// (pre/post SCPG transform), by the gate-level-CPU-vs-ISS checks, and for
+// fast activity estimation; the event-driven simulator in src/sim adds
+// real timing and power.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace scpg {
+
+class FuncSim {
+public:
+  explicit FuncSim(const Netlist& nl);
+
+  [[nodiscard]] const Netlist& netlist() const { return *nl_; }
+
+  /// Sets all flops to 0 and resets macro state; net values become X until
+  /// the next eval().
+  void reset();
+
+  /// Drives a primary input (persists across cycles until changed).
+  void set_input(std::string_view port, Logic v);
+
+  /// Drives the `width` low bits of bus "name[0]..name[width-1]".
+  void set_input_bus(std::string_view name, std::uint64_t value, int width);
+
+  /// Settles combinational logic from the current inputs and flop states.
+  void eval();
+
+  /// One rising clock edge: flops capture D, clocked macros update, then
+  /// combinational logic re-settles.  Requires eval() semantics: inputs for
+  /// this cycle must be applied before the call.
+  void clock();
+
+  [[nodiscard]] Logic net_value(NetId id) const;
+  [[nodiscard]] Logic output(std::string_view port) const;
+
+  /// Reads bus "name[0..width-1]" as an integer; requires all bits known.
+  [[nodiscard]] std::uint64_t read_bus(std::string_view name,
+                                       int width) const;
+
+  /// Direct flop state access (by cell id).
+  [[nodiscard]] Logic flop_state(CellId flop) const;
+  void set_flop_state(CellId flop, Logic v);
+
+  /// Nets whose settled value changed in the most recent eval()/clock()
+  /// (used for cheap activity statistics).
+  [[nodiscard]] std::size_t toggles_last_cycle() const {
+    return toggles_last_cycle_;
+  }
+
+  /// Access to a macro instance's behavioural model (e.g. to preload a RAM).
+  [[nodiscard]] MacroModel* macro_model(CellId cell);
+
+private:
+  void propagate();
+
+  const Netlist* nl_;
+  std::vector<CellId> topo_;
+  std::vector<Logic> net_values_;
+  std::vector<Logic> flop_state_; // indexed by cell id (X for non-flops)
+  std::vector<std::unique_ptr<MacroModel>> macro_models_; // by cell id
+  std::size_t toggles_last_cycle_{0};
+};
+
+} // namespace scpg

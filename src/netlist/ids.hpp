@@ -1,0 +1,39 @@
+// Strongly typed indices into a Netlist.
+//
+// Cells, nets and ports are stored in flat vectors; these wrappers prevent
+// one index family being used where another is expected.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace scpg {
+
+template <class Tag>
+struct Id {
+  std::uint32_t v{kInvalid};
+
+  static constexpr std::uint32_t kInvalid = ~std::uint32_t{0};
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint32_t value) : v(value) {}
+
+  [[nodiscard]] constexpr bool valid() const { return v != kInvalid; }
+  [[nodiscard]] constexpr std::uint32_t index() const { return v; }
+
+  constexpr auto operator<=>(const Id&) const = default;
+};
+
+using CellId = Id<struct CellIdTag>;
+using NetId = Id<struct NetIdTag>;
+using PortId = Id<struct PortIdTag>;
+
+} // namespace scpg
+
+template <class Tag>
+struct std::hash<scpg::Id<Tag>> {
+  std::size_t operator()(scpg::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.v);
+  }
+};

@@ -1,0 +1,55 @@
+// Behavioural hard macros (ROM / RAM).
+//
+// The paper's microprocessor case study needs instruction and data memory.
+// Memories are not standard cells and are never inside the power-gated
+// combinational domain (the paper gates core logic only), so they are
+// modelled behaviourally: a MacroSpec describes the interface and the
+// characterised costs, and a MacroModel instance (one per cell instance)
+// provides the behaviour to the simulators.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "tech/logic.hpp"
+#include "util/units.hpp"
+
+namespace scpg {
+
+/// Stateful behaviour of one macro instance.
+class MacroModel {
+public:
+  virtual ~MacroModel() = default;
+
+  /// Combinational evaluation: outputs as a function of inputs and any
+  /// internal state (e.g. asynchronous ROM/RAM read).
+  virtual void eval(std::span<const Logic> inputs,
+                    std::span<Logic> outputs) = 0;
+
+  /// State update on the rising edge of the clock pin (only called when
+  /// MacroSpec::has_clock).  `inputs` are the pin values at the edge.
+  virtual void clock_edge(std::span<const Logic> inputs) { (void)inputs; }
+
+  virtual void reset() {}
+};
+
+/// Interface + characterisation of a macro type.
+struct MacroSpec {
+  std::string type_name;
+  int num_inputs{0};
+  int num_outputs{0};
+  bool has_clock{false}; ///< if true, input pin 0 is CK
+
+  Time access_delay{};      ///< input-to-output delay
+  Power leakage{};          ///< static power (always-on)
+  Energy energy_per_access{};///< dynamic energy per output-changing access
+  Area area{};
+  Capacitance input_cap{};  ///< per input pin
+
+  /// Factory producing the per-instance behaviour.
+  std::function<std::unique_ptr<MacroModel>()> make_model;
+};
+
+} // namespace scpg

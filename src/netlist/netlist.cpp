@@ -1,0 +1,342 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace scpg {
+
+Netlist::Netlist(std::string name, const Library& lib)
+    : name_(std::move(name)), lib_(&lib) {}
+
+NetId Netlist::add_net(std::string name) {
+  SCPG_REQUIRE(!name.empty(), "net needs a name");
+  SCPG_REQUIRE(!net_by_name_.contains(name), "duplicate net: " + name);
+  const NetId id{std::uint32_t(nets_.size())};
+  Net n;
+  n.name = name;
+  nets_.push_back(std::move(n));
+  net_by_name_.emplace(std::move(name), id);
+  return id;
+}
+
+NetId Netlist::new_net() {
+  for (;;) {
+    std::string name = "n" + std::to_string(gensym_++);
+    if (!net_by_name_.contains(name)) return add_net(std::move(name));
+  }
+}
+
+NetId Netlist::add_input(std::string name) {
+  SCPG_REQUIRE(!port_by_name_.contains(name), "duplicate port: " + name);
+  const NetId net = add_net(name);
+  const PortId pid{std::uint32_t(ports_.size())};
+  ports_.push_back(Port{name, PortDir::In, net});
+  port_by_name_.emplace(std::move(name), pid);
+  nets_[net.v].driver_port = pid;
+  return net;
+}
+
+PortId Netlist::add_output(std::string name, NetId net) {
+  SCPG_REQUIRE(net.v < nets_.size(), "output port on unknown net");
+  SCPG_REQUIRE(!port_by_name_.contains(name), "duplicate port: " + name);
+  const PortId pid{std::uint32_t(ports_.size())};
+  ports_.push_back(Port{name, PortDir::Out, net});
+  port_by_name_.emplace(std::move(name), pid);
+  nets_[net.v].sink_ports.push_back(pid);
+  return pid;
+}
+
+void Netlist::connect_input(CellId cell, int pin, NetId net) {
+  SCPG_REQUIRE(net.v < nets_.size(), "connecting unknown net");
+  nets_[net.v].sinks.push_back(PinRef{cell, pin});
+}
+
+void Netlist::set_driver(NetId net, CellId cell, int out_pin) {
+  Net& n = nets_[net.v];
+  if (n.driven_by_port() || n.driven_by_cell())
+    throw NetlistError("net '" + n.name + "' has multiple drivers");
+  n.driver_cell = cell;
+  n.driver_out_pin = out_pin;
+}
+
+CellId Netlist::add_cell(std::string name, SpecId spec,
+                         std::vector<NetId> inputs, NetId output) {
+  const CellSpec& s = lib_->spec(spec);
+  SCPG_REQUIRE(s.kind != CellKind::Macro, "use add_macro_cell for macros");
+  const int want = kind_num_inputs(s.kind);
+  SCPG_REQUIRE(int(inputs.size()) == want,
+               "cell '" + name + "' (" + s.name + ") expects " +
+                   std::to_string(want) + " inputs, got " +
+                   std::to_string(inputs.size()));
+  SCPG_REQUIRE(output.v < nets_.size(), "cell output on unknown net");
+  const CellId id{std::uint32_t(cells_.size())};
+  Cell c;
+  c.name = std::move(name);
+  c.spec = spec;
+  c.inputs = std::move(inputs);
+  c.outputs = {output};
+  cells_.push_back(std::move(c));
+  for (std::size_t i = 0; i < cells_[id.v].inputs.size(); ++i)
+    connect_input(id, int(i), cells_[id.v].inputs[i]);
+  set_driver(output, id, 0);
+  return id;
+}
+
+NetId Netlist::add_cell_auto(SpecId spec, std::vector<NetId> inputs) {
+  const NetId out = new_net();
+  std::string name = "g" + std::to_string(cells_.size());
+  add_cell(std::move(name), spec, std::move(inputs), out);
+  return out;
+}
+
+std::int32_t Netlist::add_macro_spec(MacroSpec spec) {
+  SCPG_REQUIRE(spec.num_inputs >= 0 && spec.num_outputs >= 1,
+               "macro spec needs pins");
+  SCPG_REQUIRE(static_cast<bool>(spec.make_model),
+               "macro spec needs a behaviour factory");
+  macro_specs_.push_back(std::move(spec));
+  return std::int32_t(macro_specs_.size() - 1);
+}
+
+CellId Netlist::add_macro_cell(std::string name, std::int32_t macro,
+                               std::vector<NetId> inputs,
+                               std::vector<NetId> outputs) {
+  SCPG_REQUIRE(macro >= 0 && macro < std::int32_t(macro_specs_.size()),
+               "unknown macro spec");
+  const MacroSpec& m = macro_specs_[std::size_t(macro)];
+  SCPG_REQUIRE(int(inputs.size()) == m.num_inputs,
+               "macro '" + name + "' input count mismatch");
+  SCPG_REQUIRE(int(outputs.size()) == m.num_outputs,
+               "macro '" + name + "' output count mismatch");
+  const CellId id{std::uint32_t(cells_.size())};
+  Cell c;
+  c.name = std::move(name);
+  c.macro = macro;
+  c.inputs = std::move(inputs);
+  c.outputs = std::move(outputs);
+  cells_.push_back(std::move(c));
+  for (std::size_t i = 0; i < cells_[id.v].inputs.size(); ++i)
+    connect_input(id, int(i), cells_[id.v].inputs[i]);
+  for (std::size_t i = 0; i < cells_[id.v].outputs.size(); ++i)
+    set_driver(cells_[id.v].outputs[i], id, int(i));
+  return id;
+}
+
+void Netlist::rewire_input(CellId cell_id, int pin, NetId new_net) {
+  SCPG_REQUIRE(cell_id.v < cells_.size(), "cell id out of range");
+  SCPG_REQUIRE(new_net.v < nets_.size(), "net id out of range");
+  Cell& c = cells_[cell_id.v];
+  SCPG_REQUIRE(pin >= 0 && std::size_t(pin) < c.inputs.size(),
+               "pin index out of range");
+  const NetId old = c.inputs[std::size_t(pin)];
+  if (old == new_net) return;
+  auto& sinks = nets_[old.v].sinks;
+  const auto it =
+      std::find(sinks.begin(), sinks.end(), PinRef{cell_id, pin});
+  SCPG_ASSERT(it != sinks.end());
+  sinks.erase(it);
+  c.inputs[std::size_t(pin)] = new_net;
+  nets_[new_net.v].sinks.push_back(PinRef{cell_id, pin});
+}
+
+void Netlist::rewire_port(PortId port, NetId new_net) {
+  SCPG_REQUIRE(port.v < ports_.size(), "port id out of range");
+  SCPG_REQUIRE(new_net.v < nets_.size(), "net id out of range");
+  Port& p = ports_[port.v];
+  SCPG_REQUIRE(p.dir == PortDir::Out, "only output ports can be rewired");
+  if (p.net == new_net) return;
+  auto& sp = nets_[p.net.v].sink_ports;
+  const auto it = std::find(sp.begin(), sp.end(), port);
+  SCPG_ASSERT(it != sp.end());
+  sp.erase(it);
+  p.net = new_net;
+  nets_[new_net.v].sink_ports.push_back(port);
+}
+
+const Cell& Netlist::cell(CellId id) const {
+  SCPG_REQUIRE(id.v < cells_.size(), "cell id out of range");
+  return cells_[id.v];
+}
+Cell& Netlist::cell(CellId id) {
+  SCPG_REQUIRE(id.v < cells_.size(), "cell id out of range");
+  return cells_[id.v];
+}
+const Net& Netlist::net(NetId id) const {
+  SCPG_REQUIRE(id.v < nets_.size(), "net id out of range");
+  return nets_[id.v];
+}
+Net& Netlist::net(NetId id) {
+  SCPG_REQUIRE(id.v < nets_.size(), "net id out of range");
+  return nets_[id.v];
+}
+const Port& Netlist::port(PortId id) const {
+  SCPG_REQUIRE(id.v < ports_.size(), "port id out of range");
+  return ports_[id.v];
+}
+
+const MacroSpec& Netlist::macro_spec(std::int32_t idx) const {
+  SCPG_REQUIRE(idx >= 0 && idx < std::int32_t(macro_specs_.size()),
+               "macro spec index out of range");
+  return macro_specs_[std::size_t(idx)];
+}
+
+const CellSpec& Netlist::spec_of(CellId id) const {
+  const Cell& c = cell(id);
+  SCPG_REQUIRE(!c.is_macro(), "spec_of on a macro cell");
+  return lib_->spec(c.spec);
+}
+
+CellKind Netlist::kind_of(CellId id) const {
+  const Cell& c = cell(id);
+  return c.is_macro() ? CellKind::Macro : lib_->spec(c.spec).kind;
+}
+
+bool Netlist::is_comb_node(CellId id) const {
+  const CellKind k = kind_of(id);
+  if (k == CellKind::Macro) return true; // macro read path is combinational
+  return kind_is_combinational(k);
+}
+
+PortId Netlist::find_port(std::string_view name) const {
+  const auto it = port_by_name_.find(std::string(name));
+  return it == port_by_name_.end() ? PortId{} : it->second;
+}
+
+NetId Netlist::port_net(std::string_view name) const {
+  const PortId p = find_port(name);
+  SCPG_REQUIRE(p.valid(), "unknown port: " + std::string(name));
+  return ports_[p.v].net;
+}
+
+NetId Netlist::find_net(std::string_view name) const {
+  const auto it = net_by_name_.find(std::string(name));
+  return it == net_by_name_.end() ? NetId{} : it->second;
+}
+
+std::vector<CellId> Netlist::all_cells() const {
+  std::vector<CellId> out(cells_.size());
+  for (std::uint32_t i = 0; i < cells_.size(); ++i) out[i] = CellId{i};
+  return out;
+}
+
+std::vector<CellId> Netlist::flops() const {
+  std::vector<CellId> out;
+  for (std::uint32_t i = 0; i < cells_.size(); ++i)
+    if (kind_is_sequential(kind_of(CellId{i}))) out.push_back(CellId{i});
+  return out;
+}
+
+std::vector<CellId> Netlist::topo_order() const {
+  // Kahn's algorithm over combinational nodes.  A cell's dependency count
+  // is the number of its input nets driven by other combinational nodes.
+  std::vector<int> deps(cells_.size(), 0);
+  std::vector<std::vector<std::uint32_t>> users(cells_.size());
+  std::size_t num_comb = 0;
+
+  for (std::uint32_t ci = 0; ci < cells_.size(); ++ci) {
+    if (!is_comb_node(CellId{ci})) continue;
+    ++num_comb;
+    for (std::size_t pin = 0; pin < cells_[ci].inputs.size(); ++pin) {
+      // A clocked macro's CK pin is not a combinational dependency.
+      if (cells_[ci].is_macro() &&
+          macro_specs_[std::size_t(cells_[ci].macro)].has_clock && pin == 0)
+        continue;
+      const Net& n = nets_[cells_[ci].inputs[pin].v];
+      if (n.driven_by_cell() && is_comb_node(n.driver_cell)) {
+        ++deps[ci];
+        users[n.driver_cell.v].push_back(ci);
+      }
+    }
+  }
+
+  std::queue<std::uint32_t> ready;
+  for (std::uint32_t ci = 0; ci < cells_.size(); ++ci)
+    if (is_comb_node(CellId{ci}) && deps[ci] == 0) ready.push(ci);
+
+  std::vector<CellId> order;
+  order.reserve(num_comb);
+  while (!ready.empty()) {
+    const std::uint32_t ci = ready.front();
+    ready.pop();
+    order.push_back(CellId{ci});
+    for (std::uint32_t u : users[ci])
+      if (--deps[u] == 0) ready.push(u);
+  }
+  if (order.size() != num_comb)
+    throw NetlistError("netlist '" + name_ + "' has a combinational loop");
+  return order;
+}
+
+void Netlist::check() const {
+  for (std::uint32_t ni = 0; ni < nets_.size(); ++ni) {
+    const Net& n = nets_[ni];
+    const bool port_drv = n.driven_by_port();
+    const bool cell_drv = n.driven_by_cell();
+    if (!port_drv && !cell_drv)
+      throw NetlistError("net '" + n.name + "' is undriven");
+    if (port_drv && cell_drv)
+      throw NetlistError("net '" + n.name + "' driven by port and cell");
+  }
+  for (std::uint32_t ci = 0; ci < cells_.size(); ++ci) {
+    const Cell& c = cells_[ci];
+    for (std::size_t pin = 0; pin < c.inputs.size(); ++pin)
+      if (c.inputs[pin].v >= nets_.size())
+        throw NetlistError("cell '" + c.name + "' has a dangling input");
+  }
+  (void)topo_order(); // throws on combinational cycles
+}
+
+Area Netlist::total_area() const {
+  Area a{};
+  for (std::uint32_t ci = 0; ci < cells_.size(); ++ci) {
+    const Cell& c = cells_[ci];
+    a += c.is_macro() ? macro_specs_[std::size_t(c.macro)].area
+                      : lib_->spec(c.spec).area;
+  }
+  return a;
+}
+
+std::unordered_map<std::string, int> Netlist::kind_histogram() const {
+  std::unordered_map<std::string, int> h;
+  for (std::uint32_t ci = 0; ci < cells_.size(); ++ci) {
+    const Cell& c = cells_[ci];
+    if (c.is_macro())
+      ++h[macro_specs_[std::size_t(c.macro)].type_name];
+    else
+      ++h[std::string(kind_name(lib_->spec(c.spec).kind))];
+  }
+  return h;
+}
+
+void Netlist::set_net_wire_cap(NetId id, Capacitance c) {
+  SCPG_REQUIRE(id.v < nets_.size(), "net id out of range");
+  SCPG_REQUIRE(c.v >= 0, "negative wire capacitance");
+  if (net_wire_cap_.size() != nets_.size())
+    net_wire_cap_.assign(nets_.size(), -1.0);
+  net_wire_cap_[id.v] = c.v;
+}
+
+void Netlist::clear_net_wire_caps() { net_wire_cap_.clear(); }
+
+Capacitance Netlist::net_load(NetId id) const {
+  const Net& n = net(id);
+  Capacitance load =
+      (id.v < net_wire_cap_.size() && net_wire_cap_[id.v] >= 0.0)
+          ? Capacitance{net_wire_cap_[id.v]}
+          : wire_load_.base +
+                wire_load_.per_fanout * double(n.sinks.size());
+  for (const PinRef& s : n.sinks) {
+    const Cell& c = cells_[s.cell.v];
+    load += c.is_macro() ? macro_specs_[std::size_t(c.macro)].input_cap
+                         : lib_->spec(c.spec).input_cap;
+  }
+  if (n.driven_by_cell()) {
+    const Cell& d = cells_[n.driver_cell.v];
+    if (!d.is_macro()) load += lib_->spec(d.spec).output_cap;
+  }
+  return load;
+}
+
+} // namespace scpg

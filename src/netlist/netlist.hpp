@@ -1,0 +1,214 @@
+// Gate-level netlist object model.
+//
+// A Netlist is a flat graph of cell instances connected by nets, with named
+// primary ports, bound to one cell Library.  Cells are standard cells
+// (single output) or behavioural macros (multiple outputs).  Every cell
+// carries a power-domain tag; a freshly built netlist is entirely
+// AlwaysOn and the SCPG transform (src/scpg) retags and augments it.
+//
+// Structural invariants enforced by check():
+//   * every net has exactly one driver (port, cell output, or macro output);
+//   * every cell input pin is connected;
+//   * the combinational subgraph is acyclic;
+//   * flip-flop clock pins are driven (directly or through buffers) from a
+//     primary input.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/ids.hpp"
+#include "netlist/macro.hpp"
+#include "tech/library.hpp"
+
+namespace scpg {
+
+enum class PortDir : std::uint8_t { In, Out };
+
+/// Power-domain membership of a cell (the SCPG architecture has exactly
+/// two domains: the always-on sequential domain and the gated
+/// combinational domain, paper Fig 2).
+enum class Domain : std::uint8_t { AlwaysOn, Gated };
+
+/// Sink reference: an input pin of a cell.
+struct PinRef {
+  CellId cell;
+  int pin{0};
+
+  auto operator<=>(const PinRef&) const = default;
+};
+
+struct Cell {
+  std::string name;
+  SpecId spec{kInvalidSpec};   ///< standard cell spec (invalid for macros)
+  std::int32_t macro{-1};      ///< index into Netlist macro specs, or -1
+  std::vector<NetId> inputs;   ///< one net per input pin
+  std::vector<NetId> outputs;  ///< one net per output pin (1 for std cells)
+  Domain domain{Domain::AlwaysOn};
+
+  [[nodiscard]] bool is_macro() const { return macro >= 0; }
+};
+
+struct Net {
+  std::string name;
+  // Driver: exactly one of the following is set after check() passes.
+  PortId driver_port;      ///< primary input driving this net
+  CellId driver_cell;      ///< cell whose output drives this net
+  int driver_out_pin{0};   ///< output pin index on driver_cell
+  std::vector<PinRef> sinks;     ///< cell input pins reading this net
+  std::vector<PortId> sink_ports;///< primary outputs reading this net
+
+  [[nodiscard]] bool driven_by_port() const { return driver_port.valid(); }
+  [[nodiscard]] bool driven_by_cell() const { return driver_cell.valid(); }
+};
+
+struct Port {
+  std::string name;
+  PortDir dir{PortDir::In};
+  NetId net;
+};
+
+class Netlist {
+public:
+  /// The library must outlive the netlist.
+  Netlist(std::string name, const Library& lib);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+  [[nodiscard]] const Library& lib() const { return *lib_; }
+
+  // --- construction -------------------------------------------------------
+
+  /// Creates a named net with no driver yet.
+  NetId add_net(std::string name);
+
+  /// Creates a fresh net with a generated name.
+  NetId new_net();
+
+  /// Creates a primary input port and its net; returns the net.
+  NetId add_input(std::string name);
+
+  /// Creates a primary output port reading `net`.
+  PortId add_output(std::string name, NetId net);
+
+  /// Instantiates a standard cell.  `inputs.size()` must match the spec's
+  /// input count; `output` receives the cell's output pin.
+  CellId add_cell(std::string name, SpecId spec, std::vector<NetId> inputs,
+                  NetId output);
+
+  /// Instantiates a standard cell with a freshly created output net;
+  /// returns that net.
+  NetId add_cell_auto(SpecId spec, std::vector<NetId> inputs);
+
+  /// Registers a macro type; returns its index for add_macro_cell.
+  std::int32_t add_macro_spec(MacroSpec spec);
+
+  /// Instantiates a macro.
+  CellId add_macro_cell(std::string name, std::int32_t macro,
+                        std::vector<NetId> inputs,
+                        std::vector<NetId> outputs);
+
+  /// Reconnects input pin `pin` of `cell` to a different net (used by
+  /// transforms such as isolation insertion).
+  void rewire_input(CellId cell, int pin, NetId new_net);
+
+  /// Repoints an output port to a different net.
+  void rewire_port(PortId port, NetId new_net);
+
+  /// Validates all structural invariants; throws NetlistError.
+  void check() const;
+
+  // --- access --------------------------------------------------------------
+
+  [[nodiscard]] std::size_t num_cells() const { return cells_.size(); }
+  [[nodiscard]] std::size_t num_nets() const { return nets_.size(); }
+  [[nodiscard]] std::size_t num_ports() const { return ports_.size(); }
+
+  [[nodiscard]] const Cell& cell(CellId id) const;
+  [[nodiscard]] Cell& cell(CellId id);
+  [[nodiscard]] const Net& net(NetId id) const;
+  [[nodiscard]] Net& net(NetId id);
+  [[nodiscard]] const Port& port(PortId id) const;
+
+  [[nodiscard]] const MacroSpec& macro_spec(std::int32_t idx) const;
+  [[nodiscard]] std::span<const MacroSpec> macro_specs() const {
+    return macro_specs_;
+  }
+
+  /// Spec of a (standard) cell instance.
+  [[nodiscard]] const CellSpec& spec_of(CellId id) const;
+
+  /// Kind of a cell instance (CellKind::Macro for macros).
+  [[nodiscard]] CellKind kind_of(CellId id) const;
+
+  /// True for cells evaluated combinationally (gates + un-clocked macro
+  /// read paths).
+  [[nodiscard]] bool is_comb_node(CellId id) const;
+
+  /// Finds a port by name; invalid PortId if absent.
+  [[nodiscard]] PortId find_port(std::string_view name) const;
+  [[nodiscard]] NetId port_net(std::string_view name) const;
+
+  /// Finds a net by name; invalid if absent.
+  [[nodiscard]] NetId find_net(std::string_view name) const;
+
+  /// Ports in declaration order.
+  [[nodiscard]] std::span<const Port> ports() const { return ports_; }
+
+  /// All cell ids (index order).
+  [[nodiscard]] std::vector<CellId> all_cells() const;
+
+  /// Combinational cells + macros in topological (fanin-before-fanout)
+  /// order.  Flip-flop outputs and primary inputs are sources.
+  /// Throws NetlistError on a combinational cycle.
+  [[nodiscard]] std::vector<CellId> topo_order() const;
+
+  /// Flip-flop cell ids.
+  [[nodiscard]] std::vector<CellId> flops() const;
+
+  /// Total cell area (standard cells + macros).
+  [[nodiscard]] Area total_area() const;
+
+  /// Count of cells per kind name (for reports).
+  [[nodiscard]] std::unordered_map<std::string, int> kind_histogram() const;
+
+  /// Capacitive load on a net: sink pin caps + self-load of the driver +
+  /// the library wire-load model (base + per-fanout).
+  [[nodiscard]] Capacitance net_load(NetId id) const;
+
+  /// Wire-load model (calibration constants for estimated routing cap).
+  struct WireLoad {
+    Capacitance base{0.8e-15};
+    Capacitance per_fanout{0.5e-15};
+  };
+  [[nodiscard]] const WireLoad& wire_load() const { return wire_load_; }
+  void set_wire_load(WireLoad w) { wire_load_ = w; }
+
+  /// Placement-derived routing capacitance for one net; overrides the
+  /// statistical wire-load model in net_load().  Set by the placer
+  /// (src/place) after wire-length estimation.
+  void set_net_wire_cap(NetId id, Capacitance c);
+  /// Clears all per-net overrides (back to the statistical model).
+  void clear_net_wire_caps();
+
+private:
+  void connect_input(CellId cell, int pin, NetId net);
+  void set_driver(NetId net, CellId cell, int out_pin);
+
+  std::string name_;
+  const Library* lib_;
+  std::vector<Cell> cells_;
+  std::vector<Net> nets_;
+  std::vector<Port> ports_;
+  std::vector<MacroSpec> macro_specs_;
+  std::unordered_map<std::string, PortId> port_by_name_;
+  std::unordered_map<std::string, NetId> net_by_name_;
+  std::uint64_t gensym_{0};
+  WireLoad wire_load_{};
+  std::vector<double> net_wire_cap_; ///< per-net override in F; -1 = unset
+};
+
+} // namespace scpg

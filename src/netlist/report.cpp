@@ -1,0 +1,87 @@
+#include "netlist/report.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace scpg {
+
+DesignStats compute_stats(const Netlist& nl) {
+  DesignStats s;
+  s.num_cells = nl.num_cells();
+  s.num_nets = nl.num_nets();
+  s.num_ports = nl.num_ports();
+  s.area = nl.total_area();
+  for (std::uint32_t ci = 0; ci < nl.num_cells(); ++ci) {
+    const CellId id{ci};
+    const Cell& c = nl.cell(id);
+    const CellKind k = nl.kind_of(id);
+    if (c.is_macro()) {
+      ++s.num_macros;
+      s.nominal_leakage += nl.macro_spec(c.macro).leakage;
+    } else {
+      s.nominal_leakage += nl.spec_of(id).leakage;
+      if (kind_is_sequential(k)) ++s.num_flops;
+      else if (k == CellKind::Header) ++s.num_headers;
+      else if (k == CellKind::IsoLo || k == CellKind::IsoHi)
+        ++s.num_isolation;
+      else ++s.num_comb_cells;
+    }
+    if (c.domain == Domain::Gated) ++s.cells_gated;
+    else ++s.cells_always_on;
+  }
+  return s;
+}
+
+void print_stats(const DesignStats& s, std::ostream& os,
+                 const std::string& title) {
+  if (!title.empty()) os << title << '\n';
+  os << "  cells: " << s.num_cells << " (comb " << s.num_comb_cells
+     << ", flops " << s.num_flops << ", iso " << s.num_isolation
+     << ", headers " << s.num_headers << ", macros " << s.num_macros
+     << ")\n";
+  os << "  nets: " << s.num_nets << ", ports: " << s.num_ports << '\n';
+  os << "  area: " << std::fixed << std::setprecision(1) << in_um2(s.area)
+     << " um^2\n";
+  os << "  nominal leakage: " << std::setprecision(2)
+     << in_uW(s.nominal_leakage) << " uW\n";
+  os << "  domains: " << s.cells_always_on << " always-on, " << s.cells_gated
+     << " gated\n";
+}
+
+void write_dot(const Netlist& nl, std::ostream& os) {
+  os << "digraph \"" << nl.name() << "\" {\n";
+  os << "  rankdir=LR;\n  node [shape=box, fontsize=9];\n";
+  for (const Port& p : nl.ports())
+    os << "  \"port:" << p.name << "\" [shape="
+       << (p.dir == PortDir::In ? "triangle" : "invtriangle") << "];\n";
+  for (std::uint32_t ci = 0; ci < nl.num_cells(); ++ci) {
+    const Cell& c = nl.cell(CellId{ci});
+    os << "  \"" << c.name << "\" [label=\"" << c.name << "\\n"
+       << (c.is_macro() ? nl.macro_spec(c.macro).type_name
+                        : nl.spec_of(CellId{ci}).name)
+       << '"';
+    if (c.domain == Domain::Gated)
+      os << ", style=filled, fillcolor=lightblue";
+    os << "];\n";
+  }
+  // Edges: driver -> sink for each net.
+  for (std::uint32_t ni = 0; ni < nl.num_nets(); ++ni) {
+    const Net& n = nl.net(NetId{ni});
+    std::string src;
+    if (n.driven_by_port())
+      src = "port:" + nl.port(n.driver_port).name;
+    else if (n.driven_by_cell())
+      src = nl.cell(n.driver_cell).name;
+    else
+      continue;
+    for (const PinRef& s : n.sinks)
+      os << "  \"" << src << "\" -> \"" << nl.cell(s.cell).name
+         << "\" [label=\"" << n.name << "\", fontsize=7];\n";
+    for (PortId p : n.sink_ports)
+      os << "  \"" << src << "\" -> \"port:" << nl.port(p).name
+         << "\" [label=\"" << n.name << "\", fontsize=7];\n";
+  }
+  os << "}\n";
+}
+
+} // namespace scpg

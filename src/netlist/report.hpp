@@ -1,0 +1,38 @@
+// Netlist reports: design statistics and Graphviz export.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "util/units.hpp"
+
+namespace scpg {
+
+/// Summary statistics of a netlist (gate counts, area, nominal leakage).
+struct DesignStats {
+  std::size_t num_cells{0};
+  std::size_t num_comb_cells{0};
+  std::size_t num_flops{0};
+  std::size_t num_macros{0};
+  std::size_t num_isolation{0};
+  std::size_t num_headers{0};
+  std::size_t num_nets{0};
+  std::size_t num_ports{0};
+  Area area{};
+  Power nominal_leakage{}; ///< state-averaged, at the nominal corner
+  std::size_t cells_gated{0};   ///< cells tagged Domain::Gated
+  std::size_t cells_always_on{0};
+};
+
+[[nodiscard]] DesignStats compute_stats(const Netlist& nl);
+
+/// Human-readable stats block.
+void print_stats(const DesignStats& s, std::ostream& os,
+                 const std::string& title = {});
+
+/// Graphviz dot export (cells as nodes, nets as edges); gated-domain cells
+/// are drawn filled so the SCPG split is visible.
+void write_dot(const Netlist& nl, std::ostream& os);
+
+} // namespace scpg

@@ -1,0 +1,47 @@
+// Structural Verilog interchange.
+//
+// The paper's flow (Fig 5, step 1) parses a synthesised netlist and moves
+// the combinational logic into a separate Verilog module so the two power
+// domains can be declared in UPF.  This module provides:
+//
+//   * write_verilog        — flat structural netlist (gate instances only);
+//   * write_verilog split  — domain-split form: the top module keeps the
+//     always-on cells and instantiates `<name>_pd_comb` holding every
+//     gated-domain cell, exactly the artefact step 1 of the paper's flow
+//     produces;
+//   * read_verilog         — parses the flat structural subset back into a
+//     Netlist (escaped identifiers supported, so bus bits like \a[3]
+//     round-trip).
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace scpg {
+
+struct VerilogWriteOptions {
+  /// Emit the gated domain as a child module (paper flow step 1).
+  bool split_domains{false};
+};
+
+void write_verilog(const Netlist& nl, std::ostream& os,
+                   VerilogWriteOptions opt = {});
+[[nodiscard]] std::string write_verilog_string(const Netlist& nl,
+                                               VerilogWriteOptions opt = {});
+
+/// Resolves a macro type name to its spec when reading a netlist that
+/// instantiates macros (`MACRO_<type>` instances).
+using MacroResolver = std::function<MacroSpec(const std::string&)>;
+
+/// Parses a flat structural module.  Cell types must exist in `lib`;
+/// macro instances require a resolver.  Throws ParseError / NetlistError.
+[[nodiscard]] Netlist read_verilog(std::istream& is, const Library& lib,
+                                   const MacroResolver& macros = {});
+[[nodiscard]] Netlist read_verilog_string(const std::string& text,
+                                          const Library& lib,
+                                          const MacroResolver& macros = {});
+
+} // namespace scpg

@@ -1,0 +1,273 @@
+#include "place/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace scpg {
+
+namespace {
+
+struct Grid {
+  int side{0};
+  double site{0};
+
+  [[nodiscard]] Point centre(int slot) const {
+    const int row = slot / side, col = slot % side;
+    return {(col + 0.5) * site, (row + 0.5) * site};
+  }
+  [[nodiscard]] double half() const { return side * site * 0.5; }
+};
+
+/// Distance of a slot's centre from the core centre (for region splits).
+double radius(const Grid& g, int slot) {
+  const Point p = g.centre(slot);
+  const double dx = p.x - g.half(), dy = p.y - g.half();
+  return std::max(std::abs(dx), std::abs(dy)); // Chebyshev: square rings
+}
+
+/// Pin positions of a net: driver + sinks + port pads.
+struct PinsOfNet {
+  const Netlist* nl;
+  const std::vector<Point>* cell_pos;
+  const std::vector<Point>* port_pos;
+
+  template <class Fn>
+  void for_each(NetId id, Fn&& fn) const {
+    const Net& n = nl->net(id);
+    if (n.driven_by_cell()) fn((*cell_pos)[n.driver_cell.v]);
+    if (n.driven_by_port()) fn((*port_pos)[n.driver_port.v]);
+    for (const PinRef& s : n.sinks) fn((*cell_pos)[s.cell.v]);
+    for (PortId p : n.sink_ports) fn((*port_pos)[p.v]);
+  }
+};
+
+double hpwl_of(const PinsOfNet& pins, NetId id) {
+  double xmin = 1e18, xmax = -1e18, ymin = 1e18, ymax = -1e18;
+  bool any = false;
+  pins.for_each(id, [&](const Point& p) {
+    any = true;
+    xmin = std::min(xmin, p.x);
+    xmax = std::max(xmax, p.x);
+    ymin = std::min(ymin, p.y);
+    ymax = std::max(ymax, p.y);
+  });
+  return any ? (xmax - xmin) + (ymax - ymin) : 0.0;
+}
+
+} // namespace
+
+Placement place(const Netlist& nl, const PlaceOptions& opt) {
+  SCPG_REQUIRE(opt.utilization > 0.05 && opt.utilization <= 1.0,
+               "utilization must be in (0.05, 1]");
+  SCPG_REQUIRE(opt.site_um > 0, "site pitch must be positive");
+  const std::size_t ncells = nl.num_cells();
+  SCPG_REQUIRE(ncells > 0, "nothing to place");
+
+  Grid g;
+  g.site = opt.site_um;
+  g.side = int(std::ceil(std::sqrt(double(ncells) / opt.utilization)));
+  const int nslots = g.side * g.side;
+
+  // Slot order: for CenterGated, slots sorted centre-out so the gated
+  // cells take the innermost ring and the always-on cells the outer ring.
+  std::vector<int> slot_order(static_cast<std::size_t>(nslots));
+  for (int i = 0; i < nslots; ++i) slot_order[std::size_t(i)] = i;
+  Rng rng(opt.seed);
+  // Deterministic shuffle.
+  for (std::size_t i = slot_order.size(); i > 1; --i)
+    std::swap(slot_order[i - 1], slot_order[rng.below(i)]);
+  if (opt.strategy == DomainStrategy::CenterGated) {
+    std::stable_sort(slot_order.begin(), slot_order.end(),
+                     [&](int a, int b) { return radius(g, a) < radius(g, b); });
+  }
+
+  // Region tag per cell: 0 = gated (centre), 1 = always-on.  With
+  // Ignore, everything is region 1.
+  std::vector<int> region(ncells, 1);
+  std::size_t n_gated = 0;
+  if (opt.strategy == DomainStrategy::CenterGated) {
+    for (std::uint32_t ci = 0; ci < ncells; ++ci)
+      if (nl.cell(CellId{ci}).domain == Domain::Gated) {
+        region[ci] = 0;
+        ++n_gated;
+      }
+  }
+
+  // Initial assignment: gated cells take the first (innermost) slots.
+  std::vector<int> slot_of(ncells, -1);
+  {
+    std::size_t next_inner = 0, next_outer = n_gated;
+    for (std::uint32_t ci = 0; ci < ncells; ++ci) {
+      const std::size_t idx =
+          region[ci] == 0 ? next_inner++ : next_outer++;
+      slot_of[ci] = slot_order[idx];
+    }
+  }
+
+  Placement out;
+  out.width_um = out.height_um = g.side * g.site;
+  out.pos.resize(ncells);
+  auto sync_pos = [&] {
+    for (std::uint32_t ci = 0; ci < ncells; ++ci)
+      out.pos[ci] = g.centre(slot_of[ci]);
+  };
+  sync_pos();
+
+  // Port pads spread along the boundary.
+  std::vector<Point> port_pos(nl.num_ports());
+  const double perim = 4.0 * g.side * g.site;
+  for (std::uint32_t pi = 0; pi < nl.num_ports(); ++pi) {
+    const double d = perim * double(pi) / double(nl.num_ports());
+    const double side_len = g.side * g.site;
+    double x = 0, y = 0;
+    if (d < side_len) {
+      x = d;
+    } else if (d < 2 * side_len) {
+      x = side_len;
+      y = d - side_len;
+    } else if (d < 3 * side_len) {
+      x = 3 * side_len - d;
+      y = side_len;
+    } else {
+      y = 4 * side_len - d;
+    }
+    port_pos[pi] = {x, y};
+  }
+
+  const PinsOfNet pins{&nl, &out.pos, &port_pos};
+  out.initial_hpwl_um = 0;
+  for (std::uint32_t ni = 0; ni < nl.num_nets(); ++ni)
+    out.initial_hpwl_um += hpwl_of(pins, NetId{ni});
+
+  // Nets touching each cell (inputs + outputs, deduplicated).
+  std::vector<std::vector<NetId>> cell_nets(ncells);
+  for (std::uint32_t ci = 0; ci < ncells; ++ci) {
+    const Cell& c = nl.cell(CellId{ci});
+    std::vector<NetId>& v = cell_nets[ci];
+    v.insert(v.end(), c.inputs.begin(), c.inputs.end());
+    v.insert(v.end(), c.outputs.begin(), c.outputs.end());
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+
+  // Greedy improvement: random same-region pair swaps, accept on HPWL
+  // decrease.
+  auto cost_around = [&](std::uint32_t a, std::uint32_t b) {
+    double c = 0;
+    for (NetId n : cell_nets[a]) c += hpwl_of(pins, n);
+    for (NetId n : cell_nets[b]) {
+      // Avoid double-counting shared nets.
+      if (!std::binary_search(cell_nets[a].begin(), cell_nets[a].end(), n))
+        c += hpwl_of(pins, n);
+    }
+    return c;
+  };
+
+  const std::uint64_t attempts =
+      std::uint64_t(opt.passes) * std::uint64_t(ncells);
+  for (std::uint64_t it = 0; it < attempts; ++it) {
+    const std::uint32_t a = std::uint32_t(rng.below(ncells));
+    const std::uint32_t b = std::uint32_t(rng.below(ncells));
+    if (a == b || region[a] != region[b]) continue;
+    const double before = cost_around(a, b);
+    std::swap(slot_of[a], slot_of[b]);
+    out.pos[a] = g.centre(slot_of[a]);
+    out.pos[b] = g.centre(slot_of[b]);
+    const double after = cost_around(a, b);
+    if (after > before) { // revert
+      std::swap(slot_of[a], slot_of[b]);
+      out.pos[a] = g.centre(slot_of[a]);
+      out.pos[b] = g.centre(slot_of[b]);
+    }
+  }
+
+  out.hpwl_um = 0;
+  for (std::uint32_t ni = 0; ni < nl.num_nets(); ++ni)
+    out.hpwl_um += hpwl_of(pins, NetId{ni});
+
+  // Legality: one cell per slot.
+  std::vector<char> used(static_cast<std::size_t>(nslots), 0);
+  for (std::uint32_t ci = 0; ci < ncells; ++ci) {
+    SCPG_ASSERT(slot_of[ci] >= 0 && slot_of[ci] < nslots);
+    SCPG_ASSERT(!used[std::size_t(slot_of[ci])]);
+    used[std::size_t(slot_of[ci])] = 1;
+  }
+  return out;
+}
+
+double net_hpwl_um(const Netlist& nl, const Placement& p, NetId net) {
+  // Port pads are not stored in Placement; rebuild them exactly as
+  // place() laid them out along the boundary.
+  std::vector<Point> port_pos(nl.num_ports());
+  const double perim = 2.0 * (p.width_um + p.height_um);
+  for (std::uint32_t pi = 0; pi < nl.num_ports(); ++pi) {
+    const double d = perim * double(pi) / double(nl.num_ports());
+    double x = 0, y = 0;
+    if (d < p.width_um) {
+      x = d;
+    } else if (d < p.width_um + p.height_um) {
+      x = p.width_um;
+      y = d - p.width_um;
+    } else if (d < 2 * p.width_um + p.height_um) {
+      x = 2 * p.width_um + p.height_um - d;
+      y = p.height_um;
+    } else {
+      y = perim - d;
+    }
+    port_pos[pi] = {x, y};
+  }
+  const PinsOfNet pins{&nl, &p.pos, &port_pos};
+  return hpwl_of(pins, net);
+}
+
+double total_hpwl_um(const Netlist& nl, const Placement& p) {
+  double t = 0;
+  for (std::uint32_t ni = 0; ni < nl.num_nets(); ++ni)
+    t += net_hpwl_um(nl, p, NetId{ni});
+  return t;
+}
+
+double crossing_hpwl_um(const Netlist& nl, const Placement& p) {
+  double t = 0;
+  for (std::uint32_t ni = 0; ni < nl.num_nets(); ++ni) {
+    const Net& n = nl.net(NetId{ni});
+    if (!n.driven_by_cell()) continue;
+    const bool drv_gated =
+        nl.cell(n.driver_cell).domain == Domain::Gated;
+    bool crosses = false;
+    for (const PinRef& s : n.sinks)
+      if ((nl.cell(s.cell).domain == Domain::Gated) != drv_gated)
+        crosses = true;
+    if (crosses) t += net_hpwl_um(nl, p, NetId{ni});
+  }
+  return t;
+}
+
+double gated_bbox_area_um2(const Netlist& nl, const Placement& p) {
+  double xmin = 1e18, xmax = -1e18, ymin = 1e18, ymax = -1e18;
+  bool any = false;
+  for (std::uint32_t ci = 0; ci < nl.num_cells(); ++ci) {
+    if (nl.cell(CellId{ci}).domain != Domain::Gated) continue;
+    any = true;
+    xmin = std::min(xmin, p.pos[ci].x);
+    xmax = std::max(xmax, p.pos[ci].x);
+    ymin = std::min(ymin, p.pos[ci].y);
+    ymax = std::max(ymax, p.pos[ci].y);
+  }
+  return any ? (xmax - xmin) * (ymax - ymin) : 0.0;
+}
+
+void apply_wire_caps(Netlist& nl, const Placement& p,
+                     Capacitance cap_per_um) {
+  SCPG_REQUIRE(p.pos.size() == nl.num_cells(),
+               "placement does not match this netlist");
+  for (std::uint32_t ni = 0; ni < nl.num_nets(); ++ni) {
+    const double len = net_hpwl_um(nl, p, NetId{ni});
+    nl.set_net_wire_cap(NetId{ni}, Capacitance{cap_per_um.v * len});
+  }
+}
+
+} // namespace scpg

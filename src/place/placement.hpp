@@ -1,0 +1,82 @@
+// Placement (lite) — the paper's "Design Planning" step (Fig 5).
+//
+// The paper recommends locating the power-gated combinational domain in
+// the CENTRE of the die "to alleviate problems with routing congestion
+// between the combinational logic and the sequential logic domains".
+// This module makes that recommendation measurable:
+//
+//   * place() assigns every cell to a site on a uniform grid and runs a
+//     greedy swap optimiser on half-perimeter wire length (HPWL);
+//   * DomainStrategy::CenterGated constrains the gated domain to a
+//     central region with the always-on cells in the surrounding ring
+//     (the paper's floorplan); Ignore mixes everything;
+//   * apply_wire_caps() turns per-net HPWL into routing capacitance and
+//     annotates the netlist, making STA, the power engines and the
+//     simulator placement-aware.
+//
+// Ports are modelled as fixed pads spread around the core boundary.
+// Macros occupy a single site (their internal area is not modelled).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace scpg {
+
+struct Point {
+  double x{0};
+  double y{0};
+};
+
+enum class DomainStrategy {
+  Ignore,      ///< one mixed region
+  CenterGated, ///< gated domain clustered in the die centre (paper)
+};
+
+struct PlaceOptions {
+  DomainStrategy strategy{DomainStrategy::Ignore};
+  double utilization{0.7}; ///< cells per site fraction
+  double site_um{2.6};     ///< site pitch in micrometres
+  int passes{25};          ///< swap attempts = passes * num_cells
+  std::uint64_t seed{1};
+};
+
+struct Placement {
+  std::vector<Point> pos; ///< per cell, micrometres (site centres)
+  double width_um{0};
+  double height_um{0};
+  double initial_hpwl_um{0}; ///< before optimisation
+  double hpwl_um{0};         ///< after optimisation
+};
+
+/// Places every cell of the netlist.
+[[nodiscard]] Placement place(const Netlist& nl,
+                              const PlaceOptions& opt = {});
+
+/// Half-perimeter wire length of one net under a placement (pin positions
+/// are cell centres; port pads count).
+[[nodiscard]] double net_hpwl_um(const Netlist& nl, const Placement& p,
+                                 NetId net);
+
+/// Sum of net_hpwl_um over all nets.
+[[nodiscard]] double total_hpwl_um(const Netlist& nl, const Placement& p);
+
+/// HPWL restricted to nets that cross the gated/always-on boundary.
+[[nodiscard]] double crossing_hpwl_um(const Netlist& nl,
+                                      const Placement& p);
+
+/// Bounding-box area of the gated domain's cells, um^2.  This is the
+/// extent the virtual-rail network (and the header placement) must
+/// cover — the quantity the paper's centre-placement keeps compact.
+[[nodiscard]] double gated_bbox_area_um2(const Netlist& nl,
+                                         const Placement& p);
+
+/// Annotates every net's routing capacitance as cap_per_um * HPWL (plus
+/// the pin caps net_load() already adds).  ~0.18 fF/um is a typical 90 nm
+/// mid-layer value.
+void apply_wire_caps(Netlist& nl, const Placement& p,
+                     Capacitance cap_per_um = Capacitance{0.18e-15});
+
+} // namespace scpg

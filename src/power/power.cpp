@@ -1,0 +1,72 @@
+#include "power/power.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace scpg {
+
+Power static_leakage(const Netlist& nl, Corner corner, bool headers_off) {
+  const double lscale = nl.lib().tech().leak_scale(corner);
+  Power p{};
+  for (std::uint32_t ci = 0; ci < nl.num_cells(); ++ci) {
+    const CellId id{ci};
+    const Cell& c = nl.cell(id);
+    if (c.is_macro()) {
+      p += nl.macro_spec(c.macro).leakage * lscale;
+      continue;
+    }
+    const CellSpec& s = nl.spec_of(id);
+    if (s.kind == CellKind::Header) {
+      if (headers_off) p += s.header_off_leak * lscale;
+      continue;
+    }
+    p += s.leakage * lscale;
+  }
+  return p;
+}
+
+PowerBreakdown analyze_power(const Netlist& nl, Corner corner,
+                             const ActivityRecorder& activity,
+                             Frequency clock) {
+  SCPG_REQUIRE(activity.cycles() > 0, "activity has no recorded cycles");
+  const TechModel& tech = nl.lib().tech();
+  const double escale = tech.energy_scale(corner);
+  const double vdd = corner.vdd.v;
+  const double cycles = double(activity.cycles());
+
+  PowerBreakdown out;
+  out.leakage = static_leakage(nl, corner);
+
+  for (std::uint32_t ni = 0; ni < nl.num_nets(); ++ni) {
+    const NetId net{ni};
+    const double rate = double(activity.toggles(net)) / cycles * clock.v;
+    if (rate == 0.0) continue;
+    out.switching += Power{0.5 * nl.net_load(net).v * vdd * vdd * rate};
+    const Net& n = nl.net(net);
+    if (n.driven_by_cell()) {
+      const Cell& d = nl.cell(n.driver_cell);
+      if (d.is_macro())
+        out.macro += Power{
+            nl.macro_spec(d.macro).energy_per_access.v * escale * rate};
+      else
+        out.internal += Power{
+            nl.spec_of(n.driver_cell).internal_energy.v * escale * rate};
+    }
+  }
+  return out;
+}
+
+void print_power(const PowerBreakdown& p, std::ostream& os,
+                 const std::string& title) {
+  if (!title.empty()) os << title << '\n';
+  os << std::fixed << std::setprecision(3);
+  os << "  switching: " << in_uW(p.switching) << " uW\n";
+  os << "  internal:  " << in_uW(p.internal) << " uW\n";
+  os << "  macro:     " << in_uW(p.macro) << " uW\n";
+  os << "  leakage:   " << in_uW(p.leakage) << " uW\n";
+  os << "  total:     " << in_uW(p.total()) << " uW\n";
+}
+
+} // namespace scpg

@@ -1,0 +1,44 @@
+// Activity-based static power analysis.
+//
+// The paper estimates power by feeding Modelsim VCD activity into Synopsys
+// PrimeTime-PX; this module is the equivalent: given per-net toggle counts
+// from a simulation (ActivityRecorder) and a clock frequency, it computes
+// average switching, internal and leakage power at a corner.  It is the
+// fast estimator; the event-driven simulator's integrated tally is the
+// reference (the two are cross-validated in the tests).
+#pragma once
+
+#include <iosfwd>
+
+#include "netlist/netlist.hpp"
+#include "sim/activity.hpp"
+#include "tech/tech_model.hpp"
+
+namespace scpg {
+
+struct PowerBreakdown {
+  Power switching{};  ///< 0.5 C V^2 f * toggle rate over all nets
+  Power internal{};   ///< cell internal energy * output toggle rate
+  Power leakage{};    ///< state-averaged static power
+  Power macro{};      ///< macro access energy * access rate
+
+  [[nodiscard]] Power total() const {
+    return switching + internal + leakage + macro;
+  }
+};
+
+/// State-averaged leakage of every always-powered cell at a corner
+/// (headers contribute their OFF leakage only if `headers_off`).
+[[nodiscard]] Power static_leakage(const Netlist& nl, Corner corner,
+                                   bool headers_off = false);
+
+/// Average power from recorded activity at a clock frequency.
+[[nodiscard]] PowerBreakdown analyze_power(const Netlist& nl, Corner corner,
+                                           const ActivityRecorder& activity,
+                                           Frequency clock);
+
+/// Printable report.
+void print_power(const PowerBreakdown& p, std::ostream& os,
+                 const std::string& title = {});
+
+} // namespace scpg

@@ -1,0 +1,66 @@
+#include "scpg/analysis.hpp"
+
+#include "util/error.hpp"
+#include "util/numeric.hpp"
+
+namespace scpg {
+
+Frequency max_frequency_for_budget(const ScpgPowerModel& m, GatingMode mode,
+                                   Power budget, Frequency f_lo,
+                                   Frequency f_hi) {
+  SCPG_REQUIRE(f_lo.v > 0 && f_hi.v > f_lo.v, "bad frequency range");
+  if (m.average_power(mode, f_lo) > budget)
+    throw InfeasibleError(
+        "power budget is below the design's leakage floor");
+  if (m.average_power(mode, f_hi) <= budget) return f_hi;
+  // Bisect on log-frequency (the sweep spans decades).
+  const double x = bisect(
+      [&](double lf) {
+        return m.average_power(mode, Frequency{std::exp(lf)}).v - budget.v;
+      },
+      std::log(f_lo.v), std::log(f_hi.v), 1e-9);
+  return Frequency{std::exp(x)};
+}
+
+Frequency convergence_frequency(const ScpgPowerModel& m, GatingMode mode,
+                                Frequency f_lo, Frequency f_hi) {
+  SCPG_REQUIRE(mode != GatingMode::None,
+               "convergence needs a gating mode");
+  auto saving = [&](double lf) {
+    const Frequency f{std::exp(lf)};
+    // Where the mode cannot gate at all, it saves nothing — treat as a
+    // (slightly) negative saving so the bisection converges onto the
+    // boundary between "still saving" and "cannot/should not gate".
+    if (!m.duty_for(mode, f)) return -1e-12;
+    return m.average_power_ungated(f).v - m.average_power(mode, f).v;
+  };
+  const double lo = std::log(f_lo.v), hi = std::log(f_hi.v);
+  if (saving(hi) > 0) return f_hi; // still saving at the top of the range
+  if (saving(lo) <= 0) return f_lo; // never saves
+  return Frequency{std::exp(bisect(saving, lo, hi, 1e-9))};
+}
+
+BudgetComparison compare_at_budget(const ScpgPowerModel& original,
+                                   const ScpgPowerModel& gated,
+                                   Power budget, Frequency f_lo,
+                                   Frequency f_hi) {
+  BudgetComparison c;
+  c.budget = budget;
+  for (GatingMode mode :
+       {GatingMode::None, GatingMode::Scpg50, GatingMode::ScpgMax}) {
+    const ScpgPowerModel& m = mode == GatingMode::None ? original : gated;
+    BudgetPoint p;
+    p.mode = mode;
+    p.f = max_frequency_for_budget(m, mode, budget, f_lo, f_hi);
+    p.power = m.average_power(mode, p.f);
+    p.energy = m.energy_per_op(mode, p.f);
+    switch (mode) {
+      case GatingMode::None: c.none = p; break;
+      case GatingMode::Scpg50: c.scpg50 = p; break;
+      case GatingMode::ScpgMax: c.scpg_max = p; break;
+    }
+  }
+  return c;
+}
+
+} // namespace scpg

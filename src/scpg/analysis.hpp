@@ -1,0 +1,67 @@
+// SCPG design-space analysis built on the analytic power model:
+// power-budget solving (the paper's energy-harvester scenarios),
+// convergence-point location (where gating stops paying, Figs 6a/8a), and
+// energy-efficiency comparison between modes.
+#pragma once
+
+#include "scpg/model.hpp"
+
+namespace scpg {
+
+/// Highest clock frequency whose average power fits the budget under a
+/// mode.  Power is monotonically increasing in f for every mode, so this
+/// is a bisection over [f_lo, f_hi].  Throws InfeasibleError when even
+/// f_lo exceeds the budget (leakage floor above budget).
+[[nodiscard]] Frequency max_frequency_for_budget(const ScpgPowerModel& m,
+                                                 GatingMode mode,
+                                                 Power budget,
+                                                 Frequency f_lo,
+                                                 Frequency f_hi);
+
+/// Frequency above which SCPG at the given mode no longer saves power
+/// relative to no gating (the paper's convergence point: ~15 MHz for the
+/// multiplier, ~5 MHz for the Cortex-M0).  Returns f_hi when gating still
+/// wins at f_hi; returns f_lo when it never wins.
+[[nodiscard]] Frequency convergence_frequency(const ScpgPowerModel& m,
+                                              GatingMode mode,
+                                              Frequency f_lo,
+                                              Frequency f_hi);
+
+/// One operating scenario under a power budget (a row of the paper's
+/// harvester examples in §III-A/III-B).
+struct BudgetPoint {
+  GatingMode mode{GatingMode::None};
+  Frequency f{};      ///< highest frequency fitting the budget
+  Power power{};      ///< power at that frequency (= budget within tol)
+  Energy energy{};    ///< energy per operation there
+};
+
+struct BudgetComparison {
+  Power budget{};
+  BudgetPoint none, scpg50, scpg_max;
+
+  /// Frequency and energy-efficiency improvement factors of SCPG-Max over
+  /// no gating (paper: 50x / 45x for the multiplier at 30 uW).
+  [[nodiscard]] double speedup_max() const { return f_ratio(scpg_max); }
+  [[nodiscard]] double energy_gain_max() const { return e_ratio(scpg_max); }
+  [[nodiscard]] double speedup_50() const { return f_ratio(scpg50); }
+  [[nodiscard]] double energy_gain_50() const { return e_ratio(scpg50); }
+
+private:
+  [[nodiscard]] double f_ratio(const BudgetPoint& p) const {
+    return p.f.v / none.f.v;
+  }
+  [[nodiscard]] double e_ratio(const BudgetPoint& p) const {
+    return none.energy.v / p.energy.v;
+  }
+};
+
+/// Solves all three modes against one budget.  The None column is
+/// evaluated on the *original* design's model (no SCPG fabric, lower
+/// leakage floor), exactly as the paper compares against the unmodified
+/// design; the gating columns use the transformed design's model.
+[[nodiscard]] BudgetComparison compare_at_budget(
+    const ScpgPowerModel& original, const ScpgPowerModel& gated,
+    Power budget, Frequency f_lo, Frequency f_hi);
+
+} // namespace scpg

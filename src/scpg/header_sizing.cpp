@@ -1,0 +1,61 @@
+#include "scpg/header_sizing.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace scpg {
+
+HeaderEval evaluate_header(const Library& lib, int drive, int count,
+                           const HeaderDemand& d, const HeaderConstraints& c,
+                           Corner corner) {
+  SCPG_REQUIRE(count >= 1, "bank needs at least one header");
+  SCPG_REQUIRE(d.vdd.v > 0 && d.i_eval.v >= 0, "bad header demand");
+  const CellSpec& h = lib.spec(lib.pick(CellKind::Header, drive));
+  const double lscale = lib.tech().leak_scale(corner);
+  // The PMOS on-resistance degrades with gate drive at low supply.
+  const double rscale = lib.tech().resistance_scale(corner);
+
+  HeaderEval e;
+  e.drive = drive;
+  e.count = count;
+  e.ron_eff = Resistance{h.header_ron.v * rscale / double(count)};
+  e.ir_drop = Voltage{(d.i_eval * e.ron_eff).v};
+  e.inrush_peak = Current{d.vdd.v / e.ron_eff.v};
+  e.off_leak = h.header_off_leak * (lscale * double(count));
+  e.gate_cap = h.header_gate_cap * double(count);
+  e.area = h.area * double(count);
+  // Recharge from full collapse to 95%: ~3 time constants.
+  e.t_ready = Time{e.ron_eff.v * d.c_dom.v * std::log(20.0)};
+  e.meets_ir = e.ir_drop.v <= c.max_ir_frac * d.vdd.v;
+  e.meets_inrush = c.max_inrush.v <= 0 ||
+                   e.inrush_peak.v <= c.max_inrush.v;
+  return e;
+}
+
+std::vector<HeaderEval> sweep_headers(const Library& lib, int count,
+                                      const HeaderDemand& d,
+                                      const HeaderConstraints& c,
+                                      Corner corner) {
+  std::vector<HeaderEval> out;
+  for (int drive : lib.drives_of(CellKind::Header))
+    out.push_back(evaluate_header(lib, drive, count, d, c, corner));
+  return out;
+}
+
+HeaderEval choose_header(const Library& lib, int count,
+                         const HeaderDemand& d, const HeaderConstraints& c,
+                         Corner corner) {
+  const auto all = sweep_headers(lib, count, d, c, corner);
+  const HeaderEval* best = nullptr;
+  for (const auto& e : all) {
+    if (!e.feasible()) continue;
+    if (!best || e.ir_drop.v < best->ir_drop.v) best = &e;
+  }
+  if (!best)
+    throw InfeasibleError(
+        "no header drive meets the IR-drop and in-rush constraints");
+  return *best;
+}
+
+} // namespace scpg

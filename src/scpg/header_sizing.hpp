@@ -1,0 +1,73 @@
+// Sleep-transistor (header) sizing study (paper §III, experiment S1).
+//
+// The header bank trades four quantities against each other:
+//   * IR drop across the headers while the domain evaluates (hurts T_eval);
+//   * in-rush current at power-up (ground bounce — bounded by the package/
+//     grid budget);
+//   * OFF leakage through the bank (eats into the SCPG saving);
+//   * area and gate-switching energy.
+//
+// evaluate_header() scores a (drive, count) bank against a domain's
+// demand; choose_header() reproduces the paper's result (X2 best for the
+// multiplier, X4 for the Cortex-M0): the bank with the lowest IR drop
+// whose in-rush stays inside the budget.
+#pragma once
+
+#include <vector>
+
+#include "scpg/rail_model.hpp"
+#include "tech/library.hpp"
+
+namespace scpg {
+
+struct HeaderDemand {
+  /// Average current drawn by the domain while evaluating
+  /// (~ E_dyn_cycle / (Vdd * T_eval)).
+  Current i_eval{};
+  /// Virtual-rail capacitance (for in-rush and T_PGStart).
+  Capacitance c_dom{};
+  Voltage vdd{};
+};
+
+struct HeaderConstraints {
+  /// IR drop must stay below this fraction of Vdd.
+  double max_ir_frac{0.05};
+  /// Peak in-rush current budget (ground-bounce allocation).
+  Current max_inrush{};
+};
+
+struct HeaderEval {
+  int drive{1};
+  int count{1};
+  Resistance ron_eff{};
+  Voltage ir_drop{};
+  Current inrush_peak{}; ///< Vdd / Ron_eff at a full-depth power-up
+  Power off_leak{};      ///< at the corner
+  Capacitance gate_cap{};
+  Area area{};
+  Time t_ready{};        ///< full-collapse recharge to 95%
+  bool meets_ir{false};
+  bool meets_inrush{false};
+
+  [[nodiscard]] bool feasible() const { return meets_ir && meets_inrush; }
+};
+
+/// Characterises one bank option.
+[[nodiscard]] HeaderEval evaluate_header(const Library& lib, int drive,
+                                         int count, const HeaderDemand& d,
+                                         const HeaderConstraints& c,
+                                         Corner corner);
+
+/// Characterises every available drive at a fixed bank count.
+[[nodiscard]] std::vector<HeaderEval> sweep_headers(
+    const Library& lib, int count, const HeaderDemand& d,
+    const HeaderConstraints& c, Corner corner);
+
+/// Picks the feasible bank with the lowest IR drop (the paper's
+/// criterion); throws InfeasibleError when nothing meets the constraints.
+[[nodiscard]] HeaderEval choose_header(const Library& lib, int count,
+                                       const HeaderDemand& d,
+                                       const HeaderConstraints& c,
+                                       Corner corner);
+
+} // namespace scpg

@@ -1,0 +1,50 @@
+#include "scpg/measure.hpp"
+
+#include "util/error.hpp"
+
+namespace scpg {
+
+MeasureResult measure_average_power(const Netlist& nl,
+                                    const MeasureOptions& opt) {
+  SCPG_REQUIRE(opt.f.v > 0, "frequency must be positive");
+  SCPG_REQUIRE(opt.cycles >= 1, "need at least one measured cycle");
+  SCPG_REQUIRE(opt.warmup_cycles >= 1,
+               "need at least one warm-up cycle (X flush)");
+
+  Simulator sim(nl, opt.sim);
+  sim.init_flops_to_zero();
+
+  const NetId clk = nl.port_net(opt.clock_port);
+  if (const PortId ov = nl.find_port(opt.override_port); ov.valid())
+    sim.drive_at(0, nl.port(ov).net,
+                 opt.override_gating ? Logic::L0 : Logic::L1);
+  if (opt.setup) opt.setup(sim);
+
+  const SimTime T = to_fs(period(opt.f));
+  // Low phase first: the clock rises after one low interval so the gated
+  // domain starts powered.
+  const SimTime first_rise =
+      SimTime(double(T) * (1.0 - opt.duty_high));
+  sim.add_clock(clk, opt.f, opt.duty_high, first_rise);
+
+  int cycle = -1;
+  sim.on_rising_edge(clk, [&sim, &opt, &cycle]() {
+    ++cycle;
+    if (cycle == opt.warmup_cycles) sim.reset_tally();
+    if (opt.stimulus) opt.stimulus(sim, cycle);
+  });
+
+  const SimTime t_end =
+      first_rise + T * SimTime(opt.warmup_cycles + opt.cycles);
+  sim.run_until(t_end);
+
+  MeasureResult r;
+  r.tally = sim.tally();
+  r.cycles = opt.cycles;
+  SCPG_ASSERT(r.tally.window.v > 0);
+  r.avg_power = r.tally.average();
+  r.energy_per_cycle = Energy{r.tally.total().v / double(opt.cycles)};
+  return r;
+}
+
+} // namespace scpg

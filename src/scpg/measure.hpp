@@ -1,0 +1,48 @@
+// Simulation measurement harness.
+//
+// Runs a design in the event-driven simulator at an operating point
+// (frequency, duty cycle, corner) with user stimulus, warms up, and
+// measures average power and per-cycle energy over an integral number of
+// clock cycles — the reproduction's stand-in for the paper's HSpice power
+// measurements.
+#pragma once
+
+#include <functional>
+
+#include "netlist/netlist.hpp"
+#include "sim/simulator.hpp"
+
+namespace scpg {
+
+struct MeasureOptions {
+  Frequency f{Frequency{1e6}};
+  double duty_high{0.5};
+  SimConfig sim{};
+  int warmup_cycles{4};
+  int cycles{24};
+  /// Drive override_n = 0 (gating disabled) when the port exists.
+  bool override_gating{false};
+  /// Called right after every rising clock edge with the 0-based cycle
+  /// index; apply next-cycle stimulus here.
+  std::function<void(Simulator&, int)> stimulus;
+  /// Optional extra setup before time 0 (e.g. preload memories).
+  std::function<void(Simulator&)> setup;
+  /// Clock port name.
+  std::string clock_port{"clk"};
+  std::string override_port{"override_n"};
+};
+
+struct MeasureResult {
+  PowerTally tally;   ///< energy buckets over the measurement window
+  int cycles{0};
+  Power avg_power{};
+  Energy energy_per_cycle{};
+};
+
+/// Simulates and measures.  The measurement window starts at the rising
+/// edge following `warmup_cycles` full cycles and spans exactly `cycles`
+/// periods.
+[[nodiscard]] MeasureResult measure_average_power(const Netlist& nl,
+                                                  const MeasureOptions& opt);
+
+} // namespace scpg

@@ -1,0 +1,123 @@
+#include "scpg/model.hpp"
+
+#include <algorithm>
+
+#include "power/power.hpp"
+#include "util/error.hpp"
+
+namespace scpg {
+
+ScpgPowerModel::ScpgPowerModel(Power p_always_on, Energy e_dyn_cycle,
+                               std::optional<RailParams> rail,
+                               Time t_eval_setup, Time margin)
+    : p_aon_(p_always_on),
+      e_dyn_(e_dyn_cycle),
+      rail_(rail),
+      t_eval_setup_(t_eval_setup),
+      margin_(margin) {
+  SCPG_REQUIRE(p_aon_.v >= 0 && e_dyn_.v >= 0 && t_eval_setup_.v > 0,
+               "model parameters must be non-negative (t_eval positive)");
+}
+
+ScpgPowerModel ScpgPowerModel::extract(const Netlist& nl,
+                                       const SimConfig& cfg,
+                                       Energy e_dyn_cycle) {
+  const StaReport sta = run_sta(nl, cfg.corner);
+  // Leakage split: gated cells go to the rail model; everything else
+  // (flops, isolation, controller, macros) is always-on.
+  const double lscale = nl.lib().tech().leak_scale(cfg.corner);
+  Power p_aon{};
+  bool any_gated = false;
+  for (std::uint32_t ci = 0; ci < nl.num_cells(); ++ci) {
+    const CellId id{ci};
+    const Cell& c = nl.cell(id);
+    if (c.domain == Domain::Gated) {
+      any_gated = true;
+      continue;
+    }
+    if (c.is_macro()) {
+      p_aon += nl.macro_spec(c.macro).leakage * lscale;
+      continue;
+    }
+    const CellSpec& s = nl.spec_of(id);
+    if (s.kind == CellKind::Header) continue; // in the rail model
+    p_aon += s.leakage * lscale;
+  }
+  std::optional<RailParams> rail;
+  if (any_gated) rail = extract_rail_params(nl, cfg);
+  return ScpgPowerModel(p_aon, e_dyn_cycle, rail,
+                        sta.t_eval + sta.endpoint_setup);
+}
+
+const RailParams& ScpgPowerModel::rail() const {
+  SCPG_REQUIRE(rail_.has_value(), "model has no gated domain");
+  return *rail_;
+}
+
+double ScpgPowerModel::max_duty_high(Frequency f) const {
+  SCPG_REQUIRE(rail_.has_value(), "model has no gated domain");
+  const Time T = period(f);
+  // Worst-case restart: rail fully collapsed.
+  const Time t_low_needed = rail_->t_ready_from(Voltage{0.0}) +
+                            t_eval_setup_ + margin_;
+  return 1.0 - t_low_needed.v / T.v;
+}
+
+bool ScpgPowerModel::feasible(Frequency f, double duty_high) const {
+  if (!rail_) return false;
+  if (duty_high <= 0.0 || duty_high >= 1.0) return false;
+  return duty_high <= max_duty_high(f) + 1e-12;
+}
+
+std::optional<double> ScpgPowerModel::duty_for(GatingMode mode,
+                                               Frequency f) const {
+  if (mode == GatingMode::None || !rail_) return std::nullopt;
+  const double dmax = max_duty_high(f);
+  if (mode == GatingMode::Scpg50)
+    return dmax >= 0.5 ? std::optional<double>(0.5) : std::nullopt;
+  // ScpgMax: the best feasible duty; below a few percent of the period the
+  // gated window cannot amortise the header switching, so treat as
+  // infeasible.
+  if (dmax < 0.02) return std::nullopt;
+  return std::min(dmax, 0.98);
+}
+
+Power ScpgPowerModel::average_power_gated(Frequency f,
+                                          double duty_high) const {
+  SCPG_REQUIRE(rail_.has_value(), "model has no gated domain");
+  SCPG_REQUIRE(f.v > 0 && duty_high > 0 && duty_high < 1,
+               "bad operating point");
+  const RailParams& r = *rail_;
+  const Time T = period(f);
+  const Time t_off = T * duty_high;
+  const Time t_on = T * (1.0 - duty_high);
+  const Voltage v_end = r.v_after_off(t_off);
+
+  Energy per_cycle = e_dyn_;
+  per_cycle += r.leak_energy_off(t_off);
+  per_cycle += r.leak_energy_on(t_on, v_end);
+  per_cycle += r.recharge_energy(v_end);
+  per_cycle += r.crowbar_energy(v_end);
+  per_cycle += r.header_gate_energy();
+  per_cycle += r.p_hdr_off * t_off;
+
+  return p_aon_ + Power{per_cycle.v * f.v};
+}
+
+Power ScpgPowerModel::average_power_ungated(Frequency f) const {
+  SCPG_REQUIRE(f.v > 0, "frequency must be positive");
+  const Power gated_leak = rail_ ? rail_->p_gated : Power{};
+  return p_aon_ + gated_leak + Power{e_dyn_.v * f.v};
+}
+
+Power ScpgPowerModel::average_power(GatingMode mode, Frequency f) const {
+  const auto duty = duty_for(mode, f);
+  if (!duty) return average_power_ungated(f);
+  return average_power_gated(f, *duty);
+}
+
+Energy ScpgPowerModel::energy_per_op(GatingMode mode, Frequency f) const {
+  return Energy{average_power(mode, f).v / f.v};
+}
+
+} // namespace scpg

@@ -1,0 +1,83 @@
+// Analytic SCPG power/energy model.
+//
+// Combines the rail closed forms, the design's leakage split, the measured
+// dynamic energy per cycle, and the STA evaluation time into the quantities
+// the paper's tables and figures report: average power and energy per
+// operation as functions of clock frequency and duty cycle, for
+// {no gating, SCPG @ 50% duty, SCPG-Max}.  Dense sweeps (Figs 6/8) and the
+// budget/convergence solvers run on this model; the event-driven simulator
+// cross-validates it (tests/test_cross_validation.cpp).
+#pragma once
+
+#include <optional>
+
+#include "scpg/rail_model.hpp"
+#include "sta/sta.hpp"
+
+namespace scpg {
+
+/// How the clock duty cycle is chosen for a gated design.
+enum class GatingMode {
+  None,    ///< override asserted: headers always on (or original design)
+  Scpg50,  ///< SCPG at 50% duty (paper "Proposed SCPG")
+  ScpgMax, ///< SCPG at the optimal duty cycle (paper "Proposed SCPG-Max")
+};
+
+class ScpgPowerModel {
+public:
+  /// Builds a model for a design.  `e_dyn_cycle` is the measured dynamic
+  /// energy per clock cycle at the corner (from a calibration simulation);
+  /// `rail` is nullopt for designs without a gated domain.
+  ScpgPowerModel(Power p_always_on, Energy e_dyn_cycle,
+                 std::optional<RailParams> rail, Time t_eval_setup,
+                 Time margin = Time{0.0});
+
+  /// Extraction helper: leakage split + rail + STA from a netlist.
+  /// The netlist may be an original design (no gated domain -> no rail).
+  static ScpgPowerModel extract(const Netlist& nl, const SimConfig& cfg,
+                                Energy e_dyn_cycle);
+
+  [[nodiscard]] bool has_gating() const { return rail_.has_value(); }
+  [[nodiscard]] const RailParams& rail() const;
+  [[nodiscard]] Power p_always_on() const { return p_aon_; }
+  [[nodiscard]] Energy e_dyn_cycle() const { return e_dyn_; }
+  [[nodiscard]] Time t_eval_setup() const { return t_eval_setup_; }
+
+  /// Largest clock-high fraction at which the low phase still fits
+  /// T_PGStart + T_eval + T_setup + margin.  May be below 0.5 near Fmax
+  /// (the paper's "decreasing the duty cycle" case) or negative
+  /// (SCPG infeasible at this frequency).
+  [[nodiscard]] double max_duty_high(Frequency f) const;
+
+  /// True when SCPG can run at this frequency and duty.
+  [[nodiscard]] bool feasible(Frequency f, double duty_high) const;
+
+  /// Duty cycle actually used by a mode at f: 0.5 for Scpg50, the optimum
+  /// for ScpgMax (both clamped to feasibility), 0 for None.
+  /// Returns nullopt when the mode cannot gate at f (falls back to None).
+  [[nodiscard]] std::optional<double> duty_for(GatingMode mode,
+                                               Frequency f) const;
+
+  /// Average power at (f, duty) with gating active.
+  [[nodiscard]] Power average_power_gated(Frequency f,
+                                          double duty_high) const;
+
+  /// Average power with gating disabled (override) or for an ungated
+  /// design.
+  [[nodiscard]] Power average_power_ungated(Frequency f) const;
+
+  /// Average power under a mode (falls back to ungated when infeasible).
+  [[nodiscard]] Power average_power(GatingMode mode, Frequency f) const;
+
+  /// Energy per operation = average power / frequency.
+  [[nodiscard]] Energy energy_per_op(GatingMode mode, Frequency f) const;
+
+private:
+  Power p_aon_;
+  Energy e_dyn_;
+  std::optional<RailParams> rail_;
+  Time t_eval_setup_;
+  Time margin_;
+};
+
+} // namespace scpg

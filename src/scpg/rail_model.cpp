@@ -1,0 +1,106 @@
+#include "scpg/rail_model.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace scpg {
+
+Voltage RailParams::v_after_off(Time t_off) const {
+  SCPG_REQUIRE(t_off.v >= 0, "negative off time");
+  return Voltage{vdd.v * std::exp(-t_off.v / tau_decay().v)};
+}
+
+Time RailParams::t_ready_from(Voltage v0) const {
+  const double v_ready = ready_frac * vdd.v;
+  if (v0.v >= v_ready) return Time{0.0};
+  return Time{tau_charge().v *
+              std::log((vdd.v - v0.v) / (vdd.v - v_ready))};
+}
+
+Time RailParams::t_corrupt() const {
+  return Time{tau_decay().v * std::log(1.0 / corrupt_frac)};
+}
+
+Energy RailParams::leak_energy_off(Time t_off) const {
+  // integral of P_gated * exp(-2t/tau) over [0, t_off]
+  const double tau = tau_decay().v;
+  return Energy{p_gated.v * tau / 2.0 *
+                (1.0 - std::exp(-2.0 * t_off.v / tau))};
+}
+
+Energy RailParams::leak_energy_on(Time t_on, Voltage v0) const {
+  // integral of P_gated * (1 - k e^{-t/tau})^2 over [0, t_on],
+  // k = (Vdd - v0)/Vdd.
+  const double tau = tau_charge().v;
+  const double k = (vdd.v - v0.v) / vdd.v;
+  const double a = t_on.v;
+  const double e1 = 1.0 - std::exp(-a / tau);
+  const double e2 = 1.0 - std::exp(-2.0 * a / tau);
+  return Energy{p_gated.v * (a - 2.0 * k * tau * e1 + k * k * tau / 2.0 * e2)};
+}
+
+Energy RailParams::recharge_energy(Voltage v0) const {
+  // Resistive loss restoring the rail from v0.  The total supply draw is
+  // C*Vdd*dV, but half-ish of it replaces charge whose dissipation is
+  // already attributed to the off-phase leakage bucket (the rail
+  // discharges *through* the leakage paths); the genuinely extra cost of
+  // a gating cycle is the 1/2 C (Vdd - v0)^2 burned in the header
+  // resistance.  leak_energy_off + recharge_energy == C*Vdd*dV exactly.
+  const double dv = vdd.v - v0.v;
+  return Energy{0.5 * c_dom.v * dv * dv};
+}
+
+Energy RailParams::crowbar_energy(Voltage v0) const {
+  return crowbar_full * ((vdd.v - v0.v) / vdd.v);
+}
+
+Energy RailParams::header_gate_energy() const {
+  return Energy{hdr_gate_cap.v * vdd.v * vdd.v};
+}
+
+RailParams extract_rail_params(const Netlist& nl, const SimConfig& cfg) {
+  const TechModel& tech = nl.lib().tech();
+  const double lscale = tech.leak_scale(cfg.corner);
+  const double escale = tech.energy_scale(cfg.corner);
+  const double rscale = tech.resistance_scale(cfg.corner);
+
+  RailParams rp;
+  rp.vdd = cfg.corner.vdd;
+  rp.ready_frac = cfg.rail_ready_frac;
+  rp.corrupt_frac = cfg.rail_corrupt_frac;
+
+  double g_sum = 0;
+  double cap = 0;
+  std::vector<bool> net_seen(nl.num_nets(), false);
+  for (std::uint32_t ci = 0; ci < nl.num_cells(); ++ci) {
+    const CellId id{ci};
+    const Cell& c = nl.cell(id);
+    if (!c.is_macro() && nl.spec_of(id).kind == CellKind::Header) {
+      const CellSpec& s = nl.spec_of(id);
+      g_sum += 1.0 / (s.header_ron.v * rscale);
+      rp.p_hdr_off += s.header_off_leak * lscale;
+      rp.hdr_gate_cap += s.header_gate_cap;
+      continue;
+    }
+    if (c.domain != Domain::Gated) continue;
+    ++rp.gated_cells;
+    SCPG_REQUIRE(!c.is_macro(), "macros cannot be power gated");
+    rp.p_gated += nl.spec_of(id).leakage * lscale;
+    for (NetId o : c.outputs) {
+      if (!net_seen[o.v]) {
+        net_seen[o.v] = true;
+        cap += nl.net_load(o).v;
+      }
+    }
+  }
+  SCPG_REQUIRE(rp.gated_cells > 0, "netlist has no gated domain");
+  SCPG_REQUIRE(g_sum > 0, "netlist has no header cells");
+  rp.ron_eff = Resistance{1.0 / g_sum};
+  rp.c_dom = Capacitance{cap * cfg.rail_cap_factor};
+  rp.crowbar_full = Energy{cfg.crowbar_per_cell.v * escale *
+                           double(rp.gated_cells)};
+  return rp;
+}
+
+} // namespace scpg

@@ -1,0 +1,78 @@
+// First-order virtual-rail model (closed forms).
+//
+// The same physics the event-driven simulator integrates numerically,
+// expressed analytically so the SCPG power model can sweep thousands of
+// (frequency, duty) points instantly:
+//
+//   decay:  V(t) = V0 * exp(-t / tau_d),  tau_d = C_dom Vdd^2 / P_gated
+//           (domain leakage discharges the rail; linear-current model)
+//   charge: V(t) = Vdd - (Vdd - V0) * exp(-t / tau_c),  tau_c = Ron C_dom
+//   gated leakage power at rail voltage V: P_gated * (V/Vdd)^2
+//
+// The model and the simulator are cross-validated in
+// tests/test_cross_validation.cpp.
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "sim/simulator.hpp"
+#include "tech/tech_model.hpp"
+#include "util/units.hpp"
+
+namespace scpg {
+
+struct RailParams {
+  Capacitance c_dom{};       ///< total capacitance on the virtual rail
+  Resistance ron_eff{};      ///< parallel header on-resistance
+  Power p_gated{};           ///< gated-domain leakage at full rail (corner)
+  Power p_hdr_off{};         ///< OFF-header leakage (corner)
+  Capacitance hdr_gate_cap{};///< total header gate capacitance
+  std::size_t gated_cells{0};
+  Voltage vdd{};
+  Energy crowbar_full{};     ///< full-depth crowbar energy per power-up
+  double ready_frac{0.95};
+  double corrupt_frac{0.7};
+
+  [[nodiscard]] Time tau_decay() const {
+    return Time{c_dom.v * vdd.v * vdd.v / std::max(p_gated.v, 1e-15)};
+  }
+  [[nodiscard]] Time tau_charge() const {
+    return Time{ron_eff.v * c_dom.v};
+  }
+
+  /// Rail voltage after `t_off` of decay from full rail.
+  [[nodiscard]] Voltage v_after_off(Time t_off) const;
+
+  /// Time from the falling clock edge until the rail is usable again
+  /// (charge from v0 to ready_frac * vdd) — the paper's T_PGStart.
+  [[nodiscard]] Time t_ready_from(Voltage v0) const;
+
+  /// Time from power-off until the domain corrupts (rail crosses
+  /// corrupt_frac * vdd) — the window that preserves the register hold
+  /// time in Fig 4.
+  [[nodiscard]] Time t_corrupt() const;
+
+  /// Gated-domain leakage energy over a decay phase of length t_off
+  /// (from full rail).
+  [[nodiscard]] Energy leak_energy_off(Time t_off) const;
+
+  /// Gated-domain leakage energy over a charge-then-on phase of length
+  /// t_on starting from rail voltage v0.
+  [[nodiscard]] Energy leak_energy_on(Time t_on, Voltage v0) const;
+
+  /// Supply energy to recharge the rail from v0 (C Vdd dV).
+  [[nodiscard]] Energy recharge_energy(Voltage v0) const;
+
+  /// Crowbar rush energy for a power-up from v0.
+  [[nodiscard]] Energy crowbar_energy(Voltage v0) const;
+
+  /// Header gate switching energy per full gating cycle.
+  [[nodiscard]] Energy header_gate_energy() const;
+};
+
+/// Extracts the rail parameters of a transformed netlist at a corner,
+/// using the same conventions as the simulator (SimConfig supplies the
+/// crowbar/ cap-factor calibration).
+[[nodiscard]] RailParams extract_rail_params(const Netlist& nl,
+                                             const SimConfig& cfg);
+
+} // namespace scpg

@@ -1,0 +1,132 @@
+#include "scpg/traditional.hpp"
+
+#include <deque>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace scpg {
+
+namespace {
+
+/// Same rule as the SCPG transform: clock distribution stays powered so
+/// the wake-up edge can propagate.
+std::vector<bool> clock_path(const Netlist& nl) {
+  std::vector<bool> on_path(nl.num_cells(), false);
+  std::deque<NetId> work;
+  for (std::uint32_t ci = 0; ci < nl.num_cells(); ++ci) {
+    const CellId id{ci};
+    const Cell& c = nl.cell(id);
+    if (kind_is_sequential(nl.kind_of(id))) work.push_back(c.inputs[1]);
+    else if (c.is_macro() && nl.macro_spec(c.macro).has_clock)
+      work.push_back(c.inputs[0]);
+  }
+  while (!work.empty()) {
+    const NetId n = work.front();
+    work.pop_front();
+    const Net& net = nl.net(n);
+    if (!net.driven_by_cell()) continue;
+    const CellId d = net.driver_cell;
+    if (on_path[d.v] || !nl.is_comb_node(d)) continue;
+    on_path[d.v] = true;
+    for (NetId in : nl.cell(d).inputs) work.push_back(in);
+  }
+  return on_path;
+}
+
+} // namespace
+
+TraditionalPgInfo apply_traditional_pg(Netlist& nl,
+                                       const TraditionalPgOptions& opt) {
+  SCPG_REQUIRE(opt.header_count >= 1, "need at least one header");
+  nl.check();
+  const Library& lib = nl.lib();
+
+  TraditionalPgInfo info;
+  info.area_before = nl.total_area();
+
+  const PortId clk = nl.find_port(opt.clock_port);
+  SCPG_REQUIRE(clk.valid(), "clock port '" + opt.clock_port + "' not found");
+
+  // Everything powers down: combinational logic AND registers (the
+  // defining difference from SCPG).  Macros and the clock path stay on.
+  const std::vector<bool> on_clk_path = clock_path(nl);
+  const std::size_t original_cells = nl.num_cells();
+  std::vector<CellId> gated_flops;
+  for (std::uint32_t ci = 0; ci < original_cells; ++ci) {
+    const CellId id{ci};
+    const Cell& c = nl.cell(id);
+    if (c.is_macro()) continue;
+    const CellKind k = nl.kind_of(id);
+    SCPG_REQUIRE(k != CellKind::Header && k != CellKind::IsoLo &&
+                     k != CellKind::IsoHi,
+                 "netlist already contains power-gating cells");
+    if (on_clk_path[ci]) continue;
+    nl.cell(id).domain = Domain::Gated;
+    ++info.cells_gated;
+    if (kind_is_sequential(k)) gated_flops.push_back(id);
+  }
+  SCPG_REQUIRE(info.cells_gated > 0, "nothing to gate");
+
+  // Retention balloons: one always-on shadow cell per register.  The
+  // balloon's leakage and area are the retention cost; the actual state
+  // hand-off is modelled by the simulator's domain save/restore.
+  std::unordered_set<std::uint32_t> balloon_cells;
+  if (opt.retention) {
+    const SpecId ret = lib.pick(CellKind::RetBal, 1);
+    for (CellId ff : gated_flops) {
+      const NetId q = nl.cell(ff).outputs[0];
+      const NetId shadow = nl.add_net(nl.net(q).name + "_ret");
+      const CellId bc =
+          nl.add_cell(nl.cell(ff).name + "_ret", ret, {q}, shadow);
+      balloon_cells.insert(bc.v);
+      ++info.retention_cells;
+    }
+  }
+
+  // Sleep request and headers.  The controller's clamp-before-off order
+  // falls out of the inverter delay on NISO vs the direct header control.
+  info.sleep_req = nl.add_input(opt.sleep_port);
+  const SpecId hdr = lib.pick(CellKind::Header, opt.header_drive);
+  for (int i = 0; i < opt.header_count; ++i) {
+    const NetId vvdd = nl.add_net("tpg_vvdd" + std::to_string(i));
+    info.headers.push_back(
+        nl.add_cell("u_tpg_hdr" + std::to_string(i), hdr,
+                    {info.sleep_req}, vvdd));
+  }
+  const SpecId inv = lib.pick(CellKind::Inv, 1);
+  info.niso = nl.add_net("tpg_niso");
+  nl.add_cell("u_tpg_niso", inv, {info.sleep_req}, info.niso);
+
+  // Isolation on every net leaving the gated domain, except retention
+  // balloons (they are the domain's state-keepers, built to ride through
+  // power-down).
+  const SpecId iso = lib.pick(CellKind::IsoLo, 1);
+  std::vector<NetId> gated_nets;
+  for (std::uint32_t ci = 0; ci < nl.num_cells(); ++ci) {
+    const CellId id{ci};
+    if (nl.cell(id).domain != Domain::Gated) continue;
+    for (NetId o : nl.cell(id).outputs) gated_nets.push_back(o);
+  }
+  for (NetId n : gated_nets) {
+    std::vector<PinRef> aon_sinks;
+    for (const PinRef& s : nl.net(n).sinks)
+      if (nl.cell(s.cell).domain != Domain::Gated &&
+          !balloon_cells.contains(s.cell.v))
+        aon_sinks.push_back(s);
+    const std::vector<PortId> out_ports = nl.net(n).sink_ports;
+    if (aon_sinks.empty() && out_ports.empty()) continue;
+    const NetId ni = nl.add_net(nl.net(n).name + "_tiso");
+    nl.add_cell(nl.net(n).name + "_tisoc", iso, {n, info.niso}, ni);
+    for (const PinRef& s : aon_sinks) nl.rewire_input(s.cell, s.pin, ni);
+    for (PortId p : out_ports) nl.rewire_port(p, ni);
+    ++info.isolation_cells;
+  }
+
+  nl.check();
+  info.area_after = nl.total_area();
+  nl.set_name(nl.name() + "_tpg");
+  return info;
+}
+
+} // namespace scpg

@@ -1,0 +1,62 @@
+// Traditional (idle-mode) power gating — the baseline the paper improves
+// on (§I).
+//
+// Classic power gating shuts the WHOLE block down (combinational logic
+// AND registers) during extended idle periods: a power-gating controller
+// sequences clamp -> state save -> header off, and retention "balloon"
+// latches beside every register keep the state alive.  It saves nothing
+// while the block is actively clocked — which is exactly the gap
+// sub-clock power gating fills.
+//
+// apply_traditional_pg() builds that architecture on a netlist:
+//   * every cell (flops included) moves to the gated domain;
+//   * an always-on retention balloon cell is added per register (its
+//     leakage is the retention cost; the simulator's domain save/restore
+//     models the save/restore hand-off);
+//   * a `sleep_req` input drives the headers, and isolation clamps every
+//     primary output with NISO = !sleep_req (the controller's
+//     clamp-before-off ordering falls out of the gate delays);
+//   * the clock must be stopped by the system while sleep_req is high,
+//     as in any traditional PG design.
+//
+// bench_traditional_vs_scpg quantifies the paper's positioning: idle-mode
+// gating wins when the block sleeps for long stretches; SCPG wins while
+// the block is doing frequency-scaled active work.
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "util/units.hpp"
+
+namespace scpg {
+
+struct TraditionalPgOptions {
+  int header_drive{2};
+  int header_count{4};
+  /// Add an always-on retention balloon per register (disable to model a
+  /// state-lost design).
+  bool retention{true};
+  std::string sleep_port{"sleep_req"};
+  std::string clock_port{"clk"};
+};
+
+struct TraditionalPgInfo {
+  NetId sleep_req;  ///< sleep request input (1 = power down)
+  NetId niso;       ///< isolation control (active low)
+  std::vector<CellId> headers;
+  std::size_t cells_gated{0};
+  std::size_t retention_cells{0};
+  std::size_t isolation_cells{0};
+  Area area_before{};
+  Area area_after{};
+
+  [[nodiscard]] double area_overhead() const {
+    return area_before.v > 0 ? (area_after.v - area_before.v) / area_before.v
+                             : 0.0;
+  }
+};
+
+/// Applies traditional idle-mode power gating in place.
+TraditionalPgInfo apply_traditional_pg(Netlist& nl,
+                                       const TraditionalPgOptions& opt = {});
+
+} // namespace scpg

@@ -1,0 +1,168 @@
+#include "scpg/transform.hpp"
+
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace scpg {
+
+namespace {
+
+/// Cells on the clock distribution path (driving CK pins, directly or
+/// through buffers/inverters) must stay always-on.
+std::vector<bool> clock_path_cells(const Netlist& nl) {
+  std::vector<bool> on_path(nl.num_cells(), false);
+  std::deque<NetId> work;
+  for (std::uint32_t ci = 0; ci < nl.num_cells(); ++ci) {
+    const CellId id{ci};
+    const Cell& c = nl.cell(id);
+    const CellKind k = nl.kind_of(id);
+    if (kind_is_sequential(k)) {
+      work.push_back(c.inputs[1]); // CK pin
+    } else if (c.is_macro() && nl.macro_spec(c.macro).has_clock) {
+      work.push_back(c.inputs[0]);
+    }
+  }
+  while (!work.empty()) {
+    const NetId n = work.front();
+    work.pop_front();
+    const Net& net = nl.net(n);
+    if (!net.driven_by_cell()) continue;
+    const CellId d = net.driver_cell;
+    if (on_path[d.v]) continue;
+    if (!nl.is_comb_node(d)) continue;
+    on_path[d.v] = true;
+    for (NetId in : nl.cell(d).inputs) work.push_back(in);
+  }
+  return on_path;
+}
+
+} // namespace
+
+ScpgInfo apply_scpg(Netlist& nl, const ScpgOptions& opt) {
+  SCPG_REQUIRE(opt.header_count >= 1, "need at least one header");
+  nl.check();
+  const Library& lib = nl.lib();
+
+  ScpgInfo info;
+  info.area_before = nl.total_area();
+
+  const PortId clk_port = nl.find_port(opt.clock_port);
+  SCPG_REQUIRE(clk_port.valid(),
+               "clock port '" + opt.clock_port + "' not found");
+  SCPG_REQUIRE(nl.port(clk_port).dir == PortDir::In,
+               "clock port must be an input");
+  info.clk = nl.port(clk_port).net;
+
+  // ---- step 1 (paper Fig 5): domain separation --------------------------
+  const std::vector<bool> clk_path = clock_path_cells(nl);
+  const std::size_t original_cells = nl.num_cells();
+  for (std::uint32_t ci = 0; ci < original_cells; ++ci) {
+    const CellId id{ci};
+    const Cell& c = nl.cell(id);
+    if (c.is_macro()) continue;
+    const CellKind k = nl.kind_of(id);
+    if (!kind_is_combinational(k)) continue;
+    SCPG_REQUIRE(k != CellKind::Header && k != CellKind::IsoLo &&
+                     k != CellKind::IsoHi,
+                 "netlist already contains power-gating cells");
+    if (clk_path[ci]) continue;
+    nl.cell(id).domain = Domain::Gated;
+    ++info.cells_gated;
+  }
+  SCPG_REQUIRE(info.cells_gated > 0,
+               "design has no combinational logic to gate");
+
+  // ---- boundary buffers on register outputs entering the domain ---------
+  if (opt.boundary_buffers) {
+    const SpecId buf = lib.pick(CellKind::Buf, opt.buffer_drive);
+    for (std::uint32_t ci = 0; ci < original_cells; ++ci) {
+      const CellId id{ci};
+      if (!kind_is_sequential(nl.kind_of(id))) continue;
+      const NetId q = nl.cell(id).outputs[0];
+      // Snapshot gated sinks before rewiring.
+      std::vector<PinRef> gated_sinks;
+      for (const PinRef& s : nl.net(q).sinks)
+        if (nl.cell(s.cell).domain == Domain::Gated)
+          gated_sinks.push_back(s);
+      if (gated_sinks.empty()) continue;
+      const NetId bq = nl.add_net(nl.net(q).name + "_pgbuf");
+      const CellId bc = nl.add_cell(nl.cell(id).name + "_pgbuf", buf, {q}, bq);
+      nl.cell(bc).domain = Domain::Gated;
+      for (const PinRef& s : gated_sinks)
+        nl.rewire_input(s.cell, s.pin, bq);
+      ++info.buffer_cells;
+    }
+  }
+
+  // ---- step 2 (paper Fig 5): power-gating fabric --------------------------
+  // Sleep control: SLP = clk & override_n (Fig 2).  override_n low forces
+  // the headers on, disabling SCPG.
+  info.override_n = nl.add_input(opt.override_port);
+  const SpecId and2 = lib.pick(CellKind::And2, 1);
+  const SpecId inv = lib.pick(CellKind::Inv, 1);
+  info.sleep = nl.add_net("scpg_slp");
+  nl.add_cell("u_scpg_slp", and2, {info.clk, info.override_n}, info.sleep);
+
+  // Header bank on the virtual rail.
+  const SpecId hdr = lib.pick(CellKind::Header, opt.header_drive);
+  for (int i = 0; i < opt.header_count; ++i) {
+    const NetId vvdd = nl.add_net("vvdd" + std::to_string(i));
+    info.headers.push_back(nl.add_cell("u_hdr" + std::to_string(i), hdr,
+                                       {info.sleep}, vvdd));
+  }
+
+  // Virtual-rail sense: a TIEHI inside the gated domain (Fig 3).
+  const SpecId tiehi = lib.pick(CellKind::TieHi, 1);
+  info.sense = nl.add_net("scpg_sense");
+  const CellId sense_cell =
+      nl.add_cell("u_scpg_sense", tiehi, {}, info.sense);
+  nl.cell(sense_cell).domain = Domain::Gated;
+
+  // Isolation control: engage at the rising clock edge, release when the
+  // clock is low and (adaptive mode) the rail has recovered.
+  const NetId nclk = nl.add_net("scpg_nclk");
+  nl.add_cell("u_scpg_nclk", inv, {info.clk}, nclk);
+  if (opt.adaptive_controller) {
+    info.niso = nl.add_net("scpg_niso");
+    nl.add_cell("u_scpg_niso", and2, {nclk, info.sense}, info.niso);
+  } else {
+    info.niso = nclk;
+  }
+
+  // ---- isolation on every net leaving the gated domain -------------------
+  if (opt.insert_isolation) {
+    const SpecId iso = lib.pick(
+        opt.clamp == ScpgOptions::Clamp::Low ? CellKind::IsoLo
+                                             : CellKind::IsoHi,
+        1);
+    // Snapshot: nets driven by gated cells (before iso cells are added).
+    std::vector<NetId> gated_nets;
+    for (std::uint32_t ci = 0; ci < nl.num_cells(); ++ci) {
+      const CellId id{ci};
+      if (nl.cell(id).domain != Domain::Gated) continue;
+      for (NetId o : nl.cell(id).outputs) gated_nets.push_back(o);
+    }
+    for (NetId n : gated_nets) {
+      if (n == info.sense) continue; // the rail sense is the control itself
+      std::vector<PinRef> aon_sinks;
+      for (const PinRef& s : nl.net(n).sinks)
+        if (nl.cell(s.cell).domain != Domain::Gated)
+          aon_sinks.push_back(s);
+      const std::vector<PortId> out_ports = nl.net(n).sink_ports;
+      if (aon_sinks.empty() && out_ports.empty()) continue;
+      const NetId ni = nl.add_net(nl.net(n).name + "_iso");
+      nl.add_cell(nl.net(n).name + "_isoc", iso, {n, info.niso}, ni);
+      for (const PinRef& s : aon_sinks) nl.rewire_input(s.cell, s.pin, ni);
+      for (PortId p : out_ports) nl.rewire_port(p, ni);
+      ++info.isolation_cells;
+    }
+  }
+
+  nl.check();
+  info.area_after = nl.total_area();
+  nl.set_name(nl.name() + "_scpg");
+  return info;
+}
+
+} // namespace scpg

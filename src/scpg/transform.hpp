@@ -1,0 +1,94 @@
+// The sub-clock power gating transform (the paper's contribution).
+//
+// apply_scpg() implements the two extra steps of the paper's design flow
+// (Fig 5) plus the power-gating infrastructure of Fig 2/3 on a plain
+// synchronous netlist:
+//
+//  1. Domain separation — every combinational cell moves to the Gated
+//     domain; flip-flops, macros and the clock path stay AlwaysOn
+//     (the paper's "split netlist" step).
+//  2. Power-gating fabric —
+//      * an `override_n` input and the sleep control  SLP = clk & override_n
+//        (the header's PMOS gate is driven by the clock ANDed with the
+//        active-low override, Fig 2);
+//      * a bank of high-Vt PMOS header cells on the virtual rail;
+//      * isolation clamps on every net leaving the gated domain;
+//      * the adaptive isolation controller of Fig 3: a TIEHI inside the
+//        gated domain senses the virtual rail, and NISO = !clk & sense, so
+//        isolation engages as soon as the clock rises and releases only
+//        when the rail is back up;
+//      * optional boundary buffers on register outputs entering the gated
+//        domain (the placement-driven buffers the paper charges to its
+//        3.9% / 6.6% area overhead).
+//
+// With override_n = 0 the headers are forced on and the transformed design
+// is cycle-for-cycle equivalent to the original (verified by property
+// tests); with override_n = 1 the combinational domain powers down during
+// every clock-high phase.
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "util/units.hpp"
+
+namespace scpg {
+
+struct ScpgOptions {
+  /// Header bank: `header_count` parallel cells at drive `header_drive`.
+  int header_drive{2};
+  int header_count{4};
+
+  /// Clamp polarity of inserted isolation cells.
+  enum class Clamp { Low, High } clamp{Clamp::Low};
+
+  /// Insert isolation cells at all domain outputs (disable only for the
+  /// corruption-demonstration ablation).
+  bool insert_isolation{true};
+
+  /// Use the adaptive rail-sensing isolation controller (Fig 3).  When
+  /// false, isolation releases on the clock's falling edge regardless of
+  /// the rail voltage (ablation A1 in DESIGN.md).
+  bool adaptive_controller{true};
+
+  /// Buffer register outputs entering the gated domain.
+  bool boundary_buffers{true};
+
+  /// Drive strength of the boundary buffers (sized to the fanout cones
+  /// they drive: X2 suits the multiplier's narrow cones, the SCM0 presets
+  /// use X4 for its register-file fanouts).
+  int buffer_drive{2};
+
+  /// Name of the existing clock input port.
+  std::string clock_port{"clk"};
+
+  /// Name of the override input port to create (active low: 0 disables
+  /// gating by forcing the headers on).
+  std::string override_port{"override_n"};
+};
+
+/// Result of the transform (nets/cells of interest + overhead accounting).
+struct ScpgInfo {
+  NetId clk;        ///< clock net
+  NetId override_n; ///< override input net
+  NetId sleep;      ///< header control: clk & override_n
+  NetId niso;       ///< isolation control (active low)
+  NetId sense;      ///< virtual-rail sense (TIEHI in the gated domain)
+  std::vector<CellId> headers;
+
+  std::size_t cells_gated{0};
+  std::size_t isolation_cells{0};
+  std::size_t buffer_cells{0};
+  Area area_before{};
+  Area area_after{};
+
+  /// Area overhead fraction (paper: ~3.9% multiplier, ~6.6% Cortex-M0).
+  [[nodiscard]] double area_overhead() const {
+    return area_before.v > 0 ? (area_after.v - area_before.v) / area_before.v
+                             : 0.0;
+  }
+};
+
+/// Applies SCPG in place.  The netlist must pass check() and contain the
+/// named clock port.  Returns the inserted infrastructure.
+ScpgInfo apply_scpg(Netlist& nl, const ScpgOptions& opt = {});
+
+} // namespace scpg

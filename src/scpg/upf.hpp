@@ -1,0 +1,26 @@
+// UPF-style power-intent export.
+//
+// The paper's flow (Fig 5) declares the SCPG power-gating strategy in a
+// UPF (IEEE 1801) file so standard implementation tools place the
+// headers, isolation cells and supply nets.  write_upf() emits the
+// equivalent intent for a transformed netlist: the two power domains, the
+// virtual-supply net, the clock-controlled power switch, and the
+// isolation strategy with its adaptive control signal.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "scpg/transform.hpp"
+
+namespace scpg {
+
+/// Emits the UPF-subset power intent of a netlist transformed by
+/// apply_scpg().  `info` must be the transform's result for `nl`.
+void write_upf(const Netlist& nl, const ScpgInfo& info, std::ostream& os);
+
+[[nodiscard]] std::string write_upf_string(const Netlist& nl,
+                                           const ScpgInfo& info);
+
+} // namespace scpg

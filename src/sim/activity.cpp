@@ -1,0 +1,62 @@
+#include "sim/activity.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace scpg {
+
+ActivityRecorder::ActivityRecorder(const Netlist& nl, int cycles_per_window)
+    : nl_(&nl), cycles_per_window_(cycles_per_window) {
+  SCPG_REQUIRE(cycles_per_window >= 0, "negative window size");
+  per_net_.assign(nl.num_nets(), 0);
+}
+
+void ActivityRecorder::on_toggle(NetId net) {
+  ++per_net_[net.v];
+  ++total_;
+  ++window_toggles_;
+}
+
+void ActivityRecorder::on_cycle() {
+  ++cycles_;
+  if (cycles_per_window_ <= 0) return;
+  if (++window_cycles_ >= cycles_per_window_) close_window();
+}
+
+void ActivityRecorder::close_window() {
+  const double denom = double(nl_->num_nets()) * double(window_cycles_);
+  windows_.push_back(denom > 0 ? double(window_toggles_) / denom : 0.0);
+  window_toggles_ = 0;
+  window_cycles_ = 0;
+}
+
+double ActivityRecorder::average_activity() const {
+  if (cycles_ == 0 || nl_->num_nets() == 0) return 0.0;
+  return double(total_) / (double(nl_->num_nets()) * double(cycles_));
+}
+
+ActivityRecorder::Representative ActivityRecorder::representatives() const {
+  SCPG_REQUIRE(!windows_.empty(), "no completed activity windows");
+  double sum = 0;
+  std::size_t mn = 0, mx = 0;
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    sum += windows_[i];
+    if (windows_[i] < windows_[mn]) mn = i;
+    if (windows_[i] > windows_[mx]) mx = i;
+  }
+  const double mean = sum / double(windows_.size());
+  std::size_t avg = 0;
+  double best = std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    const double d = std::abs(windows_[i] - mean);
+    if (d < best) {
+      best = d;
+      avg = i;
+    }
+  }
+  return {mn, avg, mx};
+}
+
+} // namespace scpg

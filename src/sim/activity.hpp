@@ -1,0 +1,64 @@
+// Switching-activity recording.
+//
+// Mirrors the paper's methodology (§III-B): simulate the workload, record
+// per-net toggle counts, bucket them into windows ("vector groups" of N
+// clock cycles), and compute each window's switching probability —
+// toggles / (nets * cycles) — which is exactly the Fig 7 series.  The
+// recorder also keeps per-net totals for average-power estimation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace scpg {
+
+class ActivityRecorder {
+public:
+  /// `cycles_per_window` groups toggles into vector groups (0 = one big
+  /// window).
+  explicit ActivityRecorder(const Netlist& nl, int cycles_per_window = 0);
+
+  /// Called by the simulator on every known 0<->1 net transition.
+  void on_toggle(NetId net);
+
+  /// Called once per completed clock cycle (defines window boundaries).
+  void on_cycle();
+
+  [[nodiscard]] std::uint64_t toggles(NetId net) const {
+    return per_net_[net.v];
+  }
+  [[nodiscard]] std::uint64_t total_toggles() const { return total_; }
+  [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
+
+  /// Average toggles per net per cycle over the whole run.
+  [[nodiscard]] double average_activity() const;
+
+  /// Switching probability of each completed window (Fig 7 series).
+  [[nodiscard]] const std::vector<double>& window_activity() const {
+    return windows_;
+  }
+
+  /// Indices of the windows with minimum / maximum switching probability
+  /// and the one closest to the mean (the paper's three representative
+  /// vector groups).  Requires at least one completed window.
+  struct Representative {
+    std::size_t min_group, avg_group, max_group;
+  };
+  [[nodiscard]] Representative representatives() const;
+
+private:
+  void close_window();
+
+  const Netlist* nl_;
+  int cycles_per_window_;
+  std::vector<std::uint64_t> per_net_;
+  std::uint64_t total_{0};
+  std::uint64_t cycles_{0};
+  std::uint64_t window_toggles_{0};
+  int window_cycles_{0};
+  std::vector<double> windows_;
+};
+
+} // namespace scpg

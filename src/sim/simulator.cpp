@@ -1,0 +1,695 @@
+#include "sim/simulator.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace scpg {
+
+namespace {
+constexpr std::uint32_t kForcedGen = ~std::uint32_t{0};
+} // namespace
+
+struct Simulator::Event {
+  SimTime t{0};
+  std::uint64_t seq{0};
+  enum class Kind : std::uint8_t {
+    NetChange,
+    Callback,
+    DomainCorrupt,
+    DomainReady,
+  } kind{Kind::NetChange};
+  NetId net;
+  Logic value{Logic::X};
+  std::uint32_t gen{0};
+  std::function<void()> fn;
+};
+
+struct Simulator::DomainRt {
+  std::vector<CellId> cells;
+  std::vector<NetId> out_nets;
+  std::vector<CellId> boundary_aon; ///< AON cells reading gated outputs
+  double c_dom{0};                  // F
+  double ron_eff{0};                // Ohm
+  double p_hdr_off_w{0};            // W at corner
+  double hdr_gate_cap{0};           // F
+  std::size_t n_cells{0};
+
+  enum class Mode : std::uint8_t { On, Decay, Charge } mode{Mode::On};
+  double v_start{0};
+  SimTime t_start{0};
+  double tau_decay_s{1};
+  double tau_charge_s{1};
+  bool corrupted{false};
+  bool sleeping{false};
+  std::uint32_t event_gen{0};
+  std::vector<Logic> saved;
+};
+
+Simulator::Simulator(const Netlist& nl, SimConfig cfg)
+    : nl_(&nl),
+      cfg_(cfg),
+      queue_([](const Event& a, const Event& b) {
+        return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+      }) {
+  const TechModel& tech = nl.lib().tech();
+  dscale_ = tech.delay_scale(cfg.corner);
+  escale_ = tech.energy_scale(cfg.corner);
+  lscale_ = tech.leak_scale(cfg.corner);
+  vdd_ = cfg.corner.vdd.v;
+
+  const std::size_t nnets = nl.num_nets();
+  const std::size_t ncells = nl.num_cells();
+  values_.assign(nnets, Logic::X);
+  net_gen_.assign(nnets, 0);
+  net_sched_value_.assign(nnets, Logic::X);
+  net_sched_pending_.assign(nnets, false);
+  cell_delay_.assign(ncells, Time{});
+  cell_leak_w_.assign(ncells, 0.0);
+  net_cap_.resize(nnets);
+  macro_models_.resize(ncells);
+  dff_sampled_.assign(ncells, Logic::X);
+
+  for (std::uint32_t ni = 0; ni < nnets; ++ni)
+    net_cap_[ni] = nl.net_load(NetId{ni});
+
+  // Per-cell delay and initial (state-averaged) leakage.
+  for (std::uint32_t ci = 0; ci < ncells; ++ci) {
+    const CellId id{ci};
+    const Cell& c = nl.cell(id);
+    if (c.is_macro()) {
+      const MacroSpec& m = nl.macro_spec(c.macro);
+      cell_delay_[ci] = m.access_delay * dscale_;
+      macro_models_[ci] = m.make_model();
+      const double leak = m.leakage.v * lscale_;
+      cell_leak_w_[ci] = leak;
+      // Macros are never inside the gated domain.
+      SCPG_REQUIRE(c.domain == Domain::AlwaysOn,
+                   "macro '" + c.name + "' cannot be power gated");
+      p_aon_w_ += leak;
+      continue;
+    }
+    const CellSpec& s = nl.spec_of(id);
+    if (s.kind == CellKind::Header) continue; // accounted via the domain
+    if (s.is_sequential())
+      cell_delay_[ci] = s.clk_to_q * dscale_;
+    else
+      cell_delay_[ci] =
+          (s.intrinsic_delay + Time{(s.drive_res * net_cap_[c.outputs[0].v]).v}) *
+          dscale_;
+    const double leak = s.leakage.v * lscale_;
+    cell_leak_w_[ci] = leak;
+    if (c.domain == Domain::Gated)
+      p_gated_w_ += leak;
+    else
+      p_aon_w_ += leak;
+  }
+
+  // Gated-domain runtime.
+  std::vector<CellId> gated;
+  std::vector<CellId> headers;
+  for (std::uint32_t ci = 0; ci < ncells; ++ci) {
+    const CellId id{ci};
+    if (nl.kind_of(id) == CellKind::Header) headers.push_back(id);
+    else if (nl.cell(id).domain == Domain::Gated) gated.push_back(id);
+  }
+  if (!gated.empty()) {
+    SCPG_REQUIRE(!headers.empty(),
+                 "netlist has gated cells but no header cell");
+    domain_ = std::make_unique<DomainRt>();
+    domain_->cells = gated;
+    domain_->n_cells = gated.size();
+    double g_sum = 0;
+    for (CellId h : headers) {
+      const CellSpec& s = nl.spec_of(h);
+      // The PMOS on-resistance degrades with reduced gate drive at the
+      // operating supply, like every other transistor.
+      g_sum += 1.0 / (s.header_ron.v * dscale_);
+      domain_->p_hdr_off_w += s.header_off_leak.v * lscale_;
+      domain_->hdr_gate_cap += s.header_gate_cap.v;
+    }
+    domain_->ron_eff = 1.0 / g_sum;
+    std::vector<bool> is_gated_cell(ncells, false);
+    for (CellId g : gated) is_gated_cell[g.v] = true;
+    std::vector<bool> out_seen(nnets, false);
+    std::vector<bool> aon_seen(ncells, false);
+    double cap = 0;
+    for (CellId g : gated) {
+      for (NetId o : nl.cell(g).outputs) {
+        if (!out_seen[o.v]) {
+          out_seen[o.v] = true;
+          domain_->out_nets.push_back(o);
+          cap += net_cap_[o.v].v;
+          for (const PinRef& s : nl.net(o).sinks) {
+            if (!is_gated_cell[s.cell.v] && !aon_seen[s.cell.v]) {
+              aon_seen[s.cell.v] = true;
+              domain_->boundary_aon.push_back(s.cell);
+            }
+          }
+        }
+      }
+    }
+    domain_->c_dom = cap * cfg_.rail_cap_factor;
+    domain_->saved.assign(domain_->out_nets.size(), Logic::X);
+  } else {
+    // A netlist with headers but nothing gated is a configuration error.
+    SCPG_REQUIRE(headers.empty(),
+                 "netlist has header cells but no gated cells");
+  }
+
+  // Bootstrap: evaluate every combinational node once so constant cells
+  // (ties) and X-propagation settle from time 0.
+  for (std::uint32_t ci = 0; ci < ncells; ++ci) {
+    const CellId id{ci};
+    if (!nl.is_comb_node(id)) continue;
+    if (nl.cell(id).is_macro())
+      eval_macro_now(id, false);
+    else
+      eval_cell_now(id);
+  }
+}
+
+Simulator::~Simulator() = default;
+
+// --- scheduling --------------------------------------------------------------
+
+void Simulator::schedule_net(NetId net, Logic v, SimTime at) {
+  if (net_sched_pending_[net.v]) {
+    if (net_sched_value_[net.v] == v) return;
+    ++net_gen_[net.v]; // cancel the stale pending change
+    net_sched_pending_[net.v] = false;
+  }
+  if (values_[net.v] == v) return;
+  net_sched_pending_[net.v] = true;
+  net_sched_value_[net.v] = v;
+  Event e;
+  e.t = at;
+  e.seq = seq_++;
+  e.kind = Event::Kind::NetChange;
+  e.net = net;
+  e.value = v;
+  e.gen = net_gen_[net.v];
+  queue_.push(std::move(e));
+}
+
+void Simulator::drive_at(SimTime t, NetId net, Logic v) {
+  SCPG_REQUIRE(t >= now_, "drive_at in the past");
+  SCPG_REQUIRE(nl_->net(net).driven_by_port(),
+               "drive_at on a non-primary-input net");
+  Event e;
+  e.t = t;
+  e.seq = seq_++;
+  e.kind = Event::Kind::NetChange;
+  e.net = net;
+  e.value = v;
+  e.gen = kForcedGen; // applies unconditionally, in time order
+  queue_.push(std::move(e));
+}
+
+void Simulator::drive_bus_at(SimTime t, std::string_view name,
+                             std::uint64_t value, int width) {
+  for (int i = 0; i < width; ++i) {
+    const std::string pin = std::string(name) + "[" + std::to_string(i) + "]";
+    drive_at(t, nl_->port_net(pin), from_bool((value >> i) & 1));
+  }
+}
+
+void Simulator::call_at(SimTime t, std::function<void()> fn) {
+  SCPG_REQUIRE(t >= now_, "call_at in the past");
+  Event e;
+  e.t = t;
+  e.seq = seq_++;
+  e.kind = Event::Kind::Callback;
+  e.fn = std::move(fn);
+  queue_.push(std::move(e));
+}
+
+void Simulator::add_clock(NetId net, Frequency f, double duty_high,
+                          SimTime first_rise) {
+  SCPG_REQUIRE(f.v > 0, "clock frequency must be positive");
+  SCPG_REQUIRE(duty_high > 0 && duty_high < 1,
+               "duty cycle must be in (0, 1)");
+  const SimTime period_fs = to_fs(period(f));
+  const SimTime high_fs = SimTime(double(period_fs) * duty_high);
+  // Self-rescheduling callbacks; the lambda owns its phase.
+  auto rise = std::make_shared<std::function<void()>>();
+  auto fall = std::make_shared<std::function<void()>>();
+  *rise = [this, net, rise, fall, high_fs]() {
+    process_net_change(net, Logic::L1);
+    call_at(now_ + high_fs, *fall);
+  };
+  *fall = [this, net, rise, fall, period_fs, high_fs]() {
+    process_net_change(net, Logic::L0);
+    call_at(now_ + (period_fs - high_fs), *rise);
+  };
+  // Start low.
+  call_at(now_, [this, net]() { process_net_change(net, Logic::L0); });
+  call_at(first_rise, *rise);
+}
+
+void Simulator::on_rising_edge(NetId net, std::function<void()> fn) {
+  edge_hooks_.emplace_back(net, std::move(fn));
+}
+
+void Simulator::init_flops_to_zero() {
+  for (CellId f : nl_->flops()) {
+    dff_sampled_[f.v] = Logic::L0;
+    schedule_net(nl_->cell(f).outputs[0], Logic::L0, now_);
+  }
+}
+
+// --- leakage integration -------------------------------------------------------
+
+namespace {
+
+/// Integral of exp(-2 s / tau) over [a, b] (seconds).
+double int_exp2(double a, double b, double tau) {
+  return tau / 2.0 * (std::exp(-2.0 * a / tau) - std::exp(-2.0 * b / tau));
+}
+
+} // namespace
+
+void Simulator::integrate_to(SimTime t) {
+  if (t <= last_integrate_) return;
+  const double a_fs = double(last_integrate_);
+  const double b_fs = double(t);
+  const double dt = (b_fs - a_fs) * 1e-15;
+
+  tally_.leakage_aon += Energy{p_aon_w_ * dt};
+
+  if (!domain_) {
+    tally_.leakage_gated += Energy{p_gated_w_ * dt};
+    last_integrate_ = t;
+    return;
+  }
+
+  const DomainRt& d = *domain_;
+  double gated = 0;
+  switch (d.mode) {
+    case DomainRt::Mode::On:
+      gated = p_gated_w_ * dt;
+      break;
+    case DomainRt::Mode::Decay: {
+      const double a = (a_fs - double(d.t_start)) * 1e-15;
+      const double b = (b_fs - double(d.t_start)) * 1e-15;
+      const double r0 = d.v_start / vdd_;
+      gated = p_gated_w_ * r0 * r0 * int_exp2(a, b, d.tau_decay_s);
+      break;
+    }
+    case DomainRt::Mode::Charge: {
+      const double a = (a_fs - double(d.t_start)) * 1e-15;
+      const double b = (b_fs - double(d.t_start)) * 1e-15;
+      const double k = (vdd_ - d.v_start) / vdd_;
+      const double tau = d.tau_charge_s;
+      const double lin = (b - a);
+      const double mid = 2.0 * k * tau *
+                         (std::exp(-a / tau) - std::exp(-b / tau));
+      const double quad = k * k * int_exp2(a, b, tau);
+      gated = p_gated_w_ * (lin - mid + quad);
+      break;
+    }
+  }
+  tally_.leakage_gated += Energy{gated};
+  if (d.sleeping) tally_.header_off += Energy{d.p_hdr_off_w * dt};
+  last_integrate_ = t;
+}
+
+double Simulator::rail_v_at(SimTime t) const {
+  if (!domain_) return vdd_;
+  const DomainRt& d = *domain_;
+  const double dt = (double(t) - double(d.t_start)) * 1e-15;
+  switch (d.mode) {
+    case DomainRt::Mode::On:
+      return vdd_;
+    case DomainRt::Mode::Decay:
+      return d.v_start * std::exp(-dt / d.tau_decay_s);
+    case DomainRt::Mode::Charge:
+      return vdd_ - (vdd_ - d.v_start) * std::exp(-dt / d.tau_charge_s);
+  }
+  return vdd_;
+}
+
+Voltage Simulator::rail_voltage() const { return Voltage{rail_v_at(now_)}; }
+
+// --- domain power events --------------------------------------------------------
+
+void Simulator::domain_power_off(SimTime t) {
+  DomainRt& d = *domain_;
+  if (d.sleeping) return;
+  d.sleeping = true;
+  const double v0 = rail_v_at(t);
+  d.mode = DomainRt::Mode::Decay;
+  d.v_start = v0;
+  d.t_start = t;
+  // The rail discharges through the domain's own leakage (linear-current
+  // model => exponential decay).
+  const double p_leak = std::max(p_gated_w_, 1e-15);
+  d.tau_decay_s = d.c_dom * vdd_ * vdd_ / p_leak;
+  tally_.header_gate += Energy{0.5 * d.hdr_gate_cap * vdd_ * vdd_};
+  ++d.event_gen;
+  const double v_corrupt = cfg_.rail_corrupt_frac * vdd_;
+  if (!d.corrupted) {
+    SimTime at = t;
+    if (v0 > v_corrupt) {
+      const double dt_s = d.tau_decay_s * std::log(v0 / v_corrupt);
+      at = t + SimTime(dt_s * 1e15);
+    }
+    Event e;
+    e.t = at;
+    e.seq = seq_++;
+    e.kind = Event::Kind::DomainCorrupt;
+    e.gen = d.event_gen;
+    queue_.push(std::move(e));
+  }
+  if (vcd_ && vcd_rail_ != std::size_t(-1))
+    vcd_->change_real(t, vcd_rail_, v0);
+}
+
+void Simulator::domain_power_on(SimTime t) {
+  DomainRt& d = *domain_;
+  if (!d.sleeping) return;
+  d.sleeping = false;
+  const double v0 = rail_v_at(t);
+  const double dv = vdd_ - v0;
+  // Resistive restore loss only: the C*Vdd*dV supply draw minus the charge
+  // whose dissipation the off-phase leakage bucket already accounts for
+  // (see RailParams::recharge_energy).
+  tally_.rail_recharge += Energy{0.5 * d.c_dom * dv * dv};
+  tally_.crowbar += Energy{cfg_.crowbar_per_cell.v * escale_ *
+                           double(d.n_cells) * (dv / vdd_)};
+  tally_.header_gate += Energy{0.5 * d.hdr_gate_cap * vdd_ * vdd_};
+  d.mode = DomainRt::Mode::Charge;
+  d.v_start = v0;
+  d.t_start = t;
+  d.tau_charge_s = d.ron_eff * d.c_dom;
+  ++d.event_gen;
+  if (d.corrupted) {
+    const double v_ready = cfg_.rail_ready_frac * vdd_;
+    SimTime at = t;
+    if (v0 < v_ready) {
+      const double dt_s = d.tau_charge_s * std::log(dv / (vdd_ - v_ready));
+      at = t + SimTime(dt_s * 1e15);
+    }
+    Event e;
+    e.t = at;
+    e.seq = seq_++;
+    e.kind = Event::Kind::DomainReady;
+    e.gen = d.event_gen;
+    queue_.push(std::move(e));
+  }
+  if (vcd_ && vcd_rail_ != std::size_t(-1))
+    vcd_->change_real(t, vcd_rail_, v0);
+}
+
+void Simulator::domain_corrupt() {
+  DomainRt& d = *domain_;
+  d.corrupted = true;
+  for (std::size_t i = 0; i < d.out_nets.size(); ++i)
+    d.saved[i] = values_[d.out_nets[i].v];
+  for (NetId o : d.out_nets) {
+    const Net& n = nl_->net(o);
+    const CellKind k = nl_->kind_of(n.driver_cell);
+    // The rail sense (a tie cell inside the gated domain, paper Fig 3)
+    // reads the collapsed rail as logic 0; ordinary logic corrupts to X.
+    const Logic v = (k == CellKind::TieHi || k == CellKind::TieLo)
+                        ? Logic::L0
+                        : Logic::X;
+    schedule_net(o, v, now_);
+  }
+  if (vcd_ && vcd_rail_ != std::size_t(-1))
+    vcd_->change_real(now_, vcd_rail_, cfg_.rail_corrupt_frac * vdd_);
+}
+
+void Simulator::domain_ready() {
+  DomainRt& d = *domain_;
+  d.corrupted = false;
+  d.mode = DomainRt::Mode::On; // close enough to full rail from here on
+  d.v_start = vdd_;
+  d.t_start = now_;
+  // Restore the pre-collapse values silently: the energy to re-charge the
+  // internal nodes is already accounted by the rail_recharge bucket.
+  for (std::size_t i = 0; i < d.out_nets.size(); ++i) {
+    const NetId o = d.out_nets[i];
+    if (net_sched_pending_[o.v]) {
+      ++net_gen_[o.v];
+      net_sched_pending_[o.v] = false;
+    }
+    if (values_[o.v] != d.saved[i]) {
+      values_[o.v] = d.saved[i];
+      if (vcd_) vcd_->change(now_, o, d.saved[i]);
+      for (const PinRef& s : nl_->net(o).sinks) {
+        const Cell& c = nl_->cell(s.cell);
+        if (!c.is_macro() && nl_->spec_of(s.cell).kind != CellKind::Header)
+          update_cell_leak(s.cell);
+      }
+    }
+  }
+  // Re-evaluate the domain (the paper's T_eval after T_PGStart) and the
+  // always-on cells watching its outputs (isolation cells, rail sense
+  // consumers).
+  for (CellId g : d.cells) {
+    if (nl_->cell(g).is_macro()) continue;
+    eval_cell_now(g);
+  }
+  for (CellId a : d.boundary_aon) {
+    const Cell& c = nl_->cell(a);
+    if (c.is_macro()) {
+      eval_macro_now(a, false);
+    } else {
+      const CellKind k = nl_->spec_of(a).kind;
+      if (kind_is_combinational(k)) eval_cell_now(a);
+    }
+  }
+  if (vcd_ && vcd_rail_ != std::size_t(-1))
+    vcd_->change_real(now_, vcd_rail_, cfg_.rail_ready_frac * vdd_);
+}
+
+// --- evaluation -----------------------------------------------------------------
+
+void Simulator::eval_cell_now(CellId cell) {
+  const Cell& c = nl_->cell(cell);
+  const CellSpec& s = nl_->spec_of(cell);
+  if (!kind_is_combinational(s.kind)) return;
+  std::array<Logic, 8> in{};
+  for (std::size_t i = 0; i < c.inputs.size(); ++i)
+    in[i] = values_[c.inputs[i].v];
+  const Logic y = eval_cell(
+      s.kind, std::span<const Logic>(in.data(), c.inputs.size()));
+  schedule_net(c.outputs[0], y, now_ + to_fs(cell_delay_[cell.v]));
+}
+
+void Simulator::eval_macro_now(CellId cell, bool clocked_edge) {
+  const Cell& c = nl_->cell(cell);
+  const MacroSpec& m = nl_->macro_spec(c.macro);
+  std::vector<Logic> in(c.inputs.size());
+  for (std::size_t i = 0; i < c.inputs.size(); ++i)
+    in[i] = values_[c.inputs[i].v];
+  if (clocked_edge) macro_models_[cell.v]->clock_edge(in);
+  std::vector<Logic> out(c.outputs.size(), Logic::X);
+  macro_models_[cell.v]->eval(in, out);
+  const SimTime at = now_ + to_fs(cell_delay_[cell.v]);
+  for (std::size_t i = 0; i < c.outputs.size(); ++i)
+    schedule_net(c.outputs[i], out[i], at);
+}
+
+void Simulator::update_cell_leak(CellId cell) {
+  const Cell& c = nl_->cell(cell);
+  if (c.is_macro()) return;
+  const CellSpec& s = nl_->spec_of(cell);
+  if (s.kind == CellKind::Header) return;
+  std::array<Logic, 8> in{};
+  for (std::size_t i = 0; i < c.inputs.size(); ++i)
+    in[i] = values_[c.inputs[i].v];
+  double leak =
+      leakage_in_state(s, std::span<const Logic>(in.data(),
+                                                 c.inputs.size()))
+          .v *
+      lscale_;
+  // Unclamped X on an always-on cell's input burns short-circuit-like
+  // leakage (see SimConfig::x_input_leak_penalty).  Gated cells are
+  // excluded (their rail is collapsed) and so are isolation cells.
+  if (c.domain != Domain::Gated && s.kind != CellKind::IsoLo &&
+      s.kind != CellKind::IsoHi && s.kind != CellKind::RetBal &&
+      cfg_.x_input_leak_penalty > 1.0) {
+    for (std::size_t i = 0; i < c.inputs.size(); ++i)
+      if (!is_known(in[i])) {
+        leak *= cfg_.x_input_leak_penalty;
+        break;
+      }
+  }
+  const double diff = leak - cell_leak_w_[cell.v];
+  cell_leak_w_[cell.v] = leak;
+  if (c.domain == Domain::Gated)
+    p_gated_w_ += diff;
+  else
+    p_aon_w_ += diff;
+}
+
+void Simulator::process_net_change(NetId net, Logic v) {
+  const Logic old = values_[net.v];
+  if (old == v) return;
+  values_[net.v] = v;
+
+  const Net& n = nl_->net(net);
+
+  // Energy of the transition.
+  if (is_known(old) && is_known(v)) {
+    tally_.switching += Energy{0.5 * net_cap_[net.v].v * vdd_ * vdd_};
+    if (n.driven_by_cell()) {
+      const Cell& d = nl_->cell(n.driver_cell);
+      if (d.is_macro())
+        tally_.macro_access +=
+            nl_->macro_spec(d.macro).energy_per_access * escale_;
+      else
+        tally_.internal += nl_->spec_of(n.driver_cell).internal_energy *
+                           escale_;
+    }
+    if (activity_) activity_->on_toggle(net);
+  }
+  if (vcd_) vcd_->change(now_, net, v);
+
+  // Sink reactions.
+  for (const PinRef& s : n.sinks) {
+    const Cell& c = nl_->cell(s.cell);
+    if (c.is_macro()) {
+      update_cell_leak(s.cell); // no-op for macros but keeps symmetry
+      const MacroSpec& m = nl_->macro_spec(c.macro);
+      if (m.has_clock && s.pin == 0) {
+        if (old == Logic::L0 && v == Logic::L1) eval_macro_now(s.cell, true);
+      } else {
+        eval_macro_now(s.cell, false);
+      }
+      continue;
+    }
+    const CellSpec& spec = nl_->spec_of(s.cell);
+    update_cell_leak(s.cell);
+    switch (spec.kind) {
+      case CellKind::Header: {
+        if (v == Logic::L1)
+          domain_power_off(now_);
+        else if (v == Logic::L0)
+          domain_power_on(now_);
+        break;
+      }
+      case CellKind::Dff:
+      case CellKind::DffR: {
+        // A flop inside a collapsed domain holds nothing: it neither
+        // samples nor drives (traditional power gating keeps state in
+        // always-on retention balloons; the domain save/restore models
+        // that hand-off).
+        if (c.domain == Domain::Gated && domain_ && domain_->corrupted)
+          break;
+        const bool has_reset = spec.kind == CellKind::DffR;
+        if (s.pin == 1 && old == Logic::L0 && v == Logic::L1) {
+          Logic d = values_[c.inputs[0].v];
+          if (has_reset && values_[c.inputs[2].v] == Logic::L0)
+            d = Logic::L0;
+          dff_sampled_[s.cell.v] = d;
+          schedule_net(c.outputs[0], d,
+                       now_ + to_fs(cell_delay_[s.cell.v]));
+        } else if (has_reset && s.pin == 2 && v == Logic::L0) {
+          dff_sampled_[s.cell.v] = Logic::L0;
+          schedule_net(c.outputs[0], Logic::L0,
+                       now_ + to_fs(cell_delay_[s.cell.v] * 0.5));
+        }
+        break;
+      }
+      default: {
+        if (c.domain == Domain::Gated && domain_ && domain_->corrupted)
+          break; // frozen while the rail is collapsed
+        eval_cell_now(s.cell);
+        break;
+      }
+    }
+  }
+
+  // User edge hooks.
+  if (old == Logic::L0 && v == Logic::L1)
+    for (auto& [hnet, fn] : edge_hooks_)
+      if (hnet == net) fn();
+}
+
+void Simulator::run_until(SimTime t) {
+  SCPG_REQUIRE(t >= now_, "run_until into the past");
+  while (!queue_.empty() && queue_.top().t <= t) {
+    Event e = queue_.top();
+    queue_.pop();
+    SCPG_ASSERT(e.t >= now_);
+    now_ = e.t;
+    integrate_to(now_);
+    switch (e.kind) {
+      case Event::Kind::NetChange: {
+        if (e.gen != kForcedGen) {
+          if (e.gen != net_gen_[e.net.v]) break; // cancelled
+          net_sched_pending_[e.net.v] = false;
+        }
+        process_net_change(e.net, e.value);
+        break;
+      }
+      case Event::Kind::Callback:
+        e.fn();
+        break;
+      case Event::Kind::DomainCorrupt:
+        if (domain_ && e.gen == domain_->event_gen) domain_corrupt();
+        break;
+      case Event::Kind::DomainReady:
+        if (domain_ && e.gen == domain_->event_gen) domain_ready();
+        break;
+    }
+  }
+  now_ = t;
+  integrate_to(now_);
+}
+
+// --- observation -------------------------------------------------------------
+
+Logic Simulator::output(std::string_view port) const {
+  const PortId p = nl_->find_port(port);
+  SCPG_REQUIRE(p.valid(), "unknown port: " + std::string(port));
+  return values_[nl_->port(p).net.v];
+}
+
+std::uint64_t Simulator::read_bus(std::string_view name, int width) const {
+  SCPG_REQUIRE(width >= 1 && width <= 64, "bus width out of range");
+  std::uint64_t v = 0;
+  for (int i = 0; i < width; ++i) {
+    const std::string pin = std::string(name) + "[" + std::to_string(i) + "]";
+    NetId net;
+    if (const PortId p = nl_->find_port(pin); p.valid())
+      net = nl_->port(p).net;
+    else
+      net = nl_->find_net(pin);
+    SCPG_REQUIRE(net.valid(), "unknown bus bit: " + pin);
+    const Logic b = values_[net.v];
+    SCPG_REQUIRE(is_known(b), "bus bit is X/Z: " + pin);
+    if (b == Logic::L1) v |= std::uint64_t(1) << i;
+  }
+  return v;
+}
+
+const PowerTally& Simulator::tally() {
+  integrate_to(now_);
+  tally_.window = from_fs(now_ - tally_start_);
+  return tally_;
+}
+
+void Simulator::reset_tally() {
+  integrate_to(now_);
+  tally_.reset();
+  tally_start_ = now_;
+}
+
+MacroModel* Simulator::macro_model(CellId cell) {
+  SCPG_REQUIRE(cell.v < macro_models_.size() && macro_models_[cell.v],
+               "cell is not a macro instance");
+  return macro_models_[cell.v].get();
+}
+
+void Simulator::attach_vcd(VcdWriter* vcd, std::size_t rail_handle) {
+  vcd_ = vcd;
+  vcd_rail_ = rail_handle;
+  if (vcd_) vcd_->begin();
+}
+
+} // namespace scpg

@@ -1,0 +1,196 @@
+// Event-driven gate-level simulator with power accounting and a
+// first-order virtual-rail model for sub-clock power gating.
+//
+// This is the reproduction's substitute for the paper's HSpice runs
+// (DESIGN.md §2).  It simulates 4-state logic with per-cell load-dependent
+// delays and attributes every joule to a PowerTally bucket:
+//
+//  * switching/internal energy on known 0<->1 transitions;
+//  * state-dependent leakage, integrated in closed form between events;
+//  * the gated domain's leakage scaled by (V_rail/Vdd)^2 while the rail
+//    decays exponentially (tau = C_dom * Vdd^2 / P_leak_domain);
+//  * SCPG overheads on every gating cycle: the resistive rail-restore
+//    loss 1/2 C_dom (Vdd - V0)^2 (the off-phase leakage bucket already
+//    covers the charge the rail lost), crowbar rush proportional to
+//    domain size and collapse depth, and header gate-cap switching.
+//
+// Power-gating semantics: a Header cell's SLEEP input high starts the rail
+// decay; when the rail falls below `rail_corrupt_frac * Vdd` the domain's
+// outputs corrupt to X (values are saved); SLEEP low recharges through the
+// header's Ron, and at `rail_ready_frac * Vdd` the saved values are
+// restored and every gated cell re-evaluates — reproducing the
+// T_hold / T_PGoff / T_PGStart / T_eval phases of the paper's Fig 4.
+// A TIEHI cell inside the gated domain tracks the rail (1 when up, 0 when
+// collapsed), which is exactly the rail sense the paper's isolation
+// controller (Fig 3) uses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/activity.hpp"
+#include "sim/tally.hpp"
+#include "sim/vcd.hpp"
+
+namespace scpg {
+
+/// Simulation timestamps in femtoseconds.
+using SimTime = std::int64_t;
+
+[[nodiscard]] constexpr SimTime to_fs(Time t) {
+  return SimTime(t.v * 1e15 + (t.v >= 0 ? 0.5 : -0.5));
+}
+[[nodiscard]] constexpr Time from_fs(SimTime t) { return Time{double(t) * 1e-15}; }
+
+struct SimConfig {
+  Corner corner{Voltage{0.6}, 25.0};
+
+  /// Rail fraction below which gated logic corrupts (drives X).
+  double rail_corrupt_frac{0.7};
+  /// Rail fraction above which gated logic is functional again.
+  double rail_ready_frac{0.95};
+  /// Crowbar (rush-through) energy per gated cell per full-depth power-up,
+  /// characterised at the nominal corner; scaled by CV^2 and by the actual
+  /// collapse depth dV/Vdd.
+  Energy crowbar_per_cell{0.45e-15};
+  /// Multiplier on the summed gated-domain node capacitance: the fraction
+  /// that actually hangs on the virtual rail (diffusion, well and local
+  /// wiring; fanout gate caps are referenced to ground and do not
+  /// discharge with the rail).  Calibrated so the multiplier's SCPG
+  /// convergence point lands near the paper's ~15 MHz.
+  double rail_cap_factor{0.5};
+
+  /// Leakage multiplier for always-on cells with a floating/unknown input
+  /// (an unclamped input from a collapsed domain sits mid-rail and turns
+  /// both stacks partially on).  This is the electrical cost isolation
+  /// cells exist to prevent; isolation cells themselves are exempt (they
+  /// are built to tolerate a collapsed input).
+  double x_input_leak_penalty{6.0};
+};
+
+class Simulator {
+public:
+  Simulator(const Netlist& nl, SimConfig cfg);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] const Netlist& netlist() const { return *nl_; }
+  [[nodiscard]] const SimConfig& config() const { return cfg_; }
+
+  // --- stimulus -------------------------------------------------------------
+
+  /// Schedules a primary-input change at absolute time `t` (>= now).
+  void drive_at(SimTime t, NetId net, Logic v);
+
+  /// Drives bus bits "name[0..width-1]" at time t.
+  void drive_bus_at(SimTime t, std::string_view name, std::uint64_t value,
+                    int width);
+
+  /// Free-running clock on an input net: rises at `first_rise`, stays high
+  /// `duty_high` of the period.  The paper's SCPG-Max raises duty_high.
+  void add_clock(NetId net, Frequency f, double duty_high,
+                 SimTime first_rise);
+
+  /// Schedules a callback (runs before net events at the same timestamp
+  /// are guaranteed only w.r.t. later-scheduled events; use for stimulus).
+  void call_at(SimTime t, std::function<void()> fn);
+
+  /// Registers a callback on every rising edge of `net` (e.g. per-cycle
+  /// stimulus or cycle counting).
+  void on_rising_edge(NetId net, std::function<void()> fn);
+
+  /// Presets every flip-flop output to 0 (time-0 initialisation).
+  void init_flops_to_zero();
+
+  // --- execution ------------------------------------------------------------
+
+  void run_until(SimTime t);
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  // --- observation -----------------------------------------------------------
+
+  [[nodiscard]] Logic value(NetId net) const { return values_[net.v]; }
+  [[nodiscard]] Logic output(std::string_view port) const;
+  [[nodiscard]] std::uint64_t read_bus(std::string_view name,
+                                       int width) const;
+
+  /// Power tally, integrated up to now().
+  [[nodiscard]] const PowerTally& tally();
+
+  /// Restarts accounting at now() (call after warm-up).
+  void reset_tally();
+
+  /// True if the netlist contains a gated domain (header + gated cells).
+  [[nodiscard]] bool has_gated_domain() const { return domain_ != nullptr; }
+
+  /// Virtual rail voltage at now().
+  [[nodiscard]] Voltage rail_voltage() const;
+
+  [[nodiscard]] MacroModel* macro_model(CellId cell);
+
+  // --- instrumentation --------------------------------------------------------
+
+  /// Writer must outlive the simulator; begin() is called by the simulator
+  /// (declare extra real signals before attaching).  The virtual rail is
+  /// recorded as real signal handle `rail_handle` if provided.
+  void attach_vcd(VcdWriter* vcd, std::size_t rail_handle = std::size_t(-1));
+  void attach_activity(ActivityRecorder* rec) { activity_ = rec; }
+
+private:
+  struct Event;
+  struct DomainRt;
+
+  void process_net_change(NetId net, Logic v);
+  void eval_cell_now(CellId cell);
+  void eval_macro_now(CellId cell, bool clocked_edge);
+  void schedule_net(NetId net, Logic v, SimTime at);
+  void update_cell_leak(CellId cell);
+  void integrate_to(SimTime t);
+  void domain_power_off(SimTime t);
+  void domain_power_on(SimTime t);
+  void domain_corrupt();
+  void domain_ready();
+  [[nodiscard]] double rail_v_at(SimTime t) const;
+
+  const Netlist* nl_;
+  SimConfig cfg_;
+  double dscale_, escale_, lscale_;
+  double vdd_;
+
+  SimTime now_{0};
+  std::uint64_t seq_{0};
+  std::priority_queue<Event, std::vector<Event>,
+                      std::function<bool(const Event&, const Event&)>>
+      queue_;
+
+  std::vector<Logic> values_;
+  std::vector<std::uint32_t> net_gen_;      // latest scheduled generation
+  std::vector<Logic> net_sched_value_;      // value of latest schedule
+  std::vector<bool> net_sched_pending_;
+  std::vector<Time> cell_delay_;            // per cell, at corner
+  std::vector<double> cell_leak_w_;         // per cell, at corner, current state
+  std::vector<Capacitance> net_cap_;        // cached loads
+  std::vector<std::unique_ptr<MacroModel>> macro_models_;
+  std::vector<Logic> dff_sampled_;          // captured D per flop at posedge
+
+  double p_aon_w_{0};   // always-on leakage at corner (state-dependent sum)
+  double p_gated_w_{0}; // gated-domain leakage at full rail
+  SimTime last_integrate_{0};
+
+  std::unique_ptr<DomainRt> domain_;
+  PowerTally tally_;
+  SimTime tally_start_{0};
+
+  std::vector<std::pair<NetId, std::function<void()>>> edge_hooks_;
+  ActivityRecorder* activity_{nullptr};
+  VcdWriter* vcd_{nullptr};
+  std::size_t vcd_rail_{std::size_t(-1)};
+};
+
+} // namespace scpg

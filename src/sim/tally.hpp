@@ -1,0 +1,46 @@
+// Energy accounting buckets for the event-driven simulator.
+//
+// Every joule the simulator spends is attributed to one bucket so the
+// benches can report the same decomposition the paper discusses: dynamic
+// vs leakage vs the three SCPG overhead terms (rail recharge, crowbar
+// current, header gate switching).
+#pragma once
+
+#include "util/units.hpp"
+
+namespace scpg {
+
+struct PowerTally {
+  Energy switching{};     ///< 0.5 C V^2 net transitions (known 0<->1 only)
+  Energy internal{};      ///< cell internal/short-circuit energy
+  Energy leakage_aon{};   ///< always-on domain leakage (integrated)
+  Energy leakage_gated{}; ///< gated-domain leakage (rail-scaled, integrated)
+  Energy header_off{};    ///< leakage through OFF headers while gated
+  Energy rail_recharge{}; ///< resistive restore loss 1/2 C (Vdd-V0)^2
+  Energy crowbar{};       ///< short-circuit rush while the rail ramps
+  Energy header_gate{};   ///< switching the header gate capacitance
+  Energy macro_access{};  ///< ROM/RAM access energy
+
+  Time window{}; ///< simulated time covered by this tally
+
+  [[nodiscard]] Energy dynamic_total() const {
+    return switching + internal + macro_access;
+  }
+  [[nodiscard]] Energy leakage_total() const {
+    return leakage_aon + leakage_gated + header_off;
+  }
+  [[nodiscard]] Energy gating_overhead() const {
+    return rail_recharge + crowbar + header_gate;
+  }
+  [[nodiscard]] Energy total() const {
+    return dynamic_total() + leakage_total() + gating_overhead();
+  }
+  /// Average power over the accounted window.
+  [[nodiscard]] Power average() const {
+    return window.v > 0 ? Power{total().v / window.v} : Power{};
+  }
+
+  void reset() { *this = PowerTally{}; }
+};
+
+} // namespace scpg

@@ -1,0 +1,92 @@
+#include "sim/vcd.hpp"
+
+#include "util/error.hpp"
+
+namespace scpg {
+
+VcdWriter::VcdWriter(const std::string& path, const Netlist& nl,
+                     std::int64_t timescale_fs)
+    : os_(path), nl_(&nl), timescale_fs_(timescale_fs) {
+  SCPG_REQUIRE(os_.good(), "cannot open VCD file: " + path);
+  SCPG_REQUIRE(timescale_fs >= 1, "timescale must be at least 1 fs");
+  enabled_.assign(nl.num_nets(), true);
+}
+
+VcdWriter::~VcdWriter() = default;
+
+void VcdWriter::select(const std::vector<NetId>& nets) {
+  SCPG_REQUIRE(!begun_, "select() must precede begin()");
+  enabled_.assign(nl_->num_nets(), false);
+  for (NetId n : nets) enabled_[n.v] = true;
+}
+
+std::size_t VcdWriter::add_real(const std::string& name) {
+  SCPG_REQUIRE(!begun_, "add_real() must precede begin()");
+  real_signals_.push_back(name);
+  return real_signals_.size() - 1;
+}
+
+std::string VcdWriter::code_of(std::size_t idx) const {
+  // Identifier codes: printable ASCII 33..126, little-endian base-94.
+  std::string code;
+  do {
+    code += char(33 + idx % 94);
+    idx /= 94;
+  } while (idx);
+  return code;
+}
+
+void VcdWriter::begin() {
+  SCPG_REQUIRE(!begun_, "begin() called twice");
+  begun_ = true;
+  os_ << "$date scpg simulation $end\n";
+  os_ << "$version scpg 1.0 $end\n";
+  if (timescale_fs_ % 1000000 == 0)
+    os_ << "$timescale " << timescale_fs_ / 1000000 << " ns $end\n";
+  else if (timescale_fs_ % 1000 == 0)
+    os_ << "$timescale " << timescale_fs_ / 1000 << " ps $end\n";
+  else
+    os_ << "$timescale " << timescale_fs_ << " fs $end\n";
+  os_ << "$scope module " << nl_->name() << " $end\n";
+  for (std::uint32_t ni = 0; ni < nl_->num_nets(); ++ni) {
+    if (!enabled_[ni]) continue;
+    os_ << "$var wire 1 " << code_of(ni) << ' ';
+    // Bus bits like a[3] need the index split out for viewers.
+    const std::string& name = nl_->net(NetId{ni}).name;
+    const auto br = name.find('[');
+    if (br != std::string::npos)
+      os_ << name.substr(0, br) << ' ' << name.substr(br);
+    else
+      os_ << name;
+    os_ << " $end\n";
+  }
+  for (std::size_t i = 0; i < real_signals_.size(); ++i)
+    os_ << "$var real 64 " << code_of(nl_->num_nets() + i) << ' '
+        << real_signals_[i] << " $end\n";
+  os_ << "$upscope $end\n$enddefinitions $end\n";
+}
+
+void VcdWriter::stamp(std::int64_t t_fs) {
+  const std::int64_t t = t_fs / timescale_fs_;
+  if (t != last_t_) {
+    os_ << '#' << t << '\n';
+    last_t_ = t;
+  }
+}
+
+void VcdWriter::change(std::int64_t t_fs, NetId net, Logic v) {
+  SCPG_REQUIRE(begun_, "change() before begin()");
+  if (!enabled_[net.v]) return;
+  stamp(t_fs);
+  os_ << logic_char(v) << code_of(net.v) << '\n';
+}
+
+void VcdWriter::change_real(std::int64_t t_fs, std::size_t handle,
+                            double v) {
+  SCPG_REQUIRE(begun_, "change_real() before begin()");
+  SCPG_REQUIRE(handle < real_signals_.size(), "unknown real signal");
+  stamp(t_fs);
+  os_ << 'r' << v << ' ' << code_of(nl_->num_nets() + handle) << '\n';
+}
+
+} // namespace scpg

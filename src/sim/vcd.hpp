@@ -1,0 +1,57 @@
+// Value Change Dump writer.
+//
+// The paper's methodology dumps switching activity from Modelsim as VCD and
+// feeds it to PrimeTime-PX; this writer produces the same artefact from our
+// simulators so waveforms (including the virtual rail and the isolation
+// control) can be inspected in any VCD viewer.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace scpg {
+
+class VcdWriter {
+public:
+  /// Opens the file and writes the header.  `timescale_fs` is the LSB of
+  /// timestamps in femtoseconds (default 1 ps = 1000 fs).
+  VcdWriter(const std::string& path, const Netlist& nl,
+            std::int64_t timescale_fs = 1000);
+  ~VcdWriter();
+
+  VcdWriter(const VcdWriter&) = delete;
+  VcdWriter& operator=(const VcdWriter&) = delete;
+
+  /// Restricts recording to the given nets (default: all nets).
+  void select(const std::vector<NetId>& nets);
+
+  /// Declares a real-valued auxiliary signal (e.g. the virtual rail
+  /// voltage); must be called before begin().  Returns its handle.
+  std::size_t add_real(const std::string& name);
+
+  /// Must be called once before the first change().
+  void begin();
+
+  /// Records a value change at an absolute time in femtoseconds.
+  void change(std::int64_t t_fs, NetId net, Logic v);
+
+  /// Records a sample of a declared real signal.
+  void change_real(std::int64_t t_fs, std::size_t handle, double v);
+
+private:
+  std::string code_of(std::size_t idx) const;
+  void stamp(std::int64_t t_fs);
+
+  std::ofstream os_;
+  const Netlist* nl_;
+  std::int64_t timescale_fs_;
+  std::int64_t last_t_{-1};
+  bool begun_{false};
+  std::vector<bool> enabled_;
+  std::vector<std::string> real_signals_;
+};
+
+} // namespace scpg

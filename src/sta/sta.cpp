@@ -1,0 +1,181 @@
+#include "sta/sta.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace scpg {
+
+namespace {
+
+constexpr double kUnreached = -1.0;
+
+/// Is input pin `pin` of `cell` a clock pin (excluded from data paths)?
+bool is_clock_pin(const Netlist& nl, CellId cell, int pin) {
+  const Cell& c = nl.cell(cell);
+  if (c.is_macro()) return nl.macro_spec(c.macro).has_clock && pin == 0;
+  const CellKind k = nl.kind_of(cell);
+  if (k == CellKind::Dff || k == CellKind::DffR) return pin == 1;
+  return false;
+}
+
+} // namespace
+
+StaReport run_sta(const Netlist& nl, Corner corner) {
+  const Library& lib = nl.lib();
+  const double dscale = lib.tech().delay_scale(corner);
+
+  StaReport rep;
+  rep.corner = corner;
+  rep.arrival.assign(nl.num_nets(), Time{kUnreached});
+  std::vector<Time> min_arrival(nl.num_nets(), Time{kUnreached});
+  // Back-pointers for critical-path tracing: for each net, the driving
+  // cell's worst input net.
+  std::vector<NetId> worst_fanin(nl.num_nets());
+
+  // Launch points.  For max analysis primary inputs arrive at 0 (external
+  // logic is assumed registered, so its clk-to-q is outside our budget);
+  // for min (hold) analysis they are assumed launched like any register,
+  // i.e. no earlier than the fastest clk-to-q in the design.
+  Time worst_clk_to_q{};
+  Time min_clk_to_q{std::numeric_limits<double>::max()};
+  for (CellId f : nl.flops()) {
+    const CellSpec& s = nl.spec_of(f);
+    const Time cq = s.clk_to_q * dscale;
+    worst_clk_to_q = std::max(worst_clk_to_q, cq);
+    min_clk_to_q = std::min(min_clk_to_q, cq);
+    const NetId q = nl.cell(f).outputs[0];
+    rep.arrival[q.v] = cq;
+    min_arrival[q.v] = cq;
+  }
+  if (nl.flops().empty()) min_clk_to_q = Time{0.0};
+  for (const Port& p : nl.ports())
+    if (p.dir == PortDir::In && rep.arrival[p.net.v].v == kUnreached) {
+      rep.arrival[p.net.v] = Time{0.0};
+      min_arrival[p.net.v] = min_clk_to_q;
+    }
+
+  // Propagate through combinational nodes in topological order.
+  for (CellId id : nl.topo_order()) {
+    const Cell& c = nl.cell(id);
+    Time in_max{kUnreached};
+    Time in_min{std::numeric_limits<double>::max()};
+    NetId argmax;
+    bool any = false;
+    for (std::size_t pin = 0; pin < c.inputs.size(); ++pin) {
+      if (is_clock_pin(nl, id, int(pin))) continue;
+      const Time a = rep.arrival[c.inputs[pin].v];
+      if (a.v == kUnreached) continue; // e.g. fed by a clock net
+      any = true;
+      if (a > in_max) {
+        in_max = a;
+        argmax = c.inputs[pin];
+      }
+      in_min = std::min(in_min, min_arrival[c.inputs[pin].v]);
+    }
+    if (!any) {
+      in_max = Time{0.0};
+      in_min = Time{0.0};
+    }
+
+    if (c.is_macro()) {
+      const Time d = nl.macro_spec(c.macro).access_delay * dscale;
+      for (NetId out : c.outputs) {
+        rep.arrival[out.v] = in_max + d;
+        min_arrival[out.v] = in_min + d;
+        worst_fanin[out.v] = argmax;
+      }
+      continue;
+    }
+    const CellSpec& s = nl.spec_of(id);
+    const NetId out = c.outputs[0];
+    const Time d =
+        (s.intrinsic_delay + Time{(s.drive_res * nl.net_load(out)).v}) *
+        dscale;
+    rep.arrival[out.v] = in_max + d;
+    min_arrival[out.v] = in_min + d;
+    worst_fanin[out.v] = argmax;
+  }
+
+  // Capture points.
+  Time worst{kUnreached};
+  Time worst_setup{};
+  NetId worst_net;
+  rep.min_arrival = Time{std::numeric_limits<double>::max()};
+  bool any_endpoint = false;
+
+  auto consider = [&](NetId n, Time setup, Time hold) {
+    const Time a = rep.arrival[n.v];
+    if (a.v == kUnreached) return;
+    any_endpoint = true;
+    if (a + setup > worst + worst_setup) {
+      worst = a;
+      worst_setup = setup;
+      worst_net = n;
+    }
+    if (min_arrival[n.v] < rep.min_arrival)
+      rep.min_arrival = min_arrival[n.v];
+    rep.worst_hold = std::max(rep.worst_hold, hold);
+  };
+
+  for (CellId f : nl.flops()) {
+    const CellSpec& s = nl.spec_of(f);
+    consider(nl.cell(f).inputs[0], s.setup * dscale, s.hold * dscale);
+  }
+  for (std::uint32_t ci = 0; ci < nl.num_cells(); ++ci) {
+    const Cell& c = nl.cell(CellId{ci});
+    if (!c.is_macro() || !nl.macro_spec(c.macro).has_clock) continue;
+    // Clocked macro data pins behave like flop D pins with zero setup.
+    for (std::size_t pin = 1; pin < c.inputs.size(); ++pin)
+      consider(c.inputs[pin], Time{0.0}, Time{0.0});
+  }
+  for (const Port& p : nl.ports())
+    if (p.dir == PortDir::Out) consider(p.net, Time{0.0}, Time{0.0});
+
+  SCPG_REQUIRE(any_endpoint, "design has no timing endpoints");
+  rep.t_eval = worst;
+  rep.endpoint_setup = worst_setup;
+  rep.fmax = frequency(rep.t_eval + rep.endpoint_setup);
+
+  // Trace the critical path back from the worst endpoint.
+  NetId n = worst_net;
+  while (n.valid()) {
+    const Net& net = nl.net(n);
+    PathStep step;
+    step.net = n;
+    step.arrival = rep.arrival[n.v];
+    step.cell = net.driven_by_cell() ? net.driver_cell : CellId{};
+    rep.critical_path.push_back(step);
+    if (!net.driven_by_cell()) break;
+    const CellKind k = nl.kind_of(net.driver_cell);
+    if (kind_is_sequential(k)) break; // reached the launching flop
+    n = worst_fanin[n.v];
+  }
+  std::reverse(rep.critical_path.begin(), rep.critical_path.end());
+  return rep;
+}
+
+std::string format_path(const Netlist& nl, const StaReport& r) {
+  std::ostringstream os;
+  os << "critical path (" << in_ns(r.t_eval) << " ns + setup "
+     << in_ns(r.endpoint_setup) << " ns, fmax " << in_MHz(r.fmax)
+     << " MHz):\n";
+  for (const PathStep& s : r.critical_path) {
+    os << "  ";
+    if (s.cell.valid())
+      os << nl.cell(s.cell).name << " ("
+         << (nl.cell(s.cell).is_macro()
+                 ? nl.macro_spec(nl.cell(s.cell).macro).type_name
+                 : nl.spec_of(s.cell).name)
+         << ")";
+    else
+      os << "<input>";
+    os << " -> " << nl.net(s.net).name << " @ " << in_ns(s.arrival)
+       << " ns\n";
+  }
+  return os.str();
+}
+
+} // namespace scpg

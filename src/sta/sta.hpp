@@ -1,0 +1,71 @@
+// Static timing analysis.
+//
+// Computes, for one operating corner, the arrival time of every net under
+// a load-dependent linear delay model:
+//
+//   cell delay = (intrinsic + drive_res * C_load) * delay_scale(corner)
+//
+// Launch points are primary inputs (time 0 — external inputs are assumed
+// registered) and flip-flop Q outputs (clk-to-q).  Capture points are
+// flip-flop D pins (requiring setup), clocked-macro data pins, and primary
+// outputs.  The report carries the quantities the SCPG timing solver needs:
+// the worst evaluation time T_eval (paper Fig 1), Fmax, hold margins and
+// the critical path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "tech/tech_model.hpp"
+
+namespace scpg {
+
+/// One step of a traced timing path.
+struct PathStep {
+  CellId cell;   ///< invalid for the launch point
+  NetId net;     ///< net whose value this step produces
+  Time arrival;  ///< accumulated arrival at `net`
+};
+
+struct StaReport {
+  Corner corner;
+
+  /// Worst data arrival over all capture points, measured from the launch
+  /// clock edge (includes launch clk-to-q).  This is the paper's T_eval.
+  Time t_eval{};
+
+  /// Setup time of the worst endpoint's capturing flop (0 for outputs).
+  Time endpoint_setup{};
+
+  /// Maximum clock frequency: 1 / (t_eval + endpoint_setup).
+  Frequency fmax{};
+
+  /// Smallest data arrival at any flop D pin (for the hold check) and the
+  /// largest hold requirement among capturing flops.
+  Time min_arrival{};
+  Time worst_hold{};
+  [[nodiscard]] bool hold_met() const { return min_arrival >= worst_hold; }
+
+  /// Critical path, launch to capture.
+  std::vector<PathStep> critical_path;
+
+  /// Arrival per net (Time{-1} for nets never reached, e.g. clock nets).
+  std::vector<Time> arrival;
+
+  [[nodiscard]] Time arrival_of(NetId n) const { return arrival[n.v]; }
+
+  /// Setup slack at a given clock frequency (negative = violation).
+  [[nodiscard]] Time setup_slack(Frequency clk) const {
+    return period(clk) - t_eval - endpoint_setup;
+  }
+};
+
+/// Runs STA at a corner.  The netlist must pass check().
+[[nodiscard]] StaReport run_sta(const Netlist& nl, Corner corner);
+
+/// Formats the critical path for reports.
+[[nodiscard]] std::string format_path(const Netlist& nl,
+                                      const StaReport& r);
+
+} // namespace scpg

@@ -1,0 +1,249 @@
+#include "tech/liberty.hpp"
+
+#include <cctype>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace scpg {
+
+using namespace scpg::literals;
+
+namespace {
+
+CellKind kind_from_name(const std::string& s, int line) {
+  for (int k = 0; k <= int(CellKind::Macro); ++k)
+    if (kind_name(CellKind(k)) == s) return CellKind(k);
+  throw ParseError("unknown cell kind '" + s + "'", line);
+}
+
+void emit_cell(std::ostream& os, const CellSpec& s) {
+  os << "  cell(" << s.name << ") {\n";
+  os << "    kind " << kind_name(s.kind) << "; drive " << s.drive << ";\n";
+  os << "    area_um2 " << in_um2(s.area) << "; input_cap_ff "
+     << in_fF(s.input_cap) << "; output_cap_ff " << in_fF(s.output_cap)
+     << ";\n";
+  os << "    drive_res_kohm " << in_kOhm(s.drive_res)
+     << "; intrinsic_delay_ps " << in_ps(s.intrinsic_delay) << ";\n";
+  os << "    leakage_nw " << in_nW(s.leakage) << "; leak_state_spread "
+     << s.leak_state_spread << "; internal_energy_fj "
+     << in_fJ(s.internal_energy) << ";\n";
+  if (s.is_sequential())
+    os << "    setup_ps " << in_ps(s.setup) << "; hold_ps " << in_ps(s.hold)
+       << "; clk_to_q_ps " << in_ps(s.clk_to_q) << ";\n";
+  if (s.is_header())
+    os << "    header_ron_ohm " << s.header_ron.v << "; header_off_leak_nw "
+       << in_nW(s.header_off_leak) << "; header_gate_cap_ff "
+       << in_fF(s.header_gate_cap) << ";\n";
+  os << "  }\n";
+}
+
+/// Tokeniser: identifiers/numbers, and the punctuation ( ) { } ;
+struct Lexer {
+  explicit Lexer(std::istream& is) : is_(is) {}
+
+  struct Token {
+    std::string text;
+    int line{1};
+    bool eof{false};
+  };
+
+  Token next() {
+    skip_ws();
+    Token t;
+    t.line = line_;
+    int c = is_.peek();
+    if (c == EOF) {
+      t.eof = true;
+      return t;
+    }
+    if (c == '(' || c == ')' || c == '{' || c == '}' || c == ';') {
+      t.text = char(is_.get());
+      return t;
+    }
+    while (c != EOF && !std::isspace(c) && c != '(' && c != ')' &&
+           c != '{' && c != '}' && c != ';') {
+      t.text += char(is_.get());
+      c = is_.peek();
+    }
+    return t;
+  }
+
+  void skip_ws() {
+    for (;;) {
+      int c = is_.peek();
+      if (c == '\n') {
+        ++line_;
+        is_.get();
+      } else if (std::isspace(c)) {
+        is_.get();
+      } else if (c == '#') { // comment to end of line
+        while (c != EOF && c != '\n') c = is_.get();
+        if (c == '\n') ++line_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::istream& is_;
+  int line_{1};
+};
+
+struct Parser {
+  explicit Parser(std::istream& is) : lex_(is) { advance(); }
+
+  void advance() { tok_ = lex_.next(); }
+
+  void expect(const std::string& s) {
+    if (tok_.eof || tok_.text != s)
+      throw ParseError("expected '" + s + "', got '" +
+                           (tok_.eof ? "<eof>" : tok_.text) + "'",
+                       tok_.line);
+    advance();
+  }
+
+  std::string ident() {
+    if (tok_.eof) throw ParseError("unexpected end of input", tok_.line);
+    std::string s = tok_.text;
+    advance();
+    return s;
+  }
+
+  double number() {
+    const int line = tok_.line;
+    const std::string s = ident();
+    try {
+      std::size_t pos = 0;
+      const double v = std::stod(s, &pos);
+      if (pos != s.size()) throw std::invalid_argument(s);
+      return v;
+    } catch (const std::exception&) {
+      throw ParseError("expected a number, got '" + s + "'", line);
+    }
+  }
+
+  Lexer lex_;
+  Lexer::Token tok_;
+};
+
+TechParams parse_tech(Parser& p) {
+  TechParams tp;
+  p.expect("{");
+  while (!p.tok_.eof && p.tok_.text != "}") {
+    const int line = p.tok_.line;
+    const std::string key = p.ident();
+    const double v = p.number();
+    p.expect(";");
+    if (key == "vdd_nom") tp.vdd_nom = Voltage{v};
+    else if (key == "vt") tp.vt = Voltage{v};
+    else if (key == "alpha") tp.alpha = v;
+    else if (key == "n_vt") tp.n_vt = Voltage{v};
+    else if (key == "dibl_per_v") tp.dibl_per_v = v;
+    else if (key == "leak_t2x_c") tp.leak_t2x_c = v;
+    else if (key == "temp_nom_c") tp.temp_nom_c = v;
+    else if (key == "delay_tempco_per_c") tp.delay_tempco_per_c = v;
+    else if (key == "min_vdd") tp.min_vdd = Voltage{v};
+    else throw ParseError("unknown tech attribute '" + key + "'", line);
+  }
+  p.expect("}");
+  return tp;
+}
+
+CellSpec parse_cell(Parser& p, const std::string& name) {
+  CellSpec s;
+  s.name = name;
+  p.expect("{");
+  while (!p.tok_.eof && p.tok_.text != "}") {
+    const int line = p.tok_.line;
+    const std::string key = p.ident();
+    if (key == "kind") {
+      s.kind = kind_from_name(p.ident(), line);
+    } else {
+      const double v = p.number();
+      if (key == "drive") s.drive = int(v);
+      else if (key == "area_um2") s.area = Area{v * 1e-12};
+      else if (key == "input_cap_ff") s.input_cap = Capacitance{v * 1e-15};
+      else if (key == "output_cap_ff") s.output_cap = Capacitance{v * 1e-15};
+      else if (key == "drive_res_kohm") s.drive_res = Resistance{v * 1e3};
+      else if (key == "intrinsic_delay_ps")
+        s.intrinsic_delay = Time{v * 1e-12};
+      else if (key == "leakage_nw") s.leakage = Power{v * 1e-9};
+      else if (key == "leak_state_spread") s.leak_state_spread = v;
+      else if (key == "internal_energy_fj")
+        s.internal_energy = Energy{v * 1e-15};
+      else if (key == "setup_ps") s.setup = Time{v * 1e-12};
+      else if (key == "hold_ps") s.hold = Time{v * 1e-12};
+      else if (key == "clk_to_q_ps") s.clk_to_q = Time{v * 1e-12};
+      else if (key == "header_ron_ohm") s.header_ron = Resistance{v};
+      else if (key == "header_off_leak_nw")
+        s.header_off_leak = Power{v * 1e-9};
+      else if (key == "header_gate_cap_ff")
+        s.header_gate_cap = Capacitance{v * 1e-15};
+      else throw ParseError("unknown cell attribute '" + key + "'", line);
+    }
+    p.expect(";");
+  }
+  p.expect("}");
+  return s;
+}
+
+} // namespace
+
+void write_liberty(const Library& lib, std::ostream& os) {
+  const TechParams& tp = lib.tech().params();
+  os << std::setprecision(10);
+  os << "library(" << lib.name() << ") {\n";
+  os << "  tech {\n";
+  os << "    vdd_nom " << tp.vdd_nom.v << "; vt " << tp.vt.v << "; alpha "
+     << tp.alpha << "; n_vt " << tp.n_vt.v << ";\n";
+  os << "    dibl_per_v " << tp.dibl_per_v << "; leak_t2x_c " << tp.leak_t2x_c
+     << "; temp_nom_c " << tp.temp_nom_c << ";\n";
+  os << "    delay_tempco_per_c " << tp.delay_tempco_per_c << "; min_vdd "
+     << tp.min_vdd.v << ";\n";
+  os << "  }\n";
+  for (const auto& s : lib.specs()) emit_cell(os, s);
+  os << "}\n";
+}
+
+std::string write_liberty_string(const Library& lib) {
+  std::ostringstream os;
+  write_liberty(lib, os);
+  return os.str();
+}
+
+Library read_liberty(std::istream& is) {
+  Parser p(is);
+  p.expect("library");
+  p.expect("(");
+  const std::string name = p.ident();
+  p.expect(")");
+  p.expect("{");
+
+  // The tech block must come first so the Library can be constructed.
+  if (p.tok_.text != "tech")
+    throw ParseError("library must start with a tech block", p.tok_.line);
+  p.advance();
+  const TechParams tp = parse_tech(p);
+  Library lib(name, TechModel{tp});
+
+  while (!p.tok_.eof && p.tok_.text != "}") {
+    p.expect("cell");
+    p.expect("(");
+    const std::string cname = p.ident();
+    p.expect(")");
+    lib.add(parse_cell(p, cname));
+  }
+  p.expect("}");
+  return lib;
+}
+
+Library read_liberty_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_liberty(is);
+}
+
+} // namespace scpg

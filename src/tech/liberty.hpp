@@ -1,0 +1,31 @@
+// Liberty-lite: a small text interchange format for cell libraries.
+//
+// The real flow consumes Synopsys .lib files; this reproduction uses a
+// reduced dialect carrying exactly the attributes our analyses need, so a
+// library can be dumped, reviewed, edited and re-loaded:
+//
+//   library(scpg90) {
+//     tech { vdd_nom 1.0; vt 0.2; ... }
+//     cell(NAND2_X1) { kind NAND2; area_um2 2.8; ... }
+//   }
+//
+// Attribute values are plain numbers in the unit named by the attribute
+// suffix (_um2, _ff, _kohm, _ps, _nw, _fj, _ohm).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tech/library.hpp"
+
+namespace scpg {
+
+/// Serialises a library (tech parameters + every cell) to Liberty-lite.
+void write_liberty(const Library& lib, std::ostream& os);
+[[nodiscard]] std::string write_liberty_string(const Library& lib);
+
+/// Parses a Liberty-lite document; throws ParseError on malformed input.
+[[nodiscard]] Library read_liberty(std::istream& is);
+[[nodiscard]] Library read_liberty_string(const std::string& text);
+
+} // namespace scpg

@@ -1,0 +1,116 @@
+// Standard-cell library: characterised cell data at the nominal corner.
+//
+// This is the substitute for the Synopsys 90 nm Education Kit used by the
+// paper (DESIGN.md §2).  Each cell carries area, pin capacitance, drive
+// resistance, intrinsic delay, state-averaged leakage (with a spread across
+// input states), and internal energy per output transition, all at the
+// nominal corner; the TechModel scales them to any operating corner.
+//
+// Header (sleep transistor) cells additionally carry the virtual-rail on
+// resistance, OFF-state leakage and gate capacitance that drive the SCPG
+// overhead model.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "tech/logic.hpp"
+#include "tech/tech_model.hpp"
+#include "util/units.hpp"
+
+namespace scpg {
+
+/// Index of a CellSpec within its Library.
+using SpecId = std::uint32_t;
+inline constexpr SpecId kInvalidSpec = ~SpecId{0};
+
+/// Characterised data of one library cell at the nominal corner.
+struct CellSpec {
+  std::string name;  ///< e.g. "NAND2_X1"
+  CellKind kind{CellKind::Inv};
+  int drive{1};      ///< drive strength (X1, X2, X4, X8)
+
+  Area area{};
+  Capacitance input_cap{};  ///< per input pin
+  Capacitance output_cap{}; ///< parasitic self-load on the output
+  Resistance drive_res{};   ///< output drive resistance
+  Time intrinsic_delay{};   ///< load-independent delay component
+  Power leakage{};          ///< state-averaged leakage power
+  double leak_state_spread{0.3}; ///< +/- fraction across input states
+  Energy internal_energy{}; ///< short-circuit/internal energy per output
+                            ///< transition
+
+  // Sequential cells only.
+  Time setup{};
+  Time hold{};
+  Time clk_to_q{};
+
+  // Header cells only.
+  Resistance header_ron{};      ///< virtual-rail series resistance when ON
+  Power header_off_leak{};      ///< residual leakage through the OFF header
+  Capacitance header_gate_cap{};///< gate cap toggled by the sleep control
+
+  [[nodiscard]] bool is_sequential() const { return kind_is_sequential(kind); }
+  [[nodiscard]] bool is_header() const { return kind == CellKind::Header; }
+};
+
+/// Leakage of a cell in a specific input state (known inputs shift the
+/// state-averaged number by up to +/- leak_state_spread/2; unknown inputs
+/// fall back to the average).
+[[nodiscard]] Power leakage_in_state(const CellSpec& spec,
+                                     std::span<const Logic> inputs);
+
+/// Name of input pin `i` of a cell kind, as used in structural Verilog.
+[[nodiscard]] std::string_view input_pin_name(CellKind k, int i);
+
+/// Name of the output pin ("Y" for gates, "Q" for flops).
+[[nodiscard]] std::string_view output_pin_name(CellKind k);
+
+/// A characterised standard-cell library bound to a technology model.
+class Library {
+public:
+  Library(std::string name, TechModel tech);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const TechModel& tech() const { return tech_; }
+
+  /// Adds a spec; the name must be unique.  Returns its id.
+  SpecId add(CellSpec spec);
+
+  [[nodiscard]] const CellSpec& spec(SpecId id) const;
+  [[nodiscard]] std::size_t size() const { return specs_.size(); }
+  [[nodiscard]] std::span<const CellSpec> specs() const { return specs_; }
+
+  /// Looks a cell up by name; nullopt if absent.
+  [[nodiscard]] std::optional<SpecId> find(std::string_view name) const;
+
+  /// Looks a cell up by name; throws if absent.
+  [[nodiscard]] SpecId id_of(std::string_view name) const;
+
+  /// Picks the cell of a kind at a given drive strength; throws if absent.
+  [[nodiscard]] SpecId pick(CellKind kind, int drive = 1) const;
+
+  /// All drive strengths available for a kind, ascending.
+  [[nodiscard]] std::vector<int> drives_of(CellKind kind) const;
+
+  /// Builds the calibrated synthetic 90 nm-class library used throughout
+  /// the reproduction (see DESIGN.md §5 for calibration targets).
+  /// `tech_override` replaces the technology parameters (e.g. a shifted
+  /// threshold voltage for process-variation studies) while keeping the
+  /// cell characterisation.
+  static Library scpg90(std::optional<TechParams> tech_override =
+                            std::nullopt);
+
+private:
+  std::string name_;
+  TechModel tech_;
+  std::vector<CellSpec> specs_;
+  std::unordered_map<std::string, SpecId> by_name_;
+};
+
+} // namespace scpg

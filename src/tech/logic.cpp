@@ -1,0 +1,193 @@
+#include "tech/logic.hpp"
+
+#include <array>
+
+#include "util/error.hpp"
+
+namespace scpg {
+
+bool to_bool(Logic v) {
+  SCPG_REQUIRE(is_known(v), "to_bool on an X/Z logic value");
+  return v == Logic::L1;
+}
+
+char logic_char(Logic v) {
+  switch (v) {
+    case Logic::L0: return '0';
+    case Logic::L1: return '1';
+    case Logic::X: return 'x';
+    case Logic::Z: return 'z';
+  }
+  return '?';
+}
+
+std::string_view kind_name(CellKind k) {
+  switch (k) {
+    case CellKind::Inv: return "INV";
+    case CellKind::Buf: return "BUF";
+    case CellKind::Nand2: return "NAND2";
+    case CellKind::Nand3: return "NAND3";
+    case CellKind::Nor2: return "NOR2";
+    case CellKind::Nor3: return "NOR3";
+    case CellKind::And2: return "AND2";
+    case CellKind::Or2: return "OR2";
+    case CellKind::Xor2: return "XOR2";
+    case CellKind::Xnor2: return "XNOR2";
+    case CellKind::Aoi21: return "AOI21";
+    case CellKind::Oai21: return "OAI21";
+    case CellKind::Mux2: return "MUX2";
+    case CellKind::Dff: return "DFF";
+    case CellKind::DffR: return "DFFR";
+    case CellKind::IsoLo: return "ISOLO";
+    case CellKind::IsoHi: return "ISOHI";
+    case CellKind::TieHi: return "TIEHI";
+    case CellKind::TieLo: return "TIELO";
+    case CellKind::Header: return "HEADER";
+    case CellKind::RetBal: return "RETBAL";
+    case CellKind::Macro: return "MACRO";
+  }
+  return "?";
+}
+
+int kind_num_inputs(CellKind k) {
+  switch (k) {
+    case CellKind::Inv:
+    case CellKind::Buf:
+    case CellKind::RetBal:
+      return 1;
+    case CellKind::Nand2:
+    case CellKind::Nor2:
+    case CellKind::And2:
+    case CellKind::Or2:
+    case CellKind::Xor2:
+    case CellKind::Xnor2:
+    case CellKind::IsoLo:
+    case CellKind::IsoHi:
+      return 2;
+    case CellKind::Nand3:
+    case CellKind::Nor3:
+    case CellKind::Aoi21:
+    case CellKind::Oai21:
+    case CellKind::Mux2:
+      return 3;
+    case CellKind::Dff:
+      return 2; // D, CK
+    case CellKind::DffR:
+      return 3; // D, CK, RN
+    case CellKind::TieHi:
+    case CellKind::TieLo:
+      return 0;
+    case CellKind::Header:
+      return 1; // NSLEEP
+    case CellKind::Macro:
+      return -1; // variable; described by the MacroSpec
+  }
+  return -1;
+}
+
+namespace {
+
+// 4-state primitives.  Z on an input reads as X (a floating CMOS input).
+Logic norm(Logic v) { return v == Logic::Z ? Logic::X : v; }
+
+Logic l_not(Logic a) {
+  a = norm(a);
+  if (a == Logic::X) return Logic::X;
+  return from_bool(a == Logic::L0);
+}
+
+Logic l_and(Logic a, Logic b) {
+  a = norm(a);
+  b = norm(b);
+  if (a == Logic::L0 || b == Logic::L0) return Logic::L0;
+  if (a == Logic::X || b == Logic::X) return Logic::X;
+  return Logic::L1;
+}
+
+Logic l_or(Logic a, Logic b) {
+  a = norm(a);
+  b = norm(b);
+  if (a == Logic::L1 || b == Logic::L1) return Logic::L1;
+  if (a == Logic::X || b == Logic::X) return Logic::X;
+  return Logic::L0;
+}
+
+Logic l_xor(Logic a, Logic b) {
+  a = norm(a);
+  b = norm(b);
+  if (a == Logic::X || b == Logic::X) return Logic::X;
+  return from_bool(a != b);
+}
+
+} // namespace
+
+Logic eval_cell(CellKind k, std::span<const Logic> inputs) {
+  SCPG_REQUIRE(int(inputs.size()) == kind_num_inputs(k),
+               "eval_cell: wrong input count");
+  switch (k) {
+    case CellKind::Inv: return l_not(inputs[0]);
+    case CellKind::Buf: return norm(inputs[0]);
+    case CellKind::RetBal:
+      // The balloon shadows its master while powered; an X master (power
+      // collapsed) leaves the balloon holding its last value — the
+      // simulator's domain save/restore models the retained state, so the
+      // combinational view simply passes the value through.
+      return norm(inputs[0]);
+    case CellKind::Nand2: return l_not(l_and(inputs[0], inputs[1]));
+    case CellKind::Nand3:
+      return l_not(l_and(l_and(inputs[0], inputs[1]), inputs[2]));
+    case CellKind::Nor2: return l_not(l_or(inputs[0], inputs[1]));
+    case CellKind::Nor3:
+      return l_not(l_or(l_or(inputs[0], inputs[1]), inputs[2]));
+    case CellKind::And2: return l_and(inputs[0], inputs[1]);
+    case CellKind::Or2: return l_or(inputs[0], inputs[1]);
+    case CellKind::Xor2: return l_xor(inputs[0], inputs[1]);
+    case CellKind::Xnor2: return l_not(l_xor(inputs[0], inputs[1]));
+    case CellKind::Aoi21:
+      return l_not(l_or(l_and(inputs[0], inputs[1]), inputs[2]));
+    case CellKind::Oai21:
+      return l_not(l_and(l_or(inputs[0], inputs[1]), inputs[2]));
+    case CellKind::Mux2: {
+      const Logic a = norm(inputs[0]), b = norm(inputs[1]),
+                  s = norm(inputs[2]);
+      if (s == Logic::L0) return a;
+      if (s == Logic::L1) return b;
+      // Unknown select: output is known only if both data inputs agree.
+      if (a == b && is_known(a)) return a;
+      return Logic::X;
+    }
+    case CellKind::IsoLo: {
+      // inputs = {A, NISO}; NISO low forces clamp to 0.
+      const Logic niso = norm(inputs[1]);
+      if (niso == Logic::L0) return Logic::L0;
+      if (niso == Logic::L1) return norm(inputs[0]);
+      return norm(inputs[0]) == Logic::L0 ? Logic::L0 : Logic::X;
+    }
+    case CellKind::IsoHi: {
+      const Logic niso = norm(inputs[1]);
+      if (niso == Logic::L0) return Logic::L1;
+      if (niso == Logic::L1) return norm(inputs[0]);
+      return norm(inputs[0]) == Logic::L1 ? Logic::L1 : Logic::X;
+    }
+    case CellKind::TieHi: return Logic::L1;
+    case CellKind::TieLo: return Logic::L0;
+    case CellKind::Dff:
+    case CellKind::DffR:
+    case CellKind::Header:
+    case CellKind::Macro:
+      throw PreconditionError(
+          "eval_cell called on a non-combinational cell kind");
+  }
+  return Logic::X;
+}
+
+bool eval_cell_bool(CellKind k, std::span<const bool> inputs) {
+  SCPG_REQUIRE(int(inputs.size()) == kind_num_inputs(k),
+               "eval_cell_bool: wrong input count");
+  std::array<Logic, 4> lv{};
+  for (std::size_t i = 0; i < inputs.size(); ++i) lv[i] = from_bool(inputs[i]);
+  return to_bool(eval_cell(k, std::span<const Logic>(lv.data(),
+                                                     inputs.size())));
+}
+
+} // namespace scpg

@@ -1,0 +1,92 @@
+// Four-state logic values and combinational evaluation.
+//
+// The simulator and the equivalence checks share one evaluation routine per
+// cell kind, operating on 4-state logic (0, 1, X = unknown, Z = undriven).
+// X propagates pessimistically except where a controlling input decides the
+// output (e.g. a 0 on a NAND input forces 1 regardless of the other input).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace scpg {
+
+enum class Logic : std::uint8_t {
+  L0 = 0,
+  L1 = 1,
+  X = 2, ///< unknown / corrupted (e.g. output of a collapsed power domain)
+  Z = 3, ///< undriven
+};
+
+[[nodiscard]] constexpr bool is_known(Logic v) {
+  return v == Logic::L0 || v == Logic::L1;
+}
+
+[[nodiscard]] constexpr Logic from_bool(bool b) {
+  return b ? Logic::L1 : Logic::L0;
+}
+
+/// Converts a known value to bool; X/Z are a caller error.
+[[nodiscard]] bool to_bool(Logic v);
+
+[[nodiscard]] char logic_char(Logic v);
+
+/// Kind of every leaf cell the library provides.
+enum class CellKind : std::uint8_t {
+  Inv,
+  Buf,
+  Nand2,
+  Nand3,
+  Nor2,
+  Nor3,
+  And2,
+  Or2,
+  Xor2,
+  Xnor2,
+  Aoi21, ///< Y = !((A & B) | C)
+  Oai21, ///< Y = !((A | B) & C)
+  Mux2,  ///< Y = S ? B : A
+  Dff,   ///< D flip-flop, posedge CK
+  DffR,  ///< D flip-flop with async active-low reset RN
+  IsoLo, ///< isolation clamp-to-0: Y = NISO ? A : 0   (NISO active low)
+  IsoHi, ///< isolation clamp-to-1: Y = NISO ? A : 1
+  TieHi,
+  TieLo,
+  Header, ///< high-Vt PMOS sleep header (power network, not logic)
+  RetBal, ///< always-on retention balloon (traditional PG state keeper)
+  Macro,  ///< behavioural hard macro (ROM/RAM); evaluated by the simulator
+};
+
+[[nodiscard]] std::string_view kind_name(CellKind k);
+
+/// True for state-holding cells (flip-flops).
+[[nodiscard]] constexpr bool kind_is_sequential(CellKind k) {
+  return k == CellKind::Dff || k == CellKind::DffR;
+}
+
+/// True for cells that participate in combinational evaluation.
+[[nodiscard]] constexpr bool kind_is_combinational(CellKind k) {
+  switch (k) {
+    case CellKind::Dff:
+    case CellKind::DffR:
+    case CellKind::Header:
+    case CellKind::Macro:
+      return false;
+    default:
+      return true;
+  }
+}
+
+/// Number of logic input pins for a (non-macro) cell kind.
+[[nodiscard]] int kind_num_inputs(CellKind k);
+
+/// Evaluates a combinational cell over 4-state inputs.
+/// `inputs.size()` must equal kind_num_inputs(k).
+/// Isolation cells expect inputs ordered {A, NISO}; Mux2 expects {A, B, S}.
+[[nodiscard]] Logic eval_cell(CellKind k, std::span<const Logic> inputs);
+
+/// Boolean reference model used by tests (all inputs known).
+[[nodiscard]] bool eval_cell_bool(CellKind k, std::span<const bool> inputs);
+
+} // namespace scpg

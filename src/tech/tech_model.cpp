@@ -1,0 +1,64 @@
+#include "tech/tech_model.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace scpg {
+
+TechModel::TechModel(TechParams p) : p_(p) {
+  SCPG_REQUIRE(p_.vdd_nom.v > p_.vt.v,
+               "nominal supply must be above threshold");
+  if (p_.leak_char_vt.v <= 0.0) p_.leak_char_vt = p_.vt;
+  SCPG_REQUIRE(p_.n_vt.v > 0 && p_.alpha > 0, "bad tech parameters");
+  // Blend point between exponential (sub-threshold) and alpha-power
+  // (super-threshold) conduction: a couple of thermal slopes above Vt.
+  v_seam_ = p_.vt.v + 2.0 * p_.n_vt.v;
+  i_nom_ = drive_current(p_.vdd_nom.v);
+}
+
+double TechModel::drive_current(double v) const {
+  SCPG_REQUIRE(v > 0, "drive current requires a positive supply");
+  const double vt = p_.vt.v;
+  const auto super = [&](double vv) {
+    return std::pow(vv - vt, p_.alpha);
+  };
+  if (v >= v_seam_) return super(v);
+  // Exponential sub-threshold region, continuous with the super-threshold
+  // law at the seam.
+  const double i_seam = super(v_seam_);
+  return i_seam * std::exp((v - v_seam_) / p_.n_vt.v);
+}
+
+double TechModel::delay_scale(Corner c) const {
+  SCPG_REQUIRE(c.vdd.v >= p_.min_vdd.v,
+               "supply below the model's credible range");
+  const double v = c.vdd.v;
+  const double t_v = (v / drive_current(v)) /
+                     (p_.vdd_nom.v / i_nom_);
+  const double t_temp =
+      1.0 + p_.delay_tempco_per_c * (c.temp_c - p_.temp_nom_c);
+  return t_v * t_temp;
+}
+
+double TechModel::leak_scale(Corner c) const {
+  SCPG_REQUIRE(c.vdd.v >= 0, "negative supply");
+  const double dv = c.vdd.v - p_.vdd_nom.v;
+  const double f_v = (c.vdd.v / p_.vdd_nom.v) *
+                     std::exp(p_.dibl_per_v * dv);
+  const double f_t = std::pow(2.0, (c.temp_c - p_.temp_nom_c) / p_.leak_t2x_c);
+  // Process corner: sub-threshold leakage is exponential in Vt.
+  const double f_vt = std::exp((p_.leak_char_vt.v - p_.vt.v) / p_.n_vt.v);
+  return f_v * f_t * f_vt;
+}
+
+double TechModel::energy_scale(Corner c) const {
+  const double r = c.vdd.v / p_.vdd_nom.v;
+  return r * r;
+}
+
+double TechModel::on_current_scale(Voltage v) const {
+  return drive_current(v.v) / i_nom_;
+}
+
+} // namespace scpg

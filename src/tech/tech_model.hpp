@@ -1,0 +1,89 @@
+// Technology voltage/temperature scaling model.
+//
+// This is the substitute for the foundry transistor models behind the
+// paper's HSpice runs (Synopsys 90 nm Education Kit).  Cell timing, leakage
+// and switching energy are characterised at a nominal corner and scaled to
+// the operating corner with first-order device physics:
+//
+//  * delay   — alpha-power law above threshold
+//              (t ~ V / (V - Vt)^alpha, Sakurai–Newton), blending into an
+//              exponential sub-threshold law (t ~ V / exp((V - Vt)/(n*vT)))
+//              below the crossover, continuous at the seam;
+//  * leakage — sub-threshold conduction with a DIBL-style supply
+//              sensitivity (I ~ exp(kd * (V - Vnom))) and a temperature
+//              factor (doubling every `leak_t2x_c` degrees);
+//  * energy  — CV^2 scaling of switched and internal energy.
+//
+// These laws capture what the paper's experiments actually consume: the
+// relative balance of dynamic power, leakage power and gating overhead
+// across supply voltage and clock frequency (see DESIGN.md §2).
+#pragma once
+
+#include "util/units.hpp"
+
+namespace scpg {
+
+/// Operating corner: supply voltage and junction temperature.
+struct Corner {
+  Voltage vdd{1.0};
+  double temp_c{25.0};
+};
+
+/// Device-physics parameters of a process node.
+struct TechParams {
+  Voltage vdd_nom{1.0};   ///< characterisation voltage
+  Voltage vt{0.42};       ///< effective threshold voltage (regular-Vt)
+  double alpha{1.6};      ///< velocity-saturation exponent
+  Voltage n_vt{0.040};    ///< n * kT/q  (sub-threshold slope / ln 10 ~ 92 mV/dec)
+  double dibl_per_v{2.6}; ///< leakage supply sensitivity d(ln I)/dV
+  /// Threshold voltage at which cell leakage numbers were characterised.
+  /// When `vt` is shifted away from it (process-variation corners),
+  /// sub-threshold leakage scales by exp((leak_char_vt - vt)/n_vt).
+  /// Zero means "same as vt" (no shift).
+  Voltage leak_char_vt{0.0};
+  double leak_t2x_c{11.0};///< leakage doubles every this many deg C
+  double temp_nom_c{25.0};
+  double delay_tempco_per_c{0.0012}; ///< fractional delay increase per deg C
+  Voltage min_vdd{0.15};  ///< below this the model is not credible
+};
+
+/// Scaling engine; immutable once constructed.
+class TechModel {
+public:
+  explicit TechModel(TechParams p);
+
+  [[nodiscard]] const TechParams& params() const { return p_; }
+
+  /// Multiplier on characterised delay at the given corner (1.0 at nominal).
+  [[nodiscard]] double delay_scale(Corner c) const;
+
+  /// Multiplier on characterised leakage power at the given corner.
+  [[nodiscard]] double leak_scale(Corner c) const;
+
+  /// Multiplier on characterised switched/internal energy (CV^2).
+  [[nodiscard]] double energy_scale(Corner c) const;
+
+  /// Multiplier on drive resistance (delay_scale relative to capacitive
+  /// load is carried entirely by resistance; caps are voltage-independent).
+  [[nodiscard]] double resistance_scale(Corner c) const { return delay_scale(c); }
+
+  /// On-current relative to nominal at supply v (used by the header IR-drop
+  /// model); inverse of the voltage part of delay scaling.
+  [[nodiscard]] double on_current_scale(Voltage v) const;
+
+  /// True when the corner is in the sub-threshold regime (V < Vt).
+  [[nodiscard]] bool is_subthreshold(Corner c) const {
+    return c.vdd.v < p_.vt.v;
+  }
+
+private:
+  // Normalised drive current i(v) with i(vdd_nom) == 1, continuous across
+  // the sub-threshold / super-threshold seam.
+  [[nodiscard]] double drive_current(double v) const;
+
+  TechParams p_;
+  double i_nom_{1.0};     // unnormalised drive current at vdd_nom
+  double v_seam_{0.0};    // blend point between the two delay laws
+};
+
+} // namespace scpg

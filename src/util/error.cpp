@@ -1,0 +1,21 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace scpg::detail {
+
+void throw_precondition(const char* expr, const char* file, int line,
+                        const std::string& msg) {
+  std::ostringstream os;
+  os << msg << " [required: " << expr << " at " << file << ":" << line << "]";
+  throw PreconditionError(os.str());
+}
+
+void throw_assert(const char* expr, const char* file, int line) {
+  std::ostringstream os;
+  os << "internal invariant violated: " << expr << " at " << file << ":"
+     << line;
+  throw Error(os.str());
+}
+
+} // namespace scpg::detail

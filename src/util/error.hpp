@@ -1,0 +1,72 @@
+// Error types and checked preconditions.
+//
+// The library reports contract violations and unusable inputs with
+// exceptions derived from scpg::Error.  SCPG_REQUIRE is used for
+// caller-facing preconditions (bad arguments, malformed netlists, infeasible
+// configurations); SCPG_ASSERT for internal invariants.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace scpg {
+
+/// Base class of every exception thrown by the library.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition.
+class PreconditionError : public Error {
+public:
+  using Error::Error;
+};
+
+/// A netlist is structurally invalid (multiple drivers, floating pin,
+/// combinational loop, unknown cell, ...).
+class NetlistError : public Error {
+public:
+  using Error::Error;
+};
+
+/// Text input (structural Verilog, Liberty-lite, assembly) failed to parse.
+class ParseError : public Error {
+public:
+  ParseError(const std::string& what, int line)
+      : Error("line " + std::to_string(line) + ": " + what), line_(line) {}
+  [[nodiscard]] int line() const { return line_; }
+
+private:
+  int line_;
+};
+
+/// A requested analysis has no feasible solution (e.g. the clock is too
+/// fast for SCPG, or a power budget is below the leakage floor).
+class InfeasibleError : public Error {
+public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(const char* expr, const char* file,
+                                     int line, const std::string& msg);
+[[noreturn]] void throw_assert(const char* expr, const char* file, int line);
+} // namespace detail
+
+} // namespace scpg
+
+/// Caller-facing precondition; throws PreconditionError with a message.
+#define SCPG_REQUIRE(cond, msg)                                               \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::scpg::detail::throw_precondition(#cond, __FILE__, __LINE__, (msg));   \
+  } while (0)
+
+/// Internal invariant; throws Error (never disabled — analysis code is not
+/// on a hot path where the check would matter).
+#define SCPG_ASSERT(cond)                                                     \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::scpg::detail::throw_assert(#cond, __FILE__, __LINE__);                \
+  } while (0)

@@ -1,0 +1,92 @@
+#include "util/numeric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace scpg {
+
+double bisect(const std::function<double(double)>& f, double lo, double hi,
+              double x_tol, int max_iter) {
+  SCPG_REQUIRE(lo <= hi, "bisect requires lo <= hi");
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  if (flo * fhi > 0.0)
+    throw InfeasibleError("bisect: root not bracketed in [lo, hi]");
+  for (int i = 0; i < max_iter && (hi - lo) > x_tol; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fm = f(mid);
+    if (fm == 0.0) return mid;
+    if (flo * fm < 0.0) {
+      hi = mid;
+    } else {
+      lo = mid;
+      flo = fm;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double golden_min(const std::function<double(double)>& f, double lo,
+                  double hi, double x_tol, int max_iter) {
+  SCPG_REQUIRE(lo <= hi, "golden_min requires lo <= hi");
+  constexpr double invphi = 0.6180339887498949;
+  double a = lo, b = hi;
+  double c = b - invphi * (b - a);
+  double d = a + invphi * (b - a);
+  double fc = f(c), fd = f(d);
+  for (int i = 0; i < max_iter && (b - a) > x_tol; ++i) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - invphi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + invphi * (b - a);
+      fd = f(d);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+LinearTable::LinearTable(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+  SCPG_REQUIRE(xs_.size() == ys_.size(), "table x/y sizes must match");
+  SCPG_REQUIRE(!xs_.empty(), "table must be non-empty");
+  SCPG_REQUIRE(std::is_sorted(xs_.begin(), xs_.end()) &&
+                   std::adjacent_find(xs_.begin(), xs_.end()) == xs_.end(),
+               "table x values must be strictly increasing");
+}
+
+double LinearTable::at(double x) const {
+  SCPG_REQUIRE(!xs_.empty(), "interpolating an empty table");
+  if (x <= xs_.front()) return ys_.front();
+  if (x >= xs_.back()) return ys_.back();
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  const std::size_t i = std::size_t(it - xs_.begin());
+  const double t = (x - xs_[i - 1]) / (xs_[i] - xs_[i - 1]);
+  return ys_[i - 1] + t * (ys_[i] - ys_[i - 1]);
+}
+
+double mean(const std::vector<double>& v) {
+  SCPG_REQUIRE(!v.empty(), "mean of an empty range");
+  double s = 0;
+  for (double x : v) s += x;
+  return s / double(v.size());
+}
+
+double stddev(const std::vector<double>& v) {
+  const double m = mean(v);
+  double s = 0;
+  for (double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / double(v.size()));
+}
+
+} // namespace scpg

@@ -1,0 +1,46 @@
+// Small numeric helpers shared by the analysis engines: monotone root
+// bracketing/bisection (budget solver, convergence finder), linear
+// interpolation over sample tables, and golden-section minimisation
+// (minimum-energy-point search).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace scpg {
+
+/// Finds x in [lo, hi] with f(x) == 0 by bisection.  Requires
+/// f(lo) and f(hi) to have opposite signs (or one of them to be zero).
+/// Tolerance is on x.  Throws InfeasibleError if the root is not bracketed.
+double bisect(const std::function<double(double)>& f, double lo, double hi,
+              double x_tol = 1e-9, int max_iter = 200);
+
+/// Minimises a unimodal f over [lo, hi] by golden-section search;
+/// returns argmin.
+double golden_min(const std::function<double(double)>& f, double lo,
+                  double hi, double x_tol = 1e-9, int max_iter = 400);
+
+/// Piecewise-linear interpolation table with strictly increasing x.
+class LinearTable {
+public:
+  LinearTable() = default;
+  LinearTable(std::vector<double> xs, std::vector<double> ys);
+
+  /// Interpolates (clamped at the ends).
+  [[nodiscard]] double at(double x) const;
+
+  [[nodiscard]] bool empty() const { return xs_.empty(); }
+  [[nodiscard]] std::size_t size() const { return xs_.size(); }
+
+private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+/// Arithmetic mean; requires a non-empty range.
+double mean(const std::vector<double>& v);
+
+/// Population standard deviation; requires a non-empty range.
+double stddev(const std::vector<double>& v);
+
+} // namespace scpg

@@ -1,0 +1,59 @@
+#include "util/rng.hpp"
+
+#include "util/error.hpp"
+
+namespace scpg {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+} // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  SCPG_REQUIRE(bound != 0, "Rng::below requires a nonzero bound");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = bound * (~0ULL / bound);
+  std::uint64_t x = next();
+  while (x >= limit) x = next();
+  return x % bound;
+}
+
+double Rng::uniform() {
+  return double(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+std::uint64_t Rng::bits(int n) {
+  SCPG_REQUIRE(n >= 0 && n <= 64, "Rng::bits requires 0 <= n <= 64");
+  if (n == 0) return 0;
+  return next() >> (64 - n);
+}
+
+} // namespace scpg

@@ -1,0 +1,36 @@
+// Deterministic random number generation.
+//
+// All stochastic parts of the library (random stimulus vectors, workload
+// data) use this generator so that tests and benches are reproducible from
+// a seed.  The engine is xoshiro256**, seeded through splitmix64.
+#pragma once
+
+#include <cstdint>
+
+namespace scpg {
+
+/// Small, fast, deterministic PRNG (xoshiro256**).
+class Rng {
+public:
+  explicit Rng(std::uint64_t seed = 0x5c9067d25c9067d2ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound) — bound must be nonzero.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p);
+
+  /// Uniform n-bit value (n in [0, 64]).
+  std::uint64_t bits(int n);
+
+private:
+  std::uint64_t s_[4];
+};
+
+} // namespace scpg

@@ -1,0 +1,163 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace scpg {
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void TextTable::header(std::vector<std::string> columns) {
+  header_ = std::move(columns);
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  SCPG_REQUIRE(header_.empty() || cells.size() == header_.size(),
+               "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths;
+  auto grow = [&widths](const std::vector<std::string>& cells) {
+    if (widths.size() < cells.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  auto emit = [&os, &widths](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      os << "| " << std::setw(int(widths[i])) << c << ' ';
+    }
+    os << "|\n";
+  };
+  auto rule = [&os, &widths] {
+    for (std::size_t w : widths) os << '+' << std::string(w + 2, '-');
+    os << "+\n";
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  rule();
+  if (!header_.empty()) {
+    emit(header_);
+    rule();
+  }
+  for (const auto& r : rows_) emit(r);
+  rule();
+}
+
+void TextTable::print_csv(std::ostream& os) const {
+  auto emit = [&os](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) os << ',';
+      const bool quote = cells[i].find(',') != std::string::npos;
+      if (quote) os << '"' << cells[i] << '"';
+      else os << cells[i];
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+}
+
+AsciiChart::AsciiChart(std::string title, int width, int height)
+    : title_(std::move(title)), width_(width), height_(height) {
+  SCPG_REQUIRE(width >= 16 && height >= 4, "chart must be at least 16x4");
+}
+
+void AsciiChart::series(std::string name, std::vector<double> xs,
+                        std::vector<double> ys) {
+  SCPG_REQUIRE(xs.size() == ys.size(), "series x/y sizes must match");
+  SCPG_REQUIRE(!xs.empty(), "series must be non-empty");
+  series_.push_back({std::move(name), std::move(xs), std::move(ys)});
+}
+
+void AsciiChart::print(std::ostream& os) const {
+  if (series_.empty()) return;
+  static const char marks[] = {'o', 'x', '+', '*', '#', '@'};
+
+  double xmin = series_[0].xs[0], xmax = xmin;
+  double ymin = 0, ymax = 0;
+  bool first_y = true;
+  for (const auto& s : series_) {
+    for (double x : s.xs) {
+      xmin = std::min(xmin, x);
+      xmax = std::max(xmax, x);
+    }
+    for (double y : s.ys) {
+      const double v = log_y_ ? std::log10(std::max(y, 1e-300)) : y;
+      if (first_y) {
+        ymin = ymax = v;
+        first_y = false;
+      } else {
+        ymin = std::min(ymin, v);
+        ymax = std::max(ymax, v);
+      }
+    }
+  }
+  if (xmax == xmin) xmax = xmin + 1;
+  if (ymax == ymin) ymax = ymin + 1;
+
+  std::vector<std::string> grid(std::size_t(height_),
+                                std::string(std::size_t(width_), ' '));
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const auto& s = series_[si];
+    const char mark = marks[si % sizeof(marks)];
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      const double yv =
+          log_y_ ? std::log10(std::max(s.ys[i], 1e-300)) : s.ys[i];
+      int cx = int(std::lround((s.xs[i] - xmin) / (xmax - xmin) *
+                               (width_ - 1)));
+      int cy = int(std::lround((yv - ymin) / (ymax - ymin) * (height_ - 1)));
+      cx = std::clamp(cx, 0, width_ - 1);
+      cy = std::clamp(cy, 0, height_ - 1);
+      grid[std::size_t(height_ - 1 - cy)][std::size_t(cx)] = mark;
+    }
+  }
+
+  os << title_;
+  if (log_y_) os << "  [log y]";
+  os << '\n';
+  std::ostringstream top, bot;
+  top << std::setprecision(4) << (log_y_ ? std::pow(10.0, ymax) : ymax);
+  bot << std::setprecision(4) << (log_y_ ? std::pow(10.0, ymin) : ymin);
+  for (int r = 0; r < height_; ++r) {
+    std::string label(10, ' ');
+    if (r == 0) label = top.str();
+    if (r == height_ - 1) label = bot.str();
+    label.resize(10, ' ');
+    os << label << " |" << grid[std::size_t(r)] << '\n';
+  }
+  os << std::string(10, ' ') << " +" << std::string(std::size_t(width_), '-')
+     << '\n';
+  std::ostringstream xl;
+  xl << std::setprecision(4) << xmin;
+  std::ostringstream xr;
+  xr << std::setprecision(4) << xmax;
+  std::string axis(std::size_t(width_ + 12), ' ');
+  const std::string xls = xl.str(), xrs = xr.str();
+  axis.replace(11, xls.size(), xls);
+  if (xrs.size() < axis.size())
+    axis.replace(axis.size() - xrs.size(), xrs.size(), xrs);
+  os << axis << '\n';
+  os << "  legend:";
+  for (std::size_t si = 0; si < series_.size(); ++si)
+    os << "  " << marks[si % sizeof(marks)] << " = " << series_[si].name;
+  os << '\n';
+}
+
+} // namespace scpg

@@ -1,0 +1,69 @@
+// Tabular output for benches and reports.
+//
+// TextTable renders aligned ASCII tables like those in the paper; the same
+// data can be dumped as CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace scpg {
+
+/// A simple column-aligned table with a title, a header row and data rows.
+class TextTable {
+public:
+  explicit TextTable(std::string title = {});
+
+  /// Sets the header; defines the column count.
+  void header(std::vector<std::string> columns);
+
+  /// Appends a data row; must match the header width (if a header is set).
+  void row(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Renders the aligned ASCII form.
+  void print(std::ostream& os) const;
+
+  /// Renders CSV (header + rows, comma separated, minimal quoting).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a quick ASCII line chart (x ascending) — used by benches to
+/// show the *shape* of the paper's figures directly in the terminal.
+class AsciiChart {
+public:
+  AsciiChart(std::string title, int width = 72, int height = 20);
+
+  /// Adds a named series; all series share the x axis.
+  void series(std::string name, std::vector<double> xs,
+              std::vector<double> ys);
+
+  /// If set, y values are log10-scaled before plotting (paper Figs 6b/8b).
+  void log_y(bool enabled) { log_y_ = enabled; }
+
+  void print(std::ostream& os) const;
+
+private:
+  struct Series {
+    std::string name;
+    std::vector<double> xs;
+    std::vector<double> ys;
+  };
+  std::string title_;
+  int width_;
+  int height_;
+  bool log_y_{false};
+  std::vector<Series> series_;
+};
+
+} // namespace scpg

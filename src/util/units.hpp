@@ -1,0 +1,261 @@
+// Dimensioned physical quantities for circuit analysis.
+//
+// Every physical value in the library (voltage, time, power, energy,
+// capacitance, ...) is carried in a strongly typed Qty<> so that unit
+// errors (e.g. adding a power to an energy, or passing a period where a
+// frequency is expected) are compile errors.  Dimensions are tracked as
+// SI base-unit exponents (kg, m, s, A); multiplication and division
+// compose them.  All values are stored in SI base units (volts, seconds,
+// watts, joules, farads, ohms, hertz, square metres).
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <ostream>
+
+namespace scpg {
+
+/// A physical quantity with dimensions kg^M · m^L · s^T · A^I.
+template <int M, int L, int T, int I>
+struct Qty {
+  double v{0.0};
+
+  constexpr Qty() = default;
+  constexpr explicit Qty(double value) : v(value) {}
+
+  /// Raw value in SI base units.
+  [[nodiscard]] constexpr double value() const { return v; }
+
+  constexpr Qty& operator+=(Qty rhs) {
+    v += rhs.v;
+    return *this;
+  }
+  constexpr Qty& operator-=(Qty rhs) {
+    v -= rhs.v;
+    return *this;
+  }
+  constexpr Qty& operator*=(double s) {
+    v *= s;
+    return *this;
+  }
+  constexpr Qty& operator/=(double s) {
+    v /= s;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Qty&) const = default;
+};
+
+// --- arithmetic -----------------------------------------------------------
+
+template <int M, int L, int T, int I>
+constexpr Qty<M, L, T, I> operator+(Qty<M, L, T, I> a, Qty<M, L, T, I> b) {
+  return Qty<M, L, T, I>{a.v + b.v};
+}
+template <int M, int L, int T, int I>
+constexpr Qty<M, L, T, I> operator-(Qty<M, L, T, I> a, Qty<M, L, T, I> b) {
+  return Qty<M, L, T, I>{a.v - b.v};
+}
+template <int M, int L, int T, int I>
+constexpr Qty<M, L, T, I> operator-(Qty<M, L, T, I> a) {
+  return Qty<M, L, T, I>{-a.v};
+}
+template <int M, int L, int T, int I>
+constexpr Qty<M, L, T, I> operator*(Qty<M, L, T, I> a, double s) {
+  return Qty<M, L, T, I>{a.v * s};
+}
+template <int M, int L, int T, int I>
+constexpr Qty<M, L, T, I> operator*(double s, Qty<M, L, T, I> a) {
+  return Qty<M, L, T, I>{a.v * s};
+}
+template <int M, int L, int T, int I>
+constexpr Qty<M, L, T, I> operator/(Qty<M, L, T, I> a, double s) {
+  return Qty<M, L, T, I>{a.v / s};
+}
+
+template <int M1, int L1, int T1, int I1, int M2, int L2, int T2, int I2>
+constexpr Qty<M1 + M2, L1 + L2, T1 + T2, I1 + I2> operator*(
+    Qty<M1, L1, T1, I1> a, Qty<M2, L2, T2, I2> b) {
+  return Qty<M1 + M2, L1 + L2, T1 + T2, I1 + I2>{a.v * b.v};
+}
+template <int M1, int L1, int T1, int I1, int M2, int L2, int T2, int I2>
+constexpr Qty<M1 - M2, L1 - L2, T1 - T2, I1 - I2> operator/(
+    Qty<M1, L1, T1, I1> a, Qty<M2, L2, T2, I2> b) {
+  return Qty<M1 - M2, L1 - L2, T1 - T2, I1 - I2>{a.v / b.v};
+}
+
+/// Dimensionless ratio of two same-dimension quantities.
+template <int M, int L, int T, int I>
+constexpr double ratio(Qty<M, L, T, I> a, Qty<M, L, T, I> b) {
+  return a.v / b.v;
+}
+
+// --- concrete dimensions --------------------------------------------------
+
+using Dimensionless = Qty<0, 0, 0, 0>;
+using Time = Qty<0, 0, 1, 0>;          ///< seconds
+using Frequency = Qty<0, 0, -1, 0>;    ///< hertz
+using Voltage = Qty<1, 2, -3, -1>;     ///< volts
+using Current = Qty<0, 0, 0, 1>;       ///< amperes
+using Power = Qty<1, 2, -3, 0>;        ///< watts
+using Energy = Qty<1, 2, -2, 0>;       ///< joules
+using Charge = Qty<0, 0, 1, 1>;        ///< coulombs
+using Capacitance = Qty<-1, -2, 4, 2>; ///< farads
+using Resistance = Qty<1, 2, -3, -2>;  ///< ohms
+using Area = Qty<0, 2, 0, 0>;          ///< square metres
+
+static_assert(std::is_same_v<decltype(Voltage{} * Current{}), Power>);
+static_assert(std::is_same_v<decltype(Power{} * Time{}), Energy>);
+static_assert(std::is_same_v<decltype(Capacitance{} * Voltage{} * Voltage{}),
+                             Energy>);
+static_assert(std::is_same_v<decltype(Resistance{} * Capacitance{}), Time>);
+static_assert(std::is_same_v<decltype(Voltage{} / Resistance{}), Current>);
+static_assert(std::is_same_v<decltype(Energy{} / Time{}), Power>);
+
+/// 1/f as a period; guards f == 0 at the call site.
+constexpr Time period(Frequency f) { return Time{1.0 / f.v}; }
+constexpr Frequency frequency(Time t) { return Frequency{1.0 / t.v}; }
+
+// --- literals -------------------------------------------------------------
+//
+// Usage: using namespace scpg::literals;  auto vdd = 0.6_V;
+
+namespace literals {
+
+constexpr Voltage operator""_V(long double x) { return Voltage{double(x)}; }
+constexpr Voltage operator""_mV(long double x) {
+  return Voltage{double(x) * 1e-3};
+}
+constexpr Voltage operator""_mV(unsigned long long x) {
+  return Voltage{double(x) * 1e-3};
+}
+
+constexpr Time operator""_s(long double x) { return Time{double(x)}; }
+constexpr Time operator""_ms(long double x) { return Time{double(x) * 1e-3}; }
+constexpr Time operator""_us(long double x) { return Time{double(x) * 1e-6}; }
+constexpr Time operator""_ns(long double x) { return Time{double(x) * 1e-9}; }
+constexpr Time operator""_ps(long double x) { return Time{double(x) * 1e-12}; }
+constexpr Time operator""_ns(unsigned long long x) {
+  return Time{double(x) * 1e-9};
+}
+constexpr Time operator""_ps(unsigned long long x) {
+  return Time{double(x) * 1e-12};
+}
+
+constexpr Frequency operator""_Hz(long double x) {
+  return Frequency{double(x)};
+}
+constexpr Frequency operator""_kHz(long double x) {
+  return Frequency{double(x) * 1e3};
+}
+constexpr Frequency operator""_MHz(long double x) {
+  return Frequency{double(x) * 1e6};
+}
+constexpr Frequency operator""_Hz(unsigned long long x) {
+  return Frequency{double(x)};
+}
+constexpr Frequency operator""_kHz(unsigned long long x) {
+  return Frequency{double(x) * 1e3};
+}
+constexpr Frequency operator""_MHz(unsigned long long x) {
+  return Frequency{double(x) * 1e6};
+}
+
+constexpr Power operator""_W(long double x) { return Power{double(x)}; }
+constexpr Power operator""_mW(long double x) { return Power{double(x) * 1e-3}; }
+constexpr Power operator""_uW(long double x) { return Power{double(x) * 1e-6}; }
+constexpr Power operator""_nW(long double x) { return Power{double(x) * 1e-9}; }
+constexpr Power operator""_pW(long double x) {
+  return Power{double(x) * 1e-12};
+}
+constexpr Power operator""_uW(unsigned long long x) {
+  return Power{double(x) * 1e-6};
+}
+constexpr Power operator""_nW(unsigned long long x) {
+  return Power{double(x) * 1e-9};
+}
+
+constexpr Energy operator""_J(long double x) { return Energy{double(x)}; }
+constexpr Energy operator""_pJ(long double x) {
+  return Energy{double(x) * 1e-12};
+}
+constexpr Energy operator""_fJ(long double x) {
+  return Energy{double(x) * 1e-15};
+}
+constexpr Energy operator""_pJ(unsigned long long x) {
+  return Energy{double(x) * 1e-12};
+}
+constexpr Energy operator""_fJ(unsigned long long x) {
+  return Energy{double(x) * 1e-15};
+}
+
+constexpr Capacitance operator""_F(long double x) {
+  return Capacitance{double(x)};
+}
+constexpr Capacitance operator""_pF(long double x) {
+  return Capacitance{double(x) * 1e-12};
+}
+constexpr Capacitance operator""_fF(long double x) {
+  return Capacitance{double(x) * 1e-15};
+}
+constexpr Capacitance operator""_fF(unsigned long long x) {
+  return Capacitance{double(x) * 1e-15};
+}
+
+constexpr Resistance operator""_Ohm(long double x) {
+  return Resistance{double(x)};
+}
+constexpr Resistance operator""_kOhm(long double x) {
+  return Resistance{double(x) * 1e3};
+}
+constexpr Resistance operator""_kOhm(unsigned long long x) {
+  return Resistance{double(x) * 1e3};
+}
+
+constexpr Current operator""_A(long double x) { return Current{double(x)}; }
+constexpr Current operator""_mA(long double x) {
+  return Current{double(x) * 1e-3};
+}
+constexpr Current operator""_uA(long double x) {
+  return Current{double(x) * 1e-6};
+}
+constexpr Current operator""_nA(long double x) {
+  return Current{double(x) * 1e-9};
+}
+
+constexpr Area operator""_um2(long double x) {
+  return Area{double(x) * 1e-12};
+}
+constexpr Area operator""_um2(unsigned long long x) {
+  return Area{double(x) * 1e-12};
+}
+
+} // namespace literals
+
+// --- display helpers ------------------------------------------------------
+
+constexpr double in_V(Voltage x) { return x.v; }
+constexpr double in_mV(Voltage x) { return x.v * 1e3; }
+constexpr double in_uW(Power x) { return x.v * 1e6; }
+constexpr double in_nW(Power x) { return x.v * 1e9; }
+constexpr double in_mW(Power x) { return x.v * 1e3; }
+constexpr double in_pJ(Energy x) { return x.v * 1e12; }
+constexpr double in_fJ(Energy x) { return x.v * 1e15; }
+constexpr double in_MHz(Frequency x) { return x.v * 1e-6; }
+constexpr double in_kHz(Frequency x) { return x.v * 1e-3; }
+constexpr double in_ns(Time x) { return x.v * 1e9; }
+constexpr double in_us(Time x) { return x.v * 1e6; }
+constexpr double in_ps(Time x) { return x.v * 1e12; }
+constexpr double in_fF(Capacitance x) { return x.v * 1e15; }
+constexpr double in_pF(Capacitance x) { return x.v * 1e12; }
+constexpr double in_kOhm(Resistance x) { return x.v * 1e-3; }
+constexpr double in_um2(Area x) { return x.v * 1e12; }
+constexpr double in_uA(Current x) { return x.v * 1e6; }
+constexpr double in_mA(Current x) { return x.v * 1e3; }
+
+template <int M, int L, int T, int I>
+std::ostream& operator<<(std::ostream& os, Qty<M, L, T, I> q) {
+  return os << q.v;
+}
+
+} // namespace scpg

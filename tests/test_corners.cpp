@@ -1,0 +1,215 @@
+// Corner cases across modules: process/temperature corners, the override
+// burst mode (paper §IV's MSP430-style slow/fast trade-off), ISS edge
+// semantics, and workload activity contrast.
+#include <gtest/gtest.h>
+
+#include "cpu/assembler.hpp"
+#include "cpu/core.hpp"
+#include "cpu/iss.hpp"
+#include "cpu/workloads.hpp"
+#include "gen/mult16.hpp"
+#include "netlist/funcsim.hpp"
+#include "power/power.hpp"
+#include "scpg/measure.hpp"
+#include "scpg/transform.hpp"
+#include "util/rng.hpp"
+
+namespace scpg {
+namespace {
+
+using namespace scpg::literals;
+
+const Library& lib() {
+  static const Library l = Library::scpg90();
+  return l;
+}
+
+// ---------------------------------------------------------------------------
+// Technology corners
+// ---------------------------------------------------------------------------
+
+TEST(Corners, VtShiftScalesLeakageExponentially) {
+  const TechParams nom = lib().tech().params();
+  TechParams fast = nom;
+  fast.vt = Voltage{nom.vt.v - nom.n_vt.v}; // one thermal slope lower
+  const Library fast_lib = Library::scpg90(fast);
+  const Corner c{0.6_V, 25.0};
+  const double ratio = fast_lib.tech().leak_scale(c) /
+                       lib().tech().leak_scale(c);
+  EXPECT_NEAR(ratio, std::exp(1.0), 0.01);
+}
+
+TEST(Corners, VtShiftMovesDelayOppositeToLeakage) {
+  const TechParams nom = lib().tech().params();
+  TechParams slow = nom;
+  slow.vt = Voltage{nom.vt.v + 0.02};
+  const Library slow_lib = Library::scpg90(slow);
+  const Corner c{0.6_V, 25.0};
+  EXPECT_GT(slow_lib.tech().delay_scale(c), lib().tech().delay_scale(c));
+  EXPECT_LT(slow_lib.tech().leak_scale(c), lib().tech().leak_scale(c));
+}
+
+TEST(Corners, HotSiliconLeaksMoreAndScpgSavesMore) {
+  // Leakage doubles ~ every 11 C; at 85 C the SCPG saving percentage
+  // grows because leakage dominates even harder.
+  Netlist original = gen::make_multiplier(lib(), 8);
+  Netlist gated = gen::make_multiplier(lib(), 8);
+  apply_scpg(gated);
+  Rng rng(1);
+  auto measure = [&](const Netlist& nl, double temp) {
+    MeasureOptions mo;
+    mo.f = 10.0_kHz;
+    mo.sim.corner = {0.6_V, temp};
+    mo.cycles = 8;
+    mo.stimulus = [&rng](Simulator& s, int) {
+      s.drive_bus_at(s.now() + to_fs(1.0_ns), "a", rng.bits(8), 8);
+      s.drive_bus_at(s.now() + to_fs(1.0_ns), "b", rng.bits(8), 8);
+    };
+    return measure_average_power(nl, mo).avg_power;
+  };
+  const double p25 = measure(original, 25.0).v;
+  const double p85 = measure(original, 85.0).v;
+  EXPECT_GT(p85, p25 * 20.0); // ~2^(60/11) = 44x, allow margin
+  // All leakage scales uniformly with temperature, so the FRACTIONAL
+  // saving stays put while the ABSOLUTE saving scales with the floor.
+  const double save25 = 1.0 - measure(gated, 25.0).v / p25;
+  const double save85 = 1.0 - measure(gated, 85.0).v / p85;
+  EXPECT_NEAR(save85, save25, 0.08);
+  const double abs25 = p25 * save25;
+  const double abs85 = p85 * save85;
+  EXPECT_GT(abs85, abs25 * 15.0);
+}
+
+TEST(Corners, StaticLeakageHeaderFlag) {
+  Netlist gated = gen::make_multiplier(lib(), 8);
+  apply_scpg(gated);
+  const Corner c{0.6_V, 25.0};
+  const Power without = static_leakage(gated, c, false);
+  const Power with_off = static_leakage(gated, c, true);
+  EXPECT_GT(with_off.v, without.v); // OFF-header leakage adds
+}
+
+// ---------------------------------------------------------------------------
+// Override burst mode (paper §IV: kHz background / MHz burst)
+// ---------------------------------------------------------------------------
+
+TEST(Corners, OverrideTogglesGatingMidRun) {
+  Netlist nl = gen::make_multiplier(lib(), 8);
+  apply_scpg(nl);
+  SimConfig cfg;
+  cfg.corner = {0.6_V, 25.0};
+  Simulator sim(nl, cfg);
+  sim.init_flops_to_zero();
+  const NetId ovr = nl.port_net("override_n");
+  const Frequency f = 100.0_kHz;
+  const SimTime T = to_fs(period(f));
+  sim.add_clock(nl.port_net("clk"), f, 0.5, T / 2);
+  sim.drive_at(0, ovr, Logic::L1); // gating active
+  sim.drive_bus_at(0, "a", 11, 8);
+  sim.drive_bus_at(0, "b", 13, 8);
+
+  // Phase 1: gated.
+  sim.run_until(T * 4);
+  sim.reset_tally();
+  sim.run_until(T * 12);
+  const double p_gated = sim.tally().average().v;
+  EXPECT_EQ(sim.read_bus("p", 16), 143u);
+
+  // Phase 2: override low -> headers forced on, full speed available.
+  sim.drive_at(sim.now(), ovr, Logic::L0);
+  sim.run_until(sim.now() + T * 2);
+  sim.reset_tally();
+  sim.run_until(sim.now() + T * 8);
+  const double p_burst = sim.tally().average().v;
+  EXPECT_EQ(sim.read_bus("p", 16), 143u); // still correct
+  EXPECT_GT(p_burst, p_gated * 1.1);      // paying full leakage again
+  EXPECT_NEAR(sim.rail_voltage().v, 0.6, 1e-6); // rail held up
+
+  // Phase 3: back to gating; savings resume.
+  sim.drive_at(sim.now(), ovr, Logic::L1);
+  sim.run_until(sim.now() + T * 2);
+  sim.reset_tally();
+  sim.run_until(sim.now() + T * 8);
+  EXPECT_LT(sim.tally().average().v, p_burst);
+  EXPECT_EQ(sim.read_bus("p", 16), 143u);
+}
+
+// ---------------------------------------------------------------------------
+// ISS edge semantics
+// ---------------------------------------------------------------------------
+
+TEST(Corners, IssFetchBeyondImageIsNop) {
+  using namespace cpu;
+  // A program with no HALT falls off the end into implicit NOPs.
+  Iss iss(assemble("movi r1, 7\n"));
+  for (int i = 0; i < 10; ++i) iss.step();
+  EXPECT_FALSE(iss.halted());
+  EXPECT_EQ(iss.reg(1), 7u);
+  EXPECT_EQ(iss.pc(), 10u); // started at 0, ten steps
+}
+
+TEST(Corners, IssMemoryAddressWraps) {
+  using namespace cpu;
+  Iss iss(assemble("halt\n"));
+  iss.set_mem(5, 42);
+  // Addresses beyond kAddrBits wrap onto the same word.
+  EXPECT_EQ(iss.mem(5 + (1u << kAddrBits)), 42u);
+}
+
+TEST(Corners, IssJrUsesLow16Bits) {
+  using namespace cpu;
+  Iss iss(assemble(R"(
+        movi r1, 3
+        jr   r1
+        halt
+trap:   halt
+)"));
+  iss.set_reg(1, 0x10003); // upper bits must be ignored
+  iss.step();              // movi overwrites, so set after
+  iss.set_reg(1, 0x10003);
+  iss.step(); // jr
+  EXPECT_EQ(iss.pc(), 3u);
+}
+
+TEST(Corners, IssShiftBeyond31Masked) {
+  using namespace cpu;
+  Iss iss(assemble(R"(
+        movi r1, 1
+        movi r2, 33
+        lsl  r3, r1, r2
+        halt
+)"));
+  iss.run(10);
+  // Shift amount masked to 5 bits: 33 & 31 = 1.
+  EXPECT_EQ(iss.reg(3), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Workload activity contrast (the basis of the Fig 7 methodology)
+// ---------------------------------------------------------------------------
+
+TEST(Corners, ArithBurstBusierThanIdleSpin) {
+  using namespace cpu;
+  auto activity = [&](const std::string& src) {
+    Scm0 core = make_scm0(lib(), assemble(src));
+    FuncSim fs(core.netlist);
+    fs.reset();
+    fs.set_input("clk", Logic::L0);
+    fs.set_input("rst_n", Logic::L1);
+    fs.eval();
+    std::uint64_t toggles = 0;
+    int cycles = 0;
+    while (fs.output("halted") != Logic::L1 && cycles < 600) {
+      fs.clock();
+      toggles += fs.toggles_last_cycle();
+      ++cycles;
+    }
+    return double(toggles) / double(cycles);
+  };
+  const double busy = activity(workloads::arith_burst(60));
+  const double idle = activity(workloads::idle_spin(60));
+  EXPECT_GT(busy, idle * 1.5);
+}
+
+} // namespace
+} // namespace scpg

@@ -1,0 +1,404 @@
+#include <gtest/gtest.h>
+
+#include "cpu/assembler.hpp"
+#include "cpu/core.hpp"
+#include "cpu/iss.hpp"
+#include "cpu/workloads.hpp"
+#include "netlist/funcsim.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace scpg::cpu {
+namespace {
+
+const Library& lib() {
+  static const Library l = Library::scpg90();
+  return l;
+}
+
+// ---------------------------------------------------------------------------
+// ISA encode/decode
+// ---------------------------------------------------------------------------
+
+TEST(Isa, EncodeDecodeRoundTripAllOps) {
+  const std::uint16_t words[] = {
+      enc_alu(AluFn::Add, 1, 2, 3),
+      enc_alu(AluFn::Sltu, 7, 6, 5),
+      enc_addi(4, 4, -32),
+      enc_addi(4, 4, 31),
+      enc_movi(3, 511),
+      enc_ld(2, 1, 63),
+      enc_st(2, 1, 0),
+      enc_branch(Op::Beq, 1, 2, -32),
+      enc_branch(Op::Bne, 1, 2, 31),
+      enc_branch(Op::Bltu, 0, 7, 5),
+      enc_jal(7, -256),
+      enc_jr(3),
+      enc_halt(),
+      enc_nop(),
+  };
+  for (std::uint16_t w : words) {
+    const Instr in = decode(w);
+    EXPECT_EQ(encode(in), w) << disassemble(w);
+  }
+}
+
+TEST(Isa, FieldExtraction) {
+  const Instr in = decode(enc_alu(AluFn::Xor, 5, 6, 7));
+  EXPECT_EQ(in.op, Op::Alu);
+  EXPECT_EQ(in.rd, 5);
+  EXPECT_EQ(in.ra, 6);
+  EXPECT_EQ(in.rb, 7);
+  EXPECT_EQ(in.funct, AluFn::Xor);
+
+  const Instr br = decode(enc_branch(Op::Bne, 2, 3, -7));
+  EXPECT_EQ(br.op, Op::Bne);
+  EXPECT_EQ(br.ra, 2);
+  EXPECT_EQ(br.rb, 3);
+  EXPECT_EQ(br.imm, -7);
+}
+
+TEST(Isa, ImmediateRangeChecks) {
+  EXPECT_THROW((void)enc_addi(0, 0, 32), PreconditionError);
+  EXPECT_THROW((void)enc_addi(0, 0, -33), PreconditionError);
+  EXPECT_THROW((void)enc_movi(0, 512), PreconditionError);
+  EXPECT_THROW((void)enc_movi(0, -1), PreconditionError);
+  EXPECT_THROW((void)enc_ld(0, 0, 64), PreconditionError);
+  EXPECT_THROW((void)enc_branch(Op::Beq, 0, 0, 32), PreconditionError);
+  EXPECT_THROW((void)enc_jal(0, 256), PreconditionError);
+  EXPECT_THROW((void)enc_alu(AluFn::Add, 8, 0, 0), PreconditionError);
+}
+
+TEST(Isa, Disassemble) {
+  EXPECT_EQ(disassemble(enc_alu(AluFn::Add, 1, 2, 3)), "add r1, r2, r3");
+  EXPECT_EQ(disassemble(enc_addi(4, 5, -3)), "addi r4, r5, -3");
+  EXPECT_EQ(disassemble(enc_ld(1, 2, 7)), "ld r1, [r2+7]");
+  EXPECT_EQ(disassemble(enc_halt()), "halt");
+}
+
+// ---------------------------------------------------------------------------
+// Assembler
+// ---------------------------------------------------------------------------
+
+TEST(Assembler, BasicProgram) {
+  const auto img = assemble("movi r1, 5\naddi r1, r1, -1\nhalt\n");
+  ASSERT_EQ(img.size(), 3u);
+  EXPECT_EQ(img[0], enc_movi(1, 5));
+  EXPECT_EQ(img[1], enc_addi(1, 1, -1));
+  EXPECT_EQ(img[2], enc_halt());
+}
+
+TEST(Assembler, LabelsAndBranches) {
+  const auto img = assemble(R"(
+loop:   addi r1, r1, 1
+        bne r1, r2, loop
+        halt
+)");
+  ASSERT_EQ(img.size(), 3u);
+  // bne at address 1 targeting 0: offset = 0 - 2 = -2.
+  EXPECT_EQ(img[1], enc_branch(Op::Bne, 1, 2, -2));
+}
+
+TEST(Assembler, ForwardReferences) {
+  const auto img = assemble(R"(
+        beq r0, r0, end
+        nop
+end:    halt
+)");
+  EXPECT_EQ(img[0], enc_branch(Op::Beq, 0, 0, 1));
+}
+
+TEST(Assembler, MemorySyntaxAndHex) {
+  const auto img = assemble("ld r1, [r2+0x10]\nst r1, [r2]\nhalt\n");
+  EXPECT_EQ(img[0], enc_ld(1, 2, 16));
+  EXPECT_EQ(img[1], enc_st(1, 2, 0));
+}
+
+TEST(Assembler, OrgAndWord) {
+  const auto img = assemble(".org 2\n.word 0xBEEF\nhalt\n");
+  ASSERT_EQ(img.size(), 4u);
+  EXPECT_EQ(img[0], enc_nop()); // gap filled with NOPs
+  EXPECT_EQ(img[2], 0xBEEF);
+  EXPECT_EQ(img[3], enc_halt());
+}
+
+TEST(Assembler, CommentsIgnored) {
+  const auto img = assemble("; full line\nmovi r1, 1 # trailing\nhalt\n");
+  EXPECT_EQ(img.size(), 2u);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  try {
+    assemble("nop\nbogus r1\n");
+    FAIL();
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+  EXPECT_THROW((void)assemble("movi r9, 1\n"), ParseError);      // bad register
+  EXPECT_THROW((void)assemble("movi r1, 9999\n"), ParseError);   // bad immediate
+  EXPECT_THROW((void)assemble("beq r0, r0, nowhere\n"), ParseError);
+  EXPECT_THROW((void)assemble("x: nop\nx: nop\n"), ParseError);  // duplicate label
+  // Branch distance beyond +/-32.
+  std::string far = "beq r0, r0, end\n";
+  for (int i = 0; i < 40; ++i) far += "nop\n";
+  far += "end: halt\n";
+  EXPECT_THROW((void)assemble(far), ParseError);
+}
+
+// ---------------------------------------------------------------------------
+// ISS per-instruction semantics
+// ---------------------------------------------------------------------------
+
+Iss run_program(const std::string& src, std::uint64_t max_steps = 10000) {
+  Iss iss(assemble(src));
+  iss.run(max_steps);
+  return iss;
+}
+
+TEST(Iss, MoviAddiAlu) {
+  const Iss s = run_program(R"(
+        movi r1, 100
+        addi r2, r1, -30
+        add  r3, r1, r2
+        sub  r4, r1, r2
+        and  r5, r1, r2
+        or   r6, r1, r2
+        xor  r7, r1, r2
+        halt
+)");
+  EXPECT_TRUE(s.halted());
+  EXPECT_EQ(s.reg(1), 100u);
+  EXPECT_EQ(s.reg(2), 70u);
+  EXPECT_EQ(s.reg(3), 170u);
+  EXPECT_EQ(s.reg(4), 30u);
+  EXPECT_EQ(s.reg(5), 100u & 70u);
+  EXPECT_EQ(s.reg(6), 100u | 70u);
+  EXPECT_EQ(s.reg(7), 100u ^ 70u);
+}
+
+TEST(Iss, NegativeAddiWraps) {
+  const Iss s = run_program("movi r1, 0\naddi r1, r1, -1\nhalt\n");
+  EXPECT_EQ(s.reg(1), 0xFFFFFFFFu);
+}
+
+TEST(Iss, ShiftsAndSltu) {
+  const Iss s = run_program(R"(
+        movi r1, 5
+        movi r2, 3
+        lsl  r3, r1, r2
+        lsr  r4, r3, r2
+        sltu r5, r2, r1
+        sltu r6, r1, r2
+        halt
+)");
+  EXPECT_EQ(s.reg(3), 40u);
+  EXPECT_EQ(s.reg(4), 5u);
+  EXPECT_EQ(s.reg(5), 1u);
+  EXPECT_EQ(s.reg(6), 0u);
+}
+
+TEST(Iss, LoadStore) {
+  const Iss s = run_program(R"(
+        movi r1, 10
+        movi r2, 77
+        st   r2, [r1+5]
+        ld   r3, [r1+5]
+        halt
+)");
+  EXPECT_EQ(s.reg(3), 77u);
+  EXPECT_EQ(s.mem(15), 77u);
+}
+
+TEST(Iss, BranchesTakenAndNot) {
+  const Iss s = run_program(R"(
+        movi r1, 1
+        movi r2, 2
+        beq  r1, r2, bad
+        bne  r1, r2, ok1
+        movi r7, 99
+ok1:    bltu r1, r2, ok2
+        movi r7, 99
+ok2:    bltu r2, r1, bad
+        movi r6, 42
+        halt
+bad:    movi r7, 77
+        halt
+)");
+  EXPECT_EQ(s.reg(6), 42u);
+  EXPECT_EQ(s.reg(7), 0u);
+}
+
+TEST(Iss, JalAndJr) {
+  const Iss s = run_program(R"(
+        jal  r7, sub
+        movi r1, 11
+        halt
+sub:    movi r2, 22
+        jr   r7
+)");
+  EXPECT_TRUE(s.halted());
+  EXPECT_EQ(s.reg(1), 11u);
+  EXPECT_EQ(s.reg(2), 22u);
+  EXPECT_EQ(s.reg(7), 1u); // return address
+}
+
+TEST(Iss, HaltStopsExecution) {
+  Iss s(assemble("halt\nmovi r1, 5\n"));
+  s.run(100);
+  EXPECT_TRUE(s.halted());
+  EXPECT_EQ(s.reg(1), 0u);
+  EXPECT_FALSE(s.step()); // no-op after halt
+}
+
+TEST(Iss, FibonacciWorkload) {
+  Iss s(assemble(workloads::fibonacci(10)));
+  s.run(1000);
+  EXPECT_TRUE(s.halted());
+  EXPECT_EQ(s.reg(1), 55u);
+  EXPECT_EQ(s.mem(60), 55u);
+}
+
+TEST(Iss, BubbleSortSorts) {
+  Iss s(assemble(workloads::bubble_sort(12)));
+  s.run(100000);
+  ASSERT_TRUE(s.halted());
+  for (int i = 0; i + 1 < 12; ++i)
+    EXPECT_LE(s.mem(std::uint32_t(i)), s.mem(std::uint32_t(i + 1)));
+}
+
+TEST(Iss, DhrystoneLikeProducesStableChecksum) {
+  Iss a(assemble(workloads::dhrystone_like(5)));
+  Iss b(assemble(workloads::dhrystone_like(5)));
+  a.run(1000000);
+  b.run(1000000);
+  ASSERT_TRUE(a.halted());
+  EXPECT_EQ(a.reg(7), b.reg(7));
+  EXPECT_EQ(a.mem(63), a.reg(7));
+  EXPECT_NE(a.reg(7), 0u);
+  // The copy must have happened.
+  for (int i = 0; i < 12; ++i)
+    EXPECT_EQ(a.mem(std::uint32_t(i)), a.mem(std::uint32_t(i + 16)));
+}
+
+// ---------------------------------------------------------------------------
+// Gate-level core vs ISS (lockstep property test over several programs)
+// ---------------------------------------------------------------------------
+
+std::uint32_t gate_reg(const Scm0& core, const FuncSim& fs, int r) {
+  std::uint32_t v = 0;
+  for (int bit = 0; bit < kWordBits; ++bit) {
+    const NetId n = core.netlist.find_net(
+        "rf_r" + std::to_string(r) + "_b" + std::to_string(bit));
+    if (fs.net_value(n) == Logic::L1) v |= 1u << bit;
+  }
+  return v;
+}
+
+class LockstepTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LockstepTest, GateLevelMatchesIssEveryCycle) {
+  std::string src;
+  const std::string which = GetParam();
+  if (which == "dhrystone") src = workloads::dhrystone_like(2);
+  else if (which == "fib") src = workloads::fibonacci(20);
+  else if (which == "sort") src = workloads::bubble_sort(8);
+  else if (which == "burst") src = workloads::arith_burst(40);
+  else if (which == "spin") src = workloads::idle_spin(30);
+  const auto img = assemble(src);
+
+  Scm0 core = make_scm0(lib(), img);
+  FuncSim fs(core.netlist);
+  fs.reset();
+  fs.set_input("clk", Logic::L0);
+  fs.set_input("rst_n", Logic::L1);
+  fs.eval();
+
+  Iss iss(img);
+  for (int cyc = 0; cyc < 3000; ++cyc) {
+    ASSERT_EQ(fs.read_bus("pc", kPcBits), iss.pc()) << "cycle " << cyc;
+    ASSERT_EQ(fs.output("halted") == Logic::L1, iss.halted())
+        << "cycle " << cyc;
+    if (iss.halted()) break;
+    iss.step();
+    fs.clock();
+  }
+  EXPECT_TRUE(iss.halted()) << "program did not finish in 3000 cycles";
+  for (int r = 0; r < kNumRegs; ++r)
+    EXPECT_EQ(gate_reg(core, fs, r), iss.reg(r)) << "r" << r;
+  // Memory agrees wherever the ISS wrote.
+  auto* ram = dynamic_cast<RamModel*>(
+      const_cast<FuncSim&>(fs).macro_model(core.ram_cell));
+  ASSERT_NE(ram, nullptr);
+  for (std::uint32_t a = 0; a < 64; ++a)
+    EXPECT_EQ(ram->word(a), iss.mem(a)) << "mem[" << a << "]";
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, LockstepTest,
+                         ::testing::Values("dhrystone", "fib", "sort",
+                                           "burst", "spin"));
+
+TEST(Lockstep, RandomAluPrograms) {
+  // Random straight-line ALU/immediate programs, gate vs ISS.
+  Rng rng(2024);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<std::uint16_t> img;
+    for (int i = 0; i < 30; ++i) {
+      switch (rng.below(4)) {
+        case 0:
+          img.push_back(enc_movi(int(rng.below(8)), int(rng.bits(9))));
+          break;
+        case 1:
+          img.push_back(enc_addi(int(rng.below(8)), int(rng.below(8)),
+                                 int(rng.below(63)) - 31));
+          break;
+        default:
+          img.push_back(enc_alu(AluFn(rng.below(8)), int(rng.below(8)),
+                                int(rng.below(8)), int(rng.below(8))));
+      }
+    }
+    img.push_back(enc_halt());
+
+    Scm0 core = make_scm0(lib(), img);
+    FuncSim fs(core.netlist);
+    fs.reset();
+    fs.set_input("clk", Logic::L0);
+    fs.set_input("rst_n", Logic::L1);
+    fs.eval();
+    Iss iss(img);
+    while (!iss.halted()) {
+      iss.step();
+      fs.clock();
+    }
+    fs.clock(); // let the gate level take the halt edge too
+    for (int r = 0; r < kNumRegs; ++r)
+      ASSERT_EQ(gate_reg(core, fs, r), iss.reg(r))
+          << "trial " << trial << " r" << r;
+  }
+}
+
+TEST(Core, StatsInExpectedRange) {
+  Scm0 core = make_scm0(lib(), assemble("halt\n"));
+  const auto flops = core.netlist.flops();
+  // 8x32 register file + 16 pc + halt flag.
+  EXPECT_EQ(flops.size(), 273u);
+  EXPECT_GT(core.netlist.num_cells(), 2000u);
+  EXPECT_LT(core.netlist.num_cells(), 5000u);
+}
+
+TEST(Core, ResetClearsState) {
+  Scm0 core = make_scm0(lib(), assemble("movi r1, 7\nhalt\n"));
+  FuncSim fs(core.netlist);
+  fs.reset();
+  fs.set_input("clk", Logic::L0);
+  fs.set_input("rst_n", Logic::L0); // held in reset
+  fs.eval();
+  fs.clock();
+  fs.clock();
+  EXPECT_EQ(fs.read_bus("pc", kPcBits), 0u); // pc pinned by reset
+  fs.set_input("rst_n", Logic::L1);
+  fs.clock();
+  EXPECT_EQ(fs.read_bus("pc", kPcBits), 1u); // fetches after release
+}
+
+} // namespace
+} // namespace scpg::cpu

@@ -1,0 +1,206 @@
+// Cross-validation: the analytic SCPG power model against the
+// event-driven simulator, over a grid of operating points (DESIGN.md §4).
+// The benches sweep with the analytic model; these tests pin it to the
+// detailed simulation.
+#include <gtest/gtest.h>
+
+#include "cpu/assembler.hpp"
+#include "cpu/core.hpp"
+#include "cpu/workloads.hpp"
+#include "gen/mult16.hpp"
+#include "scpg/measure.hpp"
+#include "scpg/model.hpp"
+#include "scpg/transform.hpp"
+#include "util/rng.hpp"
+
+namespace scpg {
+namespace {
+
+using namespace scpg::literals;
+
+const Library& lib() {
+  static const Library l = Library::scpg90();
+  return l;
+}
+
+struct MultFixture {
+  Netlist nl;
+  SimConfig cfg;
+  Energy e_dyn;
+  ScpgPowerModel model;
+
+  static const MultFixture& get() {
+    static MultFixture f = [] {
+      Netlist nl = gen::make_multiplier(lib(), 16);
+      apply_scpg(nl);
+      SimConfig cfg;
+      cfg.corner = {0.6_V, 25.0};
+      // Calibrate dynamic energy per cycle in override mode at 1 MHz.
+      Rng rng(7);
+      MeasureOptions mo;
+      mo.f = 1.0_MHz;
+      mo.sim = cfg;
+      mo.cycles = 24;
+      mo.override_gating = true;
+      mo.stimulus = [&rng](Simulator& s, int) {
+        s.drive_bus_at(s.now() + to_fs(1.0_ns), "a", rng.bits(16), 16);
+        s.drive_bus_at(s.now() + to_fs(1.0_ns), "b", rng.bits(16), 16);
+      };
+      const MeasureResult r = measure_average_power(nl, mo);
+      const Energy e_dyn{r.tally.dynamic_total().v / double(r.cycles)};
+      ScpgPowerModel model = ScpgPowerModel::extract(nl, cfg, e_dyn);
+      return MultFixture{std::move(nl), cfg, e_dyn, std::move(model)};
+    }();
+    return f;
+  }
+};
+
+MeasureResult simulate_mult(const MultFixture& f, Frequency freq,
+                            double duty, bool override_gating) {
+  Rng rng(7);
+  MeasureOptions mo;
+  mo.f = freq;
+  mo.duty_high = duty;
+  mo.sim = f.cfg;
+  mo.cycles = 24;
+  mo.override_gating = override_gating;
+  mo.stimulus = [&rng](Simulator& s, int) {
+    s.drive_bus_at(s.now() + to_fs(1.0_ns), "a", rng.bits(16), 16);
+    s.drive_bus_at(s.now() + to_fs(1.0_ns), "b", rng.bits(16), 16);
+  };
+  return measure_average_power(f.nl, mo);
+}
+
+class GatedGridTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(GatedGridTest, AnalyticMatchesSimulatedWithin12Percent) {
+  const auto [f_mhz, duty] = GetParam();
+  const MultFixture& f = MultFixture::get();
+  const Frequency freq{f_mhz * 1e6};
+  ASSERT_TRUE(f.model.feasible(freq, duty));
+  const MeasureResult sim = simulate_mult(f, freq, duty, false);
+  const Power model = f.model.average_power_gated(freq, duty);
+  EXPECT_NEAR(model.v, sim.avg_power.v, sim.avg_power.v * 0.12)
+      << f_mhz << " MHz, duty " << duty;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GatedGridTest,
+    ::testing::Values(std::make_pair(0.01, 0.5), std::make_pair(0.01, 0.9),
+                      std::make_pair(0.1, 0.5), std::make_pair(0.1, 0.9),
+                      std::make_pair(1.0, 0.5), std::make_pair(1.0, 0.9),
+                      std::make_pair(5.0, 0.5), std::make_pair(10.0, 0.5)));
+
+class OverrideGridTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(OverrideGridTest, UngatedModelMatchesOverrideSimulation) {
+  const double f_mhz = GetParam();
+  const MultFixture& f = MultFixture::get();
+  const Frequency freq{f_mhz * 1e6};
+  const MeasureResult sim = simulate_mult(f, freq, 0.5, true);
+  const Power model = f.model.average_power_ungated(freq);
+  EXPECT_NEAR(model.v, sim.avg_power.v, sim.avg_power.v * 0.10) << f_mhz;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, OverrideGridTest,
+                         ::testing::Values(0.1, 1.0, 10.0));
+
+TEST(CrossValidation, SavingsTrendMatchesTable1Shape) {
+  // Savings relative to the ORIGINAL (untransformed) design — the paper's
+  // "No Power Gating" column — must decrease monotonically with frequency
+  // and change sign below 14.3 MHz (the convergence behaviour of Fig 6a).
+  const MultFixture& f = MultFixture::get();
+  Netlist original = gen::make_multiplier(lib(), 16);
+  auto simulate_original = [&](Frequency freq) {
+    Rng rng(7);
+    MeasureOptions mo;
+    mo.f = freq;
+    mo.sim = f.cfg;
+    mo.cycles = 24;
+    mo.stimulus = [&rng](Simulator& s, int) {
+      s.drive_bus_at(s.now() + to_fs(1.0_ns), "a", rng.bits(16), 16);
+      s.drive_bus_at(s.now() + to_fs(1.0_ns), "b", rng.bits(16), 16);
+    };
+    return measure_average_power(original, mo);
+  };
+  double prev_saving = 1.0;
+  bool went_negative = false;
+  for (double fm : {0.01, 0.1, 1.0, 2.0, 5.0, 10.0, 14.3}) {
+    const Frequency freq{fm * 1e6};
+    const MeasureResult no_pg = simulate_original(freq);
+    const MeasureResult pg = simulate_mult(f, freq, 0.5, false);
+    const double saving = 1.0 - pg.avg_power.v / no_pg.avg_power.v;
+    EXPECT_LT(saving, prev_saving + 0.02) << fm << " MHz";
+    prev_saving = saving;
+    if (saving < 0) went_negative = true;
+  }
+  EXPECT_TRUE(went_negative) << "no convergence point below 14.3 MHz";
+}
+
+TEST(CrossValidation, RailVoltageMatchesClosedForm) {
+  // Sample the simulator's rail voltage mid-way through the gated phase
+  // and compare with RailParams::v_after_off.
+  const MultFixture& f = MultFixture::get();
+  Simulator sim(f.nl, f.cfg);
+  sim.init_flops_to_zero();
+  sim.drive_at(0, f.nl.port_net("override_n"), Logic::L1);
+  // 5 MHz: a quarter-period (50 ns) of decay is comparable to tau_decay,
+  // so the sampled rail voltage is meaningfully partial.
+  const Frequency freq = 5.0_MHz;
+  const SimTime T = to_fs(period(freq));
+  sim.add_clock(f.nl.port_net("clk"), freq, 0.5, T / 2);
+  // Clock rises at T/2; sample a quarter period into the high phase.
+  const SimTime t_rise = T / 2 + 2 * T;
+  const Time dt_off = from_fs(T / 4);
+  sim.run_until(t_rise + T / 4);
+  const RailParams rail = extract_rail_params(f.nl, f.cfg);
+  const Voltage expected = rail.v_after_off(dt_off);
+  EXPECT_NEAR(sim.rail_voltage().v, expected.v, expected.v * 0.05);
+}
+
+TEST(CrossValidation, EnergyBucketsExplainTotal) {
+  const MultFixture& f = MultFixture::get();
+  const MeasureResult r = simulate_mult(f, 1.0_MHz, 0.5, false);
+  const PowerTally& t = r.tally;
+  const double sum = t.dynamic_total().v + t.leakage_total().v +
+                     t.gating_overhead().v;
+  EXPECT_NEAR(t.total().v, sum, sum * 1e-12);
+  EXPECT_GT(t.leakage_aon.v, 0.0);
+  EXPECT_GT(t.leakage_gated.v, 0.0);
+  EXPECT_GT(t.rail_recharge.v, 0.0);
+  EXPECT_GT(t.crowbar.v, 0.0);
+  EXPECT_GT(t.header_gate.v, 0.0);
+  EXPECT_GT(t.header_off.v, 0.0);
+}
+
+TEST(CrossValidation, Scm0GatedRunMatchesModelShape) {
+  // The CPU fixture is expensive; one operating point each side of the
+  // convergence region suffices to pin the shape.
+  const auto img = cpu::assemble(cpu::workloads::dhrystone_like(3));
+  cpu::Scm0 gated = cpu::make_scm0(lib(), img);
+  apply_scpg(gated.netlist, cpu::scm0_scpg_options());
+  const SimConfig cfg = cpu::scm0_sim_config();
+
+  auto run = [&](Frequency freq, bool ovr) {
+    MeasureOptions mo;
+    mo.f = freq;
+    mo.sim = cfg;
+    mo.cycles = 30;
+    mo.override_gating = ovr;
+    mo.setup = [](Simulator& s) {
+      s.drive_at(0, s.netlist().port_net("rst_n"), Logic::L1);
+    };
+    return measure_average_power(gated.netlist, mo);
+  };
+  // Below convergence gating saves, above it costs.
+  const MeasureResult lo_pg = run(100.0_kHz, false);
+  const MeasureResult lo_no = run(100.0_kHz, true);
+  EXPECT_LT(lo_pg.avg_power.v, lo_no.avg_power.v * 0.9);
+  const MeasureResult hi_pg = run(10.0_MHz, false);
+  const MeasureResult hi_no = run(10.0_MHz, true);
+  EXPECT_GT(hi_pg.avg_power.v, hi_no.avg_power.v);
+}
+
+} // namespace
+} // namespace scpg

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "cpu/assembler.hpp"
+#include "cpu/core.hpp"
+#include "cpu/iss.hpp"
+#include "cpu/workloads.hpp"
+#include "gen/mult16.hpp"
+#include "netlist/cts.hpp"
+#include "netlist/funcsim.hpp"
+#include "scpg/measure.hpp"
+#include "scpg/transform.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace scpg {
+namespace {
+
+using namespace scpg::literals;
+
+const Library& lib() {
+  static const Library l = Library::scpg90();
+  return l;
+}
+
+TEST(Cts, SmallFanoutIsNoOp) {
+  Netlist nl = gen::make_multiplier(lib(), 4); // 24 flops
+  CtsOptions opt;
+  opt.max_fanout = 64;
+  const CtsInfo info = synthesize_clock_tree(nl, "clk", opt);
+  EXPECT_EQ(info.buffers_inserted, 0u);
+  EXPECT_EQ(info.levels, 0);
+}
+
+TEST(Cts, BalancedTreeCoversAllSinks) {
+  Netlist nl = gen::make_multiplier(lib(), 16); // 64 flops
+  CtsOptions opt;
+  opt.max_fanout = 8;
+  const CtsInfo info = synthesize_clock_tree(nl, "clk", opt);
+  EXPECT_EQ(info.sinks, 64u);
+  EXPECT_EQ(info.buffers_inserted, 8u); // 8 leaf buffers, root drives 8
+  EXPECT_EQ(info.levels, 1);
+  EXPECT_NO_THROW(nl.check());
+
+  // Every flop CK pin must now be driven by a buffer, and every sink must
+  // sit behind exactly `levels` buffers.
+  for (CellId f : nl.flops()) {
+    NetId ck = nl.cell(f).inputs[1];
+    int depth = 0;
+    while (nl.net(ck).driven_by_cell()) {
+      const CellId drv = nl.net(ck).driver_cell;
+      ASSERT_EQ(nl.kind_of(drv), CellKind::Buf);
+      ck = nl.cell(drv).inputs[0];
+      ++depth;
+    }
+    EXPECT_EQ(depth, info.levels);
+    EXPECT_EQ(ck, nl.port_net("clk"));
+  }
+}
+
+TEST(Cts, RootFanoutBounded) {
+  Netlist nl = gen::make_multiplier(lib(), 16);
+  CtsOptions opt;
+  opt.max_fanout = 4;
+  synthesize_clock_tree(nl, "clk", opt);
+  EXPECT_LE(nl.net(nl.port_net("clk")).sinks.size(), 4u);
+}
+
+TEST(Cts, BufferedMultiplierStillComputes) {
+  Netlist nl = gen::make_multiplier(lib(), 8);
+  CtsOptions opt;
+  opt.max_fanout = 8;
+  synthesize_clock_tree(nl, "clk", opt);
+
+  Simulator sim(nl, SimConfig{{0.6_V, 25.0}});
+  sim.init_flops_to_zero();
+  const Frequency f = 1.0_MHz;
+  const SimTime T = to_fs(period(f));
+  sim.add_clock(nl.port_net("clk"), f, 0.5, T / 2);
+  Rng rng(3);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> hist;
+  int cycle = 0, checked = 0;
+  sim.on_rising_edge(nl.port_net("clk"), [&] {
+    if (cycle >= 3) {
+      const auto [a, b] = hist[std::size_t(cycle - 3)];
+      EXPECT_EQ(sim.read_bus("p", 16), a * b);
+      ++checked;
+    }
+    const std::uint64_t a = rng.bits(8), b = rng.bits(8);
+    hist.emplace_back(a, b);
+    sim.drive_bus_at(sim.now() + T / 16, "a", a, 8);
+    sim.drive_bus_at(sim.now() + T / 16, "b", b, 8);
+    ++cycle;
+  });
+  sim.run_until(T * 12);
+  EXPECT_GE(checked, 8);
+}
+
+TEST(Cts, TreeStaysAlwaysOnUnderScpg) {
+  // The paper: the clock tree doubles as the PG control distribution and
+  // must stay powered.  apply_scpg's clock-path classification has to
+  // keep every CTS buffer in the always-on domain.
+  Netlist nl = gen::make_multiplier(lib(), 16);
+  CtsOptions opt;
+  opt.max_fanout = 8;
+  const CtsInfo cts = synthesize_clock_tree(nl, "clk", opt);
+  apply_scpg(nl);
+  std::size_t aon_bufs = 0;
+  for (std::uint32_t ci = 0; ci < nl.num_cells(); ++ci) {
+    const CellId id{ci};
+    if (nl.cell(id).name.rfind("u_cts_", 0) == 0) {
+      EXPECT_EQ(nl.cell(id).domain, Domain::AlwaysOn) << nl.cell(id).name;
+      ++aon_bufs;
+    }
+  }
+  EXPECT_EQ(aon_bufs, cts.buffers_inserted);
+}
+
+TEST(Cts, GatedAndBufferedCpuRunsProgram) {
+  // Full integration: CTS + SCPG on the SCM0, then a timed gated run must
+  // still execute the program correctly (clock skew is balanced).
+  const auto img = cpu::assemble(cpu::workloads::fibonacci(10));
+  cpu::Scm0 core = cpu::make_scm0(lib(), img);
+  CtsOptions copt;
+  copt.max_fanout = 32;
+  const CtsInfo cts = synthesize_clock_tree(core.netlist, "clk", copt);
+  EXPECT_GT(cts.buffers_inserted, 4u);
+  apply_scpg(core.netlist, cpu::scm0_scpg_options());
+
+  Simulator sim(core.netlist, cpu::scm0_sim_config());
+  sim.init_flops_to_zero();
+  sim.drive_at(0, core.netlist.port_net("rst_n"), Logic::L1);
+  sim.drive_at(0, core.netlist.port_net("override_n"), Logic::L1);
+  const Frequency f = 500.0_kHz;
+  const SimTime T = to_fs(period(f));
+  sim.add_clock(core.netlist.port_net("clk"), f, 0.5, T / 2);
+  sim.run_until(T * 90); // fib(10) takes ~60 cycles
+  EXPECT_EQ(sim.output("halted"), Logic::L1);
+  auto* ram = dynamic_cast<cpu::RamModel*>(sim.macro_model(core.ram_cell));
+  ASSERT_NE(ram, nullptr);
+  EXPECT_EQ(ram->word(60), 55u);
+}
+
+TEST(Cts, UnknownClockPortRejected) {
+  Netlist nl = gen::make_multiplier(lib(), 4);
+  EXPECT_THROW((void)synthesize_clock_tree(nl, "nope", {}), PreconditionError);
+}
+
+} // namespace
+} // namespace scpg

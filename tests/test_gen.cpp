@@ -1,0 +1,356 @@
+#include <gtest/gtest.h>
+
+#include "gen/arith.hpp"
+#include "gen/components.hpp"
+#include "gen/mult16.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/funcsim.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace scpg::gen {
+namespace {
+
+const Library& lib() {
+  static const Library l = Library::scpg90();
+  return l;
+}
+
+// ---------------------------------------------------------------------------
+// Adders (property tests over widths)
+// ---------------------------------------------------------------------------
+
+class AdderWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdderWidthTest, RippleMatchesIntegerArithmetic) {
+  const int w = GetParam();
+  Netlist nl("t", lib());
+  Builder b(nl);
+  const Bus x = b.input_bus("x", w);
+  const Bus y = b.input_bus("y", w);
+  const NetId cin = b.input("cin");
+  const AddResult r = ripple_add(b, x, y, cin);
+  b.output_bus("s", r.sum);
+  b.output("c", r.carry);
+  nl.check();
+  FuncSim sim(nl);
+  Rng rng(static_cast<std::uint64_t>(w) * 7919);
+  const std::uint64_t mask = w == 64 ? ~0ULL : (1ULL << w) - 1;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t a = rng.bits(w), c = rng.bits(w);
+    const int ci = rng.chance(0.5) ? 1 : 0;
+    sim.set_input_bus("x", a, w);
+    sim.set_input_bus("y", c, w);
+    sim.set_input("cin", from_bool(ci));
+    sim.eval();
+    const unsigned __int128 full =
+        (unsigned __int128)a + c + (unsigned)ci;
+    EXPECT_EQ(sim.read_bus("s", w), std::uint64_t(full) & mask);
+    EXPECT_EQ(sim.output("c"), from_bool((full >> w) & 1));
+  }
+}
+
+TEST_P(AdderWidthTest, CarrySelectEquivalentToRipple) {
+  const int w = GetParam();
+  Netlist nl("t", lib());
+  Builder b(nl);
+  const Bus x = b.input_bus("x", w);
+  const Bus y = b.input_bus("y", w);
+  const AddResult rr = ripple_add(b, x, y);
+  const AddResult cs = carry_select_add(b, x, y, NetId{}, 4);
+  b.output_bus("rs", rr.sum);
+  b.output("rc", rr.carry);
+  b.output_bus("cs", cs.sum);
+  b.output("cc", cs.carry);
+  nl.check();
+  FuncSim sim(nl);
+  Rng rng(static_cast<std::uint64_t>(w) * 104729);
+  for (int i = 0; i < 100; ++i) {
+    sim.set_input_bus("x", rng.bits(w), w);
+    sim.set_input_bus("y", rng.bits(w), w);
+    sim.eval();
+    EXPECT_EQ(sim.read_bus("rs", w), sim.read_bus("cs", w));
+    EXPECT_EQ(sim.output("rc"), sim.output("cc"));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AdderWidthTest,
+                         ::testing::Values(3, 4, 8, 13, 16, 32));
+
+TEST(Arith, SubtractIsTwosComplement) {
+  Netlist nl("t", lib());
+  Builder b(nl);
+  const Bus x = b.input_bus("x", 8);
+  const Bus y = b.input_bus("y", 8);
+  const AddResult d = subtract(b, x, y);
+  b.output_bus("d", d.sum);
+  b.output("nb", d.carry); // not-borrow
+  nl.check();
+  FuncSim sim(nl);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t a = rng.bits(8), c = rng.bits(8);
+    sim.set_input_bus("x", a, 8);
+    sim.set_input_bus("y", c, 8);
+    sim.eval();
+    EXPECT_EQ(sim.read_bus("d", 8), (a - c) & 0xFF);
+    EXPECT_EQ(sim.output("nb"), from_bool(a >= c));
+  }
+}
+
+TEST(Arith, IncrementWrapsAround) {
+  Netlist nl("t", lib());
+  Builder b(nl);
+  const Bus x = b.input_bus("x", 6);
+  b.output_bus("y", increment(b, x));
+  nl.check();
+  FuncSim sim(nl);
+  for (std::uint64_t v : {0ULL, 1ULL, 31ULL, 62ULL, 63ULL}) {
+    sim.set_input_bus("x", v, 6);
+    sim.eval();
+    EXPECT_EQ(sim.read_bus("y", 6), (v + 1) & 63);
+  }
+}
+
+TEST(Arith, CompareExhaustive4Bit) {
+  Netlist nl("t", lib());
+  Builder b(nl);
+  const Bus x = b.input_bus("x", 4);
+  const Bus y = b.input_bus("y", 4);
+  const CompareResult c = compare(b, x, y);
+  b.output("eq", c.eq);
+  b.output("lt", c.lt);
+  nl.check();
+  FuncSim sim(nl);
+  for (std::uint64_t a = 0; a < 16; ++a)
+    for (std::uint64_t d = 0; d < 16; ++d) {
+      sim.set_input_bus("x", a, 4);
+      sim.set_input_bus("y", d, 4);
+      sim.eval();
+      EXPECT_EQ(sim.output("eq"), from_bool(a == d)) << a << " " << d;
+      EXPECT_EQ(sim.output("lt"), from_bool(a < d)) << a << " " << d;
+    }
+}
+
+TEST(Arith, WidthMismatchRejected) {
+  Netlist nl("t", lib());
+  Builder b(nl);
+  const Bus x = b.input_bus("x", 4);
+  const Bus y = b.input_bus("y", 5);
+  EXPECT_THROW((void)ripple_add(b, x, y), PreconditionError);
+  EXPECT_THROW((void)carry_select_add(b, x, y), PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// Components
+// ---------------------------------------------------------------------------
+
+TEST(Components, DecoderIsOneHot) {
+  Netlist nl("t", lib());
+  Builder b(nl);
+  const Bus sel = b.input_bus("s", 3);
+  b.output_bus("d", decoder(b, sel));
+  nl.check();
+  FuncSim sim(nl);
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    sim.set_input_bus("s", v, 3);
+    sim.eval();
+    EXPECT_EQ(sim.read_bus("d", 8), 1ULL << v);
+  }
+}
+
+TEST(Components, MuxTreeSelectsChoice) {
+  Netlist nl("t", lib());
+  Builder b(nl);
+  std::vector<Bus> choices;
+  for (int i = 0; i < 4; ++i)
+    choices.push_back(b.input_bus("c" + std::to_string(i), 4));
+  const Bus sel = b.input_bus("s", 2);
+  b.output_bus("y", mux_tree(b, choices, sel));
+  nl.check();
+  FuncSim sim(nl);
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    std::uint64_t vals[4];
+    for (int k = 0; k < 4; ++k) {
+      vals[k] = rng.bits(4);
+      sim.set_input_bus("c" + std::to_string(k), vals[k], 4);
+    }
+    const std::uint64_t s = rng.bits(2);
+    sim.set_input_bus("s", s, 2);
+    sim.eval();
+    EXPECT_EQ(sim.read_bus("y", 4), vals[s]);
+  }
+}
+
+TEST(Components, MuxTreeRejectsNonPowerOfTwo) {
+  Netlist nl("t", lib());
+  Builder b(nl);
+  std::vector<Bus> choices(3, b.input_bus("c", 2));
+  const Bus sel = b.input_bus("s", 2);
+  EXPECT_THROW((void)mux_tree(b, choices, sel), PreconditionError);
+}
+
+class ShiftTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShiftTest, VariableShiftsMatchCpp) {
+  const int w = GetParam();
+  const int sbits = 5;
+  Netlist nl("t", lib());
+  Builder b(nl);
+  const Bus x = b.input_bus("x", w);
+  const Bus amt = b.input_bus("n", sbits);
+  b.output_bus("l", shift_left(b, x, amt));
+  b.output_bus("r", shift_right(b, x, amt));
+  nl.check();
+  FuncSim sim(nl);
+  Rng rng(static_cast<std::uint64_t>(w));
+  const std::uint64_t mask = (w == 64) ? ~0ULL : (1ULL << w) - 1;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t v = rng.bits(w);
+    const std::uint64_t n = rng.bits(sbits);
+    sim.set_input_bus("x", v, w);
+    sim.set_input_bus("n", n, sbits);
+    sim.eval();
+    const std::uint64_t el = n >= std::uint64_t(w) ? 0 : (v << n) & mask;
+    const std::uint64_t er = n >= std::uint64_t(w) ? 0 : v >> n;
+    EXPECT_EQ(sim.read_bus("l", w), el) << v << "<<" << n;
+    EXPECT_EQ(sim.read_bus("r", w), er) << v << ">>" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ShiftTest, ::testing::Values(8, 16, 32));
+
+TEST(Components, RegisterFileWriteReadPorts) {
+  Netlist nl("t", lib());
+  Builder b(nl);
+  const NetId clk = b.input("clk");
+  const Bus waddr = b.input_bus("wa", 2);
+  const Bus wdata = b.input_bus("wd", 8);
+  const NetId wen = b.input("we");
+  const Bus ra = b.input_bus("ra", 2);
+  const Bus rb = b.input_bus("rb", 2);
+  const RegisterFile rf =
+      register_file(b, 4, 8, clk, waddr, wdata, wen, ra, rb);
+  b.output_bus("qa", rf.rd_a);
+  b.output_bus("qb", rf.rd_b);
+  nl.check();
+  FuncSim sim(nl);
+  sim.reset();
+  sim.set_input("clk", Logic::L0);
+
+  // Write distinct values into all four registers.
+  std::uint64_t vals[4] = {0x11, 0x22, 0x33, 0x44};
+  sim.set_input("we", Logic::L1);
+  for (std::uint64_t r = 0; r < 4; ++r) {
+    sim.set_input_bus("wa", r, 2);
+    sim.set_input_bus("wd", vals[r], 8);
+    sim.clock();
+  }
+  sim.set_input("we", Logic::L0);
+  // Read through both ports simultaneously.
+  for (std::uint64_t a = 0; a < 4; ++a)
+    for (std::uint64_t c = 0; c < 4; ++c) {
+      sim.set_input_bus("ra", a, 2);
+      sim.set_input_bus("rb", c, 2);
+      sim.eval();
+      EXPECT_EQ(sim.read_bus("qa", 8), vals[a]);
+      EXPECT_EQ(sim.read_bus("qb", 8), vals[c]);
+    }
+  // Write-disable really holds the value.
+  sim.set_input_bus("wa", 1, 2);
+  sim.set_input_bus("wd", 0xFF, 8);
+  sim.clock();
+  sim.set_input_bus("ra", 1, 2);
+  sim.eval();
+  EXPECT_EQ(sim.read_bus("qa", 8), 0x22u);
+}
+
+TEST(Components, RegisterFileRejectsBadShapes) {
+  Netlist nl("t", lib());
+  Builder b(nl);
+  const NetId clk = b.input("clk");
+  const Bus waddr = b.input_bus("wa", 2);
+  const Bus wdata = b.input_bus("wd", 8);
+  const NetId wen = b.input("we");
+  const Bus ra = b.input_bus("ra", 2);
+  EXPECT_THROW((void)register_file(b, 3, 8, clk, waddr, wdata, wen, ra, ra),
+               PreconditionError); // not a power of two
+  EXPECT_THROW((void)register_file(b, 8, 8, clk, waddr, wdata, wen, ra, ra),
+               PreconditionError); // waddr too narrow
+}
+
+// ---------------------------------------------------------------------------
+// Multiplier array
+// ---------------------------------------------------------------------------
+
+class MultWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultWidthTest, ArrayMatchesIntegerMultiply) {
+  const int w = GetParam();
+  Netlist nl("t", lib());
+  Builder b(nl);
+  const Bus x = b.input_bus("x", w);
+  const Bus y = b.input_bus("y", w);
+  b.output_bus("p", multiplier_array(b, x, y));
+  nl.check();
+  FuncSim sim(nl);
+  Rng rng(static_cast<std::uint64_t>(w) * 31);
+  // Exhaustive for small widths, random for larger.
+  if (w <= 5) {
+    for (std::uint64_t a = 0; a < (1u << w); ++a)
+      for (std::uint64_t c = 0; c < (1u << w); ++c) {
+        sim.set_input_bus("x", a, w);
+        sim.set_input_bus("y", c, w);
+        sim.eval();
+        ASSERT_EQ(sim.read_bus("p", 2 * w), a * c) << a << "*" << c;
+      }
+  } else {
+    for (int i = 0; i < 150; ++i) {
+      const std::uint64_t a = rng.bits(w), c = rng.bits(w);
+      sim.set_input_bus("x", a, w);
+      sim.set_input_bus("y", c, w);
+      sim.eval();
+      ASSERT_EQ(sim.read_bus("p", 2 * w), a * c) << a << "*" << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MultWidthTest,
+                         ::testing::Values(2, 3, 4, 5, 8, 16));
+
+TEST(Multiplier, CornerOperands) {
+  Netlist nl("t", lib());
+  Builder b(nl);
+  const Bus x = b.input_bus("x", 16);
+  const Bus y = b.input_bus("y", 16);
+  b.output_bus("p", multiplier_array(b, x, y));
+  nl.check();
+  FuncSim sim(nl);
+  const std::uint64_t cases[][2] = {
+      {0, 0},      {0, 0xFFFF}, {0xFFFF, 0},     {1, 0xFFFF},
+      {0xFFFF, 1}, {0x8000, 2}, {0xFFFF, 0xFFFF}, {0xAAAA, 0x5555},
+  };
+  for (const auto& c : cases) {
+    sim.set_input_bus("x", c[0], 16);
+    sim.set_input_bus("y", c[1], 16);
+    sim.eval();
+    EXPECT_EQ(sim.read_bus("p", 32), c[0] * c[1]);
+  }
+}
+
+TEST(Multiplier, RegisteredTopHasPaperScale) {
+  Netlist nl = make_multiplier(lib(), 16);
+  EXPECT_EQ(nl.flops().size(), 64u); // 2x16 input + 32 product registers
+  EXPECT_GT(nl.num_cells(), 1200u);
+  EXPECT_LT(nl.num_cells(), 2000u);
+  EXPECT_TRUE(nl.find_port("clk").valid());
+}
+
+TEST(Multiplier, RejectsBadWidths) {
+  EXPECT_THROW((void)make_multiplier(lib(), 1), PreconditionError);
+  EXPECT_THROW((void)make_multiplier(lib(), 33), PreconditionError);
+}
+
+} // namespace
+} // namespace scpg::gen

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "gen/mult16.hpp"
+#include "mep/mep.hpp"
+#include "util/error.hpp"
+
+namespace scpg {
+namespace {
+
+using namespace scpg::literals;
+
+const Library& lib() {
+  static const Library l = Library::scpg90();
+  return l;
+}
+
+const MepResult& mult_mep() {
+  static const MepResult r = [] {
+    Netlist nl = gen::make_multiplier(lib(), 16);
+    return analyze_mep(nl, 3.7_pJ, {0.6_V, 25.0});
+  }();
+  return r;
+}
+
+TEST(Mep, SweepIsOrderedAndComplete) {
+  const MepResult& r = mult_mep();
+  ASSERT_GE(r.sweep.size(), 40u);
+  for (std::size_t i = 1; i < r.sweep.size(); ++i) {
+    EXPECT_GT(r.sweep[i].vdd.v, r.sweep[i - 1].vdd.v);
+    // Frequency rises monotonically with supply.
+    EXPECT_GT(r.sweep[i].fmax.v, r.sweep[i - 1].fmax.v);
+    // Dynamic energy rises with supply (CV^2).
+    EXPECT_GT(r.sweep[i].e_dynamic.v, r.sweep[i - 1].e_dynamic.v);
+  }
+}
+
+TEST(Mep, LeakageEnergyExplodesAtLowVdd) {
+  const MepResult& r = mult_mep();
+  const MepPoint& lo = r.sweep.front();
+  const MepPoint& hi = r.sweep.back();
+  // At the bottom of the sweep the leakage energy dominates dynamic;
+  // at the top, dynamic dominates.
+  EXPECT_GT(lo.e_leakage.v, lo.e_dynamic.v);
+  EXPECT_LT(hi.e_leakage.v, hi.e_dynamic.v);
+}
+
+TEST(Mep, MinimumIsInteriorAndBalanced) {
+  const MepResult& r = mult_mep();
+  EXPECT_GT(r.minimum.vdd.v, r.sweep.front().vdd.v);
+  EXPECT_LT(r.minimum.vdd.v, r.sweep.back().vdd.v);
+  // At the MEP, leakage and dynamic energies are the same order.
+  const double ratio = r.minimum.e_leakage.v / r.minimum.e_dynamic.v;
+  EXPECT_GT(ratio, 0.2);
+  EXPECT_LT(ratio, 5.0);
+  // The refined minimum beats every sweep sample.
+  for (const MepPoint& p : r.sweep)
+    EXPECT_LE(r.minimum.e_total().v, p.e_total().v * 1.0001);
+}
+
+TEST(Mep, MultiplierMinimumNearPaperFig9) {
+  // Paper Fig 9: MEP at ~310 mV, ~1.7 pJ, ~10 MHz.
+  const MepPoint& m = mult_mep().minimum;
+  EXPECT_GT(in_mV(m.vdd), 240.0);
+  EXPECT_LT(in_mV(m.vdd), 380.0);
+  EXPECT_GT(in_pJ(m.e_total()), 1.0);
+  EXPECT_LT(in_pJ(m.e_total()), 2.6);
+  EXPECT_GT(in_MHz(m.fmax), 4.0);
+  EXPECT_LT(in_MHz(m.fmax), 20.0);
+}
+
+TEST(Mep, EnergyAtSixHundredMillivoltsMatchesTableScale) {
+  // At 0.6 V the multiplier's E/op at fmax should sit near the paper's
+  // 4.4 pJ (Table I, 14.3 MHz row).
+  Netlist nl = gen::make_multiplier(lib(), 16);
+  const MepPoint p = mep_point(nl, 3.7_pJ, {0.6_V, 25.0}, 0.6_V, 25.0);
+  EXPECT_GT(in_pJ(p.e_total()), 3.0);
+  EXPECT_LT(in_pJ(p.e_total()), 6.5);
+}
+
+TEST(Mep, HigherTemperatureMovesMepUp) {
+  // Hotter silicon leaks more, pushing the minimum-energy point to a
+  // higher supply (a standard sub-threshold result).
+  Netlist nl = gen::make_multiplier(lib(), 16);
+  MepOptions hot;
+  hot.temp_c = 85.0;
+  const MepResult cold = analyze_mep(nl, 3.7_pJ, {0.6_V, 25.0});
+  const MepResult warm = analyze_mep(nl, 3.7_pJ, {0.6_V, 25.0}, hot);
+  EXPECT_GT(warm.minimum.vdd.v, cold.minimum.vdd.v);
+  EXPECT_GT(warm.minimum.e_total().v, cold.minimum.e_total().v);
+}
+
+TEST(Mep, OptionValidation) {
+  Netlist nl = gen::make_multiplier(lib(), 8);
+  MepOptions bad;
+  bad.points = 2;
+  EXPECT_THROW((void)analyze_mep(nl, 1.0_pJ, {0.6_V, 25.0}, bad),
+               PreconditionError);
+  EXPECT_THROW((void)analyze_mep(nl, Energy{0.0}, {0.6_V, 25.0}),
+               PreconditionError);
+}
+
+} // namespace
+} // namespace scpg

@@ -1,0 +1,479 @@
+#include <gtest/gtest.h>
+
+#include "gen/arith.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/funcsim.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/report.hpp"
+#include "netlist/verilog.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+#include <sstream>
+
+namespace scpg {
+namespace {
+
+const Library& lib() {
+  static const Library l = Library::scpg90();
+  return l;
+}
+
+// ---------------------------------------------------------------------------
+// Structure
+// ---------------------------------------------------------------------------
+
+TEST(Netlist, BuildAndCheckSimpleGate) {
+  Netlist nl("t", lib());
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId y = nl.add_net("y");
+  nl.add_cell("g0", lib().pick(CellKind::Nand2), {a, b}, y);
+  nl.add_output("y", y);
+  EXPECT_NO_THROW(nl.check());
+  EXPECT_EQ(nl.num_cells(), 1u);
+  EXPECT_EQ(nl.num_nets(), 3u);
+  EXPECT_EQ(nl.num_ports(), 3u);
+}
+
+TEST(Netlist, RejectsMultipleDrivers) {
+  Netlist nl("t", lib());
+  const NetId a = nl.add_input("a");
+  const NetId y = nl.add_net("y");
+  nl.add_cell("g0", lib().pick(CellKind::Inv), {a}, y);
+  EXPECT_THROW((void)nl.add_cell("g1", lib().pick(CellKind::Inv), {a}, y),
+               NetlistError);
+}
+
+TEST(Netlist, RejectsUndrivenNet) {
+  Netlist nl("t", lib());
+  const NetId a = nl.add_input("a");
+  const NetId floating = nl.add_net("floating");
+  const NetId y = nl.add_net("y");
+  nl.add_cell("g0", lib().pick(CellKind::Nand2), {a, floating}, y);
+  EXPECT_THROW((void)nl.check(), NetlistError);
+}
+
+TEST(Netlist, DetectsCombinationalLoop) {
+  Netlist nl("t", lib());
+  const NetId a = nl.add_input("a");
+  const NetId x = nl.add_net("x");
+  const NetId y = nl.add_net("y");
+  nl.add_cell("g0", lib().pick(CellKind::Nand2), {a, y}, x);
+  nl.add_cell("g1", lib().pick(CellKind::Inv), {x}, y);
+  EXPECT_THROW((void)nl.check(), NetlistError);
+}
+
+TEST(Netlist, LoopThroughFlopIsFine) {
+  Netlist nl("t", lib());
+  Builder b(nl);
+  const NetId clk = b.input("clk");
+  // q = DFF(!q): toggle flop.
+  const NetId q = nl.add_net("q");
+  const NetId d = b.NOT(q);
+  nl.add_cell("ff", lib().pick(CellKind::Dff), {d, clk}, q);
+  b.output("q", q);
+  EXPECT_NO_THROW(nl.check());
+}
+
+TEST(Netlist, TopoOrderRespectsDependencies) {
+  Netlist nl("t", lib());
+  Builder b(nl);
+  const NetId a = b.input("a");
+  const NetId n1 = b.NOT(a);
+  const NetId n2 = b.NOT(n1);
+  const NetId n3 = b.AND(n1, n2);
+  b.output("y", n3);
+  const auto order = nl.topo_order();
+  ASSERT_EQ(order.size(), 3u);
+  std::vector<std::uint32_t> pos(nl.num_cells());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i].v] = i;
+  const CellId c1 = nl.net(n1).driver_cell;
+  const CellId c2 = nl.net(n2).driver_cell;
+  const CellId c3 = nl.net(n3).driver_cell;
+  EXPECT_LT(pos[c1.v], pos[c2.v]);
+  EXPECT_LT(pos[c2.v], pos[c3.v]);
+}
+
+TEST(Netlist, WrongInputCountRejected) {
+  Netlist nl("t", lib());
+  const NetId a = nl.add_input("a");
+  EXPECT_THROW((void)nl.add_cell("g", lib().pick(CellKind::Nand2), {a}, nl.add_net("y")),
+      PreconditionError);
+}
+
+TEST(Netlist, StatsCountKindsAndDomains) {
+  Netlist nl("t", lib());
+  Builder b(nl);
+  const NetId clk = b.input("clk");
+  const NetId a = b.input("a");
+  const NetId n = b.NOT(a);
+  const NetId q = b.dff(n, clk);
+  b.output("q", q);
+  nl.cell(nl.net(n).driver_cell).domain = Domain::Gated;
+
+  const DesignStats s = compute_stats(nl);
+  EXPECT_EQ(s.num_cells, 2u);
+  EXPECT_EQ(s.num_comb_cells, 1u);
+  EXPECT_EQ(s.num_flops, 1u);
+  EXPECT_EQ(s.cells_gated, 1u);
+  EXPECT_EQ(s.cells_always_on, 1u);
+  EXPECT_GT(s.area.v, 0.0);
+  EXPECT_GT(s.nominal_leakage.v, 0.0);
+
+  std::ostringstream os;
+  print_stats(s, os, "stats");
+  EXPECT_NE(os.str().find("flops 1"), std::string::npos);
+}
+
+TEST(Netlist, NetLoadGrowsWithFanout) {
+  Netlist nl("t", lib());
+  Builder b(nl);
+  const NetId a = b.input("a");
+  const Capacitance c0 = nl.net_load(a);
+  b.output("y1", b.NOT(a));
+  const Capacitance c1 = nl.net_load(a);
+  b.output("y2", b.NOT(a));
+  const Capacitance c2 = nl.net_load(a);
+  EXPECT_GT(c1.v, c0.v);
+  EXPECT_GT(c2.v, c1.v);
+}
+
+TEST(Netlist, KindHistogram) {
+  Netlist nl("t", lib());
+  Builder b(nl);
+  const NetId a = b.input("a");
+  b.output("x", b.NOT(a));
+  b.output("y", b.NOT(a));
+  b.output("z", b.AND(a, a));
+  const auto h = nl.kind_histogram();
+  EXPECT_EQ(h.at("INV"), 2);
+  EXPECT_EQ(h.at("AND2"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Builder helpers
+// ---------------------------------------------------------------------------
+
+TEST(Builder, TieCellsAreShared) {
+  Netlist nl("t", lib());
+  Builder b(nl);
+  const NetId t1 = b.tie_hi();
+  const NetId t2 = b.tie_hi();
+  EXPECT_EQ(t1, t2);
+  EXPECT_NE(b.tie_lo(), t1);
+}
+
+TEST(Builder, BusOpsValidateWidth) {
+  Netlist nl("t", lib());
+  Builder b(nl);
+  const Bus a = b.input_bus("a", 4);
+  const Bus c = b.input_bus("c", 3);
+  EXPECT_THROW((void)b.and_bus(a, c), PreconditionError);
+  EXPECT_THROW((void)b.const_bus(16, 4), PreconditionError);
+}
+
+TEST(Builder, EqualConstMatchesExactValue) {
+  Netlist nl("t", lib());
+  Builder b(nl);
+  const Bus a = b.input_bus("a", 4);
+  b.output("m", b.equal_const(a, 0b1010));
+  nl.check();
+  FuncSim sim(nl);
+  sim.reset();
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    sim.set_input_bus("a", v, 4);
+    sim.eval();
+    EXPECT_EQ(sim.output("m"), from_bool(v == 0b1010)) << v;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FuncSim
+// ---------------------------------------------------------------------------
+
+TEST(FuncSim, CombinationalSettling) {
+  Netlist nl("t", lib());
+  Builder b(nl);
+  const NetId a = b.input("a");
+  const NetId c = b.input("b");
+  b.output("y", b.XOR(a, c));
+  nl.check();
+  FuncSim sim(nl);
+  for (int av = 0; av < 2; ++av)
+    for (int bv = 0; bv < 2; ++bv) {
+      sim.set_input("a", from_bool(av));
+      sim.set_input("b", from_bool(bv));
+      sim.eval();
+      EXPECT_EQ(sim.output("y"), from_bool(av != bv));
+    }
+}
+
+TEST(FuncSim, FlopCapturesOnClock) {
+  Netlist nl("t", lib());
+  Builder b(nl);
+  const NetId clk = b.input("clk");
+  const NetId d = b.input("d");
+  b.output("q", b.dff(d, clk));
+  nl.check();
+  FuncSim sim(nl);
+  sim.reset();
+  sim.set_input("d", Logic::L1);
+  sim.eval();
+  EXPECT_EQ(sim.output("q"), Logic::L0); // not yet clocked
+  sim.clock();
+  EXPECT_EQ(sim.output("q"), Logic::L1);
+  sim.set_input("d", Logic::L0);
+  sim.eval();
+  EXPECT_EQ(sim.output("q"), Logic::L1); // holds
+  sim.clock();
+  EXPECT_EQ(sim.output("q"), Logic::L0);
+  (void)clk;
+}
+
+TEST(FuncSim, AsyncResetDominates) {
+  Netlist nl("t", lib());
+  Builder b(nl);
+  const NetId clk = b.input("clk");
+  const NetId rn = b.input("rn");
+  const NetId d = b.input("d");
+  b.output("q", b.dffr(d, clk, rn));
+  nl.check();
+  FuncSim sim(nl);
+  sim.reset();
+  sim.set_input("d", Logic::L1);
+  sim.set_input("rn", Logic::L1);
+  sim.clock();
+  EXPECT_EQ(sim.output("q"), Logic::L1);
+  sim.set_input("rn", Logic::L0);
+  sim.eval();
+  EXPECT_EQ(sim.output("q"), Logic::L0); // async clear
+  sim.clock();
+  EXPECT_EQ(sim.output("q"), Logic::L0); // held in reset
+  (void)clk;
+}
+
+TEST(FuncSim, ToggleFlopDividesByTwo) {
+  Netlist nl("t", lib());
+  Builder b(nl);
+  const NetId clk = b.input("clk");
+  const NetId q = nl.add_net("q");
+  const NetId d = b.NOT(q);
+  nl.add_cell("ff", lib().pick(CellKind::Dff), {d, clk}, q);
+  b.output("q", q);
+  nl.check();
+  FuncSim sim(nl);
+  sim.reset();
+  sim.eval();
+  Logic prev = sim.output("q");
+  for (int i = 0; i < 6; ++i) {
+    sim.clock();
+    EXPECT_NE(sim.output("q"), prev);
+    prev = sim.output("q");
+  }
+}
+
+TEST(FuncSim, RippleAdderMatchesIntegerAdd) {
+  Netlist nl("t", lib());
+  Builder b(nl);
+  const Bus a = b.input_bus("a", 8);
+  const Bus c = b.input_bus("b", 8);
+  const auto r = gen::ripple_add(b, a, c);
+  b.output_bus("s", r.sum);
+  b.output("cout", r.carry);
+  nl.check();
+  FuncSim sim(nl);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t av = rng.bits(8), bv = rng.bits(8);
+    sim.set_input_bus("a", av, 8);
+    sim.set_input_bus("b", bv, 8);
+    sim.eval();
+    EXPECT_EQ(sim.read_bus("s", 8), (av + bv) & 0xFF);
+    EXPECT_EQ(sim.output("cout"), from_bool((av + bv) > 0xFF));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+class XorMacro final : public MacroModel {
+public:
+  void eval(std::span<const Logic> in, std::span<Logic> out) override {
+    if (is_known(in[0]) && is_known(in[1]))
+      out[0] = from_bool(to_bool(in[0]) != to_bool(in[1]));
+    else
+      out[0] = Logic::X;
+  }
+};
+
+MacroSpec xor_macro_spec() {
+  MacroSpec m;
+  m.type_name = "XORM";
+  m.num_inputs = 2;
+  m.num_outputs = 1;
+  m.make_model = [] { return std::make_unique<XorMacro>(); };
+  return m;
+}
+
+TEST(FuncSim, MacroEvaluatesCombinationally) {
+  Netlist nl("t", lib());
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId y = nl.add_net("y");
+  const auto mi = nl.add_macro_spec(xor_macro_spec());
+  nl.add_macro_cell("m0", mi, {a, b}, {y});
+  nl.add_output("y", y);
+  nl.check();
+  FuncSim sim(nl);
+  sim.set_input("a", Logic::L1);
+  sim.set_input("b", Logic::L0);
+  sim.eval();
+  EXPECT_EQ(sim.output("y"), Logic::L1);
+}
+
+TEST(Netlist, MacroPinCountValidated) {
+  Netlist nl("t", lib());
+  const NetId a = nl.add_input("a");
+  const auto mi = nl.add_macro_spec(xor_macro_spec());
+  EXPECT_THROW((void)nl.add_macro_cell("m0", mi, {a}, {nl.add_net("y")}),
+               PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// Verilog round trip
+// ---------------------------------------------------------------------------
+
+TEST(Verilog, FlatRoundTripPreservesFunction) {
+  Netlist nl("rt", lib());
+  Builder b(nl);
+  const NetId clk = b.input("clk");
+  const Bus a = b.input_bus("a", 4);
+  const Bus c = b.input_bus("b", 4);
+  const auto sum = gen::ripple_add(b, a, c);
+  const Bus q = b.dff_bus(sum.sum, clk);
+  b.output_bus("s", q);
+  nl.check();
+
+  const std::string text = write_verilog_string(nl);
+  Netlist back = read_verilog_string(text, lib());
+  EXPECT_EQ(back.name(), "rt");
+  EXPECT_EQ(back.num_cells(), nl.num_cells());
+  EXPECT_EQ(back.num_ports(), nl.num_ports());
+
+  FuncSim s1(nl), s2(back);
+  s1.reset();
+  s2.reset();
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t av = rng.bits(4), bv = rng.bits(4);
+    s1.set_input_bus("a", av, 4);
+    s2.set_input_bus("a", av, 4);
+    s1.set_input_bus("b", bv, 4);
+    s2.set_input_bus("b", bv, 4);
+    s1.clock();
+    s2.clock();
+    EXPECT_EQ(s1.read_bus("s", 4), s2.read_bus("s", 4));
+  }
+}
+
+TEST(Verilog, EscapedIdentifiersRoundTrip) {
+  Netlist nl("esc", lib());
+  Builder b(nl);
+  const Bus a = b.input_bus("a", 2); // creates a[0], a[1]
+  b.output("y", b.AND(a[0], a[1]));
+  nl.check();
+  const std::string text = write_verilog_string(nl);
+  EXPECT_NE(text.find("\\a[0] "), std::string::npos);
+  Netlist back = read_verilog_string(text, lib());
+  EXPECT_TRUE(back.find_port("a[0]").valid());
+}
+
+TEST(Verilog, GatedAttributeRoundTrips) {
+  Netlist nl("ga", lib());
+  Builder b(nl);
+  const NetId a = b.input("a");
+  const NetId y1 = b.NOT(a);
+  const NetId y2 = b.NOT(y1);
+  b.output("y", y2);
+  nl.check();
+  nl.cell(nl.net(y1).driver_cell).domain = Domain::Gated;
+
+  const std::string text = write_verilog_string(nl);
+  EXPECT_NE(text.find("(* gated *)"), std::string::npos);
+  Netlist back = read_verilog_string(text, lib());
+  int gated = 0;
+  for (std::uint32_t ci = 0; ci < back.num_cells(); ++ci)
+    if (back.cell(CellId{ci}).domain == Domain::Gated) ++gated;
+  EXPECT_EQ(gated, 1);
+}
+
+TEST(Verilog, UnknownAttributeRejected) {
+  const std::string text =
+      "module m (a, y);\n input a; output y;\n"
+      " (* bogus *) INV_X1 g (.A(a), .Y(y));\nendmodule\n";
+  EXPECT_THROW((void)read_verilog_string(text, lib()), ParseError);
+}
+
+TEST(Verilog, ReaderRejectsUnknownCell) {
+  const std::string text =
+      "module m (a, y);\n input a; output y;\n BOGUS_X1 g (.A(a), .Y(y));\n"
+      "endmodule\n";
+  EXPECT_THROW((void)read_verilog_string(text, lib()), ParseError);
+}
+
+TEST(Verilog, ReaderRejectsUnconnectedPin) {
+  const std::string text =
+      "module m (a, y);\n input a; output y;\n NAND2_X1 g (.A(a), .Y(y));\n"
+      "endmodule\n";
+  EXPECT_THROW((void)read_verilog_string(text, lib()), ParseError);
+}
+
+TEST(Verilog, CommentsAndWhitespaceTolerated) {
+  const std::string text =
+      "// comment\nmodule m (a, y);\n/* block\ncomment */ input a;\n"
+      "output y;\n  INV_X1 g0 (.A(a), .Y(y));\nendmodule\n";
+  Netlist nl = read_verilog_string(text, lib());
+  EXPECT_EQ(nl.num_cells(), 1u);
+}
+
+TEST(Verilog, SplitDomainsEmitsChildModule) {
+  Netlist nl("top", lib());
+  Builder b(nl);
+  const NetId clk = b.input("clk");
+  const NetId a = b.input("a");
+  const NetId q0 = b.dff(a, clk);
+  const NetId inv = b.NOT(q0);
+  const NetId q1 = b.dff(inv, clk);
+  b.output("y", q1);
+  nl.check();
+  nl.cell(nl.net(inv).driver_cell).domain = Domain::Gated;
+
+  const std::string text =
+      write_verilog_string(nl, {.split_domains = true});
+  EXPECT_NE(text.find("module top_pd_comb"), std::string::npos);
+  EXPECT_NE(text.find("u_pd_comb"), std::string::npos);
+  // The gated inverter lives in the child module, before the top module.
+  const auto child_pos = text.find("module top_pd_comb");
+  const auto top_pos = text.find("module top (");
+  const auto inv_pos = text.find("INV_X1");
+  EXPECT_LT(child_pos, inv_pos);
+  EXPECT_LT(inv_pos, top_pos);
+}
+
+TEST(Report, DotExportContainsCellsAndDomains) {
+  Netlist nl("d", lib());
+  Builder b(nl);
+  const NetId a = b.input("a");
+  const NetId y = b.NOT(a);
+  b.output("y", y);
+  nl.cell(nl.net(y).driver_cell).domain = Domain::Gated;
+  std::ostringstream os;
+  write_dot(nl, os);
+  EXPECT_NE(os.str().find("digraph"), std::string::npos);
+  EXPECT_NE(os.str().find("lightblue"), std::string::npos);
+}
+
+} // namespace
+} // namespace scpg

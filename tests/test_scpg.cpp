@@ -1,0 +1,504 @@
+#include <gtest/gtest.h>
+
+#include "gen/mult16.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/funcsim.hpp"
+#include "scpg/analysis.hpp"
+#include "scpg/header_sizing.hpp"
+#include "scpg/measure.hpp"
+#include "scpg/model.hpp"
+#include "scpg/rail_model.hpp"
+#include "scpg/transform.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace scpg {
+namespace {
+
+using namespace scpg::literals;
+
+const Library& lib() {
+  static const Library l = Library::scpg90();
+  return l;
+}
+
+SimConfig cfg06() {
+  SimConfig c;
+  c.corner = {0.6_V, 25.0};
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Transform structure
+// ---------------------------------------------------------------------------
+
+TEST(Transform, InsertsFabricAndTagsDomains) {
+  Netlist nl = gen::make_multiplier(lib(), 8);
+  const std::size_t flops = nl.flops().size();
+  ScpgInfo info = apply_scpg(nl);
+
+  EXPECT_EQ(info.headers.size(), 4u);
+  EXPECT_GT(info.cells_gated, 100u);
+  // Every flop D input crosses the domain boundary -> one iso per product
+  // bit register (8x8 -> 16 product flops), none on the input registers.
+  EXPECT_EQ(info.isolation_cells, 16u);
+  EXPECT_EQ(info.buffer_cells, 16u); // a/b input registers feeding the array
+  EXPECT_EQ(flops, nl.flops().size());
+  EXPECT_TRUE(info.clk.valid());
+  EXPECT_TRUE(info.override_n.valid());
+  EXPECT_TRUE(info.sense.valid());
+  EXPECT_NE(info.niso, info.clk);
+
+  // Flops stay always-on; the sense tie is gated.
+  for (CellId f : nl.flops())
+    EXPECT_EQ(nl.cell(f).domain, Domain::AlwaysOn);
+  EXPECT_EQ(nl.cell(nl.net(info.sense).driver_cell).domain, Domain::Gated);
+  EXPECT_NO_THROW(nl.check());
+}
+
+TEST(Transform, AreaOverheadInPaperRange) {
+  Netlist nl = gen::make_multiplier(lib(), 16);
+  ScpgInfo info = apply_scpg(nl);
+  // Paper: ~3.9% for the multiplier; our substitution keeps it single-digit.
+  EXPECT_GT(info.area_overhead(), 0.01);
+  EXPECT_LT(info.area_overhead(), 0.10);
+}
+
+TEST(Transform, RequiresClockPort) {
+  Netlist nl("t", lib());
+  Builder b(nl);
+  const NetId a = b.input("a");
+  b.output("y", b.NOT(a));
+  nl.check();
+  EXPECT_THROW((void)apply_scpg(nl), PreconditionError);
+}
+
+TEST(Transform, RejectsDoubleApplication) {
+  Netlist nl = gen::make_multiplier(lib(), 8);
+  apply_scpg(nl);
+  EXPECT_THROW((void)apply_scpg(nl), PreconditionError);
+}
+
+TEST(Transform, ClockTreeStaysAlwaysOn) {
+  // Clock passes through a buffer tree; those buffers must not be gated.
+  Netlist nl("t", lib());
+  Builder b(nl);
+  const NetId clk = b.input("clk");
+  const NetId clkb = b.BUF(clk);
+  const NetId d = b.input("d");
+  const NetId q = b.dff(b.NOT(d), clkb);
+  b.output("q", q);
+  nl.check();
+  apply_scpg(nl);
+  const CellId buf = nl.net(clkb).driver_cell;
+  EXPECT_EQ(nl.cell(buf).domain, Domain::AlwaysOn);
+}
+
+// ---------------------------------------------------------------------------
+// Functional equivalence (property tests over random vectors)
+// ---------------------------------------------------------------------------
+
+class EquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EquivalenceTest, TransformPreservesFunctionWithOverride) {
+  const int width = GetParam();
+  Netlist golden = gen::make_multiplier(lib(), width);
+  Netlist gated = gen::make_multiplier(lib(), width);
+  apply_scpg(gated);
+
+  FuncSim s1(golden), s2(gated);
+  s1.reset();
+  s2.reset();
+  // Zero-delay functional check: hold the clock low (isolation transparent)
+  // and disable gating through the override.
+  s1.set_input("clk", Logic::L0);
+  s2.set_input("clk", Logic::L0);
+  s2.set_input("override_n", Logic::L0);
+
+  Rng rng(0xA5A5 + std::uint64_t(width));
+  for (int i = 0; i < 60; ++i) {
+    const std::uint64_t a = rng.bits(width), b = rng.bits(width);
+    s1.set_input_bus("a", a, width);
+    s2.set_input_bus("a", a, width);
+    s1.set_input_bus("b", b, width);
+    s2.set_input_bus("b", b, width);
+    s1.clock();
+    s2.clock();
+    s1.clock();
+    s2.clock();
+    ASSERT_EQ(s1.read_bus("p", 2 * width), s2.read_bus("p", 2 * width))
+        << "width " << width << " vectors " << a << " x " << b;
+    ASSERT_EQ(s1.read_bus("p", 2 * width), (a * b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, EquivalenceTest,
+                         ::testing::Values(4, 6, 8, 12, 16));
+
+// The decisive test: with gating ACTIVE, at a frequency where SCPG is
+// feasible, the timed simulation still computes correct products every
+// cycle — power gating inside the clock cycle must be functionally
+// invisible.
+class GatedOperationTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(GatedOperationTest, GatedMultiplierComputesCorrectProducts) {
+  const auto [f_mhz, duty] = GetParam();
+  Netlist nl = gen::make_multiplier(lib(), 16);
+  apply_scpg(nl);
+
+  Simulator sim(nl, cfg06());
+  sim.init_flops_to_zero();
+  sim.drive_at(0, nl.port_net("override_n"), Logic::L1); // gating ON
+  const Frequency f{f_mhz * 1e6};
+  const SimTime T = to_fs(period(f));
+  const SimTime first_rise = SimTime(double(T) * (1.0 - duty));
+  sim.add_clock(nl.port_net("clk"), f, duty, first_rise);
+
+  Rng rng(99);
+  // Operands applied after edge k are captured at k+1, the product is
+  // registered at k+2 and is stable when read at edge k+3.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> hist;
+  int cycle = 0;
+  int checked = 0;
+  sim.on_rising_edge(nl.port_net("clk"), [&] {
+    if (cycle >= 3) {
+      const auto [ea, eb] = hist[std::size_t(cycle - 3)];
+      EXPECT_EQ(sim.read_bus("p", 32), ea * eb)
+          << "cycle " << cycle << " at " << f_mhz << " MHz duty " << duty;
+      ++checked;
+    }
+    const std::uint64_t a = rng.bits(16), b = rng.bits(16);
+    hist.emplace_back(a, b);
+    sim.drive_bus_at(sim.now() + T / 16, "a", a, 16);
+    sim.drive_bus_at(sim.now() + T / 16, "b", b, 16);
+    ++cycle;
+  });
+  sim.run_until(first_rise + T * 20);
+  EXPECT_GE(checked, 16);
+  EXPECT_TRUE(sim.has_gated_domain());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OperatingPoints, GatedOperationTest,
+    ::testing::Values(std::make_pair(0.01, 0.5), std::make_pair(0.1, 0.5),
+                      std::make_pair(1.0, 0.5), std::make_pair(5.0, 0.5),
+                      std::make_pair(1.0, 0.9), std::make_pair(0.1, 0.97),
+                      std::make_pair(10.0, 0.5)));
+
+// Ablation: without isolation cells, the X from the collapsed domain
+// reaches always-on register inputs mid-cycle (mid-rail voltages burning
+// short-circuit current) — exactly what the paper inserts clamps to
+// prevent.  With isolation, every flop D pin stays at a known value.
+int count_x_flop_inputs(const Netlist& nl, const Simulator& sim) {
+  int n = 0;
+  for (CellId f : nl.flops())
+    if (!is_known(sim.value(nl.cell(f).inputs[0]))) ++n;
+  return n;
+}
+
+Simulator& run_to_mid_high_phase(Simulator& sim) {
+  const Netlist& nl = sim.netlist();
+  const Frequency f = 100.0_kHz;
+  const SimTime T = to_fs(period(f));
+  sim.init_flops_to_zero();
+  sim.drive_at(0, nl.port_net("override_n"), Logic::L1);
+  sim.add_clock(nl.port_net("clk"), f, 0.5, T / 2);
+  sim.drive_bus_at(0, "a", 3, 8);
+  sim.drive_bus_at(0, "b", 5, 8);
+  // Stop 3/4 into a high phase, well past the corrupt threshold.
+  sim.run_until(T * 5 + T / 2 + (3 * T) / 8);
+  return sim;
+}
+
+TEST(GatedOperation, WithoutIsolationXReachesRegisterInputs) {
+  Netlist nl = gen::make_multiplier(lib(), 8);
+  ScpgOptions opt;
+  opt.insert_isolation = false;
+  apply_scpg(nl, opt);
+  Simulator sim(nl, cfg06());
+  run_to_mid_high_phase(sim);
+  EXPECT_GT(count_x_flop_inputs(nl, sim), 0);
+}
+
+TEST(GatedOperation, WithIsolationRegisterInputsStayClamped) {
+  Netlist nl = gen::make_multiplier(lib(), 8);
+  apply_scpg(nl);
+  Simulator sim(nl, cfg06());
+  run_to_mid_high_phase(sim);
+  EXPECT_EQ(count_x_flop_inputs(nl, sim), 0);
+}
+
+TEST(GatedOperation, MissingIsolationCostsLeakagePower) {
+  // The mid-rail inputs burn extra static power (x_input_leak_penalty);
+  // the isolated design avoids it.
+  auto avg_power = [](bool iso) {
+    Netlist nl = gen::make_multiplier(lib(), 8);
+    ScpgOptions opt;
+    opt.insert_isolation = iso;
+    apply_scpg(nl, opt);
+    MeasureOptions mo;
+    mo.f = 10.0_kHz;
+    mo.cycles = 8;
+    Rng rng(4);
+    mo.stimulus = [&rng](Simulator& s, int) {
+      s.drive_bus_at(s.now() + to_fs(1.0_us), "a", rng.bits(8), 8);
+      s.drive_bus_at(s.now() + to_fs(1.0_us), "b", rng.bits(8), 8);
+    };
+    return measure_average_power(nl, mo).avg_power;
+  };
+  EXPECT_GT(avg_power(false).v, avg_power(true).v * 1.05);
+}
+
+// ---------------------------------------------------------------------------
+// Rail model closed forms
+// ---------------------------------------------------------------------------
+
+RailParams test_rail() {
+  RailParams r;
+  r.c_dom = 4.0_pF;
+  r.ron_eff = Resistance{50.0};
+  r.p_gated = 25.0_uW;
+  r.p_hdr_off = 0.2_uW;
+  r.hdr_gate_cap = 200_fF;
+  r.gated_cells = 1000;
+  r.vdd = 0.6_V;
+  r.crowbar_full = 0.3_pJ;
+  return r;
+}
+
+TEST(RailModel, DecayAndChargeShapes) {
+  const RailParams r = test_rail();
+  EXPECT_NEAR(in_ns(r.tau_decay()), 4e-12 * 0.36 / 25e-6 * 1e9, 1e-6);
+  EXPECT_NEAR(in_ns(r.tau_charge()), 0.2, 1e-9);
+  // Decay is monotone toward 0.
+  EXPECT_NEAR(r.v_after_off(Time{0.0}).v, 0.6, 1e-12);
+  EXPECT_LT(r.v_after_off(50.0_ns).v, 0.6);
+  EXPECT_GT(r.v_after_off(50.0_ns).v, r.v_after_off(500.0_ns).v);
+  // One tau of decay leaves Vdd/e.
+  EXPECT_NEAR(r.v_after_off(r.tau_decay()).v, 0.6 / std::exp(1.0), 1e-9);
+  // Ready time from a full collapse ~ 3 tau_charge.
+  EXPECT_NEAR(r.t_ready_from(Voltage{0.0}).v, r.tau_charge().v * std::log(20.0),
+              1e-15);
+  EXPECT_DOUBLE_EQ(r.t_ready_from(Voltage{0.59}).v, 0.0);
+}
+
+TEST(RailModel, EnergyBooksBalance) {
+  // leak_energy_off + recharge_energy must equal the total supply draw
+  // C*Vdd*dV for any off time (see rail_model.cpp).
+  const RailParams r = test_rail();
+  for (double toff_ns : {1.0, 10.0, 57.6, 200.0, 5000.0}) {
+    const Time toff{toff_ns * 1e-9};
+    const Voltage v0 = r.v_after_off(toff);
+    const double supply = r.c_dom.v * r.vdd.v * (r.vdd.v - v0.v);
+    const double books =
+        r.leak_energy_off(toff).v + r.recharge_energy(v0).v;
+    EXPECT_NEAR(books, supply, supply * 1e-9) << toff_ns;
+  }
+}
+
+TEST(RailModel, LeakEnergySaturatesAtHalfCV2) {
+  const RailParams r = test_rail();
+  const double cap_energy = 0.5 * r.c_dom.v * r.vdd.v * r.vdd.v;
+  EXPECT_NEAR(r.leak_energy_off(Time{1.0}).v, cap_energy, cap_energy * 1e-6);
+}
+
+TEST(RailModel, ChargePhaseLeakageApproachesFullLeakage) {
+  const RailParams r = test_rail();
+  // From a full rail (v0 = vdd) the "charge" phase is just normal leakage.
+  const Energy e = r.leak_energy_on(100.0_ns, r.vdd);
+  EXPECT_NEAR(e.v, r.p_gated.v * 100e-9, 1e-18);
+  // From a collapsed rail, early leakage is suppressed.
+  const Energy e2 = r.leak_energy_on(100.0_ns, Voltage{0.0});
+  EXPECT_LT(e2.v, e.v);
+}
+
+TEST(RailModel, ExtractionMatchesDesign) {
+  Netlist nl = gen::make_multiplier(lib(), 16);
+  apply_scpg(nl);
+  const RailParams r = extract_rail_params(nl, cfg06());
+  EXPECT_GT(r.gated_cells, 1000u);
+  const double rscale = lib().tech().resistance_scale(cfg06().corner);
+  EXPECT_NEAR(r.ron_eff.v, 50.0 * rscale, 1e-9); // 4 x HDR_X2 (200 Ohm)
+  EXPECT_GT(r.c_dom.v, 1e-12);
+  EXPECT_GT(r.p_gated.v, 10e-6);
+  EXPECT_LT(r.p_hdr_off.v, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Analytic model + analysis
+// ---------------------------------------------------------------------------
+
+ScpgPowerModel mult_model() {
+  static Netlist nl = [] {
+    Netlist n = gen::make_multiplier(lib(), 16);
+    apply_scpg(n);
+    return n;
+  }();
+  return ScpgPowerModel::extract(nl, cfg06(), 3.7_pJ);
+}
+
+ScpgPowerModel mult_model_original() {
+  static Netlist nl = gen::make_multiplier(lib(), 16);
+  return ScpgPowerModel::extract(nl, cfg06(), 3.5_pJ);
+}
+
+TEST(Model, UngatedPowerIsAffineInFrequency) {
+  const ScpgPowerModel m = mult_model();
+  const Power p1 = m.average_power_ungated(1.0_MHz);
+  const Power p2 = m.average_power_ungated(2.0_MHz);
+  const Power p3 = m.average_power_ungated(3.0_MHz);
+  EXPECT_NEAR((p3 - p2).v, (p2 - p1).v, 1e-12);
+  EXPECT_GT(p1.v, 0.0);
+}
+
+TEST(Model, GatingSavesAtLowFrequencyNotAtHigh) {
+  const ScpgPowerModel m = mult_model();
+  EXPECT_LT(m.average_power_gated(10.0_kHz, 0.5).v,
+            m.average_power_ungated(10.0_kHz).v);
+  EXPECT_GT(m.average_power_gated(25.0_MHz, 0.5).v,
+            m.average_power_ungated(25.0_MHz).v);
+}
+
+TEST(Model, HigherDutySavesMoreAtLowFrequency) {
+  const ScpgPowerModel m = mult_model();
+  EXPECT_LT(m.average_power_gated(10.0_kHz, 0.95).v,
+            m.average_power_gated(10.0_kHz, 0.5).v);
+}
+
+TEST(Model, MaxDutyShrinksWithFrequency) {
+  const ScpgPowerModel m = mult_model();
+  EXPECT_GT(m.max_duty_high(10.0_kHz), 0.99);
+  EXPECT_GT(m.max_duty_high(1.0_MHz), m.max_duty_high(10.0_MHz));
+  EXPECT_TRUE(m.feasible(1.0_MHz, 0.5));
+  EXPECT_FALSE(m.feasible(1.0_MHz, 0.999));
+}
+
+TEST(Model, ModeSelection) {
+  const ScpgPowerModel m = mult_model();
+  EXPECT_FALSE(m.duty_for(GatingMode::None, 1.0_MHz).has_value());
+  EXPECT_EQ(m.duty_for(GatingMode::Scpg50, 1.0_MHz).value(), 0.5);
+  EXPECT_GT(m.duty_for(GatingMode::ScpgMax, 10.0_kHz).value(), 0.9);
+  // Near Fmax SCPG-Max drops below 50% duty (paper: "decreasing the duty
+  // cycle").
+  const auto d = m.duty_for(GatingMode::ScpgMax, 15.0_MHz);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_LT(*d, 0.55);
+}
+
+TEST(Analysis, BudgetSolverMatchesDirectEvaluation) {
+  const ScpgPowerModel m = mult_model();
+  const Power budget = 35.0_uW;
+  const Frequency f = max_frequency_for_budget(m, GatingMode::None, budget,
+                                               1.0_kHz, 40.0_MHz);
+  EXPECT_NEAR(m.average_power(GatingMode::None, f).v, budget.v,
+              budget.v * 1e-4);
+  // SCPG-Max fits a strictly higher frequency in the same budget.
+  const Frequency fmax = max_frequency_for_budget(
+      m, GatingMode::ScpgMax, budget, 1.0_kHz, 40.0_MHz);
+  EXPECT_GT(fmax.v, f.v);
+}
+
+TEST(Analysis, BudgetBelowLeakageFloorIsInfeasible) {
+  const ScpgPowerModel m = mult_model();
+  EXPECT_THROW((void)max_frequency_for_budget(m, GatingMode::None, 1.0_uW,
+                                        1.0_kHz, 40.0_MHz),
+               InfeasibleError);
+}
+
+TEST(Analysis, ConvergenceNearPaperRange) {
+  const ScpgPowerModel m = mult_model();
+  const Frequency f = convergence_frequency(m, GatingMode::Scpg50, 100.0_kHz,
+                                            40.0_MHz);
+  // Paper: ~15 MHz for the multiplier; the first-order substrate should
+  // land in the same regime.
+  EXPECT_GT(in_MHz(f), 5.0);
+  EXPECT_LT(in_MHz(f), 25.0);
+}
+
+TEST(Analysis, HarvesterScenarioShapes) {
+  // Paper section III-A: with a ~30 uW harvester budget the unmodified
+  // design crawls near its leakage floor while SCPG-Max runs tens of
+  // times faster and more energy-efficiently.
+  // The paper's 30 uW budget sits 2.6% above its design's leakage floor
+  // (29.23 uW at 10 kHz); place our budget at the same relative margin
+  // above our floor so the scenario is comparable.
+  const Power budget =
+      mult_model_original().average_power_ungated(1.0_kHz) * 1.026;
+  const BudgetComparison c = compare_at_budget(
+      mult_model_original(), mult_model(), budget, 1.0_kHz, 40.0_MHz);
+  EXPECT_GT(c.speedup_50(), 5.0);
+  EXPECT_GT(c.speedup_max(), 15.0);
+  EXPECT_GT(c.energy_gain_max(), 10.0);
+  EXPECT_GT(c.energy_gain_50(), 2.0);
+  EXPECT_LT(c.scpg_max.energy.v, c.scpg50.energy.v);
+  EXPECT_LT(c.scpg50.energy.v, c.none.energy.v);
+}
+
+// ---------------------------------------------------------------------------
+// Header sizing (paper result S1: X2 for the multiplier)
+// ---------------------------------------------------------------------------
+
+TEST(HeaderSizing, EvaluationTradeoffs) {
+  HeaderDemand d;
+  d.i_eval = Current{130e-6};
+  d.c_dom = 4.0_pF;
+  d.vdd = 0.6_V;
+  HeaderConstraints c;
+  c.max_ir_frac = 0.05;
+  c.max_inrush = Current{15e-3};
+  const auto sweep = sweep_headers(lib(), 4, d, c, {0.6_V, 25.0});
+  ASSERT_EQ(sweep.size(), 4u);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LT(sweep[i].ir_drop.v, sweep[i - 1].ir_drop.v);
+    EXPECT_GT(sweep[i].inrush_peak.v, sweep[i - 1].inrush_peak.v);
+    EXPECT_GT(sweep[i].off_leak.v, sweep[i - 1].off_leak.v);
+    EXPECT_GT(sweep[i].area.v, sweep[i - 1].area.v);
+  }
+}
+
+TEST(HeaderSizing, MultiplierPicksX2) {
+  // The paper's §III result: X2 headers are the best choice for the
+  // multiplier-scale domain under the in-rush budget.
+  Netlist nl = gen::make_multiplier(lib(), 16);
+  apply_scpg(nl);
+  const RailParams r = extract_rail_params(nl, cfg06());
+  HeaderDemand d;
+  d.i_eval = Current{130e-6}; // ~E_dyn / (Vdd * T_eval)
+  d.c_dom = r.c_dom;
+  d.vdd = 0.6_V;
+  HeaderConstraints c;
+  c.max_ir_frac = 0.05;
+  c.max_inrush = Current{8e-3};
+  const HeaderEval choice = choose_header(lib(), 4, d, c, {0.6_V, 25.0});
+  EXPECT_EQ(choice.drive, 2);
+}
+
+TEST(HeaderSizing, LargerDomainPicksX4) {
+  // CPU-scale demand (~3x the current) moves the optimum to X4 under a
+  // proportionally larger in-rush budget — the paper's Cortex-M0 result.
+  HeaderDemand d;
+  d.i_eval = Current{420e-6};
+  d.c_dom = 15.0_pF;
+  d.vdd = 0.6_V;
+  HeaderConstraints c;
+  c.max_ir_frac = 0.05;
+  c.max_inrush = Current{15e-3};
+  const HeaderEval choice = choose_header(lib(), 4, d, c, {0.6_V, 25.0});
+  EXPECT_EQ(choice.drive, 4);
+}
+
+TEST(HeaderSizing, InfeasibleConstraintsThrow) {
+  HeaderDemand d;
+  d.i_eval = Current{10e-3}; // absurd demand
+  d.c_dom = 4.0_pF;
+  d.vdd = 0.6_V;
+  HeaderConstraints c;
+  c.max_ir_frac = 0.001;
+  c.max_inrush = Current{1e-3};
+  EXPECT_THROW((void)choose_header(lib(), 4, d, c, {0.6_V, 25.0}),
+               InfeasibleError);
+}
+
+} // namespace
+} // namespace scpg

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "gen/arith.hpp"
+#include "gen/mult16.hpp"
+#include "netlist/builder.hpp"
+#include "sta/sta.hpp"
+#include "util/error.hpp"
+
+namespace scpg {
+namespace {
+
+using namespace scpg::literals;
+
+const Library& lib() {
+  static const Library l = Library::scpg90();
+  return l;
+}
+
+Corner nom() { return {lib().tech().params().vdd_nom, 25.0}; }
+
+TEST(Sta, SingleGateDelayMatchesLinearModel) {
+  Netlist nl("t", lib());
+  Builder b(nl);
+  const NetId a = b.input("a");
+  const NetId y = b.NOT(a);
+  b.output("y", y);
+  nl.check();
+  const StaReport r = run_sta(nl, nom());
+  const CellSpec& inv = lib().spec(lib().pick(CellKind::Inv, 1));
+  const Time expected =
+      inv.intrinsic_delay + Time{(inv.drive_res * nl.net_load(y)).v};
+  EXPECT_NEAR(r.t_eval.v, expected.v, 1e-15);
+  EXPECT_DOUBLE_EQ(r.endpoint_setup.v, 0.0);
+}
+
+TEST(Sta, ChainDelayAccumulates) {
+  Netlist nl("t", lib());
+  Builder b(nl);
+  NetId n = b.input("a");
+  for (int i = 0; i < 10; ++i) n = b.NOT(n);
+  b.output("y", n);
+  nl.check();
+  const StaReport one = [&] {
+    Netlist s("s", lib());
+    Builder sb(s);
+    sb.output("y", sb.NOT(sb.input("a")));
+    s.check();
+    return run_sta(s, nom());
+  }();
+  const StaReport ten = run_sta(nl, nom());
+  // Ten stages cost roughly ten single-stage delays (loads differ a bit:
+  // internal stages drive one inverter, the last drives the port).
+  EXPECT_GT(ten.t_eval.v, 8.0 * one.t_eval.v);
+  EXPECT_LT(ten.t_eval.v, 13.0 * one.t_eval.v);
+  EXPECT_EQ(ten.critical_path.size(), 11u); // input + 10 inverters
+}
+
+TEST(Sta, RegisteredPathIncludesClkToQAndSetup) {
+  Netlist nl("t", lib());
+  Builder b(nl);
+  const NetId clk = b.input("clk");
+  const NetId d = b.input("d");
+  const NetId q = b.dff(d, clk);
+  const NetId n = b.NOT(q);
+  const NetId q2 = b.dff(n, clk);
+  b.output("y", q2);
+  nl.check();
+  const StaReport r = run_sta(nl, nom());
+  const CellSpec& ff = lib().spec(lib().pick(CellKind::Dff, 1));
+  EXPECT_GT(r.t_eval.v, ff.clk_to_q.v); // includes launch clk-to-q
+  EXPECT_DOUBLE_EQ(r.endpoint_setup.v, ff.setup.v);
+  EXPECT_GT(r.fmax.v, 0.0);
+  EXPECT_NEAR(1.0 / r.fmax.v, r.t_eval.v + r.endpoint_setup.v, 1e-18);
+}
+
+TEST(Sta, HoldCheckUsesShortestPath) {
+  Netlist nl("t", lib());
+  Builder b(nl);
+  const NetId clk = b.input("clk");
+  const NetId d = b.input("d");
+  const NetId q = b.dff(d, clk);
+  // Direct flop-to-flop connection: min path = clk_to_q, far above hold.
+  const NetId q2 = b.dff(q, clk);
+  b.output("y", q2);
+  nl.check();
+  const StaReport r = run_sta(nl, nom());
+  EXPECT_TRUE(r.hold_met());
+  const CellSpec& ff = lib().spec(lib().pick(CellKind::Dff, 1));
+  EXPECT_NEAR(r.min_arrival.v, ff.clk_to_q.v, 1e-15);
+  EXPECT_NEAR(r.worst_hold.v, ff.hold.v, 1e-15);
+}
+
+TEST(Sta, DelayScalesWithVoltage) {
+  Netlist nl = gen::make_multiplier(lib(), 8);
+  const StaReport hi = run_sta(nl, {1.0_V, 25.0});
+  const StaReport lo = run_sta(nl, {0.6_V, 25.0});
+  const double expect =
+      lib().tech().delay_scale({0.6_V, 25.0});
+  EXPECT_NEAR(lo.t_eval.v / hi.t_eval.v, expect, expect * 1e-9);
+  EXPECT_LT(lo.fmax.v, hi.fmax.v);
+}
+
+TEST(Sta, SetupSlackSignChangesAtFmax) {
+  Netlist nl = gen::make_multiplier(lib(), 8);
+  const StaReport r = run_sta(nl, {0.6_V, 25.0});
+  EXPECT_GT(r.setup_slack(Frequency{r.fmax.v * 0.9}).v, 0.0);
+  EXPECT_LT(r.setup_slack(Frequency{r.fmax.v * 1.1}).v, 0.0);
+}
+
+TEST(Sta, CriticalPathIsConnected) {
+  Netlist nl = gen::make_multiplier(lib(), 16);
+  const StaReport r = run_sta(nl, {0.6_V, 25.0});
+  ASSERT_GE(r.critical_path.size(), 3u);
+  // Arrivals along the path are non-decreasing.
+  for (std::size_t i = 1; i < r.critical_path.size(); ++i)
+    EXPECT_GE(r.critical_path[i].arrival.v,
+              r.critical_path[i - 1].arrival.v);
+  // Consecutive steps are actually connected: step i's net is an input of
+  // step i+1's cell.
+  for (std::size_t i = 1; i < r.critical_path.size(); ++i) {
+    const CellId c = r.critical_path[i].cell;
+    ASSERT_TRUE(c.valid());
+    const auto& ins = nl.cell(c).inputs;
+    EXPECT_NE(std::find(ins.begin(), ins.end(), r.critical_path[i - 1].net),
+              ins.end());
+  }
+  const std::string txt = format_path(nl, r);
+  EXPECT_NE(txt.find("critical path"), std::string::npos);
+}
+
+TEST(Sta, Multiplier16CalibrationTargets) {
+  // DESIGN.md §5: Fmax(0.6 V) must comfortably exceed the paper's highest
+  // reported SCPG point (14.3 MHz with a 50% duty needs t_eval < T/2).
+  Netlist nl = gen::make_multiplier(lib(), 16);
+  const StaReport r = run_sta(nl, {0.6_V, 25.0});
+  EXPECT_GT(in_MHz(r.fmax), 25.0);
+  EXPECT_LT(in_MHz(r.fmax), 60.0);
+  EXPECT_LT(in_ns(r.t_eval), 35.0); // fits the 14.3 MHz half-period
+}
+
+TEST(Sta, MacroAccessDelayCounts) {
+  Netlist nl("t", lib());
+  const NetId a = nl.add_input("a");
+  const NetId y = nl.add_net("y");
+  MacroSpec m;
+  m.type_name = "SLOWBUF";
+  m.num_inputs = 1;
+  m.num_outputs = 1;
+  m.access_delay = 5.0_ns;
+  struct PassThrough final : MacroModel {
+    void eval(std::span<const Logic> in, std::span<Logic> out) override {
+      out[0] = in[0];
+    }
+  };
+  m.make_model = [] { return std::make_unique<PassThrough>(); };
+  const auto mi = nl.add_macro_spec(std::move(m));
+  nl.add_macro_cell("m0", mi, {a}, {y});
+  nl.add_output("y", y);
+  nl.check();
+  const StaReport r = run_sta(nl, nom());
+  EXPECT_NEAR(in_ns(r.t_eval), 5.0, 1e-9);
+}
+
+} // namespace
+} // namespace scpg

@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include "tech/liberty.hpp"
+#include "tech/library.hpp"
+#include "tech/logic.hpp"
+#include "tech/tech_model.hpp"
+#include "util/error.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace scpg {
+namespace {
+
+using namespace scpg::literals;
+
+// ---------------------------------------------------------------------------
+// Logic evaluation
+// ---------------------------------------------------------------------------
+
+TEST(Logic, TruthTablesMatchBooleanSemantics) {
+  const struct {
+    CellKind k;
+    std::array<bool, 3> in;
+    bool expect;
+    int n;
+  } cases[] = {
+      {CellKind::Inv, {false}, true, 1},
+      {CellKind::Inv, {true}, false, 1},
+      {CellKind::Buf, {true}, true, 1},
+      {CellKind::Nand2, {true, true}, false, 2},
+      {CellKind::Nand2, {true, false}, true, 2},
+      {CellKind::Nor2, {false, false}, true, 2},
+      {CellKind::Nor2, {true, false}, false, 2},
+      {CellKind::And2, {true, true}, true, 2},
+      {CellKind::Or2, {false, true}, true, 2},
+      {CellKind::Xor2, {true, true}, false, 2},
+      {CellKind::Xor2, {true, false}, true, 2},
+      {CellKind::Xnor2, {true, true}, true, 2},
+      {CellKind::Nand3, {true, true, true}, false, 3},
+      {CellKind::Nor3, {false, false, false}, true, 3},
+      {CellKind::Aoi21, {true, true, false}, false, 3},
+      {CellKind::Aoi21, {false, true, false}, true, 3},
+      {CellKind::Oai21, {true, false, true}, false, 3},
+      {CellKind::Oai21, {false, false, true}, true, 3},
+      {CellKind::Mux2, {true, false, false}, true, 3}, // s=0 -> a
+      {CellKind::Mux2, {true, false, true}, false, 3}, // s=1 -> b
+  };
+  for (const auto& c : cases) {
+    EXPECT_EQ(eval_cell_bool(c.k, std::span<const bool>(c.in.data(),
+                                                        std::size_t(c.n))),
+              c.expect)
+        << kind_name(c.k);
+  }
+}
+
+TEST(Logic, ControllingInputsDominateX) {
+  const Logic x = Logic::X;
+  const Logic l0 = Logic::L0, l1 = Logic::L1;
+  {
+    const std::array<Logic, 2> in{l0, x};
+    EXPECT_EQ(eval_cell(CellKind::Nand2, in), l1);
+  }
+  {
+    const std::array<Logic, 2> in{l1, x};
+    EXPECT_EQ(eval_cell(CellKind::Nor2, in), l0);
+  }
+  {
+    const std::array<Logic, 2> in{x, x};
+    EXPECT_EQ(eval_cell(CellKind::Xor2, in), x);
+  }
+  {
+    // Mux with unknown select but agreeing data is known.
+    const std::array<Logic, 3> in{l1, l1, x};
+    EXPECT_EQ(eval_cell(CellKind::Mux2, in), l1);
+  }
+  {
+    const std::array<Logic, 3> in{l0, l1, x};
+    EXPECT_EQ(eval_cell(CellKind::Mux2, in), x);
+  }
+}
+
+TEST(Logic, ZReadsAsX) {
+  const std::array<Logic, 1> in{Logic::Z};
+  EXPECT_EQ(eval_cell(CellKind::Inv, in), Logic::X);
+  const std::array<Logic, 2> in2{Logic::Z, Logic::L0};
+  EXPECT_EQ(eval_cell(CellKind::Nand2, in2), Logic::L1);
+}
+
+TEST(Logic, IsolationClampsWhenActive) {
+  // NISO = 0 -> clamp; NISO = 1 -> transparent.
+  const std::array<Logic, 2> clamp_lo{Logic::X, Logic::L0};
+  EXPECT_EQ(eval_cell(CellKind::IsoLo, clamp_lo), Logic::L0);
+  EXPECT_EQ(eval_cell(CellKind::IsoHi, clamp_lo), Logic::L1);
+  const std::array<Logic, 2> pass{Logic::L1, Logic::L1};
+  EXPECT_EQ(eval_cell(CellKind::IsoLo, pass), Logic::L1);
+  const std::array<Logic, 2> pass0{Logic::L0, Logic::L1};
+  EXPECT_EQ(eval_cell(CellKind::IsoHi, pass0), Logic::L0);
+}
+
+TEST(Logic, TieCellsAreConstant) {
+  EXPECT_EQ(eval_cell(CellKind::TieHi, {}), Logic::L1);
+  EXPECT_EQ(eval_cell(CellKind::TieLo, {}), Logic::L0);
+}
+
+TEST(Logic, SequentialKindsRejectCombinationalEval) {
+  const std::array<Logic, 2> in{Logic::L0, Logic::L0};
+  EXPECT_THROW((void)eval_cell(CellKind::Dff, in), PreconditionError);
+}
+
+TEST(Logic, KindClassification) {
+  EXPECT_TRUE(kind_is_sequential(CellKind::Dff));
+  EXPECT_TRUE(kind_is_sequential(CellKind::DffR));
+  EXPECT_FALSE(kind_is_sequential(CellKind::Nand2));
+  EXPECT_TRUE(kind_is_combinational(CellKind::Xor2));
+  EXPECT_FALSE(kind_is_combinational(CellKind::Header));
+  EXPECT_FALSE(kind_is_combinational(CellKind::Macro));
+}
+
+// ---------------------------------------------------------------------------
+// Technology model
+// ---------------------------------------------------------------------------
+
+TechModel model() { return Library::scpg90().tech(); }
+
+TEST(TechModel, NominalCornerIsUnity) {
+  const TechModel tm = model();
+  const Corner nom{tm.params().vdd_nom, tm.params().temp_nom_c};
+  EXPECT_NEAR(tm.delay_scale(nom), 1.0, 1e-12);
+  EXPECT_NEAR(tm.leak_scale(nom), 1.0, 1e-12);
+  EXPECT_NEAR(tm.energy_scale(nom), 1.0, 1e-12);
+}
+
+TEST(TechModel, DelayGrowsMonotonicallyAsVddFalls) {
+  const TechModel tm = model();
+  double prev = 0;
+  for (double v = 1.0; v >= 0.16; v -= 0.02) {
+    const double d = tm.delay_scale({Voltage{v}, 25.0});
+    EXPECT_GT(d, prev * 0.999) << "at " << v;
+    prev = d;
+  }
+}
+
+TEST(TechModel, SubthresholdDelayIsExponential) {
+  const TechModel tm = model();
+  // One n*vT step below another deep in sub-threshold changes drive
+  // current by e; delay = V / I also carries the supply prefactor.
+  const double nvt = tm.params().n_vt.v;
+  const double v1 = 0.16, v2 = 0.16 + nvt;
+  const double d1 = tm.delay_scale({Voltage{v1}, 25.0});
+  const double d2 = tm.delay_scale({Voltage{v2}, 25.0});
+  EXPECT_NEAR(d1 / d2, (v1 / v2) * std::exp(1.0), 0.05);
+}
+
+TEST(TechModel, LeakageFallsWithVdd) {
+  const TechModel tm = model();
+  const double l06 = tm.leak_scale({0.6_V, 25.0});
+  const double l10 = tm.leak_scale({1.0_V, 25.0});
+  EXPECT_LT(l06, l10);
+  // Calibration target (DESIGN.md §5): ~0.2 at 0.6 V.
+  EXPECT_NEAR(l06, 0.2, 0.05);
+}
+
+TEST(TechModel, LeakageDoublesPerTempStep) {
+  const TechModel tm = model();
+  const double t2x = tm.params().leak_t2x_c;
+  const double a = tm.leak_scale({0.6_V, 25.0});
+  const double b = tm.leak_scale({0.6_V, 25.0 + t2x});
+  EXPECT_NEAR(b / a, 2.0, 1e-9);
+}
+
+TEST(TechModel, EnergyScalesQuadratically) {
+  const TechModel tm = model();
+  EXPECT_NEAR(tm.energy_scale({0.5_V, 25.0}), 0.25, 1e-12);
+}
+
+TEST(TechModel, RejectsSupplyBelowCredibleRange) {
+  const TechModel tm = model();
+  EXPECT_THROW((void)tm.delay_scale({Voltage{0.05}, 25.0}), PreconditionError);
+}
+
+TEST(TechModel, CalibrationDelayRatioForMep) {
+  // delay(0.31 V) / delay(0.6 V) ~ 3.6 places the multiplier MEP near the
+  // paper's 310 mV / ~10 MHz (DESIGN.md §5).
+  const TechModel tm = model();
+  const double r = tm.delay_scale({Voltage{0.31}, 25.0}) /
+                   tm.delay_scale({0.6_V, 25.0});
+  EXPECT_NEAR(r, 3.6, 0.7);
+}
+
+// ---------------------------------------------------------------------------
+// Library
+// ---------------------------------------------------------------------------
+
+TEST(Library, Scpg90HasExpectedCells) {
+  const Library lib = Library::scpg90();
+  for (const char* name :
+       {"INV_X1", "NAND2_X1", "NAND2_X2", "XOR2_X1", "MUX2_X1", "DFF_X1",
+        "DFFR_X1", "ISOLO_X1", "ISOHI_X1", "TIEHI_X1", "HDR_X1", "HDR_X8"})
+    EXPECT_TRUE(lib.find(name).has_value()) << name;
+  EXPECT_FALSE(lib.find("NO_SUCH_CELL").has_value());
+}
+
+TEST(Library, PickFindsKindAndDrive) {
+  const Library lib = Library::scpg90();
+  const CellSpec& n2 = lib.spec(lib.pick(CellKind::Nand2, 2));
+  EXPECT_EQ(n2.kind, CellKind::Nand2);
+  EXPECT_EQ(n2.drive, 2);
+  EXPECT_THROW((void)lib.pick(CellKind::Nand2, 3), PreconditionError);
+}
+
+TEST(Library, DriveScalingTradesResistanceForCap) {
+  const Library lib = Library::scpg90();
+  const CellSpec& x1 = lib.spec(lib.pick(CellKind::Inv, 1));
+  const CellSpec& x4 = lib.spec(lib.pick(CellKind::Inv, 4));
+  EXPECT_LT(x4.drive_res.v, x1.drive_res.v);
+  EXPECT_GT(x4.input_cap.v, x1.input_cap.v);
+  EXPECT_GT(x4.leakage.v, x1.leakage.v);
+  EXPECT_GT(x4.area.v, x1.area.v);
+}
+
+TEST(Library, HeaderFamilyScalesRonInversely) {
+  const Library lib = Library::scpg90();
+  const auto drives = lib.drives_of(CellKind::Header);
+  ASSERT_EQ(drives, (std::vector<int>{1, 2, 4, 8}));
+  double prev_ron = 1e9;
+  for (int d : drives) {
+    const CellSpec& h = lib.spec(lib.pick(CellKind::Header, d));
+    EXPECT_LT(h.header_ron.v, prev_ron);
+    prev_ron = h.header_ron.v;
+  }
+}
+
+TEST(Library, StateDependentLeakageSpreadsAroundAverage) {
+  const Library lib = Library::scpg90();
+  const CellSpec& n2 = lib.spec(lib.pick(CellKind::Nand2, 1));
+  const std::array<Logic, 2> low{Logic::L0, Logic::L0};
+  const std::array<Logic, 2> high{Logic::L1, Logic::L1};
+  const std::array<Logic, 2> unknown{Logic::X, Logic::X};
+  EXPECT_LT(leakage_in_state(n2, low).v, n2.leakage.v);
+  EXPECT_GT(leakage_in_state(n2, high).v, n2.leakage.v);
+  EXPECT_DOUBLE_EQ(leakage_in_state(n2, unknown).v, n2.leakage.v);
+  // Average of extremes equals the state-averaged value.
+  EXPECT_NEAR((leakage_in_state(n2, low) + leakage_in_state(n2, high)).v,
+              2 * n2.leakage.v, 1e-18);
+}
+
+TEST(Library, DuplicateCellNameRejected) {
+  Library lib("t", TechModel{TechParams{}});
+  CellSpec s;
+  s.name = "A";
+  lib.add(s);
+  EXPECT_THROW((void)lib.add(s), PreconditionError);
+}
+
+TEST(Library, PinNamesForVerilog) {
+  EXPECT_EQ(input_pin_name(CellKind::Nand2, 0), "A");
+  EXPECT_EQ(input_pin_name(CellKind::Nand2, 1), "B");
+  EXPECT_EQ(input_pin_name(CellKind::Mux2, 2), "S");
+  EXPECT_EQ(input_pin_name(CellKind::Dff, 0), "D");
+  EXPECT_EQ(input_pin_name(CellKind::Dff, 1), "CK");
+  EXPECT_EQ(input_pin_name(CellKind::DffR, 2), "RN");
+  EXPECT_EQ(input_pin_name(CellKind::IsoLo, 1), "NISO");
+  EXPECT_EQ(output_pin_name(CellKind::Dff), "Q");
+  EXPECT_EQ(output_pin_name(CellKind::Nand2), "Y");
+  EXPECT_THROW((void)input_pin_name(CellKind::Nand2, 2), PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// Liberty-lite round trip
+// ---------------------------------------------------------------------------
+
+TEST(Liberty, RoundTripPreservesEverything) {
+  const Library lib = Library::scpg90();
+  const std::string text = write_liberty_string(lib);
+  const Library back = read_liberty_string(text);
+
+  EXPECT_EQ(back.name(), lib.name());
+  ASSERT_EQ(back.size(), lib.size());
+  const TechParams &a = lib.tech().params(), &b = back.tech().params();
+  EXPECT_DOUBLE_EQ(a.vt.v, b.vt.v);
+  EXPECT_DOUBLE_EQ(a.alpha, b.alpha);
+  EXPECT_DOUBLE_EQ(a.dibl_per_v, b.dibl_per_v);
+  for (std::size_t i = 0; i < lib.size(); ++i) {
+    const CellSpec& s1 = lib.spec(SpecId(i));
+    const CellSpec& s2 = back.spec(SpecId(i));
+    EXPECT_EQ(s1.name, s2.name);
+    EXPECT_EQ(s1.kind, s2.kind);
+    EXPECT_EQ(s1.drive, s2.drive);
+    EXPECT_NEAR(s1.leakage.v, s2.leakage.v, s1.leakage.v * 1e-9 + 1e-20);
+    EXPECT_NEAR(s1.input_cap.v, s2.input_cap.v, 1e-20);
+    EXPECT_NEAR(s1.intrinsic_delay.v, s2.intrinsic_delay.v, 1e-18);
+    if (s1.is_header()) {
+      EXPECT_NEAR(s1.header_ron.v, s2.header_ron.v, 1e-9);
+      EXPECT_NEAR(s1.header_gate_cap.v, s2.header_gate_cap.v, 1e-22);
+    }
+    if (s1.is_sequential()) {
+      EXPECT_NEAR(s1.setup.v, s2.setup.v, 1e-18);
+      EXPECT_NEAR(s1.clk_to_q.v, s2.clk_to_q.v, 1e-18);
+    }
+  }
+}
+
+TEST(Liberty, ParseErrorsCarryLineNumbers) {
+  EXPECT_THROW((void)read_liberty_string("library scpg90 {"), ParseError);
+  EXPECT_THROW((void)read_liberty_string("library(x) { cell(A) { kind INV; } }"),
+               ParseError); // missing tech block
+  try {
+    read_liberty_string(
+        "library(x) {\n  tech { vdd_nom 1.0; vt 0.2; }\n  cell(A) {\n"
+        "    kind BOGUS;\n  }\n}");
+    FAIL() << "should have thrown";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 4);
+  }
+}
+
+TEST(Liberty, CommentsAreIgnored) {
+  const Library lib = read_liberty_string(
+      "# leading comment\nlibrary(x) {\n  tech { vdd_nom 1.0; vt 0.2; "
+      "alpha 1.5; n_vt 0.04; }\n  # mid comment\n  cell(INV_T) { kind INV; "
+      "leakage_nw 10; }\n}");
+  EXPECT_TRUE(lib.find("INV_T").has_value());
+}
+
+} // namespace
+} // namespace scpg

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/numeric.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+#include <sstream>
+
+namespace scpg {
+namespace {
+
+using namespace scpg::literals;
+
+TEST(Units, LiteralsProduceSiValues) {
+  EXPECT_DOUBLE_EQ((0.6_V).v, 0.6);
+  EXPECT_DOUBLE_EQ((600.0_mV).v, 0.6);
+  EXPECT_DOUBLE_EQ((2.0_MHz).v, 2e6);
+  EXPECT_DOUBLE_EQ((10.0_kHz).v, 1e4);
+  EXPECT_DOUBLE_EQ((5.0_pJ).v, 5e-12);
+  EXPECT_DOUBLE_EQ((30.0_uW).v, 3e-5);
+  EXPECT_DOUBLE_EQ((2.5_fF).v, 2.5e-15);
+  EXPECT_DOUBLE_EQ((4.0_kOhm).v, 4e3);
+  EXPECT_DOUBLE_EQ((100.0_um2).v, 1e-10);
+}
+
+TEST(Units, DimensionalComposition) {
+  const Power p = 0.6_V * 50.0_uA;
+  EXPECT_NEAR(in_uW(p), 30.0, 1e-12);
+
+  const Energy e = 30.0_uW * 1.0_us;
+  EXPECT_NEAR(in_pJ(e), 30.0, 1e-9);
+
+  const Energy cv2 = 10.0_fF * 0.6_V * 0.6_V;
+  EXPECT_NEAR(in_fJ(cv2), 3.6, 1e-9);
+
+  const Time rc = 1.0_kOhm * 1.0_pF;
+  EXPECT_NEAR(in_ns(rc), 1.0, 1e-12);
+
+  EXPECT_NEAR(period(2.0_MHz).v, 500e-9, 1e-18);
+  EXPECT_NEAR(frequency(100.0_ns).v, 1e7, 1e-3);
+}
+
+TEST(Units, ComparisonAndArithmetic) {
+  EXPECT_LT(1.0_uW, 2.0_uW);
+  EXPECT_EQ(ratio(4.0_pJ, 2.0_pJ), 2.0);
+  Power p = 1.0_uW;
+  p += 2.0_uW;
+  p *= 2.0;
+  EXPECT_NEAR(in_uW(p), 6.0, 1e-12);
+  EXPECT_NEAR(in_uW(-p + 10.0_uW), 4.0, 1e-12);
+}
+
+TEST(Errors, RequireThrowsWithContext) {
+  try {
+    SCPG_REQUIRE(false, "my message");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("my message"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("false"), std::string::npos);
+  }
+}
+
+TEST(Errors, ParseErrorCarriesLine) {
+  const ParseError e("bad token", 42);
+  EXPECT_EQ(e.line(), 42);
+  EXPECT_NE(std::string(e.what()).find("42"), std::string::npos);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowIsInRangeAndCoversValues) {
+  Rng r(7);
+  bool seen[10] = {};
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.below(10);
+    ASSERT_LT(v, 10u);
+    seen[v] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(99);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BitsMasksWidth) {
+  Rng r(5);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(r.bits(16), 1u << 16);
+  EXPECT_EQ(r.bits(0), 0u);
+  EXPECT_THROW((void)r.bits(65), PreconditionError);
+}
+
+TEST(Numeric, BisectFindsRoot) {
+  const double x = bisect([](double v) { return v * v - 2.0; }, 0, 2);
+  EXPECT_NEAR(x, std::sqrt(2.0), 1e-6);
+}
+
+TEST(Numeric, BisectRejectsUnbracketed) {
+  EXPECT_THROW((void)bisect([](double v) { return v * v + 1.0; }, -1, 1),
+               InfeasibleError);
+}
+
+TEST(Numeric, GoldenMinFindsMinimum) {
+  const double x =
+      golden_min([](double v) { return (v - 1.3) * (v - 1.3); }, -10, 10);
+  EXPECT_NEAR(x, 1.3, 1e-5);
+}
+
+TEST(Numeric, LinearTableInterpolatesAndClamps) {
+  const LinearTable t({0, 1, 2}, {0, 10, 40});
+  EXPECT_DOUBLE_EQ(t.at(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(t.at(1.5), 25.0);
+  EXPECT_DOUBLE_EQ(t.at(-1), 0.0);
+  EXPECT_DOUBLE_EQ(t.at(3), 40.0);
+}
+
+TEST(Numeric, LinearTableRejectsUnsortedX) {
+  EXPECT_THROW((void)LinearTable({1, 0}, {0, 1}), PreconditionError);
+  EXPECT_THROW((void)LinearTable({0, 0}, {0, 1}), PreconditionError);
+}
+
+TEST(Numeric, MeanAndStddev) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3}), 2.0);
+  EXPECT_NEAR(stddev({1, 2, 3}), std::sqrt(2.0 / 3.0), 1e-12);
+  EXPECT_THROW((void)mean({}), PreconditionError);
+}
+
+TEST(Table, AlignsColumnsAndCountsRows) {
+  TextTable t("title");
+  t.header({"a", "long_column"});
+  t.row({"1", "2"});
+  t.row({"333", "4"});
+  EXPECT_EQ(t.row_count(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("title"), std::string::npos);
+  EXPECT_NE(s.find("long_column"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  TextTable t;
+  t.header({"a", "b"});
+  EXPECT_THROW((void)t.row({"only-one"}), PreconditionError);
+}
+
+TEST(Table, CsvEscapesCommas) {
+  TextTable t;
+  t.header({"a", "b"});
+  t.row({"x,y", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(10.0, 0), "10");
+}
+
+TEST(Chart, RendersAllSeries) {
+  AsciiChart c("chart", 32, 8);
+  c.series("one", {0, 1, 2}, {0, 1, 4});
+  c.series("two", {0, 1, 2}, {4, 1, 0});
+  std::ostringstream os;
+  c.print(os);
+  EXPECT_NE(os.str().find("one"), std::string::npos);
+  EXPECT_NE(os.str().find("two"), std::string::npos);
+  EXPECT_NE(os.str().find('o'), std::string::npos);
+  EXPECT_NE(os.str().find('x'), std::string::npos);
+}
+
+} // namespace
+} // namespace scpg

@@ -1,0 +1,222 @@
+// scpgc — command-line driver for the SCPG flow.
+//
+//   scpgc liberty                                  dump the scpg90 library
+//   scpgc report    --in d.v [--vdd V] [--temp C]  stats + timing + leakage
+//   scpgc transform --in d.v --out o.v [options]   apply power gating
+//   scpgc sweep     --in d.v [--vdd V] [--activity A] [--fmax-mhz F]
+//                                                  power-vs-frequency table
+//
+// transform options:
+//   --traditional          idle-mode PG baseline instead of SCPG
+//   --clock NAME           clock port (default clk)
+//   --header-drive N       header strength (default 2; 4 for big domains)
+//   --header-count N       parallel headers (default 4)
+//   --no-isolation         ablation: skip output clamps
+//   --no-adaptive          ablation: clock-only isolation release
+//   --split                write the domain-split two-module Verilog
+//   --upf FILE             also write the UPF power intent
+//
+// Netlists must be flat structural Verilog over scpg90 cells (the format
+// written by this library; see examples/design_flow).
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "netlist/report.hpp"
+#include "netlist/verilog.hpp"
+#include "power/power.hpp"
+#include "scpg/model.hpp"
+#include "scpg/traditional.hpp"
+#include "scpg/transform.hpp"
+#include "scpg/upf.hpp"
+#include "sta/sta.hpp"
+#include "tech/liberty.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+using namespace scpg;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> opts;
+  std::vector<std::string> flags;
+
+  [[nodiscard]] bool has_flag(const std::string& f) const {
+    return std::find(flags.begin(), flags.end(), f) != flags.end();
+  }
+  [[nodiscard]] std::string opt(const std::string& k,
+                                const std::string& dflt = {}) const {
+    const auto it = opts.find(k);
+    return it == opts.end() ? dflt : it->second;
+  }
+  [[nodiscard]] double num(const std::string& k, double dflt) const {
+    const auto it = opts.find(k);
+    return it == opts.end() ? dflt : std::stod(it->second);
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  if (argc >= 2) a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string s = argv[i];
+    if (s.rfind("--", 0) == 0) {
+      const std::string key = s.substr(2);
+      const bool takes_value =
+          key == "in" || key == "out" || key == "upf" || key == "clock" ||
+          key == "vdd" || key == "temp" || key == "header-drive" ||
+          key == "header-count" || key == "activity" || key == "fmax-mhz" ||
+          key == "points";
+      if (takes_value && i + 1 < argc) a.opts[key] = argv[++i];
+      else a.flags.push_back(key);
+    }
+  }
+  return a;
+}
+
+Netlist load(const Library& lib, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open input netlist: " + path);
+  return read_verilog(in, lib);
+}
+
+Corner corner_of(const Args& a) {
+  return Corner{Voltage{a.num("vdd", 0.6)}, a.num("temp", 25.0)};
+}
+
+/// Vector-less dynamic energy estimate: every net toggles with
+/// probability `activity` per cycle.
+Energy estimate_dyn(const Netlist& nl, Corner c, double activity) {
+  const double escale = nl.lib().tech().energy_scale(c);
+  double e = 0;
+  for (std::uint32_t ni = 0; ni < nl.num_nets(); ++ni) {
+    const NetId n{ni};
+    e += 0.5 * nl.net_load(n).v * c.vdd.v * c.vdd.v;
+    const Net& net = nl.net(n);
+    if (net.driven_by_cell() && !nl.cell(net.driver_cell).is_macro())
+      e += nl.spec_of(net.driver_cell).internal_energy.v * escale;
+  }
+  return Energy{e * activity};
+}
+
+int cmd_liberty() {
+  write_liberty(Library::scpg90(), std::cout);
+  return 0;
+}
+
+int cmd_report(const Library& lib, const Args& a) {
+  Netlist nl = load(lib, a.opt("in"));
+  const Corner c = corner_of(a);
+  print_stats(compute_stats(nl), std::cout, "design '" + nl.name() + "'");
+  std::cout << "\nleakage at " << c.vdd.v << " V / " << c.temp_c
+            << " C: " << in_uW(static_leakage(nl, c)) << " uW\n\n";
+  const StaReport sta = run_sta(nl, c);
+  std::cout << format_path(nl, sta);
+  std::cout << "hold met: " << (sta.hold_met() ? "yes" : "NO") << "\n";
+  return 0;
+}
+
+int cmd_transform(const Library& lib, const Args& a) {
+  Netlist nl = load(lib, a.opt("in"));
+  const std::string out = a.opt("out");
+  if (out.empty()) throw Error("transform requires --out");
+
+  if (a.has_flag("traditional")) {
+    TraditionalPgOptions opt;
+    opt.clock_port = a.opt("clock", "clk");
+    opt.header_drive = int(a.num("header-drive", 2));
+    opt.header_count = int(a.num("header-count", 4));
+    const TraditionalPgInfo info = apply_traditional_pg(nl, opt);
+    std::cerr << "traditional PG: " << info.cells_gated << " cells gated, "
+              << info.retention_cells << " retention balloons, area +"
+              << 100.0 * info.area_overhead() << "%\n";
+  } else {
+    ScpgOptions opt;
+    opt.clock_port = a.opt("clock", "clk");
+    opt.header_drive = int(a.num("header-drive", 2));
+    opt.header_count = int(a.num("header-count", 4));
+    opt.insert_isolation = !a.has_flag("no-isolation");
+    opt.adaptive_controller = !a.has_flag("no-adaptive");
+    const ScpgInfo info = apply_scpg(nl, opt);
+    std::cerr << "SCPG: " << info.cells_gated << " cells gated, "
+              << info.isolation_cells << " isolation cells, area +"
+              << 100.0 * info.area_overhead() << "%\n";
+    if (const std::string upf = a.opt("upf"); !upf.empty()) {
+      std::ofstream uf(upf);
+      if (!uf) throw Error("cannot open UPF output: " + upf);
+      write_upf(nl, info, uf);
+      std::cerr << "wrote " << upf << "\n";
+    }
+  }
+
+  std::ofstream of(out);
+  if (!of) throw Error("cannot open output netlist: " + out);
+  write_verilog(nl, of, {.split_domains = a.has_flag("split")});
+  std::cerr << "wrote " << out << "\n";
+  return 0;
+}
+
+int cmd_sweep(const Library& lib, const Args& a) {
+  Netlist nl = load(lib, a.opt("in"));
+  const Corner c = corner_of(a);
+  const double activity = a.num("activity", 0.15);
+
+  // Transform a copy if the input is not already gated.
+  bool already_gated = false;
+  for (std::uint32_t ci = 0; ci < nl.num_cells(); ++ci)
+    if (nl.cell(CellId{ci}).domain == Domain::Gated) already_gated = true;
+  ScpgOptions sopt;
+  sopt.clock_port = a.opt("clock", "clk");
+  if (!already_gated) apply_scpg(nl, sopt);
+
+  SimConfig cfg;
+  cfg.corner = c;
+  const Energy e_dyn = estimate_dyn(nl, c, activity);
+  const ScpgPowerModel m = ScpgPowerModel::extract(nl, cfg, e_dyn);
+
+  const double fmax_mhz = a.num("fmax-mhz", 10.0);
+  const int points = int(a.num("points", 12));
+  TextTable t("power sweep, activity " + TextTable::num(activity, 2) +
+              ", VDD " + TextTable::num(c.vdd.v, 2) + " V");
+  t.header({"f MHz", "no gating uW", "SCPG@50 uW", "SCPG-Max uW",
+            "max duty"});
+  for (int i = 0; i < points; ++i) {
+    const double fm =
+        fmax_mhz * std::pow(10.0, -3.0 + 3.0 * double(i) / (points - 1));
+    const Frequency f{fm * 1e6};
+    const auto dmax = m.duty_for(GatingMode::ScpgMax, f);
+    t.row({TextTable::num(fm, 3),
+           TextTable::num(in_uW(m.average_power_ungated(f)), 2),
+           m.feasible(f, 0.5)
+               ? TextTable::num(in_uW(m.average_power_gated(f, 0.5)), 2)
+               : "n/f",
+           dmax ? TextTable::num(in_uW(m.average_power_gated(f, *dmax)), 2)
+                : "n/f",
+           dmax ? TextTable::num(100.0 * *dmax, 0) + "%" : "-"});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse_args(argc, argv);
+  try {
+    if (a.command == "liberty") return cmd_liberty();
+    const Library lib = Library::scpg90();
+    if (a.command == "report") return cmd_report(lib, a);
+    if (a.command == "transform") return cmd_transform(lib, a);
+    if (a.command == "sweep") return cmd_sweep(lib, a);
+    std::cerr << "usage: scpgc {liberty|report|transform|sweep} [options]\n"
+                 "       (see the header of tools/scpgc.cpp)\n";
+    return a.command.empty() ? 1 : 2;
+  } catch (const std::exception& e) {
+    std::cerr << "scpgc: " << e.what() << '\n';
+    return 1;
+  }
+}
