@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_budget_scenarios.dir/bench_budget_scenarios.cpp.o"
+  "CMakeFiles/bench_budget_scenarios.dir/bench_budget_scenarios.cpp.o.d"
+  "bench_budget_scenarios"
+  "bench_budget_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_budget_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_multiplier.dir/bench_fig6_multiplier.cpp.o"
+  "CMakeFiles/bench_fig6_multiplier.dir/bench_fig6_multiplier.cpp.o.d"
+  "bench_fig6_multiplier"
+  "bench_fig6_multiplier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_multiplier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

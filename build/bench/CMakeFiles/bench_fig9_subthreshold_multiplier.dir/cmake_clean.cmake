@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_subthreshold_multiplier.dir/bench_fig9_subthreshold_multiplier.cpp.o"
+  "CMakeFiles/bench_fig9_subthreshold_multiplier.dir/bench_fig9_subthreshold_multiplier.cpp.o.d"
+  "bench_fig9_subthreshold_multiplier"
+  "bench_fig9_subthreshold_multiplier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_subthreshold_multiplier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

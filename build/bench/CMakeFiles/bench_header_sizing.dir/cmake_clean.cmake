@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_header_sizing.dir/bench_header_sizing.cpp.o"
+  "CMakeFiles/bench_header_sizing.dir/bench_header_sizing.cpp.o.d"
+  "bench_header_sizing"
+  "bench_header_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_header_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

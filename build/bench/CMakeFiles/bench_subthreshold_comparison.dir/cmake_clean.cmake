@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_subthreshold_comparison.dir/bench_subthreshold_comparison.cpp.o"
+  "CMakeFiles/bench_subthreshold_comparison.dir/bench_subthreshold_comparison.cpp.o.d"
+  "bench_subthreshold_comparison"
+  "bench_subthreshold_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_subthreshold_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

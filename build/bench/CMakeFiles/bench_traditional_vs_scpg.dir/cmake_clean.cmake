@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_traditional_vs_scpg.dir/bench_traditional_vs_scpg.cpp.o"
+  "CMakeFiles/bench_traditional_vs_scpg.dir/bench_traditional_vs_scpg.cpp.o.d"
+  "bench_traditional_vs_scpg"
+  "bench_traditional_vs_scpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_traditional_vs_scpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

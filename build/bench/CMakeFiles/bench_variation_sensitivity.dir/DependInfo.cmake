@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_variation_sensitivity.cpp" "bench/CMakeFiles/bench_variation_sensitivity.dir/bench_variation_sensitivity.cpp.o" "gcc" "bench/CMakeFiles/bench_variation_sensitivity.dir/bench_variation_sensitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/scpg_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/scpg_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mep/CMakeFiles/scpg_mep.dir/DependInfo.cmake"
+  "/root/repo/build/src/scpg/CMakeFiles/scpg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/scpg_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scpg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/scpg_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/scpg_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/scpg_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/scpg_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/scpg_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scpg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_variation_sensitivity.dir/bench_variation_sensitivity.cpp.o"
+  "CMakeFiles/bench_variation_sensitivity.dir/bench_variation_sensitivity.cpp.o.d"
+  "bench_variation_sensitivity"
+  "bench_variation_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_variation_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

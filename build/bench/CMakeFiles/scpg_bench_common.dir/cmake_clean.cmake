@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scpg_bench_common.dir/common.cpp.o"
+  "CMakeFiles/scpg_bench_common.dir/common.cpp.o.d"
+  "libscpg_bench_common.a"
+  "libscpg_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scpg_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

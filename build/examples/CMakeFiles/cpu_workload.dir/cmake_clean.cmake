@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_workload.dir/cpu_workload.cpp.o"
+  "CMakeFiles/cpu_workload.dir/cpu_workload.cpp.o.d"
+  "cpu_workload"
+  "cpu_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

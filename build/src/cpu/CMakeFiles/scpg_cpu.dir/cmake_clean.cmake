@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scpg_cpu.dir/assembler.cpp.o"
+  "CMakeFiles/scpg_cpu.dir/assembler.cpp.o.d"
+  "CMakeFiles/scpg_cpu.dir/core.cpp.o"
+  "CMakeFiles/scpg_cpu.dir/core.cpp.o.d"
+  "CMakeFiles/scpg_cpu.dir/isa.cpp.o"
+  "CMakeFiles/scpg_cpu.dir/isa.cpp.o.d"
+  "CMakeFiles/scpg_cpu.dir/iss.cpp.o"
+  "CMakeFiles/scpg_cpu.dir/iss.cpp.o.d"
+  "CMakeFiles/scpg_cpu.dir/workloads.cpp.o"
+  "CMakeFiles/scpg_cpu.dir/workloads.cpp.o.d"
+  "libscpg_cpu.a"
+  "libscpg_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scpg_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscpg_cpu.a"
+)

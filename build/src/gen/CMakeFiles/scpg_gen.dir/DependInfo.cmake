@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/arith.cpp" "src/gen/CMakeFiles/scpg_gen.dir/arith.cpp.o" "gcc" "src/gen/CMakeFiles/scpg_gen.dir/arith.cpp.o.d"
+  "/root/repo/src/gen/components.cpp" "src/gen/CMakeFiles/scpg_gen.dir/components.cpp.o" "gcc" "src/gen/CMakeFiles/scpg_gen.dir/components.cpp.o.d"
+  "/root/repo/src/gen/mult16.cpp" "src/gen/CMakeFiles/scpg_gen.dir/mult16.cpp.o" "gcc" "src/gen/CMakeFiles/scpg_gen.dir/mult16.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/scpg_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/scpg_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scpg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

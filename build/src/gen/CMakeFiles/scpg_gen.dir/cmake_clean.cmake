@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scpg_gen.dir/arith.cpp.o"
+  "CMakeFiles/scpg_gen.dir/arith.cpp.o.d"
+  "CMakeFiles/scpg_gen.dir/components.cpp.o"
+  "CMakeFiles/scpg_gen.dir/components.cpp.o.d"
+  "CMakeFiles/scpg_gen.dir/mult16.cpp.o"
+  "CMakeFiles/scpg_gen.dir/mult16.cpp.o.d"
+  "libscpg_gen.a"
+  "libscpg_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scpg_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scpg_mep.dir/mep.cpp.o"
+  "CMakeFiles/scpg_mep.dir/mep.cpp.o.d"
+  "libscpg_mep.a"
+  "libscpg_mep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scpg_mep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for scpg_mep.
+# This may be replaced when dependencies are built.

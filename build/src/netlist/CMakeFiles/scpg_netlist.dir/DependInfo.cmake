@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/builder.cpp" "src/netlist/CMakeFiles/scpg_netlist.dir/builder.cpp.o" "gcc" "src/netlist/CMakeFiles/scpg_netlist.dir/builder.cpp.o.d"
+  "/root/repo/src/netlist/cts.cpp" "src/netlist/CMakeFiles/scpg_netlist.dir/cts.cpp.o" "gcc" "src/netlist/CMakeFiles/scpg_netlist.dir/cts.cpp.o.d"
+  "/root/repo/src/netlist/funcsim.cpp" "src/netlist/CMakeFiles/scpg_netlist.dir/funcsim.cpp.o" "gcc" "src/netlist/CMakeFiles/scpg_netlist.dir/funcsim.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/scpg_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/scpg_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/report.cpp" "src/netlist/CMakeFiles/scpg_netlist.dir/report.cpp.o" "gcc" "src/netlist/CMakeFiles/scpg_netlist.dir/report.cpp.o.d"
+  "/root/repo/src/netlist/verilog.cpp" "src/netlist/CMakeFiles/scpg_netlist.dir/verilog.cpp.o" "gcc" "src/netlist/CMakeFiles/scpg_netlist.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tech/CMakeFiles/scpg_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scpg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scpg_netlist.dir/builder.cpp.o"
+  "CMakeFiles/scpg_netlist.dir/builder.cpp.o.d"
+  "CMakeFiles/scpg_netlist.dir/cts.cpp.o"
+  "CMakeFiles/scpg_netlist.dir/cts.cpp.o.d"
+  "CMakeFiles/scpg_netlist.dir/funcsim.cpp.o"
+  "CMakeFiles/scpg_netlist.dir/funcsim.cpp.o.d"
+  "CMakeFiles/scpg_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/scpg_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/scpg_netlist.dir/report.cpp.o"
+  "CMakeFiles/scpg_netlist.dir/report.cpp.o.d"
+  "CMakeFiles/scpg_netlist.dir/verilog.cpp.o"
+  "CMakeFiles/scpg_netlist.dir/verilog.cpp.o.d"
+  "libscpg_netlist.a"
+  "libscpg_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scpg_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

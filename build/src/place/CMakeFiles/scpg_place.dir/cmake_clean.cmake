@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scpg_place.dir/placement.cpp.o"
+  "CMakeFiles/scpg_place.dir/placement.cpp.o.d"
+  "libscpg_place.a"
+  "libscpg_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scpg_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

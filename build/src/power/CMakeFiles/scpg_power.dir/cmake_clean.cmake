@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scpg_power.dir/power.cpp.o"
+  "CMakeFiles/scpg_power.dir/power.cpp.o.d"
+  "libscpg_power.a"
+  "libscpg_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scpg_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

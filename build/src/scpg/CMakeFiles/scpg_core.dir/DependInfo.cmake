@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scpg/analysis.cpp" "src/scpg/CMakeFiles/scpg_core.dir/analysis.cpp.o" "gcc" "src/scpg/CMakeFiles/scpg_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/scpg/header_sizing.cpp" "src/scpg/CMakeFiles/scpg_core.dir/header_sizing.cpp.o" "gcc" "src/scpg/CMakeFiles/scpg_core.dir/header_sizing.cpp.o.d"
+  "/root/repo/src/scpg/measure.cpp" "src/scpg/CMakeFiles/scpg_core.dir/measure.cpp.o" "gcc" "src/scpg/CMakeFiles/scpg_core.dir/measure.cpp.o.d"
+  "/root/repo/src/scpg/model.cpp" "src/scpg/CMakeFiles/scpg_core.dir/model.cpp.o" "gcc" "src/scpg/CMakeFiles/scpg_core.dir/model.cpp.o.d"
+  "/root/repo/src/scpg/rail_model.cpp" "src/scpg/CMakeFiles/scpg_core.dir/rail_model.cpp.o" "gcc" "src/scpg/CMakeFiles/scpg_core.dir/rail_model.cpp.o.d"
+  "/root/repo/src/scpg/traditional.cpp" "src/scpg/CMakeFiles/scpg_core.dir/traditional.cpp.o" "gcc" "src/scpg/CMakeFiles/scpg_core.dir/traditional.cpp.o.d"
+  "/root/repo/src/scpg/transform.cpp" "src/scpg/CMakeFiles/scpg_core.dir/transform.cpp.o" "gcc" "src/scpg/CMakeFiles/scpg_core.dir/transform.cpp.o.d"
+  "/root/repo/src/scpg/upf.cpp" "src/scpg/CMakeFiles/scpg_core.dir/upf.cpp.o" "gcc" "src/scpg/CMakeFiles/scpg_core.dir/upf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/scpg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/scpg_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/scpg_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/scpg_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/scpg_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scpg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scpg_core.dir/analysis.cpp.o"
+  "CMakeFiles/scpg_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/scpg_core.dir/header_sizing.cpp.o"
+  "CMakeFiles/scpg_core.dir/header_sizing.cpp.o.d"
+  "CMakeFiles/scpg_core.dir/measure.cpp.o"
+  "CMakeFiles/scpg_core.dir/measure.cpp.o.d"
+  "CMakeFiles/scpg_core.dir/model.cpp.o"
+  "CMakeFiles/scpg_core.dir/model.cpp.o.d"
+  "CMakeFiles/scpg_core.dir/rail_model.cpp.o"
+  "CMakeFiles/scpg_core.dir/rail_model.cpp.o.d"
+  "CMakeFiles/scpg_core.dir/traditional.cpp.o"
+  "CMakeFiles/scpg_core.dir/traditional.cpp.o.d"
+  "CMakeFiles/scpg_core.dir/transform.cpp.o"
+  "CMakeFiles/scpg_core.dir/transform.cpp.o.d"
+  "CMakeFiles/scpg_core.dir/upf.cpp.o"
+  "CMakeFiles/scpg_core.dir/upf.cpp.o.d"
+  "libscpg_core.a"
+  "libscpg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scpg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

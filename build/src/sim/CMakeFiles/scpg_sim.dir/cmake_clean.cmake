@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scpg_sim.dir/activity.cpp.o"
+  "CMakeFiles/scpg_sim.dir/activity.cpp.o.d"
+  "CMakeFiles/scpg_sim.dir/simulator.cpp.o"
+  "CMakeFiles/scpg_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/scpg_sim.dir/vcd.cpp.o"
+  "CMakeFiles/scpg_sim.dir/vcd.cpp.o.d"
+  "libscpg_sim.a"
+  "libscpg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scpg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scpg_sta.dir/sta.cpp.o"
+  "CMakeFiles/scpg_sta.dir/sta.cpp.o.d"
+  "libscpg_sta.a"
+  "libscpg_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scpg_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

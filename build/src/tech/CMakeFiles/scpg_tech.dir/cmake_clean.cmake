@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scpg_tech.dir/liberty.cpp.o"
+  "CMakeFiles/scpg_tech.dir/liberty.cpp.o.d"
+  "CMakeFiles/scpg_tech.dir/library.cpp.o"
+  "CMakeFiles/scpg_tech.dir/library.cpp.o.d"
+  "CMakeFiles/scpg_tech.dir/logic.cpp.o"
+  "CMakeFiles/scpg_tech.dir/logic.cpp.o.d"
+  "CMakeFiles/scpg_tech.dir/tech_model.cpp.o"
+  "CMakeFiles/scpg_tech.dir/tech_model.cpp.o.d"
+  "libscpg_tech.a"
+  "libscpg_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scpg_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

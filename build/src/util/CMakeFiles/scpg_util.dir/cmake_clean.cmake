@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scpg_util.dir/error.cpp.o"
+  "CMakeFiles/scpg_util.dir/error.cpp.o.d"
+  "CMakeFiles/scpg_util.dir/numeric.cpp.o"
+  "CMakeFiles/scpg_util.dir/numeric.cpp.o.d"
+  "CMakeFiles/scpg_util.dir/rng.cpp.o"
+  "CMakeFiles/scpg_util.dir/rng.cpp.o.d"
+  "CMakeFiles/scpg_util.dir/table.cpp.o"
+  "CMakeFiles/scpg_util.dir/table.cpp.o.d"
+  "libscpg_util.a"
+  "libscpg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scpg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mep.dir/test_mep.cpp.o"
+  "CMakeFiles/test_mep.dir/test_mep.cpp.o.d"
+  "test_mep"
+  "test_mep.pdb"
+  "test_mep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scpg.dir/test_scpg.cpp.o"
+  "CMakeFiles/test_scpg.dir/test_scpg.cpp.o.d"
+  "test_scpg"
+  "test_scpg.pdb"
+  "test_scpg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

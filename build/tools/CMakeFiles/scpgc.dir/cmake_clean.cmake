@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scpgc.dir/scpgc.cpp.o"
+  "CMakeFiles/scpgc.dir/scpgc.cpp.o.d"
+  "scpgc"
+  "scpgc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scpgc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

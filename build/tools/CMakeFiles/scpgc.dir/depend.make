@@ -1,0 +1,2 @@
+# Empty dependencies file for scpgc.
+# This may be replaced when dependencies are built.
