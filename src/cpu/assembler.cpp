@@ -45,7 +45,7 @@ struct Statement {
   int address;                     // assigned in pass 1
 };
 
-int parse_reg(const std::string& t, int line) {
+int parse_reg(const std::string& t, const std::string& src, int line) {
   if (t.size() >= 2 && (t[0] == 'r' || t[0] == 'R')) {
     try {
       const int n = std::stoi(t.substr(1));
@@ -53,7 +53,7 @@ int parse_reg(const std::string& t, int line) {
     } catch (const std::exception&) {
     }
   }
-  throw ParseError("expected a register, got '" + t + "'", line);
+  throw ParseError("expected a register, got '" + t + "'", src, line);
 }
 
 std::optional<long> parse_number(const std::string& t) {
@@ -68,7 +68,8 @@ std::optional<long> parse_number(const std::string& t) {
 
 class Assembler {
 public:
-  explicit Assembler(const std::string& source) {
+  Assembler(const std::string& source, std::string name)
+      : src_(std::move(name)) {
     pass1(source);
   }
 
@@ -96,19 +97,20 @@ private:
       while (toks.size() >= 2 && toks[1] == ":") {
         const std::string& name = toks[0];
         if (parse_number(name))
-          throw ParseError("label cannot be a number: '" + name + "'",
+          throw ParseError("label cannot be a number: '" + name + "'", src_,
                            lineno);
         if (labels_.contains(name))
-          throw ParseError("duplicate label '" + name + "'", lineno);
+          throw ParseError("duplicate label '" + name + "'", src_, lineno);
         labels_[name] = addr;
         toks.erase(toks.begin(), toks.begin() + 2);
       }
       if (toks.empty()) continue;
       if (toks[0] == ".org") {
         if (toks.size() != 2)
-          throw ParseError(".org needs one operand", lineno);
+          throw ParseError(".org needs one operand", src_, lineno);
         const auto v = parse_number(toks[1]);
-        if (!v || *v < 0) throw ParseError("bad .org address", lineno);
+        if (!v || *v < 0)
+          throw ParseError("bad .org address", src_, lineno);
         addr = int(*v);
         continue;
       }
@@ -121,7 +123,7 @@ private:
     if (const auto v = parse_number(t)) return *v;
     const auto it = labels_.find(t);
     if (it == labels_.end())
-      throw ParseError("undefined label '" + t + "'", line);
+      throw ParseError("undefined label '" + t + "'", src_, line);
     return it->second;
   }
 
@@ -143,37 +145,37 @@ private:
     const std::string& m = t[0];
     auto expect_count = [&](std::size_t n) {
       if (t.size() != n)
-        throw ParseError("'" + m + "' has wrong operand count", line);
+        throw ParseError("'" + m + "' has wrong operand count", src_, line);
     };
     auto mem_operands = [&](int& rd, int& ra, long& off) {
       // mnemonic rd [ ra + off ]  (7 tokens) or without +off (5 tokens)
       if (t.size() == 7 && t[2] == "[" && t[4] == "+" && t[6] == "]") {
-        rd = parse_reg(t[1], line);
-        ra = parse_reg(t[3], line);
+        rd = parse_reg(t[1], src_, line);
+        ra = parse_reg(t[3], src_, line);
         off = resolve(t[5], line);
       } else if (t.size() == 5 && t[2] == "[" && t[4] == "]") {
-        rd = parse_reg(t[1], line);
-        ra = parse_reg(t[3], line);
+        rd = parse_reg(t[1], src_, line);
+        ra = parse_reg(t[3], src_, line);
         off = 0;
       } else {
-        throw ParseError("'" + m + "' expects rd, [ra+imm]", line);
+        throw ParseError("'" + m + "' expects rd, [ra+imm]", src_, line);
       }
     };
     try {
       if (m == "add" || m == "sub" || m == "and" || m == "or" ||
           m == "xor" || m == "lsl" || m == "lsr" || m == "sltu") {
         expect_count(4);
-        return enc_alu(alu_fn(m), parse_reg(t[1], line),
-                       parse_reg(t[2], line), parse_reg(t[3], line));
+        return enc_alu(alu_fn(m), parse_reg(t[1], src_, line),
+                       parse_reg(t[2], src_, line), parse_reg(t[3], src_, line));
       }
       if (m == "addi") {
         expect_count(4);
-        return enc_addi(parse_reg(t[1], line), parse_reg(t[2], line),
+        return enc_addi(parse_reg(t[1], src_, line), parse_reg(t[2], src_, line),
                         int(resolve(t[3], line)));
       }
       if (m == "movi") {
         expect_count(3);
-        return enc_movi(parse_reg(t[1], line), int(resolve(t[2], line)));
+        return enc_movi(parse_reg(t[1], src_, line), int(resolve(t[2], line)));
       }
       if (m == "ld" || m == "st") {
         int rd = 0, ra = 0;
@@ -187,18 +189,18 @@ private:
         const Op op = m == "beq" ? Op::Beq : m == "bne" ? Op::Bne : Op::Bltu;
         const long target = resolve(t[3], line);
         const long off = target - (st.address + 1);
-        return enc_branch(op, parse_reg(t[1], line), parse_reg(t[2], line),
+        return enc_branch(op, parse_reg(t[1], src_, line), parse_reg(t[2], src_, line),
                           int(off));
       }
       if (m == "jal") {
         expect_count(3);
         const long target = resolve(t[2], line);
         const long off = target - (st.address + 1);
-        return enc_jal(parse_reg(t[1], line), int(off));
+        return enc_jal(parse_reg(t[1], src_, line), int(off));
       }
       if (m == "jr") {
         expect_count(2);
-        return enc_jr(parse_reg(t[1], line));
+        return enc_jr(parse_reg(t[1], src_, line));
       }
       if (m == "halt") {
         expect_count(1);
@@ -212,25 +214,27 @@ private:
         expect_count(2);
         const long v = resolve(t[1], line);
         if (v < 0 || v > 0xFFFF)
-          throw ParseError(".word value out of 16-bit range", line);
+          throw ParseError(".word value out of 16-bit range", src_, line);
         return std::uint16_t(v);
       }
     } catch (const PreconditionError& e) {
       // Encoding-range failures (bad immediate, branch too far) become
       // parse errors with the offending line.
-      throw ParseError(e.what(), line);
+      throw ParseError(e.what(), src_, line);
     }
-    throw ParseError("unknown mnemonic '" + m + "'", line);
+    throw ParseError("unknown mnemonic '" + m + "'", src_, line);
   }
 
+  std::string src_;
   std::map<std::string, int> labels_;
   std::vector<Statement> stmts_;
 };
 
 } // namespace
 
-std::vector<std::uint16_t> assemble(const std::string& source) {
-  Assembler a(source);
+std::vector<std::uint16_t> assemble(const std::string& source,
+                                    const std::string& name) {
+  Assembler a(source, name);
   return a.run();
 }
 

@@ -28,9 +28,11 @@
 
 namespace scpg::cpu {
 
-/// Assembles a program; throws ParseError with a line number on any error
-/// (unknown mnemonic, bad register, out-of-range immediate or branch
-/// distance, duplicate/undefined label).
-[[nodiscard]] std::vector<std::uint16_t> assemble(const std::string& source);
+/// Assembles a program; throws ParseError with the source name and line
+/// number on any error (unknown mnemonic, bad register, out-of-range
+/// immediate or branch distance, duplicate/undefined label).  `name`
+/// identifies the program (file path) in diagnostics.
+[[nodiscard]] std::vector<std::uint16_t> assemble(
+    const std::string& source, const std::string& name = "<asm>");
 
 } // namespace scpg::cpu

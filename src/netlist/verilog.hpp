@@ -37,11 +37,15 @@ void write_verilog(const Netlist& nl, std::ostream& os,
 using MacroResolver = std::function<MacroSpec(const std::string&)>;
 
 /// Parses a flat structural module.  Cell types must exist in `lib`;
-/// macro instances require a resolver.  Throws ParseError / NetlistError.
+/// macro instances require a resolver.  Throws ParseError / NetlistError;
+/// `source` names the input (file path) in parse diagnostics.
 [[nodiscard]] Netlist read_verilog(std::istream& is, const Library& lib,
-                                   const MacroResolver& macros = {});
+                                   const MacroResolver& macros = {},
+                                   const std::string& source = "<verilog>");
 [[nodiscard]] Netlist read_verilog_string(const std::string& text,
                                           const Library& lib,
-                                          const MacroResolver& macros = {});
+                                          const MacroResolver& macros = {},
+                                          const std::string& source =
+                                              "<string>");
 
 } // namespace scpg

@@ -152,9 +152,11 @@ ScpgInfo apply_scpg(Netlist& nl, const ScpgOptions& opt) {
       const std::vector<PortId> out_ports = nl.net(n).sink_ports;
       if (aon_sinks.empty() && out_ports.empty()) continue;
       const NetId ni = nl.add_net(nl.net(n).name + "_iso");
-      nl.add_cell(nl.net(n).name + "_isoc", iso, {n, info.niso}, ni);
+      const CellId ic =
+          nl.add_cell(nl.net(n).name + "_isoc", iso, {n, info.niso}, ni);
       for (const PinRef& s : aon_sinks) nl.rewire_input(s.cell, s.pin, ni);
       for (PortId p : out_ports) nl.rewire_port(p, ni);
+      info.isolation.push_back({ic, n, ni});
       ++info.isolation_cells;
     }
   }

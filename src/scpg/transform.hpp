@@ -65,6 +65,16 @@ struct ScpgOptions {
   std::string override_port{"override_n"};
 };
 
+/// One inserted isolation clamp at the gated-domain boundary: `data` is
+/// the gated net entering the cell, `out` the clamped net feeding the
+/// always-on domain.  Exported so runtime verification (src/verify) can
+/// watch exactly the nets whose containment the clamp is responsible for.
+struct IsoBinding {
+  CellId cell; ///< the isolation cell instance
+  NetId data;  ///< gated-domain side (may go X during collapse)
+  NetId out;   ///< always-on side (must never go X)
+};
+
 /// Result of the transform (nets/cells of interest + overhead accounting).
 struct ScpgInfo {
   NetId clk;        ///< clock net
@@ -73,6 +83,7 @@ struct ScpgInfo {
   NetId niso;       ///< isolation control (active low)
   NetId sense;      ///< virtual-rail sense (TIEHI in the gated domain)
   std::vector<CellId> headers;
+  std::vector<IsoBinding> isolation; ///< boundary clamps, insertion order
 
   std::size_t cells_gated{0};
   std::size_t isolation_cells{0};

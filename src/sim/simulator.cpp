@@ -11,6 +11,16 @@ namespace {
 constexpr std::uint32_t kForcedGen = ~std::uint32_t{0};
 } // namespace
 
+std::string_view domain_phase_name(DomainPhase p) {
+  switch (p) {
+    case DomainPhase::SleepStart: return "sleep-start";
+    case DomainPhase::Corrupt: return "corrupt";
+    case DomainPhase::WakeStart: return "wake-start";
+    case DomainPhase::Ready: return "ready";
+  }
+  return "?";
+}
+
 struct Simulator::Event {
   SimTime t{0};
   std::uint64_t seq{0};
@@ -129,7 +139,7 @@ Simulator::Simulator(const Netlist& nl, SimConfig cfg)
       domain_->p_hdr_off_w += s.header_off_leak.v * lscale_;
       domain_->hdr_gate_cap += s.header_gate_cap.v;
     }
-    domain_->ron_eff = 1.0 / g_sum;
+    domain_->ron_eff = cfg_.header_ron_derate / g_sum;
     std::vector<bool> is_gated_cell(ncells, false);
     for (CellId g : gated) is_gated_cell[g.v] = true;
     std::vector<bool> out_seen(nnets, false);
@@ -207,6 +217,18 @@ void Simulator::drive_at(SimTime t, NetId net, Logic v) {
   queue_.push(std::move(e));
 }
 
+void Simulator::force_net(NetId net, Logic v) {
+  SCPG_REQUIRE(net.valid() && net.v < values_.size(), "force_net: bad net");
+  Event e;
+  e.t = now_;
+  e.seq = seq_++;
+  e.kind = Event::Kind::NetChange;
+  e.net = net;
+  e.value = v;
+  e.gen = kForcedGen;
+  queue_.push(std::move(e));
+}
+
 void Simulator::drive_bus_at(SimTime t, std::string_view name,
                              std::uint64_t value, int width) {
   for (int i = 0; i < width; ++i) {
@@ -232,14 +254,18 @@ void Simulator::add_clock(NetId net, Frequency f, double duty_high,
                "duty cycle must be in (0, 1)");
   const SimTime period_fs = to_fs(period(f));
   const SimTime high_fs = SimTime(double(period_fs) * duty_high);
-  // Self-rescheduling callbacks; the lambda owns its phase.
-  auto rise = std::make_shared<std::function<void()>>();
-  auto fall = std::make_shared<std::function<void()>>();
-  *rise = [this, net, rise, fall, high_fs]() {
+  // Self-rescheduling callbacks; the simulator owns the pair, so the
+  // mutually-referencing lambdas capture raw pointers into stable
+  // storage instead of leaking a shared_ptr cycle.
+  clock_fns_.push_back(std::make_unique<std::function<void()>>());
+  clock_fns_.push_back(std::make_unique<std::function<void()>>());
+  std::function<void()>* rise = clock_fns_[clock_fns_.size() - 2].get();
+  std::function<void()>* fall = clock_fns_.back().get();
+  *rise = [this, net, fall, high_fs]() {
     process_net_change(net, Logic::L1);
     call_at(now_ + high_fs, *fall);
   };
-  *fall = [this, net, rise, fall, period_fs, high_fs]() {
+  *fall = [this, net, rise, period_fs, high_fs]() {
     process_net_change(net, Logic::L0);
     call_at(now_ + (period_fs - high_fs), *rise);
   };
@@ -332,7 +358,17 @@ double Simulator::rail_v_at(SimTime t) const {
 
 Voltage Simulator::rail_voltage() const { return Voltage{rail_v_at(now_)}; }
 
+bool Simulator::rail_corrupted() const {
+  return domain_ && domain_->corrupted;
+}
+
 // --- domain power events --------------------------------------------------------
+
+void Simulator::notify_phase(DomainPhase phase) {
+  if (observers_.empty()) return;
+  const double v = rail_v_at(now_);
+  for (SimObserver* o : observers_) o->on_domain_phase(now_, phase, v);
+}
 
 void Simulator::domain_power_off(SimTime t) {
   DomainRt& d = *domain_;
@@ -364,6 +400,7 @@ void Simulator::domain_power_off(SimTime t) {
   }
   if (vcd_ && vcd_rail_ != std::size_t(-1))
     vcd_->change_real(t, vcd_rail_, v0);
+  notify_phase(DomainPhase::SleepStart);
 }
 
 void Simulator::domain_power_on(SimTime t) {
@@ -400,6 +437,7 @@ void Simulator::domain_power_on(SimTime t) {
   }
   if (vcd_ && vcd_rail_ != std::size_t(-1))
     vcd_->change_real(t, vcd_rail_, v0);
+  notify_phase(DomainPhase::WakeStart);
 }
 
 void Simulator::domain_corrupt() {
@@ -419,6 +457,7 @@ void Simulator::domain_corrupt() {
   }
   if (vcd_ && vcd_rail_ != std::size_t(-1))
     vcd_->change_real(now_, vcd_rail_, cfg_.rail_corrupt_frac * vdd_);
+  notify_phase(DomainPhase::Corrupt);
 }
 
 void Simulator::domain_ready() {
@@ -463,6 +502,7 @@ void Simulator::domain_ready() {
   }
   if (vcd_ && vcd_rail_ != std::size_t(-1))
     vcd_->change_real(now_, vcd_rail_, cfg_.rail_ready_frac * vdd_);
+  notify_phase(DomainPhase::Ready);
 }
 
 // --- evaluation -----------------------------------------------------------------
@@ -548,6 +588,7 @@ void Simulator::process_net_change(NetId net, Logic v) {
     if (activity_) activity_->on_toggle(net);
   }
   if (vcd_) vcd_->change(now_, net, v);
+  for (SimObserver* o : observers_) o->on_net_change(now_, net, old, v);
 
   // Sink reactions.
   for (const PinRef& s : n.sinks) {
@@ -586,12 +627,16 @@ void Simulator::process_net_change(NetId net, Logic v) {
           if (has_reset && values_[c.inputs[2].v] == Logic::L0)
             d = Logic::L0;
           dff_sampled_[s.cell.v] = d;
-          schedule_net(c.outputs[0], d,
-                       now_ + to_fs(cell_delay_[s.cell.v]));
+          const SimTime due = now_ + to_fs(cell_delay_[s.cell.v]);
+          schedule_net(c.outputs[0], d, due);
+          for (SimObserver* o : observers_)
+            o->on_flop_drive(now_, s.cell, d, due, false);
         } else if (has_reset && s.pin == 2 && v == Logic::L0) {
           dff_sampled_[s.cell.v] = Logic::L0;
-          schedule_net(c.outputs[0], Logic::L0,
-                       now_ + to_fs(cell_delay_[s.cell.v] * 0.5));
+          const SimTime due = now_ + to_fs(cell_delay_[s.cell.v] * 0.5);
+          schedule_net(c.outputs[0], Logic::L0, due);
+          for (SimObserver* o : observers_)
+            o->on_flop_drive(now_, s.cell, Logic::L0, due, true);
         }
         break;
       }
@@ -684,6 +729,11 @@ MacroModel* Simulator::macro_model(CellId cell) {
   SCPG_REQUIRE(cell.v < macro_models_.size() && macro_models_[cell.v],
                "cell is not a macro instance");
   return macro_models_[cell.v].get();
+}
+
+void Simulator::attach_observer(SimObserver* obs) {
+  SCPG_REQUIRE(obs != nullptr, "attach_observer: null observer");
+  observers_.push_back(obs);
 }
 
 void Simulator::attach_vcd(VcdWriter* vcd, std::size_t rail_handle) {

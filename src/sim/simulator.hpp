@@ -57,6 +57,12 @@ struct SimConfig {
   /// characterised at the nominal corner; scaled by CV^2 and by the actual
   /// collapse depth dV/Vdd.
   Energy crowbar_per_cell{0.45e-15};
+  /// Fault-injection knob: multiplier on the effective header on-resistance
+  /// (models a degraded sleep transistor — cold/hot corner Vt shift, aged
+  /// or under-sized header).  1.0 is nominal; larger values slow the rail
+  /// restore proportionally.  Used by scpg_verify's SlowRailRestore fault.
+  double header_ron_derate{1.0};
+
   /// Multiplier on the summed gated-domain node capacitance: the fraction
   /// that actually hangs on the virtual rail (diffusion, well and local
   /// wiring; fanout gate caps are referenced to ground and do not
@@ -70,6 +76,46 @@ struct SimConfig {
   /// cells exist to prevent; isolation cells themselves are exempt (they
   /// are built to tolerate a collapsed input).
   double x_input_leak_penalty{6.0};
+};
+
+/// Phase transitions of the gated domain's virtual rail, in the order the
+/// paper's Fig 4 timing diagram names them.
+enum class DomainPhase : std::uint8_t {
+  SleepStart, ///< header SLEEP asserted; rail decay begins (end of T_hold)
+  Corrupt,    ///< rail crossed the corrupt threshold; outputs go X (T_PGoff)
+  WakeStart,  ///< SLEEP released; recharge through the header (T_PGStart)
+  Ready,      ///< rail recovered; values restored and the domain re-evaluates
+};
+
+[[nodiscard]] std::string_view domain_phase_name(DomainPhase p);
+
+/// Passive observation interface for runtime verification (src/verify).
+/// Callbacks run synchronously inside the event loop at the instant the
+/// observed effect commits; observers must not mutate the simulation.
+class SimObserver {
+public:
+  virtual ~SimObserver() = default;
+
+  /// `net` committed a change from `oldv` to `newv` at time `t`.
+  virtual void on_net_change(SimTime t, NetId net, Logic oldv, Logic newv) {
+    (void)t, (void)net, (void)oldv, (void)newv;
+  }
+
+  /// The gated domain crossed a rail phase; `rail_v` is the virtual-rail
+  /// voltage at that instant.
+  virtual void on_domain_phase(SimTime t, DomainPhase phase, double rail_v) {
+    (void)t, (void)phase, (void)rail_v;
+  }
+
+  /// A flip-flop legitimately scheduled its output (posedge sample, or
+  /// async reset when `async_reset` is true): `value` lands on the Q net
+  /// at `due`.  Forced changes (Simulator::force_net) deliberately do NOT
+  /// report here, so an observer can tell legitimate state updates from
+  /// injected upsets.
+  virtual void on_flop_drive(SimTime t, CellId flop, Logic value, SimTime due,
+                             bool async_reset) {
+    (void)t, (void)flop, (void)value, (void)due, (void)async_reset;
+  }
 };
 
 class Simulator {
@@ -108,6 +154,14 @@ public:
   /// Presets every flip-flop output to 0 (time-0 initialisation).
   void init_flops_to_zero();
 
+  /// Fault-injection hook: overrides the value of ANY net at now(),
+  /// bypassing the driven-by-port check of drive_at().  The driving cell's
+  /// next evaluation reasserts the functional value — exactly the
+  /// semantics of a particle-strike upset on a state node (the flip sticks
+  /// on a flop output until the next sample).  Not reported through
+  /// SimObserver::on_flop_drive, so hazard monitors see it as spurious.
+  void force_net(NetId net, Logic v);
+
   // --- execution ------------------------------------------------------------
 
   void run_until(SimTime t);
@@ -132,6 +186,10 @@ public:
   /// Virtual rail voltage at now().
   [[nodiscard]] Voltage rail_voltage() const;
 
+  /// True while the gated domain's outputs are corrupted (the rail fell
+  /// below rail_corrupt_frac and has not yet recovered to rail_ready_frac).
+  [[nodiscard]] bool rail_corrupted() const;
+
   [[nodiscard]] MacroModel* macro_model(CellId cell);
 
   // --- instrumentation --------------------------------------------------------
@@ -141,6 +199,11 @@ public:
   /// recorded as real signal handle `rail_handle` if provided.
   void attach_vcd(VcdWriter* vcd, std::size_t rail_handle = std::size_t(-1));
   void attach_activity(ActivityRecorder* rec) { activity_ = rec; }
+
+  /// Registers a passive observer (hazard monitors, coverage collectors).
+  /// The observer must outlive the simulator; multiple observers fire in
+  /// attachment order.
+  void attach_observer(SimObserver* obs);
 
 private:
   struct Event;
@@ -156,6 +219,7 @@ private:
   void domain_power_on(SimTime t);
   void domain_corrupt();
   void domain_ready();
+  void notify_phase(DomainPhase phase);
   [[nodiscard]] double rail_v_at(SimTime t) const;
 
   const Netlist* nl_;
@@ -188,6 +252,10 @@ private:
   SimTime tally_start_{0};
 
   std::vector<std::pair<NetId, std::function<void()>>> edge_hooks_;
+  // Self-rescheduling clock closures (add_clock); owned here so the
+  // mutually-referencing rise/fall pair needs no shared_ptr cycle.
+  std::vector<std::unique_ptr<std::function<void()>>> clock_fns_;
+  std::vector<SimObserver*> observers_;
   ActivityRecorder* activity_{nullptr};
   VcdWriter* vcd_{nullptr};
   std::size_t vcd_rail_{std::size_t(-1)};

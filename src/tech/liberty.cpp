@@ -14,10 +14,11 @@ using namespace scpg::literals;
 
 namespace {
 
-CellKind kind_from_name(const std::string& s, int line) {
+CellKind kind_from_name(const std::string& s, const std::string& src,
+                        int line) {
   for (int k = 0; k <= int(CellKind::Macro); ++k)
     if (kind_name(CellKind(k)) == s) return CellKind(k);
-  throw ParseError("unknown cell kind '" + s + "'", line);
+  throw ParseError("unknown cell kind '" + s + "'", src, line);
 }
 
 void emit_cell(std::ostream& os, const CellSpec& s) {
@@ -94,7 +95,10 @@ struct Lexer {
 };
 
 struct Parser {
-  explicit Parser(std::istream& is) : lex_(is) { advance(); }
+  Parser(std::istream& is, std::string source)
+      : lex_(is), src_(std::move(source)) {
+    advance();
+  }
 
   void advance() { tok_ = lex_.next(); }
 
@@ -102,12 +106,13 @@ struct Parser {
     if (tok_.eof || tok_.text != s)
       throw ParseError("expected '" + s + "', got '" +
                            (tok_.eof ? "<eof>" : tok_.text) + "'",
-                       tok_.line);
+                       src_, tok_.line);
     advance();
   }
 
   std::string ident() {
-    if (tok_.eof) throw ParseError("unexpected end of input", tok_.line);
+    if (tok_.eof)
+      throw ParseError("unexpected end of input", src_, tok_.line);
     std::string s = tok_.text;
     advance();
     return s;
@@ -122,11 +127,12 @@ struct Parser {
       if (pos != s.size()) throw std::invalid_argument(s);
       return v;
     } catch (const std::exception&) {
-      throw ParseError("expected a number, got '" + s + "'", line);
+      throw ParseError("expected a number, got '" + s + "'", src_, line);
     }
   }
 
   Lexer lex_;
+  std::string src_;
   Lexer::Token tok_;
 };
 
@@ -147,7 +153,8 @@ TechParams parse_tech(Parser& p) {
     else if (key == "temp_nom_c") tp.temp_nom_c = v;
     else if (key == "delay_tempco_per_c") tp.delay_tempco_per_c = v;
     else if (key == "min_vdd") tp.min_vdd = Voltage{v};
-    else throw ParseError("unknown tech attribute '" + key + "'", line);
+    else
+      throw ParseError("unknown tech attribute '" + key + "'", p.src_, line);
   }
   p.expect("}");
   return tp;
@@ -161,7 +168,7 @@ CellSpec parse_cell(Parser& p, const std::string& name) {
     const int line = p.tok_.line;
     const std::string key = p.ident();
     if (key == "kind") {
-      s.kind = kind_from_name(p.ident(), line);
+      s.kind = kind_from_name(p.ident(), p.src_, line);
     } else {
       const double v = p.number();
       if (key == "drive") s.drive = int(v);
@@ -183,7 +190,9 @@ CellSpec parse_cell(Parser& p, const std::string& name) {
         s.header_off_leak = Power{v * 1e-9};
       else if (key == "header_gate_cap_ff")
         s.header_gate_cap = Capacitance{v * 1e-15};
-      else throw ParseError("unknown cell attribute '" + key + "'", line);
+      else
+        throw ParseError("unknown cell attribute '" + key + "'", p.src_,
+                         line);
     }
     p.expect(";");
   }
@@ -215,8 +224,8 @@ std::string write_liberty_string(const Library& lib) {
   return os.str();
 }
 
-Library read_liberty(std::istream& is) {
-  Parser p(is);
+Library read_liberty(std::istream& is, const std::string& source) {
+  Parser p(is, source);
   p.expect("library");
   p.expect("(");
   const std::string name = p.ident();
@@ -225,7 +234,8 @@ Library read_liberty(std::istream& is) {
 
   // The tech block must come first so the Library can be constructed.
   if (p.tok_.text != "tech")
-    throw ParseError("library must start with a tech block", p.tok_.line);
+    throw ParseError("library must start with a tech block", p.src_,
+                     p.tok_.line);
   p.advance();
   const TechParams tp = parse_tech(p);
   Library lib(name, TechModel{tp});
@@ -241,9 +251,10 @@ Library read_liberty(std::istream& is) {
   return lib;
 }
 
-Library read_liberty_string(const std::string& text) {
+Library read_liberty_string(const std::string& text,
+                            const std::string& source) {
   std::istringstream is(text);
-  return read_liberty(is);
+  return read_liberty(is, source);
 }
 
 } // namespace scpg

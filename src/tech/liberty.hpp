@@ -25,7 +25,11 @@ void write_liberty(const Library& lib, std::ostream& os);
 [[nodiscard]] std::string write_liberty_string(const Library& lib);
 
 /// Parses a Liberty-lite document; throws ParseError on malformed input.
-[[nodiscard]] Library read_liberty(std::istream& is);
-[[nodiscard]] Library read_liberty_string(const std::string& text);
+/// `source` names the input (file path) in parse diagnostics.
+[[nodiscard]] Library read_liberty(std::istream& is,
+                                   const std::string& source = "<liberty>");
+[[nodiscard]] Library read_liberty_string(const std::string& text,
+                                          const std::string& source =
+                                              "<string>");
 
 } // namespace scpg

@@ -31,13 +31,24 @@ public:
 };
 
 /// Text input (structural Verilog, Liberty-lite, assembly) failed to parse.
+/// Carries the source name (file path or "<string>") so multi-file flows
+/// can point at the offending input, plus the 1-based line number.
 class ParseError : public Error {
 public:
-  ParseError(const std::string& what, int line)
-      : Error("line " + std::to_string(line) + ": " + what), line_(line) {}
+  ParseError(const std::string& what, int line) : ParseError(what, {}, line) {}
+  ParseError(const std::string& what, const std::string& source, int line)
+      : Error(format(what, source, line)), source_(source), line_(line) {}
   [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] const std::string& source() const { return source_; }
 
 private:
+  static std::string format(const std::string& what,
+                            const std::string& source, int line) {
+    return (source.empty() ? "line " : source + ":") + std::to_string(line) +
+           ": " + what;
+  }
+
+  std::string source_;
   int line_;
 };
 

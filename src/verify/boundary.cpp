@@ -1,0 +1,48 @@
+#include "verify/boundary.hpp"
+
+namespace scpg::verify {
+
+BoundaryMap extract_boundary(const Netlist& nl, std::string_view clock_port) {
+  BoundaryMap map;
+  const PortId clk = nl.find_port(clock_port);
+  if (clk.valid()) map.clk = nl.port(clk).net;
+
+  for (std::uint32_t ci = 0; ci < nl.num_cells(); ++ci) {
+    const CellId id{ci};
+    const Cell& c = nl.cell(id);
+    if (c.domain == Domain::Gated) ++map.gated_cells;
+    if (c.is_macro()) continue;
+    const CellKind k = nl.kind_of(id);
+    if (k == CellKind::IsoLo || k == CellKind::IsoHi) {
+      map.iso.push_back({id, c.inputs[0], c.inputs[1], c.outputs[0]});
+    } else if (kind_is_sequential(k) && c.domain != Domain::Gated) {
+      map.aon_flops.push_back(id);
+    }
+  }
+
+  // Unprotected crossings: nets driven inside the gated domain that feed
+  // always-on logic (or a primary output) with no clamp in between.  Tie
+  // cells are exempt — a gated tie is the rail sense, which reads the
+  // collapsed rail as 0 rather than X by construction.
+  for (std::uint32_t ni = 0; ni < nl.num_nets(); ++ni) {
+    const NetId id{ni};
+    const Net& n = nl.net(id);
+    if (!n.driven_by_cell()) continue;
+    if (nl.cell(n.driver_cell).domain != Domain::Gated) continue;
+    const CellKind dk = nl.kind_of(n.driver_cell);
+    if (dk == CellKind::TieHi || dk == CellKind::TieLo) continue;
+    bool crosses = !n.sink_ports.empty();
+    for (const PinRef& s : n.sinks) {
+      if (crosses) break;
+      if (nl.cell(s.cell).domain == Domain::Gated) continue;
+      const CellKind sk =
+          nl.cell(s.cell).is_macro() ? CellKind::Buf : nl.kind_of(s.cell);
+      if (sk == CellKind::IsoLo || sk == CellKind::IsoHi) continue;
+      crosses = true;
+    }
+    if (crosses) map.unprotected.push_back(id);
+  }
+  return map;
+}
+
+} // namespace scpg::verify

@@ -1,0 +1,45 @@
+// Gated/always-on boundary extraction for runtime verification.
+//
+// The hazard monitors need to know exactly which nets the isolation
+// clamps are responsible for, which always-on flip-flops hold
+// architectural state, and which control nets sequence the domain.
+// apply_scpg() exports this for freshly transformed netlists
+// (ScpgInfo::isolation); extract_boundary() recovers the same map from
+// any netlist — including one loaded from disk — by a structural scan, so
+// `scpgc verify` works on saved SCPG designs too.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace scpg::verify {
+
+/// One isolation clamp at the domain boundary.
+struct IsoSite {
+  CellId cell;   ///< the IsoLo/IsoHi instance
+  NetId data;    ///< gated-domain input (may go X during collapse)
+  NetId enable;  ///< active-low clamp control (NISO)
+  NetId out;     ///< clamped always-on output (must never go X)
+};
+
+/// Everything the monitors watch, resolved to net/cell ids.
+struct BoundaryMap {
+  NetId clk;                        ///< clock net (invalid if port absent)
+  std::vector<IsoSite> iso;         ///< all isolation cells
+  std::vector<NetId> unprotected;   ///< gated→always-on nets with NO clamp
+  std::vector<CellId> aon_flops;    ///< always-on flip-flops (Dff/DffR)
+  std::size_t gated_cells{0};       ///< gated-domain population
+
+  [[nodiscard]] bool has_gating() const { return gated_cells > 0; }
+};
+
+/// Scans `nl` for the SCPG boundary.  `clock_port` names the clock input
+/// (as in ScpgOptions).  Never throws on an ungated netlist — the map
+/// just comes back with has_gating() == false.
+[[nodiscard]] BoundaryMap extract_boundary(const Netlist& nl,
+                                           std::string_view clock_port =
+                                               "clk");
+
+} // namespace scpg::verify

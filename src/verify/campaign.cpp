@@ -1,0 +1,178 @@
+#include "verify/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "scpg/rail_model.hpp"
+#include "util/error.hpp"
+
+namespace scpg::verify {
+
+namespace {
+double rate_or(const FaultSpec& f, double dflt) {
+  return f.rate > 0 ? f.rate : dflt;
+}
+} // namespace
+
+CampaignResult run_campaign(Netlist nl, const CampaignOptions& opt) {
+  SCPG_REQUIRE(opt.f.v > 0, "campaign needs a nonzero clock frequency");
+  SCPG_REQUIRE(opt.warmup_cycles >= 1 && opt.cycles > 0,
+               "campaign needs warmup >= 1 and cycles >= 1");
+
+  CampaignResult res;
+  SimConfig cfg = opt.sim;
+  Rng rng(opt.seed);
+
+  const SimTime T = to_fs(period(opt.f));
+  const auto high_nom = SimTime(double(T) * opt.duty_high + 0.5);
+  SCPG_REQUIRE(high_nom > 0 && high_nom < T, "duty_high must be in (0, 1)");
+  const SimTime first_rise = T - high_nom;
+  const double t_low_s = from_fs(T - high_nom).v;
+
+  auto slot = [&res](FaultClass c) -> int& {
+    return res.injected[std::size_t(c)];
+  };
+
+  // --- resolve and apply the requested faults -----------------------------
+  bool premature = false;
+  double premature_rate = 0.25;
+  double seu_rate = 0;
+  for (const FaultSpec& f : opt.faults) {
+    switch (f.kind) {
+      case FaultClass::StuckIsolation:
+        slot(f.kind) += inject_stuck_isolation(nl, rate_or(f, 1.0), rng);
+        break;
+      case FaultClass::DelayedIsolation:
+        slot(f.kind) += inject_delayed_isolation(nl, cfg, rate_or(f, 1.0),
+                                                 rng);
+        break;
+      case FaultClass::DroppedClamp:
+        slot(f.kind) += inject_dropped_clamp(nl, rate_or(f, 0.25), rng);
+        break;
+      case FaultClass::SlowRailRestore: {
+        const double derate = f.magnitude > 0
+                                  ? f.magnitude
+                                  : slow_rail_derate(nl, cfg, t_low_s);
+        cfg.header_ron_derate *= derate;
+        slot(f.kind) += 1;
+        break;
+      }
+      case FaultClass::PrematureEdge:
+        premature = true;
+        premature_rate = rate_or(f, 0.25);
+        break;
+      case FaultClass::SeuFlip:
+        seu_rate = rate_or(f, 0.25);
+        break;
+    }
+  }
+
+  // Premature-edge compression: a jittered cycle's low phase shrinks to
+  // half the rail's restore time, so the next capture edge lands
+  // mid-T_PGStart.
+  SimTime dlow = 0;
+  if (premature) {
+    const RailParams rail = extract_rail_params(nl, cfg);
+    const Time t_restore =
+        rail.t_ready_from(rail.v_after_off(from_fs(high_nom)));
+    dlow = std::max<SimTime>(to_fs(t_restore) / 2, 1);
+  }
+
+  // --- boundary, simulator, monitors --------------------------------------
+  const BoundaryMap map = extract_boundary(nl, opt.clock_port);
+  SCPG_REQUIRE(map.clk.valid(),
+               "clock port '" + opt.clock_port + "' not found");
+
+  Simulator sim(nl, cfg);
+  MonitorConfig mcfg = opt.monitors;
+  mcfg.arm_after_cycles = opt.warmup_cycles;
+  HazardMonitors mon(sim, map, mcfg);
+  sim.attach_observer(&mon);
+  sim.init_flops_to_zero();
+
+  const PortId ov = nl.find_port(opt.override_port);
+  if (ov.valid()) sim.drive_at(0, nl.port(ov).net, Logic::L1);
+
+  // --- clock, with per-cycle duty jitter on premature-edge campaigns ------
+  // Start the clock defined: flops only sample (and the monitors only
+  // count) genuine 0 -> 1 edges, so an X -> 1 first rise would leave the
+  // whole run's cycle numbering off by one.
+  sim.drive_at(0, map.clk, Logic::L0);
+  const int total = opt.warmup_cycles + opt.cycles;
+  for (int k = 0; k <= total; ++k) {
+    const SimTime rise = first_rise + SimTime(k) * T;
+    sim.drive_at(rise, map.clk, Logic::L1);
+    SimTime high = high_nom;
+    if (premature && k >= opt.warmup_cycles && k < total &&
+        rng.chance(premature_rate)) {
+      high = T - dlow;
+      ++slot(FaultClass::PrematureEdge);
+    }
+    sim.drive_at(rise + high, map.clk, Logic::L0);
+  }
+
+  // --- stimulus ------------------------------------------------------------
+  std::vector<NetId> data_in, rst_in;
+  for (const Port& p : nl.ports()) {
+    if (p.dir != PortDir::In) continue;
+    if (p.net == map.clk || (ov.valid() && p.net == nl.port(ov).net))
+      continue;
+    if (p.name.rfind("rst", 0) == 0)
+      rst_in.push_back(p.net);
+    else
+      data_in.push_back(p.net);
+  }
+  if (!opt.stimulus) {
+    // Active-low reset through the first cycle, then released.
+    for (NetId r : rst_in) {
+      sim.drive_at(0, r, Logic::L0);
+      sim.drive_at(first_rise + T + T / 8, r, Logic::L1);
+    }
+    for (NetId d : data_in) sim.drive_at(0, d, Logic::L0);
+  }
+  long cyc = -1;
+  sim.on_rising_edge(map.clk, [&] {
+    ++cyc;
+    if (opt.stimulus) {
+      opt.stimulus(sim, int(cyc));
+      return;
+    }
+    const SimTime t = sim.now() + T / 16;
+    for (NetId d : data_in)
+      sim.drive_at(t, d, rng.chance(0.5) ? Logic::L1 : Logic::L0);
+  });
+
+  // --- runtime faults: SEU flips on always-on state ------------------------
+  if (seu_rate > 0 && !map.aon_flops.empty()) {
+    const int flips = std::max(1, int(seu_rate * opt.cycles + 0.5));
+    // Targets must be distinct (cycle, flop) pairs: two strikes on the
+    // same flop at the same instant are one observable flip and would be
+    // miscounted as an escape.
+    std::vector<std::uint64_t> hit;
+    for (int i = 0, tries = 0; i < flips && tries < 8 * flips; ++tries) {
+      const int c = opt.warmup_cycles + int(rng.below(std::uint64_t(opt.cycles)));
+      const std::size_t fsel = rng.below(map.aon_flops.size());
+      const std::uint64_t key = (std::uint64_t(c) << 32) | std::uint64_t(fsel);
+      if (std::find(hit.begin(), hit.end(), key) != hit.end()) continue;
+      hit.push_back(key);
+      ++i;
+      const SimTime t = first_rise + SimTime(c) * T + high_nom / 2;
+      const CellId f = map.aon_flops[fsel];
+      const NetId q = nl.cell(f).outputs[0];
+      sim.call_at(t, [&sim, q] {
+        const Logic v = sim.value(q);
+        if (is_known(v))
+          sim.force_net(q, v == Logic::L1 ? Logic::L0 : Logic::L1);
+      });
+      ++slot(FaultClass::SeuFlip);
+    }
+  }
+
+  sim.run_until(first_rise + SimTime(total) * T + T / 4);
+
+  res.hazards = mon.log();
+  res.cycles_run = mon.cycles_seen();
+  return res;
+}
+
+} // namespace scpg::verify

@@ -1,0 +1,116 @@
+#include "verify/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "scpg/rail_model.hpp"
+#include "util/error.hpp"
+#include "verify/boundary.hpp"
+
+namespace scpg::verify {
+
+std::string_view fault_class_name(FaultClass f) {
+  switch (f) {
+    case FaultClass::StuckIsolation: return "stuck-isolation";
+    case FaultClass::DelayedIsolation: return "delayed-isolation";
+    case FaultClass::DroppedClamp: return "dropped-clamp";
+    case FaultClass::SlowRailRestore: return "slow-rail-restore";
+    case FaultClass::PrematureEdge: return "premature-edge";
+    case FaultClass::SeuFlip: return "seu-flip";
+  }
+  return "?";
+}
+
+std::optional<FaultClass> fault_class_from_name(std::string_view name) {
+  for (int i = 0; i < kNumFaultClasses; ++i) {
+    const auto f = static_cast<FaultClass>(i);
+    if (name == fault_class_name(f)) return f;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Picks ceil(fraction * n) distinct indices (at least 1 when fraction > 0).
+std::vector<std::size_t> pick_subset(std::size_t n, double fraction,
+                                     Rng& rng) {
+  if (n == 0 || fraction <= 0) return {};
+  const auto count = std::min<std::size_t>(
+      n, std::max<std::size_t>(1, std::size_t(std::ceil(fraction * n))));
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = i + rng.below(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(count);
+  return idx;
+}
+
+} // namespace
+
+int inject_stuck_isolation(Netlist& nl, double fraction, Rng& rng) {
+  const BoundaryMap map = extract_boundary(nl);
+  const auto sel = pick_subset(map.iso.size(), fraction, rng);
+  if (sel.empty()) return 0;
+  const SpecId hi = nl.lib().pick(CellKind::TieHi, 1);
+  const NetId hi_net = nl.add_net("fault_iso_stuck_hi");
+  nl.add_cell("u_fault_iso_stuck_hi", hi, {}, hi_net);
+  for (std::size_t i : sel) nl.rewire_input(map.iso[i].cell, 1, hi_net);
+  nl.check();
+  return int(sel.size());
+}
+
+int inject_delayed_isolation(Netlist& nl, const SimConfig& cfg,
+                             double fraction, Rng& rng) {
+  const BoundaryMap map = extract_boundary(nl);
+  const auto sel = pick_subset(map.iso.size(), fraction, rng);
+  if (sel.empty()) return 0;
+
+  // Chain length: total delay must exceed the rail's corrupt time so the
+  // (delayed) engage lands after the collapse.  Both numbers scale with
+  // the same corner, so size from corner-scaled values with 2x margin.
+  const RailParams rail = extract_rail_params(nl, cfg);
+  const double dscale = nl.lib().tech().delay_scale(cfg.corner);
+  const SpecId buf = nl.lib().pick(CellKind::Buf, 1);
+  const CellSpec& bs = nl.lib().spec(buf);
+  const double d_buf =
+      (bs.intrinsic_delay.v + bs.drive_res.v * bs.input_cap.v) * dscale;
+  const auto chain_len = std::clamp<std::size_t>(
+      std::size_t(std::ceil(2.0 * rail.t_corrupt().v / std::max(d_buf, 1e-15))),
+      2, 5000);
+
+  NetId prev = map.iso[sel.front()].enable;
+  for (std::size_t i = 0; i < chain_len; ++i) {
+    const NetId n = nl.add_net("fault_iso_dly" + std::to_string(i));
+    nl.add_cell("u_fault_iso_dly" + std::to_string(i), buf, {prev}, n);
+    prev = n;
+  }
+  for (std::size_t i : sel) nl.rewire_input(map.iso[i].cell, 1, prev);
+  nl.check();
+  return int(sel.size());
+}
+
+int inject_dropped_clamp(Netlist& nl, double fraction, Rng& rng) {
+  const BoundaryMap map = extract_boundary(nl);
+  const auto sel = pick_subset(map.iso.size(), fraction, rng);
+  for (std::size_t i : sel) {
+    const IsoSite& s = map.iso[i];
+    // Snapshot before rewiring: rewire_input mutates the sink list.
+    const std::vector<PinRef> sinks = nl.net(s.out).sinks;
+    const std::vector<PortId> ports = nl.net(s.out).sink_ports;
+    for (const PinRef& p : sinks) nl.rewire_input(p.cell, p.pin, s.data);
+    for (PortId p : ports) nl.rewire_port(p, s.data);
+  }
+  if (!sel.empty()) nl.check();
+  return int(sel.size());
+}
+
+double slow_rail_derate(const Netlist& nl, const SimConfig& cfg,
+                        double t_low_s) {
+  const RailParams rail = extract_rail_params(nl, cfg);
+  const double tau = std::max(rail.tau_charge().v, 1e-15);
+  return std::max(1.0, 3.0 * t_low_s / tau);
+}
+
+} // namespace scpg::verify

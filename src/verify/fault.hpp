@@ -1,0 +1,85 @@
+// Seeded, scriptable fault injection for SCPG designs.
+//
+// Six fault classes cover the failure modes the paper's power-gating
+// fabric must survive (one per hardware mechanism that can break the
+// Fig 4 phase contract):
+//
+//   StuckIsolation   clamp-enable tied transparent (control stuck-at)
+//   DelayedIsolation clamp-enable arrives after the rail has collapsed
+//   DroppedClamp     always-on sinks bypass their clamp entirely
+//   SlowRailRestore  degraded header Ron (aged / cold-corner Vt shift)
+//   PrematureEdge    duty-cycle jitter: the clock rises during T_PGStart
+//   SeuFlip          particle strikes on always-on state nodes
+//
+// The first three are structural netlist edits applied before the
+// simulator is built; SlowRailRestore is a SimConfig knob; the last two
+// are stimulus-level and scheduled by the campaign runner
+// (src/verify/campaign.hpp).  All randomness flows through the caller's
+// seeded Rng, so a campaign is exactly reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace scpg::verify {
+
+enum class FaultClass : std::uint8_t {
+  StuckIsolation,
+  DelayedIsolation,
+  DroppedClamp,
+  SlowRailRestore,
+  PrematureEdge,
+  SeuFlip,
+};
+
+inline constexpr int kNumFaultClasses = 6;
+
+[[nodiscard]] std::string_view fault_class_name(FaultClass f);
+/// Inverse of fault_class_name (CLI parsing); nullopt for unknown names.
+[[nodiscard]] std::optional<FaultClass> fault_class_from_name(
+    std::string_view name);
+
+/// One requested fault injection.  `rate` and `magnitude` are
+/// class-specific intensities; 0 selects a class default chosen to make
+/// the fault unambiguously observable (see campaign.cpp):
+///   StuckIsolation / DelayedIsolation  rate = fraction of clamps affected
+///   DroppedClamp                       rate = fraction of clamps bypassed
+///   SlowRailRestore                    magnitude = header Ron derate
+///   PrematureEdge                      rate = fraction of cycles jittered
+///   SeuFlip                            rate = flips per measured cycle
+struct FaultSpec {
+  FaultClass kind{};
+  double rate{0.0};
+  double magnitude{0.0};
+};
+
+// --- structural injectors (apply before building the Simulator) ----------
+// Each returns the number of fault instances actually injected and leaves
+// the netlist check()-clean.
+
+/// Rewires the enable pin of a random `fraction` of isolation clamps to a
+/// fresh always-on TIEHI: those clamps are permanently transparent.
+int inject_stuck_isolation(Netlist& nl, double fraction, Rng& rng);
+
+/// Splices a buffer chain (sized from the design's rail parameters to
+/// exceed the corrupt time) into the enable of a random `fraction` of
+/// clamps: isolation engages only after the rail has already collapsed.
+int inject_delayed_isolation(Netlist& nl, const SimConfig& cfg,
+                             double fraction, Rng& rng);
+
+/// Rewires the always-on sinks of a random `fraction` of clamps back to
+/// the raw gated net, bypassing the clamp.
+int inject_dropped_clamp(Netlist& nl, double fraction, Rng& rng);
+
+/// Header Ron derate that keeps the rail below the ready threshold for a
+/// whole low phase of `t_low` seconds (the "guaranteed visible"
+/// SlowRailRestore default: 3x the low phase over the nominal tau_charge).
+[[nodiscard]] double slow_rail_derate(const Netlist& nl, const SimConfig& cfg,
+                                      double t_low_s);
+
+} // namespace scpg::verify

@@ -1,0 +1,58 @@
+#include "verify/hazard.hpp"
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace scpg::verify {
+
+std::string_view hazard_kind_name(HazardKind k) {
+  switch (k) {
+    case HazardKind::XCrossing: return "x-crossing";
+    case HazardKind::XCapture: return "x-capture";
+    case HazardKind::IsolationLateAtCollapse: return "iso-late-at-collapse";
+    case HazardKind::IsolationReleasedEarly: return "iso-released-early";
+    case HazardKind::SampleWhileCollapsed: return "sample-while-collapsed";
+    case HazardKind::RailNotReadyAtSample: return "rail-not-ready";
+    case HazardKind::SetupViolation: return "setup-violation";
+    case HazardKind::HoldViolation: return "hold-violation";
+    case HazardKind::SpuriousStateFlip: return "spurious-state-flip";
+  }
+  return "?";
+}
+
+void HazardLog::add(HazardReport r) {
+  ++total_;
+  ++by_kind_[static_cast<std::size_t>(r.kind)];
+  if (reports_.size() < cap_)
+    reports_.push_back(std::move(r));
+  else
+    ++dropped_;
+}
+
+std::string format_hazard(const HazardReport& r) {
+  std::ostringstream os;
+  os << "cycle " << r.cycle << " @" << r.t << "fs ["
+     << domain_phase_name(r.phase) << "] " << hazard_kind_name(r.kind);
+  if (!r.net_name.empty()) os << " net " << r.net_name;
+  if (!r.detail.empty()) os << ": " << r.detail;
+  return os.str();
+}
+
+std::string format_hazard_summary(const HazardLog& log) {
+  TextTable t("hazard summary");
+  t.header({"hazard", "count"});
+  for (int i = 0; i < kNumHazardKinds; ++i) {
+    const auto k = static_cast<HazardKind>(i);
+    if (log.count(k) == 0) continue;
+    t.row({std::string(hazard_kind_name(k)), std::to_string(log.count(k))});
+  }
+  if (log.empty()) t.row({"(none)", "0"});
+  std::ostringstream os;
+  t.print(os);
+  if (log.dropped() > 0)
+    os << "(" << log.dropped() << " reports dropped past the log cap)\n";
+  return os.str();
+}
+
+} // namespace scpg::verify

@@ -1,0 +1,101 @@
+// Structured hazard reports for SCPG runtime verification.
+//
+// Every monitor in src/verify/monitors.hpp reduces a detected contract
+// violation to a HazardReport: which rule broke (HazardKind), when
+// (simulation time + clock cycle), where (the offending net, by id and
+// name), and in which rail phase of the paper's Fig 4 timing diagram the
+// domain was at the instant of detection.  HazardLog collects reports with
+// a hard cap so a pathologically broken design cannot exhaust memory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/ids.hpp"
+#include "sim/simulator.hpp"
+
+namespace scpg::verify {
+
+/// The SCPG safety contract, one clause per enumerator.
+enum class HazardKind : std::uint8_t {
+  /// An X escaped the gated domain into always-on logic: a net the
+  /// isolation clamps are responsible for went unknown.
+  XCrossing,
+  /// An always-on flip-flop sampled an unknown value (state corruption).
+  XCapture,
+  /// The rail crossed the corrupt threshold while at least one isolation
+  /// clamp was still transparent (Fig 4: isolation must precede T_PGoff).
+  IsolationLateAtCollapse,
+  /// An isolation clamp released while the rail was still collapsed or
+  /// below the ready threshold (Fig 3 contract: release only on a
+  /// recovered rail).
+  IsolationReleasedEarly,
+  /// A capture clock edge arrived while the gated domain was still
+  /// corrupted (T_eval started before T_PGStart finished).
+  SampleWhileCollapsed,
+  /// The virtual rail was below the ready fraction at a capture edge
+  /// (droop watchdog; weaker sibling of SampleWhileCollapsed).
+  RailNotReadyAtSample,
+  /// A register's D input changed inside its setup window before the
+  /// capture edge.
+  SetupViolation,
+  /// A register's D input changed inside its hold window after the
+  /// capture edge.
+  HoldViolation,
+  /// A flip-flop output changed with no matching sample or reset — the
+  /// signature of an injected (or real) single-event upset.
+  SpuriousStateFlip,
+};
+
+inline constexpr int kNumHazardKinds = 9;
+
+[[nodiscard]] std::string_view hazard_kind_name(HazardKind k);
+
+/// One detected contract violation, with full context.
+struct HazardReport {
+  HazardKind kind{};
+  SimTime t{0};          ///< simulation time of detection (fs)
+  long cycle{-1};        ///< clock cycle index at detection (-1 = unknown)
+  NetId net{};           ///< offending net (invalid when not net-specific)
+  std::string net_name;  ///< name of `net` ("" when not net-specific)
+  DomainPhase phase{};   ///< rail phase at detection (Fig 4 context)
+  std::string detail;    ///< human-readable specifics
+};
+
+/// Bounded collection of hazard reports with per-kind counters.
+class HazardLog {
+public:
+  /// `cap` bounds stored reports; further hazards still count (see
+  /// dropped()) but keep no per-report detail.
+  explicit HazardLog(std::size_t cap = 4096) : cap_(cap) {}
+
+  void add(HazardReport r);
+
+  [[nodiscard]] const std::vector<HazardReport>& reports() const {
+    return reports_;
+  }
+  [[nodiscard]] bool empty() const { return total_ == 0; }
+  /// Total hazards observed, including any dropped past the cap.
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+  [[nodiscard]] std::size_t count(HazardKind k) const {
+    return by_kind_[static_cast<std::size_t>(k)];
+  }
+
+private:
+  std::size_t cap_;
+  std::size_t total_{0};
+  std::size_t dropped_{0};
+  std::size_t by_kind_[kNumHazardKinds]{};
+  std::vector<HazardReport> reports_;
+};
+
+/// One line per report: "cycle 12 @3.50e+05fs [corrupt] x-crossing net p[3]: ..."
+[[nodiscard]] std::string format_hazard(const HazardReport& r);
+
+/// Per-kind summary table (kind, count) for CLI / bench output.
+[[nodiscard]] std::string format_hazard_summary(const HazardLog& log);
+
+} // namespace scpg::verify

@@ -1,0 +1,201 @@
+#include "verify/monitors.hpp"
+
+#include <limits>
+#include <sstream>
+
+namespace scpg::verify {
+
+namespace {
+constexpr SimTime kNever = std::numeric_limits<SimTime>::min() / 2;
+
+std::string fs_str(SimTime t) {
+  std::ostringstream os;
+  os << double(t) * 1e-3 << " ps";
+  return os.str();
+}
+} // namespace
+
+HazardMonitors::HazardMonitors(const Simulator& sim, BoundaryMap map,
+                               MonitorConfig cfg)
+    : sim_(&sim),
+      map_(std::move(map)),
+      cfg_(cfg),
+      log_(cfg.log_cap),
+      vdd_(sim.config().corner.vdd.v) {
+  const Netlist& nl = sim.netlist();
+  const double dscale = nl.lib().tech().delay_scale(sim.config().corner);
+
+  watch_x_.assign(nl.num_nets(), 0);
+  iso_en_.assign(nl.num_nets(), 0);
+  last_change_.assign(nl.num_nets(), kNever);
+  q_owner_.assign(nl.num_nets(), -1);
+  d_watch_.resize(nl.num_nets());
+  flop_index_.assign(nl.num_cells(), -1);
+
+  for (const IsoSite& s : map_.iso) {
+    watch_x_[s.out.v] = 1;
+    iso_en_[s.enable.v] = 1;
+  }
+  // Unprotected crossings are watched too: they are exactly the nets a
+  // dropped/bypassed clamp leaves exposed.
+  for (NetId n : map_.unprotected) watch_x_[n.v] = 1;
+
+  for (CellId f : map_.aon_flops) {
+    const Cell& c = nl.cell(f);
+    const CellSpec& spec = nl.spec_of(f);
+    FlopCtx ctx;
+    ctx.cell = f;
+    ctx.d = c.inputs[0];
+    ctx.q = c.outputs[0];
+    ctx.setup_fs = to_fs(Time{spec.setup.v * dscale});
+    ctx.hold_fs = to_fs(Time{spec.hold.v * dscale});
+    flop_index_[f.v] = std::int32_t(flops_.size());
+    q_owner_[ctx.q.v] = std::int32_t(flops_.size());
+    d_watch_[ctx.d.v].push_back(std::int32_t(flops_.size()));
+    flops_.push_back(ctx);
+  }
+
+  // Without a clock there is no cycle count to arm on; check immediately.
+  if (!map_.clk.valid() || cfg_.arm_after_cycles <= 0) armed_ = true;
+}
+
+void HazardMonitors::report(HazardKind k, NetId net, std::string detail) {
+  HazardReport r;
+  r.kind = k;
+  r.t = sim_->now();
+  r.cycle = cycle_;
+  r.net = net;
+  if (net.valid()) r.net_name = sim_->netlist().net(net).name;
+  r.phase = phase_;
+  r.detail = std::move(detail);
+  log_.add(std::move(r));
+}
+
+void HazardMonitors::on_net_change(SimTime t, NetId net, Logic oldv,
+                                   Logic newv) {
+  // --- cycle tracking + capture-edge checks -------------------------------
+  if (net == map_.clk && oldv == Logic::L0 && newv == Logic::L1) {
+    ++cycle_;
+    if (!armed_ && cycle_ >= cfg_.arm_after_cycles) armed_ = true;
+    if (armed_ && sim_->has_gated_domain()) {
+      if (sim_->rail_corrupted()) {
+        if (cfg_.phase_order)
+          report(HazardKind::SampleWhileCollapsed, net,
+                 "capture edge while the gated domain is collapsed");
+      } else if (cfg_.rail_watchdog) {
+        const double v = sim_->rail_voltage().v;
+        const double need = sim_->config().rail_ready_frac * vdd_;
+        if (v + 1e-12 < need) {
+          std::ostringstream os;
+          os << "rail at " << v << " V, ready threshold " << need << " V";
+          report(HazardKind::RailNotReadyAtSample, net, os.str());
+        }
+      }
+    }
+  }
+
+  // --- state integrity (consume pending drives even while disarmed) ------
+  if (const std::int32_t fi = q_owner_[net.v]; fi >= 0) {
+    FlopCtx& f = flops_[std::size_t(fi)];
+    // A legitimate drive lands with the scheduled value at exactly the
+    // scheduled time; anything else on a Q net is spurious.  The time
+    // match matters: a forced flip back to the last sampled value must
+    // not be absorbed by a stale pending record.
+    if (f.pending && f.pending_v == newv && t == f.pending_due) {
+      f.pending = false;
+    } else if (armed_ && cfg_.state_integrity && is_known(oldv) &&
+               is_known(newv)) {
+      report(HazardKind::SpuriousStateFlip, net,
+             "output of " + sim_->netlist().cell(f.cell).name +
+                 " changed with no sample or reset pending");
+    }
+  }
+
+  if (armed_) {
+    // --- X containment ----------------------------------------------------
+    if (cfg_.x_containment && watch_x_[net.v] && !is_known(newv))
+      report(HazardKind::XCrossing, net,
+             "unknown value escaped the isolation boundary");
+
+    // --- early clamp release (NISO is active-low: 0 -> 1 releases) --------
+    if (cfg_.phase_order && iso_en_[net.v] && oldv == Logic::L0 &&
+        newv == Logic::L1 && sim_->has_gated_domain()) {
+      if (sim_->rail_corrupted()) {
+        report(HazardKind::IsolationReleasedEarly, net,
+               "clamp released while the rail is collapsed");
+      } else {
+        const double v = sim_->rail_voltage().v;
+        const double need = sim_->config().rail_ready_frac * vdd_;
+        if (v + 1e-12 < need) {
+          std::ostringstream os;
+          os << "clamp released at rail " << v << " V, ready threshold "
+             << need << " V";
+          report(HazardKind::IsolationReleasedEarly, net, os.str());
+        }
+      }
+    }
+
+    // --- hold windows -----------------------------------------------------
+    if (cfg_.timing_checks) {
+      for (std::int32_t fi : d_watch_[net.v]) {
+        const FlopCtx& f = flops_[std::size_t(fi)];
+        if (f.last_sample >= 0 && t - f.last_sample < f.hold_fs)
+          report(HazardKind::HoldViolation, net,
+                 "D of " + sim_->netlist().cell(f.cell).name + " changed " +
+                     fs_str(t - f.last_sample) + " after capture (hold " +
+                     fs_str(f.hold_fs) + ")");
+      }
+    }
+  }
+
+  last_change_[net.v] = t;
+}
+
+void HazardMonitors::on_domain_phase(SimTime t, DomainPhase phase,
+                                     double rail_v) {
+  (void)t, (void)rail_v;
+  phase_ = phase;
+  if (phase == DomainPhase::Corrupt && armed_ && cfg_.phase_order) {
+    for (const IsoSite& s : map_.iso) {
+      if (sim_->value(s.enable) != Logic::L0)
+        report(HazardKind::IsolationLateAtCollapse, s.out,
+               "clamp " + sim_->netlist().cell(s.cell).name +
+                   " still transparent at rail collapse");
+    }
+  }
+}
+
+void HazardMonitors::on_flop_drive(SimTime t, CellId flop, Logic value,
+                                   SimTime due, bool async_reset) {
+  (void)due;
+  const std::int32_t fi = flop_index_[flop.v];
+  if (fi < 0) return;
+  FlopCtx& f = flops_[std::size_t(fi)];
+  // Mirror the simulator's scheduling rules (schedule_net): re-driving
+  // the pending value keeps the original (earliest) landing time; driving
+  // the value the net already holds drops the change outright, cancelling
+  // any different pending one; anything else puts a new change in flight.
+  if (f.pending && f.pending_v == value) {
+    // the earlier event stays queued
+  } else if (sim_->value(f.q) == value) {
+    f.pending = false;
+  } else {
+    f.pending = true;
+    f.pending_v = value;
+    f.pending_due = due;
+  }
+  if (async_reset) return;
+  f.last_sample = t;
+  if (!armed_) return;
+  if (cfg_.x_containment && !is_known(value))
+    report(HazardKind::XCapture, f.d,
+           sim_->netlist().cell(f.cell).name + " sampled an unknown value");
+  if (cfg_.timing_checks && last_change_[f.d.v] != kNever &&
+      t - last_change_[f.d.v] < f.setup_fs)
+    report(HazardKind::SetupViolation, f.d,
+           "D of " + sim_->netlist().cell(f.cell).name + " changed " +
+               fs_str(t - last_change_[f.d.v]) + " before capture (setup " +
+               fs_str(f.setup_fs) + ")");
+}
+
+} // namespace scpg::verify

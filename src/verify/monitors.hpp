@@ -1,0 +1,92 @@
+// Runtime hazard monitors for sub-clock power gating.
+//
+// HazardMonitors is a passive SimObserver that checks the SCPG safety
+// contract (paper Fig 3/4) on every simulated event:
+//
+//  * X containment — no unknown value may cross the isolation boundary
+//    into always-on logic, and no always-on flop may capture an X;
+//  * phase ordering — every clamp must be engaged before the rail crosses
+//    the corrupt threshold (isolation precedes T_PGoff), no clamp may
+//    release while the rail is collapsed, and no capture clock edge may
+//    arrive during collapse (T_eval after T_PGStart);
+//  * rail droop watchdog — the virtual rail must be at the ready fraction
+//    at every capture edge;
+//  * register timing — D inputs of always-on flops must be stable through
+//    each flop's (corner-scaled) setup/hold window;
+//  * state integrity — a flop output that changes without a matching
+//    sample or reset is a spurious flip (SEU signature).
+//
+// Monitors arm only after `arm_after_cycles` rising clock edges so the
+// time-zero X flush of an uninitialised design is not misreported.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "verify/boundary.hpp"
+#include "verify/hazard.hpp"
+
+namespace scpg::verify {
+
+struct MonitorConfig {
+  /// Rising clock edges to ignore before checking (startup X flush).
+  int arm_after_cycles{4};
+  bool x_containment{true};   ///< XCrossing / XCapture
+  bool phase_order{true};     ///< IsolationLate / ReleasedEarly / SampleWhileCollapsed
+  bool rail_watchdog{true};   ///< RailNotReadyAtSample
+  bool timing_checks{true};   ///< Setup/HoldViolation
+  bool state_integrity{true}; ///< SpuriousStateFlip
+  /// Cap on stored hazard reports (counters keep counting past it).
+  std::size_t log_cap{4096};
+};
+
+/// Attach with sim.attach_observer(&monitors); the monitors never mutate
+/// the simulation.  Both `sim` and the monitors must outlive the run.
+class HazardMonitors : public SimObserver {
+public:
+  HazardMonitors(const Simulator& sim, BoundaryMap map, MonitorConfig cfg = {});
+
+  [[nodiscard]] const HazardLog& log() const { return log_; }
+  [[nodiscard]] const BoundaryMap& boundary() const { return map_; }
+  /// Rising clock edges seen so far.
+  [[nodiscard]] long cycles_seen() const { return cycle_ + 1; }
+
+  void on_net_change(SimTime t, NetId net, Logic oldv, Logic newv) override;
+  void on_domain_phase(SimTime t, DomainPhase phase, double rail_v) override;
+  void on_flop_drive(SimTime t, CellId flop, Logic value, SimTime due,
+                     bool async_reset) override;
+
+private:
+  struct FlopCtx {
+    CellId cell;
+    NetId d, q;
+    SimTime setup_fs{0}, hold_fs{0};
+    Logic pending_v{Logic::X};
+    SimTime pending_due{-1};
+    bool pending{false};
+    SimTime last_sample{-1};
+  };
+
+  void report(HazardKind k, NetId net, std::string detail);
+
+  const Simulator* sim_;
+  BoundaryMap map_;
+  MonitorConfig cfg_;
+  HazardLog log_;
+  double vdd_;
+
+  long cycle_{-1};
+  bool armed_{false};
+  DomainPhase phase_{DomainPhase::Ready};
+
+  std::vector<std::uint8_t> watch_x_;   ///< net → X-containment watch set
+  std::vector<std::uint8_t> iso_en_;    ///< net → is an iso enable net
+  std::vector<SimTime> last_change_;    ///< net → last committed change
+  std::vector<std::int32_t> q_owner_;   ///< net → flop index, or -1
+  std::vector<std::vector<std::int32_t>> d_watch_; ///< net → flop indices
+  std::vector<FlopCtx> flops_;
+  std::vector<std::int32_t> flop_index_; ///< cell → flop index, or -1
+};
+
+} // namespace scpg::verify

@@ -1,0 +1,219 @@
+// Parser robustness: hostile input must never crash, hang, or escape as
+// anything but ParseError (a truncated-but-structurally-complete netlist
+// may surface as NetlistError from the post-parse check — still a typed
+// scpg::Error, never a raw crash).
+//
+// Three input families per front end (Verilog reader, Liberty-lite
+// reader, SCM0 assembler), all table driven:
+//   * truncated   — a valid document cut at every byte offset;
+//   * garbage     — deterministic pseudo-random binary, incl. NULs;
+//   * pathological — deep nesting, unterminated constructs, huge tokens.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cpu/assembler.hpp"
+#include "gen/mult16.hpp"
+#include "netlist/verilog.hpp"
+#include "tech/liberty.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace scpg {
+namespace {
+
+const Library& lib() {
+  static const Library l = Library::scpg90();
+  return l;
+}
+
+// A parse attempt may succeed (some prefixes are complete documents) but
+// the only exceptions allowed out are scpg::Error subclasses.  Returns
+// the diagnostic for source-name checks, or "" on success.
+template <typename Fn>
+std::string parse_outcome(Fn&& fn) {
+  try {
+    fn();
+    return "";
+  } catch (const Error& e) {
+    return e.what();
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "non-scpg exception escaped: " << e.what();
+    return e.what();
+  } catch (...) {
+    ADD_FAILURE() << "unknown exception escaped the parser";
+    return "?";
+  }
+}
+
+std::string garbage(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::string s(n, '\0');
+  for (char& c : s) c = char(rng.bits(8));
+  return s;
+}
+
+std::string valid_verilog() {
+  return write_verilog_string(gen::make_multiplier(lib(), 4));
+}
+
+std::string valid_liberty() { return write_liberty_string(lib()); }
+
+// ---------------------------------------------------------------------------
+// Truncation sweeps: every prefix either parses or throws a typed error
+// ---------------------------------------------------------------------------
+
+TEST(ParseRobustness, TruncatedVerilogNeverCrashes) {
+  const std::string full = valid_verilog();
+  ASSERT_FALSE(full.empty());
+  int threw = 0;
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    const std::string msg = parse_outcome([&] {
+      (void)read_verilog_string(full.substr(0, len), lib(), {}, "trunc.v");
+    });
+    if (!msg.empty()) ++threw;
+  }
+  // Cutting a netlist mid-file overwhelmingly breaks it.
+  EXPECT_GT(threw, int(full.size() / 2));
+}
+
+TEST(ParseRobustness, TruncatedLibertyNeverCrashes) {
+  const std::string full = valid_liberty();
+  ASSERT_FALSE(full.empty());
+  // Byte-exact sweeps over the multi-KB library are slow in debug
+  // builds; stride through it plus hit the first/last bytes exactly.
+  for (std::size_t len = 0; len < full.size(); len += 7) {
+    (void)parse_outcome([&] {
+      (void)read_liberty_string(full.substr(0, len), "trunc.lib");
+    });
+  }
+  for (std::size_t len = full.size() - 3; len < full.size(); ++len) {
+    (void)parse_outcome([&] {
+      (void)read_liberty_string(full.substr(0, len), "trunc.lib");
+    });
+  }
+}
+
+TEST(ParseRobustness, TruncatedAsmNeverCrashes) {
+  const std::string full = "loop: addi r1, r1, 1\n"
+                           "      bne r1, r2, loop\n"
+                           "      ld r3, [r2+0x10]\n"
+                           "      halt\n";
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    (void)parse_outcome(
+        [&] { (void)cpu::assemble(full.substr(0, len), "trunc.s"); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Binary garbage: deterministic fuzz, every seed must throw ParseError
+// ---------------------------------------------------------------------------
+
+struct GarbageCase {
+  const char* parser;
+  std::uint64_t seed;
+  std::size_t size;
+};
+
+class GarbageInput : public ::testing::TestWithParam<GarbageCase> {};
+
+TEST_P(GarbageInput, ThrowsParseErrorWithSourceName) {
+  const GarbageCase& gc = GetParam();
+  const std::string text = garbage(gc.seed, gc.size);
+  const std::string parser(gc.parser);
+  try {
+    if (parser == "verilog")
+      (void)read_verilog_string(text, lib(), {}, "garbage.bin");
+    else if (parser == "liberty")
+      (void)read_liberty_string(text, "garbage.bin");
+    else
+      (void)cpu::assemble(text, "garbage.bin");
+    FAIL() << "binary garbage parsed without error";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("garbage.bin"), std::string::npos)
+        << "diagnostic lacks the source name: " << e.what();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fuzz, GarbageInput,
+    ::testing::Values(GarbageCase{"verilog", 1, 64},
+                      GarbageCase{"verilog", 2, 512},
+                      GarbageCase{"verilog", 3, 4096},
+                      GarbageCase{"liberty", 4, 64},
+                      GarbageCase{"liberty", 5, 512},
+                      GarbageCase{"liberty", 6, 4096},
+                      GarbageCase{"asm", 7, 64}, GarbageCase{"asm", 8, 512},
+                      GarbageCase{"asm", 9, 4096}),
+    [](const ::testing::TestParamInfo<GarbageCase>& info) {
+      return std::string(info.param.parser) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+// ---------------------------------------------------------------------------
+// Pathological documents: nesting depth, unterminated constructs, size
+// ---------------------------------------------------------------------------
+
+struct HostileCase {
+  const char* name;
+  const char* parser;
+  std::string text;
+};
+
+std::string deep_liberty(int depth) {
+  std::string s = "library(deep) {\n";
+  for (int i = 0; i < depth; ++i) s += "g" + std::to_string(i) + "(x) {\n";
+  return s; // no closers: deep and truncated
+}
+
+std::string closed_deep_liberty(int depth) {
+  std::string s = deep_liberty(depth);
+  for (int i = 0; i <= depth; ++i) s += "}\n";
+  s += "cell(X) {\n"; // trailing junk after the closed library
+  return s;
+}
+
+class HostileInput : public ::testing::TestWithParam<HostileCase> {};
+
+TEST_P(HostileInput, ThrowsTypedErrorOnly) {
+  const HostileCase& hc = GetParam();
+  const std::string parser(hc.parser);
+  const std::string msg = parse_outcome([&] {
+    if (parser == "verilog")
+      (void)read_verilog_string(hc.text, lib(), {}, "hostile.v");
+    else if (parser == "liberty")
+      (void)read_liberty_string(hc.text, "hostile.lib");
+    else
+      (void)cpu::assemble(hc.text, "hostile.s");
+  });
+  EXPECT_FALSE(msg.empty()) << hc.name << " was accepted";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, HostileInput,
+    ::testing::Values(
+        HostileCase{"unterminated_comment", "verilog",
+                    "module t(); /* no end"},
+        HostileCase{"unclosed_module", "verilog",
+                    "module t(input a, output y); INV_X1 g0(.A(a), .Y(y));"},
+        HostileCase{"huge_token", "verilog",
+                    "module " + std::string(1 << 20, 'a') + ""},
+        HostileCase{"nested_parens", "verilog",
+                    "module t(" + std::string(20000, '(') + ""},
+        HostileCase{"deep_open_groups", "liberty", deep_liberty(5000)},
+        HostileCase{"junk_after_library", "liberty",
+                    closed_deep_liberty(2000)},
+        HostileCase{"unterminated_string", "liberty",
+                    "library(l) { name : \"no closing quote ; }"},
+        HostileCase{"label_only_garbage", "asm",
+                    std::string(10000, ':') + "\nnot_an_op r9\n"},
+        HostileCase{"immediate_overflow", "asm",
+                    "movi r1, 99999999999999999999\nhalt\n"},
+        HostileCase{"undefined_label", "asm", "beq r0, r0, nowhere\n"}),
+    [](const ::testing::TestParamInfo<HostileCase>& info) {
+      return std::string(info.param.name);
+    });
+
+} // namespace
+} // namespace scpg

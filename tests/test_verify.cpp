@@ -1,0 +1,252 @@
+// Runtime verification: hazard monitors + fault injection (src/verify).
+//
+// The core property (ISSUE acceptance criterion): on the SCPG'd 16-bit
+// multiplier a fault-free campaign reports ZERO hazards, and every
+// injected fault class is flagged by at least one monitor.
+#include <gtest/gtest.h>
+
+#include "gen/mult16.hpp"
+#include "scpg/transform.hpp"
+#include "util/error.hpp"
+#include "verify/boundary.hpp"
+#include "verify/campaign.hpp"
+#include "verify/fault.hpp"
+#include "verify/hazard.hpp"
+
+namespace scpg::verify {
+namespace {
+
+using namespace scpg::literals;
+
+const Library& lib() {
+  static const Library l = Library::scpg90();
+  return l;
+}
+
+SimConfig cfg06() {
+  SimConfig c;
+  c.corner = {0.6_V, 25.0};
+  return c;
+}
+
+/// SCPG'd 16-bit multiplier shared by the campaign tests.
+const Netlist& scpg_mult() {
+  static const Netlist nl = [] {
+    Netlist m = gen::make_multiplier(lib(), 16);
+    apply_scpg(m);
+    return m;
+  }();
+  return nl;
+}
+
+CampaignOptions base_opts() {
+  CampaignOptions opt;
+  opt.f = 1_MHz;
+  opt.duty_high = 0.5;
+  opt.warmup_cycles = 6;
+  opt.cycles = 30;
+  opt.seed = 7;
+  opt.sim = cfg06();
+  return opt;
+}
+
+// ---------------------------------------------------------------------------
+// Boundary extraction
+// ---------------------------------------------------------------------------
+
+TEST(Boundary, MatchesTransformExports) {
+  Netlist nl = gen::make_multiplier(lib(), 16);
+  const ScpgInfo info = apply_scpg(nl);
+  const BoundaryMap map = extract_boundary(nl);
+
+  EXPECT_TRUE(map.has_gating());
+  EXPECT_TRUE(map.clk.valid());
+  EXPECT_EQ(map.clk, info.clk);
+  ASSERT_EQ(map.iso.size(), info.isolation.size());
+  // Same clamps, same data/out bindings (order may differ; compare sets).
+  for (const IsoBinding& b : info.isolation) {
+    bool found = false;
+    for (const IsoSite& s : map.iso)
+      if (s.cell == b.cell && s.data == b.data && s.out == b.out) {
+        EXPECT_EQ(s.enable, info.niso);
+        found = true;
+      }
+    EXPECT_TRUE(found) << "clamp " << nl.cell(b.cell).name
+                       << " missing from the scan";
+  }
+  // All 16+16+32 multiplier registers are always-on.
+  EXPECT_EQ(map.aon_flops.size(), 64u);
+  // Every gated->always-on crossing is clamped in a correct transform.
+  EXPECT_TRUE(map.unprotected.empty());
+}
+
+TEST(Boundary, UngatedNetlistHasNoGating) {
+  const Netlist nl = gen::make_multiplier(lib(), 8);
+  const BoundaryMap map = extract_boundary(nl);
+  EXPECT_FALSE(map.has_gating());
+  EXPECT_TRUE(map.iso.empty());
+  EXPECT_FALSE(map.aon_flops.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Clean runs are hazard-free
+// ---------------------------------------------------------------------------
+
+TEST(Campaign, CleanRunReportsZeroHazards) {
+  const CampaignResult res = run_campaign(scpg_mult(), base_opts());
+  EXPECT_EQ(res.injected_total(), 0);
+  EXPECT_TRUE(res.hazards.empty())
+      << format_hazard(res.hazards.reports().front());
+  EXPECT_GE(res.cycles_run, 36);
+}
+
+TEST(Campaign, CleanRunWithCustomStimulusIsAlsoClean) {
+  CampaignOptions opt = base_opts();
+  opt.stimulus = [](Simulator& sim, int cycle) {
+    // Drive new operands well clear of the capture edge's hold window.
+    const SimTime t = sim.now() + to_fs(30.0_ns);
+    sim.drive_bus_at(t, "a", std::uint64_t(cycle) * 2654435761u, 16);
+    sim.drive_bus_at(t, "b", std::uint64_t(cycle) * 40503u, 16);
+  };
+  const CampaignResult res = run_campaign(scpg_mult(), opt);
+  EXPECT_TRUE(res.hazards.empty())
+      << format_hazard(res.hazards.reports().front());
+}
+
+TEST(Monitors, HoldWindowStimulusIsFlagged) {
+  // The same stimulus pushed inside the hold window after the capture
+  // edge must raise a hold violation — the timing monitor sees exactly
+  // what a real silicon race would be.
+  CampaignOptions opt = base_opts();
+  opt.cycles = 10;
+  opt.stimulus = [](Simulator& sim, int cycle) {
+    sim.drive_bus_at(sim.now() + 10, "a", std::uint64_t(cycle) * 3u, 16);
+    sim.drive_bus_at(sim.now() + to_fs(30.0_ns), "b", 5, 16);
+  };
+  const CampaignResult res = run_campaign(scpg_mult(), opt);
+  EXPECT_GT(res.hazards.count(HazardKind::HoldViolation), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Every fault class is caught (acceptance criterion)
+// ---------------------------------------------------------------------------
+
+struct FaultCase {
+  FaultClass fault;
+  HazardKind expect; ///< a kind the fault must raise (others may fire too)
+};
+
+class FaultDetection : public ::testing::TestWithParam<FaultCase> {};
+
+TEST_P(FaultDetection, InjectedFaultIsFlagged) {
+  const FaultCase& fc = GetParam();
+  CampaignOptions opt = base_opts();
+  opt.faults.push_back({fc.fault, 0.0, 0.0}); // class-default intensity
+  const CampaignResult res = run_campaign(scpg_mult(), opt);
+
+  EXPECT_GT(res.injected[std::size_t(fc.fault)], 0)
+      << fault_class_name(fc.fault);
+  EXPECT_TRUE(res.detected()) << "no monitor fired for "
+                              << fault_class_name(fc.fault);
+  EXPECT_GT(res.hazards.count(fc.expect), 0u)
+      << fault_class_name(fc.fault) << " did not raise "
+      << hazard_kind_name(fc.expect) << "; log:\n"
+      << format_hazard_summary(res.hazards);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClasses, FaultDetection,
+    ::testing::Values(
+        FaultCase{FaultClass::StuckIsolation,
+                  HazardKind::IsolationLateAtCollapse},
+        FaultCase{FaultClass::DelayedIsolation,
+                  HazardKind::IsolationLateAtCollapse},
+        FaultCase{FaultClass::DroppedClamp, HazardKind::XCrossing},
+        FaultCase{FaultClass::SlowRailRestore,
+                  HazardKind::SampleWhileCollapsed},
+        FaultCase{FaultClass::PrematureEdge,
+                  HazardKind::SampleWhileCollapsed},
+        FaultCase{FaultClass::SeuFlip, HazardKind::SpuriousStateFlip}),
+    [](const ::testing::TestParamInfo<FaultCase>& info) {
+      std::string n(fault_class_name(info.param.fault));
+      for (char& c : n)
+        if (c == '-') c = '_';
+      return n;
+    });
+
+TEST(Campaign, EverySeuFlipIsReportedExactlyOnce) {
+  // SEU flips are individually countable, so the accounting must be
+  // exact: one spurious-state-flip report per injected upset, no escapes
+  // and no double counting — at every rate, including saturation.
+  for (double rate : {0.25, 0.5, 1.0}) {
+    CampaignOptions opt = base_opts();
+    opt.faults.push_back({FaultClass::SeuFlip, rate, 0.0});
+    const CampaignResult res = run_campaign(scpg_mult(), opt);
+    EXPECT_EQ(res.hazards.count(HazardKind::SpuriousStateFlip),
+              std::size_t(res.injected[std::size_t(FaultClass::SeuFlip)]))
+        << "rate " << rate << "; log:\n"
+        << format_hazard_summary(res.hazards);
+    EXPECT_EQ(res.hazards.total(),
+              res.hazards.count(HazardKind::SpuriousStateFlip))
+        << "rate " << rate << " raised non-SEU hazards";
+  }
+}
+
+TEST(Campaign, StuckClampsLeakXAcrossTheBoundary) {
+  CampaignOptions opt = base_opts();
+  opt.faults.push_back({FaultClass::StuckIsolation, 1.0, 0.0});
+  const CampaignResult res = run_campaign(scpg_mult(), opt);
+  // Transparent clamps pass the collapsed domain's X straight through:
+  // both the ordering monitor and the X-containment monitor must fire.
+  EXPECT_GT(res.hazards.count(HazardKind::IsolationLateAtCollapse), 0u);
+  EXPECT_GT(res.hazards.count(HazardKind::XCrossing), 0u);
+}
+
+TEST(Campaign, ReportsCarryContext) {
+  CampaignOptions opt = base_opts();
+  opt.cycles = 10;
+  opt.faults.push_back({FaultClass::SeuFlip, 0.2, 0.0});
+  const CampaignResult res = run_campaign(scpg_mult(), opt);
+  ASSERT_FALSE(res.hazards.reports().empty());
+  const HazardReport& r = res.hazards.reports().front();
+  EXPECT_EQ(r.kind, HazardKind::SpuriousStateFlip);
+  EXPECT_GE(r.cycle, opt.warmup_cycles); // armed after warmup
+  EXPECT_GT(r.t, 0);
+  EXPECT_TRUE(r.net.valid());
+  EXPECT_FALSE(r.net_name.empty());
+  EXPECT_FALSE(format_hazard(r).empty());
+  EXPECT_FALSE(format_hazard_summary(res.hazards).empty());
+}
+
+TEST(Campaign, SeedsReproduce) {
+  CampaignOptions opt = base_opts();
+  opt.faults.push_back({FaultClass::DroppedClamp, 0.3, 0.0});
+  opt.faults.push_back({FaultClass::SeuFlip, 0.3, 0.0});
+  const CampaignResult a = run_campaign(scpg_mult(), opt);
+  const CampaignResult b = run_campaign(scpg_mult(), opt);
+  EXPECT_EQ(a.hazards.total(), b.hazards.total());
+  EXPECT_EQ(a.injected, b.injected);
+  opt.seed = 1234;
+  const CampaignResult c = run_campaign(scpg_mult(), opt);
+  // A different seed picks different clamps/flips (totals may differ).
+  EXPECT_EQ(c.injected_total(), a.injected_total());
+}
+
+// ---------------------------------------------------------------------------
+// HazardLog bookkeeping
+// ---------------------------------------------------------------------------
+
+TEST(HazardLog, CapsStoredReportsButKeepsCounting) {
+  HazardLog log(2);
+  for (int i = 0; i < 5; ++i)
+    log.add({HazardKind::XCrossing, SimTime(i), i, NetId{}, "", {}, ""});
+  EXPECT_EQ(log.total(), 5u);
+  EXPECT_EQ(log.reports().size(), 2u);
+  EXPECT_EQ(log.dropped(), 3u);
+  EXPECT_EQ(log.count(HazardKind::XCrossing), 5u);
+  EXPECT_EQ(log.count(HazardKind::SetupViolation), 0u);
+  EXPECT_FALSE(log.empty());
+}
+
+} // namespace
+} // namespace scpg::verify

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build + ctest in the normal configuration, then again with
+# AddressSanitizer + UBSan (SCPG_SANITIZE=ON) in a separate build tree.
+#
+#   tools/check.sh            # both passes
+#   tools/check.sh --fast     # normal pass only
+#   tools/check.sh --sanitize # sanitized pass only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc 2>/dev/null || echo 4)
+mode=${1:-all}
+
+run_pass() { # name build-dir extra-cmake-args...
+  local name=$1 dir=$2
+  shift 2
+  echo "=== ${name}: configure + build (${dir}) ==="
+  cmake -B "$dir" -S . "$@"
+  cmake --build "$dir" -j "$jobs"
+  echo "=== ${name}: ctest ==="
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+case "$mode" in
+  --fast)     run_pass "normal" build ;;
+  --sanitize) run_pass "sanitized" build-asan -DSCPG_SANITIZE=ON ;;
+  all)
+    run_pass "normal" build
+    run_pass "sanitized" build-asan -DSCPG_SANITIZE=ON
+    ;;
+  *) echo "usage: $0 [--fast|--sanitize]" >&2; exit 2 ;;
+esac
+
+echo "=== check.sh: all requested passes green ==="

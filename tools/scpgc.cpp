@@ -5,6 +5,30 @@
 //   scpgc transform --in d.v --out o.v [options]   apply power gating
 //   scpgc sweep     --in d.v [--vdd V] [--activity A] [--fmax-mhz F]
 //                                                  power-vs-frequency table
+//   scpgc verify    --in d.v [options]             fault-injection campaign
+//                                                  with runtime hazard
+//                                                  monitors
+//
+// verify options:
+//   --fault LIST           comma-separated fault classes to inject:
+//                          stuck-isolation, delayed-isolation,
+//                          dropped-clamp, slow-rail-restore,
+//                          premature-edge, seu-flip (default: none —
+//                          a clean contract check)
+//   --rate R               fault intensity 0..1 (0 = class default)
+//   --magnitude M          class magnitude (slow-rail-restore Ron derate)
+//   --freq-mhz F           campaign clock (default 1.0)
+//   --duty D               clock duty high (default 0.5)
+//   --cycles N             monitored cycles (default 40)
+//   --warmup N             unmonitored settling cycles (default 6)
+//   --seed S               campaign seed (default 1)
+//   --max-report N         hazard reports to print (default 10)
+//
+// exit codes:
+//   0  success (verify: zero hazards)      1  verify: hazards detected
+//   2  usage error                         3  parse error
+//   4  infeasible design request           5  other flow error
+//   6  unexpected internal error
 //
 // transform options:
 //   --traditional          idle-mode PG baseline instead of SCPG
@@ -35,10 +59,17 @@
 #include "tech/liberty.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
+#include "verify/campaign.hpp"
 
 using namespace scpg;
 
 namespace {
+
+/// Thrown for malformed command lines; mapped to the usage exit code.
+class UsageError : public Error {
+public:
+  using Error::Error;
+};
 
 struct Args {
   std::string command;
@@ -55,7 +86,18 @@ struct Args {
   }
   [[nodiscard]] double num(const std::string& k, double dflt) const {
     const auto it = opts.find(k);
-    return it == opts.end() ? dflt : std::stod(it->second);
+    if (it == opts.end()) return dflt;
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(it->second, &used);
+      if (used != it->second.size())
+        throw UsageError("--" + k + ": expected a number, got '" +
+                         it->second + "'");
+      return v;
+    } catch (const std::logic_error&) {
+      throw UsageError("--" + k + ": expected a number, got '" + it->second +
+                       "'");
+    }
   }
 };
 
@@ -70,7 +112,10 @@ Args parse_args(int argc, char** argv) {
           key == "in" || key == "out" || key == "upf" || key == "clock" ||
           key == "vdd" || key == "temp" || key == "header-drive" ||
           key == "header-count" || key == "activity" || key == "fmax-mhz" ||
-          key == "points";
+          key == "points" || key == "fault" || key == "rate" ||
+          key == "magnitude" || key == "freq-mhz" || key == "duty" ||
+          key == "cycles" || key == "warmup" || key == "seed" ||
+          key == "max-report";
       if (takes_value && i + 1 < argc) a.opts[key] = argv[++i];
       else a.flags.push_back(key);
     }
@@ -79,9 +124,10 @@ Args parse_args(int argc, char** argv) {
 }
 
 Netlist load(const Library& lib, const std::string& path) {
+  if (path.empty()) throw UsageError("missing required --in FILE");
   std::ifstream in(path);
   if (!in) throw Error("cannot open input netlist: " + path);
-  return read_verilog(in, lib);
+  return read_verilog(in, lib, {}, path);
 }
 
 Corner corner_of(const Args& a) {
@@ -160,6 +206,71 @@ int cmd_transform(const Library& lib, const Args& a) {
   return 0;
 }
 
+int cmd_verify(const Library& lib, const Args& a) {
+  Netlist nl = load(lib, a.opt("in"));
+
+  bool already_gated = false;
+  for (std::uint32_t ci = 0; ci < nl.num_cells(); ++ci)
+    if (nl.cell(CellId{ci}).domain == Domain::Gated) already_gated = true;
+  if (!already_gated) {
+    ScpgOptions sopt;
+    sopt.clock_port = a.opt("clock", "clk");
+    const ScpgInfo info = apply_scpg(nl, sopt);
+    std::cerr << "SCPG applied: " << info.cells_gated << " cells gated, "
+              << info.isolation_cells << " isolation cells\n";
+  }
+
+  verify::CampaignOptions opt;
+  opt.f = Frequency{a.num("freq-mhz", 1.0) * 1e6};
+  opt.duty_high = a.num("duty", 0.5);
+  opt.cycles = int(a.num("cycles", 40));
+  opt.warmup_cycles = int(a.num("warmup", 6));
+  opt.seed = std::uint64_t(a.num("seed", 1));
+  opt.sim.corner = corner_of(a);
+  opt.clock_port = a.opt("clock", "clk");
+  const double rate = a.num("rate", 0.0);
+  const double magnitude = a.num("magnitude", 0.0);
+  std::string list = a.opt("fault");
+  while (!list.empty()) {
+    const auto comma = list.find(',');
+    const std::string name = list.substr(0, comma);
+    list = comma == std::string::npos ? "" : list.substr(comma + 1);
+    if (name.empty()) continue;
+    const auto fc = verify::fault_class_from_name(name);
+    if (!fc)
+      throw UsageError(
+          "unknown fault class '" + name +
+          "' (expected stuck-isolation, delayed-isolation, dropped-clamp, "
+          "slow-rail-restore, premature-edge or seu-flip)");
+    opt.faults.push_back({*fc, rate, magnitude});
+  }
+
+  const verify::CampaignResult res = verify::run_campaign(std::move(nl), opt);
+
+  std::cout << "campaign: " << res.cycles_run << " cycles at "
+            << a.num("freq-mhz", 1.0) << " MHz, seed " << opt.seed << "\n";
+  for (int i = 0; i < verify::kNumFaultClasses; ++i)
+    if (res.injected[std::size_t(i)] > 0)
+      std::cout << "  injected " << res.injected[std::size_t(i)] << " x "
+                << verify::fault_class_name(verify::FaultClass(i)) << "\n";
+  if (res.injected_total() == 0) std::cout << "  no faults injected\n";
+  std::cout << "\n" << verify::format_hazard_summary(res.hazards) << "\n";
+  const auto max_report = std::size_t(a.num("max-report", 10));
+  const auto& reports = res.hazards.reports();
+  for (std::size_t i = 0; i < reports.size() && i < max_report; ++i)
+    std::cout << verify::format_hazard(reports[i]) << "\n";
+  if (reports.size() > max_report)
+    std::cout << "... " << reports.size() - max_report << " more\n";
+
+  if (res.detected()) {
+    std::cerr << "scpgc: verify: " << res.hazards.total()
+              << " hazards detected\n";
+    return 1; // kExitHazards (declared below)
+  }
+  std::cout << "contract clean: no hazards detected\n";
+  return 0; // kExitOk
+}
+
 int cmd_sweep(const Library& lib, const Args& a) {
   Netlist nl = load(lib, a.opt("in"));
   const Corner c = corner_of(a);
@@ -202,6 +313,16 @@ int cmd_sweep(const Library& lib, const Args& a) {
   return 0;
 }
 
+// Exit codes (keep in sync with the header comment): scripts and the CI
+// harness branch on these.
+constexpr int kExitOk = 0;
+constexpr int kExitHazards = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitParse = 3;
+constexpr int kExitInfeasible = 4;
+constexpr int kExitError = 5;
+constexpr int kExitInternal = 6;
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -212,11 +333,25 @@ int main(int argc, char** argv) {
     if (a.command == "report") return cmd_report(lib, a);
     if (a.command == "transform") return cmd_transform(lib, a);
     if (a.command == "sweep") return cmd_sweep(lib, a);
-    std::cerr << "usage: scpgc {liberty|report|transform|sweep} [options]\n"
+    if (a.command == "verify") return cmd_verify(lib, a);
+    std::cerr << "usage: scpgc {liberty|report|transform|sweep|verify} "
+                 "[options]\n"
                  "       (see the header of tools/scpgc.cpp)\n";
-    return a.command.empty() ? 1 : 2;
+    return kExitUsage;
+  } catch (const UsageError& e) {
+    std::cerr << "scpgc: usage: " << e.what() << '\n';
+    return kExitUsage;
+  } catch (const ParseError& e) {
+    std::cerr << "scpgc: parse error: " << e.what() << '\n';
+    return kExitParse;
+  } catch (const InfeasibleError& e) {
+    std::cerr << "scpgc: infeasible: " << e.what() << '\n';
+    return kExitInfeasible;
+  } catch (const Error& e) {
+    std::cerr << "scpgc: error: " << e.what() << '\n';
+    return kExitError;
   } catch (const std::exception& e) {
-    std::cerr << "scpgc: " << e.what() << '\n';
-    return 1;
+    std::cerr << "scpgc: internal error: " << e.what() << '\n';
+    return kExitInternal;
   }
 }
