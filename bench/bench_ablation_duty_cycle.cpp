@@ -20,15 +20,37 @@ int main() {
   MultSetup s = make_mult_setup();
 
   std::cout << "measured power vs clock-high fraction at 100 kHz:\n";
-  TextTable t;
-  t.header({"duty high", "power uW", "model uW", "vs NoPG"});
   const Frequency f = 100.0_kHz;
-  const double p_none =
-      in_uW(measure_mult(s.original, s.cfg, f, 0.5, false).avg_power);
+
+  // The no-PG reference and every feasible duty run as one parallel
+  // engine sweep.
+  engine::SweepSpec spec = mult_spec(s.cfg);
+  spec.design(s.original).design(s.gated).jobs(0);
+  auto pt = [&](std::size_t design, double duty, std::string tag) {
+    engine::OperatingPoint p;
+    p.design = design;
+    p.f = f;
+    p.duty_high = duty;
+    p.corner = s.cfg.corner;
+    p.tag = std::move(tag);
+    return p;
+  };
+  spec.point(pt(0, 0.5, "none"));
+  std::vector<double> duties;
   for (double duty : {0.10, 0.25, 0.50, 0.75, 0.90, 0.97}) {
     if (!s.model_gated.feasible(f, duty)) continue;
+    duties.push_back(duty);
+    spec.point(pt(1, duty, "d:" + std::to_string(duties.size() - 1)));
+  }
+  const engine::SweepResult res = engine::Experiment(std::move(spec)).run();
+
+  TextTable t;
+  t.header({"duty high", "power uW", "model uW", "vs NoPG"});
+  const double p_none = in_uW(res.at_tag("none").avg_power);
+  for (std::size_t i = 0; i < duties.size(); ++i) {
+    const double duty = duties[i];
     const double p =
-        in_uW(measure_mult(s.gated, s.cfg, f, duty, false).avg_power);
+        in_uW(res.at_tag("d:" + std::to_string(i)).avg_power);
     const double pm =
         in_uW(s.model_gated.average_power_gated(f, duty));
     t.row({TextTable::num(100.0 * duty, 0) + "%", TextTable::num(p, 2),

@@ -36,18 +36,27 @@ int main() {
   Netlist clock_only = build_mult(true, false);
   Netlist none = build_mult(false, true);
 
+  // 3 isolation strategies x 4 frequencies: one parallel engine sweep
+  // (row order: design-major).
+  const std::vector<double> fs_mhz = {0.01, 0.1, 1.0, 5.0};
+  std::vector<Frequency> fs;
+  for (double fm : fs_mhz) fs.push_back(Frequency{fm * 1e6});
+  engine::SweepSpec spec = mult_spec(base.cfg);
+  spec.design(adaptive, "adaptive")
+      .design(clock_only, "clk-only")
+      .design(none, "no-iso")
+      .frequencies(fs)
+      .jobs(0);
+  const engine::SweepResult res = engine::Experiment(std::move(spec)).run();
+
   TextTable t;
   t.header({"Clock", "adaptive uW", "clk-only uW", "no-iso uW",
             "no-iso penalty"});
-  for (double fm : {0.01, 0.1, 1.0, 5.0}) {
-    const Frequency f{fm * 1e6};
-    const double pa =
-        in_uW(measure_mult(adaptive, base.cfg, f, 0.5, false).avg_power);
-    const double pc =
-        in_uW(measure_mult(clock_only, base.cfg, f, 0.5, false).avg_power);
-    const double pn =
-        in_uW(measure_mult(none, base.cfg, f, 0.5, false).avg_power);
-    t.row({TextTable::num(fm, 2) + " MHz", TextTable::num(pa, 2),
+  for (std::size_t i = 0; i < fs.size(); ++i) {
+    const double pa = in_uW(res[0 * fs.size() + i].avg_power);
+    const double pc = in_uW(res[1 * fs.size() + i].avg_power);
+    const double pn = in_uW(res[2 * fs.size() + i].avg_power);
+    t.row({TextTable::num(fs_mhz[i], 2) + " MHz", TextTable::num(pa, 2),
            TextTable::num(pc, 2), TextTable::num(pn, 2),
            "+" + TextTable::num(100.0 * (pn / pa - 1.0), 1) + "%"});
   }

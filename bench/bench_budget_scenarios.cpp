@@ -60,7 +60,7 @@ int main() {
     const Power floor = s.model_original.average_power_ungated(1.0_kHz);
     const BudgetComparison c =
         compare_at_budget(s.model_original, s.model_gated, floor * 1.026,
-                          1.0_kHz, 40.0_MHz);
+                          1.0_kHz, 40.0_MHz, /*jobs=*/0);
     report("S3: 16-bit multiplier (paper: 30 uW harvester)", c, 50.0, 45.0);
 
     // Paper-style lookup against the Table I frequency grid: pick the
@@ -90,7 +90,7 @@ int main() {
     const Power floor = s.model_original.average_power_ungated(1.0_kHz);
     const BudgetComparison c =
         compare_at_budget(s.model_original, s.model_gated, floor * 1.026,
-                          1.0_kHz, 20.0_MHz);
+                          1.0_kHz, 20.0_MHz, /*jobs=*/0);
     report("S4: SCM0 (paper: 250 uW harvester)", c, 2.0, 2.5);
   }
   return 0;

@@ -78,6 +78,31 @@ void BM_ScpgTransform(benchmark::State& state) {
 }
 BENCHMARK(BM_ScpgTransform);
 
+// Scaling curve for the parallel sweep engine: the same 16-point grid
+// (2 designs x 8 frequencies) at increasing job counts.  On a multi-core
+// host items/sec should rise near-linearly until the grid or the core
+// count is exhausted; the results are bit-identical at every job count.
+void BM_SweepScaling(benchmark::State& state) {
+  static MultSetup s = make_mult_setup();
+  std::vector<Frequency> fs;
+  for (double fm : {0.01, 0.05, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0})
+    fs.push_back(Frequency{fm * 1e6});
+  const int jobs = int(state.range(0));
+  for (auto _ : state) {
+    engine::SweepSpec spec = mult_spec(s.cfg, 8);
+    spec.design(s.original)
+        .design(s.gated)
+        .frequencies(fs)
+        .jobs(jobs)
+        .use_cache(false);
+    const engine::SweepResult res = engine::Experiment(std::move(spec)).run();
+    benchmark::DoNotOptimize(res[0].avg_power.v);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * std::int64_t(fs.size()));
+}
+BENCHMARK(BM_SweepScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_AnalyticModelPoint(benchmark::State& state) {
   static MultSetup s = make_mult_setup();
   double f = 1e5;

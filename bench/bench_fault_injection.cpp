@@ -46,36 +46,49 @@ void run_sweep(const Sweep& sw, TextTable& t) {
   base.sim = sw.cfg;
   base.seed = 17;
 
-  // Fault-free control row.
-  {
-    const verify::CampaignResult res = verify::run_campaign(*sw.nl, base);
-    t.row({sw.design, "(none)", "-", "0",
-           std::to_string(res.hazards.total()), top_kinds(res.hazards),
-           res.detected() ? "FALSE ALARM" : "clean"});
-  }
-
+  // Flatten the campaign grid (control + fault classes x rates); every
+  // campaign is an independent simulation, so they run as parallel jobs.
+  struct Campaign {
+    verify::CampaignOptions opt;
+    bool control;
+    verify::FaultClass fc;
+    double rate;
+  };
+  std::vector<Campaign> grid;
+  grid.push_back({base, true, verify::FaultClass{}, 0.0});
   for (int fi = 0; fi < verify::kNumFaultClasses; ++fi) {
     const auto fc = static_cast<verify::FaultClass>(fi);
     for (double rate : sw.rates) {
       verify::CampaignOptions opt = base;
       opt.faults.push_back({fc, rate, 0.0});
-      const verify::CampaignResult res = verify::run_campaign(*sw.nl, opt);
-      const int injected = res.injected[std::size_t(fc)];
-      std::string verdict = res.detected() ? "detected" : "ESCAPED";
-      if (fc == verify::FaultClass::SeuFlip) {
-        const auto hit =
-            res.hazards.count(verify::HazardKind::SpuriousStateFlip);
-        const long escaped =
-            std::max<long>(0, long(injected) - long(hit));
-        verdict = escaped == 0 ? "detected"
-                               : std::to_string(escaped) + " escaped";
-      }
-      t.row({sw.design, std::string(verify::fault_class_name(fc)),
-             TextTable::num(rate, 2), std::to_string(injected),
-             std::to_string(res.hazards.total()), top_kinds(res.hazards),
-             verdict});
+      grid.push_back({std::move(opt), false, fc, rate});
     }
   }
+
+  const auto rows = parallel_map(grid.size(), 0, [&](std::size_t i) {
+    const Campaign& c = grid[i];
+    const verify::CampaignResult res = verify::run_campaign(*sw.nl, c.opt);
+    if (c.control)
+      return std::vector<std::string>{
+          sw.design, "(none)", "-", "0",
+          std::to_string(res.hazards.total()), top_kinds(res.hazards),
+          res.detected() ? "FALSE ALARM" : "clean"};
+    const int injected = res.injected[std::size_t(c.fc)];
+    std::string verdict = res.detected() ? "detected" : "ESCAPED";
+    if (c.fc == verify::FaultClass::SeuFlip) {
+      const auto hit =
+          res.hazards.count(verify::HazardKind::SpuriousStateFlip);
+      const long escaped = std::max<long>(0, long(injected) - long(hit));
+      verdict = escaped == 0 ? "detected"
+                             : std::to_string(escaped) + " escaped";
+    }
+    return std::vector<std::string>{
+        sw.design, std::string(verify::fault_class_name(c.fc)),
+        TextTable::num(c.rate, 2), std::to_string(injected),
+        std::to_string(res.hazards.total()), top_kinds(res.hazards),
+        verdict};
+  });
+  for (const auto& row : rows) t.row(row);
 }
 
 } // namespace

@@ -18,6 +18,7 @@ int main() {
   opt.v_lo = Voltage{0.16};
   opt.v_hi = Voltage{0.7};
   opt.points = 50;
+  opt.jobs = 0;
   const MepResult r = analyze_mep(s.original.netlist, s.e_dyn_original,
                                   s.cfg.corner, opt);
 
@@ -42,8 +43,10 @@ int main() {
 
   // The comparison the paper draws between the two figures.
   MultSetup m = make_mult_setup();
+  MepOptions mopt;
+  mopt.jobs = 0;
   const MepResult rm =
-      analyze_mep(m.original, m.e_dyn_original, m.cfg.corner);
+      analyze_mep(m.original, m.e_dyn_original, m.cfg.corner, mopt);
   std::cout << "\nMEP(SCM0) at "
             << TextTable::num(in_mV(r.minimum.vdd), 0)
             << " mV vs MEP(multiplier) at "

@@ -51,12 +51,15 @@ int main() {
   double lo = 1.0, hi = 10.0;
   for (int i = 0; i < 5; ++i) {
     const double mid = 0.5 * (lo + hi);
-    const Frequency f{mid * 1e6};
-    const double pn =
-        in_uW(measure_cpu(s.original.netlist, s.cfg, f, 0.5, false)
-                  .avg_power);
-    const double pg =
-        in_uW(measure_cpu(s.gated.netlist, s.cfg, f, 0.5, false).avg_power);
+    // Both designs at the probe frequency run as one 2-point sweep.
+    engine::SweepSpec probe = cpu_spec(s.cfg);
+    probe.design(s.original.netlist)
+        .design(s.gated.netlist)
+        .frequency(Frequency{mid * 1e6})
+        .jobs(0);
+    const engine::SweepResult r = engine::Experiment(std::move(probe)).run();
+    const double pn = in_uW(r[0].avg_power);
+    const double pg = in_uW(r[1].avg_power);
     (pg < pn ? lo : hi) = mid;
   }
   std::cout << "convergence point, measured (SCM0): ~"
@@ -74,19 +77,27 @@ int main() {
                                          : "NO (mismatch)")
             << "\n\n";
 
+  // Anchor points: both designs at every frequency, one parallel sweep
+  // (row order: design-major).
+  const std::vector<double> anchors_mhz = {0.01, 0.1, 1.0, 5.0, 10.0};
+  std::vector<Frequency> anchor_fs;
+  for (double fm : anchors_mhz) anchor_fs.push_back(Frequency{fm * 1e6});
+  engine::SweepSpec spec = cpu_spec(s.cfg);
+  spec.design(s.original.netlist)
+      .design(s.gated.netlist)
+      .frequencies(anchor_fs)
+      .jobs(0);
+  const engine::SweepResult anchors =
+      engine::Experiment(std::move(spec)).run();
+
   TextTable t("simulator anchor points (uW)");
   t.header({"Clock MHz", "NoPG sim", "SCPG sim", "SCPG model"});
-  for (double fm : {0.01, 0.1, 1.0, 5.0, 10.0}) {
-    const Frequency f{fm * 1e6};
-    t.row({TextTable::num(fm, 2),
-           TextTable::num(
-               in_uW(measure_cpu(s.original.netlist, s.cfg, f, 0.5, false)
-                         .avg_power),
-               2),
-           TextTable::num(
-               in_uW(measure_cpu(s.gated.netlist, s.cfg, f, 0.5, false)
-                         .avg_power),
-               2),
+  for (std::size_t i = 0; i < anchors_mhz.size(); ++i) {
+    const Frequency f = anchor_fs[i];
+    t.row({TextTable::num(anchors_mhz[i], 2),
+           TextTable::num(in_uW(anchors[i].avg_power), 2),
+           TextTable::num(in_uW(anchors[anchors_mhz.size() + i].avg_power),
+                          2),
            TextTable::num(
                in_uW(s.model_gated.average_power(GatingMode::Scpg50, f)),
                2)});

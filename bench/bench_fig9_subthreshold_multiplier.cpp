@@ -16,6 +16,7 @@ int main() {
   opt.v_lo = Voltage{0.16};
   opt.v_hi = Voltage{0.9};
   opt.points = 60;
+  opt.jobs = 0;
   const MepResult r =
       analyze_mep(s.original, s.e_dyn_original, s.cfg.corner, opt);
 

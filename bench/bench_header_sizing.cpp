@@ -36,7 +36,8 @@ void sizing_study(const std::string& title, const ScpgPowerModel& model,
   t.header({"bank", "Ron eff", "IR drop", "IR %Vdd", "in-rush", "off leak",
             "T_ready", "area", "feasible"});
   for (const HeaderEval& e :
-       sweep_headers(bench_lib(), 4, d, c, {rail.vdd, 25.0})) {
+       sweep_headers(bench_lib(), 4, d, c, {rail.vdd, 25.0},
+                     /*jobs=*/0)) {
     t.row({"4 x X" + std::to_string(e.drive),
            TextTable::num(e.ron_eff.v, 0) + " Ohm",
            TextTable::num(in_mV(e.ir_drop), 1) + " mV",
@@ -80,7 +81,11 @@ int main() {
   std::cout << "A3: header drive vs multiplier convergence frequency\n";
   TextTable t;
   t.header({"bank", "hdr gate cap", "off leak", "convergence"});
-  for (int drive : bench_lib().drives_of(CellKind::Header)) {
+  // Each drive rebuilds and re-extracts a full netlist — independent
+  // work, so the drives run as parallel jobs.
+  const std::vector<int> drives = bench_lib().drives_of(CellKind::Header);
+  const auto rows = parallel_map(drives.size(), 0, [&](std::size_t i) {
+    const int drive = drives[i];
     Netlist nl = gen::make_multiplier(bench_lib(), 16);
     ScpgOptions opt;
     opt.header_drive = drive;
@@ -89,11 +94,13 @@ int main() {
     const RailParams rail = extract_rail_params(nl, m.cfg);
     const Frequency conv = convergence_frequency(model, GatingMode::Scpg50,
                                                  100.0_kHz, 40.0_MHz);
-    t.row({"4 x X" + std::to_string(drive),
-           TextTable::num(in_fF(rail.hdr_gate_cap), 0) + " fF",
-           TextTable::num(in_nW(rail.p_hdr_off), 0) + " nW",
-           TextTable::num(in_MHz(conv), 1) + " MHz"});
-  }
+    return std::vector<std::string>{
+        "4 x X" + std::to_string(drive),
+        TextTable::num(in_fF(rail.hdr_gate_cap), 0) + " fF",
+        TextTable::num(in_nW(rail.p_hdr_off), 0) + " nW",
+        TextTable::num(in_MHz(conv), 1) + " MHz"};
+  });
+  for (const auto& row : rows) t.row(row);
   t.print(std::cout);
   return 0;
 }

@@ -49,9 +49,18 @@ int main() {
                "multiplier) ===\n\n";
   MultSetup s = make_mult_setup();
 
-  const Result mixed = evaluate(s.gated, s.cfg, DomainStrategy::Ignore);
-  const Result center =
-      evaluate(s.gated, s.cfg, DomainStrategy::CenterGated);
+  // evaluate() annotates wire caps on its netlist, so each strategy gets
+  // its own copy and the two placements run as parallel jobs.
+  const DomainStrategy strategies[] = {DomainStrategy::Ignore,
+                                       DomainStrategy::CenterGated};
+  std::vector<Netlist> copies;
+  copies.push_back(s.gated);
+  copies.push_back(s.gated);
+  const auto results = parallel_map(2, 0, [&](std::size_t i) {
+    return evaluate(copies[i], s.cfg, strategies[i]);
+  });
+  const Result& mixed = results[0];
+  const Result& center = results[1];
 
   TextTable t("placement-annotated results (wire caps from HPWL, "
               "0.18 fF/um)");

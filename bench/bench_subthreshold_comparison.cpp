@@ -56,16 +56,18 @@ void compare(const std::string& title, const ScpgPowerModel& gated,
 int main() {
   std::cout << "=== §IV: sub-threshold vs sub-clock power gating (S5) "
                "===\n\n";
+  MepOptions opt;
+  opt.jobs = 0;
   {
     MultSetup s = make_mult_setup();
     const MepResult mep =
-        analyze_mep(s.original, s.e_dyn_original, s.cfg.corner);
+        analyze_mep(s.original, s.e_dyn_original, s.cfg.corner, opt);
     compare("multiplier", s.model_gated, mep, 40.0_MHz, 5.0, 5.0);
   }
   {
     CpuSetup s = make_cpu_setup();
     const MepResult mep =
-        analyze_mep(s.original.netlist, s.e_dyn_original, s.cfg.corner);
+        analyze_mep(s.original.netlist, s.e_dyn_original, s.cfg.corner, opt);
     compare("SCM0", s.model_gated, mep, 20.0_MHz, 5.0, 4.8);
   }
   // The wider budget narrows the gap (paper: 2.9x at 40 uW for the
@@ -73,7 +75,7 @@ int main() {
   {
     MultSetup s = make_mult_setup();
     const MepResult mep =
-        analyze_mep(s.original, s.e_dyn_original, s.cfg.corner);
+        analyze_mep(s.original, s.e_dyn_original, s.cfg.corner, opt);
     const Power larger = mep.minimum.power() * 2.4;
     const Frequency f = max_frequency_for_budget(
         s.model_gated, GatingMode::ScpgMax, larger, 1.0_kHz, 40.0_MHz);

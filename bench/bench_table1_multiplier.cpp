@@ -25,23 +25,9 @@ int main() {
                                      3.3};
   const double freqs_mhz[] = {0.01, 0.1, 1.0, 2.0, 5.0, 8.0, 10.0, 14.3};
 
-  std::vector<TableRow> rows;
-  for (double fm : freqs_mhz) {
-    const Frequency f{fm * 1e6};
-    TableRow r;
-    r.f = f;
-    r.p_none = measure_mult(s.original, s.cfg, f, 0.5, false).avg_power;
-    const auto d50 = s.model_gated.duty_for(GatingMode::Scpg50, f);
-    r.scpg50_feasible = d50.has_value();
-    r.p_50 = measure_mult(s.gated, s.cfg, f, 0.5, false).avg_power;
-    const auto dmax = s.model_gated.duty_for(GatingMode::ScpgMax, f);
-    r.scpgmax_feasible = dmax.has_value();
-    r.duty_max = dmax.value_or(0.5);
-    r.p_max = r.scpgmax_feasible
-                  ? measure_mult(s.gated, s.cfg, f, *dmax, false).avg_power
-                  : r.p_50;
-    rows.push_back(r);
-  }
+  // All 8 frequencies x 3 modes run as one parallel engine sweep.
+  const std::vector<TableRow> rows = measure_rows(
+      s.original, s.gated, s.model_gated, mult_spec(s.cfg), freqs_mhz);
   print_rows("Table I (measured; duty = SCPG-Max clock-high fraction)",
              rows);
 

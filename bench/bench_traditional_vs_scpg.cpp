@@ -89,18 +89,33 @@ int main() {
   TextTable t("average power by workload utilisation (active burst of 32 "
               "cycles; idle stretch sets the ratio)");
   t.header({"active %", "no PG", "traditional PG", "SCPG", "SCPG+parked"});
-  for (int idle : {0, 32, 96, 320, 3168}) {
-    const double util = 32.0 / (32.0 + idle);
+  // 5 utilisations x 4 configurations: each profile is an independent
+  // simulation over a shared read-only netlist, so the whole grid runs
+  // as parallel jobs (row-major flattening).
+  const std::vector<int> idles = {0, 32, 96, 320, 3168};
+  struct Config {
+    const Netlist* nl;
+    bool sleep_port;
+    bool park_high;
+  };
+  const Config configs[] = {{&plain, false, false},
+                            {&trad, true, false},
+                            {&scpg, false, false},
+                            {&scpg, false, true}};
+  constexpr std::size_t kCfgs = std::size(configs);
+  const auto powers =
+      parallel_map(idles.size() * kCfgs, 0, [&](std::size_t i) {
+        const Config& c = configs[i % kCfgs];
+        return in_uW(run_profile(*c.nl, cfg, f, 32, idles[i / kCfgs],
+                                 c.sleep_port, c.park_high));
+      });
+  for (std::size_t r = 0; r < idles.size(); ++r) {
+    const double util = 32.0 / (32.0 + idles[r]);
     t.row({TextTable::num(100.0 * util, util < 0.05 ? 1 : 0) + "%",
-           TextTable::num(
-               in_uW(run_profile(plain, cfg, f, 32, idle, false, false)), 2),
-           TextTable::num(
-               in_uW(run_profile(trad, cfg, f, 32, idle, true, false)), 2),
-           TextTable::num(
-               in_uW(run_profile(scpg, cfg, f, 32, idle, false, false)), 2),
-           TextTable::num(
-               in_uW(run_profile(scpg, cfg, f, 32, idle, false, true)),
-               2)});
+           TextTable::num(powers[r * kCfgs + 0], 2),
+           TextTable::num(powers[r * kCfgs + 1], 2),
+           TextTable::num(powers[r * kCfgs + 2], 2),
+           TextTable::num(powers[r * kCfgs + 3], 2)});
   }
   t.print(std::cout);
 

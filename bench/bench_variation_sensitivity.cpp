@@ -48,32 +48,43 @@ int main() {
   std::cout << "sampling " << kSamples << " global corners, sigma(Vt) = "
             << TextTable::num(kSigmaVt * 1e3, 0) << " mV\n\n";
 
+  // Each Monte-Carlo corner draws from its own split RNG stream
+  // (Rng::stream keyed by sample index), so samples are independent and
+  // the result is identical at any job count.
+  struct Sample {
+    double e_sub, f_sub, e_scpg, p_scpg;
+  };
+  const auto samples =
+      parallel_map(std::size_t(kSamples), 0, [&](std::size_t s) {
+        Rng rng = Rng::stream(0xDEC0DE, std::uint64_t(s));
+        TechParams tp = nom.original.lib().tech().params();
+        tp.vt = Voltage{tp.vt.v + kSigmaVt * gauss(rng)};
+        const Library lib = Library::scpg90(tp);
+
+        // Sub-threshold design pinned at the nominal MEP supply.
+        Netlist sub = gen::make_multiplier(lib, 16);
+        const MepPoint p =
+            mep_point(sub, nom.e_dyn_original, nom.cfg.corner, v_mep, 25.0);
+
+        // SCPG at its comfortable above-threshold corner.
+        Netlist gated = gen::make_multiplier(lib, 16);
+        apply_scpg(gated);
+        SimConfig cfg;
+        cfg.corner = {0.6_V, 25.0};
+        const ScpgPowerModel m =
+            ScpgPowerModel::extract(gated, cfg, nom.e_dyn_gated);
+        const Frequency f = 100.0_kHz;
+        const auto duty = m.duty_for(GatingMode::ScpgMax, f);
+        const Power pw = m.average_power_gated(f, duty.value_or(0.5));
+        return Sample{in_pJ(p.e_total()), in_MHz(p.fmax),
+                      in_pJ(Energy{pw.v / f.v}), in_uW(pw)};
+      });
   std::vector<double> e_sub, f_sub, e_scpg, p_scpg;
-  Rng rng(0xDEC0DE);
-  for (int s = 0; s < kSamples; ++s) {
-    TechParams tp = nom.original.lib().tech().params();
-    tp.vt = Voltage{tp.vt.v + kSigmaVt * gauss(rng)};
-    const Library lib = Library::scpg90(tp);
-
-    // Sub-threshold design pinned at the nominal MEP supply.
-    Netlist sub = gen::make_multiplier(lib, 16);
-    const MepPoint p =
-        mep_point(sub, nom.e_dyn_original, nom.cfg.corner, v_mep, 25.0);
-    e_sub.push_back(in_pJ(p.e_total()));
-    f_sub.push_back(in_MHz(p.fmax));
-
-    // SCPG at its comfortable above-threshold corner.
-    Netlist gated = gen::make_multiplier(lib, 16);
-    apply_scpg(gated);
-    SimConfig cfg;
-    cfg.corner = {0.6_V, 25.0};
-    const ScpgPowerModel m =
-        ScpgPowerModel::extract(gated, cfg, nom.e_dyn_gated);
-    const Frequency f = 100.0_kHz;
-    const auto duty = m.duty_for(GatingMode::ScpgMax, f);
-    const Power pw = m.average_power_gated(f, duty.value_or(0.5));
-    p_scpg.push_back(in_uW(pw));
-    e_scpg.push_back(in_pJ(Energy{pw.v / f.v}));
+  for (const Sample& s : samples) {
+    e_sub.push_back(s.e_sub);
+    f_sub.push_back(s.f_sub);
+    e_scpg.push_back(s.e_scpg);
+    p_scpg.push_back(s.p_scpg);
   }
 
   auto spread = [](const std::vector<double>& v) {

@@ -23,49 +23,49 @@ int main() {
               "infeasible: T_eval too close to the period)");
   t.header({"VDD", "f = 10 kHz", "100 kHz", "1 MHz", "5 MHz", "NoPG floor"});
 
-  for (double vdd : {0.9, 0.8, 0.7, 0.6, 0.5}) {
-    SimConfig cfg;
-    cfg.corner = {Voltage{vdd}, 25.0};
-    Netlist original = gen::make_multiplier(lib, 16);
-    Netlist gated = gen::make_multiplier(lib, 16);
-    apply_scpg(gated);
+  // The five VDD corners are independent (each builds its own netlists
+  // and calibrates at its own corner), so they run as parallel jobs.
+  const std::vector<double> vdds = {0.9, 0.8, 0.7, 0.6, 0.5};
+  const auto corner_rows =
+      parallel_map(vdds.size(), 0, [&](std::size_t vi) {
+        const double vdd = vdds[vi];
+        SimConfig cfg;
+        cfg.corner = {Voltage{vdd}, 25.0};
+        Netlist original = gen::make_multiplier(lib, 16);
+        Netlist gated = gen::make_multiplier(lib, 16);
+        apply_scpg(gated);
 
-    // Calibrate dynamic energy at this corner.
-    Rng rng(0xF00D);
-    MeasureOptions mo;
-    mo.f = 1.0_MHz;
-    mo.sim = cfg;
-    mo.cycles = 16;
-    mo.override_gating = true;
-    mo.stimulus = [&rng](Simulator& s, int) {
-      s.drive_bus_at(s.now() + to_fs(1.0_ns), "a", rng.bits(16), 16);
-      s.drive_bus_at(s.now() + to_fs(1.0_ns), "b", rng.bits(16), 16);
-    };
-    const Energy e_dyn{
-        measure_average_power(gated, mo).tally.dynamic_total().v / 16.0};
-    const ScpgPowerModel model = ScpgPowerModel::extract(gated, cfg, e_dyn);
-    const ScpgPowerModel model0 =
-        ScpgPowerModel::extract(original, cfg, e_dyn);
+        // Calibrate dynamic energy at this corner through the engine.
+        engine::SweepSpec spec = mult_spec(cfg, 16);
+        spec.design(gated).frequency(1.0_MHz).override_gating(true).jobs(1);
+        const engine::PointResult cal =
+            engine::Experiment(std::move(spec)).run()[0];
+        const Energy e_dyn{cal.tally.dynamic_total().v / 16.0};
+        const ScpgPowerModel model =
+            ScpgPowerModel::extract(gated, cfg, e_dyn);
+        const ScpgPowerModel model0 =
+            ScpgPowerModel::extract(original, cfg, e_dyn);
 
-    std::vector<std::string> row;
-    row.push_back(TextTable::num(vdd, 1) + " V");
-    for (double fm : {0.01, 0.1, 1.0, 5.0}) {
-      const Frequency f{fm * 1e6};
-      const auto duty = model.duty_for(GatingMode::ScpgMax, f);
-      if (!duty) {
-        row.push_back("n/a");
-        continue;
-      }
-      const double saving =
-          100.0 * (1.0 - model.average_power_gated(f, *duty).v /
-                             model0.average_power_ungated(f).v);
-      row.push_back(TextTable::num(saving, 1) + "%");
-    }
-    row.push_back(TextTable::num(
-                      in_uW(model0.average_power_ungated(1.0_kHz)), 1) +
-                  " uW");
-    t.row(row);
-  }
+        std::vector<std::string> row;
+        row.push_back(TextTable::num(vdd, 1) + " V");
+        for (double fm : {0.01, 0.1, 1.0, 5.0}) {
+          const Frequency f{fm * 1e6};
+          const auto duty = model.duty_for(GatingMode::ScpgMax, f);
+          if (!duty) {
+            row.push_back("n/a");
+            continue;
+          }
+          const double saving =
+              100.0 * (1.0 - model.average_power_gated(f, *duty).v /
+                                 model0.average_power_ungated(f).v);
+          row.push_back(TextTable::num(saving, 1) + "%");
+        }
+        row.push_back(TextTable::num(
+                          in_uW(model0.average_power_ungated(1.0_kHz)), 1) +
+                      " uW");
+        return row;
+      });
+  for (const auto& row : corner_rows) t.row(row);
   t.print(std::cout);
 
   std::cout <<

@@ -7,31 +7,17 @@ namespace scpg::benchx {
 
 namespace {
 
-Energy calibrate_dyn(const Netlist& nl, SimConfig cfg,
-                     const std::function<void(Simulator&, int)>& stim,
-                     const std::function<void(Simulator&)>& setup,
-                     int cycles) {
-  MeasureOptions mo;
-  mo.f = 1.0_MHz;
-  mo.sim = cfg;
-  mo.cycles = cycles;
-  mo.override_gating = true;
-  mo.stimulus = stim;
-  mo.setup = setup;
-  const MeasureResult r = measure_average_power(nl, mo);
-  return Energy{r.tally.dynamic_total().v / double(r.cycles)};
-}
-
-std::function<void(Simulator&, int)> mult_stimulus() {
-  auto rng = std::make_shared<Rng>(0xBEEF);
-  return [rng](Simulator& s, int) {
-    s.drive_bus_at(s.now() + to_fs(1.0_ns), "a", rng->bits(16), 16);
-    s.drive_bus_at(s.now() + to_fs(1.0_ns), "b", rng->bits(16), 16);
+/// Calibrates dynamic energy/cycle for two builds of a design as one
+/// two-point engine sweep (gating overridden off, 1 MHz).
+std::pair<Energy, Energy> calibrate_dyn_pair(const Netlist& a,
+                                             const Netlist& b,
+                                             engine::SweepSpec spec) {
+  spec.design(a).design(b).frequency(1.0_MHz).override_gating(true).jobs(0);
+  const engine::SweepResult res = engine::Experiment(std::move(spec)).run();
+  const auto e = [](const engine::PointResult& r) {
+    return Energy{r.tally.dynamic_total().v / double(r.cycles)};
   };
-}
-
-void cpu_setup_fn(Simulator& s) {
-  s.drive_at(0, s.netlist().port_net("rst_n"), Logic::L1);
+  return {e(res[0]), e(res[1])};
 }
 
 } // namespace
@@ -41,6 +27,29 @@ const Library& bench_lib() {
   return l;
 }
 
+engine::Stimulus mult_stimulus() {
+  return [](Simulator& s, int, Rng& rng) {
+    s.drive_bus_at(s.now() + to_fs(1.0_ns), "a", rng.bits(16), 16);
+    s.drive_bus_at(s.now() + to_fs(1.0_ns), "b", rng.bits(16), 16);
+  };
+}
+
+void cpu_setup_fn(Simulator& s) {
+  s.drive_at(0, s.netlist().port_net("rst_n"), Logic::L1);
+}
+
+engine::SweepSpec mult_spec(SimConfig cfg, int cycles) {
+  engine::SweepSpec spec;
+  spec.base_sim(cfg).cycles(cycles).stimulus(mult_stimulus(), kMultStimKey);
+  return spec;
+}
+
+engine::SweepSpec cpu_spec(SimConfig cfg, int cycles) {
+  engine::SweepSpec spec;
+  spec.base_sim(cfg).cycles(cycles).setup(cpu_setup_fn, kCpuSetupKey);
+  return spec;
+}
+
 MultSetup make_mult_setup() {
   const Library& lib = bench_lib();
   Netlist original = gen::make_multiplier(lib, 16);
@@ -48,9 +57,8 @@ MultSetup make_mult_setup() {
   const ScpgInfo info = apply_scpg(gated);
   SimConfig cfg;
   cfg.corner = {0.6_V, 25.0};
-  const Energy e_o =
-      calibrate_dyn(original, cfg, mult_stimulus(), {}, 24);
-  const Energy e_g = calibrate_dyn(gated, cfg, mult_stimulus(), {}, 24);
+  const auto [e_o, e_g] =
+      calibrate_dyn_pair(original, gated, mult_spec(cfg, 24));
   ScpgPowerModel mo = ScpgPowerModel::extract(original, cfg, e_o);
   ScpgPowerModel mg = ScpgPowerModel::extract(gated, cfg, e_g);
   return MultSetup{std::move(original), std::move(gated), info, cfg,
@@ -59,14 +67,9 @@ MultSetup make_mult_setup() {
 
 MeasureResult measure_mult(const Netlist& nl, SimConfig cfg, Frequency f,
                            double duty, bool override_gating, int cycles) {
-  MeasureOptions mo;
-  mo.f = f;
-  mo.duty_high = duty;
-  mo.sim = cfg;
-  mo.cycles = cycles;
-  mo.override_gating = override_gating;
-  mo.stimulus = mult_stimulus();
-  return measure_average_power(nl, mo);
+  engine::SweepSpec spec = mult_spec(cfg, cycles);
+  spec.design(nl).frequency(f).duty(duty).override_gating(override_gating);
+  return engine::Experiment(std::move(spec)).run()[0];
 }
 
 CpuSetup make_cpu_setup(int dhrystone_iterations) {
@@ -78,9 +81,8 @@ CpuSetup make_cpu_setup(int dhrystone_iterations) {
   const ScpgInfo info =
       apply_scpg(gated.netlist, cpu::scm0_scpg_options());
   const SimConfig cfg = cpu::scm0_sim_config();
-  const Energy e_o =
-      calibrate_dyn(original.netlist, cfg, {}, cpu_setup_fn, 40);
-  const Energy e_g = calibrate_dyn(gated.netlist, cfg, {}, cpu_setup_fn, 40);
+  const auto [e_o, e_g] = calibrate_dyn_pair(original.netlist, gated.netlist,
+                                             cpu_spec(cfg, 40));
   ScpgPowerModel mo = ScpgPowerModel::extract(original.netlist, cfg, e_o);
   ScpgPowerModel mg = ScpgPowerModel::extract(gated.netlist, cfg, e_g);
   return CpuSetup{std::move(image), std::move(original), std::move(gated),
@@ -89,14 +91,56 @@ CpuSetup make_cpu_setup(int dhrystone_iterations) {
 
 MeasureResult measure_cpu(const Netlist& nl, SimConfig cfg, Frequency f,
                           double duty, bool override_gating, int cycles) {
-  MeasureOptions mo;
-  mo.f = f;
-  mo.duty_high = duty;
-  mo.sim = cfg;
-  mo.cycles = cycles;
-  mo.override_gating = override_gating;
-  mo.setup = cpu_setup_fn;
-  return measure_average_power(nl, mo);
+  engine::SweepSpec spec = cpu_spec(cfg, cycles);
+  spec.design(nl).frequency(f).duty(duty).override_gating(override_gating);
+  return engine::Experiment(std::move(spec)).run()[0];
+}
+
+std::vector<TableRow> measure_rows(const Netlist& original,
+                                   const Netlist& gated,
+                                   const ScpgPowerModel& gated_model,
+                                   engine::SweepSpec spec,
+                                   std::span<const double> freqs_mhz,
+                                   int jobs) {
+  spec.design(original, "original").design(gated, "gated").jobs(jobs);
+  const Corner corner = spec.base_sim().corner;
+
+  std::vector<TableRow> rows(freqs_mhz.size());
+  for (std::size_t i = 0; i < freqs_mhz.size(); ++i) {
+    const Frequency f{freqs_mhz[i] * 1e6};
+    TableRow& r = rows[i];
+    r.f = f;
+    r.scpg50_feasible =
+        gated_model.duty_for(GatingMode::Scpg50, f).has_value();
+    const auto dmax = gated_model.duty_for(GatingMode::ScpgMax, f);
+    r.scpgmax_feasible = dmax.has_value();
+    r.duty_max = dmax.value_or(0.5);
+
+    const std::string n = std::to_string(i);
+    auto pt = [&](std::size_t design, double duty, std::string tag) {
+      engine::OperatingPoint p;
+      p.design = design;
+      p.f = f;
+      p.duty_high = duty;
+      p.corner = corner;
+      p.tag = std::move(tag);
+      return p;
+    };
+    spec.point(pt(0, 0.5, "none:" + n));
+    spec.point(pt(1, 0.5, "50:" + n));
+    if (dmax) spec.point(pt(1, *dmax, "max:" + n));
+  }
+
+  const engine::SweepResult res = engine::Experiment(std::move(spec)).run();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const std::string n = std::to_string(i);
+    rows[i].p_none = res.at_tag("none:" + n).avg_power;
+    rows[i].p_50 = res.at_tag("50:" + n).avg_power;
+    rows[i].p_max = rows[i].scpgmax_feasible
+                        ? res.at_tag("max:" + n).avg_power
+                        : rows[i].p_50;
+  }
+  return rows;
 }
 
 void print_rows(const std::string& title,

@@ -1,22 +1,26 @@
 // Shared setup for the reproduction benches: builds the two case studies
 // (original + SCPG-transformed), calibrates dynamic energy, extracts the
-// analytic models, and provides the measurement loops used by every
-// table/figure binary.
+// analytic models, and provides engine::SweepSpec fixtures so every
+// table/figure binary runs its operating points through the parallel
+// sweep engine (SCPG_JOBS controls the worker count).
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 
 #include "cpu/assembler.hpp"
 #include "cpu/core.hpp"
 #include "cpu/iss.hpp"
 #include "cpu/workloads.hpp"
+#include "engine/sweep.hpp"
 #include "gen/mult16.hpp"
 #include "mep/mep.hpp"
 #include "scpg/analysis.hpp"
 #include "scpg/measure.hpp"
 #include "scpg/model.hpp"
 #include "scpg/transform.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -26,6 +30,24 @@ using namespace scpg::literals;
 
 /// Process-lifetime cell library (netlists keep a pointer to it).
 [[nodiscard]] const Library& bench_lib();
+
+/// Random-operand multiplier stimulus driven from the engine's per-point
+/// RNG stream (deterministic per operating point, any job count).
+[[nodiscard]] engine::Stimulus mult_stimulus();
+inline const std::string kMultStimKey = "mult:rand16@+1ns";
+
+/// Releases the SCM0 reset at time 0.
+void cpu_setup_fn(Simulator& s);
+inline const std::string kCpuSetupKey = "scm0:rst_n@0";
+
+/// SweepSpec preloaded with the multiplier fixture (random operands,
+/// `cfg` rail calibration, `cycles` measured cycles).  Add designs, axes
+/// or points, then run an engine::Experiment.
+[[nodiscard]] engine::SweepSpec mult_spec(SimConfig cfg, int cycles = 24);
+
+/// SweepSpec preloaded with the SCM0 fixture (reset release, free-running
+/// program image).
+[[nodiscard]] engine::SweepSpec cpu_spec(SimConfig cfg, int cycles = 40);
 
 /// The 16-bit multiplier case study (paper §III-A).
 struct MultSetup {
@@ -41,7 +63,8 @@ struct MultSetup {
 
 [[nodiscard]] MultSetup make_mult_setup();
 
-/// Measures the multiplier with fresh random operands every cycle.
+/// Measures the multiplier at one operating point with fresh random
+/// operands every cycle (engine-backed: cached and deterministic).
 [[nodiscard]] MeasureResult measure_mult(const Netlist& nl, SimConfig cfg,
                                          Frequency f, double duty,
                                          bool override_gating,
@@ -87,6 +110,16 @@ struct TableRow {
     return 100.0 * (1.0 - p_max.v / p_none.v);
   }
 };
+
+/// Measures a whole paper-style table as ONE engine sweep: at each
+/// frequency, no-PG on `original` and SCPG@50% / SCPG-Max (duty from the
+/// model) on `gated` — all points run concurrently (`jobs <= 0` means
+/// default_jobs()).  An infeasible SCPG-Max row reports the @50% power,
+/// as the paper's starred rows do.
+[[nodiscard]] std::vector<TableRow> measure_rows(
+    const Netlist& original, const Netlist& gated,
+    const ScpgPowerModel& gated_model, engine::SweepSpec spec,
+    std::span<const double> freqs_mhz, int jobs = 0);
 
 /// Formats a TableRow block in the paper's Table I/II layout.
 void print_rows(const std::string& title,

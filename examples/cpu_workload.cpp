@@ -9,8 +9,8 @@
 #include "cpu/core.hpp"
 #include "cpu/iss.hpp"
 #include "cpu/workloads.hpp"
+#include "engine/sweep.hpp"
 #include "netlist/funcsim.hpp"
-#include "scpg/measure.hpp"
 #include "scpg/transform.hpp"
 #include "util/table.hpp"
 
@@ -76,22 +76,26 @@ inner:  add  r2, r2, r1
 
   TextTable t("\nSCM0 power running this program (0.6 V)");
   t.header({"clock", "gating", "avg power", "energy/cycle"});
-  for (double fm : {0.1, 2.0}) {
-    for (bool ovr : {true, false}) {
-      MeasureOptions mo;
-      mo.f = Frequency{fm * 1e6};
-      mo.sim = cfg;
-      mo.cycles = 40;
-      mo.override_gating = ovr;
-      mo.setup = [](Simulator& s) {
-        s.drive_at(0, s.netlist().port_net("rst_n"), Logic::L1);
-      };
-      const MeasureResult r = measure_average_power(gated.netlist, mo);
-      t.row({TextTable::num(fm, 1) + " MHz", ovr ? "off (override)" : "on",
-             TextTable::num(in_uW(r.avg_power), 2) + " uW",
-             TextTable::num(in_pJ(r.energy_per_cycle), 2) + " pJ"});
-    }
-  }
+  // All four operating points (2 frequencies x override on/off) run as
+  // one parallel engine sweep.
+  const std::vector<double> fms = {0.1, 2.0};
+  engine::SweepSpec spec;
+  spec.design(gated.netlist)
+      .frequencies({Frequency{fms[0] * 1e6}, Frequency{fms[1] * 1e6}})
+      .overrides({true, false})
+      .base_sim(cfg)
+      .cycles(40)
+      .setup(
+          [](Simulator& s) {
+            s.drive_at(0, s.netlist().port_net("rst_n"), Logic::L1);
+          },
+          "scm0:rst_n@0");
+  const engine::SweepResult res = engine::Experiment(std::move(spec)).run();
+  for (const engine::PointResult& r : res)
+    t.row({TextTable::num(in_MHz(r.point.f), 1) + " MHz",
+           r.point.override_gating ? "off (override)" : "on",
+           TextTable::num(in_uW(r.avg_power), 2) + " uW",
+           TextTable::num(in_pJ(r.energy_per_cycle), 2) + " pJ"});
   t.print(std::cout);
   std::cout << "\nsub-clock power gating is transparent to the software: "
                "the same binary, the same results, less power at low "

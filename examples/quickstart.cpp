@@ -8,9 +8,9 @@
 //   3. simulate both designs at 100 kHz / 0.6 V and compare average power.
 #include <iostream>
 
+#include "engine/sweep.hpp"
 #include "gen/mult16.hpp"
 #include "netlist/report.hpp"
-#include "scpg/measure.hpp"
 #include "scpg/transform.hpp"
 #include "util/rng.hpp"
 
@@ -31,19 +31,28 @@ int main() {
             << info.isolation_cells << " isolation cells, area +"
             << int(100.0 * info.area_overhead() + 0.5) << "%\n\n";
 
-  // 3. Measure both at 100 kHz, 0.6 V, random operands each cycle.
-  MeasureOptions mo;
-  mo.f = 100.0_kHz;
-  mo.sim.corner = {0.6_V, 25.0};
-  mo.cycles = 16;
-  Rng rng(1);
-  mo.stimulus = [&rng](Simulator& s, int) {
-    s.drive_bus_at(s.now() + to_fs(1.0_ns), "a", rng.bits(8), 8);
-    s.drive_bus_at(s.now() + to_fs(1.0_ns), "b", rng.bits(8), 8);
-  };
+  // 3. Measure both at 100 kHz, 0.6 V, random operands each cycle.  Both
+  //    designs go into one SweepSpec; the engine runs them as parallel
+  //    jobs and the per-point RNG stream keeps the result independent of
+  //    the job count.
+  SimConfig cfg;
+  cfg.corner = {0.6_V, 25.0};
+  engine::SweepSpec spec;
+  spec.design(original, "original")
+      .design(gated, "gated")
+      .frequency(100.0_kHz)
+      .base_sim(cfg)
+      .cycles(16)
+      .stimulus(
+          [](Simulator& s, int, Rng& rng) {
+            s.drive_bus_at(s.now() + to_fs(1.0_ns), "a", rng.bits(8), 8);
+            s.drive_bus_at(s.now() + to_fs(1.0_ns), "b", rng.bits(8), 8);
+          },
+          "quickstart:rand8");
 
-  const MeasureResult r0 = measure_average_power(original, mo);
-  const MeasureResult r1 = measure_average_power(gated, mo);
+  const engine::SweepResult res = engine::Experiment(std::move(spec)).run();
+  const engine::PointResult& r0 = res[0];
+  const engine::PointResult& r1 = res[1];
 
   std::cout << "no power gating: " << in_uW(r0.avg_power) << " uW\n";
   std::cout << "sub-clock gated: " << in_uW(r1.avg_power) << " uW\n";

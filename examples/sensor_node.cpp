@@ -8,10 +8,10 @@
 // same power budget" claim, through the public analysis API.
 #include <iostream>
 
+#include "engine/sweep.hpp"
 #include "gen/mult16.hpp"
 #include "util/error.hpp"
 #include "scpg/analysis.hpp"
-#include "scpg/measure.hpp"
 #include "scpg/transform.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -28,19 +28,24 @@ int main() {
   SimConfig cfg;
   cfg.corner = {0.6_V, 25.0};
 
-  // Calibrate the dynamic energy once with a short simulation.
-  Rng rng(11);
-  MeasureOptions mo;
-  mo.f = 1.0_MHz;
-  mo.sim = cfg;
-  mo.cycles = 16;
-  mo.override_gating = true;
-  mo.stimulus = [&rng](Simulator& s, int) {
-    s.drive_bus_at(s.now() + to_fs(1.0_ns), "a", rng.bits(16), 16);
-    s.drive_bus_at(s.now() + to_fs(1.0_ns), "b", rng.bits(16), 16);
-  };
-  const Energy e_dyn{
-      measure_average_power(gated, mo).tally.dynamic_total().v / 16.0};
+  // Calibrate the dynamic energy once with a short engine run.
+  engine::SweepSpec cal;
+  cal.design(gated)
+      .frequency(1.0_MHz)
+      .base_sim(cfg)
+      .cycles(16)
+      .override_gating(true)
+      .stimulus(
+          [](Simulator& s, int, Rng& rng) {
+            s.drive_bus_at(s.now() + to_fs(1.0_ns), "a", rng.bits(16), 16);
+            s.drive_bus_at(s.now() + to_fs(1.0_ns), "b", rng.bits(16), 16);
+          },
+          "sensor:rand16");
+  const Energy e_dyn{engine::Experiment(std::move(cal))
+                         .run()[0]
+                         .tally.dynamic_total()
+                         .v /
+                     16.0};
 
   const ScpgPowerModel m_orig = ScpgPowerModel::extract(original, cfg, e_dyn);
   const ScpgPowerModel m_gated = ScpgPowerModel::extract(gated, cfg, e_dyn);
@@ -64,8 +69,8 @@ int main() {
   for (const Harvester& h : harvesters) {
     std::cout << "== " << h.name << " ==\n";
     try {
-      const BudgetComparison c =
-          compare_at_budget(m_orig, m_gated, h.budget, 1.0_kHz, 40.0_MHz);
+      const BudgetComparison c = compare_at_budget(
+          m_orig, m_gated, h.budget, 1.0_kHz, 40.0_MHz, /*jobs=*/0);
       TextTable t;
       t.header({"mode", "multiplies/s", "energy/op"});
       auto row = [&](const char* n, const BudgetPoint& p) {

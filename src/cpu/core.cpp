@@ -4,6 +4,7 @@
 #include "gen/components.hpp"
 #include "netlist/builder.hpp"
 #include "util/error.hpp"
+#include "util/hash.hpp"
 
 namespace scpg::cpu {
 
@@ -135,6 +136,11 @@ Scm0 make_scm0(const Library& lib, std::vector<std::uint16_t> rom_image) {
   rom_spec.input_cap = 1.5_fF;
   // The paper measures core power only; memories are external (zero-power
   // behavioural stand-ins, DESIGN.md §2).
+  {
+    Fnv1a ih;
+    for (const std::uint16_t w : rom_image) ih.mix(std::uint64_t(w));
+    rom_spec.content_digest = ih.digest();
+  }
   rom_spec.make_model = [image = std::move(rom_image)] {
     return std::make_unique<RomModel>(image);
   };

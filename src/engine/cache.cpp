@@ -1,0 +1,32 @@
+#include "engine/cache.hpp"
+
+namespace scpg::engine {
+
+ResultCache& ResultCache::global() {
+  static ResultCache cache;
+  return cache;
+}
+
+std::optional<Measurement> ResultCache::find(const CacheKey& key) const {
+  const std::lock_guard lock(m_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ResultCache::store(const CacheKey& key, const Measurement& m) {
+  const std::lock_guard lock(m_);
+  map_.emplace(key, m);
+}
+
+void ResultCache::clear() {
+  const std::lock_guard lock(m_);
+  map_.clear();
+}
+
+std::size_t ResultCache::size() const {
+  const std::lock_guard lock(m_);
+  return map_.size();
+}
+
+} // namespace scpg::engine

@@ -1,0 +1,57 @@
+// Process-global result cache for the sweep engine.
+//
+// A measurement is a pure function of (netlist structural digest, point
+// configuration digest) — see Experiment::point_digest — so repeated
+// sweeps over overlapping grids (e.g. the same anchor frequencies in two
+// benches, or a re-run with one axis extended) skip re-simulation.  Keys
+// are 128-bit: the same content hashed by two differently-salted FNV-1a
+// streams, making accidental collisions within a process vanishingly
+// unlikely.  Caching preserves bit-identical results by construction:
+// a hit returns exactly the Measurement the computation would produce.
+//
+// Sweeps whose stimulus/setup closures carry no cache key string are not
+// cacheable (the closure contents are invisible to hashing) and bypass
+// this cache entirely.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "engine/sweep.hpp"
+
+namespace scpg::engine {
+
+struct CacheKey {
+  std::uint64_t lo{0};
+  std::uint64_t hi{0};
+
+  bool operator==(const CacheKey&) const = default;
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const {
+    return std::size_t(k.lo ^ (k.hi * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Mutex-guarded map; safe for concurrent workers.  The map only grows —
+/// entries are a few hundred bytes each, and a whole paper reproduction
+/// is a few thousand points.
+class ResultCache {
+public:
+  static ResultCache& global();
+
+  [[nodiscard]] std::optional<Measurement> find(const CacheKey& key) const;
+  void store(const CacheKey& key, const Measurement& m);
+
+  void clear();
+  [[nodiscard]] std::size_t size() const;
+
+private:
+  mutable std::mutex m_;
+  std::unordered_map<CacheKey, Measurement, CacheKeyHash> map_;
+};
+
+} // namespace scpg::engine

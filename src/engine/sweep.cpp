@@ -1,0 +1,306 @@
+#include "engine/sweep.hpp"
+
+#include <chrono>
+#include <mutex>
+#include <utility>
+
+#include "engine/cache.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+#include "util/parallel.hpp"
+
+namespace scpg::engine {
+
+// --- SweepResult ------------------------------------------------------------
+
+const PointResult* SweepResult::find(std::string_view tag) const {
+  for (const auto& r : rows_)
+    if (r.point.tag == tag) return &r;
+  return nullptr;
+}
+
+const PointResult& SweepResult::at_tag(std::string_view tag) const {
+  const PointResult* r = find(tag);
+  SCPG_REQUIRE(r != nullptr,
+               "no sweep row tagged \"" + std::string(tag) + "\"");
+  return *r;
+}
+
+std::size_t SweepResult::cache_hits() const {
+  std::size_t n = 0;
+  for (const auto& r : rows_) n += r.cache_hit ? 1 : 0;
+  return n;
+}
+
+// --- SweepSpec --------------------------------------------------------------
+
+SweepSpec& SweepSpec::design(const Netlist& nl, std::string label) {
+  designs_.push_back(&nl);
+  design_labels_.push_back(label.empty() ? nl.name() : std::move(label));
+  return *this;
+}
+
+SweepSpec& SweepSpec::frequencies(std::vector<Frequency> fs) {
+  fs_ = std::move(fs);
+  return *this;
+}
+
+SweepSpec& SweepSpec::duties(std::vector<double> ds) {
+  duties_ = std::move(ds);
+  return *this;
+}
+
+SweepSpec& SweepSpec::corners(std::vector<Corner> cs) {
+  corners_ = std::move(cs);
+  return *this;
+}
+
+SweepSpec& SweepSpec::overrides(std::vector<bool> ovs) {
+  overrides_ = std::move(ovs);
+  return *this;
+}
+
+SweepSpec& SweepSpec::seeds(std::vector<std::uint64_t> ss) {
+  seeds_ = std::move(ss);
+  return *this;
+}
+
+SweepSpec& SweepSpec::point(OperatingPoint p) {
+  extra_.push_back(std::move(p));
+  return *this;
+}
+
+SweepSpec& SweepSpec::base_sim(SimConfig cfg) {
+  base_sim_ = cfg;
+  return *this;
+}
+
+SweepSpec& SweepSpec::cycles(int measured, int warmup) {
+  cycles_ = measured;
+  warmup_ = warmup;
+  return *this;
+}
+
+SweepSpec& SweepSpec::clock_port(std::string name) {
+  clock_port_ = std::move(name);
+  return *this;
+}
+
+SweepSpec& SweepSpec::override_port(std::string name) {
+  override_port_ = std::move(name);
+  return *this;
+}
+
+SweepSpec& SweepSpec::stimulus(Stimulus fn, std::string cache_key) {
+  stimulus_ = std::move(fn);
+  stimulus_key_ = std::move(cache_key);
+  return *this;
+}
+
+SweepSpec& SweepSpec::setup(Setup fn, std::string cache_key) {
+  setup_ = std::move(fn);
+  setup_key_ = std::move(cache_key);
+  return *this;
+}
+
+SweepSpec& SweepSpec::jobs(int n) {
+  jobs_ = n;
+  return *this;
+}
+
+SweepSpec& SweepSpec::use_cache(bool on) {
+  use_cache_ = on;
+  return *this;
+}
+
+SweepSpec& SweepSpec::on_progress(ProgressFn fn) {
+  progress_ = std::move(fn);
+  return *this;
+}
+
+std::vector<OperatingPoint> SweepSpec::expand() const {
+  // Unset axes contribute one default element; an unset frequency axis
+  // contributes nothing (the grid is empty, only explicit points run).
+  const std::vector<double> duties = duties_.empty()
+                                         ? std::vector<double>{0.5}
+                                         : duties_;
+  const std::vector<Corner> corners =
+      corners_.empty() ? std::vector<Corner>{base_sim_.corner} : corners_;
+  const std::vector<bool> overrides =
+      overrides_.empty() ? std::vector<bool>{false} : overrides_;
+  const std::vector<std::uint64_t> seeds =
+      seeds_.empty() ? std::vector<std::uint64_t>{0} : seeds_;
+
+  std::vector<OperatingPoint> pts;
+  for (std::size_t d = 0; d < designs_.size(); ++d)
+    for (const Frequency f : fs_)
+      for (const double duty : duties)
+        for (const Corner c : corners)
+          for (const std::uint64_t s : seeds)
+            for (const bool ov : overrides) {
+              OperatingPoint p;
+              p.design = d;
+              p.f = f;
+              p.duty_high = duty;
+              p.corner = c;
+              p.override_gating = ov;
+              p.seed = s;
+              pts.push_back(std::move(p));
+            }
+  pts.insert(pts.end(), extra_.begin(), extra_.end());
+  return pts;
+}
+
+// --- Experiment -------------------------------------------------------------
+
+Experiment::Experiment(SweepSpec spec) : spec_(std::move(spec)) {
+  SCPG_REQUIRE(!spec_.designs_.empty(), "sweep needs at least one design");
+  SCPG_REQUIRE(spec_.cycles_ >= 1, "need at least one measured cycle");
+  SCPG_REQUIRE(spec_.warmup_ >= 1,
+               "need at least one warm-up cycle (X flush)");
+  design_digests_.reserve(spec_.designs_.size());
+  for (const Netlist* nl : spec_.designs_)
+    design_digests_.push_back(structural_digest(*nl));
+}
+
+namespace {
+
+void mix_sim_config(Fnv1a& h, const SimConfig& cfg) {
+  h.mix_double(cfg.corner.vdd.v);
+  h.mix_double(cfg.corner.temp_c);
+  h.mix_double(cfg.rail_corrupt_frac);
+  h.mix_double(cfg.rail_ready_frac);
+  h.mix_double(cfg.crowbar_per_cell.v);
+  h.mix_double(cfg.header_ron_derate);
+  h.mix_double(cfg.rail_cap_factor);
+  h.mix_double(cfg.x_input_leak_penalty);
+}
+
+} // namespace
+
+std::uint64_t Experiment::point_digest(const OperatingPoint& pt) const {
+  SCPG_REQUIRE(pt.design < spec_.designs_.size(),
+               "operating point references an unknown design");
+  Fnv1a h;
+  h.mix(design_digests_[pt.design]);
+  h.mix_double(pt.f.v);
+  h.mix_double(pt.duty_high);
+  SimConfig cfg = spec_.base_sim_;
+  cfg.corner = pt.corner;
+  mix_sim_config(h, cfg);
+  h.mix(std::uint64_t(pt.override_gating ? 1 : 0));
+  h.mix(pt.seed);
+  h.mix(std::uint64_t(spec_.warmup_));
+  h.mix(std::uint64_t(spec_.cycles_));
+  h.mix(std::string_view(spec_.clock_port_));
+  h.mix(std::string_view(spec_.override_port_));
+  h.mix(std::string_view(spec_.stimulus_key_));
+  h.mix(std::string_view(spec_.setup_key_));
+  return h.digest();
+}
+
+Measurement Experiment::measure_point(const OperatingPoint& pt,
+                                      std::uint64_t digest) const {
+  SCPG_REQUIRE(pt.f.v > 0, "frequency must be positive");
+  const Netlist& nl = *spec_.designs_[pt.design];
+
+  SimConfig cfg = spec_.base_sim_;
+  cfg.corner = pt.corner;
+  Simulator sim(nl, cfg);
+  sim.init_flops_to_zero();
+
+  const NetId clk = nl.port_net(spec_.clock_port_);
+  if (const PortId ov = nl.find_port(spec_.override_port_); ov.valid())
+    sim.drive_at(0, nl.port(ov).net,
+                 pt.override_gating ? Logic::L0 : Logic::L1);
+  if (spec_.setup_) spec_.setup_(sim);
+
+  const SimTime T = to_fs(period(pt.f));
+  // Low phase first: the clock rises after one low interval so the gated
+  // domain starts powered.
+  const SimTime first_rise = SimTime(double(T) * (1.0 - pt.duty_high));
+  sim.add_clock(clk, pt.f, pt.duty_high, first_rise);
+
+  // The stream is keyed by content, not by row index: a cache hit hands
+  // back exactly what this computation would produce, and adding or
+  // reordering grid axes never shifts another point's stimulus.
+  Rng rng = Rng::stream(pt.seed, digest);
+  int cycle = -1;
+  sim.on_rising_edge(clk, [this, &sim, &rng, &cycle]() {
+    ++cycle;
+    if (cycle == spec_.warmup_) sim.reset_tally();
+    if (spec_.stimulus_) spec_.stimulus_(sim, cycle, rng);
+  });
+
+  const SimTime t_end =
+      first_rise + T * SimTime(spec_.warmup_ + spec_.cycles_);
+  sim.run_until(t_end);
+
+  Measurement r;
+  r.tally = sim.tally();
+  r.cycles = spec_.cycles_;
+  SCPG_ASSERT(r.tally.window.v > 0);
+  r.avg_power = r.tally.average();
+  r.energy_per_cycle = Energy{r.tally.total().v / double(spec_.cycles_)};
+  return r;
+}
+
+SweepResult Experiment::run() const {
+  const std::vector<OperatingPoint> pts = spec_.expand();
+  for (const OperatingPoint& pt : pts)
+    SCPG_REQUIRE(pt.design < spec_.designs_.size(),
+                 "operating point references an unknown design");
+
+  // Opaque closures (no cache key) are invisible to hashing, so caching
+  // them would alias distinct stimuli.
+  const bool cacheable =
+      spec_.use_cache_ && (!spec_.stimulus_ || !spec_.stimulus_key_.empty()) &&
+      (!spec_.setup_ || !spec_.setup_key_.empty());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::mutex progress_m;
+  Progress prog;
+  prog.total = pts.size();
+
+  auto run_one = [&](std::size_t i) -> PointResult {
+    const OperatingPoint& pt = pts[i];
+    const std::uint64_t digest = point_digest(pt);
+
+    PointResult res;
+    res.point = pt;
+    CacheKey key;
+    if (cacheable) {
+      key.lo = digest;
+      Fnv1a salted(0x9e3779b97f4a7c15ULL);
+      salted.mix(design_digests_[pt.design]);
+      salted.mix(digest);
+      key.hi = salted.digest();
+      if (const auto hit = ResultCache::global().find(key)) {
+        static_cast<Measurement&>(res) = *hit;
+        res.cache_hit = true;
+      }
+    }
+    if (!res.cache_hit) {
+      static_cast<Measurement&>(res) = measure_point(pt, digest);
+      if (cacheable) ResultCache::global().store(key, res);
+    }
+
+    if (spec_.progress_) {
+      const std::lock_guard lock(progress_m);
+      ++prog.done;
+      prog.cache_hits += res.cache_hit ? 1 : 0;
+      prog.elapsed_s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+      prog.eta_s = prog.done > 0 ? prog.elapsed_s / double(prog.done) *
+                                       double(prog.total - prog.done)
+                                 : 0.0;
+      spec_.progress_(prog);
+    }
+    return res;
+  };
+
+  return SweepResult(parallel_map(pts.size(), spec_.jobs_, run_one));
+}
+
+} // namespace scpg::engine

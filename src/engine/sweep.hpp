@@ -1,0 +1,232 @@
+// Parallel sweep engine: SweepSpec -> Experiment -> SweepResult.
+//
+// Every measurement campaign in the repo — the paper's frequency tables,
+// figure sweeps, corner grids, Monte-Carlo runs — is a grid of
+// *independent* operating points simulated on the same design(s).  This
+// engine executes any such grid concurrently:
+//
+//   * one immutable Netlist/Library shared read-only by all workers;
+//   * one private Simulator per point (simulators are stateful and
+//     non-copyable — they are never shared);
+//   * a deterministic per-point RNG stream derived from the sweep seed
+//     and the point's configuration digest (Rng::stream), so stimulus is
+//     a pure function of the point, never of execution order;
+//   * index-ordered results (util/parallel.hpp), so a parallel run is
+//     bit-identical to `jobs(1)`;
+//   * a process-global result cache keyed by (netlist structural digest,
+//     point configuration digest) — see engine/cache.hpp;
+//   * an optional progress/ETA callback for long campaigns.
+//
+// Layering: the engine depends on sim/netlist/util only.  SCPG-aware
+// sweep construction (duty_for, feasibility) lives in the callers
+// (bench/, scpg/), which build specs from model queries.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace scpg::engine {
+
+/// What one simulation job measured — field-compatible with the legacy
+/// MeasureResult (scpg/measure.hpp aliases it).
+struct Measurement {
+  PowerTally tally;   ///< energy buckets over the measurement window
+  int cycles{0};
+  Power avg_power{};
+  Energy energy_per_cycle{};
+};
+
+/// Per-cycle stimulus: runs right after every rising clock edge with the
+/// 0-based cycle index and the point's private RNG stream.  Use the
+/// provided Rng (not a captured one) so stimulus stays deterministic and
+/// race-free when points run concurrently.
+using Stimulus = std::function<void(Simulator&, int, Rng&)>;
+
+/// Extra setup before time 0 (e.g. drive a reset, preload memories).
+using Setup = std::function<void(Simulator&)>;
+
+/// One fully resolved simulation job of a sweep.
+struct OperatingPoint {
+  std::size_t design{0};      ///< index into the spec's designs
+  Frequency f{Frequency{1e6}};
+  double duty_high{0.5};
+  Corner corner{Voltage{0.6}, 25.0};
+  bool override_gating{false};///< drive override_n low (gating disabled)
+  std::uint64_t seed{0};      ///< sweep seed for this point's RNG stream
+  std::string tag;            ///< caller label, carried into the result
+};
+
+struct PointResult : Measurement {
+  OperatingPoint point;
+  bool cache_hit{false};
+};
+
+struct Progress {
+  std::size_t done{0};
+  std::size_t total{0};
+  std::size_t cache_hits{0};
+  double elapsed_s{0};
+  double eta_s{0}; ///< linear extrapolation; 0 when done == 0
+};
+
+/// Invoked after every completed point.  Calls are serialised by the
+/// engine but may come from any worker thread, and completion order is
+/// not deterministic — do not derive results from this hook.
+using ProgressFn = std::function<void(const Progress&)>;
+
+/// Typed result table: one row per operating point, in the deterministic
+/// row order of SweepSpec (grid order, then explicit points).
+class SweepResult {
+public:
+  SweepResult() = default;
+  explicit SweepResult(std::vector<PointResult> rows)
+      : rows_(std::move(rows)) {}
+
+  [[nodiscard]] std::span<const PointResult> rows() const { return rows_; }
+  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+  [[nodiscard]] bool empty() const { return rows_.empty(); }
+  [[nodiscard]] const PointResult& operator[](std::size_t i) const {
+    return rows_[i];
+  }
+  [[nodiscard]] auto begin() const { return rows_.begin(); }
+  [[nodiscard]] auto end() const { return rows_.end(); }
+
+  /// First row whose tag matches; nullptr if absent.
+  [[nodiscard]] const PointResult* find(std::string_view tag) const;
+  /// First row whose tag matches; throws PreconditionError if absent.
+  [[nodiscard]] const PointResult& at_tag(std::string_view tag) const;
+
+  [[nodiscard]] std::size_t cache_hits() const;
+
+private:
+  std::vector<PointResult> rows_;
+};
+
+/// Builder describing a sweep: designs, point grid, shared fixture
+/// (stimulus/setup/cycle counts) and execution policy (jobs, caching,
+/// progress).  Grid axes cross-multiply in nesting order
+/// designs > frequencies > duties > corners > seeds > overrides; explicit
+/// point() entries are appended after the grid.  Unset axes default to a
+/// single element (duty 0.5, corner = base_sim's, seed 0, override off),
+/// so a spec with one design and one frequency is a single measurement.
+class SweepSpec {
+public:
+  // --- designs and grid axes ----------------------------------------------
+
+  /// Adds a design.  The netlist must outlive the experiment and is
+  /// shared read-only across workers — do not mutate it while running.
+  SweepSpec& design(const Netlist& nl, std::string label = {});
+
+  SweepSpec& frequencies(std::vector<Frequency> fs);
+  SweepSpec& frequency(Frequency f) { return frequencies({f}); }
+  SweepSpec& duties(std::vector<double> ds);
+  SweepSpec& duty(double d) { return duties({d}); }
+  SweepSpec& corners(std::vector<Corner> cs);
+  SweepSpec& corner(Corner c) { return corners({c}); }
+  SweepSpec& overrides(std::vector<bool> ovs);
+  SweepSpec& override_gating(bool ov) { return overrides({ov}); }
+  SweepSpec& seeds(std::vector<std::uint64_t> ss);
+  SweepSpec& seed(std::uint64_t s) { return seeds({s}); }
+
+  /// Appends one explicit point after the grid (for rows that are not a
+  /// cross product, e.g. gated-at-dmax where the duty depends on f).
+  /// point.design must index a design added via design().
+  SweepSpec& point(OperatingPoint p);
+
+  // --- shared fixture ------------------------------------------------------
+
+  /// Base SimConfig; each point overrides its `corner` field.
+  SweepSpec& base_sim(SimConfig cfg);
+  SweepSpec& cycles(int measured, int warmup = 4);
+  SweepSpec& clock_port(std::string name);
+  SweepSpec& override_port(std::string name);
+
+  /// Per-cycle stimulus shared by all points.  `cache_key` names the
+  /// stimulus behaviour for the result cache; an empty key marks the
+  /// closure as opaque and disables caching for this sweep (two sweeps
+  /// with the same key string MUST apply identical stimulus).
+  SweepSpec& stimulus(Stimulus fn, std::string cache_key = {});
+  SweepSpec& setup(Setup fn, std::string cache_key = {});
+
+  // --- execution policy ----------------------------------------------------
+
+  /// Worker count; <= 0 means default_jobs() (SCPG_JOBS env or hardware).
+  SweepSpec& jobs(int n);
+  SweepSpec& use_cache(bool on);
+  SweepSpec& on_progress(ProgressFn fn);
+
+  // --- inspection ----------------------------------------------------------
+
+  /// The fully expanded point list, in result-row order.
+  [[nodiscard]] std::vector<OperatingPoint> expand() const;
+  [[nodiscard]] const SimConfig& base_sim() const { return base_sim_; }
+  [[nodiscard]] std::size_t num_designs() const { return designs_.size(); }
+  [[nodiscard]] const Netlist& design_at(std::size_t i) const {
+    return *designs_[i];
+  }
+  [[nodiscard]] std::string_view design_label(std::size_t i) const {
+    return design_labels_[i];
+  }
+
+private:
+  friend class Experiment;
+
+  std::vector<const Netlist*> designs_;
+  std::vector<std::string> design_labels_;
+  std::vector<Frequency> fs_;
+  std::vector<double> duties_;
+  std::vector<Corner> corners_;
+  std::vector<bool> overrides_;
+  std::vector<std::uint64_t> seeds_;
+  std::vector<OperatingPoint> extra_;
+
+  SimConfig base_sim_{};
+  int cycles_{24};
+  int warmup_{4};
+  std::string clock_port_{"clk"};
+  std::string override_port_{"override_n"};
+  Stimulus stimulus_;
+  std::string stimulus_key_;
+  Setup setup_;
+  std::string setup_key_;
+
+  int jobs_{0};
+  bool use_cache_{true};
+  ProgressFn progress_;
+};
+
+/// Executes a SweepSpec.  run() may be called repeatedly (a second run
+/// hits the cache when caching is enabled).
+class Experiment {
+public:
+  explicit Experiment(SweepSpec spec);
+
+  /// Runs every point and returns the typed table.  Row i of the result
+  /// corresponds to spec.expand()[i] regardless of job count — parallel
+  /// output is bit-identical to serial.
+  [[nodiscard]] SweepResult run() const;
+
+  [[nodiscard]] const SweepSpec& spec() const { return spec_; }
+
+  /// Content digest of one point's full configuration (netlist digest +
+  /// operating point + shared fixture).  This keys both the result cache
+  /// and the point's RNG stream; exposed for tests.
+  [[nodiscard]] std::uint64_t point_digest(const OperatingPoint& pt) const;
+
+private:
+  [[nodiscard]] Measurement measure_point(const OperatingPoint& pt,
+                                          std::uint64_t digest) const;
+
+  SweepSpec spec_;
+  std::vector<std::uint64_t> design_digests_;
+};
+
+} // namespace scpg::engine

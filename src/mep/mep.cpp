@@ -5,6 +5,7 @@
 #include "power/power.hpp"
 #include "util/error.hpp"
 #include "util/numeric.hpp"
+#include "util/parallel.hpp"
 
 namespace scpg {
 
@@ -32,14 +33,15 @@ MepResult analyze_mep(const Netlist& nl, Energy e_dyn_ref, Corner ref_corner,
   SCPG_REQUIRE(e_dyn_ref.v > 0, "dynamic reference energy must be positive");
 
   MepResult r;
-  r.sweep.reserve(std::size_t(opt.points));
-  for (int i = 0; i < opt.points; ++i) {
-    const double v = opt.v_lo.v +
-                     (opt.v_hi.v - opt.v_lo.v) * double(i) /
-                         double(opt.points - 1);
-    r.sweep.push_back(
-        mep_point(nl, e_dyn_ref, ref_corner, Voltage{v}, opt.temp_c));
-  }
+  r.sweep = parallel_map(std::size_t(opt.points), opt.jobs,
+                         [&](std::size_t i) {
+                           const double v =
+                               opt.v_lo.v + (opt.v_hi.v - opt.v_lo.v) *
+                                                double(i) /
+                                                double(opt.points - 1);
+                           return mep_point(nl, e_dyn_ref, ref_corner,
+                                            Voltage{v}, opt.temp_c);
+                         });
 
   // Coarse minimum, then golden-section refinement around it.
   std::size_t imin = 0;

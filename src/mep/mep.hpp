@@ -21,6 +21,10 @@ struct MepOptions {
   Voltage v_hi{0.9};
   int points{40};     ///< sweep resolution (refined around the minimum)
   double temp_c{25.0};
+  /// Worker count for the voltage sweep (each point runs an independent
+  /// STA + leakage evaluation); <= 0 uses default_jobs().  The
+  /// golden-section refinement around the minimum is inherently serial.
+  int jobs{1};
 };
 
 struct MepPoint {

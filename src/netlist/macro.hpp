@@ -48,6 +48,13 @@ struct MacroSpec {
   Area area{};
   Capacitance input_cap{};  ///< per input pin
 
+  /// Digest of the behavioural contents hidden inside make_model (e.g.
+  /// the ROM program image).  Builders that bake state into the factory
+  /// closure must set this so structural_digest() — and therefore the
+  /// sweep engine's result cache — distinguishes netlists that differ
+  /// only in memory contents.  Zero means "stateless/empty".
+  std::uint64_t content_digest{0};
+
   /// Factory producing the per-instance behaviour.
   std::function<std::unique_ptr<MacroModel>()> make_model;
 };

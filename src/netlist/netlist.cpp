@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "util/error.hpp"
+#include "util/hash.hpp"
 
 namespace scpg {
 
@@ -337,6 +338,58 @@ Capacitance Netlist::net_load(NetId id) const {
     if (!d.is_macro()) load += lib_->spec(d.spec).output_cap;
   }
   return load;
+}
+
+std::uint64_t structural_digest(const Netlist& nl) {
+  Fnv1a h;
+
+  // Technology parameters: the same graph over a Vt-shifted library
+  // simulates differently (process-variation corners).
+  const TechParams& tp = nl.lib().tech().params();
+  h.mix_double(tp.vdd_nom.v);
+  h.mix_double(tp.vt.v);
+  h.mix_double(tp.alpha);
+  h.mix_double(tp.n_vt.v);
+  h.mix_double(tp.dibl_per_v);
+  h.mix_double(tp.leak_char_vt.v);
+  h.mix_double(tp.leak_t2x_c);
+  h.mix_double(tp.temp_nom_c);
+  h.mix_double(tp.delay_tempco_per_c);
+  h.mix(nl.lib().name());
+  h.mix(std::uint64_t(nl.lib().size()));
+
+  h.mix(std::uint64_t(nl.num_cells()));
+  h.mix(std::uint64_t(nl.num_nets()));
+  for (std::uint32_t ci = 0; ci < nl.num_cells(); ++ci) {
+    const Cell& c = nl.cell(CellId{ci});
+    h.mix(std::uint64_t(c.spec));
+    h.mix(std::uint64_t(std::int64_t(c.macro)));
+    h.mix(std::uint64_t(c.domain == Domain::Gated ? 1 : 0));
+    for (const NetId in : c.inputs) h.mix(std::uint64_t(in.v));
+    for (const NetId out : c.outputs) h.mix(std::uint64_t(out.v));
+  }
+  for (const Port& p : nl.ports()) {
+    h.mix(p.name); // ports are the stimulus interface; names matter
+    h.mix(std::uint64_t(p.dir == PortDir::Out ? 1 : 0));
+    h.mix(std::uint64_t(p.net.v));
+  }
+  for (const MacroSpec& m : nl.macro_specs()) {
+    h.mix(m.type_name);
+    h.mix(std::uint64_t(m.num_inputs));
+    h.mix(std::uint64_t(m.num_outputs));
+    h.mix(std::uint64_t(m.has_clock ? 1 : 0));
+    h.mix_double(m.access_delay.v);
+    h.mix_double(m.leakage.v);
+    h.mix_double(m.energy_per_access.v);
+    h.mix_double(m.area.v);
+    h.mix_double(m.input_cap.v);
+    h.mix(m.content_digest);
+  }
+  h.mix_double(nl.wire_load().base.v);
+  h.mix_double(nl.wire_load().per_fanout.v);
+  for (std::uint32_t ni = 0; ni < nl.num_nets(); ++ni)
+    h.mix_double(nl.net_load(NetId{ni}).v);
+  return h.digest();
 }
 
 } // namespace scpg

@@ -211,4 +211,14 @@ private:
   std::vector<double> net_wire_cap_; ///< per-net override in F; -1 = unset
 };
 
+/// Order-stable structural digest: cells (spec, pin connections, domain),
+/// ports (with names — they are the stimulus interface), macro specs
+/// (including their content digest), the wire-load model, per-net
+/// wire-cap overrides, and the bound library's technology parameters all
+/// feed the hash.  Two netlists with equal digests simulate identically
+/// at a given SimConfig, which is what the sweep engine's result cache
+/// keys on.  Internal cell/net names are excluded — renaming internals
+/// cannot change behaviour.
+[[nodiscard]] std::uint64_t structural_digest(const Netlist& nl);
+
 } // namespace scpg

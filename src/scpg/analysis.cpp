@@ -2,6 +2,7 @@
 
 #include "util/error.hpp"
 #include "util/numeric.hpp"
+#include "util/parallel.hpp"
 
 namespace scpg {
 
@@ -43,23 +44,24 @@ Frequency convergence_frequency(const ScpgPowerModel& m, GatingMode mode,
 BudgetComparison compare_at_budget(const ScpgPowerModel& original,
                                    const ScpgPowerModel& gated,
                                    Power budget, Frequency f_lo,
-                                   Frequency f_hi) {
-  BudgetComparison c;
-  c.budget = budget;
-  for (GatingMode mode :
-       {GatingMode::None, GatingMode::Scpg50, GatingMode::ScpgMax}) {
+                                   Frequency f_hi, int jobs) {
+  constexpr GatingMode kModes[] = {GatingMode::None, GatingMode::Scpg50,
+                                   GatingMode::ScpgMax};
+  const auto points = parallel_map(3, jobs, [&](std::size_t i) {
+    const GatingMode mode = kModes[i];
     const ScpgPowerModel& m = mode == GatingMode::None ? original : gated;
     BudgetPoint p;
     p.mode = mode;
     p.f = max_frequency_for_budget(m, mode, budget, f_lo, f_hi);
     p.power = m.average_power(mode, p.f);
     p.energy = m.energy_per_op(mode, p.f);
-    switch (mode) {
-      case GatingMode::None: c.none = p; break;
-      case GatingMode::Scpg50: c.scpg50 = p; break;
-      case GatingMode::ScpgMax: c.scpg_max = p; break;
-    }
-  }
+    return p;
+  });
+  BudgetComparison c;
+  c.budget = budget;
+  c.none = points[0];
+  c.scpg50 = points[1];
+  c.scpg_max = points[2];
   return c;
 }
 

@@ -60,8 +60,10 @@ private:
 /// evaluated on the *original* design's model (no SCPG fabric, lower
 /// leakage floor), exactly as the paper compares against the unmodified
 /// design; the gating columns use the transformed design's model.
+/// The three bisections are independent and run as parallel jobs when
+/// `jobs` allows (`jobs <= 0` uses default_jobs()).
 [[nodiscard]] BudgetComparison compare_at_budget(
     const ScpgPowerModel& original, const ScpgPowerModel& gated,
-    Power budget, Frequency f_lo, Frequency f_hi);
+    Power budget, Frequency f_lo, Frequency f_hi, int jobs = 1);
 
 } // namespace scpg

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace scpg {
 
@@ -36,11 +37,11 @@ HeaderEval evaluate_header(const Library& lib, int drive, int count,
 std::vector<HeaderEval> sweep_headers(const Library& lib, int count,
                                       const HeaderDemand& d,
                                       const HeaderConstraints& c,
-                                      Corner corner) {
-  std::vector<HeaderEval> out;
-  for (int drive : lib.drives_of(CellKind::Header))
-    out.push_back(evaluate_header(lib, drive, count, d, c, corner));
-  return out;
+                                      Corner corner, int jobs) {
+  const std::vector<int> drives = lib.drives_of(CellKind::Header);
+  return parallel_map(drives.size(), jobs, [&](std::size_t i) {
+    return evaluate_header(lib, drives[i], count, d, c, corner);
+  });
 }
 
 HeaderEval choose_header(const Library& lib, int count,

@@ -58,10 +58,12 @@ struct HeaderEval {
                                          const HeaderConstraints& c,
                                          Corner corner);
 
-/// Characterises every available drive at a fixed bank count.
+/// Characterises every available drive at a fixed bank count.  The
+/// drives are independent, so they run as engine jobs: `jobs <= 0` uses
+/// default_jobs(); results are in drive order regardless of job count.
 [[nodiscard]] std::vector<HeaderEval> sweep_headers(
     const Library& lib, int count, const HeaderDemand& d,
-    const HeaderConstraints& c, Corner corner);
+    const HeaderConstraints& c, Corner corner, int jobs = 1);
 
 /// Picks the feasible bank with the lowest IR drop (the paper's
 /// criterion); throws InfeasibleError when nothing meets the constraints.

@@ -1,14 +1,17 @@
-// Simulation measurement harness.
+// Legacy simulation measurement harness (deprecated).
 //
-// Runs a design in the event-driven simulator at an operating point
-// (frequency, duty cycle, corner) with user stimulus, warms up, and
-// measures average power and per-cycle energy over an integral number of
-// clock cycles — the reproduction's stand-in for the paper's HSpice power
-// measurements.
+// The original single-point measure_average_power() predates the parallel
+// sweep engine; it survives as a thin wrapper so old call sites keep
+// compiling, but new code should build an engine::SweepSpec and run an
+// engine::Experiment (src/engine/sweep.hpp) — one spec expresses the
+// whole grid, runs points concurrently and caches results.
+// See DESIGN.md §8 for the migration map.
 #pragma once
 
 #include <functional>
+#include <utility>
 
+#include "engine/sweep.hpp"
 #include "netlist/netlist.hpp"
 #include "sim/simulator.hpp"
 
@@ -32,17 +35,32 @@ struct MeasureOptions {
   std::string override_port{"override_n"};
 };
 
-struct MeasureResult {
-  PowerTally tally;   ///< energy buckets over the measurement window
-  int cycles{0};
-  Power avg_power{};
-  Energy energy_per_cycle{};
-};
+using MeasureResult = engine::Measurement;
 
-/// Simulates and measures.  The measurement window starts at the rising
-/// edge following `warmup_cycles` full cycles and spans exactly `cycles`
-/// periods.
-[[nodiscard]] MeasureResult measure_average_power(const Netlist& nl,
-                                                  const MeasureOptions& opt);
+/// Simulates and measures one operating point.  The measurement window
+/// starts at the rising edge following `warmup_cycles` full cycles and
+/// spans exactly `cycles` periods.  Runs serially and uncached — exactly
+/// the pre-engine behaviour.
+[[deprecated("build an engine::SweepSpec and run engine::Experiment "
+             "instead (src/engine/sweep.hpp)")]] [[nodiscard]]
+inline MeasureResult measure_average_power(const Netlist& nl,
+                                           const MeasureOptions& opt) {
+  engine::SweepSpec spec;
+  spec.design(nl)
+      .frequency(opt.f)
+      .duty(opt.duty_high)
+      .base_sim(opt.sim)
+      .override_gating(opt.override_gating)
+      .cycles(opt.cycles, opt.warmup_cycles)
+      .clock_port(opt.clock_port)
+      .override_port(opt.override_port)
+      .jobs(1)
+      .use_cache(false);
+  if (opt.stimulus)
+    spec.stimulus(
+        [fn = opt.stimulus](Simulator& s, int cycle, Rng&) { fn(s, cycle); });
+  if (opt.setup) spec.setup(opt.setup);
+  return engine::Experiment(std::move(spec)).run()[0];
+}
 
 } // namespace scpg

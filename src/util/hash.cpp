@@ -1,0 +1,14 @@
+#include "util/hash.hpp"
+
+#include <cstring>
+
+namespace scpg {
+
+void Fnv1a::mix_double(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  mix(bits);
+}
+
+} // namespace scpg

@@ -1,0 +1,49 @@
+// Streaming structural hashing (FNV-1a, 64-bit).
+//
+// Used by the sweep engine to key its result cache: a netlist digest plus
+// a point-configuration digest identify a measurement.  Not cryptographic
+// — the engine pairs two differently-salted digests to make accidental
+// collisions within a process vanishingly unlikely.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace scpg {
+
+/// Incremental FNV-1a hasher over 64-bit words, strings and doubles.
+class Fnv1a {
+public:
+  Fnv1a() = default;
+  /// Salted start (used for the second digest of a 128-bit pair).
+  explicit Fnv1a(std::uint64_t salt) { mix(salt); }
+
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      byte(static_cast<unsigned char>(v & 0xff));
+      v >>= 8;
+    }
+  }
+
+  void mix(std::string_view s) {
+    for (const char c : s) byte(static_cast<unsigned char>(c));
+    // Length terminator so ("ab","c") != ("a","bc").
+    mix(std::uint64_t(s.size()));
+  }
+
+  /// Hashes the bit pattern (distinguishes -0.0 from 0.0; NaN payloads
+  /// hash as-is — acceptable for configuration data).
+  void mix_double(double v);
+
+  [[nodiscard]] std::uint64_t digest() const { return h_; }
+
+private:
+  void byte(unsigned char b) {
+    h_ ^= b;
+    h_ *= 0x100000001b3ULL;
+  }
+
+  std::uint64_t h_{0xcbf29ce484222325ULL};
+};
+
+} // namespace scpg

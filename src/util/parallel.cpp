@@ -1,0 +1,69 @@
+#include "util/parallel.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace scpg {
+
+int default_jobs() {
+  if (const char* env = std::getenv("SCPG_JOBS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1)
+      return int(std::min(v, 256L));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? int(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int jobs) {
+  SCPG_REQUIRE(jobs >= 1, "ThreadPool needs at least one worker");
+  workers_.reserve(std::size_t(jobs));
+  for (int i = 0; i < jobs; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(m_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard lock(m_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(m_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(m_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return; // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      const std::lock_guard lock(m_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+} // namespace scpg

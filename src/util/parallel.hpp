@@ -1,0 +1,108 @@
+// Thread-pool substrate of the parallel sweep engine (src/engine).
+//
+// Every sweep in the repo — operating-point grids, header sizing,
+// Monte-Carlo corners, MEP voltage sweeps — is a set of independent jobs,
+// so they all funnel through one primitive: parallel_map(), which runs
+// fn(0..n-1) on a pool of workers and returns the results in job-index
+// order.  Index-ordered results are what make parallel output
+// bit-identical to a serial run; nothing downstream can observe
+// completion order.
+//
+// jobs == 1 executes inline on the calling thread (no pool, no threads —
+// the degenerate case the determinism tests compare against).  The first
+// exception thrown by any job is captured and rethrown on the caller
+// after all workers drain.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace scpg {
+
+/// Worker count used when a sweep does not specify one: the SCPG_JOBS
+/// environment variable when it holds an integer >= 1, else the hardware
+/// concurrency (else 1).  Benches read this so `SCPG_JOBS=1 bench_x` and
+/// `SCPG_JOBS=8 bench_x` exercise the serial/parallel paths unchanged.
+[[nodiscard]] int default_jobs();
+
+/// Fixed-size pool of worker threads draining a FIFO task queue.
+/// Tasks must not submit further tasks to the same pool.
+class ThreadPool {
+public:
+  explicit ThreadPool(int jobs);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int jobs() const { return int(workers_.size()); }
+
+  /// Enqueues a task.  Tasks must not throw (wrap with your own capture).
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void wait();
+
+private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex m_;
+  std::condition_variable work_cv_;   // workers wait for tasks
+  std::condition_variable idle_cv_;   // wait() waits for drain
+  int active_{0};
+  bool stop_{false};
+};
+
+/// Runs fn(i) for i in [0, n) across `jobs` workers; returns the results
+/// in index order.  `jobs <= 0` means default_jobs(); `jobs == 1` (or
+/// n <= 1) runs inline.  The result type must be default-constructible
+/// and must not be `bool` (std::vector<bool> elements cannot be written
+/// concurrently).
+template <typename Fn>
+auto parallel_map(std::size_t n, int jobs, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  using R = std::invoke_result_t<Fn&, std::size_t>;
+  static_assert(!std::is_same_v<R, bool>,
+                "parallel_map result must not be bool");
+  std::vector<R> out(n);
+  if (jobs <= 0) jobs = default_jobs();
+  if (jobs == 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = fn(i);
+    return out;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex err_m;
+  std::exception_ptr err;
+  {
+    ThreadPool pool(int(std::min<std::size_t>(std::size_t(jobs), n)));
+    for (int w = 0; w < pool.jobs(); ++w)
+      pool.submit([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) return;
+          try {
+            out[i] = fn(i);
+          } catch (...) {
+            const std::lock_guard lock(err_m);
+            if (!err) err = std::current_exception();
+          }
+        }
+      });
+    pool.wait();
+  }
+  if (err) std::rethrow_exception(err);
+  return out;
+}
+
+} // namespace scpg

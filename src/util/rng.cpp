@@ -50,6 +50,17 @@ double Rng::uniform() {
 
 bool Rng::chance(double p) { return uniform() < p; }
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t key) {
+  // Mix the two inputs through independent splitmix chains before
+  // folding, so nearby (seed, key) pairs land in unrelated states.
+  std::uint64_t a = seed;
+  std::uint64_t b = key;
+  std::uint64_t sm = splitmix64(a) ^ rotl(splitmix64(b), 32);
+  Rng r;
+  for (auto& s : r.s_) s = splitmix64(sm);
+  return r;
+}
+
 std::uint64_t Rng::bits(int n) {
   SCPG_REQUIRE(n >= 0 && n <= 64, "Rng::bits requires 0 <= n <= 64");
   if (n == 0) return 0;

@@ -29,6 +29,15 @@ public:
   /// Uniform n-bit value (n in [0, 64]).
   std::uint64_t bits(int n);
 
+  /// Deterministically derived child stream: the (seed, key) pair fully
+  /// defines the stream, and distinct keys yield statistically
+  /// independent sequences (both inputs pass through splitmix64 before
+  /// seeding the state).  The sweep engine derives one stream per
+  /// operating point from the sweep seed and the point's configuration
+  /// digest, so a point's stimulus never depends on execution order or
+  /// worker count.
+  [[nodiscard]] static Rng stream(std::uint64_t seed, std::uint64_t key);
+
 private:
   std::uint64_t s_[4];
 };

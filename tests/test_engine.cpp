@@ -1,0 +1,397 @@
+// Tests for the parallel sweep engine (src/engine): SweepSpec expansion,
+// determinism across job counts, the result cache, RNG stream
+// independence, the parallel_map substrate, progress reporting, and
+// equivalence of the deprecated measure_average_power wrapper.
+//
+// Every suite name starts with "Engine" so tools/check.sh can run the
+// whole file under ThreadSanitizer with `ctest -R '^Engine'`.
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/cache.hpp"
+#include "engine/sweep.hpp"
+#include "gen/mult16.hpp"
+#include "scpg/measure.hpp"
+#include "scpg/transform.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+using namespace scpg;
+using namespace scpg::literals;
+
+namespace {
+
+const Library& lib() {
+  static const Library l = Library::scpg90();
+  return l;
+}
+
+const Netlist& mult8_original() {
+  static const Netlist nl = gen::make_multiplier(lib(), 8);
+  return nl;
+}
+
+const Netlist& mult8_gated() {
+  static const Netlist nl = [] {
+    Netlist n = gen::make_multiplier(lib(), 8);
+    apply_scpg(n);
+    return n;
+  }();
+  return nl;
+}
+
+engine::Stimulus rand8_stimulus() {
+  return [](Simulator& s, int, Rng& rng) {
+    s.drive_bus_at(s.now() + to_fs(1.0_ns), "a", rng.bits(8), 8);
+    s.drive_bus_at(s.now() + to_fs(1.0_ns), "b", rng.bits(8), 8);
+  };
+}
+
+/// A small two-design grid exercising frequency/override axes plus an
+/// explicit tagged point.
+engine::SweepSpec small_grid(int jobs, bool cache) {
+  engine::SweepSpec spec;
+  SimConfig cfg;
+  cfg.corner = {0.6_V, 25.0};
+  spec.design(mult8_original(), "orig")
+      .design(mult8_gated(), "gated")
+      .frequencies({100.0_kHz, 1.0_MHz})
+      .overrides({false, true})
+      .base_sim(cfg)
+      .cycles(6, 2)
+      .stimulus(rand8_stimulus(), "test:rand8")
+      .jobs(jobs)
+      .use_cache(cache);
+  engine::OperatingPoint extra;
+  extra.design = 1;
+  extra.f = 250.0_kHz;
+  extra.duty_high = 0.8;
+  extra.corner = cfg.corner;
+  extra.tag = "hot";
+  spec.point(extra);
+  return spec;
+}
+
+/// Exact bitwise equality of two result tables (doubles compared with ==,
+/// not a tolerance: the determinism contract is bit-identical output).
+void expect_identical(const engine::SweepResult& a,
+                      const engine::SweepResult& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].avg_power.v, b[i].avg_power.v) << "row " << i;
+    EXPECT_EQ(a[i].energy_per_cycle.v, b[i].energy_per_cycle.v)
+        << "row " << i;
+    EXPECT_EQ(a[i].tally.total().v, b[i].tally.total().v) << "row " << i;
+    EXPECT_EQ(a[i].tally.dynamic_total().v, b[i].tally.dynamic_total().v)
+        << "row " << i;
+    EXPECT_EQ(a[i].cycles, b[i].cycles) << "row " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// parallel_map substrate
+
+TEST(EngineParallelMap, ReturnsResultsInIndexOrder) {
+  const auto out = parallel_map(100, 8, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(EngineParallelMap, SerialAndParallelAgree) {
+  auto fn = [](std::size_t i) { return double(i) * 1.5 + 1.0; };
+  EXPECT_EQ(parallel_map(37, 1, fn), parallel_map(37, 7, fn));
+}
+
+TEST(EngineParallelMap, ZeroItemsIsEmpty) {
+  EXPECT_TRUE(parallel_map(0, 4, [](std::size_t i) { return i; }).empty());
+}
+
+TEST(EngineParallelMap, DefaultJobsIsPositive) {
+  EXPECT_GE(default_jobs(), 1);
+  // jobs <= 0 routes through default_jobs() and still completes.
+  const auto out = parallel_map(5, 0, [](std::size_t i) { return i + 1; });
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[4], 5u);
+}
+
+TEST(EngineParallelMap, RethrowsWorkerException) {
+  EXPECT_THROW(parallel_map(16, 4,
+                            [](std::size_t i) -> int {
+                              if (i == 9) throw std::runtime_error("boom");
+                              return int(i);
+                            }),
+               std::runtime_error);
+}
+
+TEST(EngineParallelMap, RunsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(64);
+  parallel_map(hits.size(), 8, [&](std::size_t i) {
+    hits[i].fetch_add(1);
+    return 0;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// RNG streams
+
+TEST(EngineRng, StreamIsReproducible) {
+  Rng a = Rng::stream(42, 0xABCD);
+  Rng b = Rng::stream(42, 0xABCD);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(EngineRng, StreamsWithDifferentKeysAreIndependent) {
+  Rng a = Rng::stream(42, 1);
+  Rng b = Rng::stream(42, 2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_EQ(same, 0); // 64 colliding u64 draws would be astronomical
+}
+
+TEST(EngineRng, StreamsWithDifferentSeedsAreIndependent) {
+  Rng a = Rng::stream(1, 7);
+  Rng b = Rng::stream(2, 7);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_EQ(same, 0);
+}
+
+// ---------------------------------------------------------------------------
+// SweepSpec expansion
+
+TEST(EngineSpec, GridNestingOrderAndDefaults) {
+  engine::SweepSpec spec;
+  spec.design(mult8_original())
+      .design(mult8_gated())
+      .frequencies({1.0_MHz, 2.0_MHz})
+      .overrides({false, true});
+  const auto pts = spec.expand();
+  // designs > frequencies > duties > corners > seeds > overrides.
+  ASSERT_EQ(pts.size(), 8u);
+  EXPECT_EQ(pts[0].design, 0u);
+  EXPECT_EQ(pts[0].f.v, 1e6);
+  EXPECT_FALSE(pts[0].override_gating);
+  EXPECT_TRUE(pts[1].override_gating);
+  EXPECT_EQ(pts[2].f.v, 2e6);
+  EXPECT_EQ(pts[4].design, 1u);
+  // Unset axes collapse to a single default element.
+  EXPECT_EQ(pts[0].duty_high, 0.5);
+  EXPECT_EQ(pts[0].seed, 0u);
+}
+
+TEST(EngineSpec, ExplicitPointsAppendAfterGrid) {
+  engine::SweepSpec spec = small_grid(1, false);
+  const auto pts = spec.expand();
+  ASSERT_EQ(pts.size(), 2u * 2u * 2u + 1u);
+  EXPECT_EQ(pts.back().tag, "hot");
+  EXPECT_EQ(pts.back().duty_high, 0.8);
+}
+
+TEST(EngineSpec, NoFrequencyAxisMeansOnlyExplicitPoints) {
+  engine::SweepSpec spec;
+  spec.design(mult8_original());
+  engine::OperatingPoint p;
+  p.tag = "only";
+  spec.point(p);
+  const auto pts = spec.expand();
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_EQ(pts[0].tag, "only");
+}
+
+TEST(EngineSpec, ExperimentRejectsEmptyAndInvalidSpecs) {
+  engine::SweepSpec empty;
+  EXPECT_THROW(engine::Experiment ex(std::move(empty)), PreconditionError);
+  engine::SweepSpec bad_cycles;
+  bad_cycles.design(mult8_original()).frequency(1.0_MHz).cycles(0);
+  EXPECT_THROW(engine::Experiment ex(std::move(bad_cycles)),
+               PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism across job counts
+
+class EngineDeterminism : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineDeterminism, ParallelBitIdenticalToSerial) {
+  const engine::SweepResult serial =
+      engine::Experiment(small_grid(1, false)).run();
+  const engine::SweepResult parallel =
+      engine::Experiment(small_grid(GetParam(), false)).run();
+  expect_identical(serial, parallel);
+}
+
+INSTANTIATE_TEST_SUITE_P(EngineJobs, EngineDeterminism,
+                         ::testing::Values(1, 2, 8));
+
+TEST(EngineDeterminismMisc, SeedAxisChangesStimulus) {
+  SimConfig cfg;
+  cfg.corner = {0.6_V, 25.0};
+  engine::SweepSpec spec;
+  spec.design(mult8_original())
+      .frequency(1.0_MHz)
+      .seeds({1, 2})
+      .base_sim(cfg)
+      .cycles(6, 2)
+      .use_cache(false)
+      .stimulus(rand8_stimulus(), "test:rand8");
+  const engine::SweepResult res = engine::Experiment(std::move(spec)).run();
+  ASSERT_EQ(res.size(), 2u);
+  // Different seeds draw different operands, so dynamic energy differs.
+  EXPECT_NE(res[0].tally.dynamic_total().v, res[1].tally.dynamic_total().v);
+}
+
+TEST(EngineDeterminismMisc, PointDigestIsContentKeyed) {
+  engine::Experiment ex(small_grid(1, false));
+  const auto pts = ex.spec().expand();
+  // Distinct points get distinct digests; the digest is a pure function
+  // of the point (same point -> same digest).
+  std::set<std::uint64_t> digests;
+  for (const auto& pt : pts) digests.insert(ex.point_digest(pt));
+  EXPECT_EQ(digests.size(), pts.size());
+  EXPECT_EQ(ex.point_digest(pts[0]), ex.point_digest(pts[0]));
+  // The tag is a label, not configuration: it must NOT move the digest.
+  engine::OperatingPoint relabeled = pts[0];
+  relabeled.tag = "renamed";
+  EXPECT_EQ(ex.point_digest(pts[0]), ex.point_digest(relabeled));
+  // The seed IS configuration (it keys the RNG stream).
+  engine::OperatingPoint reseeded = pts[0];
+  reseeded.seed = 999;
+  EXPECT_NE(ex.point_digest(pts[0]), ex.point_digest(reseeded));
+}
+
+// ---------------------------------------------------------------------------
+// Result cache
+
+TEST(EngineCache, SecondRunHitsAndIsBitIdentical) {
+  engine::ResultCache::global().clear();
+  const engine::Experiment ex(small_grid(2, true));
+  const engine::SweepResult first = ex.run();
+  EXPECT_EQ(first.cache_hits(), 0u);
+  const engine::SweepResult second = ex.run();
+  EXPECT_EQ(second.cache_hits(), second.size());
+  expect_identical(first, second);
+  for (const auto& row : second) EXPECT_TRUE(row.cache_hit);
+}
+
+TEST(EngineCache, SharedAcrossExperimentsWithEqualConfig) {
+  engine::ResultCache::global().clear();
+  (void)engine::Experiment(small_grid(1, true)).run();
+  // A separately built but identical spec must hit the same entries.
+  const engine::SweepResult res =
+      engine::Experiment(small_grid(4, true)).run();
+  EXPECT_EQ(res.cache_hits(), res.size());
+}
+
+TEST(EngineCache, OpaqueStimulusDisablesCaching) {
+  engine::ResultCache::global().clear();
+  SimConfig cfg;
+  cfg.corner = {0.6_V, 25.0};
+  auto make = [&] {
+    engine::SweepSpec spec;
+    spec.design(mult8_original())
+        .frequency(1.0_MHz)
+        .base_sim(cfg)
+        .cycles(4, 2)
+        .stimulus(rand8_stimulus()); // no cache key -> opaque
+    return spec;
+  };
+  (void)engine::Experiment(make()).run();
+  EXPECT_EQ(engine::ResultCache::global().size(), 0u);
+  const engine::SweepResult again = engine::Experiment(make()).run();
+  EXPECT_EQ(again.cache_hits(), 0u);
+}
+
+TEST(EngineCache, DifferentStimulusKeysDoNotCollide) {
+  engine::ResultCache::global().clear();
+  SimConfig cfg;
+  cfg.corner = {0.6_V, 25.0};
+  auto run = [&](const std::string& key) {
+    engine::SweepSpec spec;
+    spec.design(mult8_original())
+        .frequency(1.0_MHz)
+        .base_sim(cfg)
+        .cycles(4, 2)
+        .stimulus(rand8_stimulus(), key);
+    return engine::Experiment(std::move(spec)).run();
+  };
+  (void)run("key-a");
+  const engine::SweepResult b = run("key-b");
+  EXPECT_EQ(b.cache_hits(), 0u); // different key -> different entries
+  EXPECT_EQ(engine::ResultCache::global().size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Progress reporting
+
+TEST(EngineProgress, CallbackCoversEveryPointAndReportsHits) {
+  engine::ResultCache::global().clear();
+  std::atomic<std::size_t> calls{0};
+  std::atomic<std::size_t> last_done{0};
+  engine::SweepSpec spec = small_grid(4, true);
+  spec.on_progress([&](const engine::Progress& p) {
+    calls.fetch_add(1);
+    EXPECT_LE(p.done, p.total);
+    EXPECT_GE(p.elapsed_s, 0.0);
+    last_done.store(p.done);
+  });
+  const std::size_t total = spec.expand().size();
+  const engine::SweepResult res = engine::Experiment(std::move(spec)).run();
+  EXPECT_EQ(calls.load(), total);
+  EXPECT_EQ(last_done.load(), total);
+  EXPECT_EQ(res.size(), total);
+}
+
+// ---------------------------------------------------------------------------
+// SweepResult lookup
+
+TEST(EngineResult, FindAndAtTag) {
+  engine::ResultCache::global().clear();
+  const engine::SweepResult res =
+      engine::Experiment(small_grid(1, false)).run();
+  EXPECT_NE(res.find("hot"), nullptr);
+  EXPECT_EQ(res.at_tag("hot").point.duty_high, 0.8);
+  EXPECT_EQ(res.find("missing"), nullptr);
+  EXPECT_THROW((void)res.at_tag("missing"), PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated wrapper equivalence
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(EngineWrapper, MeasureAveragePowerMatchesDirectEngineRun) {
+  SimConfig cfg;
+  cfg.corner = {0.6_V, 25.0};
+
+  MeasureOptions mo;
+  mo.f = 1.0_MHz;
+  mo.sim = cfg;
+  mo.cycles = 6;
+  mo.warmup_cycles = 2;
+  const MeasureResult legacy = measure_average_power(mult8_gated(), mo);
+
+  engine::SweepSpec spec;
+  spec.design(mult8_gated())
+      .frequency(1.0_MHz)
+      .base_sim(cfg)
+      .cycles(6, 2)
+      .use_cache(false);
+  const engine::PointResult direct =
+      engine::Experiment(std::move(spec)).run()[0];
+
+  EXPECT_EQ(legacy.avg_power.v, direct.avg_power.v);
+  EXPECT_EQ(legacy.energy_per_cycle.v, direct.energy_per_cycle.v);
+  EXPECT_EQ(legacy.tally.total().v, direct.tally.total().v);
+  EXPECT_EQ(legacy.cycles, direct.cycles);
+}
+#pragma GCC diagnostic pop
+
+} // namespace

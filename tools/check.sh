@@ -1,34 +1,47 @@
 #!/usr/bin/env bash
 # Tier-1 gate: build + ctest in the normal configuration, then again with
-# AddressSanitizer + UBSan (SCPG_SANITIZE=ON) in a separate build tree.
+# AddressSanitizer + UBSan (SCPG_SANITIZE=ON) in a separate build tree,
+# then the concurrency-sensitive engine suites under ThreadSanitizer
+# (SCPG_SANITIZE=thread) in a third tree.
 #
-#   tools/check.sh            # both passes
+#   tools/check.sh            # all three passes
 #   tools/check.sh --fast     # normal pass only
-#   tools/check.sh --sanitize # sanitized pass only
+#   tools/check.sh --sanitize # ASan/UBSan pass only
+#   tools/check.sh --tsan     # ThreadSanitizer engine pass only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 4)
 mode=${1:-all}
 
-run_pass() { # name build-dir extra-cmake-args...
-  local name=$1 dir=$2
-  shift 2
+run_pass() { # name build-dir ctest-regex extra-cmake-args...
+  local name=$1 dir=$2 filter=$3
+  shift 3
   echo "=== ${name}: configure + build (${dir}) ==="
   cmake -B "$dir" -S . "$@"
   cmake --build "$dir" -j "$jobs"
   echo "=== ${name}: ctest ==="
-  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+  if [ -n "$filter" ]; then
+    ctest --test-dir "$dir" --output-on-failure -j "$jobs" -R "$filter"
+  else
+    ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+  fi
 }
 
+# TSan pass: only the Engine* suites (test_engine.cpp) — the parallel
+# sweep engine, thread pool and result cache are the code with real
+# cross-thread interactions; the rest of the suite is single-threaded.
 case "$mode" in
-  --fast)     run_pass "normal" build ;;
-  --sanitize) run_pass "sanitized" build-asan -DSCPG_SANITIZE=ON ;;
+  --fast)     run_pass "normal" build "" ;;
+  --sanitize) run_pass "sanitized" build-asan "" -DSCPG_SANITIZE=ON ;;
+  --tsan)     run_pass "tsan-engine" build-tsan "^Engine" \
+                       -DSCPG_SANITIZE=thread ;;
   all)
-    run_pass "normal" build
-    run_pass "sanitized" build-asan -DSCPG_SANITIZE=ON
+    run_pass "normal" build ""
+    run_pass "sanitized" build-asan "" -DSCPG_SANITIZE=ON
+    run_pass "tsan-engine" build-tsan "^Engine" -DSCPG_SANITIZE=thread
     ;;
-  *) echo "usage: $0 [--fast|--sanitize]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--fast|--sanitize|--tsan]" >&2; exit 2 ;;
 esac
 
 echo "=== check.sh: all requested passes green ==="

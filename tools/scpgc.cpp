@@ -4,7 +4,13 @@
 //   scpgc report    --in d.v [--vdd V] [--temp C]  stats + timing + leakage
 //   scpgc transform --in d.v --out o.v [options]   apply power gating
 //   scpgc sweep     --in d.v [--vdd V] [--activity A] [--fmax-mhz F]
-//                                                  power-vs-frequency table
+//                   [--points N] [--cycles N] [--seed S] [--jobs N]
+//                   [--json]                       power-vs-frequency table:
+//                                                  analytic model columns +
+//                                                  simulated columns run
+//                                                  through the parallel
+//                                                  sweep engine (output is
+//                                                  identical at any --jobs)
 //   scpgc verify    --in d.v [options]             fault-injection campaign
 //                                                  with runtime hazard
 //                                                  monitors
@@ -42,12 +48,14 @@
 //
 // Netlists must be flat structural Verilog over scpg90 cells (the format
 // written by this library; see examples/design_flow).
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "engine/sweep.hpp"
 #include "netlist/report.hpp"
 #include "netlist/verilog.hpp"
 #include "power/power.hpp"
@@ -115,7 +123,7 @@ Args parse_args(int argc, char** argv) {
           key == "points" || key == "fault" || key == "rate" ||
           key == "magnitude" || key == "freq-mhz" || key == "duty" ||
           key == "cycles" || key == "warmup" || key == "seed" ||
-          key == "max-report";
+          key == "max-report" || key == "jobs";
       if (takes_value && i + 1 < argc) a.opts[key] = argv[++i];
       else a.flags.push_back(key);
     }
@@ -271,17 +279,47 @@ int cmd_verify(const Library& lib, const Args& a) {
   return 0; // kExitOk
 }
 
+/// Vector-less random stimulus for the engine sweep: every data input bit
+/// is re-driven with probability `activity` per cycle from the point's
+/// RNG stream.  Deterministic per operating point at any --jobs value.
+engine::Stimulus random_stimulus(double activity, std::string clock_port) {
+  using namespace scpg::literals;
+  return [activity, clock_port = std::move(clock_port)](Simulator& s,
+                                                        int cycle,
+                                                        Rng& rng) {
+    const Netlist& nl = s.netlist();
+    for (const Port& p : nl.ports()) {
+      if (p.dir != PortDir::In) continue;
+      if (p.name == clock_port || p.name == "override_n" ||
+          p.name == "rst_n")
+        continue;
+      // Every input is pinned on the first cycle (no X floats into the
+      // measurement window); afterwards bits re-toggle at `activity`.
+      if (cycle == 0 || rng.uniform() < activity)
+        s.drive_at(s.now() + to_fs(1.0_ns), p.net,
+                   rng.bits(1) ? Logic::L1 : Logic::L0);
+    }
+  };
+}
+
 int cmd_sweep(const Library& lib, const Args& a) {
   Netlist nl = load(lib, a.opt("in"));
   const Corner c = corner_of(a);
   const double activity = a.num("activity", 0.15);
+  const int jobs = int(a.num("jobs", 1));
+  const int cycles = int(a.num("cycles", 12));
+  const auto seed = std::uint64_t(a.num("seed", 1));
+  const bool json = a.has_flag("json");
+  const std::string clock_port = a.opt("clock", "clk");
 
-  // Transform a copy if the input is not already gated.
+  // Transform a copy if the input is not already gated; the pre-transform
+  // netlist is the measured no-gating reference.
   bool already_gated = false;
   for (std::uint32_t ci = 0; ci < nl.num_cells(); ++ci)
     if (nl.cell(CellId{ci}).domain == Domain::Gated) already_gated = true;
+  const Netlist original = nl;
   ScpgOptions sopt;
-  sopt.clock_port = a.opt("clock", "clk");
+  sopt.clock_port = clock_port;
   if (!already_gated) apply_scpg(nl, sopt);
 
   SimConfig cfg;
@@ -291,24 +329,109 @@ int cmd_sweep(const Library& lib, const Args& a) {
 
   const double fmax_mhz = a.num("fmax-mhz", 10.0);
   const int points = int(a.num("points", 12));
-  TextTable t("power sweep, activity " + TextTable::num(activity, 2) +
-              ", VDD " + TextTable::num(c.vdd.v, 2) + " V");
-  t.header({"f MHz", "no gating uW", "SCPG@50 uW", "SCPG-Max uW",
-            "max duty"});
-  for (int i = 0; i < points; ++i) {
-    const double fm =
-        fmax_mhz * std::pow(10.0, -3.0 + 3.0 * double(i) / (points - 1));
-    const Frequency f{fm * 1e6};
-    const auto dmax = m.duty_for(GatingMode::ScpgMax, f);
-    t.row({TextTable::num(fm, 3),
-           TextTable::num(in_uW(m.average_power_ungated(f)), 2),
-           m.feasible(f, 0.5)
-               ? TextTable::num(in_uW(m.average_power_gated(f, 0.5)), 2)
-               : "n/f",
-           dmax ? TextTable::num(in_uW(m.average_power_gated(f, *dmax)), 2)
-                : "n/f",
-           dmax ? TextTable::num(100.0 * *dmax, 0) + "%" : "-"});
+  std::vector<double> fs_mhz;
+  for (int i = 0; i < points; ++i)
+    fs_mhz.push_back(fmax_mhz *
+                     std::pow(10.0, -3.0 + 3.0 * double(i) / (points - 1)));
+
+  // Measured columns: every operating point through the parallel engine.
+  // The no-gating reference is the pre-transform netlist when we gated a
+  // copy ourselves, otherwise the gated input with the override asserted.
+  engine::SweepSpec spec;
+  spec.design(original, "original").design(nl, "gated");
+  spec.base_sim(cfg)
+      .cycles(cycles)
+      .clock_port(clock_port)
+      .jobs(jobs)
+      .stimulus(random_stimulus(activity, clock_port),
+                "scpgc:rand:a=" + TextTable::num(activity, 4));
+  for (std::size_t i = 0; i < fs_mhz.size(); ++i) {
+    const Frequency f{fs_mhz[i] * 1e6};
+    engine::OperatingPoint p;
+    p.f = f;
+    p.corner = c;
+    p.seed = seed;
+    p.design = already_gated ? 1 : 0;
+    p.override_gating = already_gated;
+    p.tag = "n:" + std::to_string(i);
+    spec.point(p);
+    if (m.feasible(f, 0.5)) {
+      p.design = 1;
+      p.override_gating = false;
+      p.tag = "g:" + std::to_string(i);
+      spec.point(p);
+    }
   }
+  const engine::SweepResult res = engine::Experiment(std::move(spec)).run();
+
+  struct Row {
+    double f_mhz, none_uw, scpg50_uw, scpgmax_uw, duty_max;
+    bool f50, fmax;
+    double meas_none_uw, meas_scpg50_uw;
+    bool measured50;
+  };
+  std::vector<Row> rows;
+  for (std::size_t i = 0; i < fs_mhz.size(); ++i) {
+    const Frequency f{fs_mhz[i] * 1e6};
+    const auto dmax = m.duty_for(GatingMode::ScpgMax, f);
+    Row r{};
+    r.f_mhz = fs_mhz[i];
+    r.none_uw = in_uW(m.average_power_ungated(f));
+    r.f50 = m.feasible(f, 0.5);
+    r.scpg50_uw = r.f50 ? in_uW(m.average_power_gated(f, 0.5)) : 0.0;
+    r.fmax = dmax.has_value();
+    r.scpgmax_uw = dmax ? in_uW(m.average_power_gated(f, *dmax)) : 0.0;
+    r.duty_max = dmax.value_or(0.0);
+    r.meas_none_uw =
+        in_uW(res.at_tag("n:" + std::to_string(i)).avg_power);
+    const engine::PointResult* g = res.find("g:" + std::to_string(i));
+    r.measured50 = g != nullptr;
+    r.meas_scpg50_uw = g ? in_uW(g->avg_power) : 0.0;
+    rows.push_back(r);
+  }
+
+  if (json) {
+    std::cout << "{\n  \"design\": \"" << nl.name() << "\",\n"
+              << "  \"vdd\": " << c.vdd.v << ",\n"
+              << "  \"temp_c\": " << c.temp_c << ",\n"
+              << "  \"activity\": " << activity << ",\n"
+              << "  \"cycles\": " << cycles << ",\n"
+              << "  \"seed\": " << seed << ",\n"
+              << "  \"jobs\": " << jobs << ",\n"
+              << "  \"cache_hits\": " << res.cache_hits() << ",\n"
+              << "  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::cout << "    {\"f_mhz\": " << r.f_mhz
+                << ", \"none_uw\": " << r.none_uw << ", \"scpg50_uw\": "
+                << (r.f50 ? std::to_string(r.scpg50_uw) : "null")
+                << ", \"scpgmax_uw\": "
+                << (r.fmax ? std::to_string(r.scpgmax_uw) : "null")
+                << ", \"duty_max\": "
+                << (r.fmax ? std::to_string(r.duty_max) : "null")
+                << ", \"measured_none_uw\": " << r.meas_none_uw
+                << ", \"measured_scpg50_uw\": "
+                << (r.measured50 ? std::to_string(r.meas_scpg50_uw)
+                                 : "null")
+                << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    std::cout << "  ]\n}\n";
+    return 0;
+  }
+
+  TextTable t("power sweep, activity " + TextTable::num(activity, 2) +
+              ", VDD " + TextTable::num(c.vdd.v, 2) + " V (sim columns: " +
+              std::to_string(cycles) + " cycles, seed " +
+              std::to_string(seed) + ")");
+  t.header({"f MHz", "no gating uW", "SCPG@50 uW", "SCPG-Max uW",
+            "max duty", "sim none uW", "sim @50 uW"});
+  for (const Row& r : rows)
+    t.row({TextTable::num(r.f_mhz, 3), TextTable::num(r.none_uw, 2),
+           r.f50 ? TextTable::num(r.scpg50_uw, 2) : "n/f",
+           r.fmax ? TextTable::num(r.scpgmax_uw, 2) : "n/f",
+           r.fmax ? TextTable::num(100.0 * r.duty_max, 0) + "%" : "-",
+           TextTable::num(r.meas_none_uw, 2),
+           r.measured50 ? TextTable::num(r.meas_scpg50_uw, 2) : "n/f"});
   t.print(std::cout);
   return 0;
 }
