@@ -245,11 +245,39 @@ Measurement Experiment::measure_point(const OperatingPoint& pt,
   return r;
 }
 
+namespace {
+
+// The installed design gate; guarded because sweeps may run concurrently
+// with a tool installing a gate (and TSan watches the engine suites).
+std::mutex g_gate_m;
+DesignGate g_gate; // NOLINT(cert-err58-cpp)
+
+} // namespace
+
+void set_design_gate(DesignGate gate) {
+  const std::lock_guard lock(g_gate_m);
+  g_gate = std::move(gate);
+}
+
+DesignGate design_gate() {
+  const std::lock_guard lock(g_gate_m);
+  if (g_gate) return g_gate;
+  return [](const Netlist& nl, const GateContext&) { nl.check(); };
+}
+
 SweepResult Experiment::run() const {
   const std::vector<OperatingPoint> pts = spec_.expand();
   for (const OperatingPoint& pt : pts)
     SCPG_REQUIRE(pt.design < spec_.designs_.size(),
                  "operating point references an unknown design");
+
+  // Fail fast on broken designs: every distinct design passes the gate
+  // (by default Netlist::check(); the SCPG linter when installed) before
+  // the first simulator is built.
+  const DesignGate gate = design_gate();
+  for (std::size_t d = 0; d < spec_.designs_.size(); ++d)
+    gate(*spec_.designs_[d],
+         GateContext{spec_.design_labels_[d], spec_.clock_port_});
 
   // Opaque closures (no cache key) are invisible to hashing, so caching
   // them would alias distinct stimuli.

@@ -82,6 +82,25 @@ struct Progress {
 /// not deterministic — do not derive results from this hook.
 using ProgressFn = std::function<void(const Progress&)>;
 
+/// Context handed to the design gate with each design under validation.
+struct GateContext {
+  std::string_view label;      ///< the spec's design label
+  std::string_view clock_port; ///< the spec's clock port name
+};
+
+/// Design gate: Experiment::run() invokes it once per distinct design
+/// before any point is simulated; throw to reject the whole sweep.  The
+/// default gate is Netlist::check().  Higher layers may install a stricter
+/// one — src/lint registers the full SCPG linter via
+/// lint::install_engine_gate() (the engine stays below the analysis
+/// layers, so the linter is injected, not linked).  Passing an empty
+/// function restores the default.  Thread-safe.
+using DesignGate = std::function<void(const Netlist&, const GateContext&)>;
+void set_design_gate(DesignGate gate);
+
+/// The currently installed gate (the default check() gate if none set).
+[[nodiscard]] DesignGate design_gate();
+
 /// Typed result table: one row per operating point, in the deterministic
 /// row order of SweepSpec (grid order, then explicit points).
 class SweepResult {

@@ -1,0 +1,86 @@
+#include "lint/dataflow.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace scpg::lint {
+
+std::vector<NetId> ReachResult::trace(NetId id) const {
+  std::vector<NetId> path;
+  NetId cur = id;
+  while (cur.valid() && path.size() <= net.size()) {
+    path.push_back(cur);
+    cur = from[cur.v];
+  }
+  return path;
+}
+
+namespace {
+
+ReachResult make_result(const Netlist& nl, std::span<const NetId> seeds) {
+  ReachResult r;
+  r.net.assign(nl.num_nets(), false);
+  r.from.assign(nl.num_nets(), NetId{});
+  for (const NetId s : seeds)
+    if (s.v < nl.num_nets()) r.net[s.v] = true;
+  return r;
+}
+
+} // namespace
+
+ReachResult reach_forward(const Netlist& nl, std::span<const NetId> seeds,
+                          const Transfer& transfer) {
+  ReachResult r = make_result(nl, seeds);
+  std::deque<NetId> work(seeds.begin(), seeds.end());
+  while (!work.empty()) {
+    const NetId n = work.front();
+    work.pop_front();
+    for (const PinRef& sink : nl.net(n).sinks) {
+      const Cell& c = nl.cell(sink.cell);
+      for (std::size_t out = 0; out < c.outputs.size(); ++out) {
+        const NetId o = c.outputs[out];
+        if (r.net[o.v]) continue;
+        if (!transfer(nl, sink.cell, sink.pin, int(out))) continue;
+        r.net[o.v] = true;
+        r.from[o.v] = n;
+        work.push_back(o);
+      }
+    }
+  }
+  return r;
+}
+
+ReachResult reach_backward(const Netlist& nl, std::span<const NetId> seeds,
+                           const Transfer& transfer) {
+  ReachResult r = make_result(nl, seeds);
+  std::deque<NetId> work(seeds.begin(), seeds.end());
+  while (!work.empty()) {
+    const NetId n = work.front();
+    work.pop_front();
+    const Net& net = nl.net(n);
+    if (!net.driven_by_cell()) continue;
+    const Cell& c = nl.cell(net.driver_cell);
+    for (std::size_t pin = 0; pin < c.inputs.size(); ++pin) {
+      const NetId in = c.inputs[pin];
+      if (r.net[in.v]) continue;
+      if (!transfer(nl, net.driver_cell, int(pin), net.driver_out_pin))
+        continue;
+      r.net[in.v] = true;
+      r.from[in.v] = n;
+      work.push_back(in);
+    }
+  }
+  return r;
+}
+
+Transfer transfer_all() {
+  return [](const Netlist&, CellId, int, int) { return true; };
+}
+
+Transfer transfer_combinational() {
+  return [](const Netlist& nl, CellId cell, int, int) {
+    return nl.is_comb_node(cell);
+  };
+}
+
+} // namespace scpg::lint

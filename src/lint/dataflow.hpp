@@ -1,0 +1,62 @@
+// Reusable net-reachability dataflow over the Netlist graph.
+//
+// Every structural lint rule is some flavour of "which nets can a marked
+// set of nets reach (or be reached from), where propagation through a cell
+// is rule-specific".  This framework factors that out: a Transfer
+// predicate decides, per (cell, input pin, output pin), whether a mark
+// crosses the cell; reach_forward()/reach_backward() run the worklist.
+// Cycles are fine (visited-set semantics), so the pass is safe on
+// netlists that would make topo_order() throw.
+//
+// Uses in src/lint:
+//   * static X-reachability (SCPG004): forward from gated-driven nets,
+//     blocked at isolation clamps and at sequential elements;
+//   * clock-tree identification (SCPG002): backward from flip-flop CK
+//     pins through combinational cells.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace scpg::lint {
+
+/// Does a mark propagate through `cell` from input pin `in_pin` to output
+/// pin `out_pin`?  (For backward passes the walk direction flips but the
+/// question — and the pin numbering — stays the same.)
+using Transfer =
+    std::function<bool(const Netlist&, CellId, int in_pin, int out_pin)>;
+
+/// Per-net reachability mask plus provenance: `from[n]` is the net whose
+/// mark reached `n` (invalid for seeds and unreached nets), letting rules
+/// walk an example path back to a seed for the diagnostic message.
+struct ReachResult {
+  std::vector<bool> net;    ///< size num_nets; true = reached
+  std::vector<NetId> from;  ///< predecessor net in the reach walk
+
+  [[nodiscard]] bool reached(NetId id) const { return net[id.v]; }
+
+  /// Walks provenance back to the seed: {id, ..., seed}.
+  [[nodiscard]] std::vector<NetId> trace(NetId id) const;
+};
+
+/// Marks `seeds` and propagates through cells in driver->sink direction.
+[[nodiscard]] ReachResult reach_forward(const Netlist& nl,
+                                        std::span<const NetId> seeds,
+                                        const Transfer& transfer);
+
+/// Marks `seeds` and propagates sink->driver (fanin cones).
+[[nodiscard]] ReachResult reach_backward(const Netlist& nl,
+                                         std::span<const NetId> seeds,
+                                         const Transfer& transfer);
+
+/// Transfer that crosses every cell unconditionally.
+[[nodiscard]] Transfer transfer_all();
+
+/// Transfer that crosses combinational cells only (blocked at flip-flops,
+/// headers; macros count as combinational read paths).
+[[nodiscard]] Transfer transfer_combinational();
+
+} // namespace scpg::lint

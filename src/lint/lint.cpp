@@ -1,0 +1,170 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "engine/sweep.hpp"
+
+namespace scpg::lint {
+
+// Implemented in rules.cpp.
+void run_scpg_rules(const Netlist& nl, const LintOptions& opt,
+                    bool structure_broken, LintReport& rep);
+
+namespace {
+
+constexpr std::array<RuleInfo, 8> kRules{{
+    {"SCPG001", "isolation-coverage",
+     "every Gated->AlwaysOn crossing is clamped by an isolation cell"},
+    {"SCPG002", "domain-sanity",
+     "no flip-flop, clock-tree or power cell inside the gated domain; a "
+     "gated domain has a power switch"},
+    {"SCPG003", "header-polarity",
+     "header sleep control is clk AND override_n (paper Fig 2)"},
+    {"SCPG004", "x-reachability",
+     "no primary output is reachable from the gated cloud without passing "
+     "a clamp"},
+    {"SCPG005", "timing-feasibility",
+     "T_idle = T_clk*(1-d) - T_PGStart - T_eval - T_setup > 0 (Eq. 1) at "
+     "the requested frequency/duty"},
+    {"SCPG006", "upf-consistency",
+     "write_upf() power intent matches the netlist structure"},
+    {"SCPG007", "net-drivers",
+     "every net has exactly one driver and every input pin is connected"},
+    {"SCPG008", "comb-loop", "the combinational subgraph is acyclic"},
+}};
+
+bool rule_enabled(const LintOptions& opt, std::string_view id) {
+  return opt.only.empty() ||
+         std::find(opt.only.begin(), opt.only.end(), id) != opt.only.end();
+}
+
+void json_escape(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void json_string(std::string& out, std::string_view s) {
+  out += '"';
+  json_escape(out, s);
+  out += '"';
+}
+
+} // namespace
+
+std::span<const RuleInfo> rules() { return kRules; }
+
+std::size_t LintReport::errors() const {
+  return std::size_t(std::count_if(
+      findings_.begin(), findings_.end(),
+      [](const Diagnostic& d) { return d.severity == Severity::Error; }));
+}
+
+std::size_t LintReport::warnings() const {
+  return std::size_t(std::count_if(
+      findings_.begin(), findings_.end(),
+      [](const Diagnostic& d) { return d.severity == Severity::Warning; }));
+}
+
+std::size_t LintReport::count(std::string_view rule) const {
+  return std::size_t(std::count_if(
+      findings_.begin(), findings_.end(),
+      [rule](const Diagnostic& d) { return d.rule == rule; }));
+}
+
+std::string LintReport::format_text() const {
+  std::string out;
+  for (const Diagnostic& d : findings_) {
+    out += format_diagnostic(d);
+    out += '\n';
+  }
+  out += "lint '" + design_ + "': " + std::to_string(errors()) +
+         " error(s), " + std::to_string(warnings()) + " warning(s)\n";
+  return out;
+}
+
+std::string LintReport::to_json() const {
+  std::string out = "{\n  \"design\": ";
+  json_string(out, design_);
+  out += ",\n  \"errors\": " + std::to_string(errors());
+  out += ",\n  \"warnings\": " + std::to_string(warnings());
+  out += ",\n  \"findings\": [";
+  for (std::size_t i = 0; i < findings_.size(); ++i) {
+    const Diagnostic& d = findings_[i];
+    out += i ? ",\n    {" : "\n    {";
+    out += "\"rule\": ";
+    json_string(out, d.rule);
+    out += ", \"severity\": ";
+    json_string(out, severity_name(d.severity));
+    out += ", \"message\": ";
+    json_string(out, d.message);
+    out += ", \"hint\": ";
+    json_string(out, d.hint);
+    out += ", \"locations\": [";
+    for (std::size_t l = 0; l < d.where.size(); ++l) {
+      if (l) out += ", ";
+      out += "{\"kind\": ";
+      json_string(out, diag_loc_kind_name(d.where[l].kind));
+      if (d.where[l].kind != DiagLoc::Kind::Design)
+        out += ", \"id\": " + std::to_string(d.where[l].id);
+      out += ", \"name\": ";
+      json_string(out, d.where[l].name);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += findings_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+LintReport run_lint(const Netlist& nl, const LintOptions& opt) {
+  LintReport rep(nl.name());
+
+  // Structural rules first (SCPG007/008): the SCPG rules are graph scans
+  // that tolerate a broken structure, but STA (SCPG005) does not.
+  bool structure_broken = false;
+  for (Diagnostic& d : nl.structural_diagnostics()) {
+    structure_broken |= d.severity == Severity::Error;
+    if (rule_enabled(opt, d.rule)) rep.add(std::move(d));
+  }
+
+  run_scpg_rules(nl, opt, structure_broken, rep);
+  return rep;
+}
+
+void enforce_lint(const Netlist& nl, const LintOptions& opt,
+                  std::string_view context) {
+  const LintReport rep = run_lint(nl, opt);
+  if (rep.errors() == 0) return;
+  std::string msg = context.empty() ? std::string{}
+                                    : std::string(context) + ": ";
+  msg += "design '" + nl.name() + "' fails SCPG lint\n" + rep.format_text();
+  throw LintError(msg);
+}
+
+void install_engine_gate() {
+  engine::set_design_gate(
+      [](const Netlist& nl, const engine::GateContext& ctx) {
+        LintOptions opt;
+        opt.clock_port = std::string(ctx.clock_port);
+        enforce_lint(nl, opt,
+                     "sweep design '" + std::string(ctx.label) + "'");
+      });
+}
+
+} // namespace scpg::lint

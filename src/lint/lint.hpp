@@ -1,0 +1,134 @@
+// Static SCPG linter: power-intent and structural analysis over a Netlist.
+//
+// Production power-gating flows front-load power-intent checking (UPF /
+// IEEE 1801 rule decks) so broken designs are rejected in milliseconds,
+// before any simulation.  run_lint() is that gate for SCPG designs: a
+// pure static pass over the Netlist graph — no simulator, no stimulus —
+// producing located, named Diagnostics (netlist/diag.hpp).
+//
+// Rules (see DESIGN.md §9 for the full table):
+//   SCPG001 isolation-coverage   every Gated->AlwaysOn crossing is clamped
+//   SCPG002 domain-sanity        no flop/clock-tree/power cell gated; a
+//                                gated domain has a power switch
+//   SCPG003 header-polarity      header control is clk AND override (Fig 2)
+//   SCPG004 x-reachability       no primary output sees the gated cloud
+//                                except through a clamp (static X analysis)
+//   SCPG005 timing-feasibility   T_idle > 0 at the requested f/duty (Eq. 1)
+//   SCPG006 upf-consistency      write_upf() intent matches the structure
+//   SCPG007 net-drivers          exactly one driver per net, no floating
+//                                inputs (re-surfaced Netlist::check())
+//   SCPG008 comb-loop            combinational subgraph is acyclic
+//
+// Rules SCPG001-004 and 006-008 are graph scans built on lint/dataflow;
+// SCPG005 runs STA + the rail closed forms and therefore only fires when
+// LintOptions::freq is set and the structure is sound.  All rules skip
+// silently on designs without a gated domain, so linting an untransformed
+// netlist only applies the structural rules.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/diag.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace scpg::lint {
+
+/// A design was rejected by enforce_lint() / the engine design gate.
+/// what() carries the formatted findings.
+class LintError : public Error {
+public:
+  using Error::Error;
+};
+
+struct LintOptions {
+  /// Clock input port, as in ScpgOptions.
+  std::string clock_port{"clk"};
+
+  /// Operating frequency for the Eq. 1 feasibility rule (SCPG005); the
+  /// rule is skipped when unset — feasibility is meaningless without a
+  /// target clock.
+  std::optional<Frequency> freq;
+
+  /// Requested clock-high duty cycle for SCPG005.
+  double duty_high{0.5};
+
+  /// Corner and rail calibration for SCPG005's T_PGStart extraction.
+  SimConfig sim{};
+
+  /// Restrict the run to these rule ids (e.g. {"SCPG001"}); empty = all.
+  std::vector<std::string> only;
+};
+
+/// One row of the rule table (for --help style listings and docs).
+struct RuleInfo {
+  std::string_view id;
+  std::string_view name;
+  std::string_view what;
+};
+
+/// All rules, in id order.
+[[nodiscard]] std::span<const RuleInfo> rules();
+
+/// Findings of one lint run, with text and JSON renderings.
+class LintReport {
+public:
+  explicit LintReport(std::string design) : design_(std::move(design)) {}
+
+  void add(Diagnostic d) { findings_.push_back(std::move(d)); }
+
+  [[nodiscard]] const std::string& design() const { return design_; }
+  [[nodiscard]] std::span<const Diagnostic> findings() const {
+    return findings_;
+  }
+  [[nodiscard]] std::size_t errors() const;
+  [[nodiscard]] std::size_t warnings() const;
+  [[nodiscard]] bool clean() const { return findings_.empty(); }
+
+  /// Number of findings carrying this rule id.
+  [[nodiscard]] std::size_t count(std::string_view rule) const;
+  [[nodiscard]] bool fired(std::string_view rule) const {
+    return count(rule) > 0;
+  }
+
+  /// One line per finding plus a summary line.
+  [[nodiscard]] std::string format_text() const;
+
+  /// Machine-readable form:
+  ///   {"design": ..., "errors": N, "warnings": M, "findings": [
+  ///     {"rule", "severity", "message", "hint", "locations":
+  ///       [{"kind", "id", "name"}]}]}
+  [[nodiscard]] std::string to_json() const;
+
+private:
+  std::string design_;
+  std::vector<Diagnostic> findings_;
+};
+
+/// Runs every enabled rule; never throws on lint findings (they are the
+/// result), only on misuse (e.g. ids out of range — impossible from a
+/// constructed Netlist).
+[[nodiscard]] LintReport run_lint(const Netlist& nl,
+                                  const LintOptions& opt = {});
+
+/// Runs the linter and throws LintError when any Error-severity finding
+/// exists.  `context` prefixes the exception message (e.g. the sweep
+/// design label).
+void enforce_lint(const Netlist& nl, const LintOptions& opt = {},
+                  std::string_view context = {});
+
+/// Installs the linter as the sweep engine's design gate
+/// (engine::set_design_gate): every Experiment::run() in this process then
+/// rejects designs with Error-severity findings before simulating a single
+/// point.  Idempotent.  The engine layer sits below the analysis layers,
+/// so the gate is injected rather than linked — call this from tools and
+/// drivers (scpgc does, at startup).
+void install_engine_gate();
+
+} // namespace scpg::lint

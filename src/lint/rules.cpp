@@ -1,0 +1,519 @@
+// The eight SCPG lint rules (SCPG001-008).
+//
+// SCPG007/008 live in Netlist::structural_diagnostics() (netlist/diag);
+// this file implements the power-intent rules on top of the dataflow
+// framework and the verify/boundary export.  Every rule is a pure static
+// scan; only SCPG005 (Eq. 1 feasibility) runs STA and the rail closed
+// forms, and it is skipped when the structure is broken or no operating
+// frequency was given.
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "lint/dataflow.hpp"
+#include "lint/lint.hpp"
+#include "scpg/model.hpp"
+#include "scpg/transform.hpp"
+#include "scpg/upf.hpp"
+#include "util/table.hpp"
+#include "verify/boundary.hpp"
+
+namespace scpg::lint {
+
+namespace {
+
+bool enabled(const LintOptions& opt, std::string_view id) {
+  return opt.only.empty() ||
+         std::find(opt.only.begin(), opt.only.end(), id) != opt.only.end();
+}
+
+NetId clock_net_of(const Netlist& nl, const LintOptions& opt) {
+  const PortId p = nl.find_port(opt.clock_port);
+  return p.valid() ? nl.port(p).net : NetId{};
+}
+
+std::vector<CellId> cells_of_kind(const Netlist& nl, CellKind k) {
+  std::vector<CellId> out;
+  for (std::uint32_t ci = 0; ci < nl.num_cells(); ++ci)
+    if (!nl.cell(CellId{ci}).is_macro() && nl.kind_of(CellId{ci}) == k)
+      out.push_back(CellId{ci});
+  return out;
+}
+
+std::string pretty_mhz(Frequency f) {
+  return TextTable::num(in_MHz(f), 3) + " MHz";
+}
+
+std::string pretty_ns(Time t) { return TextTable::num(in_ns(t), 2) + " ns"; }
+
+// --- SCPG001: isolation coverage -------------------------------------------
+
+void rule_isolation_coverage(const Netlist& nl, const LintOptions& opt,
+                             LintReport& rep) {
+  const verify::BoundaryMap b = verify::extract_boundary(nl, opt.clock_port);
+  if (!b.has_gating()) return;
+  for (const NetId n : b.unprotected) {
+    const Net& net = nl.net(n);
+    Diagnostic d{"SCPG001", Severity::Error,
+                 "gated-domain net '" + net.name +
+                     "' crosses into the always-on domain without an "
+                     "isolation clamp",
+                 {net_loc(nl, n)},
+                 "insert an IsoLo/IsoHi cell on the crossing "
+                 "(ScpgOptions::insert_isolation)"};
+    if (net.driven_by_cell()) {
+      d.message += "; driven by gated cell '" +
+                   nl.cell(net.driver_cell).name + "'";
+      d.where.push_back(cell_loc(nl, net.driver_cell));
+    }
+    if (!net.sink_ports.empty()) {
+      d.message += ", read by primary output '" +
+                   nl.port(net.sink_ports.front()).name + "'";
+      d.where.push_back(port_loc(nl, net.sink_ports.front()));
+    } else {
+      for (const PinRef& s : net.sinks)
+        if (nl.cell(s.cell).domain != Domain::Gated) {
+          d.message += ", read by always-on cell '" +
+                       nl.cell(s.cell).name + "'";
+          d.where.push_back(cell_loc(nl, s.cell));
+          break;
+        }
+    }
+    rep.add(std::move(d));
+  }
+}
+
+// --- SCPG002: domain sanity -------------------------------------------------
+
+void rule_domain_sanity(const Netlist& nl, const LintOptions& opt,
+                        LintReport& rep) {
+  std::size_t gated = 0;
+  bool any_header = false;
+  for (std::uint32_t ci = 0; ci < nl.num_cells(); ++ci)
+    if (nl.cell(CellId{ci}).domain == Domain::Gated) ++gated;
+  (void)opt;
+
+  // Clock tree: backward reachability from every CK pin through
+  // combinational cells; any driver of a reached net is clock
+  // distribution and must stay on the real rail.
+  std::vector<NetId> ck_seeds;
+  for (std::uint32_t ci = 0; ci < nl.num_cells(); ++ci) {
+    const CellId id{ci};
+    const Cell& c = nl.cell(id);
+    if (c.is_macro()) {
+      if (nl.macro_spec(c.macro).has_clock && !c.inputs.empty())
+        ck_seeds.push_back(c.inputs[0]);
+    } else if (kind_is_sequential(nl.kind_of(id)) && c.inputs.size() > 1) {
+      ck_seeds.push_back(c.inputs[1]);
+    }
+  }
+  const ReachResult clock_cone =
+      reach_backward(nl, ck_seeds, transfer_combinational());
+
+  for (std::uint32_t ci = 0; ci < nl.num_cells(); ++ci) {
+    const CellId id{ci};
+    const Cell& c = nl.cell(id);
+    const bool is_gated = c.domain == Domain::Gated;
+    if (c.is_macro()) {
+      if (is_gated)
+        rep.add({"SCPG002", Severity::Error,
+                 "macro '" + c.name + "' is inside the gated domain — "
+                 "memory contents would corrupt every clock-high phase",
+                 {cell_loc(nl, id)},
+                 "keep macros always-on (the paper's memories are outside "
+                 "the gated cloud)"});
+      continue;
+    }
+    const CellKind k = nl.kind_of(id);
+    if (k == CellKind::Header) {
+      any_header = true;
+      if (is_gated)
+        rep.add({"SCPG002", Severity::Error,
+                 "power switch '" + c.name + "' is tagged Gated — a header "
+                 "cannot hang off the virtual rail it creates",
+                 {cell_loc(nl, id)},
+                 "headers belong to the always-on domain"});
+      continue;
+    }
+    if (!is_gated) continue;
+    if (kind_is_sequential(k)) {
+      rep.add({"SCPG002", Severity::Error,
+               "flip-flop '" + c.name + "' is inside the gated domain — "
+               "architectural state would be lost every clock-high phase",
+               {cell_loc(nl, id)},
+               "sequential cells stay always-on (paper Fig 2: only the "
+               "combinational cloud is gated)"});
+      continue;
+    }
+    if (k == CellKind::IsoLo || k == CellKind::IsoHi) {
+      rep.add({"SCPG002", Severity::Error,
+               "isolation clamp '" + c.name + "' is inside the gated "
+               "domain — it cannot hold its output while the rail is down",
+               {cell_loc(nl, id)},
+               "isolation cells must be powered from the real rail"});
+      continue;
+    }
+    bool on_clock_path = false;
+    for (const NetId o : c.outputs)
+      on_clock_path |= clock_cone.reached(o);
+    if (on_clock_path && k != CellKind::TieHi && k != CellKind::TieLo)
+      rep.add({"SCPG002", Severity::Error,
+               "clock-tree cell '" + c.name + "' is inside the gated "
+               "domain — the clock would collapse with the virtual rail",
+               {cell_loc(nl, id)},
+               "keep the clock distribution always-on "
+               "(scpg::clock_path_cells in the transform)"});
+  }
+
+  if (gated > 0 && !any_header)
+    rep.add({"SCPG002", Severity::Error,
+             std::to_string(gated) + " cells are tagged Gated but the "
+             "design has no power switch (header) — the domain can never "
+             "power down",
+             {design_loc(nl)},
+             "apply_scpg() inserts the header bank, or retag the cells "
+             "AlwaysOn"});
+}
+
+// --- SCPG003: power-switch enable polarity ----------------------------------
+
+void rule_header_polarity(const Netlist& nl, const LintOptions& opt,
+                          LintReport& rep) {
+  const std::vector<CellId> headers = cells_of_kind(nl, CellKind::Header);
+  if (headers.empty()) return;
+  const NetId clk = clock_net_of(nl, opt);
+  if (!clk.valid()) {
+    rep.add({"SCPG003", Severity::Error,
+             "clock port '" + opt.clock_port + "' not found — the header "
+             "sleep control cannot be clock-derived",
+             {design_loc(nl)},
+             "name the clock with --clock / LintOptions::clock_port"});
+    return;
+  }
+  for (const CellId h : headers) {
+    const NetId slp = nl.cell(h).inputs[0];
+    const Net& n = nl.net(slp);
+    if (!n.driven_by_cell()) {
+      if (slp == clk)
+        rep.add({"SCPG003", Severity::Warning,
+                 "header '" + nl.cell(h).name + "' is driven by the raw "
+                 "clock — correct polarity, but gating cannot be "
+                 "overridden (no override_n leg, paper Fig 2)",
+                 {cell_loc(nl, h), net_loc(nl, slp)},
+                 "drive the header gate with clk AND override_n"});
+      else
+        rep.add({"SCPG003", Severity::Error,
+                 "header '" + nl.cell(h).name + "' sleep control '" +
+                     n.name + "' is a primary input, not a clock-derived "
+                     "signal — the headers would not switch sub-clock",
+                 {cell_loc(nl, h), net_loc(nl, slp)},
+                 "drive the header gate with clk AND override_n (Fig 2)"});
+      continue;
+    }
+    const CellId drv = n.driver_cell;
+    const CellKind dk = nl.cell(drv).is_macro() ? CellKind::Macro
+                                                : nl.kind_of(drv);
+    if (dk == CellKind::And2) {
+      const Cell& a = nl.cell(drv);
+      const bool leg0_clk = a.inputs[0] == clk;
+      const bool leg1_clk = a.inputs[1] == clk;
+      if (!leg0_clk && !leg1_clk) {
+        rep.add({"SCPG003", Severity::Error,
+                 "header '" + nl.cell(h).name + "' sleep control '" +
+                     n.name + "' is And2('" + nl.net(a.inputs[0]).name +
+                     "', '" + nl.net(a.inputs[1]).name +
+                     "') — neither leg is the clock, so the headers would "
+                     "not switch sub-clock",
+                 {cell_loc(nl, h), cell_loc(nl, drv)},
+                 "the sleep control must be clk AND override_n (Fig 2)"});
+        continue;
+      }
+      const NetId other = leg0_clk ? a.inputs[1] : a.inputs[0];
+      if (!nl.net(other).driven_by_port())
+        rep.add({"SCPG003", Severity::Warning,
+                 "override leg '" + nl.net(other).name + "' of header "
+                 "control '" + n.name + "' is not a primary input — the "
+                 "gating-disable contract (override_n = 0) may not hold",
+                 {cell_loc(nl, drv), net_loc(nl, other)},
+                 "route the override from a primary input port"});
+      continue;
+    }
+    if (dk == CellKind::Inv && nl.cell(drv).inputs[0] == clk) {
+      rep.add({"SCPG003", Severity::Error,
+               "header '" + nl.cell(h).name + "' enable polarity is "
+               "inverted ('" + n.name + "' = NOT clk): the headers would "
+               "switch OFF during the evaluate (clock-low) phase and the "
+               "domain could never compute",
+               {cell_loc(nl, h), cell_loc(nl, drv)},
+               "the PMOS header gate is clk AND override_n — high (off) "
+               "only while the clock is high (Fig 2)"});
+      continue;
+    }
+    rep.add({"SCPG003", Severity::Error,
+             "header '" + nl.cell(h).name + "' sleep control '" + n.name +
+                 "' is driven by " + std::string(kind_name(dk)) + " '" +
+                 nl.cell(drv).name + "', expected And2(clk, override_n)",
+             {cell_loc(nl, h), cell_loc(nl, drv)},
+             "drive the header gate with clk AND override_n (Fig 2)"});
+  }
+}
+
+// --- SCPG004: static X-reachability -----------------------------------------
+
+void rule_x_reachability(const Netlist& nl, const LintOptions& opt,
+                         LintReport& rep) {
+  const verify::BoundaryMap b = verify::extract_boundary(nl, opt.clock_port);
+  if (!b.has_gating()) return;
+
+  // Seeds: every net a gated cell drives (its value is X while the rail
+  // is collapsed).  Tie cells are exempt — a gated tie is the rail sense,
+  // which reads 0 during collapse by construction.
+  std::vector<NetId> seeds;
+  for (std::uint32_t ci = 0; ci < nl.num_cells(); ++ci) {
+    const CellId id{ci};
+    const Cell& c = nl.cell(id);
+    if (c.domain != Domain::Gated) continue;
+    if (!c.is_macro()) {
+      const CellKind k = nl.kind_of(id);
+      if (k == CellKind::TieHi || k == CellKind::TieLo) continue;
+    }
+    for (const NetId o : c.outputs) seeds.push_back(o);
+  }
+
+  // X crosses combinational cells but is stopped by isolation clamps
+  // (which force a known value while engaged) and by sequential elements
+  // (a within-cycle static rule; clocked-in corruption is the dynamic
+  // monitors' job, DESIGN.md §7).
+  const Transfer x_transfer = [](const Netlist& netl, CellId cell, int,
+                                 int) {
+    if (!netl.is_comb_node(cell)) return false;
+    if (netl.cell(cell).is_macro()) return true;
+    const CellKind k = netl.kind_of(cell);
+    return k != CellKind::IsoLo && k != CellKind::IsoHi;
+  };
+  const ReachResult reach = reach_forward(nl, seeds, x_transfer);
+
+  for (const Port& p : nl.ports()) {
+    if (p.dir != PortDir::Out || !reach.reached(p.net)) continue;
+    const std::vector<NetId> path = reach.trace(p.net);
+    std::string via;
+    const std::size_t shown = std::min<std::size_t>(path.size(), 6);
+    for (std::size_t i = 0; i < shown; ++i) {
+      if (i) via += " <- ";
+      via += "'" + nl.net(path[i]).name + "'";
+    }
+    if (path.size() > shown) via += " <- ...";
+    Diagnostic d{"SCPG004", Severity::Error,
+                 "primary output '" + p.name + "' can observe X from the "
+                 "collapsed gated domain with no clamp on the path: " + via,
+                 {},
+                 "clamp the crossing, or register the output in the "
+                 "always-on domain"};
+    const PortId pid = nl.find_port(p.name);
+    d.where.push_back(port_loc(nl, pid));
+    d.where.push_back(net_loc(nl, path.back()));
+    rep.add(std::move(d));
+  }
+}
+
+// --- SCPG005: Eq. 1 timing feasibility --------------------------------------
+
+void rule_timing_feasibility(const Netlist& nl, const LintOptions& opt,
+                             LintReport& rep) {
+  if (!opt.freq) return;
+  bool any_gated = false;
+  for (std::uint32_t ci = 0; ci < nl.num_cells(); ++ci)
+    any_gated |= nl.cell(CellId{ci}).domain == Domain::Gated;
+  if (!any_gated) return;
+
+  try {
+    const ScpgPowerModel model =
+        ScpgPowerModel::extract(nl, opt.sim, Energy{0.0});
+    const Frequency f = *opt.freq;
+    const Time T = period(f);
+    const Time t_pg = model.rail().t_ready_from(Voltage{0.0});
+    const Time t_es = model.t_eval_setup();
+    const double dmax = model.max_duty_high(f);
+    if (dmax <= 0.0) {
+      rep.add({"SCPG005", Severity::Error,
+               "SCPG is infeasible at " + pretty_mhz(f) + ": T_PGStart (" +
+                   pretty_ns(t_pg) + ") + T_eval+T_setup (" +
+                   pretty_ns(t_es) + ") exceed the whole period (" +
+                   pretty_ns(T) + "), so Eq. 1 leaves T_idle <= 0 at every "
+                   "duty cycle",
+               {design_loc(nl)},
+               "lower the clock frequency, or resize the header bank to "
+               "cut T_PGStart"});
+    } else if (opt.duty_high > dmax + 1e-12) {
+      rep.add({"SCPG005", Severity::Error,
+               "clock-high duty " + TextTable::num(opt.duty_high, 2) +
+                   " over-shrinks the evaluate phase at " + pretty_mhz(f) +
+                   ": the low phase (" +
+                   pretty_ns(Time{T.v * (1.0 - opt.duty_high)}) +
+                   ") cannot fit T_PGStart (" + pretty_ns(t_pg) +
+                   ") + T_eval+T_setup (" + pretty_ns(t_es) +
+                   "); Eq. 1 caps the duty at " + TextTable::num(dmax, 2),
+               {design_loc(nl)},
+               "reduce the duty below " + TextTable::num(dmax, 2) +
+                   " or lower the frequency"});
+    }
+  } catch (const Error& e) {
+    rep.add({"SCPG005", Severity::Error,
+             std::string("timing feasibility could not be evaluated: ") +
+                 e.what(),
+             {design_loc(nl)},
+             ""});
+  }
+}
+
+// --- SCPG006: UPF consistency -----------------------------------------------
+
+void rule_upf_consistency(const Netlist& nl, const LintOptions& opt,
+                          LintReport& rep) {
+  const std::vector<CellId> headers = cells_of_kind(nl, CellKind::Header);
+  std::vector<CellId> isos = cells_of_kind(nl, CellKind::IsoLo);
+  const std::size_t iso_lo = isos.size();
+  for (const CellId c : cells_of_kind(nl, CellKind::IsoHi))
+    isos.push_back(c);
+  std::size_t gated = 0;
+  for (std::uint32_t ci = 0; ci < nl.num_cells(); ++ci)
+    if (nl.cell(CellId{ci}).domain == Domain::Gated) ++gated;
+  if (gated == 0 || headers.empty()) return; // SCPG002's findings apply
+
+  // One power switch: write_upf() declares a single SW_COMB whose control
+  // is the sleep net — a bank split across controls has no UPF rendering.
+  std::unordered_set<std::uint32_t> sleep_nets;
+  for (const CellId h : headers) sleep_nets.insert(nl.cell(h).inputs[0].v);
+  if (sleep_nets.size() > 1) {
+    Diagnostic d{"SCPG006", Severity::Error,
+                 "the header bank is driven by " +
+                     std::to_string(sleep_nets.size()) +
+                     " distinct sleep controls — write_upf() declares one "
+                     "power switch (SW_COMB) with one control port",
+                 {design_loc(nl)},
+                 "drive every header from the same sleep net"};
+    for (const std::uint32_t n : sleep_nets)
+      d.where.push_back(net_loc(nl, NetId{n}));
+    rep.add(std::move(d));
+  }
+
+  // One isolation strategy, one control signal.
+  std::unordered_set<std::uint32_t> iso_enables;
+  for (const CellId c : isos) iso_enables.insert(nl.cell(c).inputs[1].v);
+  if (iso_enables.size() > 1) {
+    Diagnostic d{"SCPG006", Severity::Error,
+                 "isolation cells disagree on the clamp control (" +
+                     std::to_string(iso_enables.size()) +
+                     " distinct nets) — write_upf() declares one "
+                     "isolation strategy (ISO_COMB) with one control",
+                 {design_loc(nl)},
+                 "drive every clamp's NISO pin from the same control net"};
+    for (const std::uint32_t n : iso_enables)
+      d.where.push_back(net_loc(nl, NetId{n}));
+    rep.add(std::move(d));
+  }
+  if (iso_lo > 0 && iso_lo < isos.size())
+    rep.add({"SCPG006", Severity::Warning,
+             "mixed isolation clamp polarities (" + std::to_string(iso_lo) +
+                 " clamp-low, " + std::to_string(isos.size() - iso_lo) +
+                 " clamp-high) — write_upf() emits a single clamp_value 0 "
+                 "strategy",
+             {design_loc(nl)},
+             "use one clamp polarity per domain"});
+
+  // Isolation-control shape: !clk (non-adaptive) or !clk AND sense with a
+  // gated rail-sense tie (adaptive, Fig 3).
+  const NetId clk = clock_net_of(nl, opt);
+  if (iso_enables.size() == 1 && clk.valid()) {
+    const NetId niso{*iso_enables.begin()};
+    const Net& n = nl.net(niso);
+    const auto is_nclk = [&](NetId net_id) {
+      const Net& cand = nl.net(net_id);
+      return cand.driven_by_cell() && !nl.cell(cand.driver_cell).is_macro() &&
+             nl.kind_of(cand.driver_cell) == CellKind::Inv &&
+             nl.cell(cand.driver_cell).inputs[0] == clk;
+    };
+    if (niso == clk) {
+      rep.add({"SCPG006", Severity::Error,
+               "isolation control is the raw clock: NISO is active low, so "
+               "the clamps would engage during the evaluate (clock-low) "
+               "phase and release while the rail is collapsed",
+               {net_loc(nl, niso)},
+               "NISO must be !clk (or !clk AND rail-sense, Fig 3)"});
+    } else if (!is_nclk(niso)) {
+      bool adaptive_ok = false;
+      if (n.driven_by_cell() && !nl.cell(n.driver_cell).is_macro() &&
+          nl.kind_of(n.driver_cell) == CellKind::And2) {
+        const Cell& a = nl.cell(n.driver_cell);
+        for (int leg = 0; leg < 2; ++leg) {
+          if (!is_nclk(a.inputs[std::size_t(leg)])) continue;
+          const Net& sense = nl.net(a.inputs[std::size_t(1 - leg)]);
+          if (!sense.driven_by_cell()) continue;
+          const CellId sc = sense.driver_cell;
+          if (nl.cell(sc).is_macro() ||
+              nl.kind_of(sc) != CellKind::TieHi)
+            continue;
+          if (nl.cell(sc).domain == Domain::Gated) {
+            adaptive_ok = true;
+          } else {
+            rep.add({"SCPG006", Severity::Error,
+                     "rail sense '" + sense.name + "' feeding the "
+                     "isolation control is not inside the gated domain — "
+                     "it cannot observe the virtual-rail recovery (Fig 3)",
+                     {net_loc(nl, a.inputs[std::size_t(1 - leg)]),
+                      cell_loc(nl, sc)},
+                     "the sense tie must sit on the virtual rail"});
+            adaptive_ok = true; // shape recognised; error already reported
+          }
+        }
+      }
+      if (!adaptive_ok)
+        rep.add({"SCPG006", Severity::Warning,
+                 "unrecognised isolation-control structure on '" + n.name +
+                     "' — write_upf() cannot attest the release protocol "
+                     "(expected !clk, or !clk AND gated rail-sense)",
+                 {net_loc(nl, niso)},
+                 "generate the controller with apply_scpg()"});
+    }
+  }
+
+  // Dry-run the exporter against the reconstructed intent: anything
+  // write_upf() itself rejects is by definition inconsistent intent.
+  if (!isos.empty() && sleep_nets.size() == 1 && iso_enables.size() == 1) {
+    ScpgInfo info;
+    info.clk = clk;
+    info.sleep = NetId{*sleep_nets.begin()};
+    info.niso = NetId{*iso_enables.begin()};
+    for (const CellId h : headers) info.headers.push_back(h);
+    info.cells_gated = gated;
+    info.isolation_cells = isos.size();
+    try {
+      (void)write_upf_string(nl, info);
+    } catch (const Error& e) {
+      rep.add({"SCPG006", Severity::Error,
+               std::string("write_upf() rejects the reconstructed power "
+                           "intent: ") +
+                   e.what(),
+               {design_loc(nl)},
+               ""});
+    }
+  }
+}
+
+} // namespace
+
+void run_scpg_rules(const Netlist& nl, const LintOptions& opt,
+                    bool structure_broken, LintReport& rep) {
+  if (enabled(opt, "SCPG001")) rule_isolation_coverage(nl, opt, rep);
+  if (enabled(opt, "SCPG002")) rule_domain_sanity(nl, opt, rep);
+  if (enabled(opt, "SCPG003")) rule_header_polarity(nl, opt, rep);
+  if (enabled(opt, "SCPG004")) rule_x_reachability(nl, opt, rep);
+  // STA needs a sound structure; SCPG007/008 errors already explain why
+  // the run stopped short.
+  if (!structure_broken && enabled(opt, "SCPG005"))
+    rule_timing_feasibility(nl, opt, rep);
+  if (enabled(opt, "SCPG006")) rule_upf_consistency(nl, opt, rep);
+}
+
+} // namespace scpg::lint

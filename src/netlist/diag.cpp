@@ -1,0 +1,58 @@
+#include "netlist/diag.hpp"
+
+#include "netlist/netlist.hpp"
+
+namespace scpg {
+
+std::string_view severity_name(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "error";
+}
+
+std::string_view diag_loc_kind_name(DiagLoc::Kind k) {
+  switch (k) {
+    case DiagLoc::Kind::Cell: return "cell";
+    case DiagLoc::Kind::Net: return "net";
+    case DiagLoc::Kind::Port: return "port";
+    case DiagLoc::Kind::Design: return "design";
+  }
+  return "design";
+}
+
+DiagLoc cell_loc(const Netlist& nl, CellId id) {
+  return {DiagLoc::Kind::Cell, id.v, nl.cell(id).name};
+}
+
+DiagLoc net_loc(const Netlist& nl, NetId id) {
+  return {DiagLoc::Kind::Net, id.v, nl.net(id).name};
+}
+
+DiagLoc port_loc(const Netlist& nl, PortId id) {
+  return {DiagLoc::Kind::Port, id.v, nl.port(id).name};
+}
+
+DiagLoc design_loc(const Netlist& nl) {
+  return {DiagLoc::Kind::Design, ~std::uint32_t{0}, nl.name()};
+}
+
+std::string format_diagnostic(const Diagnostic& d) {
+  std::string out(severity_name(d.severity));
+  out += "[" + d.rule + "]: " + d.message;
+  if (!d.where.empty()) {
+    out += " (";
+    for (std::size_t i = 0; i < d.where.size(); ++i) {
+      if (i) out += ", ";
+      out += diag_loc_kind_name(d.where[i].kind);
+      out += " '" + d.where[i].name + "'";
+    }
+    out += ")";
+  }
+  if (!d.hint.empty()) out += "; hint: " + d.hint;
+  return out;
+}
+
+} // namespace scpg

@@ -1,0 +1,55 @@
+// Located, named diagnostics over a netlist.
+//
+// One Diagnostic is a machine-consumable finding: a stable rule id, a
+// severity, a human message, the cell/net/port locations it refers to
+// (resolved to *names*, so reports stay actionable after the ids shift),
+// and an optional fix hint.  Netlist::structural_diagnostics() produces
+// them for the structural invariants; the static linter (src/lint) builds
+// its whole rule engine on the same type, so `scpgc lint`, check() errors
+// and the JSON report all speak one format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/ids.hpp"
+
+namespace scpg {
+
+class Netlist;
+
+enum class Severity : std::uint8_t { Note, Warning, Error };
+
+[[nodiscard]] std::string_view severity_name(Severity s);
+
+/// One location a diagnostic points at.  `name` is resolved eagerly from
+/// the netlist so formatting never needs the graph again.
+struct DiagLoc {
+  enum class Kind : std::uint8_t { Cell, Net, Port, Design };
+  Kind kind{Kind::Design};
+  std::uint32_t id{~std::uint32_t{0}};
+  std::string name;
+};
+
+[[nodiscard]] std::string_view diag_loc_kind_name(DiagLoc::Kind k);
+
+/// Resolved-location helpers.
+[[nodiscard]] DiagLoc cell_loc(const Netlist& nl, CellId id);
+[[nodiscard]] DiagLoc net_loc(const Netlist& nl, NetId id);
+[[nodiscard]] DiagLoc port_loc(const Netlist& nl, PortId id);
+[[nodiscard]] DiagLoc design_loc(const Netlist& nl);
+
+struct Diagnostic {
+  std::string rule;           ///< stable id, e.g. "SCPG007"
+  Severity severity{Severity::Error};
+  std::string message;        ///< names offending cells/nets, not just ids
+  std::vector<DiagLoc> where; ///< primary location first
+  std::string hint;           ///< how to fix; empty if none applies
+};
+
+/// "error[SCPG007]: message (net 'x', cell 'y'); hint: ..."
+[[nodiscard]] std::string format_diagnostic(const Diagnostic& d);
+
+} // namespace scpg

@@ -271,22 +271,129 @@ std::vector<CellId> Netlist::topo_order() const {
 }
 
 void Netlist::check() const {
+  for (const Diagnostic& d : structural_diagnostics())
+    if (d.severity == Severity::Error) throw NetlistError(format_diagnostic(d));
+}
+
+std::vector<Diagnostic> Netlist::structural_diagnostics() const {
+  std::vector<Diagnostic> out;
+
+  // SCPG007 — driver / connectivity invariants.
   for (std::uint32_t ni = 0; ni < nets_.size(); ++ni) {
+    const NetId id{ni};
     const Net& n = nets_[ni];
     const bool port_drv = n.driven_by_port();
     const bool cell_drv = n.driven_by_cell();
-    if (!port_drv && !cell_drv)
-      throw NetlistError("net '" + n.name + "' is undriven");
-    if (port_drv && cell_drv)
-      throw NetlistError("net '" + n.name + "' driven by port and cell");
+    if (!port_drv && !cell_drv) {
+      Diagnostic d{"SCPG007", Severity::Error,
+                   "net '" + n.name + "' is undriven", {net_loc(*this, id)},
+                   "connect a driver or remove the floating sinks"};
+      std::string feeds;
+      for (std::size_t i = 0; i < n.sinks.size() && i < 3; ++i) {
+        const Cell& s = cells_[n.sinks[i].cell.v];
+        feeds += (i ? ", " : "") + ("'" + s.name + "' pin " +
+                                    std::to_string(n.sinks[i].pin));
+        d.where.push_back(cell_loc(*this, n.sinks[i].cell));
+      }
+      if (!feeds.empty()) {
+        d.message += "; it floats the input of cell" +
+                     std::string(n.sinks.size() > 1 ? "s " : " ") + feeds;
+        if (n.sinks.size() > 3)
+          d.message += " and " + std::to_string(n.sinks.size() - 3) + " more";
+      }
+      out.push_back(std::move(d));
+    }
+    if (port_drv && cell_drv) {
+      out.push_back({"SCPG007", Severity::Error,
+                     "net '" + n.name + "' has multiple drivers: primary "
+                     "input '" + ports_[n.driver_port.v].name +
+                     "' and cell '" + cells_[n.driver_cell.v].name + "'",
+                     {net_loc(*this, id), port_loc(*this, n.driver_port),
+                      cell_loc(*this, n.driver_cell)},
+                     "a net must have exactly one driver"});
+    }
   }
   for (std::uint32_t ci = 0; ci < cells_.size(); ++ci) {
     const Cell& c = cells_[ci];
     for (std::size_t pin = 0; pin < c.inputs.size(); ++pin)
       if (c.inputs[pin].v >= nets_.size())
-        throw NetlistError("cell '" + c.name + "' has a dangling input");
+        out.push_back({"SCPG007", Severity::Error,
+                       "cell '" + c.name + "' input pin " +
+                           std::to_string(pin) + " is not connected to any "
+                           "net",
+                       {cell_loc(*this, CellId{ci})},
+                       "connect the pin"});
   }
-  (void)topo_order(); // throws on combinational cycles
+
+  // SCPG008 — combinational loops: Kahn's algorithm, non-throwing, and a
+  // predecessor walk through the unresolved remainder to name one actual
+  // cycle (the remainder also contains the loop's downstream cone, which
+  // would drown the report).
+  std::vector<int> deps(cells_.size(), 0);
+  std::vector<std::vector<std::uint32_t>> users(cells_.size());
+  std::size_t num_comb = 0;
+  for (std::uint32_t ci = 0; ci < cells_.size(); ++ci) {
+    if (!is_comb_node(CellId{ci})) continue;
+    ++num_comb;
+    for (std::size_t pin = 0; pin < cells_[ci].inputs.size(); ++pin) {
+      if (cells_[ci].is_macro() &&
+          macro_specs_[std::size_t(cells_[ci].macro)].has_clock && pin == 0)
+        continue;
+      if (cells_[ci].inputs[pin].v >= nets_.size()) continue;
+      const Net& n = nets_[cells_[ci].inputs[pin].v];
+      if (n.driven_by_cell() && is_comb_node(n.driver_cell)) {
+        ++deps[ci];
+        users[n.driver_cell.v].push_back(ci);
+      }
+    }
+  }
+  std::queue<std::uint32_t> ready;
+  for (std::uint32_t ci = 0; ci < cells_.size(); ++ci)
+    if (is_comb_node(CellId{ci}) && deps[ci] == 0) ready.push(ci);
+  std::size_t placed = 0;
+  while (!ready.empty()) {
+    const std::uint32_t ci = ready.front();
+    ready.pop();
+    ++placed;
+    for (std::uint32_t u : users[ci])
+      if (--deps[u] == 0) ready.push(u);
+  }
+  if (placed != num_comb) {
+    // Walk predecessors from any unresolved node; the first revisit closes
+    // a cycle.
+    std::uint32_t start = 0;
+    for (std::uint32_t ci = 0; ci < cells_.size(); ++ci)
+      if (is_comb_node(CellId{ci}) && deps[ci] > 0) { start = ci; break; }
+    std::vector<std::int64_t> at(cells_.size(), -1);
+    std::vector<std::uint32_t> chain;
+    std::uint32_t cur = start;
+    while (at[cur] < 0) {
+      at[cur] = std::int64_t(chain.size());
+      chain.push_back(cur);
+      for (const NetId in : cells_[cur].inputs) {
+        if (in.v >= nets_.size()) continue;
+        const Net& n = nets_[in.v];
+        if (n.driven_by_cell() && is_comb_node(n.driver_cell) &&
+            deps[n.driver_cell.v] > 0) {
+          cur = n.driver_cell.v;
+          break;
+        }
+      }
+    }
+    Diagnostic d{"SCPG008", Severity::Error,
+                 "netlist '" + name_ + "' has a combinational loop through ",
+                 {},
+                 "break the loop with a flip-flop or remove the feedback"};
+    std::string cycle;
+    for (std::size_t i = std::size_t(at[cur]); i < chain.size(); ++i) {
+      cycle += (cycle.empty() ? "" : " -> ") + ("'" + cells_[chain[i]].name +
+                                                "'");
+      d.where.push_back(cell_loc(*this, CellId{chain[i]}));
+    }
+    d.message += cycle + " -> '" + cells_[cur].name + "'";
+    out.push_back(std::move(d));
+  }
+  return out;
 }
 
 Area Netlist::total_area() const {

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "netlist/diag.hpp"
 #include "netlist/ids.hpp"
 #include "netlist/macro.hpp"
 #include "tech/library.hpp"
@@ -118,8 +119,17 @@ public:
   /// Repoints an output port to a different net.
   void rewire_port(PortId port, NetId new_net);
 
-  /// Validates all structural invariants; throws NetlistError.
+  /// Validates all structural invariants; throws NetlistError with the
+  /// first error of structural_diagnostics(), so the message names the
+  /// offending cells and nets.
   void check() const;
+
+  /// Non-throwing structural scan: every invariant violation as a located,
+  /// named Diagnostic.  Rule ids match the static linter (src/lint):
+  /// SCPG007 for driver/connectivity problems (undriven net, floating
+  /// input, double drive), SCPG008 for combinational loops (with the cycle
+  /// cells named).  An empty result means check() would pass.
+  [[nodiscard]] std::vector<Diagnostic> structural_diagnostics() const;
 
   // --- access --------------------------------------------------------------
 

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Pins the `scpgc lint` CLI contract: exit codes (0 clean / 1 findings /
+# 2 usage / 3 parse), the --json shape, --only filtering, the --rules
+# table, and the lint pre-gate in `scpgc verify` (exit 5, --no-lint
+# bypass).  Usage: lint_cli_test.sh <scpgc-binary> <examples/netlists-dir>
+set -u
+
+scpgc=$1
+dir=$2
+
+fail() { echo "lint_cli_test FAIL: $*" >&2; exit 1; }
+
+expect_rc() { # want-rc command...
+  local want=$1
+  shift
+  "$@" >/dev/null 2>&1
+  local rc=$?
+  [ "$rc" -eq "$want" ] || fail "expected exit $want, got $rc: $*"
+}
+
+# Exit codes.
+expect_rc 0 "$scpgc" lint --in "$dir/mult8.v"
+expect_rc 0 "$scpgc" lint --in "$dir/mult8_scpg.v" --freq-mhz 1
+expect_rc 0 "$scpgc" lint --in "$dir/mult4_scpg.v" --freq-mhz 1 --json
+expect_rc 1 "$scpgc" lint --in "$dir/broken/mult8_noiso.v"
+expect_rc 1 "$scpgc" lint --in "$dir/broken/mult8_badpol.v"
+expect_rc 1 "$scpgc" lint --in "$dir/mult8_scpg.v" --freq-mhz 500
+expect_rc 2 "$scpgc" lint
+expect_rc 2 "$scpgc" lint --in "$dir/mult8.v" --only SCPG999
+tmp=$(mktemp)
+echo "this is not verilog" > "$tmp"
+expect_rc 3 "$scpgc" lint --in "$tmp"
+rm -f "$tmp"
+
+# JSON shape (the badpol design has exactly 4 headers -> 4 findings).
+out=$("$scpgc" lint --in "$dir/broken/mult8_badpol.v" --json)
+grep -q '"design": "mult8_scpg"' <<<"$out" || fail "json: design key"
+grep -q '"errors": 4' <<<"$out" || fail "json: errors count"
+grep -q '"warnings": 0' <<<"$out" || fail "json: warnings count"
+grep -q '"rule": "SCPG003"' <<<"$out" || fail "json: rule id"
+grep -q '"severity": "error"' <<<"$out" || fail "json: severity"
+grep -q '"locations": \[{"kind": "cell"' <<<"$out" || fail "json: locations"
+grep -q '"hint": ' <<<"$out" || fail "json: hint"
+
+out=$("$scpgc" lint --in "$dir/mult8_scpg.v" --json)
+grep -q '"errors": 0' <<<"$out" || fail "json: clean errors"
+grep -q '"findings": \[\]' <<<"$out" || fail "json: clean findings empty"
+
+# --only restricts the rule set (SCPG001 does not fire on badpol).
+expect_rc 1 "$scpgc" lint --in "$dir/broken/mult8_badpol.v" --only SCPG003
+expect_rc 0 "$scpgc" lint --in "$dir/broken/mult8_badpol.v" --only SCPG001
+
+# --rules lists the full table.
+"$scpgc" lint --rules | grep -q "SCPG008" || fail "--rules table"
+
+# verify runs the linter as a pre-gate: broken design -> flow error (5),
+# bypassed with --no-lint (which then reaches the campaign and reports
+# real hazards -> 1).
+expect_rc 5 "$scpgc" verify --in "$dir/broken/mult8_noiso.v" --cycles 2
+
+echo "lint_cli_test: OK"

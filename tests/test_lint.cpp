@@ -1,0 +1,333 @@
+// Static SCPG linter (src/lint): every rule has a positive test (a
+// deliberate mutation of a known-good SCPG design that fires exactly that
+// rule) and the paper's clean designs lint with zero findings.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cpu/assembler.hpp"
+#include "cpu/core.hpp"
+#include "gen/mult16.hpp"
+#include "lint/dataflow.hpp"
+#include "lint/lint.hpp"
+#include "scpg/transform.hpp"
+#include "util/error.hpp"
+
+namespace scpg::lint {
+namespace {
+
+const Library& lib() {
+  static const Library l = Library::scpg90();
+  return l;
+}
+
+struct GatedMult {
+  Netlist nl;
+  ScpgInfo info;
+};
+
+GatedMult gated_mult8() {
+  GatedMult g{gen::make_multiplier(lib(), 8), {}};
+  g.info = apply_scpg(g.nl);
+  return g;
+}
+
+/// First gated combinational gate (not a tie/header/iso) — mutation target.
+CellId some_gated_gate(const Netlist& nl) {
+  for (std::uint32_t ci = 0; ci < nl.num_cells(); ++ci) {
+    const CellId id{ci};
+    const Cell& c = nl.cell(id);
+    if (c.domain != Domain::Gated || c.is_macro() || c.inputs.empty())
+      continue;
+    const CellKind k = nl.kind_of(id);
+    if (k == CellKind::TieHi || k == CellKind::TieLo ||
+        k == CellKind::Header || k == CellKind::IsoLo ||
+        k == CellKind::IsoHi)
+      continue;
+    return id;
+  }
+  throw Error("no gated gate found");
+}
+
+/// A flop whose Q feeds only gated cells (an operand register: its fanout
+/// goes through the boundary buffers into the array) — retagging it Gated
+/// fires the domain-sanity rule without creating an unclamped crossing.
+CellId operand_flop(const Netlist& nl) {
+  for (const CellId f : nl.flops()) {
+    const Net& q = nl.net(nl.cell(f).outputs[0]);
+    if (!q.sink_ports.empty() || q.sinks.empty()) continue;
+    const bool all_gated =
+        std::all_of(q.sinks.begin(), q.sinks.end(), [&](const PinRef& s) {
+          return nl.cell(s.cell).domain == Domain::Gated;
+        });
+    if (all_gated) return f;
+  }
+  throw Error("no operand flop found");
+}
+
+// --- table-driven mutations --------------------------------------------------
+
+struct RuleCase {
+  const char* name;
+  const char* expect; ///< rule that must fire
+  std::vector<std::string> also_allowed;
+  std::function<void(Netlist&, const ScpgInfo&, LintOptions&)> apply;
+};
+
+const std::vector<RuleCase>& rule_cases() {
+  static const std::vector<RuleCase> cases = {
+      {"DroppedClamp", "SCPG001", {},
+       [](Netlist& nl, const ScpgInfo& info, LintOptions&) {
+         // Bypass one isolation cell: its always-on readers take the raw
+         // gated net again (the clamp is left dangling, which is legal).
+         const IsoBinding& b = info.isolation.front();
+         const Net out = nl.net(b.out); // copy: rewiring edits sink lists
+         for (const PinRef& s : out.sinks)
+           nl.rewire_input(s.cell, s.pin, b.data);
+       }},
+      {"GatedFlop", "SCPG002", {},
+       [](Netlist& nl, const ScpgInfo&, LintOptions&) {
+         nl.cell(operand_flop(nl)).domain = Domain::Gated;
+       }},
+      {"InvertedHeaderEnable", "SCPG003", {},
+       [](Netlist& nl, const ScpgInfo& info, LintOptions&) {
+         const NetId nclk = nl.add_cell_auto(lib().pick(CellKind::Inv),
+                                             {info.clk});
+         for (const CellId h : info.headers) nl.rewire_input(h, 0, nclk);
+       }},
+      {"XObservableOutput", "SCPG004", {"SCPG001"},
+       [](Netlist& nl, const ScpgInfo& info, LintOptions&) {
+         // Tap a raw gated-domain net straight to a primary output.
+         nl.add_output("lint_probe", info.isolation.front().data);
+       }},
+      {"InfeasibleFrequency", "SCPG005", {},
+       [](Netlist&, const ScpgInfo&, LintOptions& opt) {
+         // No mutation: a clean design at 500 MHz cannot fit T_PGStart +
+         // T_eval + T_setup into any clock-low phase (Eq. 1).
+         opt.freq = Frequency{500e6};
+       }},
+      {"IsoControlDisagreement", "SCPG006", {},
+       [](Netlist& nl, const ScpgInfo& info, LintOptions&) {
+         // One clamp released by the raw clock: UPF declares exactly one
+         // isolation control, so the intent no longer matches.
+         nl.rewire_input(info.isolation.front().cell, 1, info.clk);
+       }},
+      {"FloatingInput", "SCPG007", {},
+       [](Netlist& nl, const ScpgInfo&, LintOptions&) {
+         nl.rewire_input(some_gated_gate(nl), 0, nl.add_net("floaty"));
+       }},
+      {"CombLoop", "SCPG008", {},
+       [](Netlist& nl, const ScpgInfo&, LintOptions&) {
+         const CellId c = some_gated_gate(nl);
+         nl.rewire_input(c, 0, nl.cell(c).outputs[0]);
+       }},
+  };
+  return cases;
+}
+
+TEST(Lint, EveryRuleHasAFiringMutation) {
+  for (const RuleCase& rc : rule_cases()) {
+    SCOPED_TRACE(rc.name);
+    GatedMult g = gated_mult8();
+    LintOptions opt;
+    rc.apply(g.nl, g.info, opt);
+    const LintReport rep = run_lint(g.nl, opt);
+
+    EXPECT_TRUE(rep.fired(rc.expect))
+        << rc.expect << " did not fire:\n" << rep.format_text();
+    for (const Diagnostic& d : rep.findings()) {
+      EXPECT_TRUE(d.rule == rc.expect ||
+                  std::find(rc.also_allowed.begin(), rc.also_allowed.end(),
+                            d.rule) != rc.also_allowed.end())
+          << "unexpected co-firing rule " << d.rule << ": " << d.message;
+      EXPECT_FALSE(d.message.empty());
+      EXPECT_FALSE(d.where.empty()) << d.rule << " finding has no location";
+    }
+    EXPECT_GT(rep.errors(), 0u);
+  }
+}
+
+TEST(Lint, MutationFindingsCarryNames) {
+  // The located diagnostics name the actual cells: the inverted-enable
+  // mutation must point at a header instance.
+  GatedMult g = gated_mult8();
+  const NetId nclk = g.nl.add_cell_auto(lib().pick(CellKind::Inv),
+                                        {g.info.clk});
+  for (const CellId h : g.info.headers) g.nl.rewire_input(h, 0, nclk);
+  const LintReport rep = run_lint(g.nl);
+  ASSERT_EQ(rep.count("SCPG003"), g.info.headers.size());
+  const Diagnostic& d = rep.findings().front();
+  ASSERT_FALSE(d.where.empty());
+  EXPECT_EQ(d.where.front().kind, DiagLoc::Kind::Cell);
+  EXPECT_EQ(d.where.front().name, g.nl.cell(g.info.headers.front()).name);
+  EXPECT_NE(d.message.find("u_hdr"), std::string::npos);
+  EXPECT_FALSE(d.hint.empty());
+}
+
+TEST(Lint, GatedDomainWithoutHeadersIsAnError) {
+  // Hand-tagging cells Gated without running the transform leaves intent
+  // with no implementation: no header bank exists.
+  Netlist nl = gen::make_multiplier(lib(), 8);
+  for (std::uint32_t ci = 0; ci < nl.num_cells(); ++ci)
+    if (!nl.cell(CellId{ci}).is_macro() && nl.is_comb_node(CellId{ci})) {
+      nl.cell(CellId{ci}).domain = Domain::Gated;
+      break;
+    }
+  const LintReport rep = run_lint(nl);
+  EXPECT_TRUE(rep.fired("SCPG002")) << rep.format_text();
+}
+
+// --- clean designs -----------------------------------------------------------
+
+TEST(Lint, CleanMultiplierOriginalHasZeroFindings) {
+  const LintReport rep = run_lint(gen::make_multiplier(lib(), 8));
+  EXPECT_TRUE(rep.clean()) << rep.format_text();
+}
+
+TEST(Lint, CleanMultiplierScpgHasZeroFindings) {
+  GatedMult g = gated_mult8();
+  LintOptions opt;
+  opt.freq = Frequency{1e6}; // exercises SCPG005's feasible path too
+  const LintReport rep = run_lint(g.nl, opt);
+  EXPECT_TRUE(rep.clean()) << rep.format_text();
+}
+
+TEST(Lint, CleanScm0ScpgHasZeroFindings) {
+  cpu::Scm0 core = cpu::make_scm0(lib(), cpu::assemble("halt\n"));
+  apply_scpg(core.netlist, cpu::scm0_scpg_options());
+  LintOptions opt;
+  opt.freq = Frequency{1e6};
+  opt.sim = cpu::scm0_sim_config();
+  const LintReport rep = run_lint(core.netlist, opt);
+  EXPECT_TRUE(rep.clean()) << rep.format_text();
+}
+
+TEST(Lint, NoAdaptiveAblationIsStillClean) {
+  // clock-only isolation release (!clk) is a recognised legal shape.
+  Netlist nl = gen::make_multiplier(lib(), 8);
+  ScpgOptions opt;
+  opt.adaptive_controller = false;
+  apply_scpg(nl, opt);
+  const LintReport rep = run_lint(nl);
+  EXPECT_TRUE(rep.clean()) << rep.format_text();
+}
+
+TEST(Lint, NoIsolationAblationIsRejected) {
+  Netlist nl = gen::make_multiplier(lib(), 8);
+  ScpgOptions opt;
+  opt.insert_isolation = false;
+  apply_scpg(nl, opt);
+  const LintReport rep = run_lint(nl);
+  EXPECT_TRUE(rep.fired("SCPG001"));
+  EXPECT_GT(rep.errors(), 0u);
+}
+
+// --- report / API surface ----------------------------------------------------
+
+TEST(Lint, RuleTableListsAllEight) {
+  const auto rs = rules();
+  ASSERT_EQ(rs.size(), 8u);
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    EXPECT_EQ(rs[i].id, "SCPG00" + std::to_string(i + 1));
+    EXPECT_FALSE(rs[i].name.empty());
+    EXPECT_FALSE(rs[i].what.empty());
+  }
+}
+
+TEST(Lint, OnlyFilterRestrictsRules) {
+  Netlist nl = gen::make_multiplier(lib(), 8);
+  ScpgOptions sopt;
+  sopt.insert_isolation = false;
+  apply_scpg(nl, sopt);
+  LintOptions opt;
+  opt.only = {"SCPG003"};
+  const LintReport rep = run_lint(nl, opt); // SCPG001 findings suppressed
+  EXPECT_TRUE(rep.clean()) << rep.format_text();
+  opt.only = {"SCPG001"};
+  EXPECT_TRUE(run_lint(nl, opt).fired("SCPG001"));
+}
+
+TEST(Lint, JsonReportHasTheDocumentedShape) {
+  GatedMult g = gated_mult8();
+  const Net out = g.nl.net(g.info.isolation.front().out);
+  for (const PinRef& s : out.sinks)
+    g.nl.rewire_input(s.cell, s.pin, g.info.isolation.front().data);
+  const std::string js = run_lint(g.nl).to_json();
+  EXPECT_NE(js.find("\"design\": \"" + g.nl.name() + "\""),
+            std::string::npos)
+      << js;
+  EXPECT_NE(js.find("\"errors\": 1"), std::string::npos) << js;
+  EXPECT_NE(js.find("\"rule\": \"SCPG001\""), std::string::npos) << js;
+  EXPECT_NE(js.find("\"locations\": [{\"kind\": \"net\""), std::string::npos)
+      << js;
+}
+
+TEST(Lint, EnforceThrowsLintErrorWithContext) {
+  GatedMult g = gated_mult8();
+  g.nl.cell(operand_flop(g.nl)).domain = Domain::Gated;
+  try {
+    enforce_lint(g.nl, {}, "unit test");
+    FAIL() << "expected LintError";
+  } catch (const LintError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unit test"), std::string::npos);
+    EXPECT_NE(what.find("SCPG002"), std::string::npos);
+  }
+  // A clean design passes through silently.
+  EXPECT_NO_THROW(enforce_lint(gated_mult8().nl));
+}
+
+// --- dataflow framework ------------------------------------------------------
+
+TEST(LintDataflow, ForwardAndBackwardReachability) {
+  // a -> INV -> n1 -> BUF -> n2 -> DFF -> q -> out
+  Netlist nl("chain", lib());
+  const NetId a = nl.add_input("a");
+  const NetId clk = nl.add_input("clk");
+  const NetId n1 = nl.add_cell_auto(lib().pick(CellKind::Inv), {a});
+  const NetId n2 = nl.add_cell_auto(lib().pick(CellKind::Buf), {n1});
+  const NetId q = nl.add_cell_auto(lib().pick(CellKind::Dff), {n2, clk});
+  nl.add_output("out", q);
+
+  const std::vector<NetId> seed_a{a};
+  const ReachResult fwd = reach_forward(nl, seed_a, transfer_combinational());
+  EXPECT_TRUE(fwd.reached(a));
+  EXPECT_TRUE(fwd.reached(n1));
+  EXPECT_TRUE(fwd.reached(n2));
+  EXPECT_FALSE(fwd.reached(q)) << "flop must stop combinational transfer";
+
+  const std::vector<NetId> path = fwd.trace(n2);
+  ASSERT_EQ(path.size(), 3u); // n2 <- n1 <- a
+  EXPECT_EQ(path.front(), n2);
+  EXPECT_EQ(path.back(), a);
+
+  const std::vector<NetId> seed_n2{n2};
+  const ReachResult bwd =
+      reach_backward(nl, seed_n2, transfer_combinational());
+  EXPECT_TRUE(bwd.reached(a));
+  EXPECT_FALSE(bwd.reached(q));
+
+  // transfer_all crosses the flop as well.
+  const ReachResult all = reach_forward(nl, seed_a, transfer_all());
+  EXPECT_TRUE(all.reached(q));
+}
+
+TEST(LintDataflow, ReachTerminatesOnCycles) {
+  Netlist nl("loop", lib());
+  const NetId a = nl.add_input("a");
+  const NetId n1 = nl.add_net("n1");
+  const NetId n2 =
+      nl.add_cell_auto(lib().pick(CellKind::Nand2), {a, n1});
+  nl.add_cell("u_loop", lib().pick(CellKind::Inv), {n2}, n1);
+  nl.add_output("out", n2);
+  const std::vector<NetId> seed{a};
+  const ReachResult r = reach_forward(nl, seed, transfer_combinational());
+  EXPECT_TRUE(r.reached(n1));
+  EXPECT_TRUE(r.reached(n2));
+}
+
+} // namespace
+} // namespace scpg::lint

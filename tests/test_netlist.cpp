@@ -64,6 +64,69 @@ TEST(Netlist, DetectsCombinationalLoop) {
   EXPECT_THROW((void)nl.check(), NetlistError);
 }
 
+TEST(Netlist, CheckErrorsNameTheOffenders) {
+  // check() messages route through structural_diagnostics(), so they name
+  // the actual nets and cells instead of just counting them.
+  Netlist nl("t", lib());
+  const NetId a = nl.add_input("a");
+  const NetId floating = nl.add_net("floaty");
+  const NetId y = nl.add_net("y");
+  nl.add_cell("g_reader", lib().pick(CellKind::Nand2), {a, floating}, y);
+  nl.add_output("y", y);
+  try {
+    nl.check();
+    FAIL() << "expected NetlistError";
+  } catch (const NetlistError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("SCPG007"), std::string::npos) << what;
+    EXPECT_NE(what.find("'floaty'"), std::string::npos) << what;
+    EXPECT_NE(what.find("'g_reader'"), std::string::npos) << what;
+  }
+}
+
+TEST(Netlist, StructuralDiagnosticsLocateUndrivenNet) {
+  Netlist nl("t", lib());
+  const NetId a = nl.add_input("a");
+  const NetId floating = nl.add_net("floaty");
+  const NetId y = nl.add_net("y");
+  nl.add_cell("g0", lib().pick(CellKind::Nand2), {a, floating}, y);
+  nl.add_output("y", y);
+  const std::vector<Diagnostic> ds = nl.structural_diagnostics();
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule, "SCPG007");
+  EXPECT_EQ(ds[0].severity, Severity::Error);
+  ASSERT_FALSE(ds[0].where.empty());
+  EXPECT_EQ(ds[0].where.front().kind, DiagLoc::Kind::Net);
+  EXPECT_EQ(ds[0].where.front().name, "floaty");
+}
+
+TEST(Netlist, StructuralDiagnosticsNameTheLoopCycle) {
+  Netlist nl("t", lib());
+  const NetId a = nl.add_input("a");
+  const NetId x = nl.add_net("x");
+  const NetId y = nl.add_net("y");
+  nl.add_cell("g_loop0", lib().pick(CellKind::Nand2), {a, y}, x);
+  nl.add_cell("g_loop1", lib().pick(CellKind::Inv), {x}, y);
+  nl.add_output("y", y);
+  const std::vector<Diagnostic> ds = nl.structural_diagnostics();
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule, "SCPG008");
+  EXPECT_NE(ds[0].message.find("g_loop0"), std::string::npos)
+      << ds[0].message;
+  EXPECT_NE(ds[0].message.find("g_loop1"), std::string::npos)
+      << ds[0].message;
+  EXPECT_GE(ds[0].where.size(), 2u);
+}
+
+TEST(Netlist, StructuralDiagnosticsCleanOnValidDesign) {
+  Netlist nl("t", lib());
+  const NetId a = nl.add_input("a");
+  const NetId y = nl.add_net("y");
+  nl.add_cell("g0", lib().pick(CellKind::Inv), {a}, y);
+  nl.add_output("y", y);
+  EXPECT_TRUE(nl.structural_diagnostics().empty());
+}
+
 TEST(Netlist, LoopThroughFlopIsFine) {
   Netlist nl("t", lib());
   Builder b(nl);

@@ -2,12 +2,16 @@
 # Tier-1 gate: build + ctest in the normal configuration, then again with
 # AddressSanitizer + UBSan (SCPG_SANITIZE=ON) in a separate build tree,
 # then the concurrency-sensitive engine suites under ThreadSanitizer
-# (SCPG_SANITIZE=thread) in a third tree.
+# (SCPG_SANITIZE=thread) in a third tree.  The full run also lints the
+# committed example netlists with `scpgc lint` and, when clang-tidy is
+# installed, runs the .clang-tidy checks over the lint subsystem.
 #
-#   tools/check.sh            # all three passes
+#   tools/check.sh            # all passes
 #   tools/check.sh --fast     # normal pass only
 #   tools/check.sh --sanitize # ASan/UBSan pass only
 #   tools/check.sh --tsan     # ThreadSanitizer engine pass only
+#   tools/check.sh --lint     # build + scpgc lint over examples/netlists
+#   tools/check.sh --tidy     # clang-tidy pass (skips if not installed)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,6 +32,49 @@ run_pass() { # name build-dir ctest-regex extra-cmake-args...
   fi
 }
 
+# Static-analysis pass: every committed clean netlist must lint clean
+# (exit 0, "errors": 0 in the JSON) and every broken/ netlist must be
+# rejected (exit 1).  This exercises the shipped scpgc binary end to end:
+# parse -> lint -> report -> exit code.
+run_lint_pass() {
+  echo "=== lint: configure + build (build) ==="
+  cmake -B build -S .
+  cmake --build build -j "$jobs" --target scpgc
+  local scpgc=build/tools/scpgc
+  for v in examples/netlists/*.v; do
+    echo "=== lint: ${v} (expect clean) ==="
+    local out
+    out=$("$scpgc" lint --in "$v" --freq-mhz 1 --json) ||
+      { echo "lint FAILED on clean netlist ${v}:"; echo "$out"; exit 1; }
+    grep -q '"errors": 0' <<<"$out" ||
+      { echo "lint reported errors on clean netlist ${v}"; exit 1; }
+  done
+  for v in examples/netlists/broken/*.v; do
+    echo "=== lint: ${v} (expect findings) ==="
+    local rc=0
+    "$scpgc" lint --in "$v" --json >/dev/null || rc=$?
+    if [ "$rc" -ne 1 ]; then
+      echo "lint exited ${rc} on broken netlist ${v} (expected 1)"; exit 1
+    fi
+  done
+  echo "=== lint: all example netlists behaved as expected ==="
+}
+
+# clang-tidy pass: gated on availability — the CI container may not ship
+# clang-tidy; the pass then reports and succeeds so `all` stays green.
+run_tidy_pass() {
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "=== tidy: clang-tidy not installed, skipping ==="
+    return 0
+  fi
+  echo "=== tidy: configure (compile_commands.json) ==="
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  echo "=== tidy: clang-tidy over src/lint src/netlist/diag.cpp ==="
+  clang-tidy -p build --quiet \
+    src/lint/*.cpp src/netlist/diag.cpp tools/gen_examples.cpp
+  echo "=== tidy: clean ==="
+}
+
 # TSan pass: only the Engine* suites (test_engine.cpp) — the parallel
 # sweep engine, thread pool and result cache are the code with real
 # cross-thread interactions; the rest of the suite is single-threaded.
@@ -36,12 +83,17 @@ case "$mode" in
   --sanitize) run_pass "sanitized" build-asan "" -DSCPG_SANITIZE=ON ;;
   --tsan)     run_pass "tsan-engine" build-tsan "^Engine" \
                        -DSCPG_SANITIZE=thread ;;
+  --lint)     run_lint_pass ;;
+  --tidy)     run_tidy_pass ;;
   all)
     run_pass "normal" build ""
     run_pass "sanitized" build-asan "" -DSCPG_SANITIZE=ON
     run_pass "tsan-engine" build-tsan "^Engine" -DSCPG_SANITIZE=thread
+    run_lint_pass
+    run_tidy_pass
     ;;
-  *) echo "usage: $0 [--fast|--sanitize|--tsan]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--fast|--sanitize|--tsan|--lint|--tidy]" >&2
+     exit 2 ;;
 esac
 
 echo "=== check.sh: all requested passes green ==="

@@ -1,0 +1,79 @@
+// gen_examples — regenerates the committed netlists under
+// examples/netlists/.
+//
+//   gen_examples [OUTDIR]      (default: examples/netlists)
+//
+// The clean designs are the paper's multiplier in original and SCPG form;
+// the broken/ variants are deliberately mis-transformed designs that the
+// static linter must reject — tools/check.sh lints both sets and expects
+// exit 0 on clean/ and exit 1 on broken/.  Regenerate (and re-commit) the
+// files whenever the generators or the transform change shape.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "gen/mult16.hpp"
+#include "netlist/verilog.hpp"
+#include "scpg/transform.hpp"
+#include "util/error.hpp"
+
+using namespace scpg;
+using scpg::gen::make_multiplier;
+
+namespace {
+
+void write(const std::filesystem::path& path, const Netlist& nl) {
+  std::ofstream os(path);
+  SCPG_REQUIRE(bool(os), "cannot open " + path.string());
+  write_verilog(nl, os);
+  std::cout << "wrote " << path.string() << "\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const std::filesystem::path dir =
+        argc > 1 ? argv[1] : "examples/netlists";
+    std::filesystem::create_directories(dir / "broken");
+    const Library lib = Library::scpg90();
+
+    // Clean: original and SCPG-transformed multipliers.
+    write(dir / "mult8.v", make_multiplier(lib, 8));
+    {
+      Netlist nl = make_multiplier(lib, 8);
+      apply_scpg(nl, {});
+      write(dir / "mult8_scpg.v", nl);
+    }
+    {
+      Netlist nl = make_multiplier(lib, 4);
+      apply_scpg(nl, {});
+      write(dir / "mult4_scpg.v", nl);
+    }
+
+    // Broken: the no-isolation ablation leaves every Gated->AlwaysOn
+    // crossing unclamped (SCPG001, SCPG004).
+    {
+      Netlist nl = make_multiplier(lib, 8);
+      ScpgOptions opt;
+      opt.insert_isolation = false;
+      apply_scpg(nl, opt);
+      write(dir / "broken" / "mult8_noiso.v", nl);
+    }
+
+    // Broken: header enable inverted (NOT clk) — the headers would switch
+    // off during the evaluate phase (SCPG003).
+    {
+      Netlist nl = make_multiplier(lib, 8);
+      const ScpgInfo info = apply_scpg(nl, {});
+      const NetId nclk = nl.add_cell_auto(lib.pick(CellKind::Inv),
+                                          {nl.port_net("clk")});
+      for (const CellId h : info.headers) nl.rewire_input(h, 0, nclk);
+      write(dir / "broken" / "mult8_badpol.v", nl);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "gen_examples: " << e.what() << "\n";
+    return 1;
+  }
+}

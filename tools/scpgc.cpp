@@ -14,6 +14,16 @@
 //   scpgc verify    --in d.v [options]             fault-injection campaign
 //                                                  with runtime hazard
 //                                                  monitors
+//   scpgc lint      --in d.v [--freq-mhz F] [--duty D] [--clock NAME]
+//                   [--only IDS] [--json]          static SCPG power-intent
+//                                                  and structural analysis
+//                                                  (rules SCPG001-008);
+//                                                  --rules lists the rule
+//                                                  table
+//
+// lint exit codes: 0 clean, 1 findings reported, 2 usage, 3 parse error.
+// sweep and verify run the linter as a pre-gate (disable with --no-lint);
+// a lint rejection there exits 5 (flow error).
 //
 // verify options:
 //   --fault LIST           comma-separated fault classes to inject:
@@ -56,6 +66,7 @@
 #include <vector>
 
 #include "engine/sweep.hpp"
+#include "lint/lint.hpp"
 #include "netlist/report.hpp"
 #include "netlist/verilog.hpp"
 #include "power/power.hpp"
@@ -123,7 +134,7 @@ Args parse_args(int argc, char** argv) {
           key == "points" || key == "fault" || key == "rate" ||
           key == "magnitude" || key == "freq-mhz" || key == "duty" ||
           key == "cycles" || key == "warmup" || key == "seed" ||
-          key == "max-report" || key == "jobs";
+          key == "max-report" || key == "jobs" || key == "only";
       if (takes_value && i + 1 < argc) a.opts[key] = argv[++i];
       else a.flags.push_back(key);
     }
@@ -251,6 +262,18 @@ int cmd_verify(const Library& lib, const Args& a) {
           "' (expected stuck-isolation, delayed-isolation, dropped-clamp, "
           "slow-rail-restore, premature-edge or seu-flip)");
     opt.faults.push_back({*fc, rate, magnitude});
+  }
+
+  // Static pre-gate: reject designs whose power intent is broken before
+  // spending cycles simulating them (a stuck campaign on a mis-clamped
+  // design reports hazards, but the linter names the structural cause).
+  if (!a.has_flag("no-lint")) {
+    lint::LintOptions lopt;
+    lopt.clock_port = opt.clock_port;
+    lopt.freq = opt.f;
+    lopt.duty_high = opt.duty_high;
+    lopt.sim = opt.sim;
+    lint::enforce_lint(nl, lopt, "verify pre-gate");
   }
 
   const verify::CampaignResult res = verify::run_campaign(std::move(nl), opt);
@@ -436,6 +459,43 @@ int cmd_sweep(const Library& lib, const Args& a) {
   return 0;
 }
 
+int cmd_lint(const Library& lib, const Args& a) {
+  if (a.has_flag("rules")) {
+    TextTable t("SCPG lint rules");
+    t.header({"id", "name", "checks that"});
+    for (const lint::RuleInfo& r : lint::rules())
+      t.row({std::string(r.id), std::string(r.name), std::string(r.what)});
+    t.print(std::cout);
+    return 0;
+  }
+
+  Netlist nl = load(lib, a.opt("in"));
+  lint::LintOptions opt;
+  opt.clock_port = a.opt("clock", "clk");
+  opt.sim.corner = corner_of(a);
+  opt.duty_high = a.num("duty", 0.5);
+  if (a.opts.count("freq-mhz") > 0)
+    opt.freq = Frequency{a.num("freq-mhz", 1.0) * 1e6};
+  std::string list = a.opt("only");
+  while (!list.empty()) {
+    const auto comma = list.find(',');
+    const std::string id = list.substr(0, comma);
+    list = comma == std::string::npos ? "" : list.substr(comma + 1);
+    if (id.empty()) continue;
+    bool known = false;
+    for (const lint::RuleInfo& r : lint::rules()) known |= r.id == id;
+    if (!known)
+      throw UsageError("unknown lint rule '" + id +
+                       "' (see scpgc lint --rules)");
+    opt.only.push_back(id);
+  }
+
+  const lint::LintReport rep = lint::run_lint(nl, opt);
+  if (a.has_flag("json")) std::cout << rep.to_json();
+  else std::cout << rep.format_text();
+  return rep.clean() ? 0 : 1; // kExitOk / kExitHazards (findings)
+}
+
 // Exit codes (keep in sync with the header comment): scripts and the CI
 // harness branch on these.
 constexpr int kExitOk = 0;
@@ -453,11 +513,15 @@ int main(int argc, char** argv) {
   try {
     if (a.command == "liberty") return cmd_liberty();
     const Library lib = Library::scpg90();
+    // Every Experiment::run() in this process lints its designs first
+    // (the engine's injected design gate) unless the user opts out.
+    if (!a.has_flag("no-lint")) lint::install_engine_gate();
     if (a.command == "report") return cmd_report(lib, a);
     if (a.command == "transform") return cmd_transform(lib, a);
     if (a.command == "sweep") return cmd_sweep(lib, a);
     if (a.command == "verify") return cmd_verify(lib, a);
-    std::cerr << "usage: scpgc {liberty|report|transform|sweep|verify} "
+    if (a.command == "lint") return cmd_lint(lib, a);
+    std::cerr << "usage: scpgc {liberty|report|transform|sweep|verify|lint} "
                  "[options]\n"
                  "       (see the header of tools/scpgc.cpp)\n";
     return kExitUsage;
