@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <mutex>
+#include <unordered_map>
 #include <utility>
 
 #include "engine/cache.hpp"
@@ -279,6 +280,33 @@ SweepResult Experiment::run() const {
     gate(*spec_.designs_[d],
          GateContext{spec_.design_labels_[d], spec_.clock_port_});
 
+  // Digests are computed once up front: they key each point's RNG stream
+  // and its cache entry, and the aliasing check below needs all of them.
+  std::vector<std::uint64_t> digests(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    digests[i] = point_digest(pts[i]);
+
+  // Equal digests mean equal computations — same Rng::stream, same cache
+  // key.  That is correct (and exploited by the cache) when the rows
+  // really are the same point, but a collision between rows carrying
+  // *different* tags means the caller intended distinct measurements —
+  // e.g. two point() entries tagged "gated"/"baseline" whose payloads
+  // accidentally match.  Their identical stimulus streams would silently
+  // alias the two rows, so reject the sweep instead.  The tag itself is
+  // deliberately NOT part of the digest: digests stay content-keyed so
+  // relabelling a point still hits the cache.
+  std::unordered_map<std::uint64_t, std::size_t> first_row;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const auto [it, inserted] = first_row.emplace(digests[i], i);
+    if (inserted || pts[it->second].tag == pts[i].tag) continue;
+    SCPG_REQUIRE(false,
+                 "sweep rows " + std::to_string(it->second) + " (tag \"" +
+                     pts[it->second].tag + "\") and " + std::to_string(i) +
+                     " (tag \"" + pts[i].tag +
+                     "\") have identical payloads and would share one RNG "
+                     "stream; differentiate them (e.g. distinct seeds)");
+  }
+
   // Opaque closures (no cache key) are invisible to hashing, so caching
   // them would alias distinct stimuli.
   const bool cacheable =
@@ -292,7 +320,7 @@ SweepResult Experiment::run() const {
 
   auto run_one = [&](std::size_t i) -> PointResult {
     const OperatingPoint& pt = pts[i];
-    const std::uint64_t digest = point_digest(pt);
+    const std::uint64_t digest = digests[i];
 
     PointResult res;
     res.point = pt;

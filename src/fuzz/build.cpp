@@ -1,0 +1,308 @@
+#include "fuzz/build.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "gen/arith.hpp"
+#include "gen/components.hpp"
+#include "gen/mult16.hpp"
+#include "netlist/builder.hpp"
+#include "sta/sta.hpp"
+#include "util/error.hpp"
+#include "verify/fault.hpp"
+
+namespace scpg::fuzz {
+
+namespace {
+
+/// Truncates or zero-extends (tie-low) `x` to exactly `w` bits.
+Bus fit(Builder& b, Bus x, std::size_t w) {
+  if (x.size() > w) x.resize(w);
+  while (x.size() < w) x.push_back(b.tie_lo());
+  return x;
+}
+
+/// Applies one cloud block: cur = f(cur, other).  `other` is fitted to
+/// cur's width inside, so the running bus may grow (MultArray) without
+/// constraining later operand picks.
+void apply_block(Builder& b, Comp c, Bus& cur, const Bus& other_raw) {
+  const Bus other = fit(b, other_raw, cur.size());
+  switch (c) {
+    case Comp::RippleAdd:
+      cur = gen::ripple_add(b, cur, other).sum;
+      break;
+    case Comp::CarrySelect:
+      cur = gen::carry_select_add(b, cur, other).sum;
+      break;
+    case Comp::Subtract:
+      cur = gen::subtract(b, cur, other).sum;
+      break;
+    case Comp::Increment:
+      cur = gen::increment(b, cur);
+      break;
+    case Comp::CompareMux: {
+      const gen::CompareResult cmp = gen::compare(b, cur, other);
+      cur = b.mux_bus(cur, b.not_bus(cur), cmp.lt);
+      break;
+    }
+    case Comp::XorBlend:
+      cur = b.xor_bus(cur, other);
+      break;
+    case Comp::MuxTree: {
+      const std::vector<Bus> choices = {cur, b.not_bus(cur),
+                                        b.xor_bus(cur, other),
+                                        b.or_bus(cur, other)};
+      const Bus sel = {other[0], other[1 % other.size()]};
+      cur = gen::mux_tree(b, choices, sel);
+      break;
+    }
+    case Comp::ShiftLeft:
+      cur = gen::shift_left(b, cur, {other[0], other[1 % other.size()]});
+      break;
+    case Comp::ShiftRight:
+      cur = gen::shift_right(b, cur, {other[0], other[1 % other.size()]});
+      break;
+    case Comp::DecoderMix: {
+      const Bus dec =
+          gen::decoder(b, {other[0], other[1 % other.size()]});
+      cur = b.xor_bus(cur, fit(b, dec, cur.size()));
+      break;
+    }
+    case Comp::MultArray:
+      cur = gen::multiplier_array(b, cur, other);
+      break;
+  }
+}
+
+/// Combinational delay of one BUF stage (loaded by another BUF), from a
+/// throwaway calibration netlist: STA of a 33-stage chain minus a 1-stage
+/// chain, over 32.
+double buf_stage_delay_s(const Library& lib, const Corner& corner) {
+  const auto chain_t_eval = [&](int n) {
+    Netlist nl("buf_cal", lib);
+    Builder b(nl);
+    const NetId clk = b.input("clk");
+    NetId x = b.dff(b.input("d"), clk);
+    for (int i = 0; i < n; ++i) x = b.BUF(x);
+    b.output("q", b.dff(x, clk));
+    nl.check();
+    return run_sta(nl, corner).t_eval.v;
+  };
+  return std::max((chain_t_eval(33) - chain_t_eval(1)) / 32.0, 1e-15);
+}
+
+/// Builds the pre-transform design: clk, a[w], b[w] -> registered p.
+/// Both operands and the result are registered (the paper's Fig 2 shape);
+/// the block pipeline in between becomes the gated cloud.
+std::unique_ptr<Netlist> build_design(const Library& lib, const FuzzCase& fc,
+                                      int* out_width, int canary_bufs) {
+  auto nl = std::make_unique<Netlist>("fuzz_" + std::to_string(fc.id), lib);
+  Builder b(*nl);
+  const int w = fc.design.width;
+  const NetId clk = b.input("clk");
+  const Bus a = b.input_bus("a", w);
+  const Bus bb = b.input_bus("b", w);
+  const Bus ra = b.dff_bus(a, clk);
+  const Bus rb = b.dff_bus(bb, clk);
+
+  // Operand pool: registered inputs plus every intermediate result; the
+  // wiring stream decides which one each block consumes, so the same
+  // block list yields many distinct DAG shapes.
+  std::vector<Bus> pool = {ra, rb};
+  Bus cur = ra;
+  Rng wiring(fc.design.wiring);
+  for (const Comp c : fc.design.blocks) {
+    const Bus& other = pool[wiring.below(pool.size())];
+    apply_block(b, c, cur, other);
+    pool.push_back(cur);
+  }
+
+  const Bus q = b.dff_bus(cur, clk);
+  b.output_bus("p", q);
+
+  // Canary: a registered toggle whose D path runs through a buffer chain
+  // sized (by the caller, via STA) to dominate the data critical path.
+  // Settled, it alternates every cycle independent of stimulus; captured
+  // mid-settle it goes clock-dependent-stale — so a capture-races-
+  // evaluation bug (FastClock) stays observable even when the data
+  // outputs happen to map the stimulus to constants.  A plain chain
+  // carries a genuinely toggling value and cannot glitch.
+  const NetId can_q = b.dff(b.tie_lo(), clk);
+  NetId can_d = b.NOT(can_q);
+  for (int i = 0; i < canary_bufs; ++i) can_d = b.BUF(can_d);
+  nl->rewire_input(nl->net(can_q).driver_cell, 0, can_d);
+  b.output("canary", can_q);
+
+  if (out_width) *out_width = int(q.size());
+  nl->check();
+  return nl;
+}
+
+} // namespace
+
+BuiltCase build_case(const Library& lib, const FuzzCase& fc) {
+  BuiltCase bc;
+  // Two-pass build: measure the data critical path first, then size the
+  // canary chain to ~2x of it so the canary is the deepest endpoint by a
+  // comfortable margin (stale within one FastClock period, settled within
+  // two) for every generated design shape.
+  const SimConfig probe_cfg;
+  double te0;
+  {
+    const auto probe = build_design(lib, fc, nullptr, 0);
+    te0 = run_sta(*probe, probe_cfg.corner).t_eval.v;
+  }
+  const double buf_d = buf_stage_delay_s(lib, probe_cfg.corner);
+  const int canary_bufs = int(2.0 * te0 / buf_d) + 1;
+  bc.original = build_design(lib, fc, &bc.out_width, canary_bufs);
+
+  // SCPG transform per the spec; NoIsolation is a transform-option bug.
+  ScpgOptions opt;
+  opt.header_count = fc.design.header_count;
+  opt.header_drive = fc.design.header_drive;
+  opt.clamp = fc.design.clamp_high ? ScpgOptions::Clamp::High
+                                   : ScpgOptions::Clamp::Low;
+  opt.boundary_buffers = fc.design.boundary_buffers;
+  opt.insert_isolation = fc.bug != BugKind::NoIsolation;
+  bc.gated = std::make_unique<Netlist>(*bc.original);
+  bc.info = apply_scpg(*bc.gated, opt);
+
+  // Structural bug edits (post-transform).  The injection RNG is keyed on
+  // the case id alone so rebuilding an identical recipe (replay,
+  // minimization) reproduces the exact same fault sites.
+  Rng inj = Rng::stream(fc.id, 0x5cb6'f01d'0bad'cafeULL);
+  switch (fc.bug) {
+    case BugKind::DropClamp:
+      bc.bug_sites = verify::inject_dropped_clamp(*bc.gated, 0.5, inj);
+      break;
+    case BugKind::StuckIsolation:
+      bc.bug_sites = verify::inject_stuck_isolation(*bc.gated, 0.5, inj);
+      break;
+    case BugKind::HeaderPolarity: {
+      // Fig 2 polarity flip: SLP inverted at every header, so the cloud
+      // is collapsed during evaluation and powered while idle.
+      Builder b(*bc.gated);
+      const NetId flipped = b.NOT(bc.info.sleep);
+      for (const CellId h : bc.info.headers)
+        bc.gated->rewire_input(h, 0, flipped);
+      bc.gated->check();
+      bc.bug_sites = int(bc.info.headers.size());
+      break;
+    }
+    case BugKind::OutputInvert: {
+      // Miscompile: one output flop's D rewired through an inverter.  The
+      // netlist stays structurally and power-intent clean (the inverter
+      // is always-on, fed from the already-clamped boundary net), so only
+      // a differential simulation against the golden model can tell.
+      std::vector<PinRef> d_pins;
+      for (const Port& p : bc.gated->ports()) {
+        if (p.dir != PortDir::Out) continue;
+        const CellId flop = bc.gated->net(p.net).driver_cell;
+        d_pins.push_back({flop, 0});
+      }
+      SCPG_ASSERT(!d_pins.empty());
+      const PinRef pick = d_pins[inj.below(d_pins.size())];
+      Builder b(*bc.gated);
+      const NetId d_old = bc.gated->cell(pick.cell).inputs[0];
+      bc.gated->rewire_input(pick.cell, pick.pin, b.NOT(d_old));
+      bc.gated->check();
+      bc.bug_sites = 1;
+      break;
+    }
+    case BugKind::NoIsolation:
+      bc.bug_sites = int(bc.info.cells_gated);
+      break;
+    case BugKind::SlowRail:
+    case BugKind::FastClock:
+      bc.bug_sites = 1; // config-level; applied below / via period_slack
+      break;
+    case BugKind::None:
+      break;
+  }
+
+  // Operating point from the rail closed forms + STA: the minimum
+  // feasible period at `duty` must fit T_PGStart (from a fully collapsed
+  // rail) plus evaluation and setup into the low phase; period_slack
+  // scales that minimum.  Extracted at the HONEST config — a SlowRail bug
+  // derates only the simulated config afterwards.
+  bc.cfg_model = SimConfig{};
+  bc.rail = extract_rail_params(*bc.gated, bc.cfg_model);
+  const StaReport sta = run_sta(*bc.gated, bc.cfg_model.corner);
+  const double t_es = sta.t_eval.v + sta.endpoint_setup.v;
+  const double t_need = bc.rail.t_ready_from(Voltage{0.0}).v + t_es;
+  SCPG_ASSERT(t_need > 0.0);
+  double period;
+  if (fc.bug == BugKind::FastClock) {
+    // The PERIOD must race evaluation itself (slack < 1 over T_eval
+    // alone): gated cells keep evaluating until the rail corrupts, so a
+    // short low phase alone is benign — captures only go stale when the
+    // critical path cannot settle within one full period.  Stale captures
+    // depend on the clock, which the metamorphic frequency-invariance
+    // oracle is built to notice.
+    period = fc.period_slack * sta.t_eval.v;
+  } else {
+    period = fc.period_slack * t_need / (1.0 - fc.duty);
+  }
+  if (fc.bug != BugKind::FastClock) {
+    // Keep the operating point out of the hazardous gray band where the
+    // rail droops below ready_frac but never corrupts: the rail sense
+    // only detects full collapse, so NISO would release clamps onto a
+    // sagging rail — a genuine Fig 3 contract violation the monitors
+    // flag.  Either the high phase stays shallow (droop within the ready
+    // band) or the period stretches until the rail collapses fully every
+    // cycle.  SlowRail always takes the collapse branch: the simulator
+    // only announces Ready after a Corrupt, so a derated recharge is only
+    // observable on a collapsing rail.
+    const double v_target = 0.90 * bc.rail.corrupt_frac * bc.rail.vdd.v;
+    double t_collapse = 0.05 * bc.rail.tau_decay().v;
+    while (bc.rail.v_after_off(Time{t_collapse}).v > v_target &&
+           t_collapse < 1e3 * bc.rail.tau_decay().v)
+      t_collapse *= 2.0;
+    const double v_end = bc.rail.v_after_off(Time{fc.duty * period}).v;
+    const bool shallow =
+        v_end >= 1.02 * bc.rail.ready_frac * bc.rail.vdd.v;
+    if (fc.bug == BugKind::SlowRail || !shallow)
+      period = std::max(period, 1.1 * t_collapse / fc.duty);
+  }
+  SCPG_ASSERT(period > 0.0);
+  bc.f = Frequency{1.0 / period};
+
+  // The first capture edge must not land before the zero-time reset
+  // settle completes: a captured X would regenerate through the canary
+  // feedback forever and poison every downstream comparison.
+  bc.settle_fs = SimTime(2.0 * t_es * 1e15);
+
+  bc.cfg_sim = bc.cfg_model;
+  if (fc.bug == BugKind::SlowRail) {
+    const double t_low = period * (1.0 - fc.duty);
+    bc.cfg_sim.header_ron_derate =
+        verify::slow_rail_derate(*bc.gated, bc.cfg_model, t_low);
+  }
+  return bc;
+}
+
+std::vector<std::string> case_features(const FuzzCase& fc,
+                                       const BuiltCase& built) {
+  std::vector<std::string> keys;
+  for (const Comp c : fc.design.blocks)
+    keys.push_back("comp:" + std::string(comp_name(c)));
+  keys.push_back("width:" + std::to_string(fc.design.width));
+  keys.push_back("blocks:" + std::to_string(fc.design.blocks.size()));
+  keys.push_back(std::string("clamp:") +
+                 (fc.design.clamp_high ? "high" : "low"));
+  keys.push_back(std::string("buffers:") +
+                 (fc.design.boundary_buffers ? "on" : "off"));
+  keys.push_back("headers:" + std::to_string(fc.design.header_count) + "x" +
+                 std::to_string(fc.design.header_drive));
+  keys.push_back("bug:" + std::string(bug_name(fc.bug)));
+  int log2_cells = 0;
+  for (std::size_t n = built.info.cells_gated; n > 1; n >>= 1) ++log2_cells;
+  keys.push_back("gated_cells_log2:" + std::to_string(log2_cells));
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+} // namespace scpg::fuzz

@@ -1,0 +1,46 @@
+// FuzzCase -> concrete test article.
+//
+// build_case() turns the recipe into everything the oracles run on: the
+// original (pre-transform) netlist, the SCPG-transformed netlist with the
+// case's bug applied, the operating point resolved from the rail closed
+// forms + STA (period_slack is relative to the minimum feasible period,
+// so a case stays meaningful after the minimizer shrinks its design), and
+// the two SimConfigs — the honest one the Eq. 1 forms are extracted at,
+// and the simulated one (they differ only for the SlowRail bug).
+#pragma once
+
+#include <memory>
+
+#include "fuzz/case.hpp"
+#include "netlist/netlist.hpp"
+#include "scpg/rail_model.hpp"
+#include "scpg/transform.hpp"
+#include "sim/simulator.hpp"
+
+namespace scpg::fuzz {
+
+struct BuiltCase {
+  // unique_ptr: Netlist is move-only in spirit (library back-pointer) and
+  // the two copies are handed to simulators that want stable addresses.
+  std::unique_ptr<Netlist> original; ///< pre-transform reference
+  std::unique_ptr<Netlist> gated;    ///< transformed, bug applied
+  ScpgInfo info;                     ///< transform exports (pre-bug)
+  RailParams rail;      ///< closed forms at the HONEST config
+  SimConfig cfg_model;  ///< config the closed forms were extracted at
+  SimConfig cfg_sim;    ///< config the simulator runs at (SlowRail derates)
+  Frequency f{1e6};     ///< resolved clock
+  SimTime settle_fs{0}; ///< min delay of the first capture edge (reset settle)
+  int out_width{0};     ///< width of the registered output bus "p"
+  int bug_sites{0};     ///< structural fault instances actually injected
+};
+
+/// Builds the case.  Throws only on internal errors — every recipe the
+/// generator/mutator/minimizer can produce must build.
+[[nodiscard]] BuiltCase build_case(const Library& lib, const FuzzCase& fc);
+
+/// The generated design's feature keys (for the coverage map): component
+/// kinds, width, fabric shape, gated-domain size bucket, bug kind.
+[[nodiscard]] std::vector<std::string> case_features(const FuzzCase& fc,
+                                                     const BuiltCase& built);
+
+} // namespace scpg::fuzz

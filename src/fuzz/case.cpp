@@ -1,0 +1,332 @@
+#include "fuzz/case.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace scpg::fuzz {
+
+namespace {
+
+constexpr std::string_view kCompNames[kNumComps] = {
+    "ripple_add", "carry_select", "subtract",    "increment",
+    "compare_mux", "xor_blend",   "mux_tree",    "shift_left",
+    "shift_right", "decoder_mix", "mult_array",
+};
+
+constexpr std::string_view kBugNames[kNumBugKinds] = {
+    "none",          "no_isolation",    "drop_clamp",    "stuck_isolation",
+    "header_polarity", "slow_rail",     "fast_clock",    "output_invert",
+};
+
+constexpr std::string_view kOracleNames[kNumOracles] = {
+    "diff_sim", "rail_timing", "lint_monitor", "metamorphic",
+};
+
+} // namespace
+
+std::string_view comp_name(Comp c) {
+  return kCompNames[static_cast<std::size_t>(c)];
+}
+
+std::optional<Comp> comp_from_name(std::string_view name) {
+  for (int i = 0; i < kNumComps; ++i)
+    if (kCompNames[i] == name) return Comp(i);
+  return std::nullopt;
+}
+
+std::string_view bug_name(BugKind b) {
+  return kBugNames[static_cast<std::size_t>(b)];
+}
+
+std::optional<BugKind> bug_from_name(std::string_view name) {
+  for (int i = 0; i < kNumBugKinds; ++i)
+    if (kBugNames[i] == name) return BugKind(i);
+  return std::nullopt;
+}
+
+std::string_view oracle_name(Oracle o) {
+  return kOracleNames[static_cast<std::size_t>(o)];
+}
+
+std::optional<Oracle> oracle_from_name(std::string_view name) {
+  for (int i = 0; i < kNumOracles; ++i)
+    if (kOracleNames[i] == name) return Oracle(i);
+  return std::nullopt;
+}
+
+Oracle bug_oracle(BugKind b) {
+  switch (b) {
+    case BugKind::OutputInvert: return Oracle::DiffSim;
+    case BugKind::SlowRail: return Oracle::RailTiming;
+    case BugKind::NoIsolation:
+    case BugKind::DropClamp:
+    case BugKind::StuckIsolation:
+    case BugKind::HeaderPolarity: return Oracle::LintMonitor;
+    case BugKind::FastClock: return Oracle::Metamorphic;
+    case BugKind::None: break;
+  }
+  SCPG_REQUIRE(false, "bug_oracle: case has no injected bug");
+  return Oracle::DiffSim; // unreachable
+}
+
+// --- generation -------------------------------------------------------------
+
+namespace {
+
+/// Regenerates the stimulus to `cycles` fresh random operand pairs.
+void fill_stim(FuzzCase& fc, Rng& rng) {
+  // Operands up to the widest bus a MultArray can demand (2 * width),
+  // masked down by the builder; wide words also cover sign/carry corners.
+  fc.stim.assign(std::size_t(fc.cycles) + 2, {});
+  for (auto& s : fc.stim) {
+    s[0] = rng.bits(2 * fc.design.width);
+    s[1] = rng.bits(2 * fc.design.width);
+  }
+}
+
+[[nodiscard]] Comp random_comp(Rng& rng) {
+  return Comp(rng.below(kNumComps));
+}
+
+[[nodiscard]] BugKind random_bug(Rng& rng) {
+  // None dominates so clean paths stay the bulk of the search; each bug
+  // class keeps a steady share so every oracle's detection loop is
+  // exercised in any reasonably sized run.
+  if (!rng.chance(0.35)) return BugKind::None;
+  return BugKind(1 + rng.below(kNumBugKinds - 1));
+}
+
+void sanitize(FuzzCase& fc) {
+  DesignSpec& d = fc.design;
+  d.width = std::clamp(d.width, 2, 6);
+  if (d.blocks.empty()) d.blocks.push_back(Comp::XorBlend);
+  if (d.blocks.size() > 4) d.blocks.resize(4);
+  // At most one array multiplier, and only on narrow operands: its area
+  // is quadratic and a second one squares the output width again.
+  int mults = 0;
+  for (Comp& c : d.blocks)
+    if (c == Comp::MultArray && (++mults > 1 || d.width > 4))
+      c = Comp::CarrySelect;
+  d.header_count = std::clamp(d.header_count, 2, 6);
+  // Library header cells exist at power-of-two drives only.
+  d.header_drive = std::clamp(d.header_drive, 1, 4);
+  while (d.header_drive & (d.header_drive - 1)) --d.header_drive;
+  fc.duty = std::clamp(fc.duty, 0.3, 0.7);
+  fc.cycles = std::clamp(fc.cycles, 6, 24);
+  fc.period_slack = std::clamp(fc.period_slack, 0.4, 4.0);
+  if (fc.bug == BugKind::FastClock) {
+    // Period = 75% of T_eval alone: the critical path (the canary
+    // buffer chain, sized to 2x the data paths by construction) cannot
+    // settle within one period, but does within two — so the
+    // half-frequency metamorphic run differs (see build_case and the
+    // canary in build_design).
+    fc.period_slack = 0.75;
+  } else if (fc.period_slack < 1.15) {
+    fc.period_slack = 1.15; // comfortably feasible for every clean case
+  }
+}
+
+} // namespace
+
+FuzzCase random_case(std::uint64_t id, Rng& rng, bool allow_bugs) {
+  FuzzCase fc;
+  fc.id = id;
+  DesignSpec& d = fc.design;
+  d.width = 2 + int(rng.below(5));
+  const int nblocks = 1 + int(rng.below(4));
+  for (int i = 0; i < nblocks; ++i) d.blocks.push_back(random_comp(rng));
+  d.wiring = rng.next();
+  d.header_count = 2 + int(rng.below(5));
+  d.header_drive = 1 << rng.below(3);
+  d.clamp_high = rng.chance(0.3);
+  d.boundary_buffers = rng.chance(0.7);
+  fc.bug = allow_bugs ? random_bug(rng) : BugKind::None;
+  fc.period_slack = 1.15 + 1.5 * rng.uniform();
+  fc.duty = 0.35 + 0.3 * rng.uniform();
+  fc.cycles = 8 + int(rng.below(9));
+  sanitize(fc);
+  fill_stim(fc, rng);
+  return fc;
+}
+
+FuzzCase mutate_case(const FuzzCase& base, std::uint64_t id, Rng& rng,
+                     bool allow_bugs) {
+  FuzzCase fc = base;
+  fc.id = id;
+  DesignSpec& d = fc.design;
+  switch (rng.below(8)) {
+    case 0: // insert a block
+      d.blocks.insert(d.blocks.begin() + long(rng.below(d.blocks.size() + 1)),
+                      random_comp(rng));
+      break;
+    case 1: // remove a block
+      if (d.blocks.size() > 1)
+        d.blocks.erase(d.blocks.begin() + long(rng.below(d.blocks.size())));
+      break;
+    case 2: // replace a block
+      d.blocks[rng.below(d.blocks.size())] = random_comp(rng);
+      break;
+    case 3: // resize the cloud's operand width
+      d.width += rng.chance(0.5) ? 1 : -1;
+      break;
+    case 4: // rewire: fresh operand-selection stream
+      d.wiring = rng.next();
+      break;
+    case 5: // power fabric: headers / clamp polarity / buffers
+      d.header_count = 2 + int(rng.below(5));
+      d.header_drive = 1 << rng.below(3);
+      d.clamp_high = rng.chance(0.5);
+      d.boundary_buffers = rng.chance(0.5);
+      break;
+    case 6: // operating point
+      fc.period_slack = 1.15 + 1.5 * rng.uniform();
+      fc.duty = 0.35 + 0.3 * rng.uniform();
+      break;
+    default: // bug class
+      fc.bug = allow_bugs ? random_bug(rng) : BugKind::None;
+      break;
+  }
+  sanitize(fc);
+  fill_stim(fc, rng);
+  return fc;
+}
+
+void force_bug(FuzzCase& fc, BugKind bug) {
+  fc.bug = bug;
+  if (bug != BugKind::FastClock && fc.period_slack < 1.15)
+    fc.period_slack = 1.5; // undo a previous FastClock compression
+  sanitize(fc);
+}
+
+// --- serialization ----------------------------------------------------------
+
+void write_case(const FuzzCase& fc, const Expectation& exp,
+                std::ostream& os) {
+  os << "scpg-fuzz-case v1\n";
+  os << "id " << fc.id << "\n";
+  os << "width " << fc.design.width << "\n";
+  os << "blocks";
+  for (const Comp c : fc.design.blocks) os << ' ' << comp_name(c);
+  os << "\n";
+  os << "wiring " << fc.design.wiring << "\n";
+  os << "headers " << fc.design.header_count << "x"
+     << fc.design.header_drive << "\n";
+  os << "clamp " << (fc.design.clamp_high ? "high" : "low") << "\n";
+  os << "buffers " << (fc.design.boundary_buffers ? 1 : 0) << "\n";
+  os << "bug " << bug_name(fc.bug) << "\n";
+  os << "slack " << fc.period_slack << "\n";
+  os << "duty " << fc.duty << "\n";
+  os << "cycles " << fc.cycles << "\n";
+  os << std::hex;
+  for (const auto& s : fc.stim) os << "stim " << s[0] << ' ' << s[1] << "\n";
+  os << std::dec;
+  if (exp.clean) os << "expect clean\n";
+  else os << "expect detect " << oracle_name(exp.detect) << "\n";
+}
+
+std::pair<FuzzCase, Expectation> read_case(std::istream& is,
+                                           const std::string& source) {
+  FuzzCase fc;
+  fc.stim.clear();
+  Expectation exp;
+  int lineno = 0;
+  std::string line;
+  const auto fail = [&](const std::string& what) {
+    throw ParseError(what, source, lineno);
+  };
+
+  if (!std::getline(is, line) || line != "scpg-fuzz-case v1") {
+    lineno = 1;
+    fail("expected header 'scpg-fuzz-case v1'");
+  }
+  lineno = 1;
+  bool have_expect = false;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    const auto need = [&](auto& v, const char* what) {
+      if (!(ls >> v)) fail(std::string("malformed ") + what + " line");
+    };
+    if (key == "id") need(fc.id, "id");
+    else if (key == "width") need(fc.design.width, "width");
+    else if (key == "blocks") {
+      fc.design.blocks.clear();
+      std::string name;
+      while (ls >> name) {
+        const auto c = comp_from_name(name);
+        if (!c) fail("unknown block '" + name + "'");
+        fc.design.blocks.push_back(*c);
+      }
+      if (fc.design.blocks.empty()) fail("blocks line names no blocks");
+    } else if (key == "wiring") need(fc.design.wiring, "wiring");
+    else if (key == "headers") {
+      std::string v;
+      need(v, "headers");
+      const auto x = v.find('x');
+      if (x == std::string::npos) fail("headers must be COUNTxDRIVE");
+      try {
+        fc.design.header_count = std::stoi(v.substr(0, x));
+        fc.design.header_drive = std::stoi(v.substr(x + 1));
+      } catch (const std::logic_error&) {
+        fail("headers must be COUNTxDRIVE");
+      }
+    } else if (key == "clamp") {
+      std::string v;
+      need(v, "clamp");
+      if (v != "high" && v != "low") fail("clamp must be high or low");
+      fc.design.clamp_high = v == "high";
+    } else if (key == "buffers") {
+      int v = 0;
+      need(v, "buffers");
+      fc.design.boundary_buffers = v != 0;
+    } else if (key == "bug") {
+      std::string v;
+      need(v, "bug");
+      const auto b = bug_from_name(v);
+      if (!b) fail("unknown bug '" + v + "'");
+      fc.bug = *b;
+    } else if (key == "slack") need(fc.period_slack, "slack");
+    else if (key == "duty") need(fc.duty, "duty");
+    else if (key == "cycles") need(fc.cycles, "cycles");
+    else if (key == "stim") {
+      std::array<std::uint64_t, 2> s{};
+      ls >> std::hex;
+      if (!(ls >> s[0] >> s[1])) fail("malformed stim line");
+      fc.stim.push_back(s);
+    } else if (key == "expect") {
+      std::string v;
+      need(v, "expect");
+      if (v == "clean") exp.clean = true;
+      else if (v == "detect") {
+        std::string o;
+        need(o, "expect detect");
+        const auto oracle = oracle_from_name(o);
+        if (!oracle) fail("unknown oracle '" + o + "'");
+        exp.clean = false;
+        exp.detect = *oracle;
+      } else fail("expect must be 'clean' or 'detect ORACLE'");
+      have_expect = true;
+    } else fail("unknown key '" + key + "'");
+  }
+  if (!have_expect) fail("missing expect line");
+  // The harness indexes stimulus modulo its length, so a minimized case
+  // may carry fewer words than cycles — but never none.
+  if (fc.stim.empty()) fail("case has no stim lines");
+  SCPG_REQUIRE(fc.design.width >= 2 && fc.design.width <= 6,
+               source + ": width out of range");
+  const int hd = fc.design.header_drive;
+  SCPG_REQUIRE((hd == 1 || hd == 2 || hd == 4 || hd == 8) &&
+                   fc.design.header_count >= 1 &&
+                   fc.design.header_count <= 16,
+               source + ": header bank out of range");
+  return {std::move(fc), exp};
+}
+
+} // namespace scpg::fuzz

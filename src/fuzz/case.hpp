@@ -1,0 +1,153 @@
+// Fuzz case model: the serializable description of one differential test.
+//
+// A FuzzCase is NOT a netlist — it is the recipe for one: a compact
+// DesignSpec (component blocks from src/gen wired by a seeded stream, plus
+// the SCPG transform options), an optional injected power-intent bug, an
+// operating point, and the explicit per-cycle stimulus words.  Everything
+// the oracles need is derivable from the case alone, which is what makes
+// cases minimizable (shrink the recipe, rebuild, re-check) and committable
+// as corpus entries that CI replays bit-identically.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace scpg::fuzz {
+
+/// Combinational building blocks the generator composes into the gated
+/// cloud.  Each consumes the running bus (and possibly a second operand
+/// chosen by the wiring stream) and produces the next running bus.
+enum class Comp : std::uint8_t {
+  RippleAdd,   ///< cur = cur + other (gen::ripple_add)
+  CarrySelect, ///< cur = cur + other (gen::carry_select_add)
+  Subtract,    ///< cur = cur - other
+  Increment,   ///< cur = cur + 1
+  CompareMux,  ///< cur = (cur < other) ? ~cur : cur  (gen::compare + mux)
+  XorBlend,    ///< cur = cur ^ other
+  MuxTree,     ///< 4-way gen::mux_tree over variants of cur/other
+  ShiftLeft,   ///< cur = cur << other[1:0] (gen::shift_left)
+  ShiftRight,  ///< cur = cur >> other[1:0]
+  DecoderMix,  ///< cur = cur ^ zext(gen::decoder(other[1:0]))
+  MultArray,   ///< cur = cur * other (gen::multiplier_array; doubles width)
+};
+
+inline constexpr int kNumComps = 11;
+
+[[nodiscard]] std::string_view comp_name(Comp c);
+[[nodiscard]] std::optional<Comp> comp_from_name(std::string_view name);
+
+/// Injected power-intent bug, with the oracle category that must catch it:
+///   OutputInvert   -> DiffSim      (miscompile: a registered output is
+///                                   inverted after the transform — only a
+///                                   differential simulation can see it)
+///   SlowRail       -> RailTiming   (simulated Ron != closed-form Ron)
+///   NoIsolation / DropClamp / StuckIsolation / HeaderPolarity
+///                  -> LintMonitor  (must be caught by lint or a monitor;
+///                                   captures still settle clean, so the
+///                                   X never reaches a registered result)
+///   FastClock      -> Metamorphic  (results no longer frequency-invariant)
+enum class BugKind : std::uint8_t {
+  None,
+  NoIsolation,    ///< transform applied with insert_isolation = false
+  DropClamp,      ///< verify::inject_dropped_clamp on half the clamps
+  StuckIsolation, ///< verify::inject_stuck_isolation on half the clamps
+  HeaderPolarity, ///< header SLEEP pins rewired through an inverter (Fig 2
+                  ///< polarity flip: gated during eval, on during idle)
+  SlowRail,       ///< simulator header_ron_derate without telling Eq. 1
+  FastClock,      ///< clock period 75% of T_eval: captures race settling
+  OutputInvert,   ///< one output flop's D rewired through an inverter
+};
+
+inline constexpr int kNumBugKinds = 8;
+
+[[nodiscard]] std::string_view bug_name(BugKind b);
+[[nodiscard]] std::optional<BugKind> bug_from_name(std::string_view name);
+
+/// The four differential oracles.
+enum class Oracle : std::uint8_t {
+  DiffSim,    ///< SCPG vs no-PG simulation bit-identical at every register
+  RailTiming, ///< measured Fig 4 windows match the Eq. 1 / rail closed forms
+  LintMonitor,///< lint-clean designs run X-free; injected bugs get caught
+  Metamorphic,///< duty monotonicity + frequency-scaling invariance
+};
+
+inline constexpr int kNumOracles = 4;
+
+[[nodiscard]] std::string_view oracle_name(Oracle o);
+[[nodiscard]] std::optional<Oracle> oracle_from_name(std::string_view name);
+
+/// Oracle category an injected bug must be detected by.
+[[nodiscard]] Oracle bug_oracle(BugKind b);
+
+/// Recipe for the random registered design: ports clk, a[width], b[width]
+/// -> p[out width]; both operands and the result are registered (the
+/// paper's Fig 2 architecture), and the block pipeline between them is the
+/// power-gated cloud.
+struct DesignSpec {
+  int width{4};                 ///< operand width (2..6)
+  std::vector<Comp> blocks;     ///< cloud pipeline, applied in order
+  std::uint64_t wiring{1};      ///< seed of the operand-selection stream
+  int header_count{4};          ///< ScpgOptions::header_count
+  int header_drive{2};          ///< ScpgOptions::header_drive
+  bool clamp_high{false};       ///< isolation clamp polarity
+  bool boundary_buffers{true};  ///< ScpgOptions::boundary_buffers
+};
+
+/// One complete fuzz case.
+struct FuzzCase {
+  std::uint64_t id{0}; ///< case seed (names reproducers, keys RNG streams)
+  DesignSpec design;
+  BugKind bug{BugKind::None};
+  /// Clock period as a multiple of the minimum SCPG-feasible period at
+  /// `duty` (>= ~1.15 is comfortably feasible; FastClock cases use < 1).
+  double period_slack{1.5};
+  double duty{0.5};    ///< clock-high (= gated) fraction
+  int cycles{12};      ///< measured cycles after warmup
+  /// Per-cycle operand words; stim[c] = {a, b} captured at edge c+1.
+  std::vector<std::array<std::uint64_t, 2>> stim;
+};
+
+/// Draws a fresh random case from a seeded stream.  `allow_bugs` enables
+/// the injected-bug classes (fuzzing detection); when false the case is a
+/// clean-generator case (bug == None always).
+[[nodiscard]] FuzzCase random_case(std::uint64_t id, Rng& rng,
+                                   bool allow_bugs);
+
+/// Structural mutation of an existing case (coverage-guided exploration):
+/// insert/remove/replace a cloud block, resize the operand width, rewire
+/// (new wiring seed), flip clamp polarity/buffers, resize the header bank,
+/// or perturb the operating point / stimulus.
+[[nodiscard]] FuzzCase mutate_case(const FuzzCase& base, std::uint64_t id,
+                                   Rng& rng, bool allow_bugs);
+
+/// Forces the case's bug class and re-applies the operating-point rules
+/// that depend on it (FastClock compresses the period); used by
+/// `scpgc fuzz --inject` to target one oracle category.
+void force_bug(FuzzCase& fc, BugKind bug);
+
+// --- corpus text form -------------------------------------------------------
+
+/// Expected replay outcome recorded in a corpus entry.
+struct Expectation {
+  bool clean{true};              ///< no oracle may fail
+  Oracle detect{Oracle::DiffSim};///< bug case: category that must detect
+};
+
+/// Serializes `fc` (plus its expectation) in the line-oriented
+/// "scpg-fuzz-case v1" format (see DESIGN.md §10).
+void write_case(const FuzzCase& fc, const Expectation& exp,
+                std::ostream& os);
+
+/// Parses a corpus entry.  Throws ParseError (with `source`) on malformed
+/// input.
+[[nodiscard]] std::pair<FuzzCase, Expectation> read_case(
+    std::istream& is, const std::string& source = "<fuzz-case>");
+
+} // namespace scpg::fuzz

@@ -1,0 +1,104 @@
+#include "fuzz/corpus.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "netlist/verilog.hpp"
+#include "util/error.hpp"
+
+namespace scpg::fuzz {
+
+namespace fs = std::filesystem;
+
+std::vector<CorpusEntry> load_corpus(const std::string& dir) {
+  std::error_code ec;
+  SCPG_REQUIRE(fs::is_directory(dir, ec),
+               "corpus directory '" + dir + "' does not exist");
+  std::vector<CorpusEntry> out;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (!e.is_regular_file() || e.path().extension() != ".fuzz") continue;
+    std::ifstream in(e.path());
+    SCPG_REQUIRE(in.good(), "cannot read corpus entry " + e.path().string());
+    CorpusEntry ce;
+    ce.name = e.path().stem().string();
+    std::tie(ce.fc, ce.exp) = read_case(in, e.path().filename().string());
+    out.push_back(std::move(ce));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CorpusEntry& a, const CorpusEntry& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void save_entry(const std::string& dir, const CorpusEntry& entry,
+                const BuiltCase* built) {
+  fs::create_directories(dir);
+  const fs::path base = fs::path(dir) / entry.name;
+  {
+    std::ofstream os(base.string() + ".fuzz");
+    SCPG_REQUIRE(os.good(), "cannot write " + base.string() + ".fuzz");
+    write_case(entry.fc, entry.exp, os);
+  }
+  if (!built) return;
+  {
+    std::ofstream os(base.string() + ".v");
+    os << "// reproducer for fuzz case " << entry.fc.id << " (bug: "
+       << bug_name(entry.fc.bug) << ", expect "
+       << (entry.exp.clean ? std::string("clean")
+                           : "detect " + std::string(oracle_name(
+                                             entry.exp.detect)))
+       << ")\n";
+    write_verilog(*built->gated, os);
+  }
+  {
+    std::ofstream os(base.string() + ".stim");
+    os << "# cycle a b (hex); clock " << built->f.v << " Hz, duty "
+       << entry.fc.duty << "\n"
+       << std::hex;
+    for (std::size_t i = 0; i < entry.fc.stim.size(); ++i)
+      os << std::dec << i << std::hex << ' ' << entry.fc.stim[i][0] << ' '
+         << entry.fc.stim[i][1] << "\n";
+  }
+}
+
+int Coverage::add(const std::vector<std::string>& keys) {
+  int fresh = 0;
+  for (const std::string& k : keys) {
+    auto [it, inserted] = hits_.try_emplace(k, 0);
+    it->second += 1;
+    fresh += inserted ? 1 : 0;
+  }
+  return fresh;
+}
+
+std::string Coverage::to_json() const {
+  std::ostringstream os;
+  os << "{\"distinct\": " << hits_.size() << ", \"keys\": {";
+  bool first = true;
+  for (const auto& [k, n] : hits_) {
+    if (!first) os << ", ";
+    first = false;
+    os << '"' << k << "\": " << n;
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::vector<std::string> coverage_keys(const CaseResult& r) {
+  std::vector<std::string> keys = r.features;
+  for (int i = 0; i < kNumOracles; ++i) {
+    const auto& o = r.oracles[std::size_t(i)];
+    const std::string name(oracle_name(Oracle(i)));
+    if (o.ran) keys.push_back("oracle_ran:" + name);
+    if (o.fired) keys.push_back("oracle_fired:" + name);
+  }
+  if (r.lint_errors > 0) keys.push_back("detected_by:lint");
+  if (r.hazards > 0) keys.push_back("detected_by:monitor");
+  if (!r.built) keys.push_back("build_failed");
+  return keys;
+}
+
+} // namespace scpg::fuzz

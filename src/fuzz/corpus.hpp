@@ -1,0 +1,62 @@
+// Corpus persistence and coverage accounting.
+//
+// A corpus directory holds one `NAME.fuzz` file per entry (the
+// "scpg-fuzz-case v1" text form, case.hpp).  Reproducers additionally get
+// standalone artifacts next to the entry: `NAME.v` (the SCPG-transformed
+// netlist, structural Verilog) and `NAME.stim` (one line per cycle), so a
+// mismatch can be inspected or replayed outside this harness entirely.
+//
+// Coverage is a flat feature-key -> hit-count map (case_features plus
+// per-oracle ran/fired keys); the fuzzer uses NEW keys as the signal to
+// keep a case in the live corpus, and `scpgc fuzz` serializes the map as
+// fuzz_coverage.json so CI can assert coverage does not regress.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fuzz/case.hpp"
+#include "fuzz/oracles.hpp"
+
+namespace scpg::fuzz {
+
+struct CorpusEntry {
+  std::string name; ///< file stem, e.g. "clean_0007" or "repro_drop_clamp"
+  FuzzCase fc;
+  Expectation exp;
+};
+
+/// Loads every *.fuzz entry, sorted by name (deterministic replay order).
+/// Throws ParseError on a malformed entry, Error if `dir` is unreadable.
+[[nodiscard]] std::vector<CorpusEntry> load_corpus(const std::string& dir);
+
+/// Writes `NAME.fuzz`; with a built case, also `NAME.v` + `NAME.stim`.
+void save_entry(const std::string& dir, const CorpusEntry& entry,
+                const BuiltCase* built = nullptr);
+
+// --- coverage ---------------------------------------------------------------
+
+class Coverage {
+public:
+  /// Adds `keys`; returns how many were not yet in the map.
+  int add(const std::vector<std::string>& keys);
+
+  [[nodiscard]] std::size_t distinct() const { return hits_.size(); }
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& hits() const {
+    return hits_;
+  }
+
+  /// {"distinct": N, "keys": {"comp:ripple_add": 12, ...}}
+  [[nodiscard]] std::string to_json() const;
+
+private:
+  std::map<std::string, std::uint64_t> hits_;
+};
+
+/// Coverage keys of one finished case: its features plus
+/// oracle_ran:/oracle_fired: markers and detection-channel keys.
+[[nodiscard]] std::vector<std::string> coverage_keys(const CaseResult& r);
+
+} // namespace scpg::fuzz

@@ -1,0 +1,175 @@
+#include "fuzz/fuzzer.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#include "fuzz/minimize.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+#include "util/parallel.hpp"
+
+namespace scpg::fuzz {
+
+namespace {
+
+constexpr int kBatch = 32; ///< fixed (jobs-independent) merge granularity
+constexpr std::size_t kPoolCap = 256;      ///< live mutation bases
+constexpr std::size_t kDetailCap = 16;     ///< mismatch lines kept
+constexpr double kMutateChance = 0.5;      ///< vs fresh random case
+
+std::uint64_t slot_key(std::uint64_t batch, int slot) {
+  Fnv1a h;
+  h.mix(batch);
+  h.mix(std::uint64_t(slot));
+  return h.digest();
+}
+
+} // namespace
+
+FuzzStats run_fuzz(const Library& lib, const FuzzOptions& opt,
+                   const std::function<void(const std::string&)>& progress) {
+  FuzzStats st;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto elapsed_s = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
+  const auto out_of_time = [&] {
+    return opt.time_budget_s > 0 && elapsed_s() >= opt.time_budget_s;
+  };
+
+  // Seed the mutation pool from the on-disk corpus, when present.
+  std::vector<FuzzCase> pool;
+  if (!opt.corpus_dir.empty()) {
+    try {
+      for (CorpusEntry& e : load_corpus(opt.corpus_dir))
+        pool.push_back(std::move(e.fc));
+    } catch (const PreconditionError&) {
+      // Directory not created yet: an empty seed pool is fine; malformed
+      // entries (ParseError) still propagate.
+    }
+  }
+
+  // Mismatch reproducers go to a subdirectory the CI replay test does not
+  // scan: a genuine disagreement must fail THIS run, not be enshrined as
+  // an expected corpus outcome.
+  const std::string findings_dir =
+      opt.corpus_dir.empty() ? "" : opt.corpus_dir + "/findings";
+
+  std::optional<FuzzCase> first_detected; ///< inject mode
+
+  for (std::uint64_t batch = 0;; ++batch) {
+    if (opt.runs > 0 && st.cases >= opt.runs) break;
+    if (opt.runs <= 0 && opt.time_budget_s <= 0) break; // nothing to do
+    if (out_of_time()) break;
+
+    int n = kBatch;
+    if (opt.runs > 0) n = std::min(n, opt.runs - st.cases);
+
+    // Sequential generation from per-slot streams; the pool snapshot is
+    // taken per batch so merge order cannot affect generation.
+    std::vector<FuzzCase> specs;
+    specs.reserve(std::size_t(n));
+    const std::size_t pool_n = pool.size();
+    for (int s = 0; s < n; ++s) {
+      Rng rng = Rng::stream(opt.seed, slot_key(batch, s));
+      const std::uint64_t id = slot_key(~opt.seed, int(batch * kBatch) + s);
+      const bool allow_bugs = !opt.inject.has_value();
+      FuzzCase fc = (pool_n > 0 && rng.chance(kMutateChance))
+                        ? mutate_case(pool[rng.below(pool_n)], id, rng,
+                                      allow_bugs)
+                        : random_case(id, rng, allow_bugs);
+      if (opt.inject) force_bug(fc, *opt.inject);
+      specs.push_back(std::move(fc));
+    }
+
+    const std::vector<CaseResult> results = parallel_map(
+        specs.size(), opt.jobs,
+        [&](std::size_t i) { return run_case(lib, specs[i]); });
+
+    // Deterministic in-order merge.
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const FuzzCase& fc = specs[i];
+      const CaseResult& r = results[i];
+      ++st.cases;
+      if (fc.bug == BugKind::None) ++st.clean_cases;
+      else ++st.bug_cases;
+      if (fc.bug != BugKind::None && outcome(r, bug_oracle(fc.bug)).fired) {
+        ++st.detected;
+        if (opt.inject && !first_detected) first_detected = fc;
+      }
+      const int fresh = st.coverage.add(coverage_keys(r));
+      if (fresh > 0 && r.built && pool.size() < kPoolCap)
+        pool.push_back(fc);
+
+      if (!r.mismatch) continue;
+      ++st.mismatches;
+      FuzzCase repro = fc;
+      if (opt.minimize && r.built) {
+        MinimizeStats ms;
+        repro = minimize_case(lib, fc, still_mismatch(r), &ms);
+        if (ms.accepted > 0) ++st.minimized;
+      }
+      std::ostringstream os;
+      os << "case " << fc.id << " (bug: " << bug_name(fc.bug)
+         << "): " << r.detail;
+      if (st.mismatch_details.size() < kDetailCap)
+        st.mismatch_details.push_back(os.str());
+      if (!findings_dir.empty()) {
+        std::ostringstream name;
+        name << "mismatch_" << std::hex << fc.id;
+        CorpusEntry ce{name.str(), repro, Expectation{fc.bug == BugKind::None,
+                                                      fc.bug == BugKind::None
+                                                          ? Oracle::DiffSim
+                                                          : bug_oracle(fc.bug)}};
+        try {
+          const BuiltCase built = build_case(lib, repro);
+          save_entry(findings_dir, ce, &built);
+        } catch (const Error&) {
+          save_entry(findings_dir, ce, nullptr);
+        }
+        st.saved.push_back("findings/" + ce.name);
+      }
+    }
+
+    if (progress) {
+      std::ostringstream os;
+      os << "batch " << batch << ": " << st.cases << " cases, "
+         << st.mismatches << " mismatch(es), " << st.detected << "/"
+         << st.bug_cases << " bugs detected, coverage "
+         << st.coverage.distinct();
+      progress(os.str());
+    }
+  }
+
+  // Inject mode: shrink the first detected case into the category's
+  // committed reproducer.
+  if (opt.inject && first_detected) {
+    const Oracle cat = bug_oracle(*opt.inject);
+    FuzzCase repro = *first_detected;
+    if (opt.minimize) {
+      MinimizeStats ms;
+      repro = minimize_case(lib, repro, still_fires(cat), &ms);
+      if (ms.accepted > 0) ++st.minimized;
+    }
+    CorpusEntry ce{"repro_" + std::string(bug_name(*opt.inject)), repro,
+                   Expectation{false, cat}};
+    if (!opt.corpus_dir.empty()) {
+      const BuiltCase built = build_case(lib, repro);
+      save_entry(opt.corpus_dir, ce, &built);
+      st.saved.push_back(ce.name);
+    }
+    st.injected_repro = std::move(ce);
+  }
+
+  if (!opt.coverage_out.empty()) {
+    std::ofstream os(opt.coverage_out);
+    SCPG_REQUIRE(os.good(), "cannot write coverage to " + opt.coverage_out);
+    os << st.coverage.to_json() << "\n";
+  }
+  return st;
+}
+
+} // namespace scpg::fuzz

@@ -1,0 +1,57 @@
+// The coverage-guided fuzzing driver behind `scpgc fuzz`.
+//
+// run_fuzz() draws cases in fixed-size batches: each batch is generated
+// sequentially from per-slot Rng streams (Rng::stream keyed on the batch
+// and slot indices), fanned out through scpg::parallel_map, then merged
+// back IN SLOT ORDER — so a run is bit-identical at any --jobs.  Cases
+// whose features hit coverage keys not seen before join the live corpus
+// and become mutation bases for later batches; mismatches are delta-debug
+// minimized (minimize.hpp) and written as standalone reproducers.
+//
+// With `inject` set, every case carries that bug class and the run's goal
+// flips from searching for mismatches to producing one minimized DETECTED
+// reproducer for the class's oracle category (repro_<bug>.fuzz/.v/.stim),
+// which is how the committed corpus entries under tests/corpus/ are made.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fuzz/corpus.hpp"
+
+namespace scpg::fuzz {
+
+struct FuzzOptions {
+  std::uint64_t seed{1};
+  int runs{200};           ///< total cases; 0 = until the time budget
+  double time_budget_s{0}; ///< wall-clock cap; 0 = none (runs governs)
+  int jobs{0};             ///< parallel_map semantics (<= 0: default_jobs)
+  bool minimize{true};
+  std::string corpus_dir;   ///< seeds in, reproducers out ("" = neither)
+  std::string coverage_out; ///< fuzz_coverage.json path ("" = don't write)
+  std::optional<BugKind> inject; ///< force every case to this bug class
+};
+
+struct FuzzStats {
+  int cases{0};
+  int clean_cases{0};
+  int bug_cases{0};
+  int detected{0};   ///< bug cases whose category oracle fired
+  int mismatches{0}; ///< clean-case firings + bug-case escapes
+  int minimized{0};
+  Coverage coverage;
+  std::vector<std::string> mismatch_details; ///< one line each (capped)
+  std::vector<std::string> saved;            ///< reproducer file stems
+  /// The minimized detected reproducer when `inject` was set.
+  std::optional<CorpusEntry> injected_repro;
+};
+
+/// Runs the campaign.  `progress` (optional) receives one line per batch.
+[[nodiscard]] FuzzStats run_fuzz(
+    const Library& lib, const FuzzOptions& opt,
+    const std::function<void(const std::string&)>& progress = {});
+
+} // namespace scpg::fuzz

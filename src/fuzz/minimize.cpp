@@ -1,0 +1,107 @@
+#include "fuzz/minimize.hpp"
+
+#include <algorithm>
+
+namespace scpg::fuzz {
+
+namespace {
+
+/// Index of the first fired oracle, or -1.
+int first_fired(const CaseResult& r) {
+  for (int i = 0; i < kNumOracles; ++i)
+    if (r.oracles[std::size_t(i)].fired) return i;
+  return -1;
+}
+
+} // namespace
+
+Interesting still_mismatch(const CaseResult& first) {
+  const int lead = first_fired(first);
+  return [lead](const CaseResult& r) {
+    return r.mismatch && first_fired(r) == lead;
+  };
+}
+
+Interesting still_fires(Oracle o) {
+  return [o](const CaseResult& r) { return r.built && outcome(r, o).fired; };
+}
+
+FuzzCase minimize_case(const Library& lib, FuzzCase fc,
+                       const Interesting& keep, MinimizeStats* stats,
+                       int budget) {
+  const auto try_candidate = [&](FuzzCase cand) {
+    if (budget <= 0) return false;
+    --budget;
+    if (stats) ++stats->attempts;
+    if (!keep(run_case(lib, cand))) return false;
+    if (stats) ++stats->accepted;
+    fc = std::move(cand);
+    return true;
+  };
+
+  bool progress = true;
+  while (progress && budget > 0) {
+    progress = false;
+
+    // Drop cloud blocks, front to back.
+    for (std::size_t i = 0;
+         fc.design.blocks.size() > 1 && i < fc.design.blocks.size();) {
+      FuzzCase cand = fc;
+      cand.design.blocks.erase(cand.design.blocks.begin() + long(i));
+      if (try_candidate(std::move(cand))) progress = true;
+      else ++i;
+    }
+
+    // Narrow the operands.
+    while (fc.design.width > 2 && budget > 0) {
+      FuzzCase cand = fc;
+      --cand.design.width;
+      if (!try_candidate(std::move(cand))) break;
+      progress = true;
+    }
+
+    // Halve the measured cycles.
+    while (fc.cycles > 6 && budget > 0) {
+      FuzzCase cand = fc;
+      cand.cycles = std::max(6, fc.cycles / 2);
+      if (cand.cycles == fc.cycles || !try_candidate(std::move(cand))) break;
+      progress = true;
+    }
+
+    // Shrink the stimulus list (the harness wraps modulo its length).
+    while (fc.stim.size() > 1 && budget > 0) {
+      FuzzCase cand = fc;
+      cand.stim.resize(std::max<std::size_t>(1, fc.stim.size() / 2));
+      if (!try_candidate(std::move(cand))) break;
+      progress = true;
+    }
+
+    // Zero individual stimulus words.
+    for (std::size_t i = 0; i < fc.stim.size() && budget > 0; ++i)
+      for (int lane = 0; lane < 2; ++lane) {
+        if (fc.stim[i][std::size_t(lane)] == 0) continue;
+        FuzzCase cand = fc;
+        cand.stim[i][std::size_t(lane)] = 0;
+        if (try_candidate(std::move(cand))) progress = true;
+      }
+
+    // Canonicalize the power fabric and operating point.
+    const auto canon = [&](auto&& edit) {
+      FuzzCase cand = fc;
+      edit(cand);
+      if (try_candidate(std::move(cand))) progress = true;
+    };
+    if (fc.design.header_count != 2)
+      canon([](FuzzCase& c) { c.design.header_count = 2; });
+    if (fc.design.header_drive != 1)
+      canon([](FuzzCase& c) { c.design.header_drive = 1; });
+    if (fc.design.boundary_buffers)
+      canon([](FuzzCase& c) { c.design.boundary_buffers = false; });
+    if (fc.design.clamp_high)
+      canon([](FuzzCase& c) { c.design.clamp_high = false; });
+    if (fc.duty != 0.5) canon([](FuzzCase& c) { c.duty = 0.5; });
+  }
+  return fc;
+}
+
+} // namespace scpg::fuzz

@@ -1,0 +1,44 @@
+// Spec-level delta debugging for fuzz mismatches.
+//
+// Because a FuzzCase is a closed recipe (case.hpp), minimization shrinks
+// the RECIPE and rebuilds, rather than hacking at a netlist: drop cloud
+// blocks, narrow the operand width, halve the cycle count, shrink and
+// zero the stimulus, and canonicalize the power fabric — greedily, keeping
+// every step on which `keep` still holds, until a fixpoint or the rebuild
+// budget runs out.  The result is the small, committable reproducer the
+// corpus stores.
+#pragma once
+
+#include <functional>
+
+#include "fuzz/case.hpp"
+#include "fuzz/oracles.hpp"
+
+namespace scpg::fuzz {
+
+/// Predicate over a candidate's oracle results: "is this still the bug I
+/// am chasing?".  Typical instances: still_mismatch / still_fires.
+using Interesting = std::function<bool(const CaseResult&)>;
+
+/// Any mismatch with the same leading fired oracle as `first` (clean-case
+/// disagreements), or any escape (bug cases).
+[[nodiscard]] Interesting still_mismatch(const CaseResult& first);
+
+/// The given oracle still fires (used to shrink DETECTED bug cases into
+/// committed reproducers: the detection must survive minimization).
+[[nodiscard]] Interesting still_fires(Oracle o);
+
+struct MinimizeStats {
+  int attempts{0}; ///< candidate rebuilds tried
+  int accepted{0}; ///< candidates that kept the property
+};
+
+/// Greedy fixpoint minimization under `keep`; at most `budget` rebuilds.
+/// `fc` itself must satisfy `keep` (callers pass a case that just failed /
+/// fired).  Deterministic.
+[[nodiscard]] FuzzCase minimize_case(const Library& lib, FuzzCase fc,
+                                     const Interesting& keep,
+                                     MinimizeStats* stats = nullptr,
+                                     int budget = 200);
+
+} // namespace scpg::fuzz

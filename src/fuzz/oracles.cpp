@@ -1,0 +1,406 @@
+#include "fuzz/oracles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <sstream>
+
+#include "lint/lint.hpp"
+#include "netlist/funcsim.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+#include "verify/boundary.hpp"
+#include "verify/monitors.hpp"
+
+namespace scpg::fuzz {
+
+namespace {
+
+constexpr int kWarmup = 3; ///< pipeline depth 2 + one settled cycle
+
+/// Relative tolerance for measured-vs-closed-form rail windows.  The
+/// simulator integrates the same exponentials the closed forms solve, but
+/// (a) it quantises events to 1 fs, and (b) its decay tau uses the
+/// state-dependent gated leakage (leakage_in_state, spread +/-15% around
+/// the state average the closed form uses), so the measured T_PGoff can
+/// legitimately run up to 1/(1-0.15) ~ 1.18x the prediction.  0.20 covers
+/// that while still catching the >= 3x SlowRail derate.
+constexpr double kRailRelTol = 0.20;
+constexpr double kRailAbsTolFs = 200.0;
+
+/// Fig 4 windows of one gating cycle, as observed by the simulator.
+struct PhaseRec {
+  SimTime sleep{-1}, corrupt{-1}, wake{-1}, ready{-1};
+  double v_sleep{-1.0}; ///< rail voltage at SleepStart
+  double v_wake{-1.0};  ///< rail voltage at WakeStart
+};
+
+class PhaseRecorder : public SimObserver {
+public:
+  void on_domain_phase(SimTime t, DomainPhase phase, double rail_v) override {
+    switch (phase) {
+      case DomainPhase::SleepStart:
+        recs.emplace_back();
+        recs.back().sleep = t;
+        recs.back().v_sleep = rail_v;
+        break;
+      case DomainPhase::Corrupt:
+        if (!recs.empty() && recs.back().corrupt < 0) recs.back().corrupt = t;
+        break;
+      case DomainPhase::WakeStart:
+        if (!recs.empty() && recs.back().wake < 0) {
+          recs.back().wake = t;
+          recs.back().v_wake = rail_v;
+        }
+        break;
+      case DomainPhase::Ready:
+        if (!recs.empty() && recs.back().ready < 0) recs.back().ready = t;
+        break;
+    }
+  }
+  std::vector<PhaseRec> recs;
+};
+
+struct RunOut {
+  /// samples[k] = the output bus sampled at rising edge k, BEFORE the
+  /// edge's own captures propagate — i.e. the value captured at edge k-1.
+  std::vector<std::vector<Logic>> samples;
+  PowerTally tally{};
+  std::size_t hazards{0};
+  std::string first_hazard;
+  std::vector<PhaseRec> phases;
+};
+
+/// One event-driven run of the transformed design.  `T` is the period in
+/// fs; the stimulus word for edge k is stim[k % stim.size()] (driven right
+/// after edge k-1, so it is stable when edge k captures it).
+RunOut run_gated(const Netlist& nl, const SimConfig& cfg, SimTime T,
+                 double duty, int cycles,
+                 const std::vector<std::array<std::uint64_t, 2>>& stim,
+                 int in_width, Logic override_v, bool with_monitors,
+                 SimTime settle) {
+  verify::BoundaryMap map = verify::extract_boundary(nl);
+  SCPG_REQUIRE(map.clk.valid(), "fuzz design lost its clock port");
+
+  Simulator sim(nl, cfg);
+  std::optional<verify::HazardMonitors> mon;
+  if (with_monitors) {
+    verify::MonitorConfig mc;
+    mc.arm_after_cycles = kWarmup;
+    mon.emplace(sim, map, mc);
+    sim.attach_observer(&*mon);
+  }
+  PhaseRecorder rec;
+  sim.attach_observer(&rec);
+  sim.init_flops_to_zero();
+
+  const PortId ov = nl.find_port("override_n");
+  if (ov.valid()) sim.drive_at(0, nl.port(ov).net, override_v);
+
+  // Explicit edge schedule (not add_clock): the run must end after a
+  // known edge count, and the stimulus indexes edges.
+  const auto high = SimTime(double(T) * duty + 0.5);
+  // The first capture edge waits for the zero-time reset settle (else it
+  // captures an in-flight X that the canary feedback would keep alive);
+  // the clock runs with its nominal low phase from there on.
+  const SimTime first_rise = std::max(T - high, settle);
+  const int total = kWarmup + cycles;
+  sim.drive_at(0, map.clk, Logic::L0);
+  for (int k = 0; k <= total; ++k) {
+    const SimTime rise = first_rise + SimTime(k) * T;
+    sim.drive_at(rise, map.clk, Logic::L1);
+    sim.drive_at(rise + high, map.clk, Logic::L0);
+  }
+
+  const auto word = [&](long k) { return stim[std::size_t(k) % stim.size()]; };
+  sim.drive_bus_at(0, "a", word(0)[0], in_width);
+  sim.drive_bus_at(0, "b", word(0)[1], in_width);
+
+  std::vector<NetId> outs;
+  for (const Port& p : nl.ports())
+    if (p.dir == PortDir::Out) outs.push_back(p.net);
+
+  RunOut out;
+  long cyc = -1;
+  sim.on_rising_edge(map.clk, [&] {
+    ++cyc;
+    std::vector<Logic> bits;
+    bits.reserve(outs.size());
+    for (const NetId n : outs) bits.push_back(sim.value(n));
+    out.samples.push_back(std::move(bits));
+    if (cyc == kWarmup) sim.reset_tally();
+    const SimTime t = sim.now() + T / 16;
+    sim.drive_bus_at(t, "a", word(cyc + 1)[0], in_width);
+    sim.drive_bus_at(t, "b", word(cyc + 1)[1], in_width);
+  });
+
+  sim.run_until(first_rise + SimTime(total) * T + T / 4);
+  out.tally = sim.tally();
+  if (mon) {
+    out.hazards = mon->log().total();
+    if (!mon->log().reports().empty())
+      out.first_hazard = verify::format_hazard(mon->log().reports().front());
+  }
+  out.phases = std::move(rec.recs);
+  return out;
+}
+
+/// Golden reference: the pre-transform design on the zero-delay
+/// functional simulator.  golden[j] = output bus after clock edge j,
+/// which run_gated samples at edge j+1.
+std::vector<std::vector<Logic>> run_golden(
+    const Netlist& orig, int cycles,
+    const std::vector<std::array<std::uint64_t, 2>>& stim, int in_width) {
+  FuncSim fs(orig);
+  fs.reset();
+  fs.set_input("clk", Logic::L0);
+  std::vector<std::string> outs;
+  for (const Port& p : orig.ports())
+    if (p.dir == PortDir::Out) outs.push_back(p.name);
+
+  std::vector<std::vector<Logic>> golden;
+  const int total = kWarmup + cycles;
+  for (int j = 0; j < total; ++j) {
+    const auto& w = stim[std::size_t(j) % stim.size()];
+    fs.set_input_bus("a", w[0], in_width);
+    fs.set_input_bus("b", w[1], in_width);
+    fs.eval();
+    fs.clock();
+    std::vector<Logic> bits;
+    bits.reserve(outs.size());
+    for (const auto& p : outs) bits.push_back(fs.output(p));
+    golden.push_back(std::move(bits));
+  }
+  return golden;
+}
+
+std::string bits_str(const std::vector<Logic>& v) {
+  std::string s;
+  for (auto it = v.rbegin(); it != v.rend(); ++it) s += logic_char(*it);
+  return s;
+}
+
+bool any_x(const std::vector<Logic>& v) {
+  return std::any_of(v.begin(), v.end(),
+                     [](Logic l) { return !is_known(l); });
+}
+
+/// |measured - predicted| within tolerance, both in fs.
+bool window_ok(double measured, double predicted) {
+  return std::abs(measured - predicted) <=
+         kRailRelTol * std::abs(predicted) + kRailAbsTolFs;
+}
+
+/// Average gated-domain leakage power over the measured window (the
+/// duty-monotonicity metric; headers/overheads are excluded so the metric
+/// isolates the rail-scaled cloud leakage Eq. 1 reasons about).
+double gated_leak_power(const PowerTally& t) {
+  return t.window.v > 0 ? t.leakage_gated.v / t.window.v : 0.0;
+}
+
+} // namespace
+
+CaseResult run_case(const Library& lib, const FuzzCase& fc) {
+  CaseResult r;
+  BuiltCase bc;
+  try {
+    bc = build_case(lib, fc);
+    r.built = true;
+  } catch (const Error& e) {
+    r.build_error = e.what();
+    r.mismatch = true;
+    r.detail = std::string("case failed to build: ") + e.what();
+    return r;
+  }
+  r.features = case_features(fc, bc);
+
+  const SimTime T = to_fs(period(bc.f));
+  const int total = kWarmup + fc.cycles;
+  const int w = fc.design.width;
+
+  const RunOut A = run_gated(*bc.gated, bc.cfg_sim, T, fc.duty, fc.cycles,
+                             fc.stim, w, Logic::L1, true, bc.settle_fs);
+  const RunOut B = run_gated(*bc.gated, bc.cfg_sim, T, fc.duty, fc.cycles,
+                             fc.stim, w, Logic::L0, false, bc.settle_fs);
+  const auto golden = run_golden(*bc.original, fc.cycles, fc.stim, w);
+
+  // --- oracle 1: SCPG vs no-PG vs golden, bit-identical -------------------
+  auto& o1 = r.oracles[std::size_t(Oracle::DiffSim)];
+  o1.ran = true;
+  for (int k = kWarmup + 1; k <= total && !o1.fired; ++k) {
+    const auto& a = A.samples[std::size_t(k)];
+    const auto& b = B.samples[std::size_t(k)];
+    const auto& g = golden[std::size_t(k - 1)];
+    std::ostringstream os;
+    if (any_x(a)) {
+      os << "edge " << k << ": X at registered output of the gated run ("
+         << bits_str(a) << ")";
+    } else if (a != b) {
+      os << "edge " << k << ": gated " << bits_str(a) << " != no-PG "
+         << bits_str(b);
+    } else if (b != g) {
+      os << "edge " << k << ": event-sim " << bits_str(b)
+         << " != functional golden " << bits_str(g);
+    } else {
+      continue;
+    }
+    o1.fired = true;
+    o1.detail = os.str();
+    r.x_in_gated = r.x_in_gated || any_x(a);
+  }
+
+  // --- oracle 2: Fig 4 windows vs Eq. 1 / rail closed forms ---------------
+  auto& o2 = r.oracles[std::size_t(Oracle::RailTiming)];
+  o2.ran = true;
+  const double v_corrupt = bc.rail.corrupt_frac * bc.rail.vdd.v;
+  const SimTime arm =
+      std::max(T - SimTime(double(T) * fc.duty + 0.5), bc.settle_fs) +
+      SimTime(kWarmup) * T;
+  // The final gating cycle is truncated by the end of simulation (the run
+  // stops T/4 after the last capture edge, possibly mid-recharge), so
+  // only cycles with a successor are judged.  `collapsed` carries
+  // corruption across cycles: a rail that never recovers emits exactly
+  // one Corrupt, but every later cycle without a Ready is still a
+  // never-ready violation.
+  bool collapsed = false;
+  for (std::size_t pi = 0; pi + 1 < A.phases.size(); ++pi) {
+    const PhaseRec& p = A.phases[pi];
+    const bool was_corrupt = collapsed || p.corrupt >= 0;
+    collapsed = was_corrupt && p.ready < 0;
+    if (o2.fired) continue;
+    if (p.sleep < arm) continue; // warmup
+    std::ostringstream os;
+    // T_PGoff from the actual sleep-start voltage (the rail may not have
+    // fully recharged when the previous cycle never corrupted):
+    // t = tau_d * ln(V0 / V_corrupt), the closed form behind t_corrupt().
+    const double corrupt_fs =
+        p.v_sleep > v_corrupt
+            ? to_fs(Time{bc.rail.tau_decay().v *
+                         std::log(p.v_sleep / v_corrupt)})
+            : 0.0;
+    if (p.corrupt >= 0 && !window_ok(double(p.corrupt - p.sleep), corrupt_fs)) {
+      os << "T_PGoff measured " << double(p.corrupt - p.sleep)
+         << " fs vs closed form " << corrupt_fs << " fs";
+    } else if (was_corrupt && p.wake >= 0 && p.ready < 0) {
+      // A cycle whose rail never collapsed past corrupt_frac legitimately
+      // has no Ready; a collapsed one that never recovers is a violation.
+      os << "rail never reached ready after wake at " << double(p.wake)
+         << " fs";
+    } else if (was_corrupt && p.wake >= 0 && p.ready >= 0) {
+      const double pred =
+          to_fs(bc.rail.t_ready_from(Voltage{std::max(0.0, p.v_wake)}));
+      if (!window_ok(double(p.ready - p.wake), pred))
+        os << "T_PGStart measured " << double(p.ready - p.wake)
+           << " fs vs closed form " << pred << " fs (v0 = " << p.v_wake
+           << " V)";
+    }
+    if (!os.str().empty()) {
+      o2.fired = true;
+      o2.detail = os.str();
+    }
+  }
+
+  // --- oracle 3: lint + runtime monitors + X-freedom ----------------------
+  auto& o3 = r.oracles[std::size_t(Oracle::LintMonitor)];
+  o3.ran = true;
+  lint::LintOptions lo;
+  lo.freq = bc.f;
+  lo.duty_high = fc.duty;
+  lo.sim = bc.cfg_sim;
+  const lint::LintReport rep = lint::run_lint(*bc.gated, lo);
+  r.lint_errors = rep.errors();
+  r.hazards = A.hazards;
+  for (int k = kWarmup + 1; k <= total && !r.x_in_gated; ++k)
+    r.x_in_gated = any_x(A.samples[std::size_t(k)]);
+  if (r.lint_errors > 0) {
+    o3.fired = true;
+    o3.detail = "lint: " + std::to_string(r.lint_errors) + " error(s), e.g. " +
+                (rep.findings().empty()
+                     ? std::string("?")
+                     : std::string(rep.findings().front().rule) + " " +
+                           rep.findings().front().message);
+  } else if (r.hazards > 0) {
+    o3.fired = true;
+    o3.detail = "monitors: " + std::to_string(r.hazards) +
+                " hazard(s), first: " + A.first_hazard;
+  } else if (r.x_in_gated) {
+    o3.fired = true;
+    o3.detail = "lint-clean design produced X at a registered output";
+  }
+
+  // --- oracle 4: metamorphic --------------------------------------------
+  auto& o4 = r.oracles[std::size_t(Oracle::Metamorphic)];
+  o4.ran = true;
+  // (a) frequency-scaling invariance: halving f doubles every phase of
+  // the schedule; captured results must be identical.
+  const RunOut Ah = run_gated(*bc.gated, bc.cfg_sim, 2 * T, fc.duty,
+                              fc.cycles, fc.stim, w, Logic::L1, false,
+                              bc.settle_fs);
+  for (int k = kWarmup + 1; k <= total && !o4.fired; ++k) {
+    if (A.samples[std::size_t(k)] != Ah.samples[std::size_t(k)]) {
+      o4.fired = true;
+      std::ostringstream os;
+      os << "edge " << k << ": results not frequency-invariant: f -> "
+         << bits_str(A.samples[std::size_t(k)]) << ", f/2 -> "
+         << bits_str(Ah.samples[std::size_t(k)]);
+      o4.detail = os.str();
+    }
+  }
+  // (b) duty monotonicity: with the low phase held fixed (feasibility
+  // unchanged), a longer gated (high) fraction must not increase the
+  // average gated-domain leakage power.
+  if (!o4.fired) {
+    const SimTime t_low = T - SimTime(double(T) * fc.duty + 0.5);
+    const double d_lo = std::max(0.25, fc.duty - 0.15);
+    const double d_hi = std::min(0.85, fc.duty + 0.15);
+    const auto run_at = [&](double d) {
+      const auto Td = SimTime(double(t_low) / (1.0 - d) + 0.5);
+      return gated_leak_power(run_gated(*bc.gated, bc.cfg_sim, Td, d,
+                                        fc.cycles, fc.stim, w, Logic::L1,
+                                        false, bc.settle_fs)
+                                  .tally);
+    };
+    const double p_lo = run_at(d_lo);
+    const double p_mid = gated_leak_power(A.tally);
+    const double p_hi = run_at(d_hi);
+    const double tol = 0.01 * std::max({p_lo, p_mid, p_hi, 1e-30});
+    if (p_lo + tol < p_mid || p_mid + tol < p_hi) {
+      o4.fired = true;
+      std::ostringstream os;
+      os << "gated leakage power not monotone in duty: P(" << d_lo
+         << ") = " << p_lo << " W, P(" << fc.duty << ") = " << p_mid
+         << " W, P(" << d_hi << ") = " << p_hi << " W";
+      o4.detail = os.str();
+    }
+  }
+
+  // --- verdict ------------------------------------------------------------
+  if (fc.bug == BugKind::None) {
+    for (const auto& o : r.oracles) {
+      if (o.fired) {
+        r.mismatch = true;
+        r.detail = "clean case fired " +
+                   std::string(oracle_name(Oracle(&o - r.oracles.data()))) +
+                   ": " + o.detail;
+        break;
+      }
+    }
+  } else {
+    const Oracle cat = bug_oracle(fc.bug);
+    if (!outcome(r, cat).fired) {
+      r.mismatch = true;
+      r.detail = std::string("injected ") + std::string(bug_name(fc.bug)) +
+                 " escaped its oracle (" + std::string(oracle_name(cat)) +
+                 " stayed silent)";
+    }
+  }
+  return r;
+}
+
+bool matches_expectation(const Expectation& exp, const CaseResult& r) {
+  if (!r.built) return false;
+  if (exp.clean) return !r.mismatch;
+  return outcome(r, exp.detect).fired;
+}
+
+} // namespace scpg::fuzz

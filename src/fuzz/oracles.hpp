@@ -1,0 +1,65 @@
+// The four differential oracles, run over one built case.
+//
+// run_case() drives a FuzzCase end to end: builds it, simulates the
+// SCPG-transformed design with gating active (run A) and disabled via the
+// override (run B), replays the pre-transform design on the zero-delay
+// functional golden model, and evaluates
+//
+//   DiffSim      A == B == golden at every registered output, X-free
+//   RailTiming   measured Fig 4 windows match the Eq. 1 closed forms
+//   LintMonitor  lint findings, runtime hazards, X in the gated run
+//   Metamorphic  half-frequency re-run reproduces A; average gated-domain
+//                leakage power is monotone non-increasing in duty (at a
+//                fixed low-phase width, so feasibility is held constant)
+//
+// An oracle "fires" when its invariant is violated.  For a clean case any
+// firing is a mismatch (a real disagreement between two models that both
+// claim to be right); for a bug case the injected bug's category oracle
+// MUST fire — silence is a detection escape, also a mismatch.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "fuzz/build.hpp"
+#include "fuzz/case.hpp"
+#include "tech/library.hpp"
+
+namespace scpg::fuzz {
+
+struct OracleOutcome {
+  bool ran{false};
+  bool fired{false};  ///< invariant violated / anomaly detected
+  std::string detail; ///< first violation, human-readable
+};
+
+struct CaseResult {
+  bool built{false};
+  std::string build_error;
+
+  std::array<OracleOutcome, kNumOracles> oracles{};
+  std::size_t lint_errors{0};
+  std::size_t hazards{0};
+  bool x_in_gated{false}; ///< X at a registered output of run A
+
+  bool mismatch{false}; ///< clean case fired / bug case escaped / no build
+  std::string detail;   ///< why, when mismatch
+  std::vector<std::string> features; ///< coverage keys (case_features)
+};
+
+[[nodiscard]] inline const OracleOutcome& outcome(const CaseResult& r,
+                                                  Oracle o) {
+  return r.oracles[static_cast<std::size_t>(o)];
+}
+
+/// Builds and runs one case through all four oracles.  Deterministic:
+/// identical (lib, fc) pairs produce identical results.
+[[nodiscard]] CaseResult run_case(const Library& lib, const FuzzCase& fc);
+
+/// Replay check for corpus entries: a clean entry must fire nothing; a
+/// bug entry's recorded oracle must fire.
+[[nodiscard]] bool matches_expectation(const Expectation& exp,
+                                       const CaseResult& r);
+
+} // namespace scpg::fuzz

@@ -266,6 +266,47 @@ TEST(EngineDeterminismMisc, PointDigestIsContentKeyed) {
   EXPECT_NE(ex.point_digest(pts[0]), ex.point_digest(reseeded));
 }
 
+TEST(EngineDeterminismMisc, RejectsDistinctTagsWithIdenticalPayload) {
+  // Two explicit points the caller clearly intends as distinct rows
+  // (different tags) but whose payloads are identical would share one
+  // point digest — and therefore one Rng::stream and one cache entry.
+  // run() must reject the sweep instead of silently aliasing them.
+  SimConfig cfg;
+  cfg.corner = {0.6_V, 25.0};
+  auto make = [&](std::string tag_b, std::uint64_t seed_b) {
+    engine::SweepSpec spec;
+    spec.design(mult8_original())
+        .base_sim(cfg)
+        .cycles(4, 2)
+        .use_cache(false)
+        .stimulus(rand8_stimulus(), "test:rand8");
+    engine::OperatingPoint a;
+    a.f = 1.0_MHz;
+    a.corner = cfg.corner;
+    a.tag = "a";
+    engine::OperatingPoint b = a;
+    b.tag = std::move(tag_b);
+    b.seed = seed_b;
+    spec.point(a).point(b);
+    return spec;
+  };
+  EXPECT_THROW((void)engine::Experiment(make("b", 0)).run(),
+               PreconditionError);
+  try {
+    (void)engine::Experiment(make("b", 0)).run();
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    // The diagnostic names both colliding rows by index and tag.
+    EXPECT_NE(std::string(e.what()).find("\"a\""), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("\"b\""), std::string::npos);
+  }
+  // Differentiating the payload (distinct seeds) makes the sweep legal...
+  EXPECT_NO_THROW((void)engine::Experiment(make("b", 1)).run());
+  // ...and a genuine duplicate (same tag, same payload) stays legal: equal
+  // rows are the cache's bread and butter, not an aliasing bug.
+  EXPECT_NO_THROW((void)engine::Experiment(make("a", 0)).run());
+}
+
 // ---------------------------------------------------------------------------
 // Result cache
 

@@ -1,0 +1,137 @@
+// Replay regression over the committed fuzz corpus (tests/corpus/).
+//
+// Every entry is replayed through the full differential harness
+// (fuzz::run_case) and held to its recorded expectation:
+//   * clean entries must pass all four oracles (diff-sim equivalence,
+//     rail-timing windows, lint/monitor X-freedom, metamorphic);
+//   * repro_<bug> entries — the minimized reproducers produced by
+//     `scpgc fuzz --inject <bug> --minimize` — must still be DETECTED by
+//     their oracle category, so a regression that re-opens a detection
+//     hole fails here, not in the field.
+// Replay is also checked to be bit-identical at any job count, and the
+// "scpg-fuzz-case v1" text format round-trips.
+//
+// Suite names start with "FuzzCorpus" so tools/check.sh can select them.
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fuzz/case.hpp"
+#include "fuzz/corpus.hpp"
+#include "fuzz/oracles.hpp"
+#include "tech/library.hpp"
+#include "util/parallel.hpp"
+
+using namespace scpg;
+using namespace scpg::fuzz;
+
+namespace {
+
+const Library& lib() {
+  static const Library l = Library::scpg90();
+  return l;
+}
+
+const std::vector<CorpusEntry>& corpus() {
+  static const std::vector<CorpusEntry> c = load_corpus(SCPG_CORPUS_DIR);
+  return c;
+}
+
+/// Replays every entry concurrently; results in corpus order.
+std::vector<CaseResult> replay(int jobs) {
+  const auto& c = corpus();
+  return parallel_map(c.size(), jobs,
+                      [&](std::size_t i) { return run_case(lib(), c[i].fc); });
+}
+
+/// Everything observable about a result, as one comparable string.
+std::string fingerprint(const CaseResult& r) {
+  std::ostringstream os;
+  os << r.built << '|' << r.mismatch << '|' << r.detail << '|'
+     << r.lint_errors << '|' << r.hazards << '|' << r.x_in_gated;
+  for (const auto& o : r.oracles)
+    os << '|' << o.ran << ':' << o.fired << ':' << o.detail;
+  for (const auto& f : r.features) os << '|' << f;
+  return os.str();
+}
+
+} // namespace
+
+TEST(FuzzCorpus, HasCleanSeedsAndOneReproPerOracleCategory) {
+  const auto& c = corpus();
+  int clean = 0;
+  std::vector<std::string> repros;
+  for (const auto& e : c) {
+    if (e.exp.clean) ++clean;
+    else repros.push_back(e.name);
+  }
+  EXPECT_GE(clean, 4) << "corpus should carry several clean seeds";
+  // One committed reproducer per oracle category (ISSUE acceptance).
+  for (const char* name : {"repro_output_invert", "repro_slow_rail",
+                           "repro_drop_clamp", "repro_fast_clock"})
+    EXPECT_NE(std::find(repros.begin(), repros.end(), name), repros.end())
+        << "missing " << name;
+}
+
+TEST(FuzzCorpus, ReplayMatchesEveryExpectation) {
+  const auto& c = corpus();
+  const std::vector<CaseResult> rs = replay(1);
+  ASSERT_EQ(rs.size(), c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const CorpusEntry& e = c[i];
+    const CaseResult& r = rs[i];
+    ASSERT_TRUE(r.built) << e.name << ": " << r.build_error;
+    EXPECT_FALSE(r.mismatch) << e.name << ": " << r.detail;
+    for (int o = 0; o < kNumOracles; ++o)
+      EXPECT_TRUE(r.oracles[std::size_t(o)].ran)
+          << e.name << ": oracle " << oracle_name(Oracle(o)) << " skipped";
+    if (e.exp.clean) {
+      for (int o = 0; o < kNumOracles; ++o)
+        EXPECT_FALSE(r.oracles[std::size_t(o)].fired)
+            << e.name << ": " << oracle_name(Oracle(o)) << " fired: "
+            << r.oracles[std::size_t(o)].detail;
+      EXPECT_FALSE(r.x_in_gated) << e.name;
+    } else {
+      EXPECT_TRUE(outcome(r, e.exp.detect).fired)
+          << e.name << ": injected bug escaped "
+          << oracle_name(e.exp.detect);
+    }
+  }
+}
+
+TEST(FuzzCorpus, ReplayIsDeterministicAtAnyJobCount) {
+  const std::vector<CaseResult> serial = replay(1);
+  const std::vector<CaseResult> wide = replay(4);
+  ASSERT_EQ(serial.size(), wide.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_EQ(fingerprint(serial[i]), fingerprint(wide[i]))
+        << corpus()[i].name;
+}
+
+TEST(FuzzCorpus, TextFormatRoundTrips) {
+  for (const auto& e : corpus()) {
+    std::ostringstream first;
+    write_case(e.fc, e.exp, first);
+    std::istringstream in(first.str());
+    const auto [fc2, exp2] = read_case(in, e.name);
+    std::ostringstream second;
+    write_case(fc2, exp2, second);
+    EXPECT_EQ(first.str(), second.str()) << e.name;
+  }
+}
+
+TEST(FuzzCorpus, CoverageKeysAreStableAndNonEmpty) {
+  Coverage cov;
+  for (const CaseResult& r : replay(2)) {
+    const std::vector<std::string> keys = coverage_keys(r);
+    EXPECT_FALSE(keys.empty());
+    cov.add(keys);
+  }
+  // Clean + four bug classes exercise a healthy slice of the key space.
+  EXPECT_GE(cov.distinct(), 20u);
+  const std::string js = cov.to_json();
+  EXPECT_NE(js.find("\"distinct\""), std::string::npos);
+  EXPECT_NE(js.find("oracle_ran:diff_sim"), std::string::npos);
+}

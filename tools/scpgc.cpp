@@ -20,8 +20,35 @@
 //                                                  (rules SCPG001-008);
 //                                                  --rules lists the rule
 //                                                  table
+//   scpgc fuzz      [--seed S] [--runs N] [--time-budget SECS] [--jobs N]
+//                   [--corpus DIR] [--no-minimize] [--inject BUG]
+//                   [--coverage-out FILE] [--json]
+//                                                  coverage-guided
+//                                                  differential fuzzing of
+//                                                  generated SCPG designs
+//                                                  through four oracles
+//                                                  (diff_sim, rail_timing,
+//                                                  lint_monitor,
+//                                                  metamorphic); mismatches
+//                                                  are delta-debug
+//                                                  minimized and written
+//                                                  under DIR/findings as
+//                                                  reproducer
+//                                                  .fuzz/.v/.stim files.
+//                                                  --inject BUG forces one
+//                                                  bug class (no_isolation,
+//                                                  drop_clamp,
+//                                                  stuck_isolation,
+//                                                  header_polarity,
+//                                                  slow_rail, fast_clock,
+//                                                  output_invert) into
+//                                                  every case and writes
+//                                                  the minimized detected
+//                                                  reproducer into DIR
 //
 // lint exit codes: 0 clean, 1 findings reported, 2 usage, 3 parse error.
+// fuzz exit codes: 0 zero mismatches (with --inject: bug detected),
+// 1 mismatches found / injected bug escaped, 2 usage, 6 internal.
 // sweep and verify run the linter as a pre-gate (disable with --no-lint);
 // a lint rejection there exits 5 (flow error).
 //
@@ -66,6 +93,7 @@
 #include <vector>
 
 #include "engine/sweep.hpp"
+#include "fuzz/fuzzer.hpp"
 #include "lint/lint.hpp"
 #include "netlist/report.hpp"
 #include "netlist/verilog.hpp"
@@ -134,7 +162,9 @@ Args parse_args(int argc, char** argv) {
           key == "points" || key == "fault" || key == "rate" ||
           key == "magnitude" || key == "freq-mhz" || key == "duty" ||
           key == "cycles" || key == "warmup" || key == "seed" ||
-          key == "max-report" || key == "jobs" || key == "only";
+          key == "max-report" || key == "jobs" || key == "only" ||
+          key == "runs" || key == "time-budget" || key == "corpus" ||
+          key == "inject" || key == "coverage-out";
       if (takes_value && i + 1 < argc) a.opts[key] = argv[++i];
       else a.flags.push_back(key);
     }
@@ -496,6 +526,89 @@ int cmd_lint(const Library& lib, const Args& a) {
   return rep.clean() ? 0 : 1; // kExitOk / kExitHazards (findings)
 }
 
+int cmd_fuzz(const Library& lib, const Args& a) {
+  // The fuzz exit codes are a pinned contract (0/1/2/6): a typo'd flag
+  // must be a usage error, not a silently ignored full campaign.
+  for (const std::string& f : a.flags)
+    if (f != "json" && f != "no-minimize")
+      throw UsageError("fuzz: unknown option --" + f);
+  fuzz::FuzzOptions opt;
+  opt.seed = std::uint64_t(a.num("seed", 1));
+  opt.runs = int(a.num("runs", a.opts.count("time-budget") ? 0 : 200));
+  opt.time_budget_s = a.num("time-budget", 0.0);
+  opt.jobs = int(a.num("jobs", 0));
+  opt.minimize = !a.has_flag("no-minimize");
+  opt.corpus_dir = a.opt("corpus");
+  opt.coverage_out = a.opt("coverage-out");
+  if (a.opts.count("inject") > 0) {
+    const auto bug = fuzz::bug_from_name(a.opt("inject"));
+    if (!bug || *bug == fuzz::BugKind::None)
+      throw UsageError("--inject: unknown bug class '" + a.opt("inject") +
+                       "' (no_isolation, drop_clamp, stuck_isolation, "
+                       "header_polarity, slow_rail, fast_clock, "
+                       "output_invert)");
+    opt.inject = *bug;
+  }
+  if (opt.runs <= 0 && opt.time_budget_s <= 0)
+    throw UsageError("fuzz needs --runs N and/or --time-budget SECS");
+
+  const bool json = a.has_flag("json");
+  const fuzz::FuzzStats st = fuzz::run_fuzz(
+      lib, opt, [&](const std::string& line) {
+        if (!json) std::cerr << line << '\n';
+      });
+
+  const bool inject_escaped = opt.inject && !st.injected_repro;
+  if (json) {
+    const auto esc = [](const std::string& s) {
+      std::string o;
+      for (const char c : s) {
+        if (c == '"' || c == '\\') o += '\\';
+        o += c;
+      }
+      return o;
+    };
+    std::cout << "{\"cases\": " << st.cases << ", \"clean_cases\": "
+              << st.clean_cases << ", \"bug_cases\": " << st.bug_cases
+              << ", \"detected\": " << st.detected << ", \"mismatches\": "
+              << st.mismatches << ", \"minimized\": " << st.minimized
+              << ", \"coverage_distinct\": " << st.coverage.distinct()
+              << ", \"injected_detected\": "
+              << (opt.inject ? (st.injected_repro ? "true" : "false")
+                             : "null")
+              << ", \"mismatch_details\": [";
+    for (std::size_t i = 0; i < st.mismatch_details.size(); ++i)
+      std::cout << (i ? ", " : "") << '"' << esc(st.mismatch_details[i])
+                << '"';
+    std::cout << "], \"saved\": [";
+    for (std::size_t i = 0; i < st.saved.size(); ++i)
+      std::cout << (i ? ", " : "") << '"' << esc(st.saved[i]) << '"';
+    std::cout << "]}\n";
+  } else {
+    std::cout << "fuzz: " << st.cases << " cases (" << st.clean_cases
+              << " clean, " << st.bug_cases << " with injected bugs), "
+              << st.detected << " detected, " << st.mismatches
+              << " mismatch(es), coverage " << st.coverage.distinct()
+              << " distinct keys\n";
+    for (const std::string& d : st.mismatch_details)
+      std::cout << "  MISMATCH " << d << '\n';
+    for (const std::string& s : st.saved)
+      std::cout << "  wrote " << s << ".fuzz\n";
+    if (opt.inject) {
+      if (st.injected_repro)
+        std::cout << "  injected " << fuzz::bug_name(*opt.inject)
+                  << ": detected and minimized (blocks "
+                  << st.injected_repro->fc.design.blocks.size() << ", width "
+                  << st.injected_repro->fc.design.width << ", cycles "
+                  << st.injected_repro->fc.cycles << ")\n";
+      else
+        std::cout << "  injected " << fuzz::bug_name(*opt.inject)
+                  << ": ESCAPED (never detected)\n";
+    }
+  }
+  return (st.mismatches > 0 || inject_escaped) ? 1 : 0;
+}
+
 // Exit codes (keep in sync with the header comment): scripts and the CI
 // harness branch on these.
 constexpr int kExitOk = 0;
@@ -521,7 +634,9 @@ int main(int argc, char** argv) {
     if (a.command == "sweep") return cmd_sweep(lib, a);
     if (a.command == "verify") return cmd_verify(lib, a);
     if (a.command == "lint") return cmd_lint(lib, a);
-    std::cerr << "usage: scpgc {liberty|report|transform|sweep|verify|lint} "
+    if (a.command == "fuzz") return cmd_fuzz(lib, a);
+    std::cerr << "usage: scpgc "
+                 "{liberty|report|transform|sweep|verify|lint|fuzz} "
                  "[options]\n"
                  "       (see the header of tools/scpgc.cpp)\n";
     return kExitUsage;
