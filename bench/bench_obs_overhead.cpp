@@ -1,0 +1,74 @@
+// Measures the simulator's raw event-loop throughput so check.sh --obs
+// can compare a build with the observability layer compiled in (but
+// runtime-disabled — the shipping default) against one compiled with
+// -DSCPG_OBS=OFF.  The disabled-mode macros must cost a single relaxed
+// atomic load; this bench makes that claim falsifiable.
+//
+// Output (parsed by tools/check.sh):
+//   obs_compiled_in 0|1
+//   cycles_per_sec <best over SCPG_OBS_BENCH_REPEATS repeats>
+//
+// Best-of-N is deliberate: the comparison is between two builds on the
+// same machine, and the minimum achievable time is the stable statistic.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "engine/sweep.hpp"
+#include "gen/mult16.hpp"
+#include "obs/obs.hpp"
+#include "scpg/transform.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+using namespace scpg;
+using namespace scpg::literals;
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+double run_once(const Netlist& nl, int cycles) {
+  SimConfig cfg;
+  cfg.corner = {0.6_V, 25.0};
+  Simulator sim(nl, cfg);
+  sim.init_flops_to_zero();
+  const Frequency f = 1.0_MHz;
+  const SimTime T = to_fs(period(f));
+  sim.add_clock(nl.port_net("clk"), f, 0.5, T / 2);
+  sim.drive_at(0, nl.port_net("override_n"), Logic::L1);
+  Rng rng(1);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < cycles; ++c) {
+    sim.drive_bus_at(sim.now() + to_fs(1.0_ns), "a", rng.bits(16), 16);
+    sim.drive_bus_at(sim.now() + to_fs(1.0_ns), "b", rng.bits(16), 16);
+    sim.run_until(SimTime(c + 1) * T);
+  }
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - t0;
+  return double(cycles) / dt.count();
+}
+
+} // namespace
+
+int main() {
+  const int cycles = env_int("SCPG_OBS_BENCH_CYCLES", 400);
+  const int repeats = env_int("SCPG_OBS_BENCH_REPEATS", 5);
+
+  const Library lib = Library::scpg90(); // must outlive the netlist
+  Netlist nl = gen::make_multiplier(lib, 16);
+  apply_scpg(nl);
+
+  double best = 0.0;
+  (void)run_once(nl, cycles); // warmup: page in code + allocator state
+  for (int r = 0; r < repeats; ++r) {
+    const double rate = run_once(nl, cycles);
+    if (rate > best) best = rate;
+  }
+  std::printf("obs_compiled_in %d\n", obs::kCompiledIn ? 1 : 0);
+  std::printf("cycles_per_sec %.0f\n", best);
+  return 0;
+}

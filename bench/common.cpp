@@ -65,7 +65,7 @@ MultSetup make_mult_setup() {
                    e_o, e_g, std::move(mo), std::move(mg)};
 }
 
-MeasureResult measure_mult(const Netlist& nl, SimConfig cfg, Frequency f,
+engine::Measurement measure_mult(const Netlist& nl, SimConfig cfg, Frequency f,
                            double duty, bool override_gating, int cycles) {
   engine::SweepSpec spec = mult_spec(cfg, cycles);
   spec.design(nl).frequency(f).duty(duty).override_gating(override_gating);
@@ -89,7 +89,7 @@ CpuSetup make_cpu_setup(int dhrystone_iterations) {
                   info, cfg, e_o, e_g, std::move(mo), std::move(mg)};
 }
 
-MeasureResult measure_cpu(const Netlist& nl, SimConfig cfg, Frequency f,
+engine::Measurement measure_cpu(const Netlist& nl, SimConfig cfg, Frequency f,
                           double duty, bool override_gating, int cycles) {
   engine::SweepSpec spec = cpu_spec(cfg, cycles);
   spec.design(nl).frequency(f).duty(duty).override_gating(override_gating);

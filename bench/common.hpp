@@ -17,7 +17,6 @@
 #include "gen/mult16.hpp"
 #include "mep/mep.hpp"
 #include "scpg/analysis.hpp"
-#include "scpg/measure.hpp"
 #include "scpg/model.hpp"
 #include "scpg/transform.hpp"
 #include "util/parallel.hpp"
@@ -65,7 +64,7 @@ struct MultSetup {
 
 /// Measures the multiplier at one operating point with fresh random
 /// operands every cycle (engine-backed: cached and deterministic).
-[[nodiscard]] MeasureResult measure_mult(const Netlist& nl, SimConfig cfg,
+[[nodiscard]] engine::Measurement measure_mult(const Netlist& nl, SimConfig cfg,
                                          Frequency f, double duty,
                                          bool override_gating,
                                          int cycles = 24);
@@ -86,7 +85,7 @@ struct CpuSetup {
 [[nodiscard]] CpuSetup make_cpu_setup(int dhrystone_iterations = 5);
 
 /// Measures the SCM0 free-running its program image.
-[[nodiscard]] MeasureResult measure_cpu(const Netlist& nl, SimConfig cfg,
+[[nodiscard]] engine::Measurement measure_cpu(const Netlist& nl, SimConfig cfg,
                                         Frequency f, double duty,
                                         bool override_gating,
                                         int cycles = 40);

@@ -6,8 +6,10 @@
 #include <utility>
 
 #include "engine/cache.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
+#include "util/json.hpp"
 #include "util/parallel.hpp"
 
 namespace scpg::engine {
@@ -318,9 +320,28 @@ SweepResult Experiment::run() const {
   Progress prog;
   prog.total = pts.size();
 
+  obs::Scope sweep_scope("engine.sweep", "engine");
+  if (obs::trace_enabled())
+    sweep_scope.args("{\"points\": " + std::to_string(pts.size()) + "}");
+
   auto run_one = [&](std::size_t i) -> PointResult {
     const OperatingPoint& pt = pts[i];
     const std::uint64_t digest = digests[i];
+
+    // Queue delay: how long this point sat behind others before a worker
+    // picked it up (wall-clock; never digest-visible).
+    SCPG_OBS_TIMING_HIST(
+        "engine.queue_delay.ms",
+        (std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+             .count()));
+    obs::Scope point_scope("engine.point", "engine");
+    if (obs::trace_enabled()) {
+      std::string a = "{\"row\": " + std::to_string(i) + ", \"tag\": ";
+      json::append_quoted(a, pt.tag);
+      a += "}";
+      point_scope.args(std::move(a));
+    }
 
     PointResult res;
     res.point = pt;
@@ -340,6 +361,8 @@ SweepResult Experiment::run() const {
       static_cast<Measurement&>(res) = measure_point(pt, digest);
       if (cacheable) ResultCache::global().store(key, res);
     }
+    SCPG_OBS_COUNT("engine.points", 1);
+    if (res.cache_hit) SCPG_OBS_COUNT("engine.cache_hits", 1);
 
     if (spec_.progress_) {
       const std::lock_guard lock(progress_m);

@@ -35,8 +35,7 @@
 
 namespace scpg::engine {
 
-/// What one simulation job measured — field-compatible with the legacy
-/// MeasureResult (scpg/measure.hpp aliases it).
+/// What one simulation job measured.
 struct Measurement {
   PowerTally tally;   ///< energy buckets over the measurement window
   int cycles{0};

@@ -7,6 +7,7 @@
 
 #include "netlist/verilog.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 
 namespace scpg::fuzz {
 
@@ -76,14 +77,13 @@ int Coverage::add(const std::vector<std::string>& keys) {
 
 std::string Coverage::to_json() const {
   std::ostringstream os;
-  os << "{\"distinct\": " << hits_.size() << ", \"keys\": {";
-  bool first = true;
-  for (const auto& [k, n] : hits_) {
-    if (!first) os << ", ";
-    first = false;
-    os << '"' << k << "\": " << n;
-  }
-  os << "}}";
+  json::Writer w(os);
+  w.begin_object(json::Writer::Style::Compact);
+  w.key("distinct").value(hits_.size());
+  w.key("keys").begin_object();
+  for (const auto& [k, n] : hits_) w.key(k).value(n);
+  w.end_object();
+  w.end_object();
   return os.str();
 }
 

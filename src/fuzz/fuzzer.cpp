@@ -5,8 +5,10 @@
 #include <sstream>
 
 #include "fuzz/minimize.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
+#include "util/json.hpp"
 #include "util/parallel.hpp"
 
 namespace scpg::fuzz {
@@ -85,9 +87,16 @@ FuzzStats run_fuzz(const Library& lib, const FuzzOptions& opt,
       specs.push_back(std::move(fc));
     }
 
-    const std::vector<CaseResult> results = parallel_map(
-        specs.size(), opt.jobs,
-        [&](std::size_t i) { return run_case(lib, specs[i]); });
+    std::vector<CaseResult> results;
+    {
+      obs::Scope batch_scope("fuzz.batch", "fuzz");
+      if (obs::trace_enabled())
+        batch_scope.args("{\"batch\": " + std::to_string(batch) +
+                         ", \"cases\": " + std::to_string(n) + "}");
+      results = parallel_map(specs.size(), opt.jobs, [&](std::size_t i) {
+        return run_case(lib, specs[i]);
+      });
+    }
 
     // Deterministic in-order merge.
     for (std::size_t i = 0; i < specs.size(); ++i) {
@@ -167,8 +176,19 @@ FuzzStats run_fuzz(const Library& lib, const FuzzOptions& opt,
   if (!opt.coverage_out.empty()) {
     std::ofstream os(opt.coverage_out);
     SCPG_REQUIRE(os.good(), "cannot write coverage to " + opt.coverage_out);
-    os << st.coverage.to_json() << "\n";
+    json::write_envelope(os, "fuzz-coverage", st.coverage.to_json());
   }
+
+  // End-of-run roll-up: totals are merge-order facts (jobs-invariant);
+  // throughput is wall-clock and lands under "timings".
+  SCPG_OBS_COUNT("fuzz.cases", st.cases);
+  SCPG_OBS_COUNT("fuzz.bug_cases", st.bug_cases);
+  SCPG_OBS_COUNT("fuzz.detected", st.detected);
+  SCPG_OBS_COUNT("fuzz.mismatches", st.mismatches);
+  SCPG_OBS_GAUGE("fuzz.coverage.distinct", st.coverage.distinct());
+  const double secs = elapsed_s();
+  SCPG_OBS_TIMING_GAUGE("fuzz.cases_per_s",
+                        secs > 0 ? double(st.cases) / secs : 0.0);
   return st;
 }
 

@@ -7,6 +7,7 @@
 
 #include "lint/lint.hpp"
 #include "netlist/funcsim.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 #include "util/error.hpp"
 #include "verify/boundary.hpp"
@@ -203,6 +204,10 @@ double gated_leak_power(const PowerTally& t) {
 CaseResult run_case(const Library& lib, const FuzzCase& fc) {
   CaseResult r;
   BuiltCase bc;
+  // One span per phase (build / reference sims / each oracle) so a traced
+  // fuzz run shows where oracle time goes; span.reset() closes a phase.
+  std::optional<obs::Scope> span;
+  span.emplace("fuzz.build", "fuzz");
   try {
     bc = build_case(lib, fc);
     r.built = true;
@@ -212,19 +217,23 @@ CaseResult run_case(const Library& lib, const FuzzCase& fc) {
     r.detail = std::string("case failed to build: ") + e.what();
     return r;
   }
+  span.reset();
   r.features = case_features(fc, bc);
 
   const SimTime T = to_fs(period(bc.f));
   const int total = kWarmup + fc.cycles;
   const int w = fc.design.width;
 
+  span.emplace("fuzz.sim", "fuzz");
   const RunOut A = run_gated(*bc.gated, bc.cfg_sim, T, fc.duty, fc.cycles,
                              fc.stim, w, Logic::L1, true, bc.settle_fs);
   const RunOut B = run_gated(*bc.gated, bc.cfg_sim, T, fc.duty, fc.cycles,
                              fc.stim, w, Logic::L0, false, bc.settle_fs);
   const auto golden = run_golden(*bc.original, fc.cycles, fc.stim, w);
+  span.reset();
 
   // --- oracle 1: SCPG vs no-PG vs golden, bit-identical -------------------
+  span.emplace("fuzz.oracle.diff_sim", "fuzz");
   auto& o1 = r.oracles[std::size_t(Oracle::DiffSim)];
   o1.ran = true;
   for (int k = kWarmup + 1; k <= total && !o1.fired; ++k) {
@@ -248,8 +257,10 @@ CaseResult run_case(const Library& lib, const FuzzCase& fc) {
     o1.detail = os.str();
     r.x_in_gated = r.x_in_gated || any_x(a);
   }
+  span.reset();
 
   // --- oracle 2: Fig 4 windows vs Eq. 1 / rail closed forms ---------------
+  span.emplace("fuzz.oracle.rail_timing", "fuzz");
   auto& o2 = r.oracles[std::size_t(Oracle::RailTiming)];
   o2.ran = true;
   const double v_corrupt = bc.rail.corrupt_frac * bc.rail.vdd.v;
@@ -299,8 +310,10 @@ CaseResult run_case(const Library& lib, const FuzzCase& fc) {
       o2.detail = os.str();
     }
   }
+  span.reset();
 
   // --- oracle 3: lint + runtime monitors + X-freedom ----------------------
+  span.emplace("fuzz.oracle.lint_monitor", "fuzz");
   auto& o3 = r.oracles[std::size_t(Oracle::LintMonitor)];
   o3.ran = true;
   lint::LintOptions lo;
@@ -327,8 +340,10 @@ CaseResult run_case(const Library& lib, const FuzzCase& fc) {
     o3.fired = true;
     o3.detail = "lint-clean design produced X at a registered output";
   }
+  span.reset();
 
   // --- oracle 4: metamorphic --------------------------------------------
+  span.emplace("fuzz.oracle.metamorphic", "fuzz");
   auto& o4 = r.oracles[std::size_t(Oracle::Metamorphic)];
   o4.ran = true;
   // (a) frequency-scaling invariance: halving f doubles every phase of
@@ -373,6 +388,7 @@ CaseResult run_case(const Library& lib, const FuzzCase& fc) {
       o4.detail = os.str();
     }
   }
+  span.reset();
 
   // --- verdict ------------------------------------------------------------
   if (fc.bug == BugKind::None) {

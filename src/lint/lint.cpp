@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <array>
+#include <sstream>
 
 #include "engine/sweep.hpp"
+#include "util/json.hpp"
 
 namespace scpg::lint {
 
@@ -37,32 +39,6 @@ constexpr std::array<RuleInfo, 8> kRules{{
 bool rule_enabled(const LintOptions& opt, std::string_view id) {
   return opt.only.empty() ||
          std::find(opt.only.begin(), opt.only.end(), id) != opt.only.end();
-}
-
-void json_escape(std::string& out, std::string_view s) {
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          constexpr char hex[] = "0123456789abcdef";
-          out += "\\u00";
-          out += hex[(c >> 4) & 0xf];
-          out += hex[c & 0xf];
-        } else {
-          out += c;
-        }
-    }
-  }
-}
-
-void json_string(std::string& out, std::string_view s) {
-  out += '"';
-  json_escape(out, s);
-  out += '"';
 }
 
 } // namespace
@@ -99,37 +75,35 @@ std::string LintReport::format_text() const {
 }
 
 std::string LintReport::to_json() const {
-  std::string out = "{\n  \"design\": ";
-  json_string(out, design_);
-  out += ",\n  \"errors\": " + std::to_string(errors());
-  out += ",\n  \"warnings\": " + std::to_string(warnings());
-  out += ",\n  \"findings\": [";
-  for (std::size_t i = 0; i < findings_.size(); ++i) {
-    const Diagnostic& d = findings_[i];
-    out += i ? ",\n    {" : "\n    {";
-    out += "\"rule\": ";
-    json_string(out, d.rule);
-    out += ", \"severity\": ";
-    json_string(out, severity_name(d.severity));
-    out += ", \"message\": ";
-    json_string(out, d.message);
-    out += ", \"hint\": ";
-    json_string(out, d.hint);
-    out += ", \"locations\": [";
-    for (std::size_t l = 0; l < d.where.size(); ++l) {
-      if (l) out += ", ";
-      out += "{\"kind\": ";
-      json_string(out, diag_loc_kind_name(d.where[l].kind));
-      if (d.where[l].kind != DiagLoc::Kind::Design)
-        out += ", \"id\": " + std::to_string(d.where[l].id);
-      out += ", \"name\": ";
-      json_string(out, d.where[l].name);
-      out += "}";
+  std::ostringstream os;
+  json::Writer w(os);
+  w.begin_object();
+  w.key("design").value(design_);
+  w.key("errors").value(errors());
+  w.key("warnings").value(warnings());
+  w.key("findings").begin_array();
+  for (const Diagnostic& d : findings_) {
+    w.begin_object(json::Writer::Style::Compact);
+    w.key("rule").value(d.rule);
+    w.key("severity").value(severity_name(d.severity));
+    w.key("message").value(d.message);
+    w.key("hint").value(d.hint);
+    w.key("locations").begin_array();
+    for (const DiagLoc& loc : d.where) {
+      w.begin_object();
+      w.key("kind").value(diag_loc_kind_name(loc.kind));
+      if (loc.kind != DiagLoc::Kind::Design)
+        w.key("id").value(std::uint64_t(loc.id));
+      w.key("name").value(loc.name);
+      w.end_object();
     }
-    out += "]}";
+    w.end_array();
+    w.end_object();
   }
-  out += findings_.empty() ? "]\n}\n" : "\n  ]\n}\n";
-  return out;
+  w.end_array();
+  w.end_object();
+  os << '\n';
+  return os.str();
 }
 
 LintReport run_lint(const Netlist& nl, const LintOptions& opt) {

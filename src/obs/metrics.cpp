@@ -1,0 +1,215 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace scpg::obs {
+
+std::string_view kind_name(Kind k) {
+  return k == Kind::Value ? "value" : "timing";
+}
+
+// --- Gauge ------------------------------------------------------------------
+
+void Gauge::set(double v) {
+  bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+}
+
+double Gauge::value() const {
+  return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+}
+
+// --- Histogram --------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  SCPG_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
+               "histogram bounds must be sorted ascending");
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  buckets_[std::size_t(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Exact double accumulation via CAS; addition of exactly-representable
+  // observations is associative, keeping value-kind sums jobs-invariant.
+  std::uint64_t old = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(
+      old, std::bit_cast<std::uint64_t>(std::bit_cast<double>(old) + v),
+      std::memory_order_relaxed))
+    ;
+}
+
+double Histogram::sum() const {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+// --- Registry ---------------------------------------------------------------
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+Counter& Registry::counter(std::string_view name, Kind kind) {
+  const std::lock_guard lock(m_);
+  const auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    SCPG_REQUIRE(it->second.counter != nullptr && it->second.kind == kind,
+                 "metric '" + std::string(name) +
+                     "' already registered with a different type/kind");
+    return *it->second.counter;
+  }
+  Entry e;
+  e.kind = kind;
+  e.counter = std::make_unique<Counter>();
+  return *metrics_.emplace(std::string(name), std::move(e))
+              .first->second.counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, Kind kind) {
+  const std::lock_guard lock(m_);
+  const auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    SCPG_REQUIRE(it->second.gauge != nullptr && it->second.kind == kind,
+                 "metric '" + std::string(name) +
+                     "' already registered with a different type/kind");
+    return *it->second.gauge;
+  }
+  Entry e;
+  e.kind = kind;
+  e.gauge = std::make_unique<Gauge>();
+  return *metrics_.emplace(std::string(name), std::move(e))
+              .first->second.gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> bounds, Kind kind) {
+  const std::lock_guard lock(m_);
+  const auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    SCPG_REQUIRE(it->second.histogram != nullptr && it->second.kind == kind,
+                 "metric '" + std::string(name) +
+                     "' already registered with a different type/kind");
+    return *it->second.histogram;
+  }
+  Entry e;
+  e.kind = kind;
+  e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return *metrics_.emplace(std::string(name), std::move(e))
+              .first->second.histogram;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  const std::lock_guard lock(m_);
+  MetricsSnapshot s;
+  // std::map iteration is already name-ordered — the point of using one.
+  for (const auto& [name, e] : metrics_) {
+    if (e.counter) {
+      s.counters.push_back({name, e.kind, e.counter->value()});
+    } else if (e.gauge) {
+      s.gauges.push_back({name, e.kind, e.gauge->value()});
+    } else {
+      s.histograms.push_back({name, e.kind, e.histogram->bounds(),
+                              e.histogram->bucket_counts(),
+                              e.histogram->count(), e.histogram->sum()});
+    }
+  }
+  return s;
+}
+
+void Registry::reset_values() {
+  const std::lock_guard lock(m_);
+  for (auto& [name, e] : metrics_) {
+    if (e.counter) e.counter->reset();
+    else if (e.gauge) e.gauge->reset();
+    else e.histogram->reset();
+  }
+}
+
+void Registry::clear_registrations() {
+  const std::lock_guard lock(m_);
+  metrics_.clear();
+}
+
+// --- JSON -------------------------------------------------------------------
+
+namespace {
+
+void write_section(json::Writer& w, const MetricsSnapshot& s, Kind kind) {
+  w.begin_object();
+  for (const auto& c : s.counters)
+    if (c.kind == kind)
+      w.key(c.name)
+          .begin_object(json::Writer::Style::Compact)
+          .key("type")
+          .value("counter")
+          .key("value")
+          .value(c.value)
+          .end_object();
+  for (const auto& g : s.gauges)
+    if (g.kind == kind)
+      w.key(g.name)
+          .begin_object(json::Writer::Style::Compact)
+          .key("type")
+          .value("gauge")
+          .key("value")
+          .value(g.value)
+          .end_object();
+  for (const auto& h : s.histograms)
+    if (h.kind == kind) {
+      w.key(h.name).begin_object(json::Writer::Style::Compact);
+      w.key("type").value("histogram");
+      w.key("count").value(h.count);
+      w.key("sum").value(h.sum);
+      w.key("bounds").begin_array(json::Writer::Style::Compact);
+      for (const double b : h.bounds) w.value(b);
+      w.end_array();
+      w.key("buckets").begin_array(json::Writer::Style::Compact);
+      for (const std::uint64_t b : h.buckets) w.value(b);
+      w.end_array();
+      w.end_object();
+    }
+  w.end_object();
+}
+
+} // namespace
+
+void MetricsSnapshot::write_payload(json::Writer& w) const {
+  w.begin_object();
+  w.key("values");
+  write_section(w, *this, Kind::Value);
+  w.key("timings");
+  write_section(w, *this, Kind::Timing);
+  w.end_object();
+}
+
+void write_metrics_json(std::ostream& os, std::string_view tool,
+                        const MetricsSnapshot& snap) {
+  json::Writer w(os);
+  json::write_envelope_open(w, tool);
+  w.key("payload");
+  snap.write_payload(w);
+  w.end_object();
+  os << '\n';
+}
+
+} // namespace scpg::obs

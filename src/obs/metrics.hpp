@@ -1,0 +1,166 @@
+// Thread-safe metrics registry: counters, gauges, fixed-bucket histograms.
+//
+// One process-global Registry collects everything the instrumented layers
+// (sim, engine, verify, fuzz) report.  Two invariants shape the design:
+//
+//  * Determinism split.  Every metric is either Kind::Value — a count of
+//    WORK (cell evaluations, points run, cases fuzzed) that must be
+//    byte-identical across `--jobs` — or Kind::Timing — a wall-clock
+//    observation that legitimately differs run to run.  The JSON dump
+//    separates them ("values" vs "timings" sections) so tools can diff
+//    the deterministic half exactly; digest-visible results never read
+//    timing metrics.  Value metrics stay jobs-invariant because all
+//    updates are commutative integer/exact-double atomics — order of
+//    arrival cannot change the total.
+//
+//  * Zero side effects when disabled.  Instrumentation sites go through
+//    the SCPG_OBS_* macros (obs.hpp), which check the global enable flag
+//    BEFORE touching the registry: a disabled run registers nothing,
+//    counts nothing, and costs one predictable branch per site.
+//
+// Metric handles returned by the registry are valid for the process
+// lifetime (clear() only resets their values, it does not destroy them),
+// so hot paths may cache references.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scpg::json {
+class Writer;
+}
+
+namespace scpg::obs {
+
+/// Determinism class of a metric (see file header).
+enum class Kind : std::uint8_t { Value, Timing };
+
+[[nodiscard]] std::string_view kind_name(Kind k);
+
+/// Monotonic integer counter.
+class Counter {
+public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins double.  Value-kind gauges must only be set from one
+/// thread (or with the same value) or the jobs-invariance guarantee is
+/// forfeit — use them for end-of-run summaries, not per-worker state.
+class Gauge {
+public:
+  void set(double v);
+  [[nodiscard]] double value() const;
+  void reset() { set(0.0); }
+
+private:
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Fixed-bucket histogram: counts per bucket plus exact count/sum.
+/// Bucket i counts observations <= bounds[i]; one implicit overflow
+/// bucket catches the rest.  The sum uses compare-exchange double
+/// accumulation — exact (and therefore order-independent) as long as
+/// value-kind histograms observe integers or dyadic rationals.
+class Histogram {
+public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Bucket counts, overflow bucket last (size() == bounds().size() + 1).
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  void reset();
+
+private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};
+};
+
+/// Point-in-time copy of every registered metric, in name order (stable
+/// across runs regardless of registration interleaving).
+struct MetricsSnapshot {
+  struct CounterRow {
+    std::string name;
+    Kind kind;
+    std::uint64_t value;
+  };
+  struct GaugeRow {
+    std::string name;
+    Kind kind;
+    double value;
+  };
+  struct HistogramRow {
+    std::string name;
+    Kind kind;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count;
+    double sum;
+  };
+  std::vector<CounterRow> counters;
+  std::vector<GaugeRow> gauges;
+  std::vector<HistogramRow> histograms;
+
+  /// Payload object: {"values": {...}, "timings": {...}}, each section
+  /// mapping metric name -> rendered metric.  Only the "values" section
+  /// is jobs-invariant.
+  void write_payload(json::Writer& w) const;
+};
+
+class Registry {
+public:
+  /// The process-global registry all macros and instrumented layers use.
+  [[nodiscard]] static Registry& global();
+
+  /// Finds or creates.  A name is permanently bound to its first
+  /// (type, kind); a conflicting re-registration throws.
+  Counter& counter(std::string_view name, Kind kind = Kind::Value);
+  Gauge& gauge(std::string_view name, Kind kind = Kind::Value);
+  Histogram& histogram(std::string_view name, std::vector<double> bounds,
+                       Kind kind = Kind::Value);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Resets every metric to zero (handles stay valid).  Tests use this
+  /// between scenarios; clear_registrations() additionally forgets the
+  /// metric definitions (existing handles dangle — tests only).
+  void reset_values();
+  void clear_registrations();
+
+private:
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex m_;
+  std::map<std::string, Entry, std::less<>> metrics_;
+};
+
+/// Renders the full metrics envelope ({"schema_version", "tool",
+/// "payload": {"values", "timings"}}) for --metrics dumps.
+void write_metrics_json(std::ostream& os, std::string_view tool,
+                        const MetricsSnapshot& snap);
+
+} // namespace scpg::obs

@@ -1,0 +1,48 @@
+#include "obs/obs.hpp"
+
+#include "util/parallel.hpp"
+
+namespace scpg::obs {
+
+namespace detail {
+std::atomic<bool> g_metrics_enabled{false};
+std::atomic<bool> g_trace_enabled{false};
+} // namespace detail
+
+namespace {
+
+void worker_start_hook(std::size_t worker_index) {
+  set_thread_name("worker-" + std::to_string(worker_index));
+}
+
+} // namespace
+
+void configure(bool enable_metrics, bool enable_trace) {
+  if constexpr (!kCompiledIn) return;
+  if (enable_metrics || enable_trace) {
+    static const bool installed = [] {
+      set_thread_name("main");
+      set_thread_start_hook(&worker_start_hook);
+      (void)now_us(); // pin the trace epoch to the first enable
+      return true;
+    }();
+    (void)installed;
+  }
+  detail::g_metrics_enabled.store(enable_metrics, std::memory_order_relaxed);
+  detail::g_trace_enabled.store(enable_trace, std::memory_order_relaxed);
+}
+
+void reset() {
+  detail::g_metrics_enabled.store(false, std::memory_order_relaxed);
+  detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+  Registry::global().reset_values();
+  clear_trace();
+}
+
+const std::vector<double>& default_ms_bounds() {
+  static const std::vector<double> bounds{0.01, 0.05, 0.1,  0.5,  1.0,
+                                          5.0,  10.0, 50.0, 100.0, 1000.0};
+  return bounds;
+}
+
+} // namespace scpg::obs

@@ -1,0 +1,173 @@
+// Observability front door: enable flags, the Scope RAII span, and the
+// SCPG_OBS_* instrumentation macros.
+//
+// The layer has three states:
+//
+//  * Compiled out (CMake -DSCPG_OBS=OFF -> SCPG_OBS_DISABLED): kCompiledIn
+//    is false, every macro folds to nothing, Scope is an empty object.
+//    This build exists so tools/check.sh --obs can measure the honest
+//    cost of the default build's disabled-mode branches.
+//  * Compiled in, disabled (the default): each instrumentation site costs
+//    one relaxed atomic load and a predictable branch; the registry and
+//    trace collector are never touched, so a run with observability off
+//    has zero observable side effects.
+//  * Enabled (scpgc --trace / --metrics, or obs::configure in tests):
+//    sites update the global metrics Registry and/or append trace events.
+//
+// Metrics and tracing enable independently: --metrics alone records no
+// spans, --trace alone touches no counters.  Scope feeds both when both
+// are on.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace scpg::obs {
+
+#ifdef SCPG_OBS_DISABLED
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+extern std::atomic<bool> g_trace_enabled;
+} // namespace detail
+
+[[nodiscard]] inline bool metrics_enabled() {
+  if constexpr (!kCompiledIn) return false;
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+[[nodiscard]] inline bool trace_enabled() {
+  if constexpr (!kCompiledIn) return false;
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+[[nodiscard]] inline bool enabled() {
+  return metrics_enabled() || trace_enabled();
+}
+
+/// Turns collection on/off.  On the first enabling call this also names
+/// the calling thread "main" and installs util::ThreadPool's thread-start
+/// hook so every pool worker announces itself as "worker-k" — which is
+/// what gives the exported trace one track per worker thread.
+/// No-op (stays disabled) when compiled out.
+void configure(bool enable_metrics, bool enable_trace);
+
+/// Disables collection and wipes state: metric values reset to zero
+/// (registrations survive) and all buffered trace events drop.
+void reset();
+
+/// Default duration-histogram bounds, in milliseconds.
+[[nodiscard]] const std::vector<double>& default_ms_bounds();
+
+/// RAII span.  While observability is enabled, construction stamps the
+/// start time and destruction records:
+///  * a Chrome trace "complete" event on the calling thread's track
+///    (when tracing is on), and
+///  * an observation in the timing histogram "<name>.ms" (when metrics
+///    are on) — wall-clock, so it lands in the "timings" section and is
+///    exempt from jobs-invariance.
+/// When disabled the constructor is one branch and the destructor free.
+/// `name` and `cat` must outlive the Scope (string literals in practice).
+class Scope {
+public:
+  explicit Scope(std::string_view name, std::string_view cat = "scpg")
+      : name_(name), cat_(cat), live_(enabled()) {
+    if (live_) start_us_ = now_us();
+  }
+
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+  /// Attaches a pre-rendered JSON object to the trace event (ignored
+  /// when tracing is off).  Example: scope.args(R"({"point": 3})").
+  void args(std::string args_json) { args_json_ = std::move(args_json); }
+
+  ~Scope() {
+    if (!live_) return;
+    const double end = now_us();
+    if (trace_enabled())
+      record_complete(name_, cat_, start_us_, end - start_us_,
+                      std::move(args_json_));
+    if (metrics_enabled())
+      Registry::global()
+          .histogram(std::string(name_) + ".ms", default_ms_bounds(),
+                     Kind::Timing)
+          .observe((end - start_us_) / 1000.0);
+  }
+
+private:
+  std::string_view name_;
+  std::string_view cat_;
+  std::string args_json_;
+  double start_us_{0};
+  bool live_;
+};
+
+} // namespace scpg::obs
+
+// Instrumentation macros.  All of them evaluate their value arguments
+// ONLY when the relevant collection is enabled — a disabled run never
+// executes the expressions, never touches the registry, and (compiled
+// out) contains no trace of the site at all.
+#ifdef SCPG_OBS_DISABLED
+
+#define SCPG_OBS_COUNT(name_, n_) \
+  do {                            \
+  } while (0)
+#define SCPG_OBS_GAUGE(name_, v_) \
+  do {                            \
+  } while (0)
+#define SCPG_OBS_TIMING_GAUGE(name_, v_) \
+  do {                                   \
+  } while (0)
+#define SCPG_OBS_TIMING_HIST(name_, v_) \
+  do {                                  \
+  } while (0)
+
+#else
+
+/// Adds n_ to the jobs-invariant value counter name_.
+#define SCPG_OBS_COUNT(name_, n_)                                      \
+  do {                                                                 \
+    if (::scpg::obs::metrics_enabled())                                \
+      ::scpg::obs::Registry::global().counter(name_).add(              \
+          static_cast<std::uint64_t>(n_));                             \
+  } while (0)
+
+/// Sets the value gauge name_ (single-writer; see metrics.hpp).
+#define SCPG_OBS_GAUGE(name_, v_)                                      \
+  do {                                                                 \
+    if (::scpg::obs::metrics_enabled())                                \
+      ::scpg::obs::Registry::global().gauge(name_).set(                \
+          static_cast<double>(v_));                                    \
+  } while (0)
+
+/// Sets the wall-clock gauge name_ (reported under "timings").
+#define SCPG_OBS_TIMING_GAUGE(name_, v_)                               \
+  do {                                                                 \
+    if (::scpg::obs::metrics_enabled())                                \
+      ::scpg::obs::Registry::global()                                  \
+          .gauge(name_, ::scpg::obs::Kind::Timing)                     \
+          .set(static_cast<double>(v_));                               \
+  } while (0)
+
+/// Observes a wall-clock duration (ms) in the timing histogram name_.
+#define SCPG_OBS_TIMING_HIST(name_, v_)                                \
+  do {                                                                 \
+    if (::scpg::obs::metrics_enabled())                                \
+      ::scpg::obs::Registry::global()                                  \
+          .histogram(name_, ::scpg::obs::default_ms_bounds(),          \
+                     ::scpg::obs::Kind::Timing)                        \
+          .observe(static_cast<double>(v_));                           \
+  } while (0)
+
+#endif

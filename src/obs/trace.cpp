@@ -1,0 +1,151 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+#include "obs/obs.hpp"
+#include "util/json.hpp"
+
+namespace scpg::obs {
+
+namespace {
+
+/// One thread's event buffer.  Owned jointly by the thread (thread_local
+/// shared_ptr) and the collector (registry vector), so events survive the
+/// thread — pool workers die with their ThreadPool, the trace does not.
+struct ThreadBuffer {
+  std::mutex m;
+  int tid{0};
+  std::string name;
+  std::vector<TraceEvent> events;
+};
+
+struct Collector {
+  std::mutex m;
+  std::vector<std::shared_ptr<ThreadBuffer>> threads;
+  int next_tid{0};
+};
+
+Collector& collector() {
+  static Collector c;
+  return c;
+}
+
+ThreadBuffer& my_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    Collector& c = collector();
+    const std::lock_guard lock(c.m);
+    b->tid = c.next_tid++;
+    c.threads.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+std::chrono::steady_clock::time_point epoch() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
+
+} // namespace
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch())
+      .count();
+}
+
+void set_thread_name(std::string name) {
+  ThreadBuffer& b = my_buffer();
+  const std::lock_guard lock(b.m);
+  b.name = std::move(name);
+}
+
+void record_complete(std::string_view name, std::string_view cat,
+                     double ts_us, double dur_us, std::string args_json) {
+  if (!trace_enabled()) return;
+  ThreadBuffer& b = my_buffer();
+  const std::lock_guard lock(b.m);
+  b.events.push_back(TraceEvent{std::string(name), std::string(cat),
+                                std::move(args_json), ts_us, dur_us});
+}
+
+std::size_t trace_event_count() {
+  Collector& c = collector();
+  const std::lock_guard lock(c.m);
+  std::size_t n = 0;
+  for (const auto& t : c.threads) {
+    const std::lock_guard tl(t->m);
+    n += t->events.size();
+  }
+  return n;
+}
+
+void clear_trace() {
+  Collector& c = collector();
+  const std::lock_guard lock(c.m);
+  for (const auto& t : c.threads) {
+    const std::lock_guard tl(t->m);
+    t->events.clear();
+  }
+}
+
+void write_trace_json(std::ostream& os, std::string_view tool) {
+  struct Row {
+    TraceEvent e;
+    int tid;
+  };
+  std::vector<Row> rows;
+  std::vector<std::pair<int, std::string>> names;
+  {
+    Collector& c = collector();
+    const std::lock_guard lock(c.m);
+    for (const auto& t : c.threads) {
+      const std::lock_guard tl(t->m);
+      if (t->events.empty()) continue;
+      names.emplace_back(
+          t->tid, t->name.empty() ? "thread-" + std::to_string(t->tid)
+                                  : t->name);
+      for (const TraceEvent& e : t->events) rows.push_back({e, t->tid});
+    }
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const Row& a, const Row& b) {
+                     return a.e.ts_us < b.e.ts_us;
+                   });
+
+  json::Writer w(os);
+  json::write_envelope_open(w, tool);
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+  for (const auto& [tid, name] : names) {
+    w.begin_object(json::Writer::Style::Compact);
+    w.key("name").value("thread_name");
+    w.key("ph").value("M");
+    w.key("pid").value(std::int64_t(1));
+    w.key("tid").value(std::int64_t(tid));
+    w.key("args").begin_object().key("name").value(name).end_object();
+    w.end_object();
+  }
+  for (const Row& r : rows) {
+    w.begin_object(json::Writer::Style::Compact);
+    w.key("name").value(r.e.name);
+    w.key("cat").value(r.e.cat);
+    w.key("ph").value("X");
+    w.key("ts").value(r.e.ts_us);
+    w.key("dur").value(r.e.dur_us);
+    w.key("pid").value(std::int64_t(1));
+    w.key("tid").value(std::int64_t(r.tid));
+    if (!r.e.args_json.empty()) w.key("args").raw(r.e.args_json);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+} // namespace scpg::obs

@@ -1,0 +1,60 @@
+// Span-based tracing with Chrome trace_event JSON export.
+//
+// When tracing is enabled, instrumented code records "complete" events
+// (name, category, start, duration) into a per-thread buffer; buffers
+// register themselves with the global collector on first use, so the
+// hot path takes no lock — one relaxed flag check plus an append to a
+// thread-local vector.  Each OS thread becomes one track in the exported
+// trace; util/parallel's worker threads announce themselves through
+// set_thread_name(), so a `parallel_map` sweep renders as one "worker-k"
+// track per pool worker with the per-point spans laid out on it.
+//
+// Export is the Chrome JSON Object Format: a top-level object carrying
+// "traceEvents" plus the repo's envelope keys (schema_version / tool) —
+// chrome://tracing and Perfetto ignore unknown top-level keys, so one
+// file is both envelope-versioned and directly loadable.  Timestamps are
+// microseconds since the collector was enabled (wall-clock: traces are
+// never digest-visible).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scpg::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  std::string args_json; ///< pre-rendered object ("" = none)
+  double ts_us{0};
+  double dur_us{0};
+};
+
+/// Names the calling thread's track in subsequent exports (cheap; safe to
+/// call whether or not tracing is enabled — unnamed threads export as
+/// "thread-<tid>").
+void set_thread_name(std::string name);
+
+/// Appends a complete event to the calling thread's buffer.  No-op when
+/// tracing is disabled; `ts_us` is the span start in now_us() time.
+void record_complete(std::string_view name, std::string_view cat,
+                     double ts_us, double dur_us,
+                     std::string args_json = {});
+
+/// Microseconds since the trace epoch (the first enable_tracing() call).
+[[nodiscard]] double now_us();
+
+/// Number of buffered events across all threads (tests).
+[[nodiscard]] std::size_t trace_event_count();
+
+/// Drops all buffered events (thread registrations survive).
+void clear_trace();
+
+/// Writes the Chrome-loadable trace envelope: thread_name metadata events
+/// first, then every buffered complete event.
+void write_trace_json(std::ostream& os, std::string_view tool);
+
+} // namespace scpg::obs

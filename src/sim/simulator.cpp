@@ -1,8 +1,10 @@
 #include "sim/simulator.hpp"
 
 #include <array>
+#include <chrono>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace scpg {
@@ -62,7 +64,8 @@ Simulator::Simulator(const Netlist& nl, SimConfig cfg)
       cfg_(cfg),
       queue_([](const Event& a, const Event& b) {
         return a.t != b.t ? a.t > b.t : a.seq > b.seq;
-      }) {
+      }),
+      obs_en_(obs::metrics_enabled()) {
   const TechModel& tech = nl.lib().tech();
   dscale_ = tech.delay_scale(cfg.corner);
   escale_ = tech.energy_scale(cfg.corner);
@@ -180,7 +183,18 @@ Simulator::Simulator(const Netlist& nl, SimConfig cfg)
   }
 }
 
-Simulator::~Simulator() = default;
+Simulator::~Simulator() {
+  if (!obs_en_ || !obs::metrics_enabled()) return;
+  SCPG_OBS_COUNT("sim.events", obs_events_);
+  SCPG_OBS_COUNT("sim.net_changes", obs_net_changes_);
+  SCPG_OBS_COUNT("sim.cell_evals", obs_cell_evals_);
+  SCPG_OBS_COUNT("sim.macro_evals", obs_macro_evals_);
+  SCPG_OBS_COUNT("sim.domain.sleeps", obs_domain_sleeps_);
+  SCPG_OBS_COUNT("sim.domain.corrupts", obs_domain_corrupts_);
+  SCPG_OBS_TIMING_HIST("sim.phase.eval.ms", obs_eval_us_ / 1000.0);
+  SCPG_OBS_TIMING_HIST("sim.phase.clamp.ms", obs_clamp_us_ / 1000.0);
+  SCPG_OBS_TIMING_HIST("sim.phase.rail.ms", obs_rail_us_ / 1000.0);
+}
 
 // --- scheduling --------------------------------------------------------------
 
@@ -374,6 +388,7 @@ void Simulator::domain_power_off(SimTime t) {
   DomainRt& d = *domain_;
   if (d.sleeping) return;
   d.sleeping = true;
+  if (obs_en_) ++obs_domain_sleeps_;
   const double v0 = rail_v_at(t);
   d.mode = DomainRt::Mode::Decay;
   d.v_start = v0;
@@ -443,6 +458,7 @@ void Simulator::domain_power_on(SimTime t) {
 void Simulator::domain_corrupt() {
   DomainRt& d = *domain_;
   d.corrupted = true;
+  if (obs_en_) ++obs_domain_corrupts_;
   for (std::size_t i = 0; i < d.out_nets.size(); ++i)
     d.saved[i] = values_[d.out_nets[i].v];
   for (NetId o : d.out_nets) {
@@ -516,16 +532,17 @@ void Simulator::eval_cell_now(CellId cell) {
     in[i] = values_[c.inputs[i].v];
   const Logic y = eval_cell(
       s.kind, std::span<const Logic>(in.data(), c.inputs.size()));
+  if (obs_en_) ++obs_cell_evals_;
   schedule_net(c.outputs[0], y, now_ + to_fs(cell_delay_[cell.v]));
 }
 
 void Simulator::eval_macro_now(CellId cell, bool clocked_edge) {
   const Cell& c = nl_->cell(cell);
-  const MacroSpec& m = nl_->macro_spec(c.macro);
   std::vector<Logic> in(c.inputs.size());
   for (std::size_t i = 0; i < c.inputs.size(); ++i)
     in[i] = values_[c.inputs[i].v];
   if (clocked_edge) macro_models_[cell.v]->clock_edge(in);
+  if (obs_en_) ++obs_macro_evals_;
   std::vector<Logic> out(c.outputs.size(), Logic::X);
   macro_models_[cell.v]->eval(in, out);
   const SimTime at = now_ + to_fs(cell_delay_[cell.v]);
@@ -570,6 +587,7 @@ void Simulator::process_net_change(NetId net, Logic v) {
   const Logic old = values_[net.v];
   if (old == v) return;
   values_[net.v] = v;
+  if (obs_en_) ++obs_net_changes_;
 
   const Net& n = nl_->net(net);
 
@@ -657,12 +675,26 @@ void Simulator::process_net_change(NetId net, Logic v) {
 
 void Simulator::run_until(SimTime t) {
   SCPG_REQUIRE(t >= now_, "run_until into the past");
+  using Clock = std::chrono::steady_clock;
+  const auto us_since = [](Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double, std::micro>(b - a).count();
+  };
   while (!queue_.empty() && queue_.top().t <= t) {
     Event e = queue_.top();
     queue_.pop();
     SCPG_ASSERT(e.t >= now_);
     now_ = e.t;
+    Clock::time_point t0;
+    if (obs_en_) {
+      ++obs_events_;
+      t0 = Clock::now();
+    }
     integrate_to(now_);
+    if (obs_en_) {
+      const auto t1 = Clock::now();
+      obs_rail_us_ += us_since(t0, t1);
+      t0 = t1;
+    }
     switch (e.kind) {
       case Event::Kind::NetChange: {
         if (e.gen != kForcedGen) {
@@ -681,6 +713,11 @@ void Simulator::run_until(SimTime t) {
       case Event::Kind::DomainReady:
         if (domain_ && e.gen == domain_->event_gen) domain_ready();
         break;
+    }
+    if (obs_en_) {
+      const bool clamp = e.kind == Event::Kind::DomainCorrupt ||
+                         e.kind == Event::Kind::DomainReady;
+      (clamp ? obs_clamp_us_ : obs_eval_us_) += us_since(t0, Clock::now());
     }
   }
   now_ = t;

@@ -259,6 +259,23 @@ private:
   ActivityRecorder* activity_{nullptr};
   VcdWriter* vcd_{nullptr};
   std::size_t vcd_rail_{std::size_t(-1)};
+
+  // Observability (src/obs).  Counters accumulate in plain members —
+  // a Simulator lives on one thread — and flush to the global registry
+  // once, in the destructor; `obs_en_` is sampled at construction so a
+  // disabled run costs one branch per site.  The wall-clock phase split
+  // (eval = logic evaluation, clamp = domain corrupt/restore, rail =
+  // closed-form leakage/rail integration) feeds timing histograms only.
+  bool obs_en_{false};
+  std::uint64_t obs_events_{0};
+  std::uint64_t obs_net_changes_{0};
+  std::uint64_t obs_cell_evals_{0};
+  std::uint64_t obs_macro_evals_{0};
+  std::uint64_t obs_domain_sleeps_{0};
+  std::uint64_t obs_domain_corrupts_{0};
+  double obs_eval_us_{0};
+  double obs_clamp_us_{0};
+  double obs_rail_us_{0};
 };
 
 } // namespace scpg

@@ -1,0 +1,380 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace scpg::json {
+
+// --- rendering primitives ---------------------------------------------------
+
+void append_quoted(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string number(double v) {
+  if (!std::isfinite(v)) return "null"; // JSON has no Inf/NaN
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  SCPG_ASSERT(ec == std::errc());
+  return std::string(buf, end);
+}
+
+// --- Writer -----------------------------------------------------------------
+
+void Writer::newline_indent() {
+  os_ << '\n';
+  for (std::size_t i = 0; i < depth_.size(); ++i) os_ << "  ";
+}
+
+void Writer::before_value() {
+  if (depth_.empty()) {
+    SCPG_REQUIRE(!emitted_, "json::Writer: two top-level values");
+    return;
+  }
+  Level& lv = depth_.back();
+  if (lv.array) {
+    if (!lv.empty) os_ << (lv.compact ? ", " : ",");
+    if (!lv.compact) newline_indent();
+  } else {
+    SCPG_REQUIRE(key_pending_, "json::Writer: object value without key()");
+    key_pending_ = false;
+  }
+  lv.empty = false;
+}
+
+Writer& Writer::key(std::string_view k) {
+  SCPG_REQUIRE(!depth_.empty() && !depth_.back().array,
+               "json::Writer: key() outside an object");
+  SCPG_REQUIRE(!key_pending_, "json::Writer: key() after key()");
+  Level& lv = depth_.back();
+  if (!lv.empty) os_ << (lv.compact ? ", " : ",");
+  if (!lv.compact) newline_indent();
+  lv.empty = false;
+  std::string out;
+  append_quoted(out, k);
+  os_ << out << ": ";
+  key_pending_ = true;
+  return *this;
+}
+
+Writer& Writer::begin_object(Style s) {
+  before_value();
+  // A compact parent forces compact children (one line stays one line).
+  const bool parent_compact = !depth_.empty() && depth_.back().compact;
+  depth_.push_back({false, s == Style::Compact || parent_compact, true});
+  os_ << '{';
+  return *this;
+}
+
+Writer& Writer::end_object() {
+  SCPG_REQUIRE(!depth_.empty() && !depth_.back().array,
+               "json::Writer: end_object() mismatch");
+  SCPG_REQUIRE(!key_pending_, "json::Writer: end_object() after key()");
+  const Level lv = depth_.back();
+  depth_.pop_back();
+  if (!lv.empty && !lv.compact) newline_indent();
+  os_ << '}';
+  emitted_ = true;
+  return *this;
+}
+
+Writer& Writer::begin_array(Style s) {
+  before_value();
+  const bool parent_compact = !depth_.empty() && depth_.back().compact;
+  depth_.push_back({true, s == Style::Compact || parent_compact, true});
+  os_ << '[';
+  return *this;
+}
+
+Writer& Writer::end_array() {
+  SCPG_REQUIRE(!depth_.empty() && depth_.back().array,
+               "json::Writer: end_array() mismatch");
+  const Level lv = depth_.back();
+  depth_.pop_back();
+  if (!lv.empty && !lv.compact) newline_indent();
+  os_ << ']';
+  emitted_ = true;
+  return *this;
+}
+
+Writer& Writer::value(std::string_view v) {
+  before_value();
+  std::string out;
+  append_quoted(out, v);
+  os_ << out;
+  emitted_ = true;
+  return *this;
+}
+
+Writer& Writer::value(double v) {
+  before_value();
+  os_ << number(v);
+  emitted_ = true;
+  return *this;
+}
+
+Writer& Writer::value(std::uint64_t v) {
+  before_value();
+  os_ << v;
+  emitted_ = true;
+  return *this;
+}
+
+Writer& Writer::value(std::int64_t v) {
+  before_value();
+  os_ << v;
+  emitted_ = true;
+  return *this;
+}
+
+Writer& Writer::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+  emitted_ = true;
+  return *this;
+}
+
+Writer& Writer::null() {
+  before_value();
+  os_ << "null";
+  emitted_ = true;
+  return *this;
+}
+
+Writer& Writer::raw(std::string_view json) {
+  before_value();
+  os_ << json;
+  emitted_ = true;
+  return *this;
+}
+
+// --- envelope ---------------------------------------------------------------
+
+void write_envelope_open(Writer& w, std::string_view tool) {
+  w.begin_object();
+  w.key("schema_version").value(std::int64_t(kSchemaVersion));
+  w.key("tool").value(tool);
+}
+
+void write_envelope(std::ostream& os, std::string_view tool,
+                    std::string_view payload_json) {
+  Writer w(os);
+  write_envelope_open(w, tool);
+  w.key("payload").raw(payload_json);
+  w.end_object();
+  os << '\n';
+}
+
+// --- reader -----------------------------------------------------------------
+
+const Value* Value::get(std::string_view k) const {
+  if (type != Type::Object) return nullptr;
+  const auto it = obj.find(std::string(k));
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  Value run() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing content");
+    return v;
+  }
+
+private:
+  [[noreturn]] void fail(const std::string& why) const {
+    int line = 1;
+    for (std::size_t i = 0; i < pos_ && i < s_.size(); ++i)
+      if (s_[i] == '\n') ++line;
+    throw ParseError("json: " + why, "<json>", line);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("unterminated escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+            unsigned code = 0;
+            const auto [p, ec] = std::from_chars(
+                s_.data() + pos_, s_.data() + pos_ + 4, code, 16);
+            if (ec != std::errc() || p != s_.data() + pos_ + 4)
+              fail("bad \\u escape");
+            pos_ += 4;
+            // Keep it simple: BMP code points as UTF-8.
+            if (code < 0x80) {
+              out += char(code);
+            } else if (code < 0x800) {
+              out += char(0xc0 | (code >> 6));
+              out += char(0x80 | (code & 0x3f));
+            } else {
+              out += char(0xe0 | (code >> 12));
+              out += char(0x80 | ((code >> 6) & 0x3f));
+              out += char(0x80 | (code & 0x3f));
+            }
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  Value parse_value() {
+    const char c = peek();
+    Value v;
+    if (c == '{') {
+      ++pos_;
+      v.type = Value::Type::Object;
+      if (peek() == '}') {
+        ++pos_;
+        return v;
+      }
+      while (true) {
+        std::string k = parse_string();
+        expect(':');
+        v.obj.emplace(std::move(k), parse_value());
+        const char n = peek();
+        if (n == ',') {
+          ++pos_;
+          continue;
+        }
+        if (n == '}') {
+          ++pos_;
+          return v;
+        }
+        fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      v.type = Value::Type::Array;
+      if (peek() == ']') {
+        ++pos_;
+        return v;
+      }
+      while (true) {
+        v.arr.push_back(parse_value());
+        const char n = peek();
+        if (n == ',') {
+          ++pos_;
+          continue;
+        }
+        if (n == ']') {
+          ++pos_;
+          return v;
+        }
+        fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      v.type = Value::Type::String;
+      v.str = parse_string();
+      return v;
+    }
+    skip_ws();
+    if (consume_literal("true")) {
+      v.type = Value::Type::Bool;
+      v.b = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      v.type = Value::Type::Bool;
+      v.b = false;
+      return v;
+    }
+    if (consume_literal("null")) return v;
+    // Number.
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("unexpected character");
+    double num = 0;
+    const auto [p, ec] =
+        std::from_chars(s_.data() + start, s_.data() + pos_, num);
+    if (ec != std::errc() || p != s_.data() + pos_) fail("bad number");
+    v.type = Value::Type::Number;
+    v.num = num;
+    return v;
+  }
+
+  std::string_view s_;
+  std::size_t pos_{0};
+};
+
+} // namespace
+
+Value parse(std::string_view text) { return Parser(text).run(); }
+
+} // namespace scpg::json

@@ -1,0 +1,134 @@
+// The one JSON serializer (and a small reader) for the whole repo.
+//
+// Every machine-readable output — `scpgc sweep --json`, `lint --json`,
+// `verify --json`, `fuzz --json`, the fuzz coverage map, and the obs
+// metrics/trace dumps — is rendered through json::Writer and wrapped in
+// the versioned envelope
+//
+//   {"schema_version": 1, "tool": "<producer>", "payload": {...}}
+//
+// so consumers can dispatch on one shape.  The only sanctioned deviation
+// is the Chrome trace dump, which must keep "traceEvents" at the top
+// level to stay loadable in chrome://tracing — write_envelope_open()
+// emits the version/tool keys and leaves the object open for it.
+//
+// Writer is a streaming emitter with explicit begin/end calls; it owns
+// string escaping and locale-independent number formatting (std::to_chars
+// shortest round-trip for doubles, so a value parses back bit-identical).
+// Containers can be opened Pretty (newline + two-space indent per level)
+// or Compact (single line) to keep diffs readable where humans look and
+// lines short where they don't.
+//
+// The reader (json::parse) is a strict recursive-descent parser for the
+// subset JSON actually is — used by tools/trace_check and tests to
+// validate emitted documents structurally, not for config files.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scpg::json {
+
+/// Version of the shared CLI/file envelope (bump on breaking changes).
+inline constexpr int kSchemaVersion = 1;
+
+/// Appends `s` to `out` with JSON string escaping (quotes included).
+void append_quoted(std::string& out, std::string_view s);
+
+/// Locale-independent shortest-round-trip rendering of a double
+/// ("1e+300", "0.1", "-0"); integers render without a trailing ".0".
+[[nodiscard]] std::string number(double v);
+
+class Writer {
+public:
+  enum class Style : std::uint8_t { Pretty, Compact };
+
+  explicit Writer(std::ostream& os) : os_(os) {}
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  // --- containers ---------------------------------------------------------
+  Writer& begin_object(Style s = Style::Pretty);
+  Writer& end_object();
+  Writer& begin_array(Style s = Style::Pretty);
+  Writer& end_array();
+
+  /// Key inside an object; must be followed by exactly one value or
+  /// container.
+  Writer& key(std::string_view k);
+
+  // --- scalar values ------------------------------------------------------
+  Writer& value(std::string_view v);
+  Writer& value(const char* v) { return value(std::string_view(v)); }
+  Writer& value(double v);
+  Writer& value(std::uint64_t v);
+  Writer& value(std::int64_t v);
+  Writer& value(int v) { return value(std::int64_t(v)); }
+  Writer& value(bool v);
+  Writer& null();
+
+  /// Splices pre-rendered JSON as one value (caller guarantees validity).
+  Writer& raw(std::string_view json);
+
+  /// True once every opened container has been closed.
+  [[nodiscard]] bool complete() const { return depth_.empty() && emitted_; }
+
+private:
+  struct Level {
+    bool array{false};
+    bool compact{false};
+    bool empty{true};
+  };
+
+  void before_value();
+  void newline_indent();
+
+  std::ostream& os_;
+  std::vector<Level> depth_;
+  bool key_pending_{false};
+  bool emitted_{false};
+};
+
+/// Emits `{"schema_version": 1, "tool": <tool>,` and leaves the object
+/// open.  The caller writes the remaining keys (normally one `payload`)
+/// and calls end_object().  This is the envelope constructor every JSON
+/// producer goes through.
+void write_envelope_open(Writer& w, std::string_view tool);
+
+/// Convenience: full envelope around one pre-rendered payload object.
+void write_envelope(std::ostream& os, std::string_view tool,
+                    std::string_view payload_json);
+
+// --- reader -----------------------------------------------------------------
+
+/// Parsed JSON value (used by schema checkers and tests; throws
+/// scpg::ParseError on malformed input).
+struct Value {
+  enum class Type : std::uint8_t {
+    Null,
+    Bool,
+    Number,
+    String,
+    Array,
+    Object
+  } type{Type::Null};
+  bool b{false};
+  double num{0};
+  std::string str;
+  std::vector<Value> arr;
+  std::map<std::string, Value> obj;
+
+  [[nodiscard]] bool is(Type t) const { return type == t; }
+  /// Object member or nullptr (also nullptr when not an object).
+  [[nodiscard]] const Value* get(std::string_view k) const;
+};
+
+[[nodiscard]] Value parse(std::string_view text);
+
+} // namespace scpg::json

@@ -6,6 +6,14 @@
 
 namespace scpg {
 
+namespace {
+std::atomic<void (*)(std::size_t)> g_thread_start_hook{nullptr};
+}
+
+void set_thread_start_hook(void (*hook)(std::size_t)) {
+  g_thread_start_hook.store(hook, std::memory_order_relaxed);
+}
+
 int default_jobs() {
   if (const char* env = std::getenv("SCPG_JOBS")) {
     char* end = nullptr;
@@ -21,7 +29,11 @@ ThreadPool::ThreadPool(int jobs) {
   SCPG_REQUIRE(jobs >= 1, "ThreadPool needs at least one worker");
   workers_.reserve(std::size_t(jobs));
   for (int i = 0; i < jobs; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      if (auto* hook = g_thread_start_hook.load(std::memory_order_relaxed))
+        hook(std::size_t(i));
+      worker_loop();
+    });
 }
 
 ThreadPool::~ThreadPool() {

@@ -33,6 +33,14 @@ namespace scpg {
 /// `SCPG_JOBS=8 bench_x` exercise the serial/parallel paths unchanged.
 [[nodiscard]] int default_jobs();
 
+/// Installs a function run at the start of every pool worker thread,
+/// with the worker's index within its pool.  One global slot, plain
+/// function pointer (no capture, no teardown order hazards); pass
+/// nullptr to uninstall.  The obs layer uses this to name each worker's
+/// trace track "worker-k" — util must not depend on obs, so the hook
+/// lives here and obs plugs in.
+void set_thread_start_hook(void (*hook)(std::size_t worker_index));
+
 /// Fixed-size pool of worker threads draining a FIFO task queue.
 /// Tasks must not submit further tasks to the same pool.
 class ThreadPool {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
+#include "obs/obs.hpp"
 #include "scpg/rail_model.hpp"
 #include "util/error.hpp"
 
@@ -18,6 +20,8 @@ CampaignResult run_campaign(Netlist nl, const CampaignOptions& opt) {
   SCPG_REQUIRE(opt.f.v > 0, "campaign needs a nonzero clock frequency");
   SCPG_REQUIRE(opt.warmup_cycles >= 1 && opt.cycles > 0,
                "campaign needs warmup >= 1 and cycles >= 1");
+
+  obs::Scope campaign_scope("verify.campaign", "verify");
 
   CampaignResult res;
   SimConfig cfg = opt.sim;
@@ -168,10 +172,19 @@ CampaignResult run_campaign(Netlist nl, const CampaignOptions& opt) {
     }
   }
 
-  sim.run_until(first_rise + SimTime(total) * T + T / 4);
+  {
+    obs::Scope sim_scope("verify.simulate", "verify");
+    sim.run_until(first_rise + SimTime(total) * T + T / 4);
+  }
 
   res.hazards = mon.log();
   res.cycles_run = mon.cycles_seen();
+  SCPG_OBS_COUNT("verify.campaigns", 1);
+  SCPG_OBS_COUNT("verify.cycles", res.cycles_run);
+  SCPG_OBS_COUNT("verify.hazards", res.hazards.total());
+  SCPG_OBS_COUNT("verify.injected",
+                 (std::accumulate(res.injected.begin(), res.injected.end(),
+                                  std::uint64_t{0})));
   return res;
 }
 

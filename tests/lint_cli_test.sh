@@ -33,7 +33,10 @@ expect_rc 3 "$scpgc" lint --in "$tmp"
 rm -f "$tmp"
 
 # JSON shape (the badpol design has exactly 4 headers -> 4 findings).
+# The report rides inside the versioned scpgc envelope.
 out=$("$scpgc" lint --in "$dir/broken/mult8_badpol.v" --json)
+grep -q '"schema_version": 1' <<<"$out" || fail "json: schema_version"
+grep -q '"tool": "scpgc-lint"' <<<"$out" || fail "json: tool"
 grep -q '"design": "mult8_scpg"' <<<"$out" || fail "json: design key"
 grep -q '"errors": 4' <<<"$out" || fail "json: errors count"
 grep -q '"warnings": 0' <<<"$out" || fail "json: warnings count"

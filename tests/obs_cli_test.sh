@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Pins the scpgc observability contract: the versioned JSON envelope on
+# every subcommand's --json output, --trace/--metrics dump validity
+# (checked structurally by trace_check), byte-identical metric values
+# across --jobs 1 and --jobs 8, and the shared argument parser's usage
+# behaviour (exit 2 on unknown options, --help on every command).
+# Usage: obs_cli_test.sh <scpgc-binary> <examples/netlists-dir> <trace_check>
+set -u
+
+scpgc=$1
+dir=$2
+trace_check=$3
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+fail() { echo "obs_cli_test FAIL: $*" >&2; exit 1; }
+
+expect_rc() { # want-rc command...
+  local want=$1
+  shift
+  "$@" >/dev/null 2>&1
+  local rc=$?
+  [ "$rc" -eq "$want" ] || fail "expected exit $want, got $rc: $*"
+}
+
+envelope() { # tool-name output
+  grep -q '"schema_version": 1' <<<"$2" || fail "$1: schema_version"
+  grep -q "\"tool\": \"$1\"" <<<"$2" || fail "$1: tool field"
+  grep -q '"payload": ' <<<"$2" || fail "$1: payload field"
+}
+
+# --- envelope on every subcommand's --json output --------------------------
+out=$("$scpgc" sweep --in "$dir/mult8_scpg.v" --points 2 --cycles 2 --json) \
+  || fail "sweep --json rc"
+envelope scpgc-sweep "$out"
+grep -q '"rows": \[' <<<"$out" || fail "sweep: rows array"
+
+out=$("$scpgc" verify --in "$dir/mult8_scpg.v" --cycles 4 --json) \
+  || fail "verify --json rc"
+envelope scpgc-verify "$out"
+grep -q '"hazards": ' <<<"$out" || fail "verify: hazards key"
+
+out=$("$scpgc" lint --in "$dir/mult8_scpg.v" --json) || fail "lint --json rc"
+envelope scpgc-lint "$out"
+
+out=$("$scpgc" fuzz --runs 3 --seed 1 --json)
+rc=$?
+[ "$rc" -eq 0 ] || [ "$rc" -eq 1 ] || fail "fuzz --json rc $rc"
+envelope scpgc-fuzz "$out"
+grep -q '"coverage_distinct"' <<<"$out" || fail "fuzz: coverage key"
+
+# --- trace + metrics dumps validated by trace_check ------------------------
+trace="$tmpdir/t.json" metrics="$tmpdir/m.json"
+"$scpgc" sweep --in "$dir/mult8_scpg.v" --points 3 --cycles 2 --jobs 4 \
+  --trace "$trace" --metrics "$metrics" >/dev/null \
+  || fail "traced sweep rc"
+[ -s "$trace" ] || fail "trace file empty"
+[ -s "$metrics" ] || fail "metrics file empty"
+"$trace_check" --expect-tool scpgc-sweep --min-threads 2 "$trace" \
+  || fail "trace_check on trace"
+"$trace_check" --metrics --expect-tool scpgc-sweep "$metrics" \
+  || fail "trace_check on metrics"
+
+# Dumps also land when the command exits 1 (findings are not a crash).
+"$scpgc" lint --in "$dir/broken/mult8_badpol.v" --metrics "$tmpdir/lint.json" \
+  >/dev/null 2>&1
+[ $? -eq 1 ] || fail "lint findings rc with --metrics"
+"$trace_check" --metrics --expect-tool scpgc-lint "$tmpdir/lint.json" \
+  || fail "trace_check on lint metrics"
+
+# --- jobs-invariance: the values section must be byte-identical ------------
+values_of() { sed -n '/"values"/,/"timings"/p' "$1" | sed '$d'; }
+"$scpgc" sweep --in "$dir/mult8_scpg.v" --points 3 --cycles 2 --jobs 1 \
+  --metrics "$tmpdir/m1.json" >/dev/null || fail "jobs 1 sweep"
+"$scpgc" sweep --in "$dir/mult8_scpg.v" --points 3 --cycles 2 --jobs 8 \
+  --metrics "$tmpdir/m8.json" >/dev/null || fail "jobs 8 sweep"
+diff <(values_of "$tmpdir/m1.json") <(values_of "$tmpdir/m8.json") \
+  || fail "metric values differ between --jobs 1 and --jobs 8"
+grep -q '"sim.events"' "$tmpdir/m1.json" || fail "sim.events metric missing"
+
+# --- shared parser: uniform usage handling ---------------------------------
+for cmd in liberty report transform sweep verify lint fuzz; do
+  expect_rc 2 "$scpgc" "$cmd" --definitely-not-an-option
+  "$scpgc" "$cmd" --help | grep -q "usage: scpgc $cmd" \
+    || fail "$cmd --help usage line"
+  expect_rc 0 "$scpgc" "$cmd" --help
+done
+expect_rc 2 "$scpgc"
+expect_rc 2 "$scpgc" not-a-command
+"$scpgc" --help | grep -q "usage: scpgc" || fail "global --help"
+expect_rc 0 "$scpgc" --help
+
+# Options that need a value reject a missing one uniformly.
+expect_rc 2 "$scpgc" sweep --in
+expect_rc 2 "$scpgc" sweep --in "$dir/mult8_scpg.v" --jobs
+
+echo "obs_cli_test: OK"

@@ -3,21 +3,14 @@
 // semantics, and workload activity contrast.
 #include <gtest/gtest.h>
 
-// These tests intentionally keep using measure_average_power — the
-// deprecated compatibility wrapper over the sweep engine — so the
-// wrapper's behaviour stays covered (engine equivalence is pinned in
-// test_engine.cpp).
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-
 #include "cpu/assembler.hpp"
 #include "cpu/core.hpp"
 #include "cpu/iss.hpp"
 #include "cpu/workloads.hpp"
+#include "engine/sweep.hpp"
 #include "gen/mult16.hpp"
 #include "netlist/funcsim.hpp"
 #include "power/power.hpp"
-#include "scpg/measure.hpp"
 #include "scpg/transform.hpp"
 #include "util/rng.hpp"
 
@@ -64,15 +57,16 @@ TEST(Corners, HotSiliconLeaksMoreAndScpgSavesMore) {
   apply_scpg(gated);
   Rng rng(1);
   auto measure = [&](const Netlist& nl, double temp) {
-    MeasureOptions mo;
-    mo.f = 10.0_kHz;
-    mo.sim.corner = {0.6_V, temp};
-    mo.cycles = 8;
-    mo.stimulus = [&rng](Simulator& s, int) {
+    SimConfig cfg;
+    cfg.corner = {0.6_V, temp};
+    engine::SweepSpec spec;
+    spec.design(nl).frequency(10.0_kHz).base_sim(cfg).cycles(8).jobs(1)
+        .use_cache(false);
+    spec.stimulus([&rng](Simulator& s, int, Rng&) {
       s.drive_bus_at(s.now() + to_fs(1.0_ns), "a", rng.bits(8), 8);
       s.drive_bus_at(s.now() + to_fs(1.0_ns), "b", rng.bits(8), 8);
-    };
-    return measure_average_power(nl, mo).avg_power;
+    });
+    return engine::Experiment(std::move(spec)).run()[0].avg_power;
   };
   const double p25 = measure(original, 25.0).v;
   const double p85 = measure(original, 85.0).v;

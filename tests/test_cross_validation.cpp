@@ -4,18 +4,11 @@
 // detailed simulation.
 #include <gtest/gtest.h>
 
-// These tests intentionally keep using measure_average_power — the
-// deprecated compatibility wrapper over the sweep engine — so the
-// wrapper's behaviour stays covered (engine equivalence is pinned in
-// test_engine.cpp).
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-
 #include "cpu/assembler.hpp"
 #include "cpu/core.hpp"
 #include "cpu/workloads.hpp"
+#include "engine/sweep.hpp"
 #include "gen/mult16.hpp"
-#include "scpg/measure.hpp"
 #include "scpg/model.hpp"
 #include "scpg/transform.hpp"
 #include "util/rng.hpp"
@@ -44,16 +37,20 @@ struct MultFixture {
       cfg.corner = {0.6_V, 25.0};
       // Calibrate dynamic energy per cycle in override mode at 1 MHz.
       Rng rng(7);
-      MeasureOptions mo;
-      mo.f = 1.0_MHz;
-      mo.sim = cfg;
-      mo.cycles = 24;
-      mo.override_gating = true;
-      mo.stimulus = [&rng](Simulator& s, int) {
+      engine::SweepSpec spec;
+      spec.design(nl)
+          .frequency(1.0_MHz)
+          .base_sim(cfg)
+          .override_gating(true)
+          .cycles(24)
+          .jobs(1)
+          .use_cache(false);
+      spec.stimulus([&rng](Simulator& s, int, Rng&) {
         s.drive_bus_at(s.now() + to_fs(1.0_ns), "a", rng.bits(16), 16);
         s.drive_bus_at(s.now() + to_fs(1.0_ns), "b", rng.bits(16), 16);
-      };
-      const MeasureResult r = measure_average_power(nl, mo);
+      });
+      const engine::Measurement r =
+          engine::Experiment(std::move(spec)).run()[0];
       const Energy e_dyn{r.tally.dynamic_total().v / double(r.cycles)};
       ScpgPowerModel model = ScpgPowerModel::extract(nl, cfg, e_dyn);
       return MultFixture{std::move(nl), cfg, e_dyn, std::move(model)};
@@ -62,20 +59,23 @@ struct MultFixture {
   }
 };
 
-MeasureResult simulate_mult(const MultFixture& f, Frequency freq,
-                            double duty, bool override_gating) {
+engine::Measurement simulate_mult(const MultFixture& f, Frequency freq,
+                                  double duty, bool override_gating) {
   Rng rng(7);
-  MeasureOptions mo;
-  mo.f = freq;
-  mo.duty_high = duty;
-  mo.sim = f.cfg;
-  mo.cycles = 24;
-  mo.override_gating = override_gating;
-  mo.stimulus = [&rng](Simulator& s, int) {
+  engine::SweepSpec spec;
+  spec.design(f.nl)
+      .frequency(freq)
+      .duty(duty)
+      .base_sim(f.cfg)
+      .override_gating(override_gating)
+      .cycles(24)
+      .jobs(1)
+      .use_cache(false);
+  spec.stimulus([&rng](Simulator& s, int, Rng&) {
     s.drive_bus_at(s.now() + to_fs(1.0_ns), "a", rng.bits(16), 16);
     s.drive_bus_at(s.now() + to_fs(1.0_ns), "b", rng.bits(16), 16);
-  };
-  return measure_average_power(f.nl, mo);
+  });
+  return engine::Experiment(std::move(spec)).run()[0];
 }
 
 class GatedGridTest
@@ -86,7 +86,7 @@ TEST_P(GatedGridTest, AnalyticMatchesSimulatedWithin12Percent) {
   const MultFixture& f = MultFixture::get();
   const Frequency freq{f_mhz * 1e6};
   ASSERT_TRUE(f.model.feasible(freq, duty));
-  const MeasureResult sim = simulate_mult(f, freq, duty, false);
+  const engine::Measurement sim = simulate_mult(f, freq, duty, false);
   const Power model = f.model.average_power_gated(freq, duty);
   EXPECT_NEAR(model.v, sim.avg_power.v, sim.avg_power.v * 0.12)
       << f_mhz << " MHz, duty " << duty;
@@ -105,7 +105,7 @@ TEST_P(OverrideGridTest, UngatedModelMatchesOverrideSimulation) {
   const double f_mhz = GetParam();
   const MultFixture& f = MultFixture::get();
   const Frequency freq{f_mhz * 1e6};
-  const MeasureResult sim = simulate_mult(f, freq, 0.5, true);
+  const engine::Measurement sim = simulate_mult(f, freq, 0.5, true);
   const Power model = f.model.average_power_ungated(freq);
   EXPECT_NEAR(model.v, sim.avg_power.v, sim.avg_power.v * 0.10) << f_mhz;
 }
@@ -121,22 +121,25 @@ TEST(CrossValidation, SavingsTrendMatchesTable1Shape) {
   Netlist original = gen::make_multiplier(lib(), 16);
   auto simulate_original = [&](Frequency freq) {
     Rng rng(7);
-    MeasureOptions mo;
-    mo.f = freq;
-    mo.sim = f.cfg;
-    mo.cycles = 24;
-    mo.stimulus = [&rng](Simulator& s, int) {
+    engine::SweepSpec spec;
+    spec.design(original)
+        .frequency(freq)
+        .base_sim(f.cfg)
+        .cycles(24)
+        .jobs(1)
+        .use_cache(false);
+    spec.stimulus([&rng](Simulator& s, int, Rng&) {
       s.drive_bus_at(s.now() + to_fs(1.0_ns), "a", rng.bits(16), 16);
       s.drive_bus_at(s.now() + to_fs(1.0_ns), "b", rng.bits(16), 16);
-    };
-    return measure_average_power(original, mo);
+    });
+    return engine::Experiment(std::move(spec)).run()[0];
   };
   double prev_saving = 1.0;
   bool went_negative = false;
   for (double fm : {0.01, 0.1, 1.0, 2.0, 5.0, 10.0, 14.3}) {
     const Frequency freq{fm * 1e6};
-    const MeasureResult no_pg = simulate_original(freq);
-    const MeasureResult pg = simulate_mult(f, freq, 0.5, false);
+    const engine::Measurement no_pg = simulate_original(freq);
+    const engine::Measurement pg = simulate_mult(f, freq, 0.5, false);
     const double saving = 1.0 - pg.avg_power.v / no_pg.avg_power.v;
     EXPECT_LT(saving, prev_saving + 0.02) << fm << " MHz";
     prev_saving = saving;
@@ -168,7 +171,7 @@ TEST(CrossValidation, RailVoltageMatchesClosedForm) {
 
 TEST(CrossValidation, EnergyBucketsExplainTotal) {
   const MultFixture& f = MultFixture::get();
-  const MeasureResult r = simulate_mult(f, 1.0_MHz, 0.5, false);
+  const engine::Measurement r = simulate_mult(f, 1.0_MHz, 0.5, false);
   const PowerTally& t = r.tally;
   const double sum = t.dynamic_total().v + t.leakage_total().v +
                      t.gating_overhead().v;
@@ -190,22 +193,25 @@ TEST(CrossValidation, Scm0GatedRunMatchesModelShape) {
   const SimConfig cfg = cpu::scm0_sim_config();
 
   auto run = [&](Frequency freq, bool ovr) {
-    MeasureOptions mo;
-    mo.f = freq;
-    mo.sim = cfg;
-    mo.cycles = 30;
-    mo.override_gating = ovr;
-    mo.setup = [](Simulator& s) {
+    engine::SweepSpec spec;
+    spec.design(gated.netlist)
+        .frequency(freq)
+        .base_sim(cfg)
+        .override_gating(ovr)
+        .cycles(30)
+        .jobs(1)
+        .use_cache(false);
+    spec.setup([](Simulator& s) {
       s.drive_at(0, s.netlist().port_net("rst_n"), Logic::L1);
-    };
-    return measure_average_power(gated.netlist, mo);
+    });
+    return engine::Experiment(std::move(spec)).run()[0];
   };
   // Below convergence gating saves, above it costs.
-  const MeasureResult lo_pg = run(100.0_kHz, false);
-  const MeasureResult lo_no = run(100.0_kHz, true);
+  const engine::Measurement lo_pg = run(100.0_kHz, false);
+  const engine::Measurement lo_no = run(100.0_kHz, true);
   EXPECT_LT(lo_pg.avg_power.v, lo_no.avg_power.v * 0.9);
-  const MeasureResult hi_pg = run(10.0_MHz, false);
-  const MeasureResult hi_no = run(10.0_MHz, true);
+  const engine::Measurement hi_pg = run(10.0_MHz, false);
+  const engine::Measurement hi_no = run(10.0_MHz, true);
   EXPECT_GT(hi_pg.avg_power.v, hi_no.avg_power.v);
 }
 

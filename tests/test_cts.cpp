@@ -7,7 +7,6 @@
 #include "gen/mult16.hpp"
 #include "netlist/cts.hpp"
 #include "netlist/funcsim.hpp"
-#include "scpg/measure.hpp"
 #include "scpg/transform.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"

@@ -1,7 +1,6 @@
 // Tests for the parallel sweep engine (src/engine): SweepSpec expansion,
 // determinism across job counts, the result cache, RNG stream
-// independence, the parallel_map substrate, progress reporting, and
-// equivalence of the deprecated measure_average_power wrapper.
+// independence, the parallel_map substrate, and progress reporting.
 //
 // Every suite name starts with "Engine" so tools/check.sh can run the
 // whole file under ThreadSanitizer with `ctest -R '^Engine'`.
@@ -16,7 +15,6 @@
 #include "engine/cache.hpp"
 #include "engine/sweep.hpp"
 #include "gen/mult16.hpp"
-#include "scpg/measure.hpp"
 #include "scpg/transform.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
@@ -401,38 +399,5 @@ TEST(EngineResult, FindAndAtTag) {
   EXPECT_EQ(res.find("missing"), nullptr);
   EXPECT_THROW((void)res.at_tag("missing"), PreconditionError);
 }
-
-// ---------------------------------------------------------------------------
-// Deprecated wrapper equivalence
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST(EngineWrapper, MeasureAveragePowerMatchesDirectEngineRun) {
-  SimConfig cfg;
-  cfg.corner = {0.6_V, 25.0};
-
-  MeasureOptions mo;
-  mo.f = 1.0_MHz;
-  mo.sim = cfg;
-  mo.cycles = 6;
-  mo.warmup_cycles = 2;
-  const MeasureResult legacy = measure_average_power(mult8_gated(), mo);
-
-  engine::SweepSpec spec;
-  spec.design(mult8_gated())
-      .frequency(1.0_MHz)
-      .base_sim(cfg)
-      .cycles(6, 2)
-      .use_cache(false);
-  const engine::PointResult direct =
-      engine::Experiment(std::move(spec)).run()[0];
-
-  EXPECT_EQ(legacy.avg_power.v, direct.avg_power.v);
-  EXPECT_EQ(legacy.energy_per_cycle.v, direct.energy_per_cycle.v);
-  EXPECT_EQ(legacy.tally.total().v, direct.tally.total().v);
-  EXPECT_EQ(legacy.cycles, direct.cycles);
-}
-#pragma GCC diagnostic pop
 
 } // namespace

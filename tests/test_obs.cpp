@@ -1,0 +1,250 @@
+// Tests for the observability layer (src/obs): registry semantics,
+// histogram bucketing, span nesting in the exported trace, zero side
+// effects while disabled, and the jobs-invariance of value metrics
+// collected from a real engine sweep.
+//
+// Everything here shares the process-global Registry and trace collector,
+// so each test uses its own metric names and resets collection state on
+// entry/exit through the ObsTest fixture.
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "engine/sweep.hpp"
+#include "gen/mult16.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "scpg/transform.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace scpg {
+namespace {
+
+using namespace scpg::literals;
+using obs::Kind;
+using obs::Registry;
+
+const Library& lib() {
+  static const Library l = Library::scpg90();
+  return l;
+}
+
+class ObsTest : public ::testing::Test {
+protected:
+  void SetUp() override { obs::reset(); }
+  void TearDown() override { obs::reset(); }
+};
+
+// ---------------------------------------------------------------------------
+// Registry semantics
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, CounterFindOrCreateAccumulates) {
+  obs::Counter& c = Registry::global().counter("t.reg.counter");
+  c.add(3);
+  Registry::global().counter("t.reg.counter").add(2);
+  EXPECT_EQ(c.value(), 5u);
+  // Same handle after re-lookup: registry owns one instance per name.
+  EXPECT_EQ(&Registry::global().counter("t.reg.counter"), &c);
+}
+
+TEST_F(ObsTest, GaugeLastWriteWins) {
+  obs::Gauge& g = Registry::global().gauge("t.reg.gauge");
+  g.set(1.5);
+  g.set(-2.25);
+  EXPECT_EQ(g.value(), -2.25);
+}
+
+TEST_F(ObsTest, NameIsBoundToFirstTypeAndKind) {
+  (void)Registry::global().counter("t.reg.bound", Kind::Value);
+  // Different type under the same name: rejected.
+  EXPECT_THROW((void)Registry::global().gauge("t.reg.bound"),
+               PreconditionError);
+  // Same type, different kind: also rejected.
+  EXPECT_THROW((void)Registry::global().counter("t.reg.bound", Kind::Timing),
+               PreconditionError);
+  // Exact re-registration is the normal find path.
+  EXPECT_NO_THROW((void)Registry::global().counter("t.reg.bound"));
+}
+
+TEST_F(ObsTest, SnapshotIsNameOrderedAndResetClearsValues) {
+  Registry::global().counter("t.reg.z").add(1);
+  Registry::global().counter("t.reg.a").add(1);
+  const obs::MetricsSnapshot snap = Registry::global().snapshot();
+  std::string prev;
+  bool seen_a = false, seen_z = false;
+  for (const auto& row : snap.counters) {
+    EXPECT_LE(prev, row.name); // std::map iteration order
+    prev = row.name;
+    seen_a |= row.name == "t.reg.a";
+    seen_z |= row.name == "t.reg.z";
+  }
+  EXPECT_TRUE(seen_a && seen_z);
+
+  Registry::global().reset_values();
+  EXPECT_EQ(Registry::global().counter("t.reg.z").value(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram bucketing
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, HistogramBucketsBoundsInclusiveWithOverflow) {
+  obs::Histogram& h =
+      Registry::global().histogram("t.hist.buckets", {1.0, 2.0, 4.0});
+  for (const double v : {0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 100.0}) h.observe(v);
+
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u); // 3 bounds + overflow
+  EXPECT_EQ(buckets[0], 2u);     // 0.5, 1.0   (<= 1)
+  EXPECT_EQ(buckets[1], 2u);     // 1.5, 2.0   (<= 2)
+  EXPECT_EQ(buckets[2], 2u);     // 3.0, 4.0   (<= 4)
+  EXPECT_EQ(buckets[3], 1u);     // 100.0      (overflow)
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 3.0 + 4.0 + 100.0);
+}
+
+TEST_F(ObsTest, HistogramRequiresSortedBounds) {
+  EXPECT_THROW(
+      (void)Registry::global().histogram("t.hist.bad", {2.0, 1.0}),
+      PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// Spans and the exported trace
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, NestedScopesExportContainedCompleteEvents) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "observability compiled out";
+  obs::configure(false, true);
+  {
+    obs::Scope outer("t.span.outer", "test");
+    {
+      obs::Scope inner("t.span.inner", "test");
+      inner.args(R"({"k": 1})");
+    }
+  }
+  obs::configure(false, false);
+  ASSERT_EQ(obs::trace_event_count(), 2u);
+
+  std::ostringstream os;
+  obs::write_trace_json(os, "test-obs");
+  const json::Value doc = json::parse(os.str());
+  ASSERT_TRUE(doc.is(json::Value::Type::Object));
+  EXPECT_EQ(int(doc.get("schema_version")->num), json::kSchemaVersion);
+  EXPECT_EQ(doc.get("tool")->str, "test-obs");
+
+  const json::Value* events = doc.get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  const json::Value* inner = nullptr;
+  const json::Value* outer = nullptr;
+  const json::Value* meta = nullptr;
+  for (const json::Value& e : events->arr) {
+    const std::string ph = e.get("ph")->str;
+    if (ph == "M") meta = &e;
+    else if (e.get("name")->str == "t.span.inner") inner = &e;
+    else if (e.get("name")->str == "t.span.outer") outer = &e;
+  }
+  ASSERT_NE(meta, nullptr); // this thread's thread_name track
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(outer, nullptr);
+  // Nesting: the inner span starts no earlier and ends no later.
+  const double os_ts = outer->get("ts")->num;
+  const double os_end = os_ts + outer->get("dur")->num;
+  const double is_ts = inner->get("ts")->num;
+  const double is_end = is_ts + inner->get("dur")->num;
+  EXPECT_GE(is_ts, os_ts);
+  EXPECT_LE(is_end, os_end);
+  // args splice through verbatim.
+  EXPECT_EQ(int(inner->get("args")->get("k")->num), 1);
+}
+
+TEST_F(ObsTest, ScopeFeedsTimingHistogramWhenMetricsOn) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "observability compiled out";
+  obs::configure(true, false);
+  { obs::Scope s("t.span.timed", "test"); }
+  obs::configure(false, false);
+  obs::Histogram& h = Registry::global().histogram(
+      "t.span.timed.ms", obs::default_ms_bounds(), Kind::Timing);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(obs::trace_event_count(), 0u); // tracing was off
+}
+
+// ---------------------------------------------------------------------------
+// Disabled mode: zero side effects, arguments never evaluated
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, DisabledMacrosHaveNoSideEffects) {
+  ASSERT_FALSE(obs::enabled());
+  int evaluations = 0;
+  const auto costly = [&evaluations] {
+    ++evaluations;
+    return 1;
+  };
+  SCPG_OBS_COUNT("t.disabled.counter", costly());
+  SCPG_OBS_GAUGE("t.disabled.gauge", costly());
+  SCPG_OBS_TIMING_HIST("t.disabled.hist", costly());
+  EXPECT_EQ(evaluations, 0) << "macro arguments ran while disabled";
+
+  { obs::Scope s("t.disabled.span", "test"); }
+  EXPECT_EQ(obs::trace_event_count(), 0u);
+
+  const obs::MetricsSnapshot snap = Registry::global().snapshot();
+  for (const auto& row : snap.counters)
+    EXPECT_TRUE(row.name.rfind("t.disabled.", 0) != 0) << row.name;
+  for (const auto& row : snap.gauges)
+    EXPECT_TRUE(row.name.rfind("t.disabled.", 0) != 0) << row.name;
+  for (const auto& row : snap.histograms)
+    EXPECT_TRUE(row.name.rfind("t.disabled.", 0) != 0) << row.name;
+}
+
+// ---------------------------------------------------------------------------
+// Jobs-invariance of value metrics on a real sweep
+// ---------------------------------------------------------------------------
+
+engine::SweepSpec obs_sweep_spec(const Netlist& nl, int jobs) {
+  engine::SweepSpec spec;
+  spec.design(nl).base_sim(SimConfig{}).cycles(4).jobs(jobs).use_cache(false);
+  for (const double f_mhz : {0.1, 1.0, 5.0}) {
+    engine::OperatingPoint pt;
+    pt.f = Frequency{f_mhz * 1e6};
+    pt.tag = "f:" + std::to_string(f_mhz);
+    spec.point(pt);
+  }
+  return spec;
+}
+
+std::map<std::string, std::uint64_t> value_counters() {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& row : Registry::global().snapshot().counters)
+    if (row.kind == Kind::Value &&
+        (row.name.rfind("sim.", 0) == 0 || row.name.rfind("engine.", 0) == 0))
+      out[row.name] = row.value;
+  return out;
+}
+
+TEST_F(ObsTest, ValueMetricsIdenticalAcrossJobCounts) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "observability compiled out";
+  Netlist nl = gen::make_multiplier(lib(), 8);
+  apply_scpg(nl);
+
+  obs::configure(true, false);
+  (void)engine::Experiment(obs_sweep_spec(nl, 1)).run();
+  const auto serial = value_counters();
+  obs::reset();
+
+  obs::configure(true, false);
+  (void)engine::Experiment(obs_sweep_spec(nl, 8)).run();
+  const auto parallel = value_counters();
+  obs::reset();
+
+  ASSERT_FALSE(serial.empty());
+  EXPECT_GT(serial.at("sim.events"), 0u);
+  EXPECT_EQ(serial, parallel);
+}
+
+} // namespace
+} // namespace scpg

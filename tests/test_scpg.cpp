@@ -1,18 +1,11 @@
 #include <gtest/gtest.h>
 
-// These tests intentionally keep using measure_average_power — the
-// deprecated compatibility wrapper over the sweep engine — so the
-// wrapper's behaviour stays covered (engine equivalence is pinned in
-// test_engine.cpp).
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-
+#include "engine/sweep.hpp"
 #include "gen/mult16.hpp"
 #include "netlist/builder.hpp"
 #include "netlist/funcsim.hpp"
 #include "scpg/analysis.hpp"
 #include "scpg/header_sizing.hpp"
-#include "scpg/measure.hpp"
 #include "scpg/model.hpp"
 #include "scpg/rail_model.hpp"
 #include "scpg/transform.hpp"
@@ -244,15 +237,14 @@ TEST(GatedOperation, MissingIsolationCostsLeakagePower) {
     ScpgOptions opt;
     opt.insert_isolation = iso;
     apply_scpg(nl, opt);
-    MeasureOptions mo;
-    mo.f = 10.0_kHz;
-    mo.cycles = 8;
     Rng rng(4);
-    mo.stimulus = [&rng](Simulator& s, int) {
+    engine::SweepSpec spec;
+    spec.design(nl).frequency(10.0_kHz).cycles(8).jobs(1).use_cache(false);
+    spec.stimulus([&rng](Simulator& s, int, Rng&) {
       s.drive_bus_at(s.now() + to_fs(1.0_us), "a", rng.bits(8), 8);
       s.drive_bus_at(s.now() + to_fs(1.0_us), "b", rng.bits(8), 8);
-    };
-    return measure_average_power(nl, mo).avg_power;
+    });
+    return engine::Experiment(std::move(spec)).run()[0].avg_power;
   };
   EXPECT_GT(avg_power(false).v, avg_power(true).v * 1.05);
 }

@@ -13,6 +13,10 @@
 #   tools/check.sh --lint      # build + scpgc lint over examples/netlists
 #   tools/check.sh --tidy      # clang-tidy pass (skips if not installed)
 #   tools/check.sh --fuzz-smoke# seeded scpgc fuzz budget pass, normal + ASan
+#   tools/check.sh --obs       # observability pass: traced sweep + fuzz
+#                              # smoke validated by trace_check, and the
+#                              # disabled-mode overhead budget (default 5%,
+#                              # override with SCPG_OBS_TOL=<percent>)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -99,6 +103,57 @@ run_lint_pass() {
   echo "=== lint: all example netlists behaved as expected ==="
 }
 
+# Observability pass: the --trace/--metrics plumbing must produce
+# structurally valid dumps on real workloads (a parallel sweep and a fuzz
+# round), and the runtime-disabled macros must stay within SCPG_OBS_TOL
+# percent (default 5) of a build compiled with -DSCPG_OBS=OFF.  The
+# overhead gate is best-of-N on both sides to shrink scheduler noise.
+run_obs_pass() {
+  local tol=${SCPG_OBS_TOL:-5}
+  echo "=== obs: build scpgc + trace_check + bench (build) ==="
+  cmake -B build -S .
+  cmake --build build -j "$jobs" --target scpgc trace_check \
+    bench_obs_overhead
+  local scpgc=build/tools/scpgc check=build/tools/trace_check
+  local tmp
+  tmp=$(mktemp -d)
+  trap 'rm -rf "$tmp"' RETURN
+
+  echo "=== obs: traced parallel sweep ==="
+  # --jobs is pinned (not $jobs): the per-thread-track check below needs a
+  # guaranteed parallel run even on a single-core CI box.
+  "$scpgc" sweep --in examples/netlists/mult8_scpg.v --points 4 --cycles 4 \
+    --jobs 4 --trace "$tmp/sweep_trace.json" \
+    --metrics "$tmp/sweep_metrics.json" >/dev/null
+  "$check" --expect-tool scpgc-sweep --min-threads 2 "$tmp/sweep_trace.json"
+  "$check" --metrics --expect-tool scpgc-sweep "$tmp/sweep_metrics.json"
+
+  echo "=== obs: traced fuzz smoke ==="
+  "$scpgc" fuzz --seed 1 --runs 10 --jobs "$jobs" \
+    --trace "$tmp/fuzz_trace.json" --metrics "$tmp/fuzz_metrics.json" \
+    >/dev/null
+  "$check" --expect-tool scpgc-fuzz "$tmp/fuzz_trace.json"
+  "$check" --metrics --expect-tool scpgc-fuzz "$tmp/fuzz_metrics.json"
+
+  echo "=== obs: build bench (build-noobs, -DSCPG_OBS=OFF) ==="
+  cmake -B build-noobs -S . -DSCPG_OBS=OFF
+  cmake --build build-noobs -j "$jobs" --target bench_obs_overhead
+
+  echo "=== obs: disabled-mode overhead (budget ${tol}%) ==="
+  local with_rate noobs_rate
+  with_rate=$(build/bench/bench_obs_overhead |
+    awk '/cycles_per_sec/ {print $2}')
+  noobs_rate=$(build-noobs/bench/bench_obs_overhead |
+    awk '/cycles_per_sec/ {print $2}')
+  echo "obs-in (disabled): ${with_rate} cycles/s, obs-out: ${noobs_rate}"
+  awk -v a="$with_rate" -v b="$noobs_rate" -v tol="$tol" 'BEGIN {
+    overhead = (b - a) / b * 100.0
+    printf "overhead: %.1f%% (budget %s%%)\n", overhead, tol
+    exit overhead > tol ? 1 : 0
+  }' || { echo "obs: disabled-mode overhead exceeds ${tol}%"; exit 1; }
+  echo "=== obs: pass green ==="
+}
+
 # clang-tidy pass: gated on availability — the CI container may not ship
 # clang-tidy; the pass then reports and succeeds so `all` stays green.
 run_tidy_pass() {
@@ -125,6 +180,7 @@ case "$mode" in
   --lint)     run_lint_pass ;;
   --tidy)     run_tidy_pass ;;
   --fuzz-smoke) run_fuzz_smoke ;;
+  --obs)      run_obs_pass ;;
   all)
     run_pass "normal" build ""
     run_pass "sanitized" build-asan "" -DSCPG_SANITIZE=ON
@@ -132,8 +188,9 @@ case "$mode" in
     run_lint_pass
     run_tidy_pass
     run_fuzz_smoke
+    run_obs_pass
     ;;
-  *) echo "usage: $0 [--fast|--sanitize|--tsan|--lint|--tidy|--fuzz-smoke]" >&2
+  *) echo "usage: $0 [--fast|--sanitize|--tsan|--lint|--tidy|--fuzz-smoke|--obs]" >&2
      exit 2 ;;
 esac
 

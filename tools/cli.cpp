@@ -1,0 +1,112 @@
+#include "cli.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace scpg::cli {
+
+Spec::Spec(std::string command, std::string summary)
+    : command_(std::move(command)), summary_(std::move(summary)) {
+  opt("trace", "FILE", "write a Chrome trace_event JSON profile to FILE");
+  opt("metrics", "FILE", "write collected metrics (JSON envelope) to FILE");
+  flag("json", "machine-readable JSON envelope on stdout");
+  flag("help", "show this usage text");
+}
+
+Spec& Spec::opt(std::string name, std::string value_name, std::string help) {
+  options_.push_back(
+      {std::move(name), std::move(value_name), std::move(help)});
+  return *this;
+}
+
+Spec& Spec::flag(std::string name, std::string help) {
+  options_.push_back({std::move(name), "", std::move(help)});
+  return *this;
+}
+
+Spec& Spec::with_parallelism() {
+  return opt("jobs", "N",
+             "worker threads (default 1; results identical at any value)");
+}
+
+Spec& Spec::with_seed() {
+  return opt("seed", "S", "RNG seed (default 1)");
+}
+
+const OptSpec* Spec::find(std::string_view name) const {
+  for (const OptSpec& o : options_)
+    if (o.name == name) return &o;
+  return nullptr;
+}
+
+std::string Spec::usage() const {
+  std::ostringstream os;
+  os << "usage: scpgc " << command_;
+  for (const OptSpec& o : options_) {
+    os << " [--" << o.name;
+    if (!o.value_name.empty()) os << ' ' << o.value_name;
+    os << ']';
+  }
+  os << "\n  " << summary_ << "\n";
+  std::size_t width = 0;
+  for (const OptSpec& o : options_)
+    width = std::max(width, o.name.size() + o.value_name.size());
+  for (const OptSpec& o : options_) {
+    std::string lhs = "--" + o.name;
+    if (!o.value_name.empty()) lhs += ' ' + o.value_name;
+    os << "  " << lhs << std::string(width + 4 - lhs.size(), ' ') << o.help
+       << "\n";
+  }
+  return os.str();
+}
+
+Parsed Spec::parse(int argc, char** argv, int start) const {
+  Parsed p;
+  for (int i = start; i < argc; ++i) {
+    const std::string_view s = argv[i];
+    if (s.rfind("--", 0) != 0)
+      throw UsageError(command_ + ": unexpected argument '" +
+                       std::string(s) + "'\n" + usage());
+    const std::string key(s.substr(2));
+    const OptSpec* o = find(key);
+    if (o == nullptr)
+      throw UsageError(command_ + ": unknown option --" + key + "\n" +
+                       usage());
+    if (o->value_name.empty()) {
+      p.flags_.push_back(key);
+    } else {
+      if (i + 1 >= argc)
+        throw UsageError(command_ + ": option --" + key + " requires a " +
+                         o->value_name + " value\n" + usage());
+      p.opts_[key] = argv[++i];
+    }
+  }
+  return p;
+}
+
+bool Parsed::has_flag(const std::string& f) const {
+  return std::find(flags_.begin(), flags_.end(), f) != flags_.end();
+}
+
+std::string Parsed::opt(const std::string& k, const std::string& dflt) const {
+  const auto it = opts_.find(k);
+  return it == opts_.end() ? dflt : it->second;
+}
+
+double Parsed::num(const std::string& k, double dflt) const {
+  const auto it = opts_.find(k);
+  if (it == opts_.end()) return dflt;
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(it->second, &used);
+    if (used != it->second.size())
+      throw UsageError("--" + k + ": expected a number, got '" + it->second +
+                       "'");
+    return v;
+  } catch (const std::logic_error&) {
+    throw UsageError("--" + k + ": expected a number, got '" + it->second +
+                     "'");
+  }
+}
+
+} // namespace scpg::cli

@@ -11,7 +11,7 @@
 //                                                  through the parallel
 //                                                  sweep engine (output is
 //                                                  identical at any --jobs)
-//   scpgc verify    --in d.v [options]             fault-injection campaign
+//   scpgc verify    --in d.v [options] [--json]    fault-injection campaign
 //                                                  with runtime hazard
 //                                                  monitors
 //   scpgc lint      --in d.v [--freq-mhz F] [--duty D] [--clock NAME]
@@ -26,25 +26,32 @@
 //                                                  coverage-guided
 //                                                  differential fuzzing of
 //                                                  generated SCPG designs
-//                                                  through four oracles
-//                                                  (diff_sim, rail_timing,
-//                                                  lint_monitor,
-//                                                  metamorphic); mismatches
-//                                                  are delta-debug
-//                                                  minimized and written
-//                                                  under DIR/findings as
-//                                                  reproducer
-//                                                  .fuzz/.v/.stim files.
-//                                                  --inject BUG forces one
-//                                                  bug class (no_isolation,
-//                                                  drop_clamp,
-//                                                  stuck_isolation,
-//                                                  header_polarity,
-//                                                  slow_rail, fast_clock,
-//                                                  output_invert) into
-//                                                  every case and writes
-//                                                  the minimized detected
-//                                                  reproducer into DIR
+//                                                  through four oracles;
+//                                                  mismatches are
+//                                                  delta-debug minimized
+//                                                  and written under
+//                                                  DIR/findings.  --inject
+//                                                  BUG forces one bug class
+//                                                  into every case and
+//                                                  writes the minimized
+//                                                  detected reproducer
+//
+// Every subcommand accepts the global options (see tools/cli.hpp):
+//
+//   --json             machine-readable output: one JSON envelope
+//                      {"schema_version": 1, "tool": "scpgc-<cmd>",
+//                       "payload": {...}} on stdout
+//   --trace FILE       write a Chrome trace_event profile (open in
+//                      chrome://tracing or Perfetto); one track per
+//                      sweep/fuzz worker thread
+//   --metrics FILE     write the collected metrics registry as a JSON
+//                      envelope; "values" are jobs-invariant, "timings"
+//                      are wall-clock
+//   --help             auto-generated per-command usage text
+//
+// `scpgc <command> --help` lists each command's full option set; the
+// option reference is generated from the same cli::Spec declarations
+// that parse the command line.
 //
 // lint exit codes: 0 clean, 1 findings reported, 2 usage, 3 parse error.
 // fuzz exit codes: 0 zero mismatches (with --inject: bug detected),
@@ -52,51 +59,29 @@
 // sweep and verify run the linter as a pre-gate (disable with --no-lint);
 // a lint rejection there exits 5 (flow error).
 //
-// verify options:
-//   --fault LIST           comma-separated fault classes to inject:
-//                          stuck-isolation, delayed-isolation,
-//                          dropped-clamp, slow-rail-restore,
-//                          premature-edge, seu-flip (default: none —
-//                          a clean contract check)
-//   --rate R               fault intensity 0..1 (0 = class default)
-//   --magnitude M          class magnitude (slow-rail-restore Ron derate)
-//   --freq-mhz F           campaign clock (default 1.0)
-//   --duty D               clock duty high (default 0.5)
-//   --cycles N             monitored cycles (default 40)
-//   --warmup N             unmonitored settling cycles (default 6)
-//   --seed S               campaign seed (default 1)
-//   --max-report N         hazard reports to print (default 10)
-//
 // exit codes:
 //   0  success (verify: zero hazards)      1  verify: hazards detected
 //   2  usage error                         3  parse error
 //   4  infeasible design request           5  other flow error
 //   6  unexpected internal error
 //
-// transform options:
-//   --traditional          idle-mode PG baseline instead of SCPG
-//   --clock NAME           clock port (default clk)
-//   --header-drive N       header strength (default 2; 4 for big domains)
-//   --header-count N       parallel headers (default 4)
-//   --no-isolation         ablation: skip output clamps
-//   --no-adaptive          ablation: clock-only isolation release
-//   --split                write the domain-split two-module Verilog
-//   --upf FILE             also write the UPF power intent
-//
 // Netlists must be flat structural Verilog over scpg90 cells (the format
 // written by this library; see examples/design_flow).
 #include <cmath>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "cli.hpp"
 #include "engine/sweep.hpp"
 #include "fuzz/fuzzer.hpp"
 #include "lint/lint.hpp"
 #include "netlist/report.hpp"
 #include "netlist/verilog.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "power/power.hpp"
 #include "scpg/model.hpp"
 #include "scpg/traditional.hpp"
@@ -105,6 +90,7 @@
 #include "sta/sta.hpp"
 #include "tech/liberty.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 #include "verify/campaign.hpp"
 
@@ -112,75 +98,15 @@ using namespace scpg;
 
 namespace {
 
-/// Thrown for malformed command lines; mapped to the usage exit code.
-class UsageError : public Error {
-public:
-  using Error::Error;
-};
-
-struct Args {
-  std::string command;
-  std::map<std::string, std::string> opts;
-  std::vector<std::string> flags;
-
-  [[nodiscard]] bool has_flag(const std::string& f) const {
-    return std::find(flags.begin(), flags.end(), f) != flags.end();
-  }
-  [[nodiscard]] std::string opt(const std::string& k,
-                                const std::string& dflt = {}) const {
-    const auto it = opts.find(k);
-    return it == opts.end() ? dflt : it->second;
-  }
-  [[nodiscard]] double num(const std::string& k, double dflt) const {
-    const auto it = opts.find(k);
-    if (it == opts.end()) return dflt;
-    try {
-      std::size_t used = 0;
-      const double v = std::stod(it->second, &used);
-      if (used != it->second.size())
-        throw UsageError("--" + k + ": expected a number, got '" +
-                         it->second + "'");
-      return v;
-    } catch (const std::logic_error&) {
-      throw UsageError("--" + k + ": expected a number, got '" + it->second +
-                       "'");
-    }
-  }
-};
-
-Args parse_args(int argc, char** argv) {
-  Args a;
-  if (argc >= 2) a.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
-    std::string s = argv[i];
-    if (s.rfind("--", 0) == 0) {
-      const std::string key = s.substr(2);
-      const bool takes_value =
-          key == "in" || key == "out" || key == "upf" || key == "clock" ||
-          key == "vdd" || key == "temp" || key == "header-drive" ||
-          key == "header-count" || key == "activity" || key == "fmax-mhz" ||
-          key == "points" || key == "fault" || key == "rate" ||
-          key == "magnitude" || key == "freq-mhz" || key == "duty" ||
-          key == "cycles" || key == "warmup" || key == "seed" ||
-          key == "max-report" || key == "jobs" || key == "only" ||
-          key == "runs" || key == "time-budget" || key == "corpus" ||
-          key == "inject" || key == "coverage-out";
-      if (takes_value && i + 1 < argc) a.opts[key] = argv[++i];
-      else a.flags.push_back(key);
-    }
-  }
-  return a;
-}
-
 Netlist load(const Library& lib, const std::string& path) {
-  if (path.empty()) throw UsageError("missing required --in FILE");
+  if (path.empty()) throw cli::UsageError("missing required --in FILE");
   std::ifstream in(path);
   if (!in) throw Error("cannot open input netlist: " + path);
   return read_verilog(in, lib, {}, path);
 }
 
-Corner corner_of(const Args& a) {
-  return Corner{Voltage{a.num("vdd", 0.6)}, a.num("temp", 25.0)};
+Corner corner_of(const cli::Parsed& p) {
+  return Corner{Voltage{p.num("vdd", 0.6)}, p.num("temp", 25.0)};
 }
 
 /// Vector-less dynamic energy estimate: every net toggles with
@@ -198,14 +124,130 @@ Energy estimate_dyn(const Netlist& nl, Corner c, double activity) {
   return Energy{e * activity};
 }
 
-int cmd_liberty() {
-  write_liberty(Library::scpg90(), std::cout);
+// --- command specs ----------------------------------------------------------
+//
+// One cli::Spec per subcommand: the declarations below are the single
+// source of truth for parsing, the --help text, and the unknown-option
+// rejection (exit 2) every command now shares.
+
+cli::Spec& with_in(cli::Spec& s) {
+  s.opt("in", "FILE",
+        "input netlist (flat structural Verilog over scpg90 cells)");
+  return s;
+}
+
+cli::Spec& with_corner(cli::Spec& s) {
+  s.opt("vdd", "V", "supply voltage (default 0.6)")
+      .opt("temp", "C", "temperature in Celsius (default 25)");
+  return s;
+}
+
+cli::Spec liberty_spec() {
+  return cli::Spec("liberty", "dump the scpg90 Liberty library to stdout");
+}
+
+cli::Spec report_spec() {
+  cli::Spec s("report", "design statistics, critical path and leakage");
+  with_corner(with_in(s));
+  return s;
+}
+
+cli::Spec transform_spec() {
+  cli::Spec s("transform", "apply SCPG (or traditional) power gating");
+  with_in(s)
+      .opt("out", "FILE", "output netlist (required)")
+      .opt("upf", "FILE", "also write the UPF power intent")
+      .opt("clock", "NAME", "clock port (default clk)")
+      .opt("header-drive", "N",
+           "header strength (default 2; 4 for big domains)")
+      .opt("header-count", "N", "parallel headers (default 4)")
+      .flag("traditional", "idle-mode PG baseline instead of SCPG")
+      .flag("no-isolation", "ablation: skip output clamps")
+      .flag("no-adaptive", "ablation: clock-only isolation release")
+      .flag("split", "write the domain-split two-module Verilog");
+  return s;
+}
+
+cli::Spec sweep_spec() {
+  cli::Spec s("sweep",
+              "power-vs-frequency table: analytic model + simulated "
+              "columns through the parallel sweep engine");
+  with_corner(with_in(s))
+      .opt("clock", "NAME", "clock port (default clk)")
+      .opt("activity", "A", "per-net toggle probability (default 0.15)")
+      .opt("fmax-mhz", "F", "top of the frequency range (default 10)")
+      .opt("points", "N", "operating points, log-spaced (default 12)")
+      .opt("cycles", "N", "measured cycles per point (default 12)")
+      .with_seed()
+      .with_parallelism()
+      .flag("no-lint", "skip the lint pre-gate on swept designs");
+  return s;
+}
+
+cli::Spec verify_spec() {
+  cli::Spec s("verify",
+              "fault-injection campaign with runtime hazard monitors");
+  with_corner(with_in(s))
+      .opt("clock", "NAME", "clock port (default clk)")
+      .opt("fault", "LIST",
+           "comma-separated fault classes: stuck-isolation, "
+           "delayed-isolation, dropped-clamp, slow-rail-restore, "
+           "premature-edge, seu-flip (default: none)")
+      .opt("rate", "R", "fault intensity 0..1 (0 = class default)")
+      .opt("magnitude", "M",
+           "class magnitude (slow-rail-restore Ron derate)")
+      .opt("freq-mhz", "F", "campaign clock (default 1.0)")
+      .opt("duty", "D", "clock duty high (default 0.5)")
+      .opt("cycles", "N", "monitored cycles (default 40)")
+      .opt("warmup", "N", "unmonitored settling cycles (default 6)")
+      .opt("max-report", "N", "hazard reports to print (default 10)")
+      .with_seed()
+      .flag("no-lint", "skip the lint pre-gate");
+  return s;
+}
+
+cli::Spec lint_spec() {
+  cli::Spec s("lint",
+              "static SCPG power-intent and structural analysis "
+              "(rules SCPG001-008)");
+  with_corner(with_in(s))
+      .opt("clock", "NAME", "clock port (default clk)")
+      .opt("freq-mhz", "F",
+           "target frequency for SCPG005 timing feasibility")
+      .opt("duty", "D", "clock duty high for SCPG005 (default 0.5)")
+      .opt("only", "IDS", "comma-separated rule ids to run")
+      .flag("rules", "list the rule table and exit");
+  return s;
+}
+
+cli::Spec fuzz_spec() {
+  cli::Spec s("fuzz",
+              "coverage-guided differential fuzzing of generated SCPG "
+              "designs through four oracles");
+  s.opt("runs", "N", "cases to run (default 200 unless --time-budget)")
+      .opt("time-budget", "SECS", "wall-clock budget instead of a count")
+      .opt("corpus", "DIR", "seed corpus; findings go to DIR/findings")
+      .opt("inject", "BUG",
+           "force one bug class into every case (no_isolation, "
+           "drop_clamp, stuck_isolation, header_polarity, slow_rail, "
+           "fast_clock, output_invert)")
+      .opt("coverage-out", "FILE", "write the coverage map envelope")
+      .with_seed()
+      .with_parallelism()
+      .flag("no-minimize", "skip delta-debug minimization of mismatches");
+  return s;
+}
+
+// --- commands ---------------------------------------------------------------
+
+int cmd_liberty(const Library& lib, const cli::Parsed& /*p*/) {
+  write_liberty(lib, std::cout);
   return 0;
 }
 
-int cmd_report(const Library& lib, const Args& a) {
-  Netlist nl = load(lib, a.opt("in"));
-  const Corner c = corner_of(a);
+int cmd_report(const Library& lib, const cli::Parsed& p) {
+  Netlist nl = load(lib, p.opt("in"));
+  const Corner c = corner_of(p);
   print_stats(compute_stats(nl), std::cout, "design '" + nl.name() + "'");
   std::cout << "\nleakage at " << c.vdd.v << " V / " << c.temp_c
             << " C: " << in_uW(static_leakage(nl, c)) << " uW\n\n";
@@ -215,32 +257,32 @@ int cmd_report(const Library& lib, const Args& a) {
   return 0;
 }
 
-int cmd_transform(const Library& lib, const Args& a) {
-  Netlist nl = load(lib, a.opt("in"));
-  const std::string out = a.opt("out");
+int cmd_transform(const Library& lib, const cli::Parsed& p) {
+  Netlist nl = load(lib, p.opt("in"));
+  const std::string out = p.opt("out");
   if (out.empty()) throw Error("transform requires --out");
 
-  if (a.has_flag("traditional")) {
+  if (p.has_flag("traditional")) {
     TraditionalPgOptions opt;
-    opt.clock_port = a.opt("clock", "clk");
-    opt.header_drive = int(a.num("header-drive", 2));
-    opt.header_count = int(a.num("header-count", 4));
+    opt.clock_port = p.opt("clock", "clk");
+    opt.header_drive = int(p.num("header-drive", 2));
+    opt.header_count = int(p.num("header-count", 4));
     const TraditionalPgInfo info = apply_traditional_pg(nl, opt);
     std::cerr << "traditional PG: " << info.cells_gated << " cells gated, "
               << info.retention_cells << " retention balloons, area +"
               << 100.0 * info.area_overhead() << "%\n";
   } else {
     ScpgOptions opt;
-    opt.clock_port = a.opt("clock", "clk");
-    opt.header_drive = int(a.num("header-drive", 2));
-    opt.header_count = int(a.num("header-count", 4));
-    opt.insert_isolation = !a.has_flag("no-isolation");
-    opt.adaptive_controller = !a.has_flag("no-adaptive");
+    opt.clock_port = p.opt("clock", "clk");
+    opt.header_drive = int(p.num("header-drive", 2));
+    opt.header_count = int(p.num("header-count", 4));
+    opt.insert_isolation = !p.has_flag("no-isolation");
+    opt.adaptive_controller = !p.has_flag("no-adaptive");
     const ScpgInfo info = apply_scpg(nl, opt);
     std::cerr << "SCPG: " << info.cells_gated << " cells gated, "
               << info.isolation_cells << " isolation cells, area +"
               << 100.0 * info.area_overhead() << "%\n";
-    if (const std::string upf = a.opt("upf"); !upf.empty()) {
+    if (const std::string upf = p.opt("upf"); !upf.empty()) {
       std::ofstream uf(upf);
       if (!uf) throw Error("cannot open UPF output: " + upf);
       write_upf(nl, info, uf);
@@ -250,36 +292,37 @@ int cmd_transform(const Library& lib, const Args& a) {
 
   std::ofstream of(out);
   if (!of) throw Error("cannot open output netlist: " + out);
-  write_verilog(nl, of, {.split_domains = a.has_flag("split")});
+  write_verilog(nl, of, {.split_domains = p.has_flag("split")});
   std::cerr << "wrote " << out << "\n";
   return 0;
 }
 
-int cmd_verify(const Library& lib, const Args& a) {
-  Netlist nl = load(lib, a.opt("in"));
+int cmd_verify(const Library& lib, const cli::Parsed& p) {
+  Netlist nl = load(lib, p.opt("in"));
+  const std::string design_name = nl.name();
 
   bool already_gated = false;
   for (std::uint32_t ci = 0; ci < nl.num_cells(); ++ci)
     if (nl.cell(CellId{ci}).domain == Domain::Gated) already_gated = true;
   if (!already_gated) {
     ScpgOptions sopt;
-    sopt.clock_port = a.opt("clock", "clk");
+    sopt.clock_port = p.opt("clock", "clk");
     const ScpgInfo info = apply_scpg(nl, sopt);
     std::cerr << "SCPG applied: " << info.cells_gated << " cells gated, "
               << info.isolation_cells << " isolation cells\n";
   }
 
   verify::CampaignOptions opt;
-  opt.f = Frequency{a.num("freq-mhz", 1.0) * 1e6};
-  opt.duty_high = a.num("duty", 0.5);
-  opt.cycles = int(a.num("cycles", 40));
-  opt.warmup_cycles = int(a.num("warmup", 6));
-  opt.seed = std::uint64_t(a.num("seed", 1));
-  opt.sim.corner = corner_of(a);
-  opt.clock_port = a.opt("clock", "clk");
-  const double rate = a.num("rate", 0.0);
-  const double magnitude = a.num("magnitude", 0.0);
-  std::string list = a.opt("fault");
+  opt.f = Frequency{p.num("freq-mhz", 1.0) * 1e6};
+  opt.duty_high = p.num("duty", 0.5);
+  opt.cycles = int(p.num("cycles", 40));
+  opt.warmup_cycles = int(p.num("warmup", 6));
+  opt.seed = std::uint64_t(p.num("seed", 1));
+  opt.sim.corner = corner_of(p);
+  opt.clock_port = p.opt("clock", "clk");
+  const double rate = p.num("rate", 0.0);
+  const double magnitude = p.num("magnitude", 0.0);
+  std::string list = p.opt("fault");
   while (!list.empty()) {
     const auto comma = list.find(',');
     const std::string name = list.substr(0, comma);
@@ -287,7 +330,7 @@ int cmd_verify(const Library& lib, const Args& a) {
     if (name.empty()) continue;
     const auto fc = verify::fault_class_from_name(name);
     if (!fc)
-      throw UsageError(
+      throw cli::UsageError(
           "unknown fault class '" + name +
           "' (expected stuck-isolation, delayed-isolation, dropped-clamp, "
           "slow-rail-restore, premature-edge or seu-flip)");
@@ -297,7 +340,7 @@ int cmd_verify(const Library& lib, const Args& a) {
   // Static pre-gate: reject designs whose power intent is broken before
   // spending cycles simulating them (a stuck campaign on a mis-clamped
   // design reports hazards, but the linter names the structural cause).
-  if (!a.has_flag("no-lint")) {
+  if (!p.has_flag("no-lint")) {
     lint::LintOptions lopt;
     lopt.clock_port = opt.clock_port;
     lopt.freq = opt.f;
@@ -307,28 +350,63 @@ int cmd_verify(const Library& lib, const Args& a) {
   }
 
   const verify::CampaignResult res = verify::run_campaign(std::move(nl), opt);
-
-  std::cout << "campaign: " << res.cycles_run << " cycles at "
-            << a.num("freq-mhz", 1.0) << " MHz, seed " << opt.seed << "\n";
-  for (int i = 0; i < verify::kNumFaultClasses; ++i)
-    if (res.injected[std::size_t(i)] > 0)
-      std::cout << "  injected " << res.injected[std::size_t(i)] << " x "
-                << verify::fault_class_name(verify::FaultClass(i)) << "\n";
-  if (res.injected_total() == 0) std::cout << "  no faults injected\n";
-  std::cout << "\n" << verify::format_hazard_summary(res.hazards) << "\n";
-  const auto max_report = std::size_t(a.num("max-report", 10));
+  const auto max_report = std::size_t(p.num("max-report", 10));
   const auto& reports = res.hazards.reports();
-  for (std::size_t i = 0; i < reports.size() && i < max_report; ++i)
-    std::cout << verify::format_hazard(reports[i]) << "\n";
-  if (reports.size() > max_report)
-    std::cout << "... " << reports.size() - max_report << " more\n";
+
+  if (p.json()) {
+    json::Writer w(std::cout);
+    json::write_envelope_open(w, "scpgc-verify");
+    w.key("payload").begin_object();
+    w.key("design").value(design_name);
+    w.key("freq_mhz").value(p.num("freq-mhz", 1.0));
+    w.key("cycles_run").value(std::int64_t(res.cycles_run));
+    w.key("seed").value(std::uint64_t(opt.seed));
+    w.key("injected").begin_object(json::Writer::Style::Compact);
+    for (int i = 0; i < verify::kNumFaultClasses; ++i)
+      if (res.injected[std::size_t(i)] > 0)
+        w.key(verify::fault_class_name(verify::FaultClass(i)))
+            .value(res.injected[std::size_t(i)]);
+    w.end_object();
+    w.key("hazards").begin_object();
+    w.key("total").value(std::uint64_t(res.hazards.total()));
+    w.key("dropped").value(std::uint64_t(res.hazards.dropped()));
+    w.key("by_kind").begin_object(json::Writer::Style::Compact);
+    for (int k = 0; k < verify::kNumHazardKinds; ++k)
+      if (res.hazards.count(verify::HazardKind(k)) > 0)
+        w.key(verify::hazard_kind_name(verify::HazardKind(k)))
+            .value(std::uint64_t(res.hazards.count(verify::HazardKind(k))));
+    w.end_object();
+    w.key("reports").begin_array();
+    for (std::size_t i = 0; i < reports.size() && i < max_report; ++i)
+      w.value(verify::format_hazard(reports[i]));
+    w.end_array();
+    w.end_object();
+    w.key("clean").value(!res.detected());
+    w.end_object();
+    w.end_object();
+    std::cout << '\n';
+  } else {
+    std::cout << "campaign: " << res.cycles_run << " cycles at "
+              << p.num("freq-mhz", 1.0) << " MHz, seed " << opt.seed << "\n";
+    for (int i = 0; i < verify::kNumFaultClasses; ++i)
+      if (res.injected[std::size_t(i)] > 0)
+        std::cout << "  injected " << res.injected[std::size_t(i)] << " x "
+                  << verify::fault_class_name(verify::FaultClass(i)) << "\n";
+    if (res.injected_total() == 0) std::cout << "  no faults injected\n";
+    std::cout << "\n" << verify::format_hazard_summary(res.hazards) << "\n";
+    for (std::size_t i = 0; i < reports.size() && i < max_report; ++i)
+      std::cout << verify::format_hazard(reports[i]) << "\n";
+    if (reports.size() > max_report)
+      std::cout << "... " << reports.size() - max_report << " more\n";
+    if (!res.detected())
+      std::cout << "contract clean: no hazards detected\n";
+  }
 
   if (res.detected()) {
     std::cerr << "scpgc: verify: " << res.hazards.total()
               << " hazards detected\n";
     return 1; // kExitHazards (declared below)
   }
-  std::cout << "contract clean: no hazards detected\n";
   return 0; // kExitOk
 }
 
@@ -355,15 +433,14 @@ engine::Stimulus random_stimulus(double activity, std::string clock_port) {
   };
 }
 
-int cmd_sweep(const Library& lib, const Args& a) {
-  Netlist nl = load(lib, a.opt("in"));
-  const Corner c = corner_of(a);
-  const double activity = a.num("activity", 0.15);
-  const int jobs = int(a.num("jobs", 1));
-  const int cycles = int(a.num("cycles", 12));
-  const auto seed = std::uint64_t(a.num("seed", 1));
-  const bool json = a.has_flag("json");
-  const std::string clock_port = a.opt("clock", "clk");
+int cmd_sweep(const Library& lib, const cli::Parsed& p) {
+  Netlist nl = load(lib, p.opt("in"));
+  const Corner c = corner_of(p);
+  const double activity = p.num("activity", 0.15);
+  const int jobs = int(p.num("jobs", 1));
+  const int cycles = int(p.num("cycles", 12));
+  const auto seed = std::uint64_t(p.num("seed", 1));
+  const std::string clock_port = p.opt("clock", "clk");
 
   // Transform a copy if the input is not already gated; the pre-transform
   // netlist is the measured no-gating reference.
@@ -380,8 +457,8 @@ int cmd_sweep(const Library& lib, const Args& a) {
   const Energy e_dyn = estimate_dyn(nl, c, activity);
   const ScpgPowerModel m = ScpgPowerModel::extract(nl, cfg, e_dyn);
 
-  const double fmax_mhz = a.num("fmax-mhz", 10.0);
-  const int points = int(a.num("points", 12));
+  const double fmax_mhz = p.num("fmax-mhz", 10.0);
+  const int points = int(p.num("points", 12));
   std::vector<double> fs_mhz;
   for (int i = 0; i < points; ++i)
     fs_mhz.push_back(fmax_mhz *
@@ -400,19 +477,19 @@ int cmd_sweep(const Library& lib, const Args& a) {
                 "scpgc:rand:a=" + TextTable::num(activity, 4));
   for (std::size_t i = 0; i < fs_mhz.size(); ++i) {
     const Frequency f{fs_mhz[i] * 1e6};
-    engine::OperatingPoint p;
-    p.f = f;
-    p.corner = c;
-    p.seed = seed;
-    p.design = already_gated ? 1 : 0;
-    p.override_gating = already_gated;
-    p.tag = "n:" + std::to_string(i);
-    spec.point(p);
+    engine::OperatingPoint pt;
+    pt.f = f;
+    pt.corner = c;
+    pt.seed = seed;
+    pt.design = already_gated ? 1 : 0;
+    pt.override_gating = already_gated;
+    pt.tag = "n:" + std::to_string(i);
+    spec.point(pt);
     if (m.feasible(f, 0.5)) {
-      p.design = 1;
-      p.override_gating = false;
-      p.tag = "g:" + std::to_string(i);
-      spec.point(p);
+      pt.design = 1;
+      pt.override_gating = false;
+      pt.tag = "g:" + std::to_string(i);
+      spec.point(pt);
     }
   }
   const engine::SweepResult res = engine::Experiment(std::move(spec)).run();
@@ -443,32 +520,38 @@ int cmd_sweep(const Library& lib, const Args& a) {
     rows.push_back(r);
   }
 
-  if (json) {
-    std::cout << "{\n  \"design\": \"" << nl.name() << "\",\n"
-              << "  \"vdd\": " << c.vdd.v << ",\n"
-              << "  \"temp_c\": " << c.temp_c << ",\n"
-              << "  \"activity\": " << activity << ",\n"
-              << "  \"cycles\": " << cycles << ",\n"
-              << "  \"seed\": " << seed << ",\n"
-              << "  \"jobs\": " << jobs << ",\n"
-              << "  \"cache_hits\": " << res.cache_hits() << ",\n"
-              << "  \"rows\": [\n";
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const Row& r = rows[i];
-      std::cout << "    {\"f_mhz\": " << r.f_mhz
-                << ", \"none_uw\": " << r.none_uw << ", \"scpg50_uw\": "
-                << (r.f50 ? std::to_string(r.scpg50_uw) : "null")
-                << ", \"scpgmax_uw\": "
-                << (r.fmax ? std::to_string(r.scpgmax_uw) : "null")
-                << ", \"duty_max\": "
-                << (r.fmax ? std::to_string(r.duty_max) : "null")
-                << ", \"measured_none_uw\": " << r.meas_none_uw
-                << ", \"measured_scpg50_uw\": "
-                << (r.measured50 ? std::to_string(r.meas_scpg50_uw)
-                                 : "null")
-                << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  if (p.json()) {
+    json::Writer w(std::cout);
+    json::write_envelope_open(w, "scpgc-sweep");
+    w.key("payload").begin_object();
+    w.key("design").value(nl.name());
+    w.key("vdd").value(c.vdd.v);
+    w.key("temp_c").value(c.temp_c);
+    w.key("activity").value(activity);
+    w.key("cycles").value(cycles);
+    w.key("seed").value(seed);
+    w.key("jobs").value(jobs);
+    w.key("cache_hits").value(std::uint64_t(res.cache_hits()));
+    w.key("rows").begin_array();
+    for (const Row& r : rows) {
+      w.begin_object(json::Writer::Style::Compact);
+      w.key("f_mhz").value(r.f_mhz);
+      w.key("none_uw").value(r.none_uw);
+      w.key("scpg50_uw");
+      if (r.f50) w.value(r.scpg50_uw); else w.null();
+      w.key("scpgmax_uw");
+      if (r.fmax) w.value(r.scpgmax_uw); else w.null();
+      w.key("duty_max");
+      if (r.fmax) w.value(r.duty_max); else w.null();
+      w.key("measured_none_uw").value(r.meas_none_uw);
+      w.key("measured_scpg50_uw");
+      if (r.measured50) w.value(r.meas_scpg50_uw); else w.null();
+      w.end_object();
     }
-    std::cout << "  ]\n}\n";
+    w.end_array();
+    w.end_object();
+    w.end_object();
+    std::cout << '\n';
     return 0;
   }
 
@@ -489,8 +572,8 @@ int cmd_sweep(const Library& lib, const Args& a) {
   return 0;
 }
 
-int cmd_lint(const Library& lib, const Args& a) {
-  if (a.has_flag("rules")) {
+int cmd_lint(const Library& lib, const cli::Parsed& p) {
+  if (p.has_flag("rules")) {
     TextTable t("SCPG lint rules");
     t.header({"id", "name", "checks that"});
     for (const lint::RuleInfo& r : lint::rules())
@@ -499,14 +582,14 @@ int cmd_lint(const Library& lib, const Args& a) {
     return 0;
   }
 
-  Netlist nl = load(lib, a.opt("in"));
+  Netlist nl = load(lib, p.opt("in"));
   lint::LintOptions opt;
-  opt.clock_port = a.opt("clock", "clk");
-  opt.sim.corner = corner_of(a);
-  opt.duty_high = a.num("duty", 0.5);
-  if (a.opts.count("freq-mhz") > 0)
-    opt.freq = Frequency{a.num("freq-mhz", 1.0) * 1e6};
-  std::string list = a.opt("only");
+  opt.clock_port = p.opt("clock", "clk");
+  opt.sim.corner = corner_of(p);
+  opt.duty_high = p.num("duty", 0.5);
+  if (p.has_opt("freq-mhz"))
+    opt.freq = Frequency{p.num("freq-mhz", 1.0) * 1e6};
+  std::string list = p.opt("only");
   while (!list.empty()) {
     const auto comma = list.find(',');
     const std::string id = list.substr(0, comma);
@@ -515,44 +598,45 @@ int cmd_lint(const Library& lib, const Args& a) {
     bool known = false;
     for (const lint::RuleInfo& r : lint::rules()) known |= r.id == id;
     if (!known)
-      throw UsageError("unknown lint rule '" + id +
-                       "' (see scpgc lint --rules)");
+      throw cli::UsageError("unknown lint rule '" + id +
+                            "' (see scpgc lint --rules)");
     opt.only.push_back(id);
   }
 
   const lint::LintReport rep = lint::run_lint(nl, opt);
-  if (a.has_flag("json")) std::cout << rep.to_json();
-  else std::cout << rep.format_text();
+  if (p.json()) {
+    std::string payload = rep.to_json();
+    while (!payload.empty() && payload.back() == '\n') payload.pop_back();
+    json::write_envelope(std::cout, "scpgc-lint", payload);
+  } else {
+    std::cout << rep.format_text();
+  }
   return rep.clean() ? 0 : 1; // kExitOk / kExitHazards (findings)
 }
 
-int cmd_fuzz(const Library& lib, const Args& a) {
-  // The fuzz exit codes are a pinned contract (0/1/2/6): a typo'd flag
-  // must be a usage error, not a silently ignored full campaign.
-  for (const std::string& f : a.flags)
-    if (f != "json" && f != "no-minimize")
-      throw UsageError("fuzz: unknown option --" + f);
+int cmd_fuzz(const Library& lib, const cli::Parsed& p) {
   fuzz::FuzzOptions opt;
-  opt.seed = std::uint64_t(a.num("seed", 1));
-  opt.runs = int(a.num("runs", a.opts.count("time-budget") ? 0 : 200));
-  opt.time_budget_s = a.num("time-budget", 0.0);
-  opt.jobs = int(a.num("jobs", 0));
-  opt.minimize = !a.has_flag("no-minimize");
-  opt.corpus_dir = a.opt("corpus");
-  opt.coverage_out = a.opt("coverage-out");
-  if (a.opts.count("inject") > 0) {
-    const auto bug = fuzz::bug_from_name(a.opt("inject"));
+  opt.seed = std::uint64_t(p.num("seed", 1));
+  opt.runs = int(p.num("runs", p.has_opt("time-budget") ? 0 : 200));
+  opt.time_budget_s = p.num("time-budget", 0.0);
+  opt.jobs = int(p.num("jobs", 0));
+  opt.minimize = !p.has_flag("no-minimize");
+  opt.corpus_dir = p.opt("corpus");
+  opt.coverage_out = p.opt("coverage-out");
+  if (p.has_opt("inject")) {
+    const auto bug = fuzz::bug_from_name(p.opt("inject"));
     if (!bug || *bug == fuzz::BugKind::None)
-      throw UsageError("--inject: unknown bug class '" + a.opt("inject") +
-                       "' (no_isolation, drop_clamp, stuck_isolation, "
-                       "header_polarity, slow_rail, fast_clock, "
-                       "output_invert)");
+      throw cli::UsageError("--inject: unknown bug class '" +
+                            p.opt("inject") +
+                            "' (no_isolation, drop_clamp, stuck_isolation, "
+                            "header_polarity, slow_rail, fast_clock, "
+                            "output_invert)");
     opt.inject = *bug;
   }
   if (opt.runs <= 0 && opt.time_budget_s <= 0)
-    throw UsageError("fuzz needs --runs N and/or --time-budget SECS");
+    throw cli::UsageError("fuzz needs --runs N and/or --time-budget SECS");
 
-  const bool json = a.has_flag("json");
+  const bool json = p.json();
   const fuzz::FuzzStats st = fuzz::run_fuzz(
       lib, opt, [&](const std::string& line) {
         if (!json) std::cerr << line << '\n';
@@ -560,30 +644,28 @@ int cmd_fuzz(const Library& lib, const Args& a) {
 
   const bool inject_escaped = opt.inject && !st.injected_repro;
   if (json) {
-    const auto esc = [](const std::string& s) {
-      std::string o;
-      for (const char c : s) {
-        if (c == '"' || c == '\\') o += '\\';
-        o += c;
-      }
-      return o;
-    };
-    std::cout << "{\"cases\": " << st.cases << ", \"clean_cases\": "
-              << st.clean_cases << ", \"bug_cases\": " << st.bug_cases
-              << ", \"detected\": " << st.detected << ", \"mismatches\": "
-              << st.mismatches << ", \"minimized\": " << st.minimized
-              << ", \"coverage_distinct\": " << st.coverage.distinct()
-              << ", \"injected_detected\": "
-              << (opt.inject ? (st.injected_repro ? "true" : "false")
-                             : "null")
-              << ", \"mismatch_details\": [";
-    for (std::size_t i = 0; i < st.mismatch_details.size(); ++i)
-      std::cout << (i ? ", " : "") << '"' << esc(st.mismatch_details[i])
-                << '"';
-    std::cout << "], \"saved\": [";
-    for (std::size_t i = 0; i < st.saved.size(); ++i)
-      std::cout << (i ? ", " : "") << '"' << esc(st.saved[i]) << '"';
-    std::cout << "]}\n";
+    json::Writer w(std::cout);
+    json::write_envelope_open(w, "scpgc-fuzz");
+    w.key("payload").begin_object(json::Writer::Style::Compact);
+    w.key("cases").value(st.cases);
+    w.key("clean_cases").value(st.clean_cases);
+    w.key("bug_cases").value(st.bug_cases);
+    w.key("detected").value(st.detected);
+    w.key("mismatches").value(st.mismatches);
+    w.key("minimized").value(st.minimized);
+    w.key("coverage_distinct").value(std::uint64_t(st.coverage.distinct()));
+    w.key("injected_detected");
+    if (opt.inject) w.value(st.injected_repro.has_value());
+    else w.null();
+    w.key("mismatch_details").begin_array();
+    for (const std::string& d : st.mismatch_details) w.value(d);
+    w.end_array();
+    w.key("saved").begin_array();
+    for (const std::string& s : st.saved) w.value(s);
+    w.end_array();
+    w.end_object();
+    w.end_object();
+    std::cout << '\n';
   } else {
     std::cout << "fuzz: " << st.cases << " cases (" << st.clean_cases
               << " clean, " << st.bug_cases << " with injected bugs), "
@@ -619,28 +701,74 @@ constexpr int kExitInfeasible = 4;
 constexpr int kExitError = 5;
 constexpr int kExitInternal = 6;
 
+struct Command {
+  const char* name;
+  cli::Spec (*spec)();
+  int (*run)(const Library&, const cli::Parsed&);
+};
+
+constexpr Command kCommands[] = {
+    {"liberty", liberty_spec, cmd_liberty},
+    {"report", report_spec, cmd_report},
+    {"transform", transform_spec, cmd_transform},
+    {"sweep", sweep_spec, cmd_sweep},
+    {"verify", verify_spec, cmd_verify},
+    {"lint", lint_spec, cmd_lint},
+    {"fuzz", fuzz_spec, cmd_fuzz},
+};
+
+/// Writes the --metrics / --trace files requested on the command line.
+/// Runs after the command body so the dumps see everything it recorded;
+/// hazard/mismatch exits (code 1) still produce them.
+void dump_obs(const cli::Parsed& p, const std::string& command) {
+  const std::string tool = "scpgc-" + command;
+  if (const std::string f = p.metrics_file(); !f.empty()) {
+    std::ofstream os(f);
+    if (!os) throw Error("cannot write metrics to " + f);
+    obs::write_metrics_json(os, tool, obs::Registry::global().snapshot());
+  }
+  if (const std::string f = p.trace_file(); !f.empty()) {
+    std::ofstream os(f);
+    if (!os) throw Error("cannot write trace to " + f);
+    obs::write_trace_json(os, tool);
+  }
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
-  const Args a = parse_args(argc, argv);
+  const std::string command = argc >= 2 ? argv[1] : "";
+  constexpr const char* kGlobalUsage =
+      "usage: scpgc {liberty|report|transform|sweep|verify|lint|fuzz} "
+      "[options]\n"
+      "       scpgc <command> --help for per-command options\n";
+  if (command == "--help" || command == "-h" || command == "help") {
+    std::cout << kGlobalUsage;
+    return kExitOk;
+  }
+  const Command* cmd = nullptr;
+  for (const Command& c : kCommands)
+    if (command == c.name) cmd = &c;
+  if (cmd == nullptr) {
+    std::cerr << kGlobalUsage;
+    return kExitUsage;
+  }
   try {
-    if (a.command == "liberty") return cmd_liberty();
+    const cli::Spec spec = cmd->spec();
+    const cli::Parsed p = spec.parse(argc, argv);
+    if (p.help()) {
+      std::cout << spec.usage();
+      return kExitOk;
+    }
+    obs::configure(!p.metrics_file().empty(), !p.trace_file().empty());
     const Library lib = Library::scpg90();
     // Every Experiment::run() in this process lints its designs first
     // (the engine's injected design gate) unless the user opts out.
-    if (!a.has_flag("no-lint")) lint::install_engine_gate();
-    if (a.command == "report") return cmd_report(lib, a);
-    if (a.command == "transform") return cmd_transform(lib, a);
-    if (a.command == "sweep") return cmd_sweep(lib, a);
-    if (a.command == "verify") return cmd_verify(lib, a);
-    if (a.command == "lint") return cmd_lint(lib, a);
-    if (a.command == "fuzz") return cmd_fuzz(lib, a);
-    std::cerr << "usage: scpgc "
-                 "{liberty|report|transform|sweep|verify|lint|fuzz} "
-                 "[options]\n"
-                 "       (see the header of tools/scpgc.cpp)\n";
-    return kExitUsage;
-  } catch (const UsageError& e) {
+    if (!p.has_flag("no-lint")) lint::install_engine_gate();
+    const int rc = cmd->run(lib, p);
+    dump_obs(p, command);
+    return rc;
+  } catch (const cli::UsageError& e) {
     std::cerr << "scpgc: usage: " << e.what() << '\n';
     return kExitUsage;
   } catch (const ParseError& e) {

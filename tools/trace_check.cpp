@@ -1,0 +1,185 @@
+// trace_check — structural validator for scpgc observability dumps.
+//
+//   trace_check trace.json                 validate a --trace dump
+//   trace_check --metrics metrics.json     validate a --metrics dump
+//   trace_check --expect-tool NAME FILE    additionally pin the envelope
+//                                          "tool" field
+//   trace_check --min-threads N FILE       require span events on at
+//                                          least N distinct threads
+//
+// A --trace file must be one JSON object carrying the shared envelope
+// keys (schema_version, tool) plus the Chrome trace_event "Object
+// Format": a "traceEvents" array of "M" thread_name metadata records and
+// "X" complete events (name, cat, ph, ts, dur, pid, tid), every "X"
+// event's tid named by some "M" record.  A --metrics file must be a full
+// envelope whose payload splits into "values" and "timings" objects.
+//
+// Exit codes: 0 valid, 1 structurally invalid, 2 usage, 3 JSON parse
+// error.  Used by tools/check.sh --obs and tests/obs_cli_test.sh.
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+using scpg::json::Value;
+
+namespace {
+
+int fail(const std::string& why) {
+  std::cerr << "trace_check: " << why << '\n';
+  return 1;
+}
+
+bool is_int(const Value& v) { return v.is(Value::Type::Number); }
+
+/// Envelope keys shared by every dump (trace files keep "traceEvents" at
+/// the top level beside them, so this does not require "payload").
+int check_envelope(const Value& doc, const std::string& expect_tool) {
+  if (!doc.is(Value::Type::Object)) return fail("top level is not an object");
+  const Value* ver = doc.get("schema_version");
+  if (ver == nullptr || !is_int(*ver))
+    return fail("missing numeric schema_version");
+  if (int(ver->num) != scpg::json::kSchemaVersion)
+    return fail("schema_version " + std::to_string(int(ver->num)) +
+                " != " + std::to_string(scpg::json::kSchemaVersion));
+  const Value* tool = doc.get("tool");
+  if (tool == nullptr || !tool->is(Value::Type::String))
+    return fail("missing string tool");
+  if (!expect_tool.empty() && tool->str != expect_tool)
+    return fail("tool '" + tool->str + "' != expected '" + expect_tool +
+                "'");
+  return 0;
+}
+
+int check_metrics(const Value& doc) {
+  const Value* payload = doc.get("payload");
+  if (payload == nullptr || !payload->is(Value::Type::Object))
+    return fail("metrics: missing payload object");
+  for (const char* part : {"values", "timings"}) {
+    const Value* sec = payload->get(part);
+    if (sec == nullptr || !sec->is(Value::Type::Object))
+      return fail(std::string("metrics: payload.") + part +
+                  " is not an object");
+    for (const auto& [name, m] : sec->obj) {
+      if (!m.is(Value::Type::Object))
+        return fail("metrics: " + name + " is not an object");
+      const Value* type = m.get("type");
+      if (type == nullptr || !type->is(Value::Type::String))
+        return fail("metrics: " + name + " has no type");
+    }
+  }
+  return 0;
+}
+
+int check_trace(const Value& doc, int min_threads) {
+  const Value* events = doc.get("traceEvents");
+  if (events == nullptr || !events->is(Value::Type::Array))
+    return fail("trace: missing traceEvents array");
+
+  std::set<int> named_tids;
+  std::set<int> span_tids;
+  std::size_t spans = 0;
+  for (const Value& e : events->arr) {
+    if (!e.is(Value::Type::Object)) return fail("trace: event not an object");
+    const Value* ph = e.get("ph");
+    if (ph == nullptr || !ph->is(Value::Type::String))
+      return fail("trace: event without ph");
+    const Value* tid = e.get("tid");
+    const Value* pid = e.get("pid");
+    if (tid == nullptr || !is_int(*tid) || pid == nullptr || !is_int(*pid))
+      return fail("trace: event without numeric pid/tid");
+    if (ph->str == "M") {
+      const Value* name = e.get("name");
+      if (name == nullptr || name->str != "thread_name")
+        return fail("trace: M event is not thread_name metadata");
+      const Value* args = e.get("args");
+      if (args == nullptr || args->get("name") == nullptr)
+        return fail("trace: thread_name metadata without args.name");
+      named_tids.insert(int(tid->num));
+    } else if (ph->str == "X") {
+      for (const char* k : {"name", "cat"}) {
+        const Value* v = e.get(k);
+        if (v == nullptr || !v->is(Value::Type::String))
+          return fail(std::string("trace: X event without string ") + k);
+      }
+      for (const char* k : {"ts", "dur"}) {
+        const Value* v = e.get(k);
+        if (v == nullptr || !is_int(*v))
+          return fail(std::string("trace: X event without numeric ") + k);
+      }
+      ++spans;
+      span_tids.insert(int(tid->num));
+    } else {
+      return fail("trace: unexpected ph '" + ph->str + "'");
+    }
+  }
+  for (const int tid : span_tids)
+    if (named_tids.count(tid) == 0)
+      return fail("trace: tid " + std::to_string(tid) +
+                  " has spans but no thread_name metadata");
+  if (int(span_tids.size()) < min_threads)
+    return fail("trace: spans on " + std::to_string(span_tids.size()) +
+                " thread(s), expected >= " + std::to_string(min_threads));
+  std::cout << "trace_check: " << spans << " span(s) on "
+            << span_tids.size() << " thread(s), " << named_tids.size()
+            << " named track(s)\n";
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  bool metrics_mode = false;
+  std::string expect_tool;
+  int min_threads = 1;
+  std::string file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--metrics") {
+      metrics_mode = true;
+    } else if (a == "--expect-tool" && i + 1 < argc) {
+      expect_tool = argv[++i];
+    } else if (a == "--min-threads" && i + 1 < argc) {
+      min_threads = std::stoi(argv[++i]);
+    } else if (a.rfind("--", 0) == 0 || !file.empty()) {
+      std::cerr << "usage: trace_check [--metrics] [--expect-tool NAME] "
+                   "[--min-threads N] FILE\n";
+      return 2;
+    } else {
+      file = a;
+    }
+  }
+  if (file.empty()) {
+    std::cerr << "usage: trace_check [--metrics] [--expect-tool NAME] "
+                 "[--min-threads N] FILE\n";
+    return 2;
+  }
+
+  std::ifstream in(file);
+  if (!in) {
+    std::cerr << "trace_check: cannot open " << file << '\n';
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  try {
+    const Value doc = scpg::json::parse(buf.str());
+    if (const int rc = check_envelope(doc, expect_tool); rc != 0) return rc;
+    const int rc = metrics_mode ? check_metrics(doc)
+                                : check_trace(doc, min_threads);
+    if (rc == 0 && metrics_mode)
+      std::cout << "trace_check: metrics envelope valid\n";
+    return rc;
+  } catch (const scpg::ParseError& e) {
+    std::cerr << "trace_check: " << e.what() << '\n';
+    return 3;
+  } catch (const std::exception& e) {
+    std::cerr << "trace_check: " << e.what() << '\n';
+    return 1;
+  }
+}
