@@ -1,0 +1,496 @@
+#include "campaign/coordinator.hpp"
+
+#include <poll.h>
+#include <signal.h>
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "campaign/frame.hpp"
+#include "campaign/journal.hpp"
+#include "campaign/worker.hpp"
+#include "obs/obs.hpp"
+#include "util/error.hpp"
+#include "util/subprocess.hpp"
+
+namespace scpg::campaign {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Range {
+  std::size_t first{0};
+  std::size_t count{0};
+  std::size_t received{0}; ///< rows streamed back in the current attempt
+  int attempts{0}; ///< assignments consumed
+  enum class State { Queued, Running, Done, Poisoned } state{State::Queued};
+  Clock::time_point eligible_at{}; ///< Queued: earliest next assignment
+  Clock::time_point started_at{}; ///< Running: deadline base
+};
+
+struct Worker {
+  Subprocess proc;
+  enum class State { Initializing, Idle, Busy } state{State::Initializing};
+  int range{-1}; ///< index into ranges when Busy
+  std::string buf; ///< unparsed stdout bytes
+  int lineno{0}; ///< frames read, for ParseError locations
+  Clock::time_point last_seen{}; ///< any frame (results count as liveness)
+  bool alive{true};
+};
+
+class Coordinator {
+ public:
+  Coordinator(const CampaignPlan& plan, const CoordinatorOptions& opt)
+      : plan_(plan), opt_(opt) {}
+
+  CampaignOutcome run() {
+    ignore_sigpipe();
+    const std::size_t total = plan_.points().size();
+    outcome_.campaign_digest = plan_.digest;
+    outcome_.results.resize(total);
+    for (std::size_t i = 0; i < total; ++i)
+      outcome_.results[i].point = plan_.points()[i];
+    done_.assign(total, false);
+
+    setup_journal();
+    build_ranges();
+
+    if (opt_.workers <= 0)
+      run_in_process();
+    else
+      supervise();
+
+    journal_.close();
+    finish_outcome();
+    return outcome_;
+  }
+
+ private:
+  // --- setup ----------------------------------------------------------
+
+  void setup_journal() {
+    if (opt_.journal_path.empty()) {
+      SCPG_REQUIRE(!opt_.resume, "--resume requires a journal path");
+      return;
+    }
+    if (!opt_.resume) {
+      journal_.create(opt_.journal_path, plan_);
+      return;
+    }
+    // Resume: strict about complete lines, tolerant about exactly one
+    // torn tail, and bound to this campaign by digest.
+    const JournalContents jc =
+        read_journal(opt_.journal_path, /*allow_torn_tail=*/true);
+    if (jc.campaign_digest != plan_.digest)
+      throw Error("journal " + opt_.journal_path +
+                  " belongs to a different campaign (journal " +
+                  hex64(jc.campaign_digest) + ", current " +
+                  hex64(plan_.digest) + ")");
+    if (jc.total_rows != plan_.points().size())
+      throw Error("journal row count disagrees with campaign");
+    for (const JournalEntry& e : jc.entries) {
+      if (e.point_digest != plan_.experiment->row_digest(e.row))
+        throw ParseError("journal: row " + std::to_string(e.row) +
+                             " digest does not match this campaign",
+                         opt_.journal_path, 0);
+      record_row(e, /*from_journal=*/true);
+      ++outcome_.resumed_skipped;
+      SCPG_OBS_COUNT("campaign.resume_skip", 1);
+    }
+    journal_.open_resume(opt_.journal_path, jc.clean_bytes);
+  }
+
+  void build_ranges() {
+    const std::size_t total = plan_.points().size();
+    const std::size_t shard = std::max<std::size_t>(1, opt_.shard_size);
+    std::size_t i = 0;
+    while (i < total) {
+      if (done_[i]) {
+        ++i;
+        continue;
+      }
+      // Longest run of pending rows starting at i, capped at shard.
+      std::size_t j = i;
+      while (j < total && !done_[j] && j - i < shard) ++j;
+      ranges_.push_back(Range{i, j - i});
+      i = j;
+    }
+  }
+
+  // --- shared row bookkeeping ----------------------------------------
+
+  void record_row(const JournalEntry& e, bool from_journal) {
+    SCPG_REQUIRE(e.row < done_.size() && !done_[e.row],
+                 "coordinator accepted a duplicate row");
+    engine::PointResult& r = outcome_.results[e.row];
+    static_cast<engine::Measurement&>(r) = e.m;
+    r.cache_hit = e.cache_hit;
+    done_[e.row] = true;
+    if (!from_journal && journal_.is_open()) journal_.append(e);
+  }
+
+  // --- in-process reference path -------------------------------------
+
+  void run_in_process() {
+    for (Range& rg : ranges_) {
+      for (std::size_t row = rg.first; row < rg.first + rg.count; ++row) {
+        const engine::PointResult r = plan_.experiment->run_row(row);
+        JournalEntry e;
+        e.row = row;
+        e.point_digest = plan_.experiment->row_digest(row);
+        e.m = r;
+        e.cache_hit = r.cache_hit;
+        record_row(e, /*from_journal=*/false);
+        event("point", 0);
+      }
+      rg.state = Range::State::Done;
+    }
+  }
+
+  // --- multi-process supervision -------------------------------------
+
+  void supervise() {
+    while (!all_settled()) {
+      reap_dead_workers();
+      spawn_workers();
+      check_liveness();
+      assign_ranges();
+      if (all_settled()) break;
+      poll_workers();
+    }
+    shutdown_workers();
+  }
+
+  bool all_settled() const {
+    return std::all_of(ranges_.begin(), ranges_.end(), [](const Range& r) {
+      return r.state == Range::State::Done ||
+             r.state == Range::State::Poisoned;
+    });
+  }
+
+  std::size_t open_ranges() const {
+    return std::size_t(std::count_if(
+        ranges_.begin(), ranges_.end(), [](const Range& r) {
+          return r.state == Range::State::Queued ||
+                 r.state == Range::State::Running;
+        }));
+  }
+
+  void event(const std::string& what, int pid) const {
+    if (opt_.on_event) opt_.on_event(what, pid);
+  }
+
+  void spawn_workers() {
+    const std::size_t want =
+        std::min<std::size_t>(std::size_t(opt_.workers), open_ranges());
+    while (alive_workers() < want) {
+      SpawnOptions so;
+      so.argv = opt_.worker_argv;
+      if (so.argv.empty())
+        so.child_main = [](int in, int out) { return worker_main(in, out); };
+      Worker w;
+      w.proc = spawn_child(so);
+      set_nonblocking(w.proc.stdout_fd);
+      w.last_seen = Clock::now();
+      const bool crash =
+          opt_.worker_crash_at_row &&
+          int(crash_workers_spawned_) < opt_.crash_worker_limit;
+      if (crash) ++crash_workers_spawned_;
+      std::string init = "{\"kind\": \"init\", \"campaign\": \"" +
+                         hex64(plan_.digest) + "\", \"heartbeat_ms\": " +
+                         std::to_string(opt_.heartbeat_ms);
+      if (crash)
+        init += ", \"crash_at_row\": " +
+                std::to_string(*opt_.worker_crash_at_row);
+      init += ", \"spec\": " + to_json(plan_.spec) + "}";
+      if (!write_all(w.proc.stdin_fd, encode_frame(init))) w.alive = false;
+      ++outcome_.workers_spawned;
+      SCPG_OBS_COUNT("campaign.worker_spawn", 1);
+      event("spawn", int(w.proc.pid));
+      workers_.push_back(std::move(w));
+    }
+  }
+
+  std::size_t alive_workers() const {
+    return std::size_t(std::count_if(
+        workers_.begin(), workers_.end(),
+        [](const Worker& w) { return w.alive; }));
+  }
+
+  void assign_ranges() {
+    const Clock::time_point now = Clock::now();
+    for (Worker& w : workers_) {
+      if (!w.alive || w.state != Worker::State::Idle) continue;
+      int best = -1;
+      for (std::size_t ri = 0; ri < ranges_.size(); ++ri) {
+        const Range& rg = ranges_[ri];
+        if (rg.state == Range::State::Queued && rg.eligible_at <= now &&
+            (best < 0 || rg.first < ranges_[std::size_t(best)].first))
+          best = int(ri);
+      }
+      if (best < 0) return;
+      Range& rg = ranges_[std::size_t(best)];
+      const std::string msg =
+          "{\"kind\": \"assign\", \"first\": " + std::to_string(rg.first) +
+          ", \"count\": " + std::to_string(rg.count) + "}";
+      if (!write_all(w.proc.stdin_fd, encode_frame(msg))) {
+        fail_worker(w, "write");
+        continue;
+      }
+      rg.state = Range::State::Running;
+      rg.started_at = now;
+      rg.received = 0;
+      ++rg.attempts;
+      w.state = Worker::State::Busy;
+      w.range = best;
+    }
+  }
+
+  /// Kills (if still running), reaps and retires a failed worker, then
+  /// requeues or poisons the remainder of its range.
+  void fail_worker(Worker& w, const std::string& why) {
+    if (!w.alive) return;
+    if (!wait_child(w.proc.pid, /*block=*/false).has_value()) {
+      kill_child(w.proc.pid, SIGKILL);
+      wait_child(w.proc.pid, /*block=*/true);
+    }
+    close_fd(w.proc.stdin_fd);
+    close_fd(w.proc.stdout_fd);
+    w.alive = false;
+    if (w.state == Worker::State::Initializing) ++init_failures_;
+    settle_failed_range(w);
+    if (init_failures_ >= 3 && alive_workers() == 0)
+      throw Error("campaign workers die before initializing; giving up");
+    (void)why;
+  }
+
+  /// Rows streamed back before the failure are durable; only the
+  /// remainder of the range retries (with backoff) or poisons.
+  void settle_failed_range(Worker& w) {
+    if (w.range < 0) return;
+    Range& rg = ranges_[std::size_t(w.range)];
+    w.range = -1;
+    rg.first += rg.received;
+    rg.count -= rg.received;
+    rg.received = 0;
+    if (rg.count == 0) {
+      rg.state = Range::State::Done;
+    } else if (rg.attempts >= opt_.max_attempts) {
+      rg.state = Range::State::Poisoned;
+      SCPG_OBS_COUNT("campaign.range_poisoned", 1);
+      event("poisoned", int(w.proc.pid));
+    } else {
+      rg.state = Range::State::Queued;
+      rg.eligible_at =
+          Clock::now() + std::chrono::milliseconds(
+                             opt_.backoff_base_ms << (rg.attempts - 1));
+      ++outcome_.retries;
+      SCPG_OBS_COUNT("campaign.range_requeue", 1);
+      event("requeue", int(w.proc.pid));
+    }
+  }
+
+  void reap_dead_workers() {
+    for (Worker& w : workers_) {
+      if (!w.alive) continue;
+      if (wait_child(w.proc.pid, /*block=*/false).has_value()) {
+        // Drain what it managed to write before dying (drain_worker hits
+        // EOF and funnels into fail_worker, whose non-blocking wait on
+        // the already-reaped pid is a no-op).
+        drain_worker(w);
+      }
+    }
+  }
+
+  void check_liveness() {
+    const Clock::time_point now = Clock::now();
+    for (Worker& w : workers_) {
+      if (!w.alive) continue;
+      const auto silent = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              now - w.last_seen)
+                              .count();
+      if (silent > 3LL * opt_.heartbeat_ms) {
+        ++outcome_.heartbeat_misses;
+        SCPG_OBS_COUNT("campaign.heartbeat_miss", 1);
+        event("heartbeat_miss", int(w.proc.pid));
+        fail_worker(w, "heartbeat");
+        continue;
+      }
+      if (w.state == Worker::State::Busy) {
+        const Range& rg = ranges_[std::size_t(w.range)];
+        const auto running =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                now - rg.started_at)
+                .count();
+        if (running > opt_.range_timeout_ms) {
+          ++outcome_.deadline_kills;
+          SCPG_OBS_COUNT("campaign.deadline_kill", 1);
+          event("deadline", int(w.proc.pid));
+          fail_worker(w, "deadline");
+        }
+      }
+    }
+  }
+
+  void poll_workers() {
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      if (!workers_[i].alive) continue;
+      fds.push_back(pollfd{workers_[i].proc.stdout_fd, POLLIN, 0});
+      idx.push_back(i);
+    }
+    if (fds.empty()) return;
+    const int timeout_ms = std::max(10, opt_.heartbeat_ms / 4);
+    const int n = ::poll(fds.data(), nfds_t(fds.size()), timeout_ms);
+    if (n <= 0) return;
+    for (std::size_t k = 0; k < fds.size(); ++k)
+      if (fds[k].revents != 0) drain_worker(workers_[idx[k]]);
+  }
+
+  void drain_worker(Worker& w) {
+    if (!w.alive) return;
+    for (;;) {
+      const int n = read_available(w.proc.stdout_fd, w.buf);
+      if (n < 0) break; // would block; partial line stays buffered
+      if (n == 0) {
+        // EOF before shutdown: the worker is gone.  The reaper (or
+        // fail_worker's kill) settles the pid; requeue now.
+        fail_worker(w, "eof");
+        return;
+      }
+      std::size_t nl;
+      while (w.alive && (nl = w.buf.find('\n')) != std::string::npos) {
+        const std::string line = w.buf.substr(0, nl);
+        w.buf.erase(0, nl + 1);
+        handle_frame(w, line);
+      }
+      if (!w.alive) return;
+    }
+  }
+
+  void handle_frame(Worker& w, const std::string& line) {
+    ++w.lineno;
+    json::Value payload;
+    try {
+      payload = decode_frame(
+          line, "worker-pid-" + std::to_string(w.proc.pid), w.lineno);
+      dispatch_frame(w, payload);
+    } catch (const ParseError&) {
+      // A corrupt or protocol-violating frame poisons the whole stream:
+      // kill the worker and requeue the remainder of its range.
+      SCPG_OBS_COUNT("campaign.corrupt_frame", 1);
+      fail_worker(w, "corrupt-frame");
+    }
+  }
+
+  void dispatch_frame(Worker& w, const json::Value& payload) {
+    const std::string src = "worker-pid-" + std::to_string(w.proc.pid);
+    const json::Value* kind = payload.get("kind");
+    if (kind == nullptr || !kind->is(json::Value::Type::String))
+      throw ParseError("frame has no kind", src, w.lineno);
+    w.last_seen = Clock::now();
+    if (kind->str == "heartbeat") return;
+    if (kind->str == "hello") {
+      if (w.state != Worker::State::Initializing)
+        throw ParseError("unexpected hello", src, w.lineno);
+      const json::Value* d = payload.get("campaign");
+      if (d == nullptr || !d->is(json::Value::Type::String) ||
+          parse_hex64(d->str, src, w.lineno) != plan_.digest)
+        throw ParseError("worker campaign digest mismatch", src, w.lineno);
+      w.state = Worker::State::Idle;
+      init_failures_ = 0;
+      event("hello", int(w.proc.pid));
+      return;
+    }
+    if (kind->str == "point") {
+      if (w.state != Worker::State::Busy)
+        throw ParseError("point frame from idle worker", src, w.lineno);
+      Range& rg = ranges_[std::size_t(w.range)];
+      JournalEntry e = entry_from_payload(payload, src, w.lineno);
+      if (e.row != rg.first + rg.received)
+        throw ParseError("out-of-order row " + std::to_string(e.row), src,
+                         w.lineno);
+      if (e.point_digest != plan_.experiment->row_digest(e.row))
+        throw ParseError("row digest mismatch", src, w.lineno);
+      record_row(e, /*from_journal=*/false);
+      ++rg.received;
+      event("point", int(w.proc.pid));
+      return;
+    }
+    if (kind->str == "done") {
+      if (w.state != Worker::State::Busy)
+        throw ParseError("done frame from idle worker", src, w.lineno);
+      Range& rg = ranges_[std::size_t(w.range)];
+      if (rg.received != rg.count)
+        throw ParseError("done before all rows arrived", src, w.lineno);
+      rg.state = Range::State::Done;
+      w.state = Worker::State::Idle;
+      w.range = -1;
+      event("range_done", int(w.proc.pid));
+      return;
+    }
+    throw ParseError("unknown frame kind \"" + kind->str + "\"", src,
+                     w.lineno);
+  }
+
+  void shutdown_workers() {
+    for (Worker& w : workers_) {
+      if (!w.alive) continue;
+      write_all(w.proc.stdin_fd, encode_frame("{\"kind\": \"shutdown\"}"));
+      close_fd(w.proc.stdin_fd);
+    }
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(2000);
+    for (Worker& w : workers_) {
+      if (!w.alive) continue;
+      for (;;) {
+        if (wait_child(w.proc.pid, /*block=*/false).has_value()) break;
+        if (Clock::now() >= deadline) {
+          kill_child(w.proc.pid, SIGKILL);
+          wait_child(w.proc.pid, /*block=*/true);
+          break;
+        }
+        ::poll(nullptr, 0, 20);
+      }
+      close_fd(w.proc.stdout_fd);
+      w.alive = false;
+    }
+  }
+
+  // --- wrap-up --------------------------------------------------------
+
+  void finish_outcome() {
+    for (const Range& rg : ranges_)
+      if (rg.state == Range::State::Poisoned)
+        for (std::size_t row = rg.first; row < rg.first + rg.count; ++row)
+          outcome_.poisoned_rows.push_back(row);
+    std::sort(outcome_.poisoned_rows.begin(), outcome_.poisoned_rows.end());
+    if (outcome_.poisoned_rows.empty())
+      outcome_.result_digest = result_digest(outcome_.results);
+    SCPG_OBS_GAUGE("campaign.rows_total", outcome_.results.size());
+    SCPG_OBS_GAUGE("campaign.rows_poisoned", outcome_.poisoned_rows.size());
+  }
+
+  const CampaignPlan& plan_;
+  const CoordinatorOptions& opt_;
+  CampaignOutcome outcome_;
+  JournalWriter journal_;
+  std::vector<bool> done_;
+  std::vector<Range> ranges_;
+  std::deque<Worker> workers_;
+  int init_failures_{0};
+  std::size_t crash_workers_spawned_{0};
+};
+
+} // namespace
+
+CampaignOutcome run_campaign(const CampaignPlan& plan,
+                             const CoordinatorOptions& opt) {
+  Coordinator c(plan, opt);
+  return c.run();
+}
+
+} // namespace scpg::campaign

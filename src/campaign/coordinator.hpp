@@ -1,0 +1,93 @@
+// Campaign coordinator: shards an Experiment's rows across supervised
+// worker subprocesses, crash-safe.
+//
+// The coordinator is a single-threaded poll(2) loop — no signals, no
+// threads, no fork-after-pthread hazards.  It owns four pieces of
+// state:
+//
+//   * ranges    — contiguous row chunks in one of four states:
+//                 Queued -> Running -> Done, with the failure edge
+//                 Running -> Queued (retry, exponential backoff) until
+//                 the attempt budget is spent, then -> Poisoned.
+//   * workers   — subprocesses speaking the worker.hpp frame protocol;
+//                 each is Initializing (spawned, no hello yet), Idle,
+//                 or Busy (owns a Running range).
+//   * journal   — optional write-ahead journal (journal.hpp): every
+//                 row result is fsync'd before it is counted done, so
+//                 SIGKILL of the coordinator loses at most one torn
+//                 line that resume discards.
+//   * results   — rows in index order, bit-identical to the in-process
+//                 engine (worker RNG streams are content-keyed).
+//
+// Failure taxonomy, all funneled into the same requeue path:
+//   worker exit/killed       -> remaining rows of its range requeue
+//   heartbeat silence (3x)   -> worker killed, range requeues
+//   per-range deadline       -> worker killed, range requeues
+//   corrupt/unexpected frame -> worker killed, range requeues
+// Rows already streamed back before the failure stay done (and
+// journaled); only the remainder of the range retries.  A range that
+// exhausts max_attempts is Poisoned: the campaign completes every
+// healthy range, reports the poisoned rows, and the CLI exits with the
+// distinct poisoned exit code instead of tearing the whole run down.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hpp"
+#include "engine/sweep.hpp"
+
+namespace scpg::campaign {
+
+struct CoordinatorOptions {
+  int workers{2}; ///< 0 = run in-process (reference path, still journals)
+  int max_attempts{3}; ///< assignment attempts per range before poisoning
+  int heartbeat_ms{250}; ///< worker heartbeat period; miss = 3x silence
+  int range_timeout_ms{60000}; ///< per-assignment deadline
+  int backoff_base_ms{50}; ///< retry backoff: base * 2^(attempt-1)
+  std::size_t shard_size{4}; ///< rows per assignment
+  std::string journal_path; ///< empty = no journal
+  bool resume{false}; ///< journal_path must exist; skip finished rows
+
+  /// Exec-mode worker command (e.g. {"/path/to/scpgc", "worker"}).
+  /// Empty => fork mode: children run worker_main in-process (tests).
+  std::vector<std::string> worker_argv;
+
+  /// Fault injection: the first `crash_worker_limit` spawned workers
+  /// are told to _exit(137) just before this global row index.
+  std::optional<std::size_t> worker_crash_at_row;
+  int crash_worker_limit{0};
+
+  /// Test/observability hook: ("spawn"|"hello"|"point"|"range_done"|
+  /// "requeue"|"poisoned"|"heartbeat_miss"|"deadline", pid).
+  std::function<void(const std::string&, int)> on_event;
+};
+
+struct CampaignOutcome {
+  /// All rows in index order.  Poisoned rows are present but default-
+  /// initialized except for `.point`; check `poisoned_rows`.
+  std::vector<engine::PointResult> results;
+  std::vector<std::size_t> poisoned_rows;
+  std::size_t resumed_skipped{0}; ///< rows satisfied from the journal
+  std::size_t retries{0}; ///< range re-assignments after a failure
+  std::size_t workers_spawned{0};
+  std::size_t heartbeat_misses{0};
+  std::size_t deadline_kills{0};
+  std::uint64_t campaign_digest{0};
+  std::uint64_t result_digest{0}; ///< 0 unless complete()
+
+  [[nodiscard]] bool complete() const { return poisoned_rows.empty(); }
+};
+
+/// Runs the campaign described by `plan` to completion or graceful
+/// degradation.  Throws Error on unrecoverable setup failures (journal
+/// unwritable, resume digest mismatch, workers that can never
+/// initialize); per-range failures degrade to poisoned rows instead.
+[[nodiscard]] CampaignOutcome run_campaign(const CampaignPlan& plan,
+                                           const CoordinatorOptions& opt);
+
+} // namespace scpg::campaign

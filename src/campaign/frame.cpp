@@ -1,0 +1,148 @@
+#include "campaign/frame.hpp"
+
+#include <array>
+#include <bit>
+#include <charconv>
+
+#include "util/error.hpp"
+
+namespace scpg::campaign {
+
+namespace {
+
+constexpr std::string_view kMagic = "SCPGF1";
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    t[i] = c;
+  }
+  return t;
+}
+
+[[noreturn]] void frame_error(const std::string& what,
+                              const std::string& source, int lineno) {
+  throw ParseError(what, source, lineno);
+}
+
+/// Writers emit only lowercase hex; accepting 'A'-'F' would let a
+/// case-flipping corruption (bit 0x20) parse to the same value and slip
+/// past the CRC check when it lands in the CRC field itself.
+bool is_lower_hex(std::string_view s) {
+  for (const char c : s)
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
+  return true;
+}
+
+} // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const char ch : data)
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::string hex64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[std::size_t(i)] = digits[v & 0xF];
+    v >>= 4;
+  }
+  return s;
+}
+
+std::uint64_t parse_hex64(std::string_view s, const std::string& source,
+                          int lineno) {
+  if (s.size() != 16 || !is_lower_hex(s))
+    frame_error("expected 16 lowercase hex digits, got \"" + std::string(s) +
+                    "\"",
+                source, lineno);
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v, 16);
+  if (ec != std::errc() || ptr != s.data() + s.size())
+    frame_error("malformed hex field \"" + std::string(s) + "\"", source,
+                lineno);
+  return v;
+}
+
+std::uint64_t double_bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+double bits_double(std::uint64_t bits) { return std::bit_cast<double>(bits); }
+
+std::string encode_frame(std::string_view payload_json) {
+  std::string envelope = "{\"schema_version\": ";
+  envelope += std::to_string(json::kSchemaVersion);
+  envelope += ", \"tool\": \"";
+  envelope += kFrameTool;
+  envelope += "\", \"payload\": ";
+  envelope += payload_json;
+  envelope += "}";
+  SCPG_REQUIRE(envelope.find('\n') == std::string::npos,
+               "frame payload must not contain raw newlines");
+  std::string out(kMagic);
+  out += ' ';
+  const std::uint32_t c = crc32(envelope);
+  // 8 lowercase hex digits, fixed width.
+  out += hex64(c).substr(8);
+  out += ' ';
+  out += envelope;
+  out += '\n';
+  return out;
+}
+
+json::Value decode_frame(std::string_view line, const std::string& source,
+                         int lineno) {
+  // Shape: "SCPGF1 xxxxxxxx {...}".
+  if (line.size() < kMagic.size() + 1 + 8 + 1 + 2 ||
+      line.substr(0, kMagic.size()) != kMagic ||
+      line[kMagic.size()] != ' ')
+    frame_error("not a campaign frame (bad magic)", source, lineno);
+  const std::string_view crc_text = line.substr(kMagic.size() + 1, 8);
+  if (line[kMagic.size() + 1 + 8] != ' ')
+    frame_error("not a campaign frame (bad CRC field)", source, lineno);
+  std::uint32_t want = 0;
+  {
+    const auto [ptr, ec] = std::from_chars(
+        crc_text.data(), crc_text.data() + crc_text.size(), want, 16);
+    if (ec != std::errc() || ptr != crc_text.data() + crc_text.size() ||
+        !is_lower_hex(crc_text))
+      frame_error("not a campaign frame (bad CRC field)", source, lineno);
+  }
+  const std::string_view envelope = line.substr(kMagic.size() + 1 + 8 + 1);
+  const std::uint32_t got = crc32(envelope);
+  if (got != want)
+    frame_error("frame CRC mismatch (stored " + std::string(crc_text) +
+                    ", computed " + hex64(got).substr(8) + ")",
+                source, lineno);
+
+  json::Value doc;
+  try {
+    doc = json::parse(envelope);
+  } catch (const ParseError& e) {
+    frame_error(std::string("frame JSON invalid: ") + e.what(), source,
+                lineno);
+  }
+  const json::Value* ver = doc.get("schema_version");
+  if (ver == nullptr || !ver->is(json::Value::Type::Number) ||
+      int(ver->num) != json::kSchemaVersion)
+    frame_error("frame envelope has wrong or missing schema_version", source,
+                lineno);
+  const json::Value* tool = doc.get("tool");
+  if (tool == nullptr || !tool->is(json::Value::Type::String) ||
+      tool->str != kFrameTool)
+    frame_error("frame envelope tool is not \"" + std::string(kFrameTool) +
+                    "\"",
+                source, lineno);
+  const json::Value* payload = doc.get("payload");
+  if (payload == nullptr || !payload->is(json::Value::Type::Object))
+    frame_error("frame envelope has no payload object", source, lineno);
+  return *payload;
+}
+
+} // namespace scpg::campaign

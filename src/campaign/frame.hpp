@@ -1,0 +1,62 @@
+// CRC-framed JSON envelope lines: the one wire/disk format of the
+// campaign subsystem.
+//
+// Both transports a campaign runs on — the coordinator<->worker pipe
+// protocol and the write-ahead journal — carry the same unit: one frame
+// per line,
+//
+//   SCPGF1 <crc32:8 lowercase hex> <envelope-json>\n
+//
+// where <envelope-json> is the PR-5 versioned envelope
+// {"schema_version":1,"tool":"scpgc-campaign","payload":{...}} rendered
+// compact (never containing a raw newline) and the CRC-32 (IEEE) covers
+// exactly the envelope text.  A frame is accepted only when the magic,
+// the CRC, the JSON, the envelope version and the tool name all check
+// out; anything else is a located ParseError naming the source (journal
+// path or pipe label) and 1-based line — corrupted bytes can requeue a
+// worker's range or fail a resume loudly, but never crash the
+// coordinator or silently skew a result.
+//
+// Numeric payload fields that must survive the trip bit-exactly (energy
+// tallies, digests) travel as 16-digit lowercase hex of their 64-bit
+// pattern: the determinism contract ("resumed == uninterrupted, byte for
+// byte") must not hinge on decimal round-tripping.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/json.hpp"
+
+namespace scpg::campaign {
+
+/// Tool name stamped into every frame envelope.
+inline constexpr std::string_view kFrameTool = "scpgc-campaign";
+
+/// CRC-32 (IEEE 802.3, reflected) of `data`.
+[[nodiscard]] std::uint32_t crc32(std::string_view data);
+
+/// Wraps a compact payload object in the envelope and frames it.  The
+/// result ends in exactly one '\n'.  `payload_json` must be a valid
+/// compact JSON object (no raw newlines).
+[[nodiscard]] std::string encode_frame(std::string_view payload_json);
+
+/// Decodes one line (without its trailing '\n'): checks magic, CRC and
+/// envelope, and returns the parsed payload.  Throws ParseError with
+/// `source`:`line` on any malformation.
+[[nodiscard]] json::Value decode_frame(std::string_view line,
+                                       const std::string& source, int lineno);
+
+/// 16-digit lowercase hex of a 64-bit value (bit-exact transport).
+[[nodiscard]] std::string hex64(std::uint64_t v);
+
+/// Inverse of hex64; throws ParseError on malformed input.
+[[nodiscard]] std::uint64_t parse_hex64(std::string_view s,
+                                        const std::string& source, int lineno);
+
+/// Bit-pattern helpers for doubles carried through hex64.
+[[nodiscard]] std::uint64_t double_bits(double v);
+[[nodiscard]] double bits_double(std::uint64_t bits);
+
+} // namespace scpg::campaign

@@ -1,0 +1,259 @@
+#include "campaign/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "campaign/frame.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace scpg::campaign {
+
+namespace {
+
+[[noreturn]] void journal_error(const std::string& what,
+                                const std::string& source, int lineno) {
+  throw ParseError("journal: " + what, source, lineno);
+}
+
+std::uint64_t hex_field(const json::Value& v, const char* key,
+                        const std::string& source, int lineno) {
+  const json::Value* f = v.get(key);
+  if (f == nullptr || !f->is(json::Value::Type::String))
+    journal_error(std::string("missing or non-string \"") + key + "\"", source,
+                  lineno);
+  return parse_hex64(f->str, source, lineno);
+}
+
+double hex_double_field(const json::Value& v, const char* key,
+                        const std::string& source, int lineno) {
+  return bits_double(hex_field(v, key, source, lineno));
+}
+
+std::string kind_of(const json::Value& payload, const std::string& source,
+                    int lineno) {
+  const json::Value* kind = payload.get("kind");
+  if (kind == nullptr || !kind->is(json::Value::Type::String))
+    journal_error("frame payload has no \"kind\"", source, lineno);
+  return kind->str;
+}
+
+} // namespace
+
+std::string header_payload(const CampaignPlan& plan) {
+  std::string s = "{\"kind\": \"header\", \"journal_version\": ";
+  s += std::to_string(kJournalVersion);
+  s += ", \"campaign\": \"" + hex64(plan.digest) + "\"";
+  s += ", \"total\": " + std::to_string(plan.points().size());
+  s += ", \"spec\": " + to_json(plan.spec);
+  s += "}";
+  return s;
+}
+
+std::string entry_payload(const JournalEntry& e) {
+  const PowerTally& t = e.m.tally;
+  std::string s = "{\"kind\": \"point\", \"row\": " + std::to_string(e.row);
+  s += ", \"digest\": \"" + hex64(e.point_digest) + "\"";
+  s += ", \"cycles\": " + std::to_string(e.m.cycles);
+  s += ", \"cache_hit\": ";
+  s += e.cache_hit ? "true" : "false";
+  // Bit patterns, not decimal: the resume contract is byte-identity.
+  s += ", \"avg_power\": \"" + hex64(double_bits(e.m.avg_power.v)) + "\"";
+  s += ", \"epc\": \"" + hex64(double_bits(e.m.energy_per_cycle.v)) + "\"";
+  s += ", \"switching\": \"" + hex64(double_bits(t.switching.v)) + "\"";
+  s += ", \"internal\": \"" + hex64(double_bits(t.internal.v)) + "\"";
+  s += ", \"leakage_aon\": \"" + hex64(double_bits(t.leakage_aon.v)) + "\"";
+  s += ", \"leakage_gated\": \"" + hex64(double_bits(t.leakage_gated.v)) +
+       "\"";
+  s += ", \"header_off\": \"" + hex64(double_bits(t.header_off.v)) + "\"";
+  s += ", \"rail_recharge\": \"" + hex64(double_bits(t.rail_recharge.v)) +
+       "\"";
+  s += ", \"crowbar\": \"" + hex64(double_bits(t.crowbar.v)) + "\"";
+  s += ", \"header_gate\": \"" + hex64(double_bits(t.header_gate.v)) + "\"";
+  s += ", \"macro_access\": \"" + hex64(double_bits(t.macro_access.v)) + "\"";
+  s += ", \"window\": \"" + hex64(double_bits(t.window.v)) + "\"";
+  s += "}";
+  return s;
+}
+
+JournalEntry entry_from_payload(const json::Value& payload,
+                                const std::string& source, int lineno) {
+  JournalEntry e;
+  const json::Value* row = payload.get("row");
+  if (row == nullptr || !row->is(json::Value::Type::Number) || row->num < 0)
+    journal_error("point frame has no valid \"row\"", source, lineno);
+  e.row = std::size_t(row->num);
+  e.point_digest = hex_field(payload, "digest", source, lineno);
+  const json::Value* cycles = payload.get("cycles");
+  if (cycles == nullptr || !cycles->is(json::Value::Type::Number))
+    journal_error("point frame has no valid \"cycles\"", source, lineno);
+  e.m.cycles = int(cycles->num);
+  const json::Value* hit = payload.get("cache_hit");
+  if (hit == nullptr || !hit->is(json::Value::Type::Bool))
+    journal_error("point frame has no valid \"cache_hit\"", source, lineno);
+  e.cache_hit = hit->b;
+  e.m.avg_power.v = hex_double_field(payload, "avg_power", source, lineno);
+  e.m.energy_per_cycle.v = hex_double_field(payload, "epc", source, lineno);
+  PowerTally& t = e.m.tally;
+  t.switching.v = hex_double_field(payload, "switching", source, lineno);
+  t.internal.v = hex_double_field(payload, "internal", source, lineno);
+  t.leakage_aon.v = hex_double_field(payload, "leakage_aon", source, lineno);
+  t.leakage_gated.v =
+      hex_double_field(payload, "leakage_gated", source, lineno);
+  t.header_off.v = hex_double_field(payload, "header_off", source, lineno);
+  t.rail_recharge.v =
+      hex_double_field(payload, "rail_recharge", source, lineno);
+  t.crowbar.v = hex_double_field(payload, "crowbar", source, lineno);
+  t.header_gate.v = hex_double_field(payload, "header_gate", source, lineno);
+  t.macro_access.v = hex_double_field(payload, "macro_access", source, lineno);
+  t.window.v = hex_double_field(payload, "window", source, lineno);
+  return e;
+}
+
+JournalContents read_journal(const std::string& path, bool allow_torn_tail) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open journal: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  JournalContents out;
+  std::unordered_set<std::size_t> seen_rows;
+  bool have_header = false;
+  int lineno = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    ++lineno;
+    if (nl == std::string::npos) {
+      // Final line without '\n': the one shape a killed append leaves.
+      if (!allow_torn_tail)
+        journal_error("truncated frame (missing newline)", path, lineno);
+      out.dropped_torn_tail = true;
+      break;
+    }
+    const std::string_view line(text.data() + pos, nl - pos);
+    const json::Value payload = decode_frame(line, path, lineno);
+    const std::string kind = kind_of(payload, path, lineno);
+    if (kind == "header") {
+      if (have_header) journal_error("duplicate header frame", path, lineno);
+      have_header = true;
+      const json::Value* ver = payload.get("journal_version");
+      if (ver == nullptr || !ver->is(json::Value::Type::Number) ||
+          int(ver->num) != kJournalVersion)
+        journal_error("unsupported journal_version (digest scheme mismatch)",
+                      path, lineno);
+      out.campaign_digest = hex_field(payload, "campaign", path, lineno);
+      const json::Value* total = payload.get("total");
+      if (total == nullptr || !total->is(json::Value::Type::Number) ||
+          total->num < 0)
+        journal_error("header has no valid \"total\"", path, lineno);
+      out.total_rows = std::size_t(total->num);
+      const json::Value* spec = payload.get("spec");
+      if (spec == nullptr)
+        journal_error("header has no \"spec\"", path, lineno);
+      out.spec = spec_from_json(*spec, path, lineno);
+    } else if (kind == "point") {
+      if (!have_header)
+        journal_error("point frame before header", path, lineno);
+      JournalEntry e = entry_from_payload(payload, path, lineno);
+      if (e.row >= out.total_rows)
+        journal_error("row " + std::to_string(e.row) +
+                          " out of range (total " +
+                          std::to_string(out.total_rows) + ")",
+                      path, lineno);
+      if (!seen_rows.insert(e.row).second)
+        journal_error("duplicate row " + std::to_string(e.row), path, lineno);
+      out.entries.push_back(std::move(e));
+    } else {
+      journal_error("unknown frame kind \"" + kind + "\"", path, lineno);
+    }
+    pos = nl + 1;
+    out.clean_bytes = pos;
+  }
+  if (!have_header)
+    journal_error("no header frame", path, out.entries.empty() ? 1 : lineno);
+  return out;
+}
+
+JournalWriter::~JournalWriter() { close(); }
+
+void JournalWriter::write_frame(const std::string& frame) {
+  SCPG_REQUIRE(fd_ >= 0, "journal writer is not open");
+  const char* p = frame.data();
+  std::size_t left = frame.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error("journal write failed: " + path_ + ": " +
+                  std::strerror(errno));
+    }
+    p += n;
+    left -= std::size_t(n);
+  }
+  if (::fsync(fd_) != 0)
+    throw Error("journal fsync failed: " + path_ + ": " +
+                std::strerror(errno));
+}
+
+void JournalWriter::create(const std::string& path, const CampaignPlan& plan) {
+  close();
+  path_ = path;
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd_ < 0)
+    throw Error("cannot create journal: " + path + ": " +
+                std::strerror(errno));
+  write_frame(encode_frame(header_payload(plan)));
+}
+
+void JournalWriter::open_resume(const std::string& path,
+                                std::uint64_t clean_bytes) {
+  close();
+  path_ = path;
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd_ < 0)
+    throw Error("cannot open journal for resume: " + path + ": " +
+                std::strerror(errno));
+  // Drop the torn tail before appending, or the first new frame would
+  // concatenate onto half a line and corrupt the journal for good.
+  if (::ftruncate(fd_, off_t(clean_bytes)) != 0 ||
+      ::lseek(fd_, 0, SEEK_END) < 0)
+    throw Error("cannot truncate journal to clean prefix: " + path + ": " +
+                std::strerror(errno));
+}
+
+void JournalWriter::append(const JournalEntry& e) {
+  write_frame(encode_frame(entry_payload(e)));
+}
+
+void JournalWriter::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::uint64_t result_digest(const std::vector<engine::PointResult>& rows) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const engine::PointResult& r = rows[i];
+    Fnv1a h;
+    h.mix(std::uint64_t(i));
+    h.mix(double_bits(r.avg_power.v));
+    h.mix(double_bits(r.energy_per_cycle.v));
+    h.mix(double_bits(r.tally.total().v));
+    h.mix(double_bits(r.tally.window.v));
+    h.mix(std::uint64_t(r.cycles));
+    acc ^= h.digest();
+  }
+  return acc;
+}
+
+} // namespace scpg::campaign

@@ -1,0 +1,103 @@
+// Write-ahead journal: the crash-safety substrate of a campaign.
+//
+// A journal is a plain text file of frames (frame.hpp), one per line:
+// a single header frame binding the file to a campaign (canonical spec
+// JSON, campaign digest, total row count), followed by one point frame
+// per completed row (row index, point digest, bit-exact Measurement).
+// Every append is written with a single write(2) and fsync'd before the
+// coordinator considers the row durable, so after SIGKILL at any moment
+// the file is a clean prefix of frames plus at most one torn final line.
+//
+// Reading has two strictness levels.  Resume (`allow_torn_tail`) drops
+// ONLY a final line that lacks its '\n' — the unique artifact of a
+// killed append — and reports the byte length of the clean prefix so
+// the writer can truncate before continuing.  Any *complete* line that
+// fails to decode (bit flip, truncated tail that still got a newline,
+// hostile edit, wrong campaign digest, duplicate or out-of-range row)
+// is a located ParseError: a corrupt journal fails loudly, it never
+// becomes a silent partial resume.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hpp"
+#include "engine/sweep.hpp"
+
+namespace scpg::campaign {
+
+inline constexpr int kJournalVersion = 1; ///< digest-scheme version
+
+/// One durable row: which point, what it measured.
+struct JournalEntry {
+  std::size_t row{0};
+  std::uint64_t point_digest{0};
+  engine::Measurement m;
+  bool cache_hit{false};
+};
+
+struct JournalContents {
+  CampaignSpec spec;
+  std::uint64_t campaign_digest{0};
+  std::size_t total_rows{0};
+  std::vector<JournalEntry> entries; ///< journal order (append order)
+  std::uint64_t clean_bytes{0}; ///< length of the decodable prefix
+  bool dropped_torn_tail{false};
+};
+
+/// Parses a journal.  With `allow_torn_tail`, a final line missing its
+/// '\n' is dropped (crash artifact) and `clean_bytes` excludes it; in
+/// strict mode it is an error like any other malformation.  Throws
+/// ParseError (located at path:line) on any undecodable complete line,
+/// missing/duplicated header, unknown journal version, duplicate row,
+/// or row index out of range.
+[[nodiscard]] JournalContents read_journal(const std::string& path,
+                                           bool allow_torn_tail);
+
+/// Appends frames with write(2)+fsync(2); one frame per call, so a
+/// crash can tear at most the final line.
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Creates/truncates `path` and writes the header frame.
+  void create(const std::string& path, const CampaignPlan& plan);
+
+  /// Opens an existing journal for resume: truncates to `clean_bytes`
+  /// (discarding a torn tail) and appends from there.
+  void open_resume(const std::string& path, std::uint64_t clean_bytes);
+
+  /// Appends one durable point frame.
+  void append(const JournalEntry& e);
+
+  void close();
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+
+ private:
+  void write_frame(const std::string& frame);
+
+  int fd_{-1};
+  std::string path_;
+};
+
+/// Payload renderers shared with tests and tools/journal_check.
+[[nodiscard]] std::string header_payload(const CampaignPlan& plan);
+[[nodiscard]] std::string entry_payload(const JournalEntry& e);
+
+/// Inverse of entry_payload; throws located ParseError.
+[[nodiscard]] JournalEntry entry_from_payload(const json::Value& payload,
+                                              const std::string& source,
+                                              int lineno);
+
+/// Order-independent digest over a full result set: XOR of per-row
+/// Fnv1a(row, point_digest, measurement bit patterns).  Two campaigns
+/// agree iff every row measured bit-identically.
+[[nodiscard]] std::uint64_t result_digest(
+    const std::vector<engine::PointResult>& rows);
+
+} // namespace scpg::campaign

@@ -1,0 +1,186 @@
+#include "campaign/spec.hpp"
+
+#include <cmath>
+#include <fstream>
+
+#include "campaign/frame.hpp"
+#include "netlist/verilog.hpp"
+#include "scpg/model.hpp"
+#include "scpg/transform.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+#include "util/table.hpp"
+
+namespace scpg::campaign {
+
+namespace {
+
+[[noreturn]] void spec_error(const std::string& what,
+                             const std::string& source, int lineno) {
+  throw ParseError("campaign spec: " + what, source, lineno);
+}
+
+double num_field(const json::Value& v, const char* key,
+                 const std::string& source, int lineno) {
+  const json::Value* f = v.get(key);
+  if (f == nullptr || !f->is(json::Value::Type::Number))
+    spec_error(std::string("missing or non-numeric \"") + key + "\"", source,
+               lineno);
+  return f->num;
+}
+
+std::string str_field(const json::Value& v, const char* key,
+                      const std::string& source, int lineno) {
+  const json::Value* f = v.get(key);
+  if (f == nullptr || !f->is(json::Value::Type::String))
+    spec_error(std::string("missing or non-string \"") + key + "\"", source,
+               lineno);
+  return f->str;
+}
+
+} // namespace
+
+std::string to_json(const CampaignSpec& spec) {
+  std::string s = "{\"netlist\": ";
+  json::append_quoted(s, spec.netlist_path);
+  s += ", \"vdd\": " + json::number(spec.vdd);
+  s += ", \"temp_c\": " + json::number(spec.temp_c);
+  s += ", \"activity\": " + json::number(spec.activity);
+  s += ", \"fmax_mhz\": " + json::number(spec.fmax_mhz);
+  s += ", \"points\": " + std::to_string(spec.points);
+  s += ", \"cycles\": " + std::to_string(spec.cycles);
+  // Hex, not a JSON number: 64-bit seeds must not round through double.
+  s += ", \"seed\": \"" + hex64(spec.seed) + "\"";
+  s += ", \"clock\": ";
+  json::append_quoted(s, spec.clock_port);
+  s += "}";
+  return s;
+}
+
+CampaignSpec spec_from_json(const json::Value& v, const std::string& source,
+                            int lineno) {
+  if (!v.is(json::Value::Type::Object))
+    spec_error("not an object", source, lineno);
+  CampaignSpec spec;
+  spec.netlist_path = str_field(v, "netlist", source, lineno);
+  spec.vdd = num_field(v, "vdd", source, lineno);
+  spec.temp_c = num_field(v, "temp_c", source, lineno);
+  spec.activity = num_field(v, "activity", source, lineno);
+  spec.fmax_mhz = num_field(v, "fmax_mhz", source, lineno);
+  spec.points = int(num_field(v, "points", source, lineno));
+  spec.cycles = int(num_field(v, "cycles", source, lineno));
+  spec.seed = parse_hex64(str_field(v, "seed", source, lineno), source, lineno);
+  spec.clock_port = str_field(v, "clock", source, lineno);
+  if (spec.points < 2) spec_error("\"points\" must be >= 2", source, lineno);
+  if (spec.cycles < 1) spec_error("\"cycles\" must be >= 1", source, lineno);
+  if (spec.fmax_mhz <= 0 || spec.vdd <= 0)
+    spec_error("\"fmax_mhz\" and \"vdd\" must be positive", source, lineno);
+  return spec;
+}
+
+engine::Stimulus random_stimulus(double activity, std::string clock_port) {
+  using namespace scpg::literals;
+  return [activity, clock_port = std::move(clock_port)](Simulator& s,
+                                                        int cycle,
+                                                        Rng& rng) {
+    const Netlist& nl = s.netlist();
+    for (const Port& p : nl.ports()) {
+      if (p.dir != PortDir::In) continue;
+      if (p.name == clock_port || p.name == "override_n" ||
+          p.name == "rst_n")
+        continue;
+      // Every input is pinned on the first cycle (no X floats into the
+      // measurement window); afterwards bits re-toggle at `activity`.
+      if (cycle == 0 || rng.uniform() < activity)
+        s.drive_at(s.now() + to_fs(1.0_ns), p.net,
+                   rng.bits(1) ? Logic::L1 : Logic::L0);
+    }
+  };
+}
+
+std::string random_stimulus_key(double activity) {
+  return "scpgc:rand:a=" + TextTable::num(activity, 4);
+}
+
+Energy estimate_dynamic_energy(const Netlist& nl, Corner c, double activity) {
+  const double escale = nl.lib().tech().energy_scale(c);
+  double e = 0;
+  for (std::uint32_t ni = 0; ni < nl.num_nets(); ++ni) {
+    const NetId n{ni};
+    e += 0.5 * nl.net_load(n).v * c.vdd.v * c.vdd.v;
+    const Net& net = nl.net(n);
+    if (net.driven_by_cell() && !nl.cell(net.driver_cell).is_macro())
+      e += nl.spec_of(net.driver_cell).internal_energy.v * escale;
+  }
+  return Energy{e * activity};
+}
+
+CampaignPlan build_campaign(const Library& lib, const CampaignSpec& spec) {
+  SCPG_REQUIRE(spec.points >= 2, "campaign needs at least 2 grid points");
+  SCPG_REQUIRE(spec.cycles >= 1, "campaign needs at least 1 measured cycle");
+  std::ifstream in(spec.netlist_path);
+  if (!in) throw Error("cannot open input netlist: " + spec.netlist_path);
+  Netlist loaded = read_verilog(in, lib, {}, spec.netlist_path);
+
+  CampaignPlan plan;
+  plan.spec = spec;
+  plan.design_name = loaded.name();
+
+  bool already_gated = false;
+  for (std::uint32_t ci = 0; ci < loaded.num_cells(); ++ci)
+    if (loaded.cell(CellId{ci}).domain == Domain::Gated) already_gated = true;
+  plan.original = std::make_unique<Netlist>(loaded);
+  plan.gated = std::make_unique<Netlist>(std::move(loaded));
+  if (!already_gated) {
+    ScpgOptions sopt;
+    sopt.clock_port = spec.clock_port;
+    apply_scpg(*plan.gated, sopt);
+  }
+
+  const Corner c{Voltage{spec.vdd}, spec.temp_c};
+  SimConfig cfg;
+  cfg.corner = c;
+  const Energy e_dyn = estimate_dynamic_energy(*plan.gated, c, spec.activity);
+  const ScpgPowerModel model = ScpgPowerModel::extract(*plan.gated, cfg, e_dyn);
+
+  engine::SweepSpec sweep;
+  sweep.design(*plan.original, "original").design(*plan.gated, "gated");
+  sweep.base_sim(cfg)
+      .cycles(spec.cycles)
+      .clock_port(spec.clock_port)
+      .jobs(1)
+      .stimulus(random_stimulus(spec.activity, spec.clock_port),
+                random_stimulus_key(spec.activity));
+  for (int i = 0; i < spec.points; ++i) {
+    const double f_mhz =
+        spec.fmax_mhz *
+        std::pow(10.0, -3.0 + 3.0 * double(i) / (spec.points - 1));
+    const Frequency f{f_mhz * 1e6};
+    engine::OperatingPoint pt;
+    pt.f = f;
+    pt.corner = c;
+    pt.seed = spec.seed;
+    pt.design = already_gated ? 1 : 0;
+    pt.override_gating = already_gated;
+    pt.tag = "n:" + std::to_string(i);
+    sweep.point(pt);
+    if (model.feasible(f, 0.5)) {
+      pt.design = 1;
+      pt.override_gating = false;
+      pt.tag = "g:" + std::to_string(i);
+      sweep.point(pt);
+    }
+  }
+  plan.experiment = std::make_unique<engine::Experiment>(std::move(sweep));
+
+  // The digest binds journals and workers to this campaign: canonical
+  // spec text plus the structural content of both expanded designs.
+  Fnv1a h;
+  h.mix(std::string_view(to_json(spec)));
+  h.mix(structural_digest(*plan.original));
+  h.mix(structural_digest(*plan.gated));
+  plan.digest = h.digest();
+  return plan;
+}
+
+} // namespace scpg::campaign

@@ -1,0 +1,93 @@
+// CampaignSpec: the process-portable description of a sweep campaign.
+//
+// A SweepSpec cannot cross a process boundary — it holds Netlist
+// pointers and stimulus closures.  A CampaignSpec is the closed,
+// serializable subset a campaign runs on: a netlist *path* plus the
+// scalar knobs of the standard measured sweep (corner, activity,
+// log-spaced frequency grid, cycles, seed, clock port).  Every process
+// that holds the same CampaignSpec and the same netlist file expands —
+// via build_campaign() — the same designs, the same point list in the
+// same order, the same per-point RNG streams, and therefore bit-identical
+// measurements: that is the location independence the coordinator
+// (coordinator.hpp) shards across worker processes and the journal
+// (journal.hpp) resumes from.
+//
+// The campaign digest binds a journal or a worker to its campaign: it
+// hashes the canonical spec JSON and the structural digests of both
+// expanded designs, so a resumed run against an edited netlist or a
+// re-flagged grid is rejected instead of silently mixing measurements.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/sweep.hpp"
+#include "netlist/netlist.hpp"
+#include "util/json.hpp"
+
+namespace scpg::campaign {
+
+struct CampaignSpec {
+  std::string netlist_path;
+  double vdd{0.6};
+  double temp_c{25.0};
+  double activity{0.15};
+  double fmax_mhz{10.0};
+  int points{12}; ///< frequency grid size (>= 2)
+  int cycles{12};
+  std::uint64_t seed{1};
+  std::string clock_port{"clk"};
+};
+
+/// Canonical compact JSON (one line, fixed key order); the digest hashes
+/// this text, so the rendering is part of the on-disk format.
+[[nodiscard]] std::string to_json(const CampaignSpec& spec);
+
+/// Inverse of to_json; throws ParseError (with source/line) on missing
+/// or ill-typed fields.
+[[nodiscard]] CampaignSpec spec_from_json(const json::Value& v,
+                                          const std::string& source,
+                                          int lineno);
+
+/// A fully expanded campaign: both designs (the measured no-gating
+/// reference and the SCPG-transformed netlist), the Experiment whose
+/// rows the campaign shards, and the campaign digest.  Move-only; the
+/// Experiment's SweepSpec points into the owned netlists.
+struct CampaignPlan {
+  CampaignSpec spec;
+  std::unique_ptr<Netlist> original;
+  std::unique_ptr<Netlist> gated;
+  std::unique_ptr<engine::Experiment> experiment;
+  std::uint64_t digest{0};
+  std::string design_name;
+
+  [[nodiscard]] const std::vector<engine::OperatingPoint>& points() const {
+    return experiment->points();
+  }
+};
+
+/// Loads the netlist, applies SCPG when the input is not already gated,
+/// and builds the canonical measured sweep: rows "n:i" (no gating) and
+/// "g:i" (SCPG at 50% duty, when feasible at that frequency) over the
+/// log-spaced grid — the same grid `scpgc sweep`'s measured columns use.
+/// Deterministic: equal spec + equal file bytes => equal plan.
+[[nodiscard]] CampaignPlan build_campaign(const Library& lib,
+                                          const CampaignSpec& spec);
+
+/// Vector-less random stimulus shared by `scpgc sweep` and campaigns:
+/// every data input bit is re-driven with probability `activity` per
+/// cycle from the point's RNG stream.  The paired cache key is
+/// "scpgc:rand:a=<activity>" so sweep and campaign share cache entries.
+[[nodiscard]] engine::Stimulus random_stimulus(double activity,
+                                               std::string clock_port);
+[[nodiscard]] std::string random_stimulus_key(double activity);
+
+/// Vector-less dynamic energy estimate: every net toggles with
+/// probability `activity` per cycle (feeds the analytic feasibility
+/// model that decides which "g:i" rows exist).
+[[nodiscard]] Energy estimate_dynamic_energy(const Netlist& nl, Corner c,
+                                             double activity);
+
+} // namespace scpg::campaign

@@ -1,0 +1,213 @@
+#include "campaign/worker.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "campaign/frame.hpp"
+#include "campaign/journal.hpp"
+#include "campaign/spec.hpp"
+#include "tech/library.hpp"
+#include "util/error.hpp"
+#include "util/subprocess.hpp"
+
+namespace scpg::campaign {
+
+namespace {
+
+constexpr int kWorkerOk = 0;
+constexpr int kWorkerParse = 3;
+constexpr int kWorkerInternal = 6;
+
+/// Blocking line reader over a raw fd.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Next full line (without '\n'), or nullopt on EOF.
+  std::optional<std::string> next() {
+    for (;;) {
+      const std::size_t nl = buf_.find('\n', scan_);
+      if (nl != std::string::npos) {
+        std::string line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        scan_ = 0;
+        return line;
+      }
+      scan_ = buf_.size();
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return std::nullopt;
+      }
+      if (n == 0) return std::nullopt; // EOF: coordinator is gone
+      buf_.append(chunk, std::size_t(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buf_;
+  std::size_t scan_{0};
+};
+
+/// Serializes all frames onto out_fd: results from the protocol loop
+/// and heartbeats from the timer thread share one mutex so frames are
+/// never interleaved mid-line.
+class FrameWriter {
+ public:
+  explicit FrameWriter(int fd) : fd_(fd) {}
+
+  bool send(const std::string& payload) {
+    const std::string frame = encode_frame(payload);
+    std::lock_guard<std::mutex> lk(mu_);
+    return write_all(fd_, frame);
+  }
+
+ private:
+  int fd_;
+  std::mutex mu_;
+};
+
+class HeartbeatThread {
+ public:
+  HeartbeatThread(FrameWriter& out, int period_ms) : out_(out) {
+    thread_ = std::thread([this, period_ms] {
+      std::unique_lock<std::mutex> lk(mu_);
+      while (!stop_) {
+        cv_.wait_for(lk, std::chrono::milliseconds(period_ms));
+        if (stop_) break;
+        out_.send("{\"kind\": \"heartbeat\"}");
+      }
+    });
+  }
+
+  ~HeartbeatThread() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  FrameWriter& out_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_{false};
+  std::thread thread_;
+};
+
+std::size_t size_field(const json::Value& v, const char* key,
+                       const std::string& source) {
+  const json::Value* f = v.get(key);
+  if (f == nullptr || !f->is(json::Value::Type::Number) || f->num < 0)
+    throw ParseError(std::string("worker: missing or invalid \"") + key +
+                         "\"",
+                     source, 0);
+  return std::size_t(f->num);
+}
+
+} // namespace
+
+int worker_main(int in_fd, int out_fd) {
+  ignore_sigpipe();
+  const std::string source = "worker:stdin";
+  LineReader in(in_fd);
+  FrameWriter out(out_fd);
+  try {
+    // --- init ---------------------------------------------------------
+    const auto init_line = in.next();
+    if (!init_line) return kWorkerOk; // coordinator died before init
+    int lineno = 1;
+    const json::Value init = decode_frame(*init_line, source, lineno);
+    const json::Value* kind = init.get("kind");
+    if (kind == nullptr || !kind->is(json::Value::Type::String) ||
+        kind->str != "init")
+      throw ParseError("worker: first frame is not init", source, lineno);
+    const json::Value* spec_json = init.get("spec");
+    if (spec_json == nullptr)
+      throw ParseError("worker: init has no spec", source, lineno);
+    const CampaignSpec spec = spec_from_json(*spec_json, source, lineno);
+    const std::uint64_t want_digest = [&] {
+      const json::Value* d = init.get("campaign");
+      if (d == nullptr || !d->is(json::Value::Type::String))
+        throw ParseError("worker: init has no campaign digest", source,
+                         lineno);
+      return parse_hex64(d->str, source, lineno);
+    }();
+    const int heartbeat_ms = [&] {
+      const json::Value* h = init.get("heartbeat_ms");
+      return (h != nullptr && h->is(json::Value::Type::Number) && h->num >= 1)
+                 ? int(h->num)
+                 : 500;
+    }();
+    std::optional<std::size_t> crash_at_row;
+    if (const json::Value* c = init.get("crash_at_row");
+        c != nullptr && c->is(json::Value::Type::Number) && c->num >= 0)
+      crash_at_row = std::size_t(c->num);
+
+    // Heartbeats start before the plan build: netlist parsing and SCPG
+    // expansion count as liveness, not silence.
+    HeartbeatThread heartbeat(out, heartbeat_ms);
+
+    const Library lib = Library::scpg90();
+    const CampaignPlan plan = build_campaign(lib, spec);
+    if (plan.digest != want_digest)
+      throw ParseError("worker: campaign digest mismatch (coordinator " +
+                           hex64(want_digest) + ", worker " +
+                           hex64(plan.digest) + ")",
+                       source, lineno);
+    if (!out.send("{\"kind\": \"hello\", \"campaign\": \"" +
+                  hex64(plan.digest) + "\"}"))
+      return kWorkerOk; // coordinator already gone
+
+    // --- assignment loop ---------------------------------------------
+    for (;;) {
+      const auto line = in.next();
+      if (!line) return kWorkerOk; // EOF == shutdown
+      ++lineno;
+      const json::Value msg = decode_frame(*line, source, lineno);
+      const json::Value* k = msg.get("kind");
+      if (k == nullptr || !k->is(json::Value::Type::String))
+        throw ParseError("worker: frame has no kind", source, lineno);
+      if (k->str == "shutdown") return kWorkerOk;
+      if (k->str != "assign")
+        throw ParseError("worker: unexpected frame kind \"" + k->str + "\"",
+                         source, lineno);
+      const std::size_t first = size_field(msg, "first", source);
+      const std::size_t count = size_field(msg, "count", source);
+      if (first + count > plan.points().size())
+        throw ParseError("worker: assigned range out of bounds", source,
+                         lineno);
+      for (std::size_t row = first; row < first + count; ++row) {
+        if (crash_at_row && *crash_at_row == row)
+          ::_exit(137); // fault injection: SIGKILL-shaped death mid-range
+        const engine::PointResult r = plan.experiment->run_row(row);
+        JournalEntry e;
+        e.row = row;
+        e.point_digest = plan.experiment->row_digest(row);
+        e.m = r;
+        e.cache_hit = r.cache_hit;
+        if (!out.send(entry_payload(e))) return kWorkerOk;
+      }
+      if (!out.send("{\"kind\": \"done\", \"first\": " +
+                    std::to_string(first) +
+                    ", \"count\": " + std::to_string(count) + "}"))
+        return kWorkerOk;
+    }
+  } catch (const ParseError&) {
+    return kWorkerParse;
+  } catch (const std::exception&) {
+    return kWorkerInternal;
+  }
+}
+
+} // namespace scpg::campaign

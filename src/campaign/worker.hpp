@@ -1,0 +1,39 @@
+// Campaign worker: one subprocess, one stdin/stdout frame stream.
+//
+// The protocol is stop-and-wait, every message a frame (frame.hpp):
+//
+//   coordinator -> worker   {"kind":"init", "spec":{...}, "campaign":H,
+//                            "heartbeat_ms":N [, "crash_at_row":R]}
+//                           {"kind":"assign", "first":I, "count":N}
+//                           {"kind":"shutdown"}
+//   worker -> coordinator   {"kind":"hello", "campaign":H}
+//                           {"kind":"heartbeat"}
+//                           {"kind":"point", ...journal entry fields...}
+//                           {"kind":"done", "first":I, "count":N}
+//
+// The worker receives the campaign *spec*, not the expanded points: it
+// rebuilds the plan itself (build_campaign is deterministic) and proves
+// it by echoing the campaign digest in its hello — a worker running a
+// different netlist or binary version is rejected before any row runs.
+// Rows execute via Experiment::run_row, whose RNG streams are keyed by
+// point content, so measurements are bit-identical to the in-process
+// engine regardless of which worker runs which range in what order.
+//
+// A heartbeat thread writes a frame every heartbeat_ms under the same
+// mutex as result frames, so the coordinator can tell "slow row" from
+// "hung or dead worker" without parsing partial output.  crash_at_row
+// is the fault-injection hook: the worker _exit(137)s immediately
+// before measuring that global row, mimicking SIGKILL mid-range.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace scpg::campaign {
+
+/// Runs the worker protocol over the two fds until shutdown or EOF.
+/// Returns a process exit code (0 ok; 3 protocol/parse failure; 6
+/// internal error).  Never throws.
+[[nodiscard]] int worker_main(int in_fd, int out_fd);
+
+} // namespace scpg::campaign

@@ -1,5 +1,7 @@
 #include "engine/cache.hpp"
 
+#include "obs/obs.hpp"
+
 namespace scpg::engine {
 
 ResultCache& ResultCache::global() {
@@ -7,26 +9,71 @@ ResultCache& ResultCache::global() {
   return cache;
 }
 
-std::optional<Measurement> ResultCache::find(const CacheKey& key) const {
+std::optional<Measurement> ResultCache::find(const CacheKey& key) {
   const std::lock_guard lock(m_);
   const auto it = map_.find(key);
   if (it == map_.end()) return std::nullopt;
-  return it->second;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return it->second.m;
 }
 
 void ResultCache::store(const CacheKey& key, const Measurement& m) {
   const std::lock_guard lock(m_);
-  map_.emplace(key, m);
+  if (capacity_ == 0) return;
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Equal keys mean equal content; keep the existing entry, refresh
+    // its recency.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  lru_.push_front(key);
+  map_.emplace(key, Entry{m, lru_.begin()});
+  evict_to_capacity_locked();
+  publish_gauges_locked();
 }
 
 void ResultCache::clear() {
   const std::lock_guard lock(m_);
   map_.clear();
+  lru_.clear();
+  evictions_ = 0;
+  publish_gauges_locked();
 }
 
 std::size_t ResultCache::size() const {
   const std::lock_guard lock(m_);
   return map_.size();
+}
+
+std::uint64_t ResultCache::evictions() const {
+  const std::lock_guard lock(m_);
+  return evictions_;
+}
+
+void ResultCache::set_capacity(std::size_t cap) {
+  const std::lock_guard lock(m_);
+  capacity_ = cap;
+  evict_to_capacity_locked();
+  publish_gauges_locked();
+}
+
+std::size_t ResultCache::capacity() const {
+  const std::lock_guard lock(m_);
+  return capacity_;
+}
+
+void ResultCache::evict_to_capacity_locked() {
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void ResultCache::publish_gauges_locked() {
+  SCPG_OBS_GAUGE("engine.cache.entries", map_.size());
+  SCPG_OBS_GAUGE("engine.cache.evictions", evictions_);
 }
 
 } // namespace scpg::engine

@@ -9,12 +9,22 @@
 // unlikely.  Caching preserves bit-identical results by construction:
 // a hit returns exactly the Measurement the computation would produce.
 //
+// The cache is bounded: entries beyond the capacity evict in
+// least-recently-used order (a find() refreshes recency), so a
+// long-running campaign or service cannot grow it without limit.  The
+// default capacity comfortably holds every point a paper reproduction
+// touches; shrink it with set_capacity() in memory-constrained workers.
+// Entry and eviction counts are exported as obs gauges
+// ("engine.cache.entries" / "engine.cache.evictions") when metrics are
+// enabled.
+//
 // Sweeps whose stimulus/setup closures carry no cache key string are not
 // cacheable (the closure contents are invisible to hashing) and bypass
 // this cache entirely.
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -36,22 +46,42 @@ struct CacheKeyHash {
   }
 };
 
-/// Mutex-guarded map; safe for concurrent workers.  The map only grows —
-/// entries are a few hundred bytes each, and a whole paper reproduction
-/// is a few thousand points.
+/// Mutex-guarded LRU map; safe for concurrent workers.
 class ResultCache {
 public:
+  static constexpr std::size_t kDefaultCapacity = 65536;
+
   static ResultCache& global();
 
-  [[nodiscard]] std::optional<Measurement> find(const CacheKey& key) const;
+  /// A hit refreshes the entry's recency.
+  [[nodiscard]] std::optional<Measurement> find(const CacheKey& key);
   void store(const CacheKey& key, const Measurement& m);
 
   void clear();
   [[nodiscard]] std::size_t size() const;
 
+  /// Entries evicted (LRU) since construction or the last clear().
+  [[nodiscard]] std::uint64_t evictions() const;
+
+  /// Caps the entry count; an over-full cache evicts down immediately.
+  /// A capacity of 0 disables storage entirely (finds always miss).
+  void set_capacity(std::size_t cap);
+  [[nodiscard]] std::size_t capacity() const;
+
 private:
+  void evict_to_capacity_locked();
+  void publish_gauges_locked();
+
+  struct Entry {
+    Measurement m;
+    std::list<CacheKey>::iterator lru_it;
+  };
+
   mutable std::mutex m_;
-  std::unordered_map<CacheKey, Measurement, CacheKeyHash> map_;
+  std::list<CacheKey> lru_; // front = most recently used
+  std::unordered_map<CacheKey, Entry, CacheKeyHash> map_;
+  std::size_t capacity_{kDefaultCapacity};
+  std::uint64_t evictions_{0};
 };
 
 } // namespace scpg::engine

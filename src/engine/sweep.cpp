@@ -268,52 +268,110 @@ DesignGate design_gate() {
   return [](const Netlist& nl, const GateContext&) { nl.check(); };
 }
 
-SweepResult Experiment::run() const {
-  const std::vector<OperatingPoint> pts = spec_.expand();
-  for (const OperatingPoint& pt : pts)
-    SCPG_REQUIRE(pt.design < spec_.designs_.size(),
-                 "operating point references an unknown design");
+const Experiment::Prepared& Experiment::prepare() const {
+  std::call_once(prep_once_, [this] {
+    auto prep = std::make_unique<Prepared>();
+    prep->pts = spec_.expand();
+    for (const OperatingPoint& pt : prep->pts)
+      SCPG_REQUIRE(pt.design < spec_.designs_.size(),
+                   "operating point references an unknown design");
 
-  // Fail fast on broken designs: every distinct design passes the gate
-  // (by default Netlist::check(); the SCPG linter when installed) before
-  // the first simulator is built.
-  const DesignGate gate = design_gate();
-  for (std::size_t d = 0; d < spec_.designs_.size(); ++d)
-    gate(*spec_.designs_[d],
-         GateContext{spec_.design_labels_[d], spec_.clock_port_});
+    // Fail fast on broken designs: every distinct design passes the gate
+    // (by default Netlist::check(); the SCPG linter when installed)
+    // before the first simulator is built.
+    const DesignGate gate = design_gate();
+    for (std::size_t d = 0; d < spec_.designs_.size(); ++d)
+      gate(*spec_.designs_[d],
+           GateContext{spec_.design_labels_[d], spec_.clock_port_});
 
-  // Digests are computed once up front: they key each point's RNG stream
-  // and its cache entry, and the aliasing check below needs all of them.
-  std::vector<std::uint64_t> digests(pts.size());
-  for (std::size_t i = 0; i < pts.size(); ++i)
-    digests[i] = point_digest(pts[i]);
+    // Digests are computed once up front: they key each point's RNG
+    // stream and its cache entry, and the aliasing check below needs all
+    // of them.
+    prep->digests.resize(prep->pts.size());
+    for (std::size_t i = 0; i < prep->pts.size(); ++i)
+      prep->digests[i] = point_digest(prep->pts[i]);
 
-  // Equal digests mean equal computations — same Rng::stream, same cache
-  // key.  That is correct (and exploited by the cache) when the rows
-  // really are the same point, but a collision between rows carrying
-  // *different* tags means the caller intended distinct measurements —
-  // e.g. two point() entries tagged "gated"/"baseline" whose payloads
-  // accidentally match.  Their identical stimulus streams would silently
-  // alias the two rows, so reject the sweep instead.  The tag itself is
-  // deliberately NOT part of the digest: digests stay content-keyed so
-  // relabelling a point still hits the cache.
-  std::unordered_map<std::uint64_t, std::size_t> first_row;
-  for (std::size_t i = 0; i < pts.size(); ++i) {
-    const auto [it, inserted] = first_row.emplace(digests[i], i);
-    if (inserted || pts[it->second].tag == pts[i].tag) continue;
-    SCPG_REQUIRE(false,
-                 "sweep rows " + std::to_string(it->second) + " (tag \"" +
-                     pts[it->second].tag + "\") and " + std::to_string(i) +
-                     " (tag \"" + pts[i].tag +
-                     "\") have identical payloads and would share one RNG "
-                     "stream; differentiate them (e.g. distinct seeds)");
+    // Equal digests mean equal computations — same Rng::stream, same
+    // cache key.  That is correct (and exploited by the cache) when the
+    // rows really are the same point, but a collision between rows
+    // carrying *different* tags means the caller intended distinct
+    // measurements — e.g. two point() entries tagged "gated"/"baseline"
+    // whose payloads accidentally match.  Their identical stimulus
+    // streams would silently alias the two rows, so reject the sweep
+    // instead.  The tag itself is deliberately NOT part of the digest:
+    // digests stay content-keyed so relabelling a point still hits the
+    // cache.
+    std::unordered_map<std::uint64_t, std::size_t> first_row;
+    for (std::size_t i = 0; i < prep->pts.size(); ++i) {
+      const auto [it, inserted] = first_row.emplace(prep->digests[i], i);
+      if (inserted || prep->pts[it->second].tag == prep->pts[i].tag)
+        continue;
+      SCPG_REQUIRE(false,
+                   "sweep rows " + std::to_string(it->second) + " (tag \"" +
+                       prep->pts[it->second].tag + "\") and " +
+                       std::to_string(i) + " (tag \"" + prep->pts[i].tag +
+                       "\") have identical payloads and would share one RNG "
+                       "stream; differentiate them (e.g. distinct seeds)");
+    }
+
+    // Opaque closures (no cache key) are invisible to hashing, so
+    // caching them would alias distinct stimuli.
+    prep->cacheable =
+        spec_.use_cache_ &&
+        (!spec_.stimulus_ || !spec_.stimulus_key_.empty()) &&
+        (!spec_.setup_ || !spec_.setup_key_.empty());
+    prep_ = std::move(prep);
+  });
+  return *prep_;
+}
+
+const std::vector<OperatingPoint>& Experiment::points() const {
+  return prepare().pts;
+}
+
+std::uint64_t Experiment::row_digest(std::size_t row) const {
+  const Prepared& prep = prepare();
+  SCPG_REQUIRE(row < prep.digests.size(), "sweep row index out of range");
+  return prep.digests[row];
+}
+
+PointResult Experiment::execute_row(const Prepared& prep,
+                                    std::size_t row) const {
+  const OperatingPoint& pt = prep.pts[row];
+  const std::uint64_t digest = prep.digests[row];
+
+  PointResult res;
+  res.point = pt;
+  CacheKey key;
+  if (prep.cacheable) {
+    key.lo = digest;
+    Fnv1a salted(0x9e3779b97f4a7c15ULL);
+    salted.mix(design_digests_[pt.design]);
+    salted.mix(digest);
+    key.hi = salted.digest();
+    if (const auto hit = ResultCache::global().find(key)) {
+      static_cast<Measurement&>(res) = *hit;
+      res.cache_hit = true;
+    }
   }
+  if (!res.cache_hit) {
+    static_cast<Measurement&>(res) = measure_point(pt, digest);
+    if (prep.cacheable) ResultCache::global().store(key, res);
+  }
+  SCPG_OBS_COUNT("engine.points", 1);
+  if (res.cache_hit) SCPG_OBS_COUNT("engine.cache_hits", 1);
+  return res;
+}
 
-  // Opaque closures (no cache key) are invisible to hashing, so caching
-  // them would alias distinct stimuli.
-  const bool cacheable =
-      spec_.use_cache_ && (!spec_.stimulus_ || !spec_.stimulus_key_.empty()) &&
-      (!spec_.setup_ || !spec_.setup_key_.empty());
+PointResult Experiment::run_row(std::size_t row) const {
+  const Prepared& prep = prepare();
+  SCPG_REQUIRE(row < prep.pts.size(), "sweep row index out of range");
+  return execute_row(prep, row);
+}
+
+SweepResult Experiment::run() const {
+  const Prepared& prep = prepare();
+  const std::vector<OperatingPoint>& pts = prep.pts;
 
   const auto t0 = std::chrono::steady_clock::now();
   std::mutex progress_m;
@@ -326,7 +384,6 @@ SweepResult Experiment::run() const {
 
   auto run_one = [&](std::size_t i) -> PointResult {
     const OperatingPoint& pt = pts[i];
-    const std::uint64_t digest = digests[i];
 
     // Queue delay: how long this point sat behind others before a worker
     // picked it up (wall-clock; never digest-visible).
@@ -343,26 +400,7 @@ SweepResult Experiment::run() const {
       point_scope.args(std::move(a));
     }
 
-    PointResult res;
-    res.point = pt;
-    CacheKey key;
-    if (cacheable) {
-      key.lo = digest;
-      Fnv1a salted(0x9e3779b97f4a7c15ULL);
-      salted.mix(design_digests_[pt.design]);
-      salted.mix(digest);
-      key.hi = salted.digest();
-      if (const auto hit = ResultCache::global().find(key)) {
-        static_cast<Measurement&>(res) = *hit;
-        res.cache_hit = true;
-      }
-    }
-    if (!res.cache_hit) {
-      static_cast<Measurement&>(res) = measure_point(pt, digest);
-      if (cacheable) ResultCache::global().store(key, res);
-    }
-    SCPG_OBS_COUNT("engine.points", 1);
-    if (res.cache_hit) SCPG_OBS_COUNT("engine.cache_hits", 1);
+    PointResult res = execute_row(prep, i);
 
     if (spec_.progress_) {
       const std::lock_guard lock(progress_m);

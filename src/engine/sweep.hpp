@@ -24,6 +24,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -234,17 +236,45 @@ public:
 
   [[nodiscard]] const SweepSpec& spec() const { return spec_; }
 
+  /// The expanded row list, validated exactly as run() validates it: the
+  /// design gate has passed every design, digests are computed, and the
+  /// tag-aliasing check has run.  Computed once, lazily.
+  [[nodiscard]] const std::vector<OperatingPoint>& points() const;
+
+  /// points()[row]'s configuration digest.
+  [[nodiscard]] std::uint64_t row_digest(std::size_t row) const;
+
+  /// Runs a single row of points() through the cache and returns exactly
+  /// the PointResult that row of run() would hold.  Measurements are a
+  /// pure function of the row's content (the RNG stream is keyed by the
+  /// row digest, never by execution order), so rows may be computed in
+  /// any process, in any order, and reassembled bit-identically — this
+  /// is the primitive the multi-process campaign executor (src/campaign)
+  /// shards across workers.
+  [[nodiscard]] PointResult run_row(std::size_t row) const;
+
   /// Content digest of one point's full configuration (netlist digest +
   /// operating point + shared fixture).  This keys both the result cache
   /// and the point's RNG stream; exposed for tests.
   [[nodiscard]] std::uint64_t point_digest(const OperatingPoint& pt) const;
 
 private:
+  struct Prepared {
+    std::vector<OperatingPoint> pts;
+    std::vector<std::uint64_t> digests;
+    bool cacheable{false};
+  };
+
+  [[nodiscard]] const Prepared& prepare() const;
+  [[nodiscard]] PointResult execute_row(const Prepared& prep,
+                                        std::size_t row) const;
   [[nodiscard]] Measurement measure_point(const OperatingPoint& pt,
                                           std::uint64_t digest) const;
 
   SweepSpec spec_;
   std::vector<std::uint64_t> design_digests_;
+  mutable std::once_flag prep_once_;
+  mutable std::unique_ptr<const Prepared> prep_;
 };
 
 } // namespace scpg::engine

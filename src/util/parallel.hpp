@@ -9,9 +9,11 @@
 // completion order.
 //
 // jobs == 1 executes inline on the calling thread (no pool, no threads —
-// the degenerate case the determinism tests compare against).  The first
-// exception thrown by any job is captured and rethrown on the caller
-// after all workers drain.
+// the degenerate case the determinism tests compare against).  When jobs
+// throw, the exception of the lowest-indexed failing job is rethrown on
+// the caller after all workers drain — the same exception a serial run
+// would surface first, so failure behaviour is deterministic regardless
+// of completion order.
 #pragma once
 
 #include <atomic>
@@ -92,6 +94,7 @@ auto parallel_map(std::size_t n, int jobs, Fn&& fn)
   std::atomic<std::size_t> next{0};
   std::mutex err_m;
   std::exception_ptr err;
+  std::size_t err_index = n; // lowest failing index seen so far
   {
     ThreadPool pool(int(std::min<std::size_t>(std::size_t(jobs), n)));
     for (int w = 0; w < pool.jobs(); ++w)
@@ -103,7 +106,10 @@ auto parallel_map(std::size_t n, int jobs, Fn&& fn)
             out[i] = fn(i);
           } catch (...) {
             const std::lock_guard lock(err_m);
-            if (!err) err = std::current_exception();
+            if (i < err_index) {
+              err_index = i;
+              err = std::current_exception();
+            }
           }
         }
       });

@@ -1,0 +1,147 @@
+#include "util/subprocess.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace scpg {
+
+namespace {
+
+[[noreturn]] void child_exec(const std::vector<std::string>& argv) {
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+  execvp(cargv[0], cargv.data());
+  // Exec failed; 127 is the shell convention for "command not found".
+  _exit(127);
+}
+
+void dup_over(int from, int to) {
+  while (dup2(from, to) < 0) {
+    if (errno != EINTR) _exit(126);
+  }
+}
+
+} // namespace
+
+Subprocess spawn_child(const SpawnOptions& opt) {
+  SCPG_REQUIRE(!opt.argv.empty() || opt.child_main,
+               "spawn_child needs argv (exec mode) or child_main (fork mode)");
+
+  int in_pipe[2] = {-1, -1};  // parent writes [1], child reads [0]
+  int out_pipe[2] = {-1, -1}; // child writes [1], parent reads [0]
+  if (!opt.null_stdin && pipe(in_pipe) != 0)
+    throw Error(std::string("pipe: ") + std::strerror(errno));
+  if (opt.stdout_path.empty() && pipe(out_pipe) != 0)
+    throw Error(std::string("pipe: ") + std::strerror(errno));
+
+  const pid_t pid = fork();
+  if (pid < 0) throw Error(std::string("fork: ") + std::strerror(errno));
+
+  if (pid == 0) {
+    // --- child ---
+    if (opt.null_stdin) {
+      const int null = open("/dev/null", O_RDONLY);
+      if (null >= 0) dup_over(null, STDIN_FILENO);
+    } else {
+      close(in_pipe[1]);
+      dup_over(in_pipe[0], STDIN_FILENO);
+      close(in_pipe[0]);
+    }
+    if (!opt.stdout_path.empty()) {
+      const int f =
+          open(opt.stdout_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (f < 0) _exit(126);
+      dup_over(f, STDOUT_FILENO);
+      close(f);
+    } else {
+      close(out_pipe[0]);
+      dup_over(out_pipe[1], STDOUT_FILENO);
+      close(out_pipe[1]);
+    }
+    if (!opt.argv.empty()) child_exec(opt.argv);
+    _exit(opt.child_main(STDIN_FILENO, STDOUT_FILENO));
+  }
+
+  // --- parent ---
+  Subprocess child;
+  child.pid = pid;
+  if (!opt.null_stdin) {
+    close(in_pipe[0]);
+    child.stdin_fd = in_pipe[1];
+  }
+  if (opt.stdout_path.empty()) {
+    close(out_pipe[1]);
+    child.stdout_fd = out_pipe[0];
+  }
+  return child;
+}
+
+bool write_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = write(fd, data.data(), data.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(std::size_t(n));
+  }
+  return true;
+}
+
+int read_available(int fd, std::string& buf) {
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = read(fd, chunk, sizeof chunk);
+    if (n > 0) {
+      buf.append(chunk, std::size_t(n));
+      return int(n);
+    }
+    if (n == 0) return 0;
+    if (errno == EINTR) continue;
+    return -1; // EAGAIN/EWOULDBLOCK on a non-blocking fd, or a real error
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int fl = fcntl(fd, F_GETFL, 0);
+  if (fl >= 0) (void)fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) close(fd);
+  fd = -1;
+}
+
+std::optional<int> wait_child(pid_t pid, bool block) {
+  int status = 0;
+  for (;;) {
+    const pid_t r = waitpid(pid, &status, block ? 0 : WNOHANG);
+    if (r == 0) return std::nullopt;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return 128; // already reaped / not our child: treat as dead
+    }
+    if (WIFEXITED(status)) return WEXITSTATUS(status);
+    if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+    // Stopped/continued under WUNTRACED-less waitpid should not happen;
+    // keep waiting in blocking mode, report still-running otherwise.
+    if (!block) return std::nullopt;
+  }
+}
+
+void kill_child(pid_t pid, int sig) {
+  if (pid > 0) (void)kill(pid, sig);
+}
+
+void ignore_sigpipe() { (void)signal(SIGPIPE, SIG_IGN); }
+
+} // namespace scpg

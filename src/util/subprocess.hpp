@@ -1,0 +1,85 @@
+// POSIX subprocess management for the campaign executor and its tools.
+//
+// The coordinator (src/campaign) supervises worker processes it must be
+// able to outlive: spawn with both stdio ends piped, poll for frames,
+// detect death asynchronously, and kill without cooperation.  crashmat
+// (tools/) additionally needs children whose stdout is captured to a
+// file so a campaign's JSON output survives the coordinator being
+// SIGKILLed.  Both sit on this thin wrapper over fork/exec, pipe, poll
+// and waitpid; nothing here knows about frames or campaigns.
+//
+// Two spawn modes:
+//  * exec mode (argv non-empty): fork + execvp.  The normal production
+//    path (`scpgc campaign` re-execs itself as `scpgc worker`).
+//  * fork mode (argv empty, child_main set): fork only; the child runs
+//    child_main(stdin_fd, stdout_fd) and _exits with its return value.
+//    Used by in-process tests so a campaign round-trip needs no binary
+//    path plumbing.  _exit (not exit) keeps the child from flushing the
+//    parent's inherited stdio buffers or running its static destructors.
+#pragma once
+
+#include <sys/types.h>
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scpg {
+
+struct SpawnOptions {
+  /// Command line for exec mode; empty selects fork mode.
+  std::vector<std::string> argv;
+  /// Fork-mode body, run in the child with its pipe fds.
+  std::function<int(int in_fd, int out_fd)> child_main;
+  /// Redirect the child's stdout to this file instead of a pipe
+  /// (stdout_fd is then -1).  Used by crashmat to capture output across
+  /// a coordinator kill.
+  std::string stdout_path;
+  /// Redirect the child's stdin from /dev/null instead of a pipe
+  /// (stdin_fd is then -1).
+  bool null_stdin{false};
+};
+
+/// A spawned child.  The parent owns the fds and must close them (or let
+/// the coordinator's bookkeeping do it); the pid must be reaped with
+/// wait_child.
+struct Subprocess {
+  pid_t pid{-1};
+  int stdin_fd{-1};  ///< write end: parent -> child stdin
+  int stdout_fd{-1}; ///< read end: child stdout -> parent
+};
+
+/// Forks (and in exec mode execs) a child with its stdio piped as
+/// requested.  Throws scpg::Error when the OS refuses (pipe/fork
+/// failure); an exec failure surfaces as the child _exiting 127.
+[[nodiscard]] Subprocess spawn_child(const SpawnOptions& opt);
+
+/// Writes the whole buffer; returns false on EPIPE or any other error
+/// (the caller treats the peer as dead).  Requires SIGPIPE ignored.
+bool write_all(int fd, std::string_view data);
+
+/// Appends whatever is currently readable to `buf`.  Returns the byte
+/// count read, 0 on EOF, or -1 when the fd is non-blocking and no data
+/// is available.
+int read_available(int fd, std::string& buf);
+
+void set_nonblocking(int fd);
+
+/// close(fd) and set it to -1; no-op when already -1.
+void close_fd(int& fd);
+
+/// Non-blocking (or blocking) reap.  Returns nullopt while the child
+/// still runs, otherwise the exit code for a normal exit or 128+signal
+/// for a signal death.
+std::optional<int> wait_child(pid_t pid, bool block);
+
+/// Sends `sig`; a dead/reaped pid is not an error.
+void kill_child(pid_t pid, int sig);
+
+/// Ignores SIGPIPE process-wide so writes to dead peers fail with EPIPE
+/// instead of killing the process.  Idempotent.
+void ignore_sigpipe();
+
+} // namespace scpg

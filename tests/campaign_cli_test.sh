@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Pins the scpgc campaign/worker CLI contract: the result digest is
+# bit-identical across worker counts (including the in-process --workers 0
+# reference), journals written during a run validate with journal_check
+# and resume to the same digest, a bit-flipped journal exits 3 without
+# touching any rows, exhausted retries exit 7 with the healthy rows still
+# journaled, and the shared parser's usage behaviour holds.
+# Usage: campaign_cli_test.sh <scpgc-binary> <examples/netlists-dir> <journal_check>
+set -u
+
+scpgc=$1
+dir=$2
+journal_check=$3
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+fail() { echo "campaign_cli_test FAIL: $*" >&2; exit 1; }
+
+expect_rc() { # want-rc command...
+  local want=$1
+  shift
+  "$@" >/dev/null 2>&1
+  local rc=$?
+  [ "$rc" -eq "$want" ] || fail "expected exit $want, got $rc: $*"
+}
+
+digest_of() { # json-text
+  grep -o '"result_digest": "[0-9a-f]*"' <<<"$1" | grep -o '[0-9a-f]\{16\}'
+}
+
+base=(--in "$dir/mult4_scpg.v" --points 4 --cycles 4 --seed 3 --json)
+
+# --- digest equality across worker counts ----------------------------------
+ref=$("$scpgc" campaign "${base[@]}" --workers 0) || fail "workers 0 rc"
+grep -q '"tool": "scpgc-campaign"' <<<"$ref" || fail "envelope tool field"
+grep -q '"schema_version": 1' <<<"$ref" || fail "envelope schema_version"
+ref_digest=$(digest_of "$ref")
+[ -n "$ref_digest" ] || fail "no result_digest in reference run"
+
+for w in 1 2 3; do
+  out=$("$scpgc" campaign "${base[@]}" --workers "$w" --shard 2) \
+    || fail "workers $w rc"
+  [ "$(digest_of "$out")" = "$ref_digest" ] \
+    || fail "workers $w digest differs from in-process reference"
+done
+
+# --- journal: validate, then resume skips everything -----------------------
+journal="$tmpdir/run.journal"
+out=$("$scpgc" campaign "${base[@]}" --workers 2 --shard 2 \
+      --journal "$journal") || fail "journaled run rc"
+[ -s "$journal" ] || fail "journal not written"
+"$journal_check" --strict --expect-complete --quiet "$journal" \
+  || fail "journal_check on complete journal"
+
+out=$("$scpgc" campaign --resume "$journal" --workers 2 --json) \
+  || fail "resume rc"
+[ "$(digest_of "$out")" = "$ref_digest" ] || fail "resume digest differs"
+total=$(grep -o '"total": [0-9]*' <<<"$out" | grep -o '[0-9]*$')
+skipped=$(grep -o '"resumed_skipped": [0-9]*' <<<"$out" | grep -o '[0-9]*$')
+[ -n "$total" ] && [ "$total" = "$skipped" ] \
+  || fail "resume skipped $skipped of $total rows"
+
+# --- corruption: a flipped byte exits 3, journal_check agrees --------------
+bad="$tmpdir/bad.journal"
+cp "$journal" "$bad"
+size=$(wc -c <"$bad")
+mid=$((size / 2))
+printf 'Z' | dd of="$bad" bs=1 seek="$mid" conv=notrunc 2>/dev/null
+expect_rc 3 "$journal_check" --quiet "$bad"
+expect_rc 3 "$scpgc" campaign --resume "$bad" --workers 2
+expect_rc 3 "$journal_check" --quiet "$dir/mult4_scpg.v" # not a journal at all
+
+# --- poisoning: crash-only workers exhaust retries, exit 7 -----------------
+pj="$tmpdir/poison.journal"
+out=$("$scpgc" campaign "${base[@]}" --workers 2 --shard 2 \
+      --journal "$pj" --crash-at-row 2 --crash-workers 99 --max-attempts 2)
+[ $? -eq 7 ] || fail "poisoned run should exit 7"
+grep -q '"poisoned_rows": \[' <<<"$out" || fail "poisoned_rows missing"
+# Healthy rows made it to the journal; a clean resume finishes the rest.
+"$journal_check" --quiet "$pj" || fail "poisoned journal invalid"
+out=$("$scpgc" campaign --resume "$pj" --workers 2 --json) \
+  || fail "resume after poisoning rc"
+[ "$(digest_of "$out")" = "$ref_digest" ] \
+  || fail "post-poison resume digest differs"
+
+# --- usage ------------------------------------------------------------------
+expect_rc 2 "$scpgc" campaign
+expect_rc 2 "$scpgc" campaign --definitely-not-an-option
+expect_rc 2 "$scpgc" campaign --resume
+expect_rc 0 "$scpgc" campaign --help
+"$scpgc" campaign --help | grep -q "usage: scpgc campaign" \
+  || fail "campaign --help usage line"
+expect_rc 2 "$journal_check"
+expect_rc 2 "$journal_check" "$journal" --no-such-flag
+
+echo "campaign_cli_test: OK"

@@ -1,0 +1,332 @@
+// Tests for the multi-process campaign executor (src/campaign): the
+// frame codec, spec round-tripping, and — the core contract — that a
+// sharded, supervised, crash-injected campaign produces results
+// bit-identical to the in-process engine at every worker count.
+//
+// Suite names start with "Campaign", NOT "Engine": tools/check.sh runs
+// `ctest -R '^Engine'` under ThreadSanitizer, and these tests fork
+// worker subprocesses, which TSan instruments poorly.
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "campaign/coordinator.hpp"
+#include "campaign/frame.hpp"
+#include "campaign/journal.hpp"
+#include "campaign/spec.hpp"
+#include "engine/sweep.hpp"
+#include "gen/mult16.hpp"
+#include "netlist/verilog.hpp"
+#include "util/error.hpp"
+
+using namespace scpg;
+
+namespace {
+
+const Library& lib() {
+  static const Library l = Library::scpg90();
+  return l;
+}
+
+/// An ungated multiplier written to disk once: campaigns address designs
+/// by netlist *path* (the spec must cross process boundaries).
+const std::string& netlist_path() {
+  static const std::string path = [] {
+    const std::string p = testing::TempDir() + "campaign_mult4.v";
+    const Netlist nl = gen::make_multiplier(lib(), 4);
+    std::ofstream os(p);
+    write_verilog(nl, os);
+    return p;
+  }();
+  return path;
+}
+
+campaign::CampaignSpec small_spec() {
+  campaign::CampaignSpec s;
+  s.netlist_path = netlist_path();
+  s.points = 3;
+  s.cycles = 4;
+  s.fmax_mhz = 10.0;
+  s.seed = 5;
+  return s;
+}
+
+/// Uninterrupted single-threaded in-process reference.
+const engine::SweepResult& reference() {
+  static const engine::SweepResult res = [] {
+    const campaign::CampaignPlan plan =
+        campaign::build_campaign(lib(), small_spec());
+    return plan.experiment->run();
+  }();
+  return res;
+}
+
+/// Bitwise equality against the reference — the determinism contract is
+/// bit-identical output, not a tolerance.
+void expect_matches_reference(const campaign::CampaignOutcome& out) {
+  const engine::SweepResult& ref = reference();
+  ASSERT_EQ(out.results.size(), ref.size());
+  ASSERT_TRUE(out.complete());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(out.results[i].avg_power.v, ref[i].avg_power.v) << "row " << i;
+    EXPECT_EQ(out.results[i].energy_per_cycle.v, ref[i].energy_per_cycle.v)
+        << "row " << i;
+    EXPECT_EQ(out.results[i].tally.total().v, ref[i].tally.total().v)
+        << "row " << i;
+    EXPECT_EQ(out.results[i].cycles, ref[i].cycles) << "row " << i;
+    EXPECT_EQ(out.results[i].point.tag, ref[i].point.tag) << "row " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec
+
+TEST(CampaignFrame, RoundTripsPayload) {
+  const std::string frame = campaign::encode_frame("{\"kind\": \"x\"}");
+  ASSERT_EQ(frame.back(), '\n');
+  const json::Value payload =
+      campaign::decode_frame(std::string_view(frame).substr(0, frame.size() - 1),
+                             "t", 1);
+  ASSERT_NE(payload.get("kind"), nullptr);
+  EXPECT_EQ(payload.get("kind")->str, "x");
+}
+
+TEST(CampaignFrame, RejectsCorruption) {
+  std::string frame = campaign::encode_frame("{\"kind\": \"x\"}");
+  frame.pop_back(); // newline handled by caller
+  // Bad magic.
+  EXPECT_THROW(campaign::decode_frame("XXPGF1" + frame.substr(6), "t", 1),
+               ParseError);
+  // Flip one payload byte: CRC must catch it.
+  std::string flipped = frame;
+  flipped[flipped.size() / 2] ^= 0x04;
+  EXPECT_THROW(campaign::decode_frame(flipped, "t", 1), ParseError);
+  // Truncated tail (still no newline): CRC over a prefix cannot match.
+  EXPECT_THROW(campaign::decode_frame(frame.substr(0, frame.size() - 3),
+                                      "t", 1),
+               ParseError);
+  // Wrong tool name with a *valid* CRC: the envelope check must fire.
+  const std::string env =
+      "{\"schema_version\": 1, \"tool\": \"impostor\", \"payload\": {}}";
+  char crc_hex[16];
+  std::snprintf(crc_hex, sizeof crc_hex, "%08x", campaign::crc32(env));
+  EXPECT_THROW(
+      campaign::decode_frame("SCPGF1 " + std::string(crc_hex) + " " + env,
+                             "t", 1),
+      ParseError);
+}
+
+TEST(CampaignFrame, Hex64RoundTrips) {
+  for (const std::uint64_t v :
+       {std::uint64_t(0), std::uint64_t(1), ~std::uint64_t(0),
+        std::uint64_t(0x0123456789abcdefULL)}) {
+    EXPECT_EQ(campaign::parse_hex64(campaign::hex64(v), "t", 1), v);
+  }
+  EXPECT_THROW((void)campaign::parse_hex64("abc", "t", 1), ParseError);
+  EXPECT_THROW((void)campaign::parse_hex64("zzzzzzzzzzzzzzzz", "t", 1),
+               ParseError);
+  const double d = -1.75e-9;
+  EXPECT_EQ(campaign::bits_double(campaign::double_bits(d)), d);
+}
+
+// ---------------------------------------------------------------------------
+// Spec
+
+TEST(CampaignSpec, JsonRoundTripIsCanonical) {
+  const campaign::CampaignSpec s = small_spec();
+  const std::string text = campaign::to_json(s);
+  const campaign::CampaignSpec back =
+      campaign::spec_from_json(json::parse(text), "t", 1);
+  EXPECT_EQ(campaign::to_json(back), text);
+  EXPECT_EQ(back.seed, s.seed);
+  EXPECT_EQ(back.netlist_path, s.netlist_path);
+}
+
+TEST(CampaignSpec, RejectsMalformedSpecs) {
+  const std::string good = campaign::to_json(small_spec());
+  EXPECT_THROW(campaign::spec_from_json(json::parse("[1,2]"), "t", 1),
+               ParseError);
+  EXPECT_THROW(campaign::spec_from_json(json::parse("{}"), "t", 1),
+               ParseError);
+  // points < 2 is rejected (the grid divides by points-1).
+  json::Value v = json::parse(good);
+  v.obj["points"].num = 1;
+  EXPECT_THROW(campaign::spec_from_json(v, "t", 1), ParseError);
+}
+
+TEST(CampaignSpec, PlanDigestIsReproducible) {
+  const campaign::CampaignPlan a = campaign::build_campaign(lib(), small_spec());
+  const campaign::CampaignPlan b = campaign::build_campaign(lib(), small_spec());
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_GT(a.points().size(), 0u);
+  campaign::CampaignSpec other = small_spec();
+  other.seed = 6;
+  EXPECT_NE(campaign::build_campaign(lib(), other).digest, a.digest);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign determinism under worker counts x kill schedules
+
+enum class Schedule { None, KillOneMidRun, KillAllThenResume };
+
+struct Case {
+  int workers;
+  Schedule schedule;
+};
+
+std::string case_name(const testing::TestParamInfo<Case>& info) {
+  const char* s = info.param.schedule == Schedule::None ? "clean"
+                  : info.param.schedule == Schedule::KillOneMidRun
+                      ? "killone"
+                      : "killallresume";
+  return "w" + std::to_string(info.param.workers) + "_" + s;
+}
+
+class CampaignDeterminism : public testing::TestWithParam<Case> {};
+
+TEST_P(CampaignDeterminism, MatchesInProcessEngineBitForBit) {
+  const Case c = GetParam();
+  const campaign::CampaignPlan plan =
+      campaign::build_campaign(lib(), small_spec());
+
+  campaign::CoordinatorOptions opt;
+  opt.workers = c.workers; // fork-mode workers (no argv)
+  opt.shard_size = 2;
+  opt.heartbeat_ms = 200;
+  // The parameterized test name contains a '/', which cannot appear in a
+  // filename component.
+  std::string case_tag =
+      testing::UnitTest::GetInstance()->current_test_info()->name();
+  std::replace(case_tag.begin(), case_tag.end(), '/', '_');
+  const std::string journal =
+      testing::TempDir() + "campaign_" + case_tag + ".journal";
+
+  switch (c.schedule) {
+    case Schedule::None: {
+      const campaign::CampaignOutcome out = run_campaign(plan, opt);
+      expect_matches_reference(out);
+      EXPECT_EQ(out.retries, 0u);
+      break;
+    }
+    case Schedule::KillOneMidRun: {
+      // Every initial worker dies right before global row 1, so whichever
+      // worker receives that range crashes; the range is requeued and a
+      // later (clean) replacement finishes it.  The attempt budget covers
+      // the worst case of every initial worker crashing on it in turn.
+      opt.worker_crash_at_row = 1;
+      opt.crash_worker_limit = c.workers;
+      opt.max_attempts = c.workers + 2;
+      const campaign::CampaignOutcome out = run_campaign(plan, opt);
+      expect_matches_reference(out);
+      EXPECT_GE(out.retries, 1u);
+      // A replacement may be spawned, or a surviving worker may absorb
+      // the requeued range — either way no spawn is ever lost.
+      EXPECT_GE(out.workers_spawned, std::size_t(c.workers));
+      break;
+    }
+    case Schedule::KillAllThenResume: {
+      // Phase 1: every worker crashes at row 1 and the retry budget is
+      // one attempt — the row's range poisons, everything else lands in
+      // the journal.
+      std::remove(journal.c_str());
+      opt.journal_path = journal;
+      opt.worker_crash_at_row = 1;
+      opt.crash_worker_limit = 1000;
+      opt.max_attempts = 1;
+      const campaign::CampaignOutcome broken = run_campaign(plan, opt);
+      ASSERT_FALSE(broken.complete());
+      ASSERT_FALSE(broken.poisoned_rows.empty());
+
+      // Phase 2: resume without the fault.  Journaled rows are skipped,
+      // poisoned rows re-run, and the result is bit-identical to an
+      // uninterrupted run.
+      campaign::CoordinatorOptions again;
+      again.workers = c.workers;
+      again.shard_size = 2;
+      again.heartbeat_ms = 200;
+      again.journal_path = journal;
+      again.resume = true;
+      const campaign::CampaignOutcome out = run_campaign(plan, again);
+      expect_matches_reference(out);
+      EXPECT_GT(out.resumed_skipped, 0u);
+      EXPECT_EQ(out.resumed_skipped + broken.poisoned_rows.size(),
+                out.results.size());
+
+      // The journal now holds every row and passes a strict re-parse.
+      const campaign::JournalContents jc =
+          campaign::read_journal(journal, /*allow_torn_tail=*/false);
+      EXPECT_EQ(jc.entries.size(), jc.total_rows);
+      break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkerMatrix, CampaignDeterminism,
+    testing::ValuesIn(std::vector<Case>{
+        {1, Schedule::None},
+        {2, Schedule::None},
+        {4, Schedule::None},
+        {1, Schedule::KillOneMidRun},
+        {2, Schedule::KillOneMidRun},
+        {4, Schedule::KillOneMidRun},
+        {1, Schedule::KillAllThenResume},
+        {2, Schedule::KillAllThenResume},
+        {4, Schedule::KillAllThenResume},
+    }),
+    case_name);
+
+// ---------------------------------------------------------------------------
+// Coordinator edge behavior
+
+TEST(CampaignCoordinator, InProcessPathJournalsAndMatches) {
+  const campaign::CampaignPlan plan =
+      campaign::build_campaign(lib(), small_spec());
+  const std::string journal = testing::TempDir() + "campaign_inproc.journal";
+  std::remove(journal.c_str());
+  campaign::CoordinatorOptions opt;
+  opt.workers = 0;
+  opt.journal_path = journal;
+  const campaign::CampaignOutcome out = run_campaign(plan, opt);
+  expect_matches_reference(out);
+  const campaign::JournalContents jc =
+      campaign::read_journal(journal, /*allow_torn_tail=*/false);
+  EXPECT_EQ(jc.campaign_digest, plan.digest);
+  EXPECT_EQ(jc.entries.size(), out.results.size());
+}
+
+TEST(CampaignCoordinator, ResumeRejectsForeignJournal) {
+  // Journal written by campaign A must not resume campaign B.
+  const campaign::CampaignPlan a =
+      campaign::build_campaign(lib(), small_spec());
+  const std::string journal = testing::TempDir() + "campaign_foreign.journal";
+  std::remove(journal.c_str());
+  campaign::CoordinatorOptions opt;
+  opt.workers = 0;
+  opt.journal_path = journal;
+  (void)run_campaign(a, opt);
+
+  campaign::CampaignSpec other = small_spec();
+  other.seed = 99;
+  const campaign::CampaignPlan b = campaign::build_campaign(lib(), other);
+  campaign::CoordinatorOptions res;
+  res.workers = 0;
+  res.journal_path = journal;
+  res.resume = true;
+  EXPECT_THROW((void)run_campaign(b, res), Error);
+}
+
+TEST(CampaignCoordinator, ResultDigestCoversMeasurementBits) {
+  std::vector<engine::PointResult> rows(2);
+  rows[0].avg_power = Power{1.0};
+  rows[1].avg_power = Power{2.0};
+  const std::uint64_t d1 = campaign::result_digest(rows);
+  rows[1].avg_power.v = std::nextafter(2.0, 3.0); // one ulp
+  EXPECT_NE(campaign::result_digest(rows), d1);
+}
+
+} // namespace

@@ -136,6 +136,53 @@ TEST(EngineParallelMap, RunsEveryIndexExactlyOnce) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(EngineParallelMap, LowestIndexedExceptionWinsDeterministically) {
+  // Two jobs throw CONCURRENTLY (a spin barrier guarantees both are
+  // in-flight before either throws); the rethrown exception must be the
+  // lowest-indexed one regardless of which thread lost the race.
+  for (int round = 0; round < 8; ++round) {
+    std::atomic<int> arrived{0};
+    try {
+      parallel_map(2, 2, [&](std::size_t i) -> int {
+        arrived.fetch_add(1);
+        while (arrived.load() < 2) {
+        }
+        if (i == 0) throw std::logic_error("low");
+        throw std::runtime_error("high");
+      });
+      FAIL() << "parallel_map swallowed the exceptions";
+    } catch (const std::logic_error& e) {
+      EXPECT_STREQ(e.what(), "low");
+    } catch (const std::runtime_error&) {
+      FAIL() << "higher-indexed exception won the race (round " << round
+             << ")";
+    }
+  }
+}
+
+TEST(EngineParallelMap, LaterWorkerFailureStillYieldsEarlierException) {
+  // Index 3 fails instantly; index 0 fails after a delay.  Index 0 must
+  // still win: first-exception is by index, not by arrival time.
+  std::atomic<int> three_thrown{0};
+  try {
+    parallel_map(4, 4, [&](std::size_t i) -> int {
+      if (i == 3) {
+        three_thrown.store(1);
+        throw std::runtime_error("fast");
+      }
+      if (i == 0) {
+        while (three_thrown.load() == 0) {
+        }
+        throw std::logic_error("slow-but-first");
+      }
+      return int(i);
+    });
+    FAIL() << "parallel_map swallowed the exceptions";
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(e.what(), "slow-but-first");
+  }
+}
+
 // ---------------------------------------------------------------------------
 // RNG streams
 
@@ -364,6 +411,110 @@ TEST(EngineCache, DifferentStimulusKeysDoNotCollide) {
   const engine::SweepResult b = run("key-b");
   EXPECT_EQ(b.cache_hits(), 0u); // different key -> different entries
   EXPECT_EQ(engine::ResultCache::global().size(), 2u);
+}
+
+/// RAII guard: tests that shrink the global cache capacity must restore
+/// it, or later suites would run against a crippled cache.
+class CacheCapacityGuard {
+public:
+  explicit CacheCapacityGuard(std::size_t cap) {
+    engine::ResultCache::global().clear();
+    engine::ResultCache::global().set_capacity(cap);
+  }
+  ~CacheCapacityGuard() {
+    engine::ResultCache::global().set_capacity(
+        engine::ResultCache::kDefaultCapacity);
+    engine::ResultCache::global().clear();
+  }
+};
+
+engine::CacheKey key_of(std::uint64_t n) { return {n, ~n}; }
+
+engine::Measurement measurement_of(double w) {
+  engine::Measurement m;
+  m.avg_power = Power{w};
+  return m;
+}
+
+TEST(EngineCache, EvictsLeastRecentlyUsedAtCapacity) {
+  CacheCapacityGuard guard(2);
+  auto& c = engine::ResultCache::global();
+  c.store(key_of(1), measurement_of(1.0));
+  c.store(key_of(2), measurement_of(2.0));
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.evictions(), 0u);
+  c.store(key_of(3), measurement_of(3.0)); // evicts key 1 (oldest)
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.evictions(), 1u);
+  EXPECT_FALSE(c.find(key_of(1)).has_value());
+  EXPECT_TRUE(c.find(key_of(2)).has_value());
+  EXPECT_TRUE(c.find(key_of(3)).has_value());
+}
+
+TEST(EngineCache, FindRefreshesRecency) {
+  CacheCapacityGuard guard(2);
+  auto& c = engine::ResultCache::global();
+  c.store(key_of(1), measurement_of(1.0));
+  c.store(key_of(2), measurement_of(2.0));
+  ASSERT_TRUE(c.find(key_of(1)).has_value()); // 1 is now most recent
+  c.store(key_of(3), measurement_of(3.0));    // so 2 is the victim
+  EXPECT_TRUE(c.find(key_of(1)).has_value());
+  EXPECT_FALSE(c.find(key_of(2)).has_value());
+  EXPECT_TRUE(c.find(key_of(3)).has_value());
+}
+
+TEST(EngineCache, ShrinkingCapacityEvictsDownImmediately) {
+  CacheCapacityGuard guard(8);
+  auto& c = engine::ResultCache::global();
+  for (std::uint64_t i = 0; i < 8; ++i)
+    c.store(key_of(i), measurement_of(double(i)));
+  EXPECT_EQ(c.size(), 8u);
+  c.set_capacity(3);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.evictions(), 5u);
+  // The three most recently stored survive.
+  EXPECT_TRUE(c.find(key_of(7)).has_value());
+  EXPECT_TRUE(c.find(key_of(5)).has_value());
+  EXPECT_FALSE(c.find(key_of(4)).has_value());
+}
+
+TEST(EngineCache, ZeroCapacityDisablesStorage) {
+  CacheCapacityGuard guard(0);
+  auto& c = engine::ResultCache::global();
+  c.store(key_of(1), measurement_of(1.0));
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_FALSE(c.find(key_of(1)).has_value());
+}
+
+TEST(EngineCache, DuplicateStoreRefreshesInsteadOfGrowing) {
+  CacheCapacityGuard guard(2);
+  auto& c = engine::ResultCache::global();
+  c.store(key_of(1), measurement_of(1.0));
+  c.store(key_of(2), measurement_of(2.0));
+  c.store(key_of(1), measurement_of(9.0)); // refresh, not a new entry
+  EXPECT_EQ(c.size(), 2u);
+  c.store(key_of(3), measurement_of(3.0)); // victim is 2, not 1
+  EXPECT_TRUE(c.find(key_of(1)).has_value());
+  EXPECT_FALSE(c.find(key_of(2)).has_value());
+  // First store wins: a duplicate store must not change the cached
+  // measurement (hits stay bit-identical to the first computation).
+  EXPECT_EQ(c.find(key_of(1))->avg_power.v, 1.0);
+}
+
+TEST(EngineCache, BoundedSweepStillBitIdentical) {
+  // A cache too small for the whole grid forces evictions mid-sweep;
+  // results must be unaffected (the cache only ever short-circuits
+  // recomputation of a pure function).
+  CacheCapacityGuard guard(2);
+  const engine::SweepResult small_cache =
+      engine::Experiment(small_grid(4, true)).run();
+  EXPECT_GT(engine::ResultCache::global().evictions(), 0u);
+  engine::ResultCache::global().set_capacity(
+      engine::ResultCache::kDefaultCapacity);
+  engine::ResultCache::global().clear();
+  const engine::SweepResult unbounded =
+      engine::Experiment(small_grid(4, true)).run();
+  expect_identical(small_cache, unbounded);
 }
 
 // ---------------------------------------------------------------------------

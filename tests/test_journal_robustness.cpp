@@ -1,0 +1,280 @@
+// Adversarial-input tests for the campaign journal and frame layer,
+// alongside test_parse_robustness.cpp's coverage of the other parsers:
+// truncated, bit-flipped, and hostile-but-well-formed journals must
+// produce located ParseErrors (or, for the unique torn-tail shape, a
+// clean tolerated drop) — never a crash, never a silent partial resume.
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "campaign/coordinator.hpp"
+#include "campaign/frame.hpp"
+#include "campaign/journal.hpp"
+#include "campaign/spec.hpp"
+#include "gen/mult16.hpp"
+#include "netlist/verilog.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+using namespace scpg;
+
+namespace {
+
+const Library& lib() {
+  static const Library l = Library::scpg90();
+  return l;
+}
+
+campaign::CampaignSpec small_spec() {
+  static const std::string path = [] {
+    const std::string p = testing::TempDir() + "journal_mult4.v";
+    std::ofstream os(p);
+    write_verilog(gen::make_multiplier(lib(), 4), os);
+    return p;
+  }();
+  campaign::CampaignSpec s;
+  s.netlist_path = path;
+  s.points = 3;
+  s.cycles = 4;
+  s.seed = 11;
+  return s;
+}
+
+/// One complete journal's bytes, produced once by an in-process run.
+const std::string& good_journal_text() {
+  static const std::string text = [] {
+    const std::string path = testing::TempDir() + "robust_good.journal";
+    std::remove(path.c_str());
+    const campaign::CampaignPlan plan =
+        campaign::build_campaign(lib(), small_spec());
+    campaign::CoordinatorOptions opt;
+    opt.workers = 0;
+    opt.journal_path = path;
+    (void)run_campaign(plan, opt);
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }();
+  return text;
+}
+
+std::string write_temp(const std::string& text, const std::string& name) {
+  const std::string path = testing::TempDir() + name;
+  std::ofstream(path, std::ios::binary) << text;
+  return path;
+}
+
+enum class Outcome { Parses, Throws, ThrowsOrDropsTail };
+
+Outcome tolerant_read(const std::string& path, std::size_t* entries = nullptr) {
+  try {
+    const campaign::JournalContents jc =
+        campaign::read_journal(path, /*allow_torn_tail=*/true);
+    if (entries != nullptr) *entries = jc.entries.size();
+    return jc.dropped_torn_tail ? Outcome::ThrowsOrDropsTail : Outcome::Parses;
+  } catch (const ParseError&) {
+    return Outcome::Throws;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Truncation sweep: a journal cut anywhere must either parse as a clean
+// shorter prefix (cut at a line boundary), or drop exactly the torn
+// final line (tolerant mode) / throw (strict mode).  Never crash.
+
+TEST(JournalRobustness, EveryTruncationIsCleanPrefixOrTornTail) {
+  const std::string& good = good_journal_text();
+  int boundary_cuts = 0, torn_cuts = 0;
+  for (std::size_t cut = 0; cut <= good.size(); ++cut) {
+    const std::string path =
+        write_temp(good.substr(0, cut), "robust_trunc.journal");
+    const bool at_boundary = cut == 0 || good[cut - 1] == '\n';
+    try {
+      const campaign::JournalContents jc =
+          campaign::read_journal(path, /*allow_torn_tail=*/true);
+      if (at_boundary) {
+        EXPECT_FALSE(jc.dropped_torn_tail) << "cut " << cut;
+        ++boundary_cuts;
+      } else {
+        EXPECT_TRUE(jc.dropped_torn_tail) << "cut " << cut;
+        // The clean prefix must end on the previous line boundary.
+        EXPECT_EQ(good[jc.clean_bytes == 0 ? 0 : jc.clean_bytes - 1],
+                  jc.clean_bytes == 0 ? good[0] : '\n')
+            << "cut " << cut;
+        ++torn_cuts;
+      }
+    } catch (const ParseError&) {
+      // Cutting inside the header line leaves no header at all — that
+      // is an error even in tolerant mode, and correctly so.
+      EXPECT_LT(cut, good.find('\n') + 1) << "cut " << cut;
+    }
+    // Strict mode: any non-boundary cut must throw.
+    if (!at_boundary) {
+      EXPECT_THROW(
+          (void)campaign::read_journal(path, /*allow_torn_tail=*/false),
+          ParseError)
+          << "cut " << cut;
+    }
+  }
+  EXPECT_GT(boundary_cuts, 2);
+  EXPECT_GT(torn_cuts, 10);
+}
+
+// ---------------------------------------------------------------------------
+// Bit-flip sweep: flipping any bit inside a complete line must be caught
+// (CRC or stricter checks above it).  Flipping a newline merges or tears
+// lines; both are caught or tolerated-as-torn, never silently accepted.
+
+TEST(JournalRobustness, BitFlipsNeverParseSilently) {
+  const std::string& good = good_journal_text();
+  std::size_t good_entries = 0;
+  ASSERT_EQ(tolerant_read(write_temp(good, "robust_ref.journal"),
+                          &good_entries),
+            Outcome::Parses);
+  for (std::size_t pos = 0; pos < good.size(); pos += 7) {
+    for (const unsigned char mask : {0x01, 0x20, 0x80}) {
+      std::string bad = good;
+      bad[pos] = char(bad[pos] ^ mask);
+      const std::string path = write_temp(bad, "robust_flip.journal");
+      std::size_t entries = 0;
+      const Outcome o = tolerant_read(path, &entries);
+      if (o == Outcome::Parses) {
+        // The only acceptable silent parse: the flip landed in the FINAL
+        // newline, turning the last record into a dropped torn tail —
+        // impossible here because dropped_torn_tail reports that case —
+        // or the flip produced an identical byte (mask made no change),
+        // which cannot happen.  So a full parse must mean nothing
+        // changed semantically; reject it outright.
+        ADD_FAILURE() << "flip at " << pos << " mask " << int(mask)
+                      << " parsed as a complete journal";
+      }
+      if (o == Outcome::ThrowsOrDropsTail) {
+        // Torn-tail drop is only legitimate when the flip destroyed a
+        // trailing newline; the surviving prefix must be strictly
+        // shorter than the intact journal.
+        EXPECT_LT(entries, good_entries)
+            << "flip at " << pos << " mask " << int(mask);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hostile journals: frames with VALID CRCs but adversarial payloads.
+// The CRC layer passes; the structural checks above it must fire.
+
+struct HostileCase {
+  const char* name;
+  const char* payload; // extra frame appended after the good header
+};
+
+class JournalHostile : public testing::TestWithParam<HostileCase> {};
+
+TEST_P(JournalHostile, IsRejectedWithParseError) {
+  const std::string& good = good_journal_text();
+  // Keep only the header line, then append the hostile frame.
+  const std::string header = good.substr(0, good.find('\n') + 1);
+  const std::string text =
+      header + campaign::encode_frame(GetParam().payload);
+  const std::string path = write_temp(text, "robust_hostile.journal");
+  EXPECT_THROW((void)campaign::read_journal(path, /*allow_torn_tail=*/true),
+               ParseError);
+  EXPECT_THROW((void)campaign::read_journal(path, /*allow_torn_tail=*/false),
+               ParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, JournalHostile,
+    testing::ValuesIn(std::vector<HostileCase>{
+        {"unknown_kind", "{\"kind\": \"exploit\"}"},
+        {"no_kind", "{\"rows\": 3}"},
+        {"second_header",
+         "{\"kind\": \"header\", \"journal_version\": 1, \"campaign\": "
+         "\"0000000000000000\", \"total\": 1, \"spec\": {}}"},
+        {"row_out_of_range",
+         "{\"kind\": \"point\", \"row\": 99999, \"digest\": "
+         "\"0000000000000000\", \"cycles\": 1, \"cache_hit\": false, "
+         "\"avg_power\": \"0000000000000000\", \"epc\": "
+         "\"0000000000000000\", \"switching\": \"0000000000000000\", "
+         "\"internal\": \"0000000000000000\", \"leakage_aon\": "
+         "\"0000000000000000\", \"leakage_gated\": \"0000000000000000\", "
+         "\"header_off\": \"0000000000000000\", \"rail_recharge\": "
+         "\"0000000000000000\", \"crowbar\": \"0000000000000000\", "
+         "\"header_gate\": \"0000000000000000\", \"macro_access\": "
+         "\"0000000000000000\", \"window\": \"0000000000000000\"}"},
+        {"negative_row",
+         "{\"kind\": \"point\", \"row\": -1, \"digest\": "
+         "\"0000000000000000\"}"},
+        {"short_hex_digest",
+         "{\"kind\": \"point\", \"row\": 0, \"digest\": \"abc\", "
+         "\"cycles\": 1, \"cache_hit\": false}"},
+        {"missing_measurement_fields",
+         "{\"kind\": \"point\", \"row\": 0, \"digest\": "
+         "\"0000000000000000\", \"cycles\": 1, \"cache_hit\": false}"},
+    }),
+    [](const testing::TestParamInfo<HostileCase>& i) {
+      return std::string(i.param.name);
+    });
+
+TEST(JournalRobustness, DuplicateRowIsRejected) {
+  const std::string& good = good_journal_text();
+  // Duplicate the first point line verbatim at the end: CRC valid,
+  // shape valid, semantically a lie.
+  const std::size_t first_nl = good.find('\n');
+  const std::size_t second_nl = good.find('\n', first_nl + 1);
+  const std::string point_line =
+      good.substr(first_nl + 1, second_nl - first_nl);
+  const std::string path =
+      write_temp(good + point_line, "robust_dup.journal");
+  EXPECT_THROW((void)campaign::read_journal(path, /*allow_torn_tail=*/true),
+               ParseError);
+}
+
+TEST(JournalRobustness, PointBeforeHeaderIsRejected) {
+  const std::string& good = good_journal_text();
+  const std::size_t first_nl = good.find('\n');
+  // Strip the header: the first frame is now a point.
+  const std::string path =
+      write_temp(good.substr(first_nl + 1), "robust_nohdr.journal");
+  EXPECT_THROW((void)campaign::read_journal(path, /*allow_torn_tail=*/true),
+               ParseError);
+}
+
+TEST(JournalRobustness, GarbageBytesAreRejected) {
+  Rng rng(42);
+  for (int i = 0; i < 32; ++i) {
+    std::string garbage;
+    const int len = int(rng.bits(8)) + 8;
+    for (int k = 0; k < len; ++k) garbage += char(rng.bits(8));
+    garbage += '\n';
+    const std::string path = write_temp(garbage, "robust_garbage.journal");
+    EXPECT_THROW(
+        (void)campaign::read_journal(path, /*allow_torn_tail=*/true),
+        ParseError)
+        << "case " << i;
+  }
+}
+
+TEST(JournalRobustness, ErrorsAreLocated) {
+  // A flipped byte on line 2 must name the path and the line.
+  const std::string& good = good_journal_text();
+  std::string bad = good;
+  const std::size_t line2 = good.find('\n') + 10;
+  bad[line2] = char(bad[line2] ^ 0x01);
+  const std::string path = write_temp(bad, "robust_located.journal");
+  try {
+    (void)campaign::read_journal(path, /*allow_torn_tail=*/true);
+    FAIL() << "corrupt journal parsed";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("robust_located.journal"), std::string::npos) << what;
+    EXPECT_NE(what.find(":2"), std::string::npos) << what;
+  }
+}
+
+} // namespace

@@ -17,6 +17,10 @@
 #                              # smoke validated by trace_check, and the
 #                              # disabled-mode overhead budget (default 5%,
 #                              # override with SCPG_OBS_TOL=<percent>)
+#   tools/check.sh --crash     # crashmat fault-injection pass: kill/stop/
+#                              # starve campaign workers and corrupt
+#                              # journals, asserting bit-exact recovery —
+#                              # normal build first, then under ASan/UBSan
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -154,6 +158,28 @@ run_obs_pass() {
   echo "=== obs: pass green ==="
 }
 
+# Crash pass: crashmat drives real `scpgc campaign` runs while killing,
+# stopping and starving worker subprocesses and shearing/bit-flipping the
+# write-ahead journal, asserting every recovery path converges on a
+# result digest bit-identical to the in-process reference.  Runs in the
+# normal build first (fast signal), then under ASan/UBSan so the
+# signal-handling and partial-frame paths are memory-clean.
+run_crash_pass() {
+  echo "=== crash: build scpgc + crashmat (build) ==="
+  cmake -B build -S .
+  cmake --build build -j "$jobs" --target scpgc crashmat journal_check
+  echo "=== crash: crashmat fault-injection (normal) ==="
+  build/tools/crashmat --scpgc build/tools/scpgc \
+    --in examples/netlists/mult4_scpg.v
+  echo "=== crash: build scpgc + crashmat (build-asan) ==="
+  cmake -B build-asan -S . -DSCPG_SANITIZE=ON
+  cmake --build build-asan -j "$jobs" --target scpgc crashmat journal_check
+  echo "=== crash: crashmat fault-injection (ASan) ==="
+  build-asan/tools/crashmat --scpgc build-asan/tools/scpgc \
+    --in examples/netlists/mult4_scpg.v
+  echo "=== crash: all recovery paths bit-exact in both builds ==="
+}
+
 # clang-tidy pass: gated on availability — the CI container may not ship
 # clang-tidy; the pass then reports and succeeds so `all` stays green.
 run_tidy_pass() {
@@ -181,6 +207,7 @@ case "$mode" in
   --tidy)     run_tidy_pass ;;
   --fuzz-smoke) run_fuzz_smoke ;;
   --obs)      run_obs_pass ;;
+  --crash)    run_crash_pass ;;
   all)
     run_pass "normal" build ""
     run_pass "sanitized" build-asan "" -DSCPG_SANITIZE=ON
@@ -189,8 +216,9 @@ case "$mode" in
     run_tidy_pass
     run_fuzz_smoke
     run_obs_pass
+    run_crash_pass
     ;;
-  *) echo "usage: $0 [--fast|--sanitize|--tsan|--lint|--tidy|--fuzz-smoke|--obs]" >&2
+  *) echo "usage: $0 [--fast|--sanitize|--tsan|--lint|--tidy|--fuzz-smoke|--obs|--crash]" >&2
      exit 2 ;;
 esac
 

@@ -1,0 +1,437 @@
+// crashmat — fault injector for campaign crash recovery.
+//
+//   crashmat --scpgc PATH --in NETLIST [--scenario NAME] [--dir DIR]
+//            [--workers N] [--points N] [--cycles N] [--seed S]
+//
+// Each scenario launches a real `scpgc campaign` subprocess, injures it
+// mid-run, and asserts the recovery contract: the final result digest —
+// a hash over every row's measurement *bit patterns* — equals the
+// digest of an uninterrupted in-process run (`--workers 0`), i.e. the
+// recovered campaign is bit-identical to one that never failed.
+//
+// scenarios:
+//   kill-worker               SIGKILL one worker; coordinator requeues,
+//                             campaign exits 0 with matching digest
+//   stop-worker               SIGSTOP one worker; heartbeat misses get
+//                             it killed and its range requeued
+//   kill-coordinator          SIGKILL the coordinator mid-run, then
+//                             --resume: skips journaled rows, matches
+//   truncate-journal          kill coordinator, shear the journal tail
+//                             mid-line (torn write), resume matches
+//   bitflip-journal           flip one bit in a completed journal;
+//                             --resume must exit 3 (parse error), not
+//                             crash or silently resume
+//   poisoned                  every worker crashes before one row: exit
+//                             7, healthy rows durable; resume completes
+//                             and matches
+//   all                       run every scenario (default)
+//
+// A scenario whose strike window closes before the blow lands (campaign
+// finished too fast) is retried, then loudly SKIPped — never silently
+// passed.  exit: 0 all scenarios pass/skip, 1 any fail, 2 usage.
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/frame.hpp"
+#include "campaign/journal.hpp"
+#include "util/json.hpp"
+#include "util/subprocess.hpp"
+
+using namespace scpg;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Config {
+  std::string scpgc;
+  std::string netlist;
+  std::string dir;
+  int workers{2};
+  int points{6};
+  int cycles{16};
+  std::uint64_t seed{7};
+};
+
+struct RunResult {
+  int code{-1};
+  std::string out;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Blocking run with stdout captured to a file (survives our own reads
+/// across a SIGKILL of the child).
+RunResult run_to_file(const std::vector<std::string>& argv,
+                      const std::string& out_path) {
+  SpawnOptions so;
+  so.argv = argv;
+  so.stdout_path = out_path;
+  so.null_stdin = true;
+  const Subprocess p = spawn_child(so);
+  RunResult r;
+  r.code = wait_child(p.pid, /*block=*/true).value_or(-1);
+  r.out = slurp(out_path);
+  return r;
+}
+
+std::vector<std::string> campaign_argv(const Config& c, int workers,
+                                       const std::string& journal) {
+  std::vector<std::string> a{c.scpgc,
+                             "campaign",
+                             "--in",
+                             c.netlist,
+                             "--points",
+                             std::to_string(c.points),
+                             "--cycles",
+                             std::to_string(c.cycles),
+                             "--seed",
+                             std::to_string(c.seed),
+                             "--workers",
+                             std::to_string(workers),
+                             "--shard",
+                             "2",
+                             "--heartbeat-ms",
+                             "150",
+                             "--json"};
+  if (!journal.empty()) {
+    a.push_back("--journal");
+    a.push_back(journal);
+  }
+  return a;
+}
+
+std::vector<std::string> resume_argv(const Config& c, int workers,
+                                     const std::string& journal) {
+  return {c.scpgc,        "campaign",
+          "--resume",      journal,
+          "--workers",     std::to_string(workers),
+          "--shard",       "2",
+          "--heartbeat-ms", "150",
+          "--json"};
+}
+
+/// Pulls payload.<key> (string) out of a scpgc --json envelope.
+std::string payload_str(const std::string& envelope, const char* key) {
+  const json::Value doc = json::parse(envelope);
+  const json::Value* payload = doc.get("payload");
+  if (payload == nullptr) return "";
+  const json::Value* v = payload->get(key);
+  return (v != nullptr && v->is(json::Value::Type::String)) ? v->str : "";
+}
+
+double payload_num(const std::string& envelope, const char* key) {
+  const json::Value doc = json::parse(envelope);
+  const json::Value* payload = doc.get("payload");
+  if (payload == nullptr) return -1;
+  const json::Value* v = payload->get(key);
+  return (v != nullptr && v->is(json::Value::Type::Number)) ? v->num : -1;
+}
+
+/// Direct children of `pid` (the campaign's workers).
+std::vector<pid_t> children_of(pid_t pid) {
+  const std::string p = "/proc/" + std::to_string(pid) + "/task/" +
+                        std::to_string(pid) + "/children";
+  std::ifstream in(p);
+  std::vector<pid_t> kids;
+  long k;
+  while (in >> k) kids.push_back(pid_t(k));
+  return kids;
+}
+
+std::size_t journal_lines(const std::string& path) {
+  const std::string text = slurp(path);
+  return std::size_t(std::count(text.begin(), text.end(), '\n'));
+}
+
+bool wait_journal_lines(const std::string& path, std::size_t want, pid_t pid,
+                        int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (journal_lines(path) >= want) return true;
+    if (wait_child(pid, /*block=*/false).has_value()) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return false;
+}
+
+struct Scenario {
+  const char* name;
+  bool (*run)(const Config&, const std::string& ref_digest, bool& skipped);
+};
+
+bool check_digest(const char* name, const RunResult& r,
+                  const std::string& ref_digest) {
+  if (r.code != 0) {
+    std::cerr << "crashmat[" << name << "]: FAIL: exit " << r.code << "\n"
+              << r.out;
+    return false;
+  }
+  const std::string d = payload_str(r.out, "result_digest");
+  if (d != ref_digest) {
+    std::cerr << "crashmat[" << name << "]: FAIL: result digest " << d
+              << " != reference " << ref_digest << "\n";
+    return false;
+  }
+  return true;
+}
+
+// --- scenarios --------------------------------------------------------
+
+bool strike_worker(const Config& c, const std::string& ref_digest,
+                   bool& skipped, int sig, const char* name) {
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const std::string journal = c.dir + "/" + name + ".journal";
+    const std::string out = c.dir + "/" + name + ".out";
+    fs::remove(journal);
+    SpawnOptions so;
+    so.argv = campaign_argv(c, c.workers, journal);
+    so.stdout_path = out;
+    so.null_stdin = true;
+    const Subprocess p = spawn_child(so);
+    // Strike once real progress exists but well before the end.
+    const bool in_window = wait_journal_lines(journal, 3, p.pid, 30000);
+    std::vector<pid_t> kids = in_window ? children_of(p.pid)
+                                        : std::vector<pid_t>{};
+    if (!kids.empty()) kill_child(kids.front(), sig);
+    const int code = wait_child(p.pid, /*block=*/true).value_or(-1);
+    if (!in_window || kids.empty()) continue; // finished too fast; retry
+    RunResult r{code, slurp(out)};
+    return check_digest(name, r, ref_digest);
+  }
+  std::cerr << "crashmat[" << name
+            << "]: SKIP: campaign finished before the strike window "
+               "(3 attempts)\n";
+  skipped = true;
+  return true;
+}
+
+bool sc_kill_worker(const Config& c, const std::string& ref, bool& skipped) {
+  return strike_worker(c, ref, skipped, SIGKILL, "kill-worker");
+}
+
+bool sc_stop_worker(const Config& c, const std::string& ref, bool& skipped) {
+  return strike_worker(c, ref, skipped, SIGSTOP, "stop-worker");
+}
+
+/// Kills the coordinator mid-run; returns the journal path, or "" when
+/// the campaign finished before the window (after 3 attempts).
+std::string killed_coordinator_journal(const Config& c, const char* name) {
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const std::string journal = c.dir + "/" + name + ".journal";
+    fs::remove(journal);
+    SpawnOptions so;
+    so.argv = campaign_argv(c, c.workers, journal);
+    so.stdout_path = c.dir + "/" + name + ".out";
+    so.null_stdin = true;
+    const Subprocess p = spawn_child(so);
+    const bool in_window = wait_journal_lines(journal, 3, p.pid, 30000);
+    if (!in_window) {
+      wait_child(p.pid, /*block=*/true);
+      continue;
+    }
+    kill_child(p.pid, SIGKILL);
+    wait_child(p.pid, /*block=*/true);
+    // Orphaned workers hold no resources we track; they exit on EOF.
+    return journal;
+  }
+  return "";
+}
+
+bool resume_and_check(const Config& c, const char* name,
+                      const std::string& journal,
+                      const std::string& ref_digest, bool expect_skipped) {
+  const RunResult r =
+      run_to_file(resume_argv(c, c.workers, journal),
+                  c.dir + "/" + std::string(name) + ".resume.out");
+  if (!check_digest(name, r, ref_digest)) return false;
+  if (expect_skipped && payload_num(r.out, "resumed_skipped") < 1) {
+    std::cerr << "crashmat[" << name
+              << "]: FAIL: resume did not skip any journaled rows\n";
+    return false;
+  }
+  return true;
+}
+
+bool sc_kill_coordinator(const Config& c, const std::string& ref,
+                         bool& skipped) {
+  const std::string journal = killed_coordinator_journal(c, "kill-coord");
+  if (journal.empty()) {
+    std::cerr << "crashmat[kill-coordinator]: SKIP: campaign finished "
+                 "before the strike window (3 attempts)\n";
+    skipped = true;
+    return true;
+  }
+  return resume_and_check(c, "kill-coordinator", journal, ref, true);
+}
+
+bool sc_truncate_journal(const Config& c, const std::string& ref,
+                         bool& skipped) {
+  const std::string journal = killed_coordinator_journal(c, "truncate");
+  if (journal.empty()) {
+    std::cerr << "crashmat[truncate-journal]: SKIP: campaign finished "
+                 "before the strike window (3 attempts)\n";
+    skipped = true;
+    return true;
+  }
+  // Shear the tail mid-line: exactly the artifact of a torn write.
+  const auto size = fs::file_size(journal);
+  fs::resize_file(journal, size - std::min<std::uintmax_t>(size / 2, 37));
+  return resume_and_check(c, "truncate-journal", journal, ref, false);
+}
+
+bool sc_bitflip_journal(const Config& c, const std::string& ref,
+                        bool& skipped) {
+  (void)skipped;
+  const std::string journal = c.dir + "/bitflip.journal";
+  fs::remove(journal);
+  RunResult full = run_to_file(campaign_argv(c, c.workers, journal),
+                               c.dir + "/bitflip.out");
+  if (!check_digest("bitflip-journal(setup)", full, ref)) return false;
+  // Flip one bit in the middle of the file (inside a complete line).
+  std::string text = slurp(journal);
+  text[text.size() / 2] = char(text[text.size() / 2] ^ 0x10);
+  std::ofstream(journal, std::ios::binary) << text;
+  const RunResult r = run_to_file(resume_argv(c, c.workers, journal),
+                                  c.dir + "/bitflip.resume.out");
+  if (r.code != 3) {
+    std::cerr << "crashmat[bitflip-journal]: FAIL: expected exit 3 "
+                 "(parse error), got "
+              << r.code << "\n"
+              << r.out;
+    return false;
+  }
+  return true;
+}
+
+bool sc_poisoned(const Config& c, const std::string& ref, bool& skipped) {
+  (void)skipped;
+  const std::string journal = c.dir + "/poisoned.journal";
+  fs::remove(journal);
+  std::vector<std::string> argv = campaign_argv(c, c.workers, journal);
+  // Every spawned worker dies right before row 3: that range must
+  // poison (exit 7) while every other range completes and journals.
+  argv.insert(argv.end(), {"--crash-at-row", "3", "--crash-workers", "99",
+                           "--max-attempts", "2"});
+  const RunResult r = run_to_file(argv, c.dir + "/poisoned.out");
+  if (r.code != 7) {
+    std::cerr << "crashmat[poisoned]: FAIL: expected exit 7, got " << r.code
+              << "\n"
+              << r.out;
+    return false;
+  }
+  const double completed = payload_num(r.out, "completed");
+  if (completed < 1) {
+    std::cerr << "crashmat[poisoned]: FAIL: no healthy rows completed\n";
+    return false;
+  }
+  // The journaled healthy rows + a crash-free resume == uninterrupted.
+  return resume_and_check(c, "poisoned", journal, ref, true);
+}
+
+constexpr Scenario kScenarios[] = {
+    {"kill-worker", sc_kill_worker},
+    {"stop-worker", sc_stop_worker},
+    {"kill-coordinator", sc_kill_coordinator},
+    {"truncate-journal", sc_truncate_journal},
+    {"bitflip-journal", sc_bitflip_journal},
+    {"poisoned", sc_poisoned},
+};
+
+int usage() {
+  std::cerr << "usage: crashmat --scpgc PATH --in NETLIST "
+               "[--scenario NAME|all] [--dir DIR] [--workers N] "
+               "[--points N] [--cycles N] [--seed S]\n";
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  Config c;
+  std::string scenario = "all";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return ++i < argc ? argv[i] : nullptr;
+    };
+    if (a == "--scpgc") {
+      if (const char* v = next()) c.scpgc = v; else return usage();
+    } else if (a == "--in") {
+      if (const char* v = next()) c.netlist = v; else return usage();
+    } else if (a == "--scenario") {
+      if (const char* v = next()) scenario = v; else return usage();
+    } else if (a == "--dir") {
+      if (const char* v = next()) c.dir = v; else return usage();
+    } else if (a == "--workers") {
+      if (const char* v = next()) c.workers = std::atoi(v); else return usage();
+    } else if (a == "--points") {
+      if (const char* v = next()) c.points = std::atoi(v); else return usage();
+    } else if (a == "--cycles") {
+      if (const char* v = next()) c.cycles = std::atoi(v); else return usage();
+    } else if (a == "--seed") {
+      if (const char* v = next()) c.seed = std::uint64_t(std::atoll(v));
+      else return usage();
+    } else {
+      return usage();
+    }
+  }
+  if (c.scpgc.empty() || c.netlist.empty()) return usage();
+  if (c.dir.empty())
+    c.dir = (fs::temp_directory_path() /
+             ("crashmat-" + std::to_string(::getpid())))
+                .string();
+  fs::create_directories(c.dir);
+  ignore_sigpipe();
+
+  // Reference: one uninterrupted in-process run.  Its digest is the
+  // bit-exactness oracle every scenario must reproduce.
+  const RunResult ref =
+      run_to_file(campaign_argv(c, /*workers=*/0, ""), c.dir + "/ref.out");
+  if (ref.code != 0) {
+    std::cerr << "crashmat: reference campaign failed (exit " << ref.code
+              << ")\n"
+              << ref.out;
+    return 1;
+  }
+  const std::string ref_digest = payload_str(ref.out, "result_digest");
+  if (ref_digest.empty()) {
+    std::cerr << "crashmat: reference campaign produced no result digest\n";
+    return 1;
+  }
+
+  int failures = 0, ran = 0, skips = 0;
+  for (const Scenario& s : kScenarios) {
+    if (scenario != "all" && scenario != s.name) continue;
+    ++ran;
+    bool skipped = false;
+    const bool ok = s.run(c, ref_digest, skipped);
+    if (skipped) ++skips;
+    if (!ok) {
+      ++failures;
+    } else if (!skipped) {
+      std::cout << "crashmat[" << s.name << "]: PASS\n";
+    }
+  }
+  if (ran == 0) {
+    std::cerr << "crashmat: unknown scenario '" << scenario << "'\n";
+    return usage();
+  }
+  std::cout << "crashmat: " << (ran - failures - skips) << " passed, "
+            << skips << " skipped, " << failures << " failed\n";
+  return failures == 0 ? 0 : 1;
+}

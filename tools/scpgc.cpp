@@ -14,6 +14,19 @@
 //   scpgc verify    --in d.v [options] [--json]    fault-injection campaign
 //                                                  with runtime hazard
 //                                                  monitors
+//   scpgc campaign  --in d.v [sweep knobs] [--workers N] [--journal FILE]
+//                   [--resume FILE] [--json]       the standard measured
+//                                                  sweep sharded across
+//                                                  supervised worker
+//                                                  subprocesses with a
+//                                                  crash-safe write-ahead
+//                                                  journal; bit-identical
+//                                                  to --workers 0 at any
+//                                                  worker count, resumable
+//                                                  after SIGKILL
+//   scpgc worker                                   internal: campaign worker
+//                                                  subprocess (frame
+//                                                  protocol on stdin/stdout)
 //   scpgc lint      --in d.v [--freq-mhz F] [--duty D] [--clock NAME]
 //                   [--only IDS] [--json]          static SCPG power-intent
 //                                                  and structural analysis
@@ -63,16 +76,30 @@
 //   0  success (verify: zero hazards)      1  verify: hazards detected
 //   2  usage error                         3  parse error
 //   4  infeasible design request           5  other flow error
-//   6  unexpected internal error
+//   6  unexpected internal error           7  campaign: poisoned ranges
+//
+// campaign exit codes: 0 every row measured; 3 corrupt journal (parse
+// error, incl. resume of a bit-flipped or hostile file); 5 journal/
+// campaign mismatch or unrecoverable worker setup failure; 7 one or more
+// ranges exhausted their retry budget (healthy rows still completed and,
+// with --journal, are durable for a later --resume).
 //
 // Netlists must be flat structural Verilog over scpg90 cells (the format
 // written by this library; see examples/design_flow).
+#include <unistd.h>
+
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "campaign/coordinator.hpp"
+#include "campaign/spec.hpp"
+#include "campaign/frame.hpp"
+#include "campaign/journal.hpp"
+#include "campaign/worker.hpp"
 #include "cli.hpp"
 #include "engine/sweep.hpp"
 #include "fuzz/fuzzer.hpp"
@@ -109,20 +136,11 @@ Corner corner_of(const cli::Parsed& p) {
   return Corner{Voltage{p.num("vdd", 0.6)}, p.num("temp", 25.0)};
 }
 
-/// Vector-less dynamic energy estimate: every net toggles with
-/// probability `activity` per cycle.
-Energy estimate_dyn(const Netlist& nl, Corner c, double activity) {
-  const double escale = nl.lib().tech().energy_scale(c);
-  double e = 0;
-  for (std::uint32_t ni = 0; ni < nl.num_nets(); ++ni) {
-    const NetId n{ni};
-    e += 0.5 * nl.net_load(n).v * c.vdd.v * c.vdd.v;
-    const Net& net = nl.net(n);
-    if (net.driven_by_cell() && !nl.cell(net.driver_cell).is_macro())
-      e += nl.spec_of(net.driver_cell).internal_energy.v * escale;
-  }
-  return Energy{e * activity};
-}
+// Shared with `scpgc campaign` via src/campaign: one definition of the
+// vector-less dynamic-energy estimate and the random stimulus, so the
+// in-process sweep and the multi-process campaign measure identically.
+using campaign::estimate_dynamic_energy;
+using campaign::random_stimulus;
 
 // --- command specs ----------------------------------------------------------
 //
@@ -204,6 +222,42 @@ cli::Spec verify_spec() {
       .with_seed()
       .flag("no-lint", "skip the lint pre-gate");
   return s;
+}
+
+cli::Spec campaign_spec() {
+  cli::Spec s("campaign",
+              "the standard measured sweep sharded across supervised "
+              "worker subprocesses, crash-safe and resumable");
+  with_corner(with_in(s))
+      .opt("clock", "NAME", "clock port (default clk)")
+      .opt("activity", "A", "per-net toggle probability (default 0.15)")
+      .opt("fmax-mhz", "F", "top of the frequency range (default 10)")
+      .opt("points", "N", "operating points, log-spaced (default 12)")
+      .opt("cycles", "N", "measured cycles per point (default 12)")
+      .with_seed()
+      .opt("workers", "N",
+           "worker subprocesses (default 2; 0 = run in-process)")
+      .opt("journal", "FILE", "write-ahead journal for crash recovery")
+      .opt("resume", "FILE",
+           "resume from a journal; the spec comes from its header")
+      .opt("shard", "N", "rows per worker assignment (default 4)")
+      .opt("max-attempts", "N",
+           "assignments per range before poisoning (default 3)")
+      .opt("heartbeat-ms", "MS", "worker heartbeat period (default 250)")
+      .opt("timeout-ms", "MS", "per-assignment deadline (default 60000)")
+      .opt("worker-cmd", "PATH", "worker executable (default: this binary)")
+      .opt("crash-at-row", "N",
+           "fault injection: crashing workers _exit(137) before row N")
+      .opt("crash-workers", "N",
+           "fault injection: how many spawned workers crash (default 1)")
+      .flag("no-lint", "skip the lint pre-gate on swept designs");
+  return s;
+}
+
+cli::Spec worker_spec() {
+  return cli::Spec("worker",
+                   "internal: campaign worker subprocess; speaks the "
+                   "framed campaign protocol on stdin/stdout");
 }
 
 cli::Spec lint_spec() {
@@ -410,29 +464,6 @@ int cmd_verify(const Library& lib, const cli::Parsed& p) {
   return 0; // kExitOk
 }
 
-/// Vector-less random stimulus for the engine sweep: every data input bit
-/// is re-driven with probability `activity` per cycle from the point's
-/// RNG stream.  Deterministic per operating point at any --jobs value.
-engine::Stimulus random_stimulus(double activity, std::string clock_port) {
-  using namespace scpg::literals;
-  return [activity, clock_port = std::move(clock_port)](Simulator& s,
-                                                        int cycle,
-                                                        Rng& rng) {
-    const Netlist& nl = s.netlist();
-    for (const Port& p : nl.ports()) {
-      if (p.dir != PortDir::In) continue;
-      if (p.name == clock_port || p.name == "override_n" ||
-          p.name == "rst_n")
-        continue;
-      // Every input is pinned on the first cycle (no X floats into the
-      // measurement window); afterwards bits re-toggle at `activity`.
-      if (cycle == 0 || rng.uniform() < activity)
-        s.drive_at(s.now() + to_fs(1.0_ns), p.net,
-                   rng.bits(1) ? Logic::L1 : Logic::L0);
-    }
-  };
-}
-
 int cmd_sweep(const Library& lib, const cli::Parsed& p) {
   Netlist nl = load(lib, p.opt("in"));
   const Corner c = corner_of(p);
@@ -454,7 +485,7 @@ int cmd_sweep(const Library& lib, const cli::Parsed& p) {
 
   SimConfig cfg;
   cfg.corner = c;
-  const Energy e_dyn = estimate_dyn(nl, c, activity);
+  const Energy e_dyn = estimate_dynamic_energy(nl, c, activity);
   const ScpgPowerModel m = ScpgPowerModel::extract(nl, cfg, e_dyn);
 
   const double fmax_mhz = p.num("fmax-mhz", 10.0);
@@ -474,7 +505,7 @@ int cmd_sweep(const Library& lib, const cli::Parsed& p) {
       .clock_port(clock_port)
       .jobs(jobs)
       .stimulus(random_stimulus(activity, clock_port),
-                "scpgc:rand:a=" + TextTable::num(activity, 4));
+                campaign::random_stimulus_key(activity));
   for (std::size_t i = 0; i < fs_mhz.size(); ++i) {
     const Frequency f{fs_mhz[i] * 1e6};
     engine::OperatingPoint pt;
@@ -570,6 +601,126 @@ int cmd_sweep(const Library& lib, const cli::Parsed& p) {
            r.measured50 ? TextTable::num(r.meas_scpg50_uw, 2) : "n/f"});
   t.print(std::cout);
   return 0;
+}
+
+/// Path of the running binary, for respawning ourselves as `scpgc
+/// worker`.  /proc/self/exe is authoritative on Linux; the PATH lookup
+/// in execvp covers the fallback name.
+std::string self_exe() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) return std::string(buf, std::size_t(n));
+  return "scpgc";
+}
+
+int cmd_campaign(const Library& lib, const cli::Parsed& p) {
+  campaign::CampaignSpec cs;
+  campaign::CoordinatorOptions opt;
+  if (p.has_opt("resume")) {
+    // The journal header is the spec: a resume needs no --in and cannot
+    // accidentally describe a different campaign.
+    opt.journal_path = p.opt("resume");
+    opt.resume = true;
+    cs = campaign::read_journal(opt.journal_path, /*allow_torn_tail=*/true)
+             .spec;
+  } else {
+    cs.netlist_path = p.opt("in");
+    if (cs.netlist_path.empty())
+      throw cli::UsageError("missing required --in FILE (or --resume FILE)");
+    cs.vdd = p.num("vdd", 0.6);
+    cs.temp_c = p.num("temp", 25.0);
+    cs.activity = p.num("activity", 0.15);
+    cs.fmax_mhz = p.num("fmax-mhz", 10.0);
+    cs.points = int(p.num("points", 12));
+    cs.cycles = int(p.num("cycles", 12));
+    cs.seed = std::uint64_t(p.num("seed", 1));
+    cs.clock_port = p.opt("clock", "clk");
+    opt.journal_path = p.opt("journal");
+  }
+  opt.workers = int(p.num("workers", 2));
+  opt.shard_size = std::size_t(p.num("shard", 4));
+  opt.max_attempts = int(p.num("max-attempts", 3));
+  opt.heartbeat_ms = int(p.num("heartbeat-ms", 250));
+  opt.range_timeout_ms = int(p.num("timeout-ms", 60000));
+  if (p.has_opt("crash-at-row")) {
+    opt.worker_crash_at_row = std::size_t(p.num("crash-at-row", 0));
+    opt.crash_worker_limit = int(p.num("crash-workers", 1));
+  }
+  if (opt.workers > 0) {
+    std::string wcmd = p.opt("worker-cmd");
+    if (wcmd.empty()) wcmd = self_exe();
+    opt.worker_argv = {wcmd, "worker"};
+    if (p.has_flag("no-lint")) opt.worker_argv.push_back("--no-lint");
+  }
+
+  const campaign::CampaignPlan plan = campaign::build_campaign(lib, cs);
+  const campaign::CampaignOutcome out = campaign::run_campaign(plan, opt);
+
+  if (p.json()) {
+    json::Writer w(std::cout);
+    json::write_envelope_open(w, "scpgc-campaign");
+    w.key("payload").begin_object();
+    w.key("design").value(plan.design_name);
+    w.key("campaign").value(campaign::hex64(out.campaign_digest));
+    w.key("total").value(std::uint64_t(out.results.size()));
+    w.key("completed")
+        .value(std::uint64_t(out.results.size() - out.poisoned_rows.size()));
+    w.key("resumed_skipped").value(std::uint64_t(out.resumed_skipped));
+    w.key("retries").value(std::uint64_t(out.retries));
+    w.key("workers_spawned").value(std::uint64_t(out.workers_spawned));
+    w.key("heartbeat_misses").value(std::uint64_t(out.heartbeat_misses));
+    w.key("result_digest")
+        .value(out.complete() ? campaign::hex64(out.result_digest) : "");
+    w.key("poisoned_rows").begin_array();
+    for (const std::size_t r : out.poisoned_rows) w.value(std::uint64_t(r));
+    w.end_array();
+    w.key("rows").begin_array();
+    for (std::size_t i = 0; i < out.results.size(); ++i) {
+      if (std::binary_search(out.poisoned_rows.begin(),
+                             out.poisoned_rows.end(), i))
+        continue;
+      const engine::PointResult& r = out.results[i];
+      w.begin_object(json::Writer::Style::Compact);
+      w.key("tag").value(r.point.tag);
+      w.key("f_mhz").value(r.point.f.v / 1e6);
+      w.key("avg_uw").value(in_uW(r.avg_power));
+      // Bit pattern: crashmat asserts byte-identical recovery on this.
+      w.key("avg_power_bits")
+          .value(campaign::hex64(campaign::double_bits(r.avg_power.v)));
+      w.key("cache_hit").value(r.cache_hit);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.end_object();
+    std::cout << '\n';
+  } else {
+    TextTable t("campaign " + campaign::hex64(out.campaign_digest) + ", " +
+                std::to_string(out.results.size()) + " rows, " +
+                std::to_string(opt.workers) + " workers (" +
+                std::to_string(out.workers_spawned) + " spawned, " +
+                std::to_string(out.retries) + " retries, " +
+                std::to_string(out.resumed_skipped) + " resumed)");
+    t.header({"row", "tag", "f MHz", "sim uW"});
+    for (std::size_t i = 0; i < out.results.size(); ++i) {
+      const engine::PointResult& r = out.results[i];
+      const bool poisoned = std::binary_search(out.poisoned_rows.begin(),
+                                               out.poisoned_rows.end(), i);
+      t.row({std::to_string(i), r.point.tag,
+             TextTable::num(r.point.f.v / 1e6, 3),
+             poisoned ? "POISONED" : TextTable::num(in_uW(r.avg_power), 2)});
+    }
+    t.print(std::cout);
+    if (!out.complete())
+      std::cout << "campaign: " << out.poisoned_rows.size()
+                << " row(s) poisoned after " << opt.max_attempts
+                << " attempts\n";
+  }
+  return out.complete() ? 0 : 7; // kExitOk / kExitPoisoned
+}
+
+int cmd_worker(const Library& /*lib*/, const cli::Parsed& /*p*/) {
+  return campaign::worker_main(STDIN_FILENO, STDOUT_FILENO);
 }
 
 int cmd_lint(const Library& lib, const cli::Parsed& p) {
@@ -700,6 +851,7 @@ constexpr int kExitParse = 3;
 constexpr int kExitInfeasible = 4;
 constexpr int kExitError = 5;
 constexpr int kExitInternal = 6;
+constexpr int kExitPoisoned = 7; // campaign: ranges exhausted retries
 
 struct Command {
   const char* name;
@@ -712,6 +864,8 @@ constexpr Command kCommands[] = {
     {"report", report_spec, cmd_report},
     {"transform", transform_spec, cmd_transform},
     {"sweep", sweep_spec, cmd_sweep},
+    {"campaign", campaign_spec, cmd_campaign},
+    {"worker", worker_spec, cmd_worker},
     {"verify", verify_spec, cmd_verify},
     {"lint", lint_spec, cmd_lint},
     {"fuzz", fuzz_spec, cmd_fuzz},
@@ -739,7 +893,8 @@ void dump_obs(const cli::Parsed& p, const std::string& command) {
 int main(int argc, char** argv) {
   const std::string command = argc >= 2 ? argv[1] : "";
   constexpr const char* kGlobalUsage =
-      "usage: scpgc {liberty|report|transform|sweep|verify|lint|fuzz} "
+      "usage: scpgc "
+      "{liberty|report|transform|sweep|campaign|worker|verify|lint|fuzz} "
       "[options]\n"
       "       scpgc <command> --help for per-command options\n";
   if (command == "--help" || command == "-h" || command == "help") {
