@@ -1,0 +1,129 @@
+// Backend throughput comparison: the same compiled-eligible operating
+// points (gating overridden off — the configuration both backends can
+// measure) timed on the event-driven reference and on the compiled
+// levelized kernel, for both case studies, plus the 64-lane BatchSim
+// bit-parallel configuration.
+//
+// Output is one parse-friendly line per measurement:
+//
+//   bench_sim_backends: design=mult16 event_pts_per_s=...
+//       compiled_pts_per_s=... ratio=...   (one line in reality)
+//
+// `tools/check.sh --simperf` builds this binary and fails the build when
+// the mult16 or SCM0 ratio drops below the pinned floor.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "sim/compiled/kernel.hpp"
+
+using namespace scpg;
+using namespace scpg::benchx;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// One sweep of `points` distinct rows (seed axis) on one backend,
+/// jobs(1) and cache off so wall time is pure simulation.
+engine::SweepSpec spec_for(const Netlist& nl, bool is_cpu, sim::Backend b,
+                           int points) {
+  std::vector<std::uint64_t> seeds;
+  for (int i = 0; i < points; ++i) seeds.push_back(std::uint64_t(i) + 1);
+  engine::SweepSpec spec;
+  SimConfig cfg;
+  cfg.corner = {0.6_V, 25.0};
+  if (is_cpu) {
+    spec.base_sim(cpu::scm0_sim_config()).cycles(40).setup(cpu_setup());
+  } else {
+    spec.base_sim(cfg).cycles(24).stimulus(mult_stimulus());
+  }
+  spec.design(nl)
+      .frequency(1.0_MHz)
+      .override_gating(true)
+      .seeds(std::move(seeds))
+      .jobs(1)
+      .use_cache(false)
+      .backend(b);
+  return spec;
+}
+
+double points_per_s(const Netlist& nl, bool is_cpu, sim::Backend b,
+                    int points) {
+  // Warm once outside the timed region: the first compiled point pays
+  // levelization (amortised by the process-wide program cache) and the
+  // first event point faults in the library tables.
+  (void)engine::Experiment(spec_for(nl, is_cpu, b, 1)).run();
+  const auto t0 = std::chrono::steady_clock::now();
+  const engine::SweepResult res =
+      engine::Experiment(spec_for(nl, is_cpu, b, points)).run();
+  const double dt = seconds_since(t0);
+  if (res.size() != std::size_t(points) || dt <= 0) return 0;
+  return double(points) / dt;
+}
+
+void compare(const char* name, const Netlist& nl, bool is_cpu,
+             int event_points, int compiled_points) {
+  const double ev =
+      points_per_s(nl, is_cpu, sim::Backend::Event, event_points);
+  const double co =
+      points_per_s(nl, is_cpu, sim::Backend::Compiled, compiled_points);
+  std::printf("bench_sim_backends: design=%s event_pts_per_s=%.2f "
+              "compiled_pts_per_s=%.2f ratio=%.1f\n",
+              name, ev, co, ev > 0 ? co / ev : 0.0);
+}
+
+/// The bit-parallel configuration: 64 independent stimulus lanes per
+/// pass.  Reported in lane-cycles/s (one lane-cycle = one registered
+/// cycle of one independent simulation).
+void batch_demo(const Netlist& nl, int cycles) {
+  sim::compiled::BatchSim bs(nl);
+  bs.reset();
+  bs.set_input_word("clk", sim::compiled::broadcast(Logic::L0));
+  Rng rng(3);
+  // Drive whole 64-lane words per bus bit (the intended bit-parallel
+  // drive path): draw one 16-bit value per lane, transpose to 16 Words.
+  const auto drive = [&](const char* bus) {
+    std::uint64_t lane_vals[64];
+    for (std::uint64_t& v : lane_vals) v = rng.bits(16);
+    for (int i = 0; i < 16; ++i) {
+      sim::compiled::Word w; // x == 0: every lane known
+      for (int lane = 0; lane < 64; ++lane)
+        w.v |= ((lane_vals[lane] >> i) & 1) << lane;
+      bs.set_input_word(std::string(bus) + "[" + std::to_string(i) + "]", w);
+    }
+  };
+  // Warm the pipeline so the timed loop starts from known state.
+  drive("a");
+  drive("b");
+  bs.clock();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t sink = 0;
+  for (int c = 0; c < cycles; ++c) {
+    drive("a");
+    drive("b");
+    bs.clock();
+    sink ^= bs.read_bus_lane(int(sink) & 63, "p", 32);
+  }
+  const double dt = seconds_since(t0);
+  std::printf("bench_sim_backends: design=mult16 "
+              "batch_lane_cycles_per_s=%.0f (sink=%llx)\n",
+              dt > 0 ? 64.0 * cycles / dt : 0.0,
+              static_cast<unsigned long long>(sink));
+}
+
+} // namespace
+
+int main() {
+  MultSetup mult = make_mult_setup();
+  CpuSetup cpu = make_cpu_setup();
+  compare("mult16", mult.gated, false, 8, 200);
+  compare("scm0", cpu.gated.netlist, true, 8, 200);
+  batch_demo(mult.original, 2000);
+  return 0;
+}

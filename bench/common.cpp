@@ -1,7 +1,10 @@
 #include "common.hpp"
 
+#include <cstdlib>
 #include <iomanip>
 #include <iostream>
+
+#include "util/error.hpp"
 
 namespace scpg::benchx {
 
@@ -27,26 +30,37 @@ const Library& bench_lib() {
   return l;
 }
 
-engine::Stimulus mult_stimulus() {
-  return [](Simulator& s, int, Rng& rng) {
-    s.drive_bus_at(s.now() + to_fs(1.0_ns), "a", rng.bits(16), 16);
-    s.drive_bus_at(s.now() + to_fs(1.0_ns), "b", rng.bits(16), 16);
-  };
+sim::StimulusSpec mult_stimulus() {
+  return sim::StimulusSpec::random_buses({{"a", 16}, {"b", 16}},
+                                         kMultStimKey);
 }
 
-void cpu_setup_fn(Simulator& s) {
-  s.drive_at(0, s.netlist().port_net("rst_n"), Logic::L1);
+sim::SetupSpec cpu_setup() {
+  return sim::SetupSpec::drives({{"rst_n", Logic::L1}}, kCpuSetupKey);
+}
+
+sim::Backend bench_backend() {
+  const char* env = std::getenv("SCPG_BACKEND");
+  if (env == nullptr || *env == '\0') return sim::Backend::Event;
+  const auto b = sim::backend_from_name(env);
+  SCPG_REQUIRE(b.has_value(),
+               std::string("SCPG_BACKEND must be event, compiled or auto; "
+                           "got \"") +
+                   env + "\"");
+  return *b;
 }
 
 engine::SweepSpec mult_spec(SimConfig cfg, int cycles) {
   engine::SweepSpec spec;
-  spec.base_sim(cfg).cycles(cycles).stimulus(mult_stimulus(), kMultStimKey);
+  spec.base_sim(cfg).cycles(cycles).stimulus(mult_stimulus());
+  spec.backend(bench_backend());
   return spec;
 }
 
 engine::SweepSpec cpu_spec(SimConfig cfg, int cycles) {
   engine::SweepSpec spec;
-  spec.base_sim(cfg).cycles(cycles).setup(cpu_setup_fn, kCpuSetupKey);
+  spec.base_sim(cfg).cycles(cycles).setup(cpu_setup());
+  spec.backend(bench_backend());
   return spec;
 }
 

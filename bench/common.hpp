@@ -32,12 +32,17 @@ using namespace scpg::literals;
 
 /// Random-operand multiplier stimulus driven from the engine's per-point
 /// RNG stream (deterministic per operating point, any job count).
-[[nodiscard]] engine::Stimulus mult_stimulus();
+/// Declarative, so every simulation backend can execute it.
+[[nodiscard]] sim::StimulusSpec mult_stimulus();
 inline const std::string kMultStimKey = "mult:rand16@+1ns";
 
 /// Releases the SCM0 reset at time 0.
-void cpu_setup_fn(Simulator& s);
+[[nodiscard]] sim::SetupSpec cpu_setup();
 inline const std::string kCpuSetupKey = "scm0:rst_n@0";
+
+/// The benches' simulation backend: SCPG_BACKEND env ("event",
+/// "compiled", "auto"); defaults to the event reference.
+[[nodiscard]] sim::Backend bench_backend();
 
 /// SweepSpec preloaded with the multiplier fixture (random operands,
 /// `cfg` rail calibration, `cycles` measured cycles).  Add designs, axes

@@ -53,6 +53,12 @@ std::string to_json(const CampaignSpec& spec) {
   s += ", \"seed\": \"" + hex64(spec.seed) + "\"";
   s += ", \"clock\": ";
   json::append_quoted(s, spec.clock_port);
+  // Appended only when non-default: pre-backend campaign specs (and
+  // their journal digests) render byte-identically.
+  if (spec.backend != sim::Backend::Event) {
+    s += ", \"backend\": ";
+    json::append_quoted(s, std::string(sim::backend_name(spec.backend)));
+  }
   s += "}";
   return s;
 }
@@ -71,6 +77,14 @@ CampaignSpec spec_from_json(const json::Value& v, const std::string& source,
   spec.cycles = int(num_field(v, "cycles", source, lineno));
   spec.seed = parse_hex64(str_field(v, "seed", source, lineno), source, lineno);
   spec.clock_port = str_field(v, "clock", source, lineno);
+  if (const json::Value* b = v.get("backend"); b != nullptr) {
+    if (!b->is(json::Value::Type::String))
+      spec_error("non-string \"backend\"", source, lineno);
+    const auto parsed = sim::backend_from_name(b->str);
+    if (!parsed)
+      spec_error("unknown \"backend\" \"" + b->str + "\"", source, lineno);
+    spec.backend = *parsed;
+  }
   if (spec.points < 2) spec_error("\"points\" must be >= 2", source, lineno);
   if (spec.cycles < 1) spec_error("\"cycles\" must be >= 1", source, lineno);
   if (spec.fmax_mhz <= 0 || spec.vdd <= 0)
@@ -78,24 +92,9 @@ CampaignSpec spec_from_json(const json::Value& v, const std::string& source,
   return spec;
 }
 
-engine::Stimulus random_stimulus(double activity, std::string clock_port) {
-  using namespace scpg::literals;
-  return [activity, clock_port = std::move(clock_port)](Simulator& s,
-                                                        int cycle,
-                                                        Rng& rng) {
-    const Netlist& nl = s.netlist();
-    for (const Port& p : nl.ports()) {
-      if (p.dir != PortDir::In) continue;
-      if (p.name == clock_port || p.name == "override_n" ||
-          p.name == "rst_n")
-        continue;
-      // Every input is pinned on the first cycle (no X floats into the
-      // measurement window); afterwards bits re-toggle at `activity`.
-      if (cycle == 0 || rng.uniform() < activity)
-        s.drive_at(s.now() + to_fs(1.0_ns), p.net,
-                   rng.bits(1) ? Logic::L1 : Logic::L0);
-    }
-  };
+sim::StimulusSpec random_stimulus(double activity, std::string clock_port) {
+  return sim::StimulusSpec::random_inputs(activity, std::move(clock_port),
+                                          random_stimulus_key(activity));
 }
 
 std::string random_stimulus_key(double activity) {
@@ -149,8 +148,8 @@ CampaignPlan build_campaign(const Library& lib, const CampaignSpec& spec) {
       .cycles(spec.cycles)
       .clock_port(spec.clock_port)
       .jobs(1)
-      .stimulus(random_stimulus(spec.activity, spec.clock_port),
-                random_stimulus_key(spec.activity));
+      .backend(spec.backend)
+      .stimulus(random_stimulus(spec.activity, spec.clock_port));
   for (int i = 0; i < spec.points; ++i) {
     const double f_mhz =
         spec.fmax_mhz *

@@ -39,6 +39,10 @@ struct CampaignSpec {
   int cycles{12};
   std::uint64_t seed{1};
   std::string clock_port{"clk"};
+  /// Simulation backend for every row.  Part of the campaign identity
+  /// (compiled power differs from event at glitch granularity), but only
+  /// serialized when non-default so existing journals keep their digests.
+  sim::Backend backend{sim::Backend::Event};
 };
 
 /// Canonical compact JSON (one line, fixed key order); the digest hashes
@@ -78,10 +82,11 @@ struct CampaignPlan {
 
 /// Vector-less random stimulus shared by `scpgc sweep` and campaigns:
 /// every data input bit is re-driven with probability `activity` per
-/// cycle from the point's RNG stream.  The paired cache key is
-/// "scpgc:rand:a=<activity>" so sweep and campaign share cache entries.
-[[nodiscard]] engine::Stimulus random_stimulus(double activity,
-                                               std::string clock_port);
+/// cycle from the point's RNG stream.  Declarative (every backend can
+/// run it); the embedded cache key is "scpgc:rand:a=<activity>" so sweep
+/// and campaign share cache entries.
+[[nodiscard]] sim::StimulusSpec random_stimulus(double activity,
+                                                std::string clock_port);
 [[nodiscard]] std::string random_stimulus_key(double activity);
 
 /// Vector-less dynamic energy estimate: every net toggles with

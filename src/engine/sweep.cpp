@@ -1,7 +1,9 @@
 #include "engine/sweep.hpp"
 
 #include <chrono>
+#include <map>
 #include <mutex>
+#include <tuple>
 #include <unordered_map>
 #include <utility>
 
@@ -95,14 +97,31 @@ SweepSpec& SweepSpec::override_port(std::string name) {
 }
 
 SweepSpec& SweepSpec::stimulus(Stimulus fn, std::string cache_key) {
-  stimulus_ = std::move(fn);
-  stimulus_key_ = std::move(cache_key);
+  // A null closure clears the stimulus, as it always did.
+  stimulus_ = fn ? sim::StimulusSpec::closure(std::move(fn),
+                                              std::move(cache_key))
+                 : sim::StimulusSpec{};
   return *this;
 }
 
 SweepSpec& SweepSpec::setup(Setup fn, std::string cache_key) {
-  setup_ = std::move(fn);
-  setup_key_ = std::move(cache_key);
+  setup_ = fn ? sim::SetupSpec::closure(std::move(fn), std::move(cache_key))
+              : sim::SetupSpec{};
+  return *this;
+}
+
+SweepSpec& SweepSpec::stimulus(sim::StimulusSpec spec) {
+  stimulus_ = std::move(spec);
+  return *this;
+}
+
+SweepSpec& SweepSpec::setup(sim::SetupSpec spec) {
+  setup_ = std::move(spec);
+  return *this;
+}
+
+SweepSpec& SweepSpec::backend(sim::Backend b) {
+  backend_ = b;
   return *this;
 }
 
@@ -197,50 +216,59 @@ std::uint64_t Experiment::point_digest(const OperatingPoint& pt) const {
   h.mix(std::uint64_t(spec_.cycles_));
   h.mix(std::string_view(spec_.clock_port_));
   h.mix(std::string_view(spec_.override_port_));
-  h.mix(std::string_view(spec_.stimulus_key_));
-  h.mix(std::string_view(spec_.setup_key_));
+  // Spec keys, not kinds: the digest stays byte-identical to the legacy
+  // closure-only engine, so pre-redesign cache entries and RNG streams
+  // are preserved.
+  h.mix(std::string_view(spec_.stimulus_.key()));
+  h.mix(std::string_view(spec_.setup_.key()));
   return h.digest();
 }
 
-Measurement Experiment::measure_point(const OperatingPoint& pt,
-                                      std::uint64_t digest) const {
+sim::MeasureRequest Experiment::make_request(const OperatingPoint& pt,
+                                             std::uint64_t digest) const {
   SCPG_REQUIRE(pt.f.v > 0, "frequency must be positive");
-  const Netlist& nl = *spec_.designs_[pt.design];
-
-  SimConfig cfg = spec_.base_sim_;
-  cfg.corner = pt.corner;
-  Simulator sim(nl, cfg);
-  sim.init_flops_to_zero();
-
-  const NetId clk = nl.port_net(spec_.clock_port_);
-  if (const PortId ov = nl.find_port(spec_.override_port_); ov.valid())
-    sim.drive_at(0, nl.port(ov).net,
-                 pt.override_gating ? Logic::L0 : Logic::L1);
-  if (spec_.setup_) spec_.setup_(sim);
-
-  const SimTime T = to_fs(period(pt.f));
-  // Low phase first: the clock rises after one low interval so the gated
-  // domain starts powered.
-  const SimTime first_rise = SimTime(double(T) * (1.0 - pt.duty_high));
-  sim.add_clock(clk, pt.f, pt.duty_high, first_rise);
-
+  sim::MeasureRequest rq;
+  rq.nl = spec_.designs_[pt.design];
+  rq.cfg = spec_.base_sim_;
+  rq.cfg.corner = pt.corner;
+  rq.f = pt.f;
+  rq.duty_high = pt.duty_high;
+  rq.override_gating = pt.override_gating;
+  rq.warmup = spec_.warmup_;
+  rq.cycles = spec_.cycles_;
+  rq.clock_port = spec_.clock_port_;
+  rq.override_port = spec_.override_port_;
+  rq.stimulus = spec_.stimulus_.empty() ? nullptr : &spec_.stimulus_;
+  rq.setup = spec_.setup_.empty() ? nullptr : &spec_.setup_;
   // The stream is keyed by content, not by row index: a cache hit hands
   // back exactly what this computation would produce, and adding or
   // reordering grid axes never shifts another point's stimulus.
-  Rng rng = Rng::stream(pt.seed, digest);
-  int cycle = -1;
-  sim.on_rising_edge(clk, [this, &sim, &rng, &cycle]() {
-    ++cycle;
-    if (cycle == spec_.warmup_) sim.reset_tally();
-    if (spec_.stimulus_) spec_.stimulus_(sim, cycle, rng);
-  });
+  rq.seed = pt.seed;
+  rq.digest = digest;
+  rq.nl_digest = design_digests_[pt.design];
+  return rq;
+}
 
-  const SimTime t_end =
-      first_rise + T * SimTime(spec_.warmup_ + spec_.cycles_);
-  sim.run_until(t_end);
+Measurement Experiment::measure_point(const sim::MeasureRequest& rq,
+                                      sim::Backend chosen) const {
+  std::optional<PowerTally> tally = sim::backend_impl(chosen).measure(rq);
+  if (!tally) {
+    // The run left the chosen backend's model mid-flight (a header was
+    // commanded to sleep under a compiled point).  Forced Compiled must
+    // not silently change estimator; Auto re-runs on the reference.
+    SCPG_REQUIRE(spec_.backend_ != sim::Backend::Compiled,
+                 "compiled backend left its model mid-run (a header was "
+                 "commanded to sleep); use --backend auto or event");
+    SCPG_OBS_COUNT("sim.backend.compiled.dynamic_fallbacks", 1);
+    tally = sim::event_backend().measure(rq);
+    SCPG_ASSERT(tally.has_value());
+  }
+  return finish_measurement(*tally);
+}
 
+Measurement Experiment::finish_measurement(const PowerTally& tally) const {
   Measurement r;
-  r.tally = sim.tally();
+  r.tally = tally;
   r.cycles = spec_.cycles_;
   SCPG_ASSERT(r.tally.window.v > 0);
   r.avg_power = r.tally.average();
@@ -318,8 +346,8 @@ const Experiment::Prepared& Experiment::prepare() const {
     // caching them would alias distinct stimuli.
     prep->cacheable =
         spec_.use_cache_ &&
-        (!spec_.stimulus_ || !spec_.stimulus_key_.empty()) &&
-        (!spec_.setup_ || !spec_.setup_key_.empty());
+        (spec_.stimulus_.empty() || !spec_.stimulus_.key().empty()) &&
+        (spec_.setup_.empty() || !spec_.setup_.key().empty());
     prep_ = std::move(prep);
   });
   return *prep_;
@@ -342,12 +370,23 @@ PointResult Experiment::execute_row(const Prepared& prep,
 
   PointResult res;
   res.point = pt;
+  const sim::MeasureRequest rq = make_request(pt, digest);
+  // Static resolution is a pure function of the row's content, so it is
+  // jobs-invariant and valid for cache hits too.
+  const sim::Backend chosen = sim::resolve_backend(spec_.backend_, rq);
+  res.backend = chosen;
   CacheKey key;
   if (prep.cacheable) {
     key.lo = digest;
     Fnv1a salted(0x9e3779b97f4a7c15ULL);
     salted.mix(design_digests_[pt.design]);
     salted.mix(digest);
+    // Power numbers are only deterministic per backend (glitch energy is
+    // an event-backend concept), so compiled results live under their own
+    // cache identity.  Event keys are byte-identical to the pre-redesign
+    // engine.
+    if (chosen == sim::Backend::Compiled)
+      salted.mix(std::string_view("sim-backend:compiled"));
     key.hi = salted.digest();
     if (const auto hit = ResultCache::global().find(key)) {
       static_cast<Measurement&>(res) = *hit;
@@ -355,12 +394,86 @@ PointResult Experiment::execute_row(const Prepared& prep,
     }
   }
   if (!res.cache_hit) {
-    static_cast<Measurement&>(res) = measure_point(pt, digest);
+    static_cast<Measurement&>(res) = measure_point(rq, chosen);
     if (prep.cacheable) ResultCache::global().store(key, res);
   }
   SCPG_OBS_COUNT("engine.points", 1);
   if (res.cache_hit) SCPG_OBS_COUNT("engine.cache_hits", 1);
+  if (chosen == sim::Backend::Compiled)
+    SCPG_OBS_COUNT("sim.backend.compiled.points", 1);
+  else
+    SCPG_OBS_COUNT("sim.backend.event.points", 1);
   return res;
+}
+
+void Experiment::execute_unit(const Prepared& prep,
+                              const std::vector<std::size_t>& rows,
+                              std::vector<PointResult>& results) const {
+  const std::size_t n = rows.size();
+  std::vector<sim::MeasureRequest> reqs(n);
+  std::vector<CacheKey> keys(n);
+  std::vector<std::size_t> miss;
+  miss.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t row = rows[k];
+    const OperatingPoint& pt = prep.pts[row];
+    const std::uint64_t digest = prep.digests[row];
+    PointResult& res = results[row];
+    res.point = pt;
+    reqs[k] = make_request(pt, digest);
+    const sim::Backend chosen = sim::resolve_backend(spec_.backend_, reqs[k]);
+    SCPG_ASSERT(chosen == sim::Backend::Compiled); // partition invariant
+    res.backend = chosen;
+    if (prep.cacheable) {
+      keys[k].lo = digest;
+      Fnv1a salted(0x9e3779b97f4a7c15ULL);
+      salted.mix(design_digests_[pt.design]);
+      salted.mix(digest);
+      salted.mix(std::string_view("sim-backend:compiled"));
+      keys[k].hi = salted.digest();
+      if (const auto hit = ResultCache::global().find(keys[k])) {
+        static_cast<Measurement&>(res) = *hit;
+        res.cache_hit = true;
+      }
+    }
+    if (!res.cache_hit) miss.push_back(k);
+  }
+
+  if (!miss.empty()) {
+    // One bit-parallel pass over the misses: lane j simulates miss[j].
+    // Lane results are bit-identical to scalar measure() calls, so the
+    // (cache-dependent) lane packing never shows up in the numbers.
+    std::vector<sim::MeasureRequest> lane_reqs;
+    lane_reqs.reserve(miss.size());
+    for (const std::size_t k : miss) lane_reqs.push_back(reqs[k]);
+    std::vector<std::optional<PowerTally>> tallies(miss.size());
+    sim::backend_impl(sim::Backend::Compiled)
+        .measure_group(lane_reqs,
+                       std::span<std::optional<PowerTally>>(tallies));
+    for (std::size_t j = 0; j < miss.size(); ++j) {
+      const std::size_t k = miss[j];
+      PointResult& res = results[rows[k]];
+      std::optional<PowerTally> tally = std::move(tallies[j]);
+      if (!tally) {
+        // Same contract as measure_point: a lane that left the compiled
+        // model re-runs on the reference under Auto, errors when forced.
+        SCPG_REQUIRE(spec_.backend_ != sim::Backend::Compiled,
+                     "compiled backend left its model mid-run (a header was "
+                     "commanded to sleep); use --backend auto or event");
+        SCPG_OBS_COUNT("sim.backend.compiled.dynamic_fallbacks", 1);
+        tally = sim::event_backend().measure(reqs[k]);
+        SCPG_ASSERT(tally.has_value());
+      }
+      static_cast<Measurement&>(res) = finish_measurement(*tally);
+      if (prep.cacheable) ResultCache::global().store(keys[k], res);
+    }
+  }
+
+  for (std::size_t k = 0; k < n; ++k) {
+    SCPG_OBS_COUNT("engine.points", 1);
+    if (results[rows[k]].cache_hit) SCPG_OBS_COUNT("engine.cache_hits", 1);
+    SCPG_OBS_COUNT("sim.backend.compiled.points", 1);
+  }
 }
 
 PointResult Experiment::run_row(std::size_t row) const {
@@ -373,6 +486,41 @@ SweepResult Experiment::run() const {
   const Prepared& prep = prepare();
   const std::vector<OperatingPoint>& pts = prep.pts;
 
+  // Partition rows into execution units.  Rows that resolve to the
+  // compiled backend and differ only in (seed, digest) — the grouping
+  // key is every other per-row axis; the shared fixture is spec-wide —
+  // form bit-parallel groups of up to 64 lanes, filled in row order.
+  // Everything else runs as a singleton.  The partition is a pure
+  // function of row content (never of cache state or job count), and
+  // per-lane results are bit-identical to scalar runs, so grouping is
+  // invisible to results, caching, and determinism guarantees.
+  std::vector<std::vector<std::size_t>> units;
+  units.reserve(pts.size());
+  {
+    std::map<std::tuple<std::size_t, double, double, double, double, bool>,
+             std::size_t>
+        open; // grouping key -> unit index still accepting lanes
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      const OperatingPoint& pt = pts[i];
+      const sim::MeasureRequest rq = make_request(pt, prep.digests[i]);
+      if (sim::resolve_backend(spec_.backend_, rq) !=
+          sim::Backend::Compiled) {
+        units.push_back({i});
+        continue;
+      }
+      const auto key =
+          std::make_tuple(pt.design, pt.f.v, pt.duty_high, pt.corner.vdd.v,
+                          pt.corner.temp_c, pt.override_gating);
+      if (const auto it = open.find(key);
+          it != open.end() && units[it->second].size() < 64) {
+        units[it->second].push_back(i);
+      } else {
+        open[key] = units.size();
+        units.push_back({i});
+      }
+    }
+  }
+
   const auto t0 = std::chrono::steady_clock::now();
   std::mutex progress_m;
   Progress prog;
@@ -380,12 +528,14 @@ SweepResult Experiment::run() const {
 
   obs::Scope sweep_scope("engine.sweep", "engine");
   if (obs::trace_enabled())
-    sweep_scope.args("{\"points\": " + std::to_string(pts.size()) + "}");
+    sweep_scope.args("{\"points\": " + std::to_string(pts.size()) +
+                     ", \"units\": " + std::to_string(units.size()) + "}");
 
-  auto run_one = [&](std::size_t i) -> PointResult {
-    const OperatingPoint& pt = pts[i];
+  std::vector<PointResult> results(pts.size());
+  auto run_unit = [&](std::size_t u) -> int {
+    const std::vector<std::size_t>& rows = units[u];
 
-    // Queue delay: how long this point sat behind others before a worker
+    // Queue delay: how long this unit sat behind others before a worker
     // picked it up (wall-clock; never digest-visible).
     SCPG_OBS_TIMING_HIST(
         "engine.queue_delay.ms",
@@ -394,18 +544,25 @@ SweepResult Experiment::run() const {
              .count()));
     obs::Scope point_scope("engine.point", "engine");
     if (obs::trace_enabled()) {
-      std::string a = "{\"row\": " + std::to_string(i) + ", \"tag\": ";
-      json::append_quoted(a, pt.tag);
+      std::string a = "{\"row\": " + std::to_string(rows[0]) +
+                      ", \"lanes\": " + std::to_string(rows.size()) +
+                      ", \"tag\": ";
+      json::append_quoted(a, pts[rows[0]].tag);
       a += "}";
       point_scope.args(std::move(a));
     }
 
-    PointResult res = execute_row(prep, i);
+    if (rows.size() == 1)
+      results[rows[0]] = execute_row(prep, rows[0]);
+    else
+      execute_unit(prep, rows, results);
 
     if (spec_.progress_) {
       const std::lock_guard lock(progress_m);
-      ++prog.done;
-      prog.cache_hits += res.cache_hit ? 1 : 0;
+      for (const std::size_t i : rows) {
+        ++prog.done;
+        prog.cache_hits += results[i].cache_hit ? 1 : 0;
+      }
       prog.elapsed_s = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - t0)
                            .count();
@@ -414,10 +571,11 @@ SweepResult Experiment::run() const {
                                  : 0.0;
       spec_.progress_(prog);
     }
-    return res;
+    return 0;
   };
 
-  return SweepResult(parallel_map(pts.size(), spec_.jobs_, run_one));
+  (void)parallel_map(units.size(), spec_.jobs_, run_unit);
+  return SweepResult(std::move(results));
 }
 
 } // namespace scpg::engine

@@ -32,7 +32,9 @@
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "sim/backend.hpp"
 #include "sim/simulator.hpp"
+#include "sim/stimulus.hpp"
 #include "util/rng.hpp"
 
 namespace scpg::engine {
@@ -48,11 +50,13 @@ struct Measurement {
 /// Per-cycle stimulus: runs right after every rising clock edge with the
 /// 0-based cycle index and the point's private RNG stream.  Use the
 /// provided Rng (not a captured one) so stimulus stays deterministic and
-/// race-free when points run concurrently.
-using Stimulus = std::function<void(Simulator&, int, Rng&)>;
+/// race-free when points run concurrently.  A raw closure pins the sweep
+/// to the event backend — prefer the declarative sim::StimulusSpec
+/// overloads, which every backend can execute.
+using Stimulus = sim::StimulusFn;
 
 /// Extra setup before time 0 (e.g. drive a reset, preload memories).
-using Setup = std::function<void(Simulator&)>;
+using Setup = sim::SetupFn;
 
 /// One fully resolved simulation job of a sweep.
 struct OperatingPoint {
@@ -68,6 +72,10 @@ struct OperatingPoint {
 struct PointResult : Measurement {
   OperatingPoint point;
   bool cache_hit{false};
+  /// Which engine measured (or would have measured) this row: the static
+  /// per-row resolution of the spec's requested backend.  Set on cache
+  /// hits too — the choice is a pure function of the row's content.
+  sim::Backend backend{sim::Backend::Event};
 };
 
 struct Progress {
@@ -172,9 +180,22 @@ public:
   /// Per-cycle stimulus shared by all points.  `cache_key` names the
   /// stimulus behaviour for the result cache; an empty key marks the
   /// closure as opaque and disables caching for this sweep (two sweeps
-  /// with the same key string MUST apply identical stimulus).
+  /// with the same key string MUST apply identical stimulus).  A raw
+  /// closure is opaque to non-event backends: the compiled backend
+  /// refuses it (Auto falls back to event).
   SweepSpec& stimulus(Stimulus fn, std::string cache_key = {});
   SweepSpec& setup(Setup fn, std::string cache_key = {});
+
+  /// Declarative fixture every backend can execute; the spec's key() is
+  /// the cache key (declarative specs always carry one).
+  SweepSpec& stimulus(sim::StimulusSpec spec);
+  SweepSpec& setup(sim::SetupSpec spec);
+
+  /// Simulation backend for every point (default Event).  Compiled
+  /// throws at run() for points it cannot model; Auto resolves per row
+  /// to compiled when eligible, event otherwise.
+  SweepSpec& backend(sim::Backend b);
+  [[nodiscard]] sim::Backend backend() const { return backend_; }
 
   // --- execution policy ----------------------------------------------------
 
@@ -213,10 +234,9 @@ private:
   int warmup_{4};
   std::string clock_port_{"clk"};
   std::string override_port_{"override_n"};
-  Stimulus stimulus_;
-  std::string stimulus_key_;
-  Setup setup_;
-  std::string setup_key_;
+  sim::StimulusSpec stimulus_;
+  sim::SetupSpec setup_;
+  sim::Backend backend_{sim::Backend::Event};
 
   int jobs_{0};
   bool use_cache_{true};
@@ -268,8 +288,16 @@ private:
   [[nodiscard]] const Prepared& prepare() const;
   [[nodiscard]] PointResult execute_row(const Prepared& prep,
                                         std::size_t row) const;
-  [[nodiscard]] Measurement measure_point(const OperatingPoint& pt,
-                                          std::uint64_t digest) const;
+  /// Runs a group of compiled-resolved rows that differ only in
+  /// (seed, digest) as one bit-parallel measure_group call, writing each
+  /// row's PointResult into `results` at its row index.
+  void execute_unit(const Prepared& prep, const std::vector<std::size_t>& rows,
+                    std::vector<PointResult>& results) const;
+  [[nodiscard]] sim::MeasureRequest make_request(const OperatingPoint& pt,
+                                                 std::uint64_t digest) const;
+  [[nodiscard]] Measurement measure_point(const sim::MeasureRequest& rq,
+                                          sim::Backend chosen) const;
+  [[nodiscard]] Measurement finish_measurement(const PowerTally& tally) const;
 
   SweepSpec spec_;
   std::vector<std::uint64_t> design_digests_;

@@ -94,7 +94,7 @@ FuzzStats run_fuzz(const Library& lib, const FuzzOptions& opt,
         batch_scope.args("{\"batch\": " + std::to_string(batch) +
                          ", \"cases\": " + std::to_string(n) + "}");
       results = parallel_map(specs.size(), opt.jobs, [&](std::size_t i) {
-        return run_case(lib, specs[i]);
+        return run_case(lib, specs[i], opt.backend);
       });
     }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "fuzz/corpus.hpp"
+#include "sim/backend.hpp"
 
 namespace scpg::fuzz {
 
@@ -33,6 +34,8 @@ struct FuzzOptions {
   std::string corpus_dir;   ///< seeds in, reproducers out ("" = neither)
   std::string coverage_out; ///< fuzz_coverage.json path ("" = don't write)
   std::optional<BugKind> inject; ///< force every case to this bug class
+  /// Backend-divergence arm of the DiffSim oracle (see run_case).
+  sim::Backend backend{sim::Backend::Auto};
 };
 
 struct FuzzStats {

@@ -8,6 +8,7 @@
 #include "lint/lint.hpp"
 #include "netlist/funcsim.hpp"
 #include "obs/obs.hpp"
+#include "sim/compiled/kernel.hpp"
 #include "sim/simulator.hpp"
 #include "util/error.hpp"
 #include "verify/boundary.hpp"
@@ -175,6 +176,44 @@ std::vector<std::vector<Logic>> run_golden(
   return golden;
 }
 
+/// Backend-divergence reference: the gated (bug-applied) design with the
+/// override asserted, replayed on the compiled levelized kernel.  Same
+/// zero-delay convention as run_golden — got[j] is the output bus after
+/// clock edge j, which run_gated's run B samples at edge j+1.  nullopt
+/// (with `error` filled) when the compiled kernel cannot model the case.
+std::optional<std::vector<std::vector<Logic>>> run_compiled(
+    const Netlist& gated, int cycles,
+    const std::vector<std::array<std::uint64_t, 2>>& stim, int in_width,
+    std::string* error) {
+  std::vector<std::string> outs;
+  for (const Port& p : gated.ports())
+    if (p.dir == PortDir::Out) outs.push_back(p.name);
+  try {
+    sim::compiled::CompiledSim cs(gated);
+    cs.set_input("clk", Logic::L0);
+    if (gated.find_port("override_n").valid())
+      cs.set_input("override_n", Logic::L0);
+    std::vector<std::vector<Logic>> got;
+    const int total = kWarmup + cycles;
+    got.reserve(std::size_t(total));
+    for (int j = 0; j < total; ++j) {
+      const auto& w = stim[std::size_t(j) % stim.size()];
+      cs.set_input_bus("a", w[0], in_width);
+      cs.set_input_bus("b", w[1], in_width);
+      cs.eval();
+      cs.clock();
+      std::vector<Logic> bits;
+      bits.reserve(outs.size());
+      for (const auto& p : outs) bits.push_back(cs.output(p));
+      got.push_back(std::move(bits));
+    }
+    return got;
+  } catch (const Error& e) {
+    if (error != nullptr) *error = e.what();
+    return std::nullopt;
+  }
+}
+
 std::string bits_str(const std::vector<Logic>& v) {
   std::string s;
   for (auto it = v.rbegin(); it != v.rend(); ++it) s += logic_char(*it);
@@ -201,7 +240,8 @@ double gated_leak_power(const PowerTally& t) {
 
 } // namespace
 
-CaseResult run_case(const Library& lib, const FuzzCase& fc) {
+CaseResult run_case(const Library& lib, const FuzzCase& fc,
+                    sim::Backend backend) {
   CaseResult r;
   BuiltCase bc;
   // One span per phase (build / reference sims / each oracle) so a traced
@@ -256,6 +296,33 @@ CaseResult run_case(const Library& lib, const FuzzCase& fc) {
     o1.fired = true;
     o1.detail = os.str();
     r.x_in_gated = r.x_in_gated || any_x(a);
+  }
+
+  // Backend-divergence arm: the same design, the same stimulus words, on
+  // the compiled levelized kernel — any sampled difference against the
+  // event-driven run is a simulation-kernel bug, not a design bug.
+  if (backend != sim::Backend::Event && !o1.fired) {
+    std::string err;
+    const auto C = run_compiled(*bc.gated, fc.cycles, fc.stim, w, &err);
+    if (!C) {
+      SCPG_OBS_COUNT("fuzz.oracle.diff_sim.compiled_skipped", 1);
+      if (backend == sim::Backend::Compiled) {
+        o1.fired = true;
+        o1.detail = "compiled backend cannot replay this case: " + err;
+      }
+    } else {
+      SCPG_OBS_COUNT("fuzz.oracle.diff_sim.compiled_checked", 1);
+      for (int k = kWarmup + 1; k <= total && !o1.fired; ++k) {
+        const auto& b = B.samples[std::size_t(k)];
+        const auto& c = (*C)[std::size_t(k - 1)];
+        if (b == c) continue;
+        o1.fired = true;
+        std::ostringstream os;
+        os << "edge " << k << ": compiled backend " << bits_str(c)
+           << " != event backend " << bits_str(b);
+        o1.detail = os.str();
+      }
+    }
   }
   span.reset();
 

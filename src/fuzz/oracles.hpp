@@ -24,6 +24,7 @@
 
 #include "fuzz/build.hpp"
 #include "fuzz/case.hpp"
+#include "sim/backend.hpp"
 #include "tech/library.hpp"
 
 namespace scpg::fuzz {
@@ -54,8 +55,16 @@ struct CaseResult {
 }
 
 /// Builds and runs one case through all four oracles.  Deterministic:
-/// identical (lib, fc) pairs produce identical results.
-[[nodiscard]] CaseResult run_case(const Library& lib, const FuzzCase& fc);
+/// identical (lib, fc, backend) triples produce identical results.
+///
+/// `backend` arms the DiffSim oracle's backend-divergence check: the
+/// gated design (override asserted) is replayed on the compiled levelized
+/// kernel and every registered sample must match the event-driven run
+/// bit for bit.  Event skips the check; Auto runs it and skips cases the
+/// compiled kernel cannot model; Compiled makes an ineligible case a
+/// mismatch.
+[[nodiscard]] CaseResult run_case(const Library& lib, const FuzzCase& fc,
+                                  sim::Backend backend = sim::Backend::Auto);
 
 /// Replay check for corpus entries: a clean entry must fire nothing; a
 /// bug entry's recorded oracle must fire.

@@ -22,7 +22,7 @@ void configure(bool enable_metrics, bool enable_trace) {
   if (enable_metrics || enable_trace) {
     static const bool installed = [] {
       set_thread_name("main");
-      set_thread_start_hook(&worker_start_hook);
+      add_thread_start_hook(&worker_start_hook);
       (void)now_us(); // pin the trace epoch to the first enable
       return true;
     }();

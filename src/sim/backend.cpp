@@ -1,0 +1,44 @@
+#include "sim/backend.hpp"
+
+#include "util/error.hpp"
+
+namespace scpg::sim {
+
+std::string_view backend_name(Backend b) {
+  switch (b) {
+  case Backend::Event:
+    return "event";
+  case Backend::Compiled:
+    return "compiled";
+  case Backend::Auto:
+    return "auto";
+  }
+  return "event";
+}
+
+std::optional<Backend> backend_from_name(std::string_view s) {
+  if (s == "event") return Backend::Event;
+  if (s == "compiled") return Backend::Compiled;
+  if (s == "auto") return Backend::Auto;
+  return std::nullopt;
+}
+
+const SimBackend& backend_impl(Backend b) {
+  SCPG_REQUIRE(b != Backend::Auto,
+               "backend_impl needs a concrete backend, not auto");
+  return b == Backend::Compiled ? compiled_backend() : event_backend();
+}
+
+Backend resolve_backend(Backend requested, const MeasureRequest& req,
+                        std::string* reason) {
+  if (reason) reason->clear();
+  if (requested == Backend::Event) return Backend::Event;
+  std::string why = compiled_backend().ineligible_reason(req);
+  if (why.empty()) return Backend::Compiled;
+  if (requested == Backend::Compiled)
+    throw Error("compiled backend cannot run this point: " + why);
+  if (reason) *reason = std::move(why);
+  return Backend::Event;
+}
+
+} // namespace scpg::sim

@@ -1,0 +1,113 @@
+// Pluggable simulation backends.
+//
+// A backend answers one question — "what power does this netlist burn
+// over a measured clock window under this stimulus?" — and the sweep
+// engine no longer cares how.  The event-driven Simulator is the
+// reference implementation (it models everything: per-event rail
+// timing, observers, VCD, fault injection); the compiled levelized
+// kernel (src/sim/compiled) is the fast implementation for the common
+// measure-path case.  Selection is three-valued:
+//
+//   Event    — always legal, always the reference.
+//   Compiled — forced; throws if the point is statically ineligible and
+//              errors out if the run dynamically leaves the compiled
+//              model (a header trying to sleep).
+//   Auto     — compiled when eligible, event otherwise; dynamic
+//              fallback re-runs the point on the event backend.
+//
+// Eligibility is decided per point from the MeasureRequest alone, so
+// the choice is deterministic and jobs-invariant.  Everything that is
+// bit-identical across backends (RNG streams, cycle counts, the
+// measurement window) is pinned by contract; power numbers are
+// estimator outputs and only claimed deterministic *per backend* (see
+// DESIGN.md §13 for the cross-backend tolerance story).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "sim/stimulus.hpp"
+#include "sim/tally.hpp"
+
+namespace scpg::sim {
+
+enum class Backend : std::uint8_t { Event, Compiled, Auto };
+
+[[nodiscard]] std::string_view backend_name(Backend b);
+/// Parses "event" / "compiled" / "auto"; nullopt on anything else.
+[[nodiscard]] std::optional<Backend> backend_from_name(std::string_view s);
+
+/// Everything a backend needs to measure one operating point.  The
+/// corner is already folded into `cfg`; `digest` keys the point's RNG
+/// stream (Rng::stream(seed, digest)) and must be backend-invariant.
+struct MeasureRequest {
+  const Netlist* nl{nullptr};
+  SimConfig cfg;
+  Frequency f{1e6};
+  double duty_high{0.5};
+  bool override_gating{false};
+  int warmup{4};
+  int cycles{24};
+  std::string_view clock_port{"clk"};
+  std::string_view override_port{"override_n"};
+  const StimulusSpec* stimulus{nullptr}; ///< null means none
+  const SetupSpec* setup{nullptr};       ///< null means none
+  std::uint64_t seed{0};
+  std::uint64_t digest{0};
+  /// Structural digest of `*nl` when the caller already has it (the
+  /// sweep engine computes one per design); 0 means "compute on demand".
+  /// Purely a program-cache fast path — never affects results.
+  std::uint64_t nl_digest{0};
+};
+
+class SimBackend {
+public:
+  virtual ~SimBackend() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Empty string: this backend can run the point.  Otherwise a short
+  /// human-readable reason why not (static check, no side effects).
+  [[nodiscard]] virtual std::string
+  ineligible_reason(const MeasureRequest& req) const = 0;
+
+  /// Measures the point.  nullopt means the run dynamically left the
+  /// backend's model mid-flight (e.g. the compiled kernel saw a header
+  /// commanded to sleep) and the caller must fall back to the event
+  /// backend.  The event backend never returns nullopt.
+  [[nodiscard]] virtual std::optional<PowerTally>
+  measure(const MeasureRequest& req) const = 0;
+
+  /// Measures a group of up to 64 requests that are identical except
+  /// for (seed, digest) — the sweep engine's seed axis.  The default
+  /// runs them sequentially; the compiled backend packs one request per
+  /// bit-parallel lane and simulates the whole group in one pass.
+  /// Results are bit-identical to per-request measure() calls — lane
+  /// packing is a throughput optimisation, never a semantic one.
+  virtual void measure_group(std::span<const MeasureRequest> reqs,
+                             std::span<std::optional<PowerTally>> out) const {
+    for (std::size_t i = 0; i < reqs.size(); ++i) out[i] = measure(reqs[i]);
+  }
+};
+
+/// The reference event-driven backend (always eligible).
+[[nodiscard]] const SimBackend& event_backend();
+
+/// The compiled levelized bit-parallel backend (src/sim/compiled).
+[[nodiscard]] const SimBackend& compiled_backend();
+
+/// Implementation for a concrete (non-Auto) choice.
+[[nodiscard]] const SimBackend& backend_impl(Backend b);
+
+/// Resolves a request to a concrete backend.  Event maps to Event;
+/// Compiled maps to Compiled or throws scpg::Error when statically
+/// ineligible; Auto maps to Compiled when eligible, else Event (and
+/// stores the fallback reason in *reason when provided).
+[[nodiscard]] Backend resolve_backend(Backend requested,
+                                      const MeasureRequest& req,
+                                      std::string* reason = nullptr);
+
+} // namespace scpg::sim

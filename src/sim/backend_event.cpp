@@ -1,0 +1,66 @@
+// Reference backend: the event-driven 4-state Simulator.
+//
+// The measure() body is the historical Experiment::measure_point inner
+// loop, moved verbatim behind the SimBackend interface so the engine's
+// results (tallies, RNG streams, digests, cache keys) are bit-identical
+// to every release before the backend split.
+#include "sim/backend.hpp"
+
+#include "util/error.hpp"
+
+namespace scpg::sim {
+
+namespace {
+
+class EventBackend final : public SimBackend {
+public:
+  [[nodiscard]] std::string_view name() const override { return "event"; }
+
+  [[nodiscard]] std::string
+  ineligible_reason(const MeasureRequest&) const override {
+    return {};
+  }
+
+  [[nodiscard]] std::optional<PowerTally>
+  measure(const MeasureRequest& rq) const override {
+    SCPG_REQUIRE(rq.nl != nullptr, "measure request needs a netlist");
+    SCPG_REQUIRE(rq.f.v > 0, "frequency must be positive");
+    const Netlist& nl = *rq.nl;
+
+    Simulator sim(nl, rq.cfg);
+    sim.init_flops_to_zero();
+
+    const NetId clk = nl.port_net(rq.clock_port);
+    if (const PortId ov = nl.find_port(rq.override_port); ov.valid())
+      sim.drive_at(0, nl.port(ov).net,
+                   rq.override_gating ? Logic::L0 : Logic::L1);
+    if (rq.setup) rq.setup->apply(sim);
+
+    const SimTime T = to_fs(period(rq.f));
+    // Low phase first: the clock rises after one low interval so the
+    // gated domain starts powered.
+    const SimTime first_rise = SimTime(double(T) * (1.0 - rq.duty_high));
+    sim.add_clock(clk, rq.f, rq.duty_high, first_rise);
+
+    Rng rng = Rng::stream(rq.seed, rq.digest);
+    int cycle = -1;
+    sim.on_rising_edge(clk, [&rq, &sim, &rng, &cycle]() {
+      ++cycle;
+      if (cycle == rq.warmup) sim.reset_tally();
+      if (rq.stimulus) rq.stimulus->apply(sim, cycle, rng);
+    });
+
+    const SimTime t_end = first_rise + T * SimTime(rq.warmup + rq.cycles);
+    sim.run_until(t_end);
+    return sim.tally();
+  }
+};
+
+} // namespace
+
+const SimBackend& event_backend() {
+  static const EventBackend backend;
+  return backend;
+}
+
+} // namespace scpg::sim

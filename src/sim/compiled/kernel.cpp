@@ -1,0 +1,915 @@
+#include "sim/compiled/kernel.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <mutex>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "sim/compiled/program.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace scpg::sim::compiled {
+
+namespace {
+
+// High-water marks over every program run so far; the worker start hook
+// pre-sizes fresh threads' scratch arenas from these.
+std::atomic<std::uint64_t> g_hwm_nets{0};
+std::atomic<std::uint64_t> g_hwm_flops{0};
+std::atomic<std::uint64_t> g_hwm_rows{0};
+std::atomic<std::uint64_t> g_hwm_ops{0};
+
+void raise_hwm(std::atomic<std::uint64_t>& a, std::uint64_t v) {
+  std::uint64_t cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// Per-thread reusable storage for the measure path.  A Machine borrows
+/// the vectors for the duration of one point and returns them with
+/// their (grown) capacity intact, so repeated points on one worker
+/// thread allocate nothing after the first.
+struct Scratch {
+  std::vector<Word> nets, flop_q, captures;
+  std::vector<std::uint64_t> xcnt0, xcnt1; ///< per-row 2-bit lane counters
+  std::vector<std::uint64_t> xbm;          ///< row bitmap: any lane X
+  std::vector<std::uint8_t> op_dirty;
+  bool in_use{false};
+  ScratchStats stats;
+
+  void presize(std::size_t nnets, std::size_t nflops, std::size_t nrows,
+               std::size_t nops) {
+    nets.reserve(nnets);
+    flop_q.reserve(nflops);
+    captures.reserve(nflops);
+    xcnt0.reserve(nrows);
+    xcnt1.reserve(nrows);
+    xbm.reserve(nrows / 64 + 1);
+    op_dirty.reserve(nops);
+  }
+
+  [[nodiscard]] bool fits(std::size_t nnets, std::size_t nflops,
+                          std::size_t nrows, std::size_t nops) const {
+    return nets.capacity() >= nnets && flop_q.capacity() >= nflops &&
+           captures.capacity() >= nflops && xcnt0.capacity() >= nrows &&
+           xcnt1.capacity() >= nrows && op_dirty.capacity() >= nops;
+  }
+};
+
+Scratch& thread_scratch() {
+  static thread_local Scratch s;
+  return s;
+}
+
+void register_presize_hook() {
+  static std::once_flag once;
+  std::call_once(once, [] { add_thread_start_hook(&presize_scratch_hook); });
+}
+
+} // namespace
+
+ScratchStats scratch_stats() { return thread_scratch().stats; }
+
+void presize_scratch_hook(std::size_t /*worker_index*/) {
+  thread_scratch().presize(
+      std::size_t(g_hwm_nets.load(std::memory_order_relaxed)),
+      std::size_t(g_hwm_flops.load(std::memory_order_relaxed)),
+      std::size_t(g_hwm_rows.load(std::memory_order_relaxed)),
+      std::size_t(g_hwm_ops.load(std::memory_order_relaxed)));
+}
+
+/// Executes a Program over word state.  Functional mode (power off) is
+/// the FuncSim-equivalent zero-delay machine; power mode additionally
+/// applies the event simulator's per-toggle energy and per-cell leakage
+/// rules at settled-state granularity, independently on each of the
+/// `nlanes` active lanes (one sweep point per lane).  Per-lane results
+/// are bit-identical whatever the lane packing: a lane's transition
+/// sequence, restricted from the union settle order, is exactly its own
+/// topological order, so its floating-point accumulation never depends
+/// on what the other lanes are doing.
+class Machine {
+public:
+  Machine(const Netlist& nl, std::shared_ptr<const Program> prog,
+          bool bind_macros, Scratch* scratch, int nlanes = 1)
+      : nl_(&nl), prog_(std::move(prog)), scratch_(scratch),
+        nlanes_(nlanes) {
+    SCPG_REQUIRE(nlanes_ >= 1 && nlanes_ <= 64, "lane count out of range");
+    active_ = nlanes_ == 64 ? ~std::uint64_t{0}
+                            : (std::uint64_t{1} << nlanes_) - 1;
+    if (scratch_ != nullptr) {
+      if (scratch_->in_use) {
+        scratch_ = nullptr; // nested machine on this thread: own storage
+      } else {
+        scratch_->in_use = true;
+        ++scratch_->stats.acquisitions;
+        if (scratch_->fits(prog_->num_nets, prog_->flops.size(),
+                           prog_->leak_cells.size(), prog_->ops.size()))
+          ++scratch_->stats.reuses;
+        swap_storage(*scratch_);
+      }
+    }
+    if (bind_macros) {
+      macro_models_.reserve(prog_->macros.size() * std::size_t(nlanes_));
+      for (const Program::MacroRef& m : prog_->macros) {
+        const Cell& c = nl.cell(CellId{m.cell});
+        for (int l = 0; l < nlanes_; ++l)
+          macro_models_.push_back(nl.macro_spec(c.macro).make_model());
+      }
+    } else {
+      SCPG_REQUIRE(prog_->macros.empty(),
+                   "netlist has macros but the machine was built without "
+                   "behavioural models");
+    }
+    reset();
+  }
+
+  ~Machine() {
+    if (scratch_ != nullptr) {
+      swap_storage(*scratch_);
+      scratch_->in_use = false;
+    }
+  }
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  [[nodiscard]] const Netlist& netlist() const { return *nl_; }
+  [[nodiscard]] const Program& program() const { return *prog_; }
+
+  void reset() {
+    nets_.assign(prog_->num_nets, broadcast(Logic::X));
+    flop_q_.assign(prog_->flops.size(), broadcast(Logic::L0));
+    captures_.assign(prog_->flops.size(), Word{});
+    // Everything is dirty: the first settle is one full levelized pass.
+    op_dirty_.assign(prog_->ops.size(), 1);
+    ndirty_ = prog_->ops.size();
+    first_dirty_ = 0;
+    for (auto& m : macro_models_) m->reset();
+    power_ = false;
+  }
+
+  /// Switches on power accounting (call right after reset, before any
+  /// drives — the init below assumes every net still reads X).  The
+  /// per-row unknown-input counters start at nin on every active lane;
+  /// the linear high-bit sums start at zero (no net is known-high yet).
+  void enable_power(const SimConfig& cfg) {
+    const TechModel& tech = nl_->lib().tech();
+    escale_ = tech.energy_scale(cfg.corner);
+    lscale_ = tech.leak_scale(cfg.corner);
+    vdd_ = cfg.corner.vdd.v;
+    xpen_ = cfg.x_input_leak_penalty;
+    const std::size_t rows = prog_->leak_cells.size();
+    xcnt0_.assign(rows, 0);
+    xcnt1_.assign(rows, 0);
+    xbm_.assign(rows / 64 + 1, 0);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::uint8_t nin = prog_->leak_cells[r].nin;
+      if (nin == 0) continue;
+      if (nin & 1) xcnt0_[r] = active_;
+      if (nin & 2) xcnt1_[r] = active_;
+      xbm_[r >> 6] |= std::uint64_t(1) << (r & 63);
+    }
+    s_aon_.fill(0.0);
+    s_gated_.fill(0.0);
+    sw_cap_.fill(0.0);
+    int_e_.fill(0.0);
+    mac_e_.fill(0.0);
+    asleep_ = 0;
+    measuring_ = false;
+    power_ = true;
+  }
+
+  void set_measuring(bool on) { measuring_ = on; }
+
+  [[nodiscard]] Word net(std::uint32_t n) const { return nets_[n]; }
+
+  void set_net(std::uint32_t n, Word w) {
+    Word& slot = nets_[n];
+    if (slot == w) return;
+    mark_fanout_dirty(n);
+    if (power_) {
+      const Word old = slot;
+      // Linear leakage: a v-bit flip is exactly a known-high status
+      // change (v == 1 iff known-high), so the per-lane weighted sums
+      // track every row's linear term in O(popcount) per changed net.
+      const std::uint64_t rise = ~old.v & w.v & active_;
+      const std::uint64_t fall = old.v & ~w.v & active_;
+      if (rise | fall) {
+        const double wa = prog_->leak_w_aon[n];
+        const double wg = prog_->leak_w_gated[n];
+        if (wa != 0.0 || wg != 0.0) {
+          for (std::uint64_t m = rise; m != 0; m &= m - 1) {
+            const int l = std::countr_zero(m);
+            s_aon_[l] += wa;
+            s_gated_[l] += wg;
+          }
+          for (std::uint64_t m = fall; m != 0; m &= m - 1) {
+            const int l = std::countr_zero(m);
+            s_aon_[l] -= wa;
+            s_gated_[l] -= wg;
+          }
+        }
+        if (measuring_) {
+          std::uint64_t tog = (old.v ^ w.v) & ~old.x & ~w.x & active_;
+          if (tog != 0) {
+            const double hc = prog_->half_cap[n];
+            const double di = prog_->driver_internal[n];
+            const double dm = prog_->driver_macro_e[n];
+            for (; tog != 0; tog &= tog - 1) {
+              const int l = std::countr_zero(tog);
+              sw_cap_[l] += hc;
+              int_e_[l] += di;
+              mac_e_[l] += dm;
+            }
+          }
+        }
+      }
+      // X-plane transitions maintain the per-row 2-bit unknown-input
+      // counters (the CSR lists a row once per input occurrence, so
+      // multiplicity is counted; nin <= 3 keeps 2 bits enough).
+      const std::uint64_t dx = (old.x ^ w.x) & active_;
+      if (dx != 0) {
+        const std::uint64_t xr = dx & w.x;   // lanes that became unknown
+        const std::uint64_t xf = dx & old.x; // lanes that became known
+        for (std::uint32_t k = prog_->leak_sink_off[n];
+             k < prog_->leak_sink_off[n + 1]; ++k) {
+          const std::uint32_t row = prog_->leak_sink_row[k];
+          if (xr != 0) {
+            const std::uint64_t carry = xcnt0_[row] & xr;
+            xcnt0_[row] ^= xr;
+            xcnt1_[row] ^= carry;
+            xbm_[row >> 6] |= std::uint64_t(1) << (row & 63);
+          }
+          if (xf != 0) {
+            const std::uint64_t borrow = ~xcnt0_[row] & xf;
+            xcnt0_[row] ^= xf;
+            xcnt1_[row] ^= borrow;
+          }
+        }
+      }
+    }
+    slot = w;
+  }
+
+  /// One zero-delay settle: flop Q pass, then the levelized program —
+  /// incrementally.  Only ops behind a changed net (set_net marks the
+  /// fanout CSR) are re-evaluated; because `ops` is fanin-before-fanout,
+  /// a single forward scan over the dirty set reaches the fixed point.
+  void settle() {
+    const auto& flops = prog_->flops;
+    for (std::size_t i = 0; i < flops.size(); ++i) {
+      const Program::FlopRef& f = flops[i];
+      Word q = flop_q_[i];
+      if (f.has_reset) {
+        const Word rn = nets_[f.rn];
+        const std::uint64_t rn0 = ~rn.v & ~rn.x; // lanes where RN == 0
+        q.v &= ~rn0;
+        q.x &= ~rn0;
+      }
+      set_net(f.q, q);
+    }
+    if (ndirty_ == 0) return;
+    Word in[3];
+    const auto& ops = prog_->ops;
+    for (std::size_t oi = first_dirty_; oi < ops.size(); ++oi) {
+      if (!op_dirty_[oi]) continue;
+      op_dirty_[oi] = 0;
+      --ndirty_;
+      const Program::Op& op = ops[oi];
+      if (op.macro >= 0) {
+        eval_macro(std::size_t(op.macro));
+      } else {
+        for (int j = 0; j < op.nin; ++j) in[j] = nets_[op.in[j]];
+        set_net(op.out, eval_word(op.kind, in));
+      }
+      if (ndirty_ == 0) break;
+    }
+    first_dirty_ = ops.size();
+  }
+
+  /// Rising-edge state update (no settle): captures are computed from
+  /// the current settled state, clocked macros see that same state, then
+  /// flop state is replaced — FuncSim::clock() ordering exactly.
+  void clock_edge() {
+    const auto& flops = prog_->flops;
+    for (std::size_t i = 0; i < flops.size(); ++i) {
+      const Program::FlopRef& f = flops[i];
+      Word d = nets_[f.d];
+      if (f.has_reset) {
+        const Word rn = nets_[f.rn];
+        const std::uint64_t rn0 = ~rn.v & ~rn.x;
+        d.v &= ~rn0;
+        d.x &= ~rn0;
+      }
+      captures_[i] = d;
+    }
+    for (std::size_t mi = 0; mi < prog_->macros.size(); ++mi) {
+      const Program::MacroRef& m = prog_->macros[mi];
+      if (!m.has_clock) continue;
+      Logic min[64];
+      for (int l = 0; l < nlanes_; ++l) {
+        for (std::size_t i = 0; i < m.ins.size(); ++i)
+          min[i] = get_lane(nets_[m.ins[i]], l);
+        macro_models_[mi * std::size_t(nlanes_) + std::size_t(l)]->clock_edge(
+            std::span<const Logic>(min, m.ins.size()));
+      }
+      // The models' internal state changed: outputs must be recomputed
+      // even though no input net toggled.
+      mark_op_dirty(m.op);
+    }
+    for (std::size_t i = 0; i < flops.size(); ++i) flop_q_[i] = captures_[i];
+  }
+
+  /// Fills per-lane leakage power (scaled, W) for lanes [0, nlanes):
+  /// the linear constant+sum term, plus an exact correction for every
+  /// row that currently has unknown inputs — matching the event
+  /// simulator's known-denominator formula and x-input penalty.  Rows
+  /// are visited in row-index order regardless of how they got flagged,
+  /// so the floating-point result per lane never depends on settle
+  /// history or on what the other lanes are doing.
+  void sample_leak(double* paon, double* pgated) {
+    for (int l = 0; l < nlanes_; ++l) {
+      paon[l] = prog_->leak_const_aon + s_aon_[l];
+      pgated[l] = prog_->leak_const_gated + s_gated_[l];
+    }
+    const auto& cells = prog_->leak_cells;
+    for (std::size_t wi = 0; wi < xbm_.size(); ++wi) {
+      std::uint64_t bm = xbm_[wi];
+      for (; bm != 0; bm &= bm - 1) {
+        const int bit = std::countr_zero(bm);
+        const std::size_t row = wi * 64 + std::size_t(bit);
+        std::uint64_t xmask = (xcnt0_[row] | xcnt1_[row]) & active_;
+        if (xmask == 0) { // every lane fully known again: unflag lazily
+          xbm_[wi] &= ~(std::uint64_t(1) << bit);
+          continue;
+        }
+        const Program::LeakCell& lc = cells[row];
+        const double lin_c = lc.base * (1.0 - 0.5 * lc.spread);
+        const double lin_w = lc.base * lc.spread / double(lc.nin);
+        for (; xmask != 0; xmask &= xmask - 1) {
+          const int l = std::countr_zero(xmask);
+          int known = 0, high = 0;
+          for (int i = 0; i < lc.nin; ++i) {
+            const Word& nw = nets_[lc.in[i]];
+            if (((nw.x >> l) & 1) == 0) {
+              ++known;
+              high += int((nw.v >> l) & 1);
+            }
+          }
+          double exact = lc.base;
+          if (known > 0)
+            exact = lc.base *
+                    (1.0 + lc.spread * (double(high) / double(known) - 0.5));
+          if (lc.xpen && xpen_ > 1.0) exact *= xpen_;
+          // The linear sums already carry this row's v-bit term (an X
+          // lane's v-bit is 0, so the sum counted exactly `high`).
+          const double lin = lin_c + lin_w * double(high);
+          (lc.gated ? pgated : paon)[l] += exact - lin;
+        }
+      }
+    }
+    for (int l = 0; l < nlanes_; ++l) {
+      paon[l] = lscale_ * (prog_->macro_leak + paon[l]);
+      pgated[l] *= lscale_;
+    }
+  }
+
+  /// Latches lanes whose header sleep input reads 1 — those runs have
+  /// left the compiled model (only the event simulator knows rail
+  /// decay/recharge timing) and must report nullopt.
+  void poll_asleep() {
+    for (const std::uint32_t n : prog_->header_in_nets)
+      asleep_ |= nets_[n].v & active_;
+  }
+
+  [[nodiscard]] std::uint64_t asleep() const { return asleep_; }
+  [[nodiscard]] double switching_j(int l) const {
+    return sw_cap_[std::size_t(l)] * vdd_ * vdd_;
+  }
+  [[nodiscard]] double internal_j(int l) const {
+    return int_e_[std::size_t(l)] * escale_;
+  }
+  [[nodiscard]] double macro_j(int l) const {
+    return mac_e_[std::size_t(l)] * escale_;
+  }
+
+private:
+  void swap_storage(Scratch& s) {
+    std::swap(nets_, s.nets);
+    std::swap(flop_q_, s.flop_q);
+    std::swap(captures_, s.captures);
+    std::swap(xcnt0_, s.xcnt0);
+    std::swap(xcnt1_, s.xcnt1);
+    std::swap(xbm_, s.xbm);
+    std::swap(op_dirty_, s.op_dirty);
+  }
+
+  void mark_op_dirty(std::uint32_t oi) {
+    if (op_dirty_[oi]) return;
+    op_dirty_[oi] = 1;
+    ++ndirty_;
+    if (oi < first_dirty_) first_dirty_ = oi;
+  }
+
+  void mark_fanout_dirty(std::uint32_t n) {
+    for (std::uint32_t k = prog_->op_fanout_off[n];
+         k < prog_->op_fanout_off[n + 1]; ++k)
+      mark_op_dirty(prog_->op_fanout_op[k]);
+  }
+
+  void eval_macro(std::size_t mi) {
+    const Program::MacroRef& m = prog_->macros[mi];
+    Logic min[64];
+    Logic mout[64];
+    if (nlanes_ == 1) {
+      for (std::size_t i = 0; i < m.ins.size(); ++i)
+        min[i] = get_lane(nets_[m.ins[i]], 0);
+      macro_models_[mi]->eval(std::span<const Logic>(min, m.ins.size()),
+                              std::span<Logic>(mout, m.outs.size()));
+      for (std::size_t i = 0; i < m.outs.size(); ++i)
+        set_net(m.outs[i], broadcast(mout[i]));
+      return;
+    }
+    // One model instance per lane: each lane's macro sees only its own
+    // inputs, so lane results are independent of the batch composition.
+    Word out[64];
+    for (std::size_t i = 0; i < m.outs.size(); ++i) out[i] = nets_[m.outs[i]];
+    for (int l = 0; l < nlanes_; ++l) {
+      for (std::size_t i = 0; i < m.ins.size(); ++i)
+        min[i] = get_lane(nets_[m.ins[i]], l);
+      macro_models_[mi * std::size_t(nlanes_) + std::size_t(l)]->eval(
+          std::span<const Logic>(min, m.ins.size()),
+          std::span<Logic>(mout, m.outs.size()));
+      for (std::size_t i = 0; i < m.outs.size(); ++i)
+        set_lane(out[i], l, mout[i]);
+    }
+    for (std::size_t i = 0; i < m.outs.size(); ++i) set_net(m.outs[i], out[i]);
+  }
+
+  const Netlist* nl_;
+  std::shared_ptr<const Program> prog_;
+  Scratch* scratch_{nullptr};
+  int nlanes_{1};
+  std::uint64_t active_{1}; // low-nlanes lane mask
+  std::vector<std::unique_ptr<MacroModel>> macro_models_; // [macro*nlanes+lane]
+
+  std::vector<Word> nets_;
+  std::vector<Word> flop_q_;   // flop state, by FlopRef index
+  std::vector<Word> captures_;
+  std::vector<std::uint8_t> op_dirty_; // pending re-evaluation, by op idx
+  std::size_t ndirty_{0};
+  std::size_t first_dirty_{0}; // lowest possibly-dirty op index
+
+  // Power accounting, per lane.
+  bool power_{false};
+  bool measuring_{false};
+  double escale_{1}, lscale_{1}, vdd_{0}, xpen_{1};
+  std::array<double, 64> s_aon_{}, s_gated_{}; // linear leak high-bit sums
+  std::array<double, 64> sw_cap_{}, int_e_{}, mac_e_{}; // raw energy sums
+  std::vector<std::uint64_t> xcnt0_, xcnt1_; // per-row/lane X-input count
+  std::vector<std::uint64_t> xbm_;           // rows with any lane X
+  std::uint64_t asleep_{0};
+};
+
+namespace {
+
+// --- measure-path stimulus, resolved to net ids once per point ---
+
+struct ResolvedStimulus {
+  StimulusSpec::Kind kind{StimulusSpec::Kind::None};
+  // RandomBuses / Vectors: per bus, the nets of bits [0, width).
+  std::vector<std::vector<std::uint32_t>> bus_nets;
+  // RandomInputs: data-input nets in port order (skip rules applied).
+  std::vector<std::uint32_t> input_nets;
+  double activity{1.0};
+  const StimulusSpec* spec{nullptr};
+};
+
+ResolvedStimulus resolve_stimulus(const Netlist& nl,
+                                  const MeasureRequest& rq) {
+  ResolvedStimulus r;
+  if (rq.stimulus == nullptr) return r;
+  const StimulusSpec& st = *rq.stimulus;
+  r.kind = st.kind();
+  r.spec = &st;
+  switch (st.kind()) {
+  case StimulusSpec::Kind::None:
+    break;
+  case StimulusSpec::Kind::Closure:
+    throw PreconditionError(
+        "compiled backend cannot run an opaque stimulus closure");
+  case StimulusSpec::Kind::RandomBuses:
+  case StimulusSpec::Kind::Vectors:
+    for (const BusRef& b : st.buses()) {
+      std::vector<std::uint32_t> nets;
+      nets.reserve(std::size_t(b.width));
+      for (int i = 0; i < b.width; ++i)
+        nets.push_back(
+            nl.port_net(b.name + "[" + std::to_string(i) + "]").v);
+      r.bus_nets.push_back(std::move(nets));
+    }
+    break;
+  case StimulusSpec::Kind::RandomInputs: {
+    r.activity = st.activity();
+    for (const Port& p : nl.ports()) {
+      if (p.dir != PortDir::In) continue;
+      if (p.name == st.clock_port() || p.name == "override_n" ||
+          p.name == "rst_n")
+        continue;
+      r.input_nets.push_back(p.net.v);
+    }
+    break;
+  }
+  }
+  return r;
+}
+
+/// Applies one cycle of stimulus across all lanes.  Lane l consumes
+/// rngs[l] in exactly the order/count of StimulusSpec::apply on the
+/// event backend, so each lane's stream is bit-identical to a scalar
+/// run of that lane's point.  Only the low rngs.size() lanes are
+/// driven; the rest keep their previous values.
+void apply_stimulus(Machine& m, const ResolvedStimulus& st, int cycle,
+                    std::span<Rng> rngs) {
+  const int nlanes = int(rngs.size());
+  const std::uint64_t active =
+      nlanes == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << nlanes) - 1;
+  switch (st.kind) {
+  case StimulusSpec::Kind::None:
+  case StimulusSpec::Kind::Closure:
+    return;
+  case StimulusSpec::Kind::RandomBuses:
+    for (const auto& nets : st.bus_nets) {
+      std::uint64_t lane_vals[64];
+      for (int l = 0; l < nlanes; ++l)
+        lane_vals[l] = rngs[std::size_t(l)].bits(int(nets.size()));
+      for (std::size_t i = 0; i < nets.size(); ++i) {
+        std::uint64_t bits = 0;
+        for (int l = 0; l < nlanes; ++l)
+          bits |= ((lane_vals[l] >> i) & 1) << l;
+        Word w = m.net(nets[i]);
+        w.v = (w.v & ~active) | bits;
+        w.x &= ~active;
+        m.set_net(nets[i], w);
+      }
+    }
+    return;
+  case StimulusSpec::Kind::RandomInputs:
+    for (const std::uint32_t n : st.input_nets) {
+      std::uint64_t drive = 0, val = 0;
+      for (int l = 0; l < nlanes; ++l) {
+        // Cycle 0 drives unconditionally WITHOUT an activity draw,
+        // matching the event backend's short-circuit exactly.
+        if (cycle == 0 || rngs[std::size_t(l)].uniform() < st.activity) {
+          drive |= std::uint64_t{1} << l;
+          if (rngs[std::size_t(l)].bits(1)) val |= std::uint64_t{1} << l;
+        }
+      }
+      if (drive == 0) continue;
+      Word w = m.net(n);
+      w.v = (w.v & ~drive) | val;
+      w.x &= ~drive;
+      m.set_net(n, w);
+    }
+    return;
+  case StimulusSpec::Kind::Vectors: {
+    const auto& words = st.spec->words();
+    const auto& w = words[std::size_t(cycle + 1) % words.size()];
+    for (std::size_t b = 0; b < st.bus_nets.size(); ++b)
+      for (std::size_t i = 0; i < st.bus_nets[b].size(); ++i)
+        m.set_net(st.bus_nets[b][i], broadcast(from_bool((w[b] >> i) & 1)));
+    return;
+  }
+  }
+}
+
+class CompiledBackend final : public SimBackend {
+public:
+  [[nodiscard]] std::string_view name() const override { return "compiled"; }
+
+  [[nodiscard]] std::string
+  ineligible_reason(const MeasureRequest& rq) const override {
+    if (rq.nl == nullptr) return "no netlist";
+    if (rq.stimulus && !rq.stimulus->declarative())
+      return "opaque stimulus closure (event backend only)";
+    if (rq.setup && !rq.setup->declarative())
+      return "opaque setup closure (event backend only)";
+    const Netlist& nl = *rq.nl;
+    bool has_gated = false;
+    for (std::uint32_t ci = 0; ci < nl.num_cells(); ++ci) {
+      const CellId id{ci};
+      if (nl.kind_of(id) != CellKind::Header &&
+          nl.cell(id).domain == Domain::Gated) {
+        has_gated = true;
+        break;
+      }
+    }
+    if (has_gated) {
+      if (!rq.override_gating)
+        return "engaged sub-clock gating (per-event rail timing)";
+      if (!nl.find_port(rq.override_port).valid())
+        return "gated domain without an override port";
+    }
+    for (const MacroSpec& m : nl.macro_specs())
+      if (m.num_inputs > 64 || m.num_outputs > 64)
+        return "macro wider than 64 pins";
+    return {};
+  }
+
+  [[nodiscard]] std::optional<PowerTally>
+  measure(const MeasureRequest& rq) const override {
+    // A scalar measure IS a group of one: same code path, so lane
+    // packing can never change a point's result.
+    std::optional<PowerTally> out;
+    measure_group(std::span<const MeasureRequest>(&rq, 1),
+                  std::span<std::optional<PowerTally>>(&out, 1));
+    return out;
+  }
+
+  void measure_group(
+      std::span<const MeasureRequest> reqs,
+      std::span<std::optional<PowerTally>> out) const override {
+    SCPG_REQUIRE(!reqs.empty() && reqs.size() <= 64,
+                 "measure group must hold 1..64 requests");
+    SCPG_REQUIRE(out.size() == reqs.size(),
+                 "measure group output span size mismatch");
+    const MeasureRequest& rq = reqs[0];
+    SCPG_REQUIRE(rq.nl != nullptr, "measure request needs a netlist");
+    SCPG_REQUIRE(rq.f.v > 0, "frequency must be positive");
+    for (std::size_t i = 1; i < reqs.size(); ++i) {
+      const MeasureRequest& r = reqs[i];
+      SCPG_REQUIRE(
+          r.nl == rq.nl && r.f.v == rq.f.v && r.duty_high == rq.duty_high &&
+              r.override_gating == rq.override_gating &&
+              r.warmup == rq.warmup && r.cycles == rq.cycles &&
+              r.clock_port == rq.clock_port &&
+              r.override_port == rq.override_port &&
+              r.stimulus == rq.stimulus && r.setup == rq.setup &&
+              r.cfg.corner.vdd.v == rq.cfg.corner.vdd.v &&
+              r.cfg.corner.temp_c == rq.cfg.corner.temp_c &&
+              r.cfg.x_input_leak_penalty == rq.cfg.x_input_leak_penalty,
+          "measure group must differ only in (seed, digest)");
+    }
+    const Netlist& nl = *rq.nl;
+    register_presize_hook();
+
+    // The engine passes the structural digest it already computed at
+    // sweep setup; only ad-hoc callers pay for hashing here.
+    auto prog = rq.nl_digest != 0 ? get_program(nl, rq.nl_digest)
+                                  : get_program(nl);
+    raise_hwm(g_hwm_nets, prog->num_nets);
+    raise_hwm(g_hwm_flops, prog->flops.size());
+    raise_hwm(g_hwm_rows, prog->leak_cells.size());
+    raise_hwm(g_hwm_ops, prog->ops.size());
+
+    const NetId clk = nl.port_net(rq.clock_port);
+    const ResolvedStimulus stim = resolve_stimulus(nl, rq);
+    const int nlanes = int(reqs.size());
+
+    Machine mach(nl, prog, /*bind_macros=*/true, &thread_scratch(), nlanes);
+    mach.enable_power(rq.cfg);
+
+    // t = 0: clock low, gating override, declarative setup drives —
+    // identical across the group, so broadcast to every lane.
+    mach.set_net(clk.v, broadcast(Logic::L0));
+    if (const PortId ov = nl.find_port(rq.override_port); ov.valid())
+      mach.set_net(nl.port(ov).net.v,
+                   broadcast(rq.override_gating ? Logic::L0 : Logic::L1));
+    if (rq.setup)
+      for (const SetupSpec::Drive& d : rq.setup->drive_list())
+        mach.set_net(nl.port_net(d.port).v, broadcast(d.value));
+    mach.settle();
+    mach.poll_asleep();
+
+    const SimTime T = to_fs(period(rq.f));
+    const SimTime high_fs = SimTime(double(T) * rq.duty_high);
+    const SimTime low_fs = T - high_fs;
+    const double dt_high_s = double(high_fs) * 1e-15;
+    const double dt_low_s = double(low_fs) * 1e-15;
+
+    // One independent RNG stream per lane, keyed exactly as the scalar
+    // and event paths key theirs.
+    std::vector<Rng> rngs;
+    rngs.reserve(reqs.size());
+    for (const MeasureRequest& r : reqs)
+      rngs.push_back(Rng::stream(r.seed, r.digest));
+
+    std::array<double, 64> leak_aon_j{}, leak_gated_j{};
+    std::array<double, 64> paon{}, pgated{};
+
+    const int total = rq.warmup + rq.cycles;
+    for (int cycle = 0; cycle < total; ++cycle) {
+      const bool measured = cycle >= rq.warmup;
+      mach.set_measuring(measured);
+      // Rising edge: captures and clocked macros see the settled
+      // pre-edge state; stimulus for this cycle lands afterwards, to be
+      // captured by the NEXT edge (the event backend drives it 1 ns
+      // after the edge for the same reason).
+      mach.clock_edge();
+      mach.set_net(clk.v, broadcast(Logic::L1));
+      apply_stimulus(mach, stim, cycle, rngs);
+      mach.settle();
+      mach.poll_asleep();
+      if (measured) {
+        mach.sample_leak(paon.data(), pgated.data());
+        for (int l = 0; l < nlanes; ++l) {
+          leak_aon_j[std::size_t(l)] += paon[std::size_t(l)] * dt_high_s;
+          leak_gated_j[std::size_t(l)] += pgated[std::size_t(l)] * dt_high_s;
+        }
+      }
+      // Falling edge.
+      mach.set_net(clk.v, broadcast(Logic::L0));
+      mach.settle();
+      mach.poll_asleep();
+      if (measured) {
+        mach.sample_leak(paon.data(), pgated.data());
+        for (int l = 0; l < nlanes; ++l) {
+          leak_aon_j[std::size_t(l)] += paon[std::size_t(l)] * dt_low_s;
+          leak_gated_j[std::size_t(l)] += pgated[std::size_t(l)] * dt_low_s;
+        }
+      }
+    }
+
+    const auto window = from_fs(T * SimTime(rq.cycles));
+    for (int l = 0; l < nlanes; ++l) {
+      if ((mach.asleep() >> l) & 1) {
+        out[std::size_t(l)] = std::nullopt; // dynamic fallback lane
+        continue;
+      }
+      PowerTally t;
+      t.switching = Energy{mach.switching_j(l)};
+      t.internal = Energy{mach.internal_j(l)};
+      t.macro_access = Energy{mach.macro_j(l)};
+      t.leakage_aon = Energy{leak_aon_j[std::size_t(l)]};
+      t.leakage_gated = Energy{leak_gated_j[std::size_t(l)]};
+      t.window = window;
+      out[std::size_t(l)] = t;
+    }
+  }
+};
+
+// --- shared helpers for the functional facades ---
+
+NetId input_port_net(const Netlist& nl, std::string_view port) {
+  const PortId p = nl.find_port(port);
+  SCPG_REQUIRE(p.valid(), "unknown input port: " + std::string(port));
+  SCPG_REQUIRE(nl.port(p).dir == PortDir::In,
+               "set_input on an output port: " + std::string(port));
+  return nl.port(p).net;
+}
+
+NetId bus_bit_net(const Netlist& nl, std::string_view name, int i) {
+  const std::string pin = std::string(name) + "[" + std::to_string(i) + "]";
+  // Bus bits may be named as ports (outputs) or as plain nets.
+  NetId net;
+  if (const PortId p = nl.find_port(pin); p.valid())
+    net = nl.port(p).net;
+  else
+    net = nl.find_net(pin);
+  SCPG_REQUIRE(net.valid(), "unknown bus bit: " + pin);
+  return net;
+}
+
+} // namespace
+
+CompiledSim::CompiledSim(const Netlist& nl)
+    : m_(std::make_unique<Machine>(nl, get_program(nl),
+                                   /*bind_macros=*/true, nullptr)) {}
+CompiledSim::~CompiledSim() = default;
+CompiledSim::CompiledSim(CompiledSim&&) noexcept = default;
+CompiledSim& CompiledSim::operator=(CompiledSim&&) noexcept = default;
+
+const Netlist& CompiledSim::netlist() const { return m_->netlist(); }
+
+void CompiledSim::reset() { m_->reset(); }
+
+void CompiledSim::set_input(std::string_view port, Logic v) {
+  m_->set_net(input_port_net(m_->netlist(), port).v, broadcast(v));
+}
+
+void CompiledSim::set_input_bus(std::string_view name, std::uint64_t value,
+                                int width) {
+  for (int i = 0; i < width; ++i) {
+    const std::string pin = std::string(name) + "[" + std::to_string(i) + "]";
+    set_input(pin, from_bool((value >> i) & 1));
+  }
+}
+
+void CompiledSim::eval() { m_->settle(); }
+
+void CompiledSim::clock() {
+  m_->settle();
+  m_->clock_edge();
+  m_->settle();
+}
+
+Logic CompiledSim::output(std::string_view port) const {
+  const PortId p = m_->netlist().find_port(port);
+  SCPG_REQUIRE(p.valid(), "unknown port: " + std::string(port));
+  return get_lane(m_->net(m_->netlist().port(p).net.v), 0);
+}
+
+Logic CompiledSim::net_value(NetId id) const {
+  SCPG_REQUIRE(id.v < m_->program().num_nets, "net id out of range");
+  return get_lane(m_->net(id.v), 0);
+}
+
+std::uint64_t CompiledSim::read_bus(std::string_view name, int width) const {
+  SCPG_REQUIRE(width >= 1 && width <= 64, "bus width out of range");
+  std::uint64_t v = 0;
+  for (int i = 0; i < width; ++i) {
+    const Logic b =
+        get_lane(m_->net(bus_bit_net(m_->netlist(), name, i).v), 0);
+    SCPG_REQUIRE(is_known(b), "bus bit is X/Z: " + std::string(name) + "[" +
+                                  std::to_string(i) + "]");
+    if (b == Logic::L1) v |= std::uint64_t(1) << i;
+  }
+  return v;
+}
+
+BatchSim::BatchSim(const Netlist& nl)
+    : m_(std::make_unique<Machine>(nl, get_program(nl),
+                                   /*bind_macros=*/false, nullptr,
+                                   /*nlanes=*/64)) {}
+BatchSim::~BatchSim() = default;
+BatchSim::BatchSim(BatchSim&&) noexcept = default;
+BatchSim& BatchSim::operator=(BatchSim&&) noexcept = default;
+
+const Netlist& BatchSim::netlist() const { return m_->netlist(); }
+
+void BatchSim::reset() { m_->reset(); }
+
+void BatchSim::set_input_word(std::string_view port, Word w) {
+  SCPG_REQUIRE((w.v & w.x) == 0, "malformed word: v and x overlap");
+  m_->set_net(input_port_net(m_->netlist(), port).v, w);
+}
+
+void BatchSim::set_input_lane(int lane, std::string_view port, Logic v) {
+  SCPG_REQUIRE(lane >= 0 && lane < 64, "lane out of range");
+  const std::uint32_t n = input_port_net(m_->netlist(), port).v;
+  Word w = m_->net(n);
+  set_lane(w, lane, v);
+  m_->set_net(n, w);
+}
+
+void BatchSim::set_input_bus_lane(int lane, std::string_view name,
+                                  std::uint64_t value, int width) {
+  for (int i = 0; i < width; ++i) {
+    const std::string pin = std::string(name) + "[" + std::to_string(i) + "]";
+    set_input_lane(lane, pin, from_bool((value >> i) & 1));
+  }
+}
+
+void BatchSim::eval() { m_->settle(); }
+
+void BatchSim::clock() {
+  m_->settle();
+  m_->clock_edge();
+  m_->settle();
+}
+
+Word BatchSim::output_word(std::string_view port) const {
+  const PortId p = m_->netlist().find_port(port);
+  SCPG_REQUIRE(p.valid(), "unknown port: " + std::string(port));
+  return m_->net(m_->netlist().port(p).net.v);
+}
+
+Logic BatchSim::output_lane(int lane, std::string_view port) const {
+  SCPG_REQUIRE(lane >= 0 && lane < 64, "lane out of range");
+  return get_lane(output_word(port), lane);
+}
+
+std::uint64_t BatchSim::read_bus_lane(int lane, std::string_view name,
+                                      int width) const {
+  SCPG_REQUIRE(lane >= 0 && lane < 64, "lane out of range");
+  SCPG_REQUIRE(width >= 1 && width <= 64, "bus width out of range");
+  std::uint64_t v = 0;
+  for (int i = 0; i < width; ++i) {
+    const Logic b = get_lane(
+        m_->net(bus_bit_net(m_->netlist(), name, i).v), lane);
+    SCPG_REQUIRE(is_known(b), "bus bit is X/Z: " + std::string(name) + "[" +
+                                  std::to_string(i) + "]");
+    if (b == Logic::L1) v |= std::uint64_t(1) << i;
+  }
+  return v;
+}
+
+} // namespace scpg::sim::compiled
+
+namespace scpg::sim {
+
+const SimBackend& compiled_backend() {
+  static const compiled::CompiledBackend backend;
+  return backend;
+}
+
+} // namespace scpg::sim

@@ -1,0 +1,115 @@
+// Compiled levelized bit-parallel simulation kernel.
+//
+// The measure-path kernel executes a cached Program (program.hpp) over
+// SoA word state: two 64-bit planes per net, 64 independent lanes per
+// word (words.hpp).  Zero-delay semantics — combinational logic settles
+// instantly in topological order, exactly like FuncSim — with the event
+// simulator's power accounting rules applied at settled-state
+// granularity (see DESIGN.md §13 for the equivalence contract and the
+// glitch-energy caveat).
+//
+// Three consumers:
+//  * compiled_backend() — the SimBackend the sweep engine dispatches to
+//    (lane 0, macro-capable, full power tally).
+//  * CompiledSim — a FuncSim-shaped functional facade (lane 0) used by
+//    the fuzz diff-sim oracle's backend-divergence run and by tests.
+//  * BatchSim — 64 independent stimulus lanes per pass (macro-free
+//    netlists), the bit-parallel throughput configuration.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "sim/backend.hpp"
+#include "sim/compiled/words.hpp"
+
+namespace scpg::sim::compiled {
+
+class Machine;
+
+/// Per-thread scratch-arena statistics (eviction-gauge-style proof that
+/// repeated points on one thread re-use storage instead of
+/// re-allocating).  Counts are per calling thread.
+struct ScratchStats {
+  std::size_t acquisitions{0}; ///< measure runs that borrowed the arena
+  std::size_t reuses{0};       ///< borrows fully served from capacity
+};
+[[nodiscard]] ScratchStats scratch_stats();
+
+/// parallel_map worker-thread start hook: pre-sizes this thread's
+/// scratch arena to the high-water mark of every program seen so far,
+/// so a worker's first point doesn't pay the allocation either.
+/// Registered with add_thread_start_hook() on first backend use.
+void presize_scratch_hook(std::size_t worker_index);
+
+/// FuncSim-shaped functional interface over the compiled program:
+/// zero-delay settle, capture-all clock(), lane 0 only, macros
+/// supported.  Inputs persist across cycles until re-driven.
+class CompiledSim {
+public:
+  explicit CompiledSim(const Netlist& nl);
+  ~CompiledSim();
+  CompiledSim(CompiledSim&&) noexcept;
+  CompiledSim& operator=(CompiledSim&&) noexcept;
+
+  [[nodiscard]] const Netlist& netlist() const;
+
+  /// Flops to 0, nets to X, macro state reset.
+  void reset();
+
+  void set_input(std::string_view port, Logic v);
+  void set_input_bus(std::string_view name, std::uint64_t value, int width);
+
+  /// Settles combinational logic from current inputs and flop state.
+  void eval();
+
+  /// One rising edge: capture all flop D (async reset dominating),
+  /// clock edge on clocked macros with settled inputs, re-settle.
+  void clock();
+
+  [[nodiscard]] Logic output(std::string_view port) const;
+  [[nodiscard]] Logic net_value(NetId id) const;
+  /// Reads bus "name[0..width-1]"; requires all bits known.
+  [[nodiscard]] std::uint64_t read_bus(std::string_view name,
+                                       int width) const;
+
+private:
+  std::unique_ptr<Machine> m_;
+};
+
+/// 64 independent stimulus lanes per pass.  Macro-free netlists only
+/// (behavioural macro models are scalar); throws on construction
+/// otherwise.  Lane l of every input/output word is an independent
+/// 4-state simulation.
+class BatchSim {
+public:
+  explicit BatchSim(const Netlist& nl);
+  ~BatchSim();
+  BatchSim(BatchSim&&) noexcept;
+  BatchSim& operator=(BatchSim&&) noexcept;
+
+  [[nodiscard]] const Netlist& netlist() const;
+
+  void reset();
+
+  void set_input_word(std::string_view port, Word w);
+  void set_input_lane(int lane, std::string_view port, Logic v);
+  /// Drives the `width` bits of bus "name[i]" on one lane.
+  void set_input_bus_lane(int lane, std::string_view name,
+                          std::uint64_t value, int width);
+
+  void eval();
+  void clock();
+
+  [[nodiscard]] Word output_word(std::string_view port) const;
+  [[nodiscard]] Logic output_lane(int lane, std::string_view port) const;
+  [[nodiscard]] std::uint64_t read_bus_lane(int lane, std::string_view name,
+                                            int width) const;
+
+private:
+  std::unique_ptr<Machine> m_;
+};
+
+} // namespace scpg::sim::compiled

@@ -1,0 +1,228 @@
+#include "sim/compiled/program.hpp"
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "util/error.hpp"
+
+namespace scpg::sim::compiled {
+
+namespace {
+
+std::shared_ptr<const Program> build_program(const Netlist& nl,
+                                             std::uint64_t digest) {
+  auto prog = std::make_shared<Program>();
+  Program& p = *prog;
+  const std::uint32_t nnets = std::uint32_t(nl.num_nets());
+  const std::uint32_t ncells = std::uint32_t(nl.num_cells());
+  p.num_nets = nnets;
+  p.num_cells = ncells;
+  p.digest = digest;
+
+  // Per-net energy characterisation.
+  p.half_cap.assign(nnets, 0.0);
+  p.driver_internal.assign(nnets, 0.0);
+  p.driver_macro_e.assign(nnets, 0.0);
+  for (std::uint32_t ni = 0; ni < nnets; ++ni) {
+    const NetId id{ni};
+    p.half_cap[ni] = 0.5 * nl.net_load(id).v;
+    const Net& n = nl.net(id);
+    if (!n.driven_by_cell()) continue;
+    const Cell& d = nl.cell(n.driver_cell);
+    if (d.is_macro())
+      p.driver_macro_e[ni] = nl.macro_spec(d.macro).energy_per_access.v;
+    else
+      p.driver_internal[ni] = nl.spec_of(n.driver_cell).internal_energy.v;
+  }
+
+  // Leak table, flops and headers (ascending cell index, matching the
+  // event simulator's constructor and FuncSim's flop pass order).
+  std::vector<std::uint32_t> leak_row_of(ncells, 0);
+  for (std::uint32_t ci = 0; ci < ncells; ++ci) {
+    const CellId id{ci};
+    const Cell& c = nl.cell(id);
+    if (c.is_macro()) {
+      p.macro_leak += nl.macro_spec(c.macro).leakage.v;
+      continue;
+    }
+    const CellSpec& s = nl.spec_of(id);
+    if (s.kind == CellKind::Header) {
+      SCPG_REQUIRE(!c.inputs.empty(), "header cell without a sleep input");
+      p.header_in_nets.push_back(c.inputs[0].v);
+      continue;
+    }
+    SCPG_REQUIRE(c.inputs.size() <= 3,
+                 "standard cell with more than 3 inputs");
+    Program::LeakCell lc;
+    lc.base = s.leakage.v;
+    lc.spread = s.leak_state_spread;
+    lc.nin = std::uint8_t(c.inputs.size());
+    lc.gated = c.domain == Domain::Gated;
+    lc.xpen = !lc.gated && s.kind != CellKind::IsoLo &&
+              s.kind != CellKind::IsoHi && s.kind != CellKind::RetBal;
+    for (std::size_t i = 0; i < c.inputs.size(); ++i)
+      lc.in[i] = c.inputs[i].v;
+    if (lc.gated) p.has_gated = true;
+    leak_row_of[ci] = std::uint32_t(p.leak_cells.size());
+    p.leak_cells.push_back(lc);
+
+    if (s.is_sequential()) {
+      Program::FlopRef f;
+      f.d = c.inputs[0].v;
+      f.q = c.outputs[0].v;
+      f.has_reset = s.kind == CellKind::DffR;
+      f.rn = f.has_reset ? c.inputs[2].v : 0;
+      f.leak_row = leak_row_of[ci];
+      p.flops.push_back(f);
+    }
+  }
+
+  // Evaluation program: combinational cells + macros in topo order.
+  for (const CellId id : nl.topo_order()) {
+    const Cell& c = nl.cell(id);
+    Program::Op op;
+    if (c.is_macro()) {
+      const MacroSpec& m = nl.macro_spec(c.macro);
+      SCPG_REQUIRE(c.inputs.size() <= 64 && c.outputs.size() <= 64,
+                   "macro wider than the compiled kernel supports");
+      op.kind = CellKind::Macro;
+      op.macro = std::int32_t(p.macros.size());
+      Program::MacroRef mr;
+      mr.cell = id.v;
+      mr.op = std::uint32_t(p.ops.size());
+      mr.has_clock = m.has_clock;
+      mr.access_energy = m.energy_per_access.v;
+      mr.ins.reserve(c.inputs.size());
+      for (NetId n : c.inputs) mr.ins.push_back(n.v);
+      mr.outs.reserve(c.outputs.size());
+      for (NetId n : c.outputs) mr.outs.push_back(n.v);
+      p.macros.push_back(std::move(mr));
+    } else {
+      op.kind = nl.spec_of(id).kind;
+      op.nin = std::uint8_t(c.inputs.size());
+      op.out = c.outputs[0].v;
+      for (std::size_t i = 0; i < c.inputs.size(); ++i)
+        op.in[i] = c.inputs[i].v;
+    }
+    p.ops.push_back(op);
+  }
+
+  // Evaluation-fanout CSR: net -> consuming op indices, used by the
+  // kernel to re-evaluate only the cone behind changed nets.
+  {
+    std::vector<std::uint32_t> count(nnets + 1, 0);
+    for (const Program::Op& op : p.ops) {
+      if (op.macro >= 0)
+        for (const std::uint32_t n : p.macros[std::size_t(op.macro)].ins)
+          ++count[n];
+      else
+        for (int i = 0; i < op.nin; ++i) ++count[op.in[i]];
+    }
+    p.op_fanout_off.assign(nnets + 1, 0);
+    for (std::uint32_t ni = 0; ni < nnets; ++ni)
+      p.op_fanout_off[ni + 1] = p.op_fanout_off[ni] + count[ni];
+    p.op_fanout_op.assign(p.op_fanout_off[nnets], 0);
+    std::vector<std::uint32_t> cursor(p.op_fanout_off.begin(),
+                                      p.op_fanout_off.end() - 1);
+    for (std::uint32_t oi = 0; oi < p.ops.size(); ++oi) {
+      const Program::Op& op = p.ops[oi];
+      if (op.macro >= 0)
+        for (const std::uint32_t n : p.macros[std::size_t(op.macro)].ins)
+          p.op_fanout_op[cursor[n]++] = oi;
+      else
+        for (int i = 0; i < op.nin; ++i) p.op_fanout_op[cursor[op.in[i]]++] = oi;
+    }
+  }
+
+  // Leak-refresh CSR: net -> leak rows.  Mirrors the event simulator,
+  // which re-derives a sink cell's leakage whenever one of its input
+  // nets changes value.
+  std::vector<std::uint32_t> count(nnets + 1, 0);
+  for (const Program::LeakCell& lc : p.leak_cells)
+    for (int i = 0; i < lc.nin; ++i) ++count[lc.in[i]];
+  p.leak_sink_off.assign(nnets + 1, 0);
+  for (std::uint32_t ni = 0; ni < nnets; ++ni)
+    p.leak_sink_off[ni + 1] = p.leak_sink_off[ni] + count[ni];
+  p.leak_sink_row.assign(p.leak_sink_off[nnets], 0);
+  std::vector<std::uint32_t> cursor(p.leak_sink_off.begin(),
+                                    p.leak_sink_off.end() - 1);
+  for (std::uint32_t row = 0; row < p.leak_cells.size(); ++row) {
+    const Program::LeakCell& lc = p.leak_cells[row];
+    for (int i = 0; i < lc.nin; ++i)
+      p.leak_sink_row[cursor[lc.in[i]]++] = row;
+  }
+
+  // Linearised leakage: constants and per-net high-bit weights.
+  p.leak_w_aon.assign(nnets, 0.0);
+  p.leak_w_gated.assign(nnets, 0.0);
+  for (const Program::LeakCell& lc : p.leak_cells) {
+    double& konst = lc.gated ? p.leak_const_gated : p.leak_const_aon;
+    if (lc.nin == 0) {
+      konst += lc.base; // tie cells: state-independent
+      continue;
+    }
+    konst += lc.base * (1.0 - 0.5 * lc.spread);
+    const double w = lc.base * lc.spread / double(lc.nin);
+    auto& weights = lc.gated ? p.leak_w_gated : p.leak_w_aon;
+    for (int i = 0; i < lc.nin; ++i) weights[lc.in[i]] += w;
+  }
+
+  return prog;
+}
+
+struct ProgramCache {
+  std::mutex m;
+  // Keyed by library identity + structural digest: equal digests with
+  // the same library simulate identically, so one Program serves all.
+  std::map<std::pair<const void*, std::uint64_t>,
+           std::shared_ptr<const Program>>
+      entries;
+};
+
+ProgramCache& cache() {
+  static ProgramCache c;
+  return c;
+}
+
+constexpr std::size_t kMaxCachedPrograms = 256;
+
+} // namespace
+
+std::shared_ptr<const Program> get_program(const Netlist& nl) {
+  return get_program(nl, structural_digest(nl));
+}
+
+std::shared_ptr<const Program> get_program(const Netlist& nl,
+                                           std::uint64_t digest) {
+  const std::pair<const void*, std::uint64_t> key{&nl.lib(), digest};
+
+  ProgramCache& c = cache();
+  const std::lock_guard lock(c.m);
+  if (auto it = c.entries.find(key); it != c.entries.end()) {
+    SCPG_OBS_COUNT("sim.backend.compiled.program_cache_hit", 1);
+    return it->second;
+  }
+  if (c.entries.size() >= kMaxCachedPrograms) {
+    SCPG_OBS_COUNT("sim.backend.compiled.program_cache_clear", 1);
+    c.entries.clear();
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  auto prog = build_program(nl, digest);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  SCPG_OBS_TIMING_HIST("sim.backend.compiled.levelize_ms", ms);
+  c.entries.emplace(key, prog);
+  return prog;
+}
+
+std::size_t program_cache_size() {
+  ProgramCache& c = cache();
+  const std::lock_guard lock(c.m);
+  return c.entries.size();
+}
+
+} // namespace scpg::sim::compiled

@@ -1,0 +1,119 @@
+// Levelized evaluation program for the compiled simulation backend.
+//
+// Levelization happens once per (library, structural digest): the
+// netlist's topological order is flattened into a dense array of Ops
+// over net-indexed SoA word state, and every scalar the kernel needs at
+// runtime — per-cell leakage characterisation, per-net switched
+// capacitance, driver energies, leak-refresh fanout lists — is copied
+// out of the Netlist/Library into flat vectors.  A cached Program
+// therefore holds NO pointers into any netlist: two structurally equal
+// netlists share one Program, and the kernel re-binds per-instance
+// macro behaviour from the live netlist at run start.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace scpg::sim::compiled {
+
+struct Program {
+  /// One combinational evaluation step (topo order).
+  struct Op {
+    CellKind kind{CellKind::Inv};
+    std::uint8_t nin{0};
+    std::int32_t macro{-1}; ///< >= 0: index into `macros`
+    std::uint32_t out{0};   ///< output net (unused for macros)
+    std::array<std::uint32_t, 3> in{}; ///< input nets (unused for macros)
+  };
+
+  /// A macro instance (evaluated per lane via its behavioural model).
+  struct MacroRef {
+    std::uint32_t cell{0}; ///< CellId.v in the source netlist
+    std::uint32_t op{0};   ///< index of this macro's Op in `ops`
+    bool has_clock{false};
+    double access_energy{0}; ///< energy_per_access, unscaled
+    std::vector<std::uint32_t> ins, outs;
+  };
+
+  /// A flip-flop: D/Q/RN nets plus its row in the leak table.
+  struct FlopRef {
+    std::uint32_t d{0}, q{0}, rn{0};
+    std::uint32_t leak_row{0};
+    bool has_reset{false};
+  };
+
+  /// Leakage characterisation of one standard cell (headers and macros
+  /// excluded, mirroring Simulator::update_cell_leak).
+  struct LeakCell {
+    double base{0};    ///< CellSpec::leakage
+    double spread{0};  ///< CellSpec::leak_state_spread
+    std::uint8_t nin{0};
+    bool gated{false}; ///< Domain::Gated (bucket + x-penalty exemption)
+    bool xpen{false};  ///< x_input_leak_penalty applies (AON, not iso/ret)
+    std::array<std::uint32_t, 3> in{}; ///< input nets (leak state)
+  };
+
+  std::vector<Op> ops; ///< comb cells + macros, fanin-before-fanout
+  std::vector<MacroRef> macros;
+  std::vector<FlopRef> flops;
+  std::vector<LeakCell> leak_cells;
+
+  // Evaluation fanout: CSR mapping net -> indices of `ops` that consume
+  // the net (macro ops listed under every one of their input nets).
+  // Because `ops` is fanin-before-fanout, a single forward pass over
+  // dirty ops reaches a fixed point: the kernel's settle() uses this to
+  // evaluate only the cone behind changed nets.
+  std::vector<std::uint32_t> op_fanout_off; ///< size num_nets + 1
+  std::vector<std::uint32_t> op_fanout_op;
+
+  // Leak-sink fanout: CSR mapping net -> leak_cells rows that read the
+  // net.  The kernel walks it only on X-plane transitions, to maintain
+  // the per-row unknown-input counters behind the exact-leak correction.
+  std::vector<std::uint32_t> leak_sink_off; ///< size num_nets + 1
+  std::vector<std::uint32_t> leak_sink_row;
+
+  // Linearised leakage (unscaled): while every input of a cell is known,
+  //   leak = base * (1 + spread * (high/nin - 0.5))
+  // is linear in the number of high inputs, so total leakage per bucket
+  // is a constant plus a per-net weighted sum of high bits.  The kernel
+  // maintains that sum in O(1) per changed net per lane; rows with X
+  // inputs get an exact correction at sample time (kernel.cpp).
+  double leak_const_aon{0};   ///< sum of per-row constants, AON bucket
+  double leak_const_gated{0}; ///< same, gated bucket
+  std::vector<double> leak_w_aon;   ///< per net: d(leak)/d(net high), AON
+  std::vector<double> leak_w_gated; ///< same, gated bucket
+
+  // Per-net energy characterisation.
+  std::vector<double> half_cap;        ///< 0.5 * net_load (switching)
+  std::vector<double> driver_internal; ///< driver cell internal_energy
+  std::vector<double> driver_macro_e;  ///< driver macro energy_per_access
+
+  /// Sleep-control input nets of every header cell; the kernel watches
+  /// these and bails out (dynamic event fallback) if any reaches 1.
+  std::vector<std::uint32_t> header_in_nets;
+
+  std::uint32_t num_nets{0};
+  std::uint32_t num_cells{0};
+  bool has_gated{false};
+  double macro_leak{0}; ///< sum of macro static leakage, unscaled
+  std::uint64_t digest{0}; ///< structural digest of the source netlist
+};
+
+/// Builds or fetches the cached Program for a netlist.  Thread-safe;
+/// keyed by (library identity, structural digest).  Levelization time is
+/// recorded as an obs Timing metric, cache hits as a Value counter.
+[[nodiscard]] std::shared_ptr<const Program> get_program(const Netlist& nl);
+
+/// Same, but with the structural digest already in hand (the engine
+/// computes one per design at sweep setup); skips the per-point rehash.
+[[nodiscard]] std::shared_ptr<const Program>
+get_program(const Netlist& nl, std::uint64_t digest);
+
+/// Number of programs currently cached (tests).
+[[nodiscard]] std::size_t program_cache_size();
+
+} // namespace scpg::sim::compiled

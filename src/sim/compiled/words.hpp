@@ -1,0 +1,141 @@
+// Bit-parallel 4-state logic over 64-lane words.
+//
+// Each net carries two planes: `v` (value) and `x` (unknown).  Lane l of
+// a word pair encodes one independent 4-state value:
+//
+//   (v=0, x=0) -> 0      (v=1, x=0) -> 1      (v=0, x=1) -> X
+//
+// Z never exists inside the compiled machine: a floating CMOS input
+// reads as unknown, so encode() folds Z into X exactly like the norm()
+// step at the top of eval_cell() (tech/logic.cpp).  The invariant
+// `v & x == 0` holds for every well-formed word; all operators below
+// preserve it.
+//
+// Every operator is the exact word-parallel counterpart of the scalar
+// 4-state primitives in tech/logic.cpp — the unit tests exhaustively
+// compare eval_word() against eval_cell() for every combinational cell
+// kind over every input combination (including Z) on all 64 lanes.
+#pragma once
+
+#include <cstdint>
+
+#include "tech/logic.hpp"
+#include "util/error.hpp"
+
+namespace scpg::sim::compiled {
+
+struct Word {
+  std::uint64_t v{0};
+  std::uint64_t x{0};
+
+  bool operator==(const Word&) const = default;
+};
+
+/// All 64 lanes hold `l` (Z folds to X).
+[[nodiscard]] inline Word broadcast(Logic l) {
+  switch (l) {
+  case Logic::L0: return {0, 0};
+  case Logic::L1: return {~std::uint64_t{0}, 0};
+  case Logic::X:
+  case Logic::Z: return {0, ~std::uint64_t{0}};
+  }
+  return {0, ~std::uint64_t{0}};
+}
+
+inline void set_lane(Word& w, int lane, Logic l) {
+  const std::uint64_t bit = std::uint64_t{1} << lane;
+  w.v &= ~bit;
+  w.x &= ~bit;
+  if (l == Logic::L1)
+    w.v |= bit;
+  else if (l != Logic::L0)
+    w.x |= bit; // X and Z
+}
+
+[[nodiscard]] inline Logic get_lane(const Word& w, int lane) {
+  const std::uint64_t bit = std::uint64_t{1} << lane;
+  if (w.x & bit) return Logic::X;
+  return (w.v & bit) ? Logic::L1 : Logic::L0;
+}
+
+// --- primitives (counterparts of l_not / l_and / l_or / l_xor) ---
+
+[[nodiscard]] inline Word w_not(Word a) {
+  return {~a.v & ~a.x, a.x};
+}
+
+[[nodiscard]] inline Word w_and(Word a, Word b) {
+  // 0 dominates: the output is known-0 whenever either input is 0.
+  const std::uint64_t a0 = ~a.v & ~a.x;
+  const std::uint64_t b0 = ~b.v & ~b.x;
+  return {a.v & b.v, (a.x | b.x) & ~(a0 | b0)};
+}
+
+[[nodiscard]] inline Word w_or(Word a, Word b) {
+  // 1 dominates.
+  return {a.v | b.v, (a.x | b.x) & ~(a.v | b.v)};
+}
+
+[[nodiscard]] inline Word w_xor(Word a, Word b) {
+  const std::uint64_t x = a.x | b.x;
+  return {(a.v ^ b.v) & ~x, x};
+}
+
+[[nodiscard]] inline Word w_mux(Word a, Word b, Word s) {
+  // Y = S ? B : A; unknown select is known only where A == B and known.
+  const std::uint64_t s0 = ~s.v & ~s.x;
+  const std::uint64_t a0 = ~a.v & ~a.x;
+  const std::uint64_t b0 = ~b.v & ~b.x;
+  return {(s0 & a.v) | (s.v & b.v) | (s.x & a.v & b.v),
+          (s0 & a.x) | (s.v & b.x) | (s.x & ~((a.v & b.v) | (a0 & b0)))};
+}
+
+[[nodiscard]] inline Word w_isolo(Word a, Word n) {
+  // inputs {A, NISO}; NISO low clamps to 0; unknown NISO is 0 only where
+  // A is already 0.
+  const std::uint64_t a0 = ~a.v & ~a.x;
+  return {n.v & a.v, (n.v & a.x) | (n.x & ~a0)};
+}
+
+[[nodiscard]] inline Word w_isohi(Word a, Word n) {
+  // NISO low clamps to 1; unknown NISO is 1 only where A is already 1.
+  const std::uint64_t n0 = ~n.v & ~n.x;
+  return {n0 | ((n.v | n.x) & a.v), (n.v & a.x) | (n.x & ~a.v)};
+}
+
+[[nodiscard]] inline Word w_tiehi() { return {~std::uint64_t{0}, 0}; }
+[[nodiscard]] inline Word w_tielo() { return {0, 0}; }
+
+/// Evaluates a combinational cell kind over packed lanes; the exact
+/// word-parallel counterpart of eval_cell().  `in` must hold
+/// kind_num_inputs(k) words.
+[[nodiscard]] inline Word eval_word(CellKind k, const Word* in) {
+  switch (k) {
+  case CellKind::Inv: return w_not(in[0]);
+  case CellKind::Buf:
+  case CellKind::RetBal: return in[0];
+  case CellKind::Nand2: return w_not(w_and(in[0], in[1]));
+  case CellKind::Nand3: return w_not(w_and(w_and(in[0], in[1]), in[2]));
+  case CellKind::Nor2: return w_not(w_or(in[0], in[1]));
+  case CellKind::Nor3: return w_not(w_or(w_or(in[0], in[1]), in[2]));
+  case CellKind::And2: return w_and(in[0], in[1]);
+  case CellKind::Or2: return w_or(in[0], in[1]);
+  case CellKind::Xor2: return w_xor(in[0], in[1]);
+  case CellKind::Xnor2: return w_not(w_xor(in[0], in[1]));
+  case CellKind::Aoi21: return w_not(w_or(w_and(in[0], in[1]), in[2]));
+  case CellKind::Oai21: return w_not(w_and(w_or(in[0], in[1]), in[2]));
+  case CellKind::Mux2: return w_mux(in[0], in[1], in[2]);
+  case CellKind::IsoLo: return w_isolo(in[0], in[1]);
+  case CellKind::IsoHi: return w_isohi(in[0], in[1]);
+  case CellKind::TieHi: return w_tiehi();
+  case CellKind::TieLo: return w_tielo();
+  case CellKind::Dff:
+  case CellKind::DffR:
+  case CellKind::Header:
+  case CellKind::Macro:
+    break;
+  }
+  throw PreconditionError("eval_word on a non-combinational cell kind");
+}
+
+} // namespace scpg::sim::compiled

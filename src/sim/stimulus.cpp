@@ -1,0 +1,129 @@
+#include "sim/stimulus.hpp"
+
+#include "util/error.hpp"
+
+namespace scpg::sim {
+
+StimulusSpec StimulusSpec::closure(StimulusFn fn, std::string key) {
+  StimulusSpec s;
+  s.kind_ = Kind::Closure;
+  s.fn_ = std::move(fn);
+  s.key_ = std::move(key);
+  return s;
+}
+
+StimulusSpec StimulusSpec::random_buses(std::vector<BusRef> buses,
+                                        std::string key) {
+  StimulusSpec s;
+  s.kind_ = Kind::RandomBuses;
+  s.buses_ = std::move(buses);
+  s.key_ = std::move(key);
+  SCPG_REQUIRE(!s.key_.empty(), "random_buses stimulus needs a key");
+  for (const BusRef& b : s.buses_)
+    SCPG_REQUIRE(b.width >= 1 && b.width <= 64,
+                 "stimulus bus width must be in [1, 64]");
+  return s;
+}
+
+StimulusSpec StimulusSpec::random_inputs(double activity,
+                                         std::string clock_port,
+                                         std::string key) {
+  StimulusSpec s;
+  s.kind_ = Kind::RandomInputs;
+  s.activity_ = activity;
+  s.clock_port_ = std::move(clock_port);
+  s.key_ = std::move(key);
+  SCPG_REQUIRE(!s.key_.empty(), "random_inputs stimulus needs a key");
+  return s;
+}
+
+StimulusSpec StimulusSpec::vectors(
+    std::vector<BusRef> buses,
+    std::vector<std::array<std::uint64_t, 2>> words, SimTime offset_fs,
+    std::string key) {
+  StimulusSpec s;
+  s.kind_ = Kind::Vectors;
+  s.buses_ = std::move(buses);
+  s.words_ = std::move(words);
+  s.offset_fs_ = offset_fs;
+  s.key_ = std::move(key);
+  SCPG_REQUIRE(!s.key_.empty(), "vector stimulus needs a key");
+  SCPG_REQUIRE(!s.words_.empty(), "vector stimulus needs at least one word");
+  SCPG_REQUIRE(s.buses_.size() <= 2,
+               "vector stimulus carries at most two buses per word");
+  for (const BusRef& b : s.buses_)
+    SCPG_REQUIRE(b.width >= 1 && b.width <= 64,
+                 "stimulus bus width must be in [1, 64]");
+  return s;
+}
+
+void StimulusSpec::apply(Simulator& s, int cycle, Rng& rng) const {
+  using namespace scpg::literals;
+  switch (kind_) {
+  case Kind::None:
+    return;
+  case Kind::Closure:
+    fn_(s, cycle, rng);
+    return;
+  case Kind::RandomBuses:
+    for (const BusRef& b : buses_)
+      s.drive_bus_at(s.now() + to_fs(1.0_ns), b.name, rng.bits(b.width),
+                     b.width);
+    return;
+  case Kind::RandomInputs: {
+    const Netlist& nl = s.netlist();
+    for (const Port& p : nl.ports()) {
+      if (p.dir != PortDir::In) continue;
+      if (p.name == clock_port_ || p.name == "override_n" ||
+          p.name == "rst_n")
+        continue;
+      // Every input is pinned on the first cycle (no X floats into the
+      // measurement window); afterwards bits re-toggle at `activity`.
+      if (cycle == 0 || rng.uniform() < activity_)
+        s.drive_at(s.now() + to_fs(1.0_ns), p.net,
+                   rng.bits(1) ? Logic::L1 : Logic::L0);
+    }
+    return;
+  }
+  case Kind::Vectors: {
+    const auto& w = words_[std::size_t(cycle + 1) % words_.size()];
+    for (std::size_t i = 0; i < buses_.size(); ++i)
+      s.drive_bus_at(s.now() + offset_fs_, buses_[i].name, w[i],
+                     buses_[i].width);
+    return;
+  }
+  }
+}
+
+SetupSpec SetupSpec::closure(SetupFn fn, std::string key) {
+  SetupSpec s;
+  s.kind_ = Kind::Closure;
+  s.fn_ = std::move(fn);
+  s.key_ = std::move(key);
+  return s;
+}
+
+SetupSpec SetupSpec::drives(std::vector<Drive> drives, std::string key) {
+  SetupSpec s;
+  s.kind_ = Kind::Drives;
+  s.drives_ = std::move(drives);
+  s.key_ = std::move(key);
+  SCPG_REQUIRE(!s.key_.empty(), "drives setup needs a key");
+  return s;
+}
+
+void SetupSpec::apply(Simulator& s) const {
+  switch (kind_) {
+  case Kind::None:
+    return;
+  case Kind::Closure:
+    fn_(s);
+    return;
+  case Kind::Drives:
+    for (const Drive& d : drives_)
+      s.drive_at(0, s.netlist().port_net(d.port), d.value);
+    return;
+  }
+}
+
+} // namespace scpg::sim

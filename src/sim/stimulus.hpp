@@ -1,0 +1,147 @@
+// Backend-neutral stimulus and setup descriptions.
+//
+// The sweep engine historically accepted only opaque closures over the
+// event-driven Simulator, which welded every measurement to that one
+// backend.  StimulusSpec / SetupSpec describe the declarative subset
+// that every backend understands: the same spec, the same cache key and
+// the same Rng consumption order produce the same drive sequence whether
+// a point runs event-driven or compiled, which is what keeps
+// Rng::stream(seed, point_digest) determinism backend-invariant.
+//
+// Opaque closures remain supported for callers that need the full
+// Simulator API (VCD taps, fault injection, ad-hoc schedules) — but a
+// closure pins the point to the event backend, because no other backend
+// can honour an arbitrary callback against the event simulator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "tech/logic.hpp"
+#include "util/rng.hpp"
+
+namespace scpg::sim {
+
+/// Per-cycle stimulus closure: called from the rising-edge hook with the
+/// 0-based cycle index and the point's derived RNG stream.
+using StimulusFn = std::function<void(Simulator&, int cycle, Rng&)>;
+
+/// One-shot setup closure, run once before the clock starts.
+using SetupFn = std::function<void(Simulator&)>;
+
+/// An input bus `name[width-1:0]` made of scalar ports "name[i]".
+struct BusRef {
+  std::string name;
+  int width{0};
+};
+
+/// Declarative (or, as a fallback, closure-held) per-cycle stimulus.
+///
+/// Kinds:
+///  - None: the design free-runs (e.g. the SCM0 core fetching from ROM).
+///  - Closure: arbitrary event-simulator callback; event backend only.
+///  - RandomBuses: each cycle, for each bus in order, draw bits(width)
+///    and drive the bus one nanosecond after the clock edge.
+///  - RandomInputs: each cycle visit every scalar In port in port order,
+///    skipping the clock, "override_n" and "rst_n"; a port is re-driven
+///    with bits(1) when `cycle == 0 || uniform() < activity`.  (Cycle 0
+///    short-circuits: it consumes no uniform() draw.  This reproduces the
+///    campaign random stimulus byte-for-byte.)
+///  - Vectors: explicit per-cycle words, one lane per bus; the closure
+///    called at edge k drives word (k+1) — the word the NEXT edge will
+///    capture — matching the fuzz corpus stimulus convention.
+class StimulusSpec {
+public:
+  enum class Kind : std::uint8_t {
+    None,
+    Closure,
+    RandomBuses,
+    RandomInputs,
+    Vectors,
+  };
+
+  StimulusSpec() = default; // Kind::None
+
+  static StimulusSpec closure(StimulusFn fn, std::string key);
+  static StimulusSpec random_buses(std::vector<BusRef> buses,
+                                   std::string key);
+  static StimulusSpec random_inputs(double activity, std::string clock_port,
+                                    std::string key);
+  /// `words[k][i]` is the value bus `i` holds when edge k captures;
+  /// `offset_fs` is the drive delay after each clock edge.
+  static StimulusSpec vectors(std::vector<BusRef> buses,
+                              std::vector<std::array<std::uint64_t, 2>> words,
+                              SimTime offset_fs, std::string key);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool empty() const { return kind_ == Kind::None; }
+  /// Declarative specs can run on any backend; closures cannot.
+  [[nodiscard]] bool declarative() const { return kind_ != Kind::Closure; }
+  /// Cache/digest key.  Empty for None; empty on a closure means "not
+  /// cacheable" exactly as the legacy stimulus(fn, "") contract did.
+  [[nodiscard]] const std::string& key() const { return key_; }
+
+  [[nodiscard]] const std::vector<BusRef>& buses() const { return buses_; }
+  [[nodiscard]] const std::vector<std::array<std::uint64_t, 2>>& words()
+      const {
+    return words_;
+  }
+  [[nodiscard]] double activity() const { return activity_; }
+  [[nodiscard]] const std::string& clock_port() const { return clock_port_; }
+  [[nodiscard]] SimTime offset_fs() const { return offset_fs_; }
+
+  /// Applies one cycle of stimulus to the event simulator.  This is the
+  /// reference semantics every other backend must reproduce (same drives,
+  /// same Rng consumption order and count).
+  void apply(Simulator& s, int cycle, Rng& rng) const;
+
+private:
+  Kind kind_{Kind::None};
+  std::string key_;
+  StimulusFn fn_;
+  std::vector<BusRef> buses_;
+  std::vector<std::array<std::uint64_t, 2>> words_;
+  double activity_{1.0};
+  std::string clock_port_;
+  SimTime offset_fs_{0};
+};
+
+/// Declarative (or closure-held) pre-run setup.
+class SetupSpec {
+public:
+  enum class Kind : std::uint8_t { None, Closure, Drives };
+
+  /// A primary-input drive applied at t = 0.
+  struct Drive {
+    std::string port;
+    Logic value{Logic::L0};
+  };
+
+  SetupSpec() = default; // Kind::None
+
+  static SetupSpec closure(SetupFn fn, std::string key);
+  static SetupSpec drives(std::vector<Drive> drives, std::string key);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool empty() const { return kind_ == Kind::None; }
+  [[nodiscard]] bool declarative() const { return kind_ != Kind::Closure; }
+  [[nodiscard]] const std::string& key() const { return key_; }
+  [[nodiscard]] const std::vector<Drive>& drive_list() const {
+    return drives_;
+  }
+
+  /// Applies the setup to the event simulator (reference semantics).
+  void apply(Simulator& s) const;
+
+private:
+  Kind kind_{Kind::None};
+  std::string key_;
+  SetupFn fn_;
+  std::vector<Drive> drives_;
+};
+
+} // namespace scpg::sim

@@ -7,11 +7,33 @@
 namespace scpg {
 
 namespace {
-std::atomic<void (*)(std::size_t)> g_thread_start_hook{nullptr};
+
+// Append-only hook registry: a lock-free fixed array keeps worker spawn
+// on the fast path (no mutex between pool construction and hot sweeps).
+constexpr std::size_t kMaxThreadStartHooks = 8;
+std::atomic<void (*)(std::size_t)> g_thread_start_hooks[kMaxThreadStartHooks];
+
+void run_thread_start_hooks(std::size_t worker_index) {
+  for (auto& slot : g_thread_start_hooks) {
+    auto* hook = slot.load(std::memory_order_acquire);
+    if (hook == nullptr) return; // slots fill front to back
+    hook(worker_index);
+  }
 }
 
-void set_thread_start_hook(void (*hook)(std::size_t)) {
-  g_thread_start_hook.store(hook, std::memory_order_relaxed);
+} // namespace
+
+void add_thread_start_hook(void (*hook)(std::size_t)) {
+  SCPG_REQUIRE(hook != nullptr, "add_thread_start_hook: null hook");
+  for (auto& slot : g_thread_start_hooks) {
+    void (*expected)(std::size_t) = nullptr;
+    if (slot.load(std::memory_order_acquire) == hook) return; // idempotent
+    if (slot.compare_exchange_strong(expected, hook,
+                                     std::memory_order_acq_rel))
+      return;
+    if (expected == hook) return; // lost the race to the same hook
+  }
+  SCPG_REQUIRE(false, "add_thread_start_hook: hook table full");
 }
 
 int default_jobs() {
@@ -30,8 +52,7 @@ ThreadPool::ThreadPool(int jobs) {
   workers_.reserve(std::size_t(jobs));
   for (int i = 0; i < jobs; ++i)
     workers_.emplace_back([this, i] {
-      if (auto* hook = g_thread_start_hook.load(std::memory_order_relaxed))
-        hook(std::size_t(i));
+      run_thread_start_hooks(std::size_t(i));
       worker_loop();
     });
 }

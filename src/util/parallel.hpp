@@ -35,13 +35,15 @@ namespace scpg {
 /// `SCPG_JOBS=8 bench_x` exercise the serial/parallel paths unchanged.
 [[nodiscard]] int default_jobs();
 
-/// Installs a function run at the start of every pool worker thread,
-/// with the worker's index within its pool.  One global slot, plain
-/// function pointer (no capture, no teardown order hazards); pass
-/// nullptr to uninstall.  The obs layer uses this to name each worker's
-/// trace track "worker-k" — util must not depend on obs, so the hook
-/// lives here and obs plugs in.
-void set_thread_start_hook(void (*hook)(std::size_t worker_index));
+/// Registers a function run at the start of every pool worker thread,
+/// with the worker's index within its pool.  A small fixed set of global
+/// slots, plain function pointers (no capture, no teardown order
+/// hazards); re-registering the same pointer is a no-op and there is no
+/// unregistration.  util must not depend on its consumers, so the hook
+/// lives here and they plug in: the obs layer names each worker's trace
+/// track "worker-k", and the compiled sim backend pre-sizes its
+/// per-thread scratch arena.  Hooks run in registration order.
+void add_thread_start_hook(void (*hook)(std::size_t worker_index));
 
 /// Fixed-size pool of worker threads draining a FIFO task queue.
 /// Tasks must not submit further tasks to the same pool.

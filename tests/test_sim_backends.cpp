@@ -1,0 +1,555 @@
+// Tests for the pluggable simulation backends (src/sim/backend.hpp) and
+// the compiled levelized bit-parallel kernel (src/sim/compiled):
+//
+//  * every word-parallel cell evaluator is exhaustively checked against
+//    the scalar eval_cell() over all 4-state input combinations
+//    (including Z) on all 64 lane positions;
+//  * BatchSim runs 64 independent stimulus lanes per pass;
+//  * CompiledSim tracks FuncSim bit for bit, X propagation included;
+//  * the sweep engine produces bit-identical results at any job count on
+//    either backend, for the multiplier family and the SCM0 core;
+//  * across backends the measurement window, cycle counts and RNG
+//    streams are pinned exactly, power agrees within the documented
+//    glitch-energy tolerance (DESIGN.md §13);
+//  * backend resolution (Event / Compiled / Auto), the compiled cache
+//    salt, and the per-thread scratch arena behave as specified;
+//  * the declarative stimulus specs reproduce the legacy closures
+//    byte for byte on the event backend.
+//
+// Every suite name starts with "SimBackends" so tools/check.sh can run
+// the file under ThreadSanitizer with `ctest -R '^SimBackends'`.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cpu/assembler.hpp"
+#include "cpu/core.hpp"
+#include "cpu/workloads.hpp"
+#include "engine/cache.hpp"
+#include "engine/sweep.hpp"
+#include "gen/mult16.hpp"
+#include "netlist/funcsim.hpp"
+#include "scpg/transform.hpp"
+#include "sim/backend.hpp"
+#include "sim/compiled/kernel.hpp"
+#include "sim/compiled/words.hpp"
+#include "sim/stimulus.hpp"
+#include "tech/library.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+using namespace scpg;
+using namespace scpg::literals;
+namespace cw = scpg::sim::compiled;
+
+namespace {
+
+const Library& lib() {
+  static const Library l = Library::scpg90();
+  return l;
+}
+
+const Netlist& mult_orig(int w) {
+  static std::map<int, Netlist> m;
+  auto it = m.find(w);
+  if (it == m.end()) it = m.emplace(w, gen::make_multiplier(lib(), w)).first;
+  return it->second;
+}
+
+const Netlist& mult_gated(int w) {
+  static std::map<int, Netlist> m;
+  auto it = m.find(w);
+  if (it == m.end()) {
+    Netlist nl = gen::make_multiplier(lib(), w);
+    apply_scpg(nl);
+    it = m.emplace(w, std::move(nl)).first;
+  }
+  return it->second;
+}
+
+const cpu::Scm0& scm0_orig() {
+  static const cpu::Scm0 s =
+      cpu::make_scm0(lib(), cpu::assemble(cpu::workloads::dhrystone_like(2)));
+  return s;
+}
+
+const cpu::Scm0& scm0_gated() {
+  static const cpu::Scm0 s = [] {
+    cpu::Scm0 c =
+        cpu::make_scm0(lib(), cpu::assemble(cpu::workloads::dhrystone_like(2)));
+    apply_scpg(c.netlist, cpu::scm0_scpg_options());
+    return c;
+  }();
+  return s;
+}
+
+/// The {mult4, mult8, mult16, SCM0} grid at one backend/job count.  All
+/// rows are compiled-eligible (gating overridden off), so the same spec
+/// can be forced onto either backend.
+engine::SweepSpec grid_spec(int design, sim::Backend b, int jobs) {
+  engine::SweepSpec spec;
+  if (design < 3) {
+    const int w = 4 << design; // 4, 8, 16
+    SimConfig cfg;
+    cfg.corner = {0.6_V, 25.0};
+    spec.design(mult_orig(w), "orig")
+        .design(mult_gated(w), "gated")
+        .frequencies({250.0_kHz, 1.0_MHz})
+        .overrides({true})
+        .base_sim(cfg)
+        .cycles(6, 2)
+        .stimulus(sim::StimulusSpec::random_buses(
+            {{"a", w}, {"b", w}}, "simbk:rand" + std::to_string(w)));
+  } else {
+    spec.design(scm0_orig().netlist, "orig")
+        .design(scm0_gated().netlist, "gated")
+        .frequency(1.0_MHz)
+        .overrides({true})
+        .base_sim(cpu::scm0_sim_config())
+        .cycles(10, 4)
+        .setup(sim::SetupSpec::drives({{"rst_n", Logic::L1}}, "simbk:scm0"));
+  }
+  spec.jobs(jobs).use_cache(false).backend(b);
+  return spec;
+}
+
+/// Exact bitwise equality including every tally bucket and the resolved
+/// backend: the determinism contract is bit-identical output per backend.
+void expect_identical(const engine::SweepResult& a,
+                      const engine::SweepResult& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].avg_power.v, b[i].avg_power.v) << "row " << i;
+    EXPECT_EQ(a[i].energy_per_cycle.v, b[i].energy_per_cycle.v)
+        << "row " << i;
+    EXPECT_EQ(a[i].cycles, b[i].cycles) << "row " << i;
+    EXPECT_EQ(a[i].backend, b[i].backend) << "row " << i;
+    const PowerTally& ta = a[i].tally;
+    const PowerTally& tb = b[i].tally;
+    EXPECT_EQ(ta.switching.v, tb.switching.v) << "row " << i;
+    EXPECT_EQ(ta.internal.v, tb.internal.v) << "row " << i;
+    EXPECT_EQ(ta.leakage_aon.v, tb.leakage_aon.v) << "row " << i;
+    EXPECT_EQ(ta.leakage_gated.v, tb.leakage_gated.v) << "row " << i;
+    EXPECT_EQ(ta.header_off.v, tb.header_off.v) << "row " << i;
+    EXPECT_EQ(ta.rail_recharge.v, tb.rail_recharge.v) << "row " << i;
+    EXPECT_EQ(ta.crowbar.v, tb.crowbar.v) << "row " << i;
+    EXPECT_EQ(ta.header_gate.v, tb.header_gate.v) << "row " << i;
+    EXPECT_EQ(ta.macro_access.v, tb.macro_access.v) << "row " << i;
+    EXPECT_EQ(ta.window.v, tb.window.v) << "row " << i;
+  }
+}
+
+const char* const kGridDesignNames[] = {"mult4", "mult8", "mult16", "scm0"};
+
+double rel_diff(double a, double b) {
+  const double m = std::max(std::abs(a), std::abs(b));
+  return m > 0 ? std::abs(a - b) / m : 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// Word-parallel evaluators vs the scalar reference
+
+TEST(SimBackendsWords, TruthTablesMatchScalarEvaluatorOnEveryLane) {
+  // For each combinational kind, walk every 4-state input combination
+  // (including Z) and verify eval_word() against eval_cell() — with the
+  // combination rotated through all 64 lane positions, so no lane is
+  // special and no cross-lane leakage goes unnoticed.
+  constexpr Logic kVals[4] = {Logic::L0, Logic::L1, Logic::X, Logic::Z};
+  for (int ki = 0; ki <= int(CellKind::Macro); ++ki) {
+    const auto k = CellKind(ki);
+    if (!kind_is_combinational(k)) continue;
+    const int n = kind_num_inputs(k);
+    int total = 1;
+    for (int i = 0; i < n; ++i) total *= 4;
+    for (int base = 0; base < total; ++base) {
+      cw::Word in[3]{};
+      for (int lane = 0; lane < 64; ++lane) {
+        const int combo = (base + lane) % total;
+        for (int i = 0; i < n; ++i)
+          cw::set_lane(in[i], lane, kVals[(combo >> (2 * i)) & 3]);
+      }
+      const cw::Word out = cw::eval_word(k, in);
+      EXPECT_EQ(out.v & out.x, 0u) << kind_name(k) << " base " << base;
+      for (int lane = 0; lane < 64; ++lane) {
+        const int combo = (base + lane) % total;
+        Logic scalar[3];
+        for (int i = 0; i < n; ++i) scalar[i] = kVals[(combo >> (2 * i)) & 3];
+        const Logic want = eval_cell(k, std::span<const Logic>(scalar, n));
+        ASSERT_EQ(cw::get_lane(out, lane), want)
+            << kind_name(k) << " combo " << combo << " lane " << lane;
+      }
+    }
+  }
+}
+
+TEST(SimBackendsWords, LaneAccessorsFoldZToX) {
+  // Z never exists inside the compiled machine: both the broadcast and
+  // per-lane writers store it as X, matching eval_cell()'s norm() step.
+  EXPECT_EQ(cw::broadcast(Logic::Z), cw::broadcast(Logic::X));
+  cw::Word w;
+  cw::set_lane(w, 17, Logic::Z);
+  EXPECT_EQ(cw::get_lane(w, 17), Logic::X);
+  cw::set_lane(w, 17, Logic::L1);
+  EXPECT_EQ(cw::get_lane(w, 17), Logic::L1);
+  EXPECT_EQ(cw::get_lane(w, 16), Logic::L0);
+  EXPECT_EQ(w.v & w.x, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The functional facades
+
+TEST(SimBackendsFunc, CompiledSimMatchesFuncSimBitForBit) {
+  const Netlist& nl = mult_orig(8);
+  cw::CompiledSim cs(nl);
+  FuncSim fs(nl);
+  cs.reset();
+  fs.reset();
+  cs.set_input("clk", Logic::L0);
+  fs.set_input("clk", Logic::L0);
+  // Before any operand arrives every product bit must be X in BOTH sims
+  // (flops captured X operands’ products only after a clock; right after
+  // reset the array sees X operand registers).
+  cs.eval();
+  fs.eval();
+  for (int i = 0; i < 16; ++i) {
+    const std::string p = "p[" + std::to_string(i) + "]";
+    EXPECT_EQ(cs.output(p), fs.output(p)) << p << " after reset";
+  }
+  Rng rng = Rng::stream(7, 0x51u);
+  for (int cycle = 0; cycle < 24; ++cycle) {
+    const std::uint64_t a = rng.bits(8);
+    const std::uint64_t b = rng.bits(8);
+    cs.set_input_bus("a", a, 8);
+    cs.set_input_bus("b", b, 8);
+    fs.set_input_bus("a", a, 8);
+    fs.set_input_bus("b", b, 8);
+    cs.clock();
+    fs.clock();
+    for (int i = 0; i < 16; ++i) {
+      const std::string p = "p[" + std::to_string(i) + "]";
+      ASSERT_EQ(cs.output(p), fs.output(p)) << p << " cycle " << cycle;
+    }
+    // Two cycles in (operands then product registered) the output is the
+    // known product of the PREVIOUS operands.
+    if (cycle >= 2) {
+      EXPECT_NO_THROW((void)cs.read_bus("p", 16));
+    }
+  }
+}
+
+TEST(SimBackendsFunc, BatchSimRunsSixtyFourIndependentLanes) {
+  const Netlist& nl = mult_orig(8);
+  cw::BatchSim bs(nl);
+  bs.reset();
+  bs.set_input_word("clk", cw::broadcast(Logic::L0));
+  Rng rng = Rng::stream(9, 0xBA7C);
+  std::uint64_t a[64], b[64];
+  for (int lane = 0; lane < 64; ++lane) {
+    a[lane] = rng.bits(8);
+    b[lane] = rng.bits(8);
+    bs.set_input_bus_lane(lane, "a", a[lane], 8);
+    bs.set_input_bus_lane(lane, "b", b[lane], 8);
+  }
+  bs.clock(); // operands registered
+  bs.clock(); // product registered
+  for (int lane = 0; lane < 64; ++lane)
+    EXPECT_EQ(bs.read_bus_lane(lane, "p", 16), a[lane] * b[lane])
+        << "lane " << lane;
+}
+
+TEST(SimBackendsFunc, BatchSimRejectsMacroNetlists) {
+  // Behavioural macro models are scalar; the 64-lane machine must refuse
+  // the SCM0 (its ROM is a macro) instead of silently simulating lane 0.
+  EXPECT_THROW(cw::BatchSim bs(scm0_orig().netlist), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Engine: jobs-invariance per backend, cross-backend contract
+
+using GridParam = std::tuple<int, int>;
+class SimBackendsGrid : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(SimBackendsGrid, ParallelBitIdenticalToSerial) {
+  const auto [design, bi] = GetParam();
+  const sim::Backend b =
+      bi == 0 ? sim::Backend::Event : sim::Backend::Compiled;
+  const engine::SweepResult serial =
+      engine::Experiment(grid_spec(design, b, 1)).run();
+  const engine::SweepResult parallel =
+      engine::Experiment(grid_spec(design, b, 8)).run();
+  expect_identical(serial, parallel);
+  for (const auto& row : serial) EXPECT_EQ(row.backend, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SimBackendsAllDesigns, SimBackendsGrid,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(0, 1)),
+    [](const ::testing::TestParamInfo<GridParam>& info) {
+      return std::string(kGridDesignNames[std::get<0>(info.param)]) +
+             (std::get<1>(info.param) == 0 ? "_event" : "_compiled");
+    });
+
+class SimBackendsCross : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimBackendsCross, WindowExactPowerWithinTolerance) {
+  // The cross-backend contract (DESIGN.md §13): sampled state, RNG
+  // streams, cycle counts and the measurement window are bit-identical;
+  // power is an estimator output — the compiled kernel settles
+  // zero-delay and cannot see glitch energy, so totals agree only within
+  // a tolerance while leakage (a pure function of window and state
+  // residency) stays tight.
+  const int design = GetParam();
+  const engine::SweepResult ev =
+      engine::Experiment(grid_spec(design, sim::Backend::Event, 1)).run();
+  const engine::SweepResult co =
+      engine::Experiment(grid_spec(design, sim::Backend::Compiled, 1)).run();
+  ASSERT_EQ(ev.size(), co.size());
+  for (std::size_t i = 0; i < ev.size(); ++i) {
+    EXPECT_EQ(ev[i].cycles, co[i].cycles) << "row " << i;
+    EXPECT_EQ(ev[i].tally.window.v, co[i].tally.window.v) << "row " << i;
+    EXPECT_GT(ev[i].avg_power.v, 0.0) << "row " << i;
+    EXPECT_GT(co[i].avg_power.v, 0.0) << "row " << i;
+    EXPECT_LT(rel_diff(ev[i].tally.leakage_total().v,
+                       co[i].tally.leakage_total().v),
+              0.10)
+        << "row " << i;
+    EXPECT_LT(rel_diff(ev[i].avg_power.v, co[i].avg_power.v), 0.50)
+        << "row " << i;
+    EXPECT_EQ(ev[i].backend, sim::Backend::Event);
+    EXPECT_EQ(co[i].backend, sim::Backend::Compiled);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SimBackendsAllDesigns, SimBackendsCross,
+                         ::testing::Values(0, 1, 2, 3),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return kGridDesignNames[info.param];
+                         });
+
+// ---------------------------------------------------------------------------
+// Backend resolution and eligibility
+
+TEST(SimBackendsSelect, ResolveFollowsEligibility) {
+  sim::MeasureRequest rq;
+  rq.nl = &mult_gated(8);
+  rq.cfg.corner = {0.6_V, 25.0};
+  rq.override_gating = false; // gating engaged: per-event rail timing
+  std::string why;
+  EXPECT_EQ(sim::resolve_backend(sim::Backend::Auto, rq, &why),
+            sim::Backend::Event);
+  EXPECT_FALSE(why.empty());
+  EXPECT_THROW((void)sim::resolve_backend(sim::Backend::Compiled, rq), Error);
+  EXPECT_EQ(sim::resolve_backend(sim::Backend::Event, rq),
+            sim::Backend::Event);
+
+  rq.override_gating = true; // rail pinned up: compiled can model it
+  EXPECT_EQ(sim::resolve_backend(sim::Backend::Auto, rq),
+            sim::Backend::Compiled);
+  EXPECT_EQ(sim::resolve_backend(sim::Backend::Compiled, rq),
+            sim::Backend::Compiled);
+
+  // An opaque closure pins the point to the event backend.
+  const sim::StimulusSpec closure = sim::StimulusSpec::closure(
+      [](Simulator&, int, Rng&) {}, "opaque");
+  rq.stimulus = &closure;
+  EXPECT_EQ(sim::resolve_backend(sim::Backend::Auto, rq),
+            sim::Backend::Event);
+  EXPECT_THROW((void)sim::resolve_backend(sim::Backend::Compiled, rq), Error);
+
+  // A design with no headers is eligible regardless of the override.
+  sim::MeasureRequest plain;
+  plain.nl = &mult_orig(8);
+  plain.cfg.corner = {0.6_V, 25.0};
+  EXPECT_EQ(sim::resolve_backend(sim::Backend::Auto, plain),
+            sim::Backend::Compiled);
+}
+
+TEST(SimBackendsSelect, ForcedCompiledThrowsOnClosureSweep) {
+  SimConfig cfg;
+  cfg.corner = {0.6_V, 25.0};
+  engine::SweepSpec spec;
+  spec.design(mult_orig(8))
+      .frequency(1.0_MHz)
+      .base_sim(cfg)
+      .cycles(4, 2)
+      .use_cache(false)
+      .stimulus(
+          [](Simulator& s, int, Rng& rng) {
+            s.drive_bus_at(s.now() + to_fs(1.0_ns), "a", rng.bits(8), 8);
+            s.drive_bus_at(s.now() + to_fs(1.0_ns), "b", rng.bits(8), 8);
+          },
+          "simbk:closure")
+      .backend(sim::Backend::Compiled);
+  EXPECT_THROW((void)engine::Experiment(std::move(spec)).run(), Error);
+}
+
+TEST(SimBackendsSelect, AutoResolvesPerRow) {
+  SimConfig cfg;
+  cfg.corner = {0.6_V, 25.0};
+  engine::SweepSpec spec;
+  spec.design(mult_orig(8), "orig")
+      .design(mult_gated(8), "gated")
+      .frequency(1.0_MHz)
+      .overrides({false, true})
+      .base_sim(cfg)
+      .cycles(4, 2)
+      .use_cache(false)
+      .jobs(1)
+      .stimulus(sim::StimulusSpec::random_buses({{"a", 8}, {"b", 8}},
+                                                "simbk:auto"))
+      .backend(sim::Backend::Auto);
+  const engine::SweepResult res = engine::Experiment(std::move(spec)).run();
+  ASSERT_EQ(res.size(), 4u);
+  // Grid order designs > overrides: the ungated design is eligible either
+  // way; the gated one only when the override pins its rail up.
+  EXPECT_EQ(res[0].backend, sim::Backend::Compiled);
+  EXPECT_EQ(res[1].backend, sim::Backend::Compiled);
+  EXPECT_EQ(res[2].backend, sim::Backend::Event);
+  EXPECT_EQ(res[3].backend, sim::Backend::Compiled);
+}
+
+TEST(SimBackendsSelect, CacheHitsKeepTheResolvedBackend) {
+  engine::ResultCache::global().clear();
+  auto make = [] {
+    engine::SweepSpec spec = grid_spec(1, sim::Backend::Auto, 2);
+    spec.use_cache(true);
+    return spec;
+  };
+  const engine::SweepResult first = engine::Experiment(make()).run();
+  EXPECT_EQ(first.cache_hits(), 0u);
+  const engine::SweepResult second = engine::Experiment(make()).run();
+  EXPECT_EQ(second.cache_hits(), second.size());
+  expect_identical(first, second);
+  for (const auto& row : second) EXPECT_TRUE(row.cache_hit);
+}
+
+TEST(SimBackendsSelect, CompiledRowsDoNotAliasEventCacheEntries) {
+  // The compiled backend salts its cache keys: an event-measured entry
+  // must never satisfy a compiled row (their power estimates differ by
+  // design), and vice versa.
+  engine::ResultCache::global().clear();
+  auto make = [](sim::Backend b) {
+    engine::SweepSpec spec = grid_spec(1, b, 1);
+    spec.use_cache(true);
+    return spec;
+  };
+  (void)engine::Experiment(make(sim::Backend::Event)).run();
+  const engine::SweepResult cold =
+      engine::Experiment(make(sim::Backend::Compiled)).run();
+  EXPECT_EQ(cold.cache_hits(), 0u);
+  const engine::SweepResult warm =
+      engine::Experiment(make(sim::Backend::Compiled)).run();
+  EXPECT_EQ(warm.cache_hits(), warm.size());
+  engine::ResultCache::global().clear();
+}
+
+// ---------------------------------------------------------------------------
+// Scratch arena reuse
+
+TEST(SimBackendsScratch, ArenaIsReusedAcrossPointsOnOneThread) {
+  // jobs(1) runs inline on this thread, so every compiled point borrows
+  // THIS thread's scratch arena; after the first borrow sizes it, every
+  // later borrow must be served from capacity.  Distinct frequencies
+  // (not seeds) keep each point its own measure_group call — seed rows
+  // would pack into one bit-parallel unit sharing a single borrow.
+  const cw::ScratchStats before = cw::scratch_stats();
+  SimConfig cfg;
+  cfg.corner = {0.6_V, 25.0};
+  engine::SweepSpec spec;
+  spec.design(mult_orig(8))
+      .frequencies({200.0_kHz, 250.0_kHz, 400.0_kHz, 500.0_kHz, 800.0_kHz,
+                    1.0_MHz})
+      .base_sim(cfg)
+      .cycles(4, 2)
+      .use_cache(false)
+      .jobs(1)
+      .stimulus(sim::StimulusSpec::random_buses({{"a", 8}, {"b", 8}},
+                                                "simbk:scratch"))
+      .backend(sim::Backend::Compiled);
+  (void)engine::Experiment(std::move(spec)).run();
+  const cw::ScratchStats after = cw::scratch_stats();
+  const std::size_t acquired = after.acquisitions - before.acquisitions;
+  const std::size_t reused = after.reuses - before.reuses;
+  EXPECT_GE(acquired, 6u);
+  // At most the first borrow may grow the arena.
+  EXPECT_GE(reused + 1, acquired);
+}
+
+// ---------------------------------------------------------------------------
+// Declarative specs reproduce the legacy closures (event backend)
+
+TEST(SimBackendsDecl, RandomBusesMatchesLegacyClosure) {
+  SimConfig cfg;
+  cfg.corner = {0.6_V, 25.0};
+  auto base = [&] {
+    engine::SweepSpec spec;
+    spec.design(mult_orig(8))
+        .frequency(1.0_MHz)
+        .base_sim(cfg)
+        .cycles(6, 2)
+        .use_cache(false)
+        .backend(sim::Backend::Event);
+    return spec;
+  };
+  engine::SweepSpec closure = base();
+  closure.stimulus(
+      [](Simulator& s, int, Rng& rng) {
+        s.drive_bus_at(s.now() + to_fs(1.0_ns), "a", rng.bits(8), 8);
+        s.drive_bus_at(s.now() + to_fs(1.0_ns), "b", rng.bits(8), 8);
+      },
+      "simbk:decl-buses");
+  engine::SweepSpec decl = base();
+  decl.stimulus(sim::StimulusSpec::random_buses({{"a", 8}, {"b", 8}},
+                                                "simbk:decl-buses"));
+  // Identical keys -> identical digests -> identical RNG streams; the
+  // declarative spec must then replay the exact same event schedule.
+  expect_identical(engine::Experiment(std::move(closure)).run(),
+                   engine::Experiment(std::move(decl)).run());
+}
+
+TEST(SimBackendsDecl, RandomInputsMatchesLegacyCampaignClosure) {
+  // The campaign's historical closure, verbatim — including the cycle-0
+  // short-circuit that pins every input without consuming a uniform()
+  // draw.  StimulusSpec::random_inputs must reproduce it byte for byte.
+  const double activity = 0.35;
+  auto legacy = [activity](Simulator& s, int cycle, Rng& rng) {
+    const Netlist& nl = s.netlist();
+    for (const Port& p : nl.ports()) {
+      if (p.dir != PortDir::In) continue;
+      if (p.name == "clk" || p.name == "override_n" || p.name == "rst_n")
+        continue;
+      if (cycle == 0 || rng.uniform() < activity)
+        s.drive_at(s.now() + to_fs(1.0_ns), p.net,
+                   rng.bits(1) ? Logic::L1 : Logic::L0);
+    }
+  };
+  SimConfig cfg;
+  cfg.corner = {0.6_V, 25.0};
+  auto base = [&] {
+    engine::SweepSpec spec;
+    spec.design(mult_gated(8))
+        .frequency(1.0_MHz)
+        .overrides({true})
+        .base_sim(cfg)
+        .cycles(6, 2)
+        .use_cache(false)
+        .backend(sim::Backend::Event);
+    return spec;
+  };
+  engine::SweepSpec closure = base();
+  closure.stimulus(legacy, "simbk:decl-inputs");
+  engine::SweepSpec decl = base();
+  decl.stimulus(
+      sim::StimulusSpec::random_inputs(activity, "clk", "simbk:decl-inputs"));
+  expect_identical(engine::Experiment(std::move(closure)).run(),
+                   engine::Experiment(std::move(decl)).run());
+}
+
+} // namespace

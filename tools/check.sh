@@ -21,6 +21,10 @@
 #                              # starve campaign workers and corrupt
 #                              # journals, asserting bit-exact recovery —
 #                              # normal build first, then under ASan/UBSan
+#   tools/check.sh --simperf   # compiled-backend perf floor: bench_sim_
+#                              # backends must show the compiled kernel
+#                              # >= SCPG_SIMPERF_FLOOR x (default 10) the
+#                              # event simulator on mult16 AND scm0
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -180,6 +184,36 @@ run_crash_pass() {
   echo "=== crash: all recovery paths bit-exact in both builds ==="
 }
 
+# Sim-backend perf floor: the whole point of the compiled kernel is
+# throughput, so CI pins a ratio floor rather than an absolute rate
+# (absolute points/s varies with the box; the event/compiled ratio is a
+# property of the code).  bench_sim_backends prints one `ratio=` line per
+# design; every line must clear the floor.  The measured ratios are
+# ~250x (mult16) and ~120x (scm0) — the default floor of 10 is the
+# acceptance threshold with a wide margin for scheduler noise.
+run_simperf_pass() {
+  local floor=${SCPG_SIMPERF_FLOOR:-10}
+  echo "=== simperf: build bench_sim_backends (build) ==="
+  cmake -B build -S .
+  cmake --build build -j "$jobs" --target bench_sim_backends
+  echo "=== simperf: event vs compiled throughput (floor ${floor}x) ==="
+  local out
+  out=$(build/bench/bench_sim_backends)
+  echo "$out"
+  awk -v floor="$floor" '
+    /ratio=/ {
+      n++
+      split($0, a, "ratio=")
+      if (a[2] + 0 < floor + 0) { bad++ }
+    }
+    END {
+      if (n < 2) { print "simperf: expected >= 2 ratio lines, got " n; exit 1 }
+      exit bad ? 1 : 0
+    }' <<<"$out" ||
+    { echo "simperf: compiled backend below ${floor}x floor"; exit 1; }
+  echo "=== simperf: all designs clear the ${floor}x floor ==="
+}
+
 # clang-tidy pass: gated on availability — the CI container may not ship
 # clang-tidy; the pass then reports and succeeds so `all` stays green.
 run_tidy_pass() {
@@ -195,30 +229,35 @@ run_tidy_pass() {
   echo "=== tidy: clean ==="
 }
 
-# TSan pass: only the Engine* suites (test_engine.cpp) — the parallel
-# sweep engine, thread pool and result cache are the code with real
-# cross-thread interactions; the rest of the suite is single-threaded.
+# TSan pass: the Engine* suites (test_engine.cpp) plus SimBackends —
+# the parallel sweep engine, thread pool, result cache, the backend
+# registry and the compiled kernel's shared Program cache / per-thread
+# scratch arenas are the code with real cross-thread interactions; the
+# rest of the suite is single-threaded.
 case "$mode" in
   --fast)     run_pass "normal" build "" ;;
   --sanitize) run_pass "sanitized" build-asan "" -DSCPG_SANITIZE=ON ;;
-  --tsan)     run_pass "tsan-engine" build-tsan "^Engine" \
+  --tsan)     run_pass "tsan-engine" build-tsan "^(Engine|SimBackends)" \
                        -DSCPG_SANITIZE=thread ;;
   --lint)     run_lint_pass ;;
   --tidy)     run_tidy_pass ;;
   --fuzz-smoke) run_fuzz_smoke ;;
   --obs)      run_obs_pass ;;
   --crash)    run_crash_pass ;;
+  --simperf)  run_simperf_pass ;;
   all)
     run_pass "normal" build ""
     run_pass "sanitized" build-asan "" -DSCPG_SANITIZE=ON
-    run_pass "tsan-engine" build-tsan "^Engine" -DSCPG_SANITIZE=thread
+    run_pass "tsan-engine" build-tsan "^(Engine|SimBackends)" \
+             -DSCPG_SANITIZE=thread
     run_lint_pass
     run_tidy_pass
     run_fuzz_smoke
     run_obs_pass
     run_crash_pass
+    run_simperf_pass
     ;;
-  *) echo "usage: $0 [--fast|--sanitize|--tsan|--lint|--tidy|--fuzz-smoke|--obs|--crash]" >&2
+  *) echo "usage: $0 [--fast|--sanitize|--tsan|--lint|--tidy|--fuzz-smoke|--obs|--crash|--simperf]" >&2
      exit 2 ;;
 esac
 

@@ -5,7 +5,7 @@
 //   scpgc transform --in d.v --out o.v [options]   apply power gating
 //   scpgc sweep     --in d.v [--vdd V] [--activity A] [--fmax-mhz F]
 //                   [--points N] [--cycles N] [--seed S] [--jobs N]
-//                   [--json]                       power-vs-frequency table:
+//                   [--backend B] [--json]         power-vs-frequency table:
 //                                                  analytic model columns +
 //                                                  simulated columns run
 //                                                  through the parallel
@@ -142,6 +142,15 @@ Corner corner_of(const cli::Parsed& p) {
 using campaign::estimate_dynamic_energy;
 using campaign::random_stimulus;
 
+sim::Backend backend_of(const cli::Parsed& p) {
+  const std::string name = p.opt("backend", "event");
+  const auto b = sim::backend_from_name(name);
+  if (!b)
+    throw cli::UsageError("--backend must be event, compiled or auto; got '" +
+                          name + "'");
+  return *b;
+}
+
 // --- command specs ----------------------------------------------------------
 //
 // One cli::Spec per subcommand: the declarations below are the single
@@ -159,6 +168,15 @@ cli::Spec& with_corner(cli::Spec& s) {
       .opt("temp", "C", "temperature in Celsius (default 25)");
   return s;
 }
+
+cli::Spec& with_backend(cli::Spec& s, const char* what) {
+  s.opt("backend", "B", what);
+  return s;
+}
+
+constexpr const char* kBackendSweepHelp =
+    "simulation backend: event (reference), compiled (levelized "
+    "bit-parallel kernel) or auto (default event)";
 
 cli::Spec liberty_spec() {
   return cli::Spec("liberty", "dump the scpg90 Liberty library to stdout");
@@ -199,6 +217,7 @@ cli::Spec sweep_spec() {
       .with_seed()
       .with_parallelism()
       .flag("no-lint", "skip the lint pre-gate on swept designs");
+  with_backend(s, kBackendSweepHelp);
   return s;
 }
 
@@ -221,6 +240,10 @@ cli::Spec verify_spec() {
       .opt("max-report", "N", "hazard reports to print (default 10)")
       .with_seed()
       .flag("no-lint", "skip the lint pre-gate");
+  with_backend(s,
+               "simulation backend; hazard monitors need the event "
+               "reference, so auto resolves to event and compiled is "
+               "rejected (default event)");
   return s;
 }
 
@@ -251,6 +274,7 @@ cli::Spec campaign_spec() {
       .opt("crash-workers", "N",
            "fault injection: how many spawned workers crash (default 1)")
       .flag("no-lint", "skip the lint pre-gate on swept designs");
+  with_backend(s, kBackendSweepHelp);
   return s;
 }
 
@@ -289,6 +313,11 @@ cli::Spec fuzz_spec() {
       .with_seed()
       .with_parallelism()
       .flag("no-minimize", "skip delta-debug minimization of mismatches");
+  with_backend(s,
+               "backend-divergence arm of the diff-sim oracle: auto "
+               "(default) replays eligible cases on the compiled kernel, "
+               "compiled makes an ineligible case a mismatch, event "
+               "disables the arm");
   return s;
 }
 
@@ -352,6 +381,15 @@ int cmd_transform(const Library& lib, const cli::Parsed& p) {
 }
 
 int cmd_verify(const Library& lib, const cli::Parsed& p) {
+  // Hazard monitors are observer hooks on the event simulator; the
+  // compiled kernel has no observers, so auto resolves to event and a
+  // forced compiled request is an error rather than a silent downgrade.
+  if (backend_of(p) == sim::Backend::Compiled)
+    throw Error(
+        "verify needs the event backend: runtime hazard monitors and "
+        "per-event rail timing are not modeled by the compiled kernel "
+        "(use --backend event or auto)");
+
   Netlist nl = load(lib, p.opt("in"));
   const std::string design_name = nl.name();
 
@@ -415,6 +453,7 @@ int cmd_verify(const Library& lib, const cli::Parsed& p) {
     w.key("freq_mhz").value(p.num("freq-mhz", 1.0));
     w.key("cycles_run").value(std::int64_t(res.cycles_run));
     w.key("seed").value(std::uint64_t(opt.seed));
+    w.key("backend").value("event");
     w.key("injected").begin_object(json::Writer::Style::Compact);
     for (int i = 0; i < verify::kNumFaultClasses; ++i)
       if (res.injected[std::size_t(i)] > 0)
@@ -472,6 +511,7 @@ int cmd_sweep(const Library& lib, const cli::Parsed& p) {
   const int cycles = int(p.num("cycles", 12));
   const auto seed = std::uint64_t(p.num("seed", 1));
   const std::string clock_port = p.opt("clock", "clk");
+  const sim::Backend backend = backend_of(p);
 
   // Transform a copy if the input is not already gated; the pre-transform
   // netlist is the measured no-gating reference.
@@ -504,8 +544,8 @@ int cmd_sweep(const Library& lib, const cli::Parsed& p) {
       .cycles(cycles)
       .clock_port(clock_port)
       .jobs(jobs)
-      .stimulus(random_stimulus(activity, clock_port),
-                campaign::random_stimulus_key(activity));
+      .backend(backend)
+      .stimulus(random_stimulus(activity, clock_port));
   for (std::size_t i = 0; i < fs_mhz.size(); ++i) {
     const Frequency f{fs_mhz[i] * 1e6};
     engine::OperatingPoint pt;
@@ -562,6 +602,7 @@ int cmd_sweep(const Library& lib, const cli::Parsed& p) {
     w.key("cycles").value(cycles);
     w.key("seed").value(seed);
     w.key("jobs").value(jobs);
+    w.key("backend").value(std::string(sim::backend_name(backend)));
     w.key("cache_hits").value(std::uint64_t(res.cache_hits()));
     w.key("rows").begin_array();
     for (const Row& r : rows) {
@@ -635,6 +676,7 @@ int cmd_campaign(const Library& lib, const cli::Parsed& p) {
     cs.cycles = int(p.num("cycles", 12));
     cs.seed = std::uint64_t(p.num("seed", 1));
     cs.clock_port = p.opt("clock", "clk");
+    cs.backend = backend_of(p);
     opt.journal_path = p.opt("journal");
   }
   opt.workers = int(p.num("workers", 2));
@@ -661,6 +703,8 @@ int cmd_campaign(const Library& lib, const cli::Parsed& p) {
     json::write_envelope_open(w, "scpgc-campaign");
     w.key("payload").begin_object();
     w.key("design").value(plan.design_name);
+    w.key("backend").value(
+        std::string(sim::backend_name(plan.spec.backend)));
     w.key("campaign").value(campaign::hex64(out.campaign_digest));
     w.key("total").value(std::uint64_t(out.results.size()));
     w.key("completed")
@@ -774,6 +818,14 @@ int cmd_fuzz(const Library& lib, const cli::Parsed& p) {
   opt.minimize = !p.has_flag("no-minimize");
   opt.corpus_dir = p.opt("corpus");
   opt.coverage_out = p.opt("coverage-out");
+  {
+    const std::string name = p.opt("backend", "auto");
+    const auto b = sim::backend_from_name(name);
+    if (!b)
+      throw cli::UsageError(
+          "--backend must be event, compiled or auto; got '" + name + "'");
+    opt.backend = *b;
+  }
   if (p.has_opt("inject")) {
     const auto bug = fuzz::bug_from_name(p.opt("inject"));
     if (!bug || *bug == fuzz::BugKind::None)
@@ -798,6 +850,7 @@ int cmd_fuzz(const Library& lib, const cli::Parsed& p) {
     json::Writer w(std::cout);
     json::write_envelope_open(w, "scpgc-fuzz");
     w.key("payload").begin_object(json::Writer::Style::Compact);
+    w.key("backend").value(std::string(sim::backend_name(opt.backend)));
     w.key("cases").value(st.cases);
     w.key("clean_cases").value(st.clean_cases);
     w.key("bug_cases").value(st.bug_cases);
