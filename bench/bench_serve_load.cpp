@@ -1,0 +1,179 @@
+// Load benchmark for the scpgc serve daemon (EXPERIMENTS.md X7): an
+// in-process Server on a real unix socket, hammered by persistent client
+// threads with a mixed request stream — cache-hot sweeps (the daemon's
+// steady state), pings (pure wire overhead), stats and lints — and
+// per-class client-observed latency percentiles.
+//
+// The interesting number is the hot-sweep p99: once the result cache
+// holds the grid, a served sweep is framing + admission + batch window +
+// render, so its latency is the daemon's own overhead, not simulation.
+// tools/check.sh --serve gates on it (budget SCPG_SERVE_P99_US, default
+// 100000 us — generous; see X7 for measured values).
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/spec.hpp"
+#include "common.hpp"
+#include "util/table.hpp"
+#include "netlist/verilog.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+using namespace scpg;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr int kClients = 8;
+constexpr int kPerClient = 250; // 2000 requests total
+
+double us_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+double pct(std::vector<double>& v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[std::min(v.size() - 1, std::size_t(q * double(v.size())))];
+}
+
+} // namespace
+
+int main() {
+  const Library& lib = benchx::bench_lib();
+
+  char dir_template[] = "/tmp/scpg_serve_bench_XXXXXX";
+  const char* dir = ::mkdtemp(dir_template);
+  if (dir == nullptr) {
+    std::cerr << "bench_serve_load: mkdtemp failed\n";
+    return 1;
+  }
+  const std::string base(dir);
+  const std::string netlist = base + "/mult8.v";
+  {
+    std::ofstream os(netlist);
+    write_verilog(gen::make_multiplier(lib, 8), os);
+  }
+
+  serve::ServerOptions opt;
+  opt.socket_path = base + "/serve.sock";
+  opt.cache_path = base + "/serve.cache";
+  opt.batch_window_ms = 2;
+  serve::Server server(lib, opt);
+  (void)server.start();
+
+  campaign::CampaignSpec spec;
+  spec.netlist_path = netlist;
+  spec.points = 4;
+  spec.cycles = 6;
+
+  const auto sweep_rq = [&](std::uint64_t seed) {
+    serve::Request rq;
+    rq.op = serve::Op::Sweep;
+    rq.sweep.spec = spec;
+    rq.sweep.spec.seed = seed;
+    rq.sweep.jobs = 2;
+    return rq;
+  };
+
+  // Warm the cache: after this every sweep in the stream is a pure
+  // cache-hit render.
+  {
+    serve::Client warm(opt.socket_path);
+    for (std::uint64_t s = 0; s < 4; ++s) {
+      const serve::Response r = warm.call(sweep_rq(s));
+      if (!r.status.ok) {
+        std::cerr << "bench_serve_load: warmup failed: " << r.status.error
+                  << "\n";
+        return 1;
+      }
+    }
+  }
+
+  // Mixed stream per client: 16 of every 20 requests are hot sweeps,
+  // 2 pings, 1 stats, 1 lint.
+  struct Lat {
+    std::vector<double> sweep_hot, ping, stats, lint;
+  };
+  std::vector<Lat> lat(kClients);
+  std::vector<std::thread> threads;
+  const auto t0 = Clock::now();
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      serve::Client client(opt.socket_path);
+      serve::Request ping;
+      ping.op = serve::Op::Ping;
+      serve::Request stats;
+      stats.op = serve::Op::Stats;
+      serve::Request lint;
+      lint.op = serve::Op::Lint;
+      lint.lint.netlist_path = netlist;
+      for (int i = 0; i < kPerClient; ++i) {
+        const int slot = i % 20;
+        const serve::Request* rq = nullptr;
+        std::vector<double>* sink = nullptr;
+        serve::Request sweep;
+        if (slot < 16) {
+          sweep = sweep_rq(std::uint64_t((i + c) % 4));
+          rq = &sweep;
+          sink = &lat[std::size_t(c)].sweep_hot;
+        } else if (slot < 18) {
+          rq = &ping;
+          sink = &lat[std::size_t(c)].ping;
+        } else if (slot < 19) {
+          rq = &stats;
+          sink = &lat[std::size_t(c)].stats;
+        } else {
+          rq = &lint;
+          sink = &lat[std::size_t(c)].lint;
+        }
+        const auto a = Clock::now();
+        const serve::Response r = client.call(*rq);
+        sink->push_back(us_between(a, Clock::now()));
+        if (!r.status.ok && r.status.exit_code > 1) {
+          std::cerr << "bench_serve_load: request failed: " << r.status.error
+                    << "\n";
+          std::exit(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double total_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  server.stop();
+
+  std::map<std::string, std::vector<double>> merged;
+  for (const Lat& l : lat) {
+    merged["sweep_hot"].insert(merged["sweep_hot"].end(), l.sweep_hot.begin(),
+                               l.sweep_hot.end());
+    merged["ping"].insert(merged["ping"].end(), l.ping.begin(), l.ping.end());
+    merged["stats"].insert(merged["stats"].end(), l.stats.begin(),
+                           l.stats.end());
+    merged["lint"].insert(merged["lint"].end(), l.lint.begin(), l.lint.end());
+  }
+
+  const int total = kClients * kPerClient;
+  std::cout << "=== scpgc serve load (" << kClients << " clients, " << total
+            << " mixed requests) ===\n";
+  std::cout << "total: " << total << " requests in "
+            << TextTable::num(total_s, 2) << " s  ("
+            << TextTable::num(double(total) / total_s, 0)
+            << " req/s)\n";
+  for (auto& [name, v] : merged) {
+    std::vector<double> copy = v;
+    std::cout << name << ": count=" << v.size()
+              << " p50_us=" << TextTable::num(pct(copy, 0.50), 0)
+              << " p99_us=" << TextTable::num(pct(copy, 0.99), 0)
+              << "\n";
+  }
+  return 0;
+}

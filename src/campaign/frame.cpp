@@ -75,11 +75,12 @@ std::uint64_t double_bits(double v) { return std::bit_cast<std::uint64_t>(v); }
 
 double bits_double(std::uint64_t bits) { return std::bit_cast<double>(bits); }
 
-std::string encode_frame(std::string_view payload_json) {
+std::string encode_frame(std::string_view payload_json,
+                         std::string_view tool) {
   std::string envelope = "{\"schema_version\": ";
   envelope += std::to_string(json::kSchemaVersion);
   envelope += ", \"tool\": \"";
-  envelope += kFrameTool;
+  envelope += tool;
   envelope += "\", \"payload\": ";
   envelope += payload_json;
   envelope += "}";
@@ -97,7 +98,7 @@ std::string encode_frame(std::string_view payload_json) {
 }
 
 json::Value decode_frame(std::string_view line, const std::string& source,
-                         int lineno) {
+                         int lineno, std::string_view tool) {
   // Shape: "SCPGF1 xxxxxxxx {...}".
   if (line.size() < kMagic.size() + 1 + 8 + 1 + 2 ||
       line.substr(0, kMagic.size()) != kMagic ||
@@ -133,11 +134,10 @@ json::Value decode_frame(std::string_view line, const std::string& source,
       int(ver->num) != json::kSchemaVersion)
     frame_error("frame envelope has wrong or missing schema_version", source,
                 lineno);
-  const json::Value* tool = doc.get("tool");
-  if (tool == nullptr || !tool->is(json::Value::Type::String) ||
-      tool->str != kFrameTool)
-    frame_error("frame envelope tool is not \"" + std::string(kFrameTool) +
-                    "\"",
+  const json::Value* tool_v = doc.get("tool");
+  if (tool_v == nullptr || !tool_v->is(json::Value::Type::String) ||
+      tool_v->str != tool)
+    frame_error("frame envelope tool is not \"" + std::string(tool) + "\"",
                 source, lineno);
   const json::Value* payload = doc.get("payload");
   if (payload == nullptr || !payload->is(json::Value::Type::Object))

@@ -31,7 +31,10 @@
 
 namespace scpg::campaign {
 
-/// Tool name stamped into every frame envelope.
+/// Tool name stamped into every frame envelope by default.  Other
+/// subsystems that reuse this codec for their own files pass their own
+/// tool name (src/serve's disk cache uses "scpgc-cache"), so a file of
+/// one kind fed to a reader of another rejects at the first frame.
 inline constexpr std::string_view kFrameTool = "scpgc-campaign";
 
 /// CRC-32 (IEEE 802.3, reflected) of `data`.
@@ -40,13 +43,16 @@ inline constexpr std::string_view kFrameTool = "scpgc-campaign";
 /// Wraps a compact payload object in the envelope and frames it.  The
 /// result ends in exactly one '\n'.  `payload_json` must be a valid
 /// compact JSON object (no raw newlines).
-[[nodiscard]] std::string encode_frame(std::string_view payload_json);
+[[nodiscard]] std::string encode_frame(std::string_view payload_json,
+                                       std::string_view tool = kFrameTool);
 
 /// Decodes one line (without its trailing '\n'): checks magic, CRC and
 /// envelope, and returns the parsed payload.  Throws ParseError with
-/// `source`:`line` on any malformation.
+/// `source`:`line` on any malformation, including an envelope whose tool
+/// name differs from `tool`.
 [[nodiscard]] json::Value decode_frame(std::string_view line,
-                                       const std::string& source, int lineno);
+                                       const std::string& source, int lineno,
+                                       std::string_view tool = kFrameTool);
 
 /// 16-digit lowercase hex of a 64-bit value (bit-exact transport).
 [[nodiscard]] std::string hex64(std::uint64_t v);

@@ -40,6 +40,11 @@ std::string str_field(const json::Value& v, const char* key,
 
 } // namespace
 
+CampaignPlan::CampaignPlan() = default;
+CampaignPlan::~CampaignPlan() = default;
+CampaignPlan::CampaignPlan(CampaignPlan&&) noexcept = default;
+CampaignPlan& CampaignPlan::operator=(CampaignPlan&&) noexcept = default;
+
 std::string to_json(const CampaignSpec& spec) {
   std::string s = "{\"netlist\": ";
   json::append_quoted(s, spec.netlist_path);
@@ -114,7 +119,34 @@ Energy estimate_dynamic_energy(const Netlist& nl, Corner c, double activity) {
   return Energy{e * activity};
 }
 
-CampaignPlan build_campaign(const Library& lib, const CampaignSpec& spec) {
+void append_campaign_grid(engine::SweepSpec& sweep, const CampaignSpec& spec,
+                          const ScpgPowerModel& model, bool already_gated,
+                          std::uint64_t seed, const std::string& tag_prefix) {
+  const Corner c{Voltage{spec.vdd}, spec.temp_c};
+  for (int i = 0; i < spec.points; ++i) {
+    const double f_mhz =
+        spec.fmax_mhz *
+        std::pow(10.0, -3.0 + 3.0 * double(i) / (spec.points - 1));
+    const Frequency f{f_mhz * 1e6};
+    engine::OperatingPoint pt;
+    pt.f = f;
+    pt.corner = c;
+    pt.seed = seed;
+    pt.design = already_gated ? 1 : 0;
+    pt.override_gating = already_gated;
+    pt.tag = tag_prefix + "n:" + std::to_string(i);
+    sweep.point(pt);
+    if (model.feasible(f, 0.5)) {
+      pt.design = 1;
+      pt.override_gating = false;
+      pt.tag = tag_prefix + "g:" + std::to_string(i);
+      sweep.point(pt);
+    }
+  }
+}
+
+CampaignPlan build_campaign(const Library& lib, const CampaignSpec& spec,
+                            int jobs, engine::ResultCache* cache) {
   SCPG_REQUIRE(spec.points >= 2, "campaign needs at least 2 grid points");
   SCPG_REQUIRE(spec.cycles >= 1, "campaign needs at least 1 measured cycle");
   std::ifstream in(spec.netlist_path);
@@ -128,6 +160,7 @@ CampaignPlan build_campaign(const Library& lib, const CampaignSpec& spec) {
   bool already_gated = false;
   for (std::uint32_t ci = 0; ci < loaded.num_cells(); ++ci)
     if (loaded.cell(CellId{ci}).domain == Domain::Gated) already_gated = true;
+  plan.already_gated = already_gated;
   plan.original = std::make_unique<Netlist>(loaded);
   plan.gated = std::make_unique<Netlist>(std::move(loaded));
   if (!already_gated) {
@@ -140,36 +173,20 @@ CampaignPlan build_campaign(const Library& lib, const CampaignSpec& spec) {
   SimConfig cfg;
   cfg.corner = c;
   const Energy e_dyn = estimate_dynamic_energy(*plan.gated, c, spec.activity);
-  const ScpgPowerModel model = ScpgPowerModel::extract(*plan.gated, cfg, e_dyn);
+  plan.model = std::make_unique<ScpgPowerModel>(
+      ScpgPowerModel::extract(*plan.gated, cfg, e_dyn));
 
   engine::SweepSpec sweep;
   sweep.design(*plan.original, "original").design(*plan.gated, "gated");
   sweep.base_sim(cfg)
       .cycles(spec.cycles)
       .clock_port(spec.clock_port)
-      .jobs(1)
+      .jobs(jobs)
+      .cache(cache)
       .backend(spec.backend)
       .stimulus(random_stimulus(spec.activity, spec.clock_port));
-  for (int i = 0; i < spec.points; ++i) {
-    const double f_mhz =
-        spec.fmax_mhz *
-        std::pow(10.0, -3.0 + 3.0 * double(i) / (spec.points - 1));
-    const Frequency f{f_mhz * 1e6};
-    engine::OperatingPoint pt;
-    pt.f = f;
-    pt.corner = c;
-    pt.seed = spec.seed;
-    pt.design = already_gated ? 1 : 0;
-    pt.override_gating = already_gated;
-    pt.tag = "n:" + std::to_string(i);
-    sweep.point(pt);
-    if (model.feasible(f, 0.5)) {
-      pt.design = 1;
-      pt.override_gating = false;
-      pt.tag = "g:" + std::to_string(i);
-      sweep.point(pt);
-    }
-  }
+  append_campaign_grid(sweep, spec, *plan.model, already_gated, spec.seed,
+                       std::string());
   plan.experiment = std::make_unique<engine::Experiment>(std::move(sweep));
 
   // The digest binds journals and workers to this campaign: canonical

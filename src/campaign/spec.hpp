@@ -27,6 +27,10 @@
 #include "netlist/netlist.hpp"
 #include "util/json.hpp"
 
+namespace scpg {
+class ScpgPowerModel;
+}
+
 namespace scpg::campaign {
 
 struct CampaignSpec {
@@ -60,10 +64,21 @@ struct CampaignSpec {
 /// rows the campaign shards, and the campaign digest.  Move-only; the
 /// Experiment's SweepSpec points into the owned netlists.
 struct CampaignPlan {
+  // Out of line: the model member is incomplete here.
+  CampaignPlan();
+  ~CampaignPlan();
+  CampaignPlan(CampaignPlan&&) noexcept;
+  CampaignPlan& operator=(CampaignPlan&&) noexcept;
+
   CampaignSpec spec;
   std::unique_ptr<Netlist> original;
   std::unique_ptr<Netlist> gated;
   std::unique_ptr<engine::Experiment> experiment;
+  /// The analytic model the grid's feasibility gating used; consumers
+  /// (scpgc sweep's table, src/serve's renderer) query it for the
+  /// model-column values of the same rows.
+  std::unique_ptr<ScpgPowerModel> model;
+  bool already_gated{false}; ///< the input netlist came pre-gated
   std::uint64_t digest{0};
   std::string design_name;
 
@@ -76,9 +91,26 @@ struct CampaignPlan {
 /// and builds the canonical measured sweep: rows "n:i" (no gating) and
 /// "g:i" (SCPG at 50% duty, when feasible at that frequency) over the
 /// log-spaced grid — the same grid `scpgc sweep`'s measured columns use.
-/// Deterministic: equal spec + equal file bytes => equal plan.
+/// Deterministic: equal spec + equal file bytes => equal plan.  `jobs`
+/// and `cache` configure the embedded Experiment's execution policy
+/// only; they do not change the plan, its digest, or any measurement.
 [[nodiscard]] CampaignPlan build_campaign(const Library& lib,
-                                          const CampaignSpec& spec);
+                                          const CampaignSpec& spec,
+                                          int jobs = 1,
+                                          engine::ResultCache* cache = nullptr);
+
+/// Appends the canonical measured grid for `spec` onto `sweep` with
+/// `seed` in place of spec.seed and every tag prefixed by `tag_prefix`
+/// ("<prefix>n:i" / "<prefix>g:i").  This is the one definition of the
+/// grid — build_campaign() uses it with an empty prefix, and src/serve
+/// appends one prefixed copy per coalesced request so seed-axis rows
+/// from different clients pack into the compiled backend's bit-parallel
+/// units.  `sweep` must already carry designs 0 (original) and 1 (gated)
+/// and the shared fixture; `model` and `already_gated` must come from
+/// the same netlist the sweep's designs hold.
+void append_campaign_grid(engine::SweepSpec& sweep, const CampaignSpec& spec,
+                          const ScpgPowerModel& model, bool already_gated,
+                          std::uint64_t seed, const std::string& tag_prefix);
 
 /// Vector-less random stimulus shared by `scpgc sweep` and campaigns:
 /// every data input bit is re-driven with probability `activity` per

@@ -18,19 +18,51 @@ std::optional<Measurement> ResultCache::find(const CacheKey& key) {
 }
 
 void ResultCache::store(const CacheKey& key, const Measurement& m) {
+  StoreHook hook;
+  {
+    const std::lock_guard lock(m_);
+    if (!insert_locked(key, m)) return;
+    hook = store_hook_;
+  }
+  // Fired outside m_: a persistence hook takes its own lock and may call
+  // back into this cache (entries_mru on rewrite), so firing it under m_
+  // would invert the lock order against that path.
+  if (hook) hook(key, m);
+}
+
+void ResultCache::preload(const CacheKey& key, const Measurement& m) {
   const std::lock_guard lock(m_);
-  if (capacity_ == 0) return;
+  insert_locked(key, m);
+}
+
+bool ResultCache::insert_locked(const CacheKey& key, const Measurement& m) {
+  if (capacity_ == 0) return false;
   const auto it = map_.find(key);
   if (it != map_.end()) {
     // Equal keys mean equal content; keep the existing entry, refresh
     // its recency.
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-    return;
+    return false;
   }
   lru_.push_front(key);
   map_.emplace(key, Entry{m, lru_.begin()});
   evict_to_capacity_locked();
   publish_gauges_locked();
+  return true;
+}
+
+void ResultCache::set_store_hook(StoreHook hook) {
+  const std::lock_guard lock(m_);
+  store_hook_ = std::move(hook);
+}
+
+std::vector<std::pair<CacheKey, Measurement>> ResultCache::entries_mru()
+    const {
+  const std::lock_guard lock(m_);
+  std::vector<std::pair<CacheKey, Measurement>> out;
+  out.reserve(map_.size());
+  for (const CacheKey& key : lru_) out.emplace_back(key, map_.at(key).m);
+  return out;
 }
 
 void ResultCache::clear() {
@@ -72,8 +104,8 @@ void ResultCache::evict_to_capacity_locked() {
 }
 
 void ResultCache::publish_gauges_locked() {
-  SCPG_OBS_GAUGE("engine.cache.entries", map_.size());
-  SCPG_OBS_GAUGE("engine.cache.evictions", evictions_);
+  SCPG_OBS_GAUGE(gauge_ns_ + ".entries", map_.size());
+  SCPG_OBS_GAUGE(gauge_ns_ + ".evictions", evictions_);
 }
 
 } // namespace scpg::engine

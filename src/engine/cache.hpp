@@ -1,4 +1,4 @@
-// Process-global result cache for the sweep engine.
+// Result cache for the sweep engine.
 //
 // A measurement is a pure function of (netlist structural digest, point
 // configuration digest) — see Experiment::point_digest — so repeated
@@ -14,9 +14,16 @@
 // long-running campaign or service cannot grow it without limit.  The
 // default capacity comfortably holds every point a paper reproduction
 // touches; shrink it with set_capacity() in memory-constrained workers.
-// Entry and eviction counts are exported as obs gauges
-// ("engine.cache.entries" / "engine.cache.evictions") when metrics are
-// enabled.
+//
+// Caches are instances, not a singleton: the process-global() cache
+// serves the CLI tools and benches, while long-running services
+// (src/serve) construct private instances so a daemon's hit accounting
+// never aliases a worker subprocess's.  Each instance publishes its
+// entry/eviction gauges under its own namespace ("<ns>.entries" /
+// "<ns>.evictions"; the global uses "engine.cache") when metrics are
+// enabled.  Persistence layers hook in two ways: a store hook observes
+// every NEW insertion (write-through, e.g. to an append-only disk log)
+// and preload() injects entries loaded from disk without re-firing it.
 //
 // Sweeps whose stimulus/setup closures carry no cache key string are not
 // cacheable (the closure contents are invisible to hashing) and bypass
@@ -24,10 +31,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "engine/sweep.hpp"
 
@@ -51,11 +62,34 @@ class ResultCache {
 public:
   static constexpr std::size_t kDefaultCapacity = 65536;
 
+  /// `gauge_ns` namespaces this instance's obs gauges; instances with
+  /// distinct namespaces never alias each other's metrics.
+  ResultCache() = default;
+  explicit ResultCache(std::string gauge_ns) : gauge_ns_(std::move(gauge_ns)) {}
+
   static ResultCache& global();
 
   /// A hit refreshes the entry's recency.
   [[nodiscard]] std::optional<Measurement> find(const CacheKey& key);
   void store(const CacheKey& key, const Measurement& m);
+
+  /// Like store(), but never fires the store hook: persistence layers
+  /// use it to warm the cache from disk without echoing every loaded
+  /// entry straight back out.
+  void preload(const CacheKey& key, const Measurement& m);
+
+  /// Observes every insertion of a NEW key (refreshes of existing keys
+  /// are silent).  Fired after the cache mutex is released, so the hook
+  /// may take its own locks and call back into this cache; under
+  /// concurrent stores the firing order may differ from insertion
+  /// order.  Pass an empty function to uninstall.
+  using StoreHook = std::function<void(const CacheKey&, const Measurement&)>;
+  void set_store_hook(StoreHook hook);
+
+  /// Every entry, most-recently-used first (the order a persistence
+  /// layer should write so that reload + LRU-evict drops the coldest).
+  [[nodiscard]] std::vector<std::pair<CacheKey, Measurement>> entries_mru()
+      const;
 
   void clear();
   [[nodiscard]] std::size_t size() const;
@@ -69,6 +103,7 @@ public:
   [[nodiscard]] std::size_t capacity() const;
 
 private:
+  bool insert_locked(const CacheKey& key, const Measurement& m);
   void evict_to_capacity_locked();
   void publish_gauges_locked();
 
@@ -82,6 +117,8 @@ private:
   std::unordered_map<CacheKey, Entry, CacheKeyHash> map_;
   std::size_t capacity_{kDefaultCapacity};
   std::uint64_t evictions_{0};
+  std::string gauge_ns_{"engine.cache"};
+  StoreHook store_hook_;
 };
 
 } // namespace scpg::engine

@@ -135,6 +135,11 @@ SweepSpec& SweepSpec::use_cache(bool on) {
   return *this;
 }
 
+SweepSpec& SweepSpec::cache(ResultCache* c) {
+  cache_ = c;
+  return *this;
+}
+
 SweepSpec& SweepSpec::on_progress(ProgressFn fn) {
   progress_ = std::move(fn);
   return *this;
@@ -296,6 +301,10 @@ DesignGate design_gate() {
   return [](const Netlist& nl, const GateContext&) { nl.check(); };
 }
 
+ResultCache& Experiment::result_cache() const {
+  return spec_.cache_ ? *spec_.cache_ : ResultCache::global();
+}
+
 const Experiment::Prepared& Experiment::prepare() const {
   std::call_once(prep_once_, [this] {
     auto prep = std::make_unique<Prepared>();
@@ -388,14 +397,14 @@ PointResult Experiment::execute_row(const Prepared& prep,
     if (chosen == sim::Backend::Compiled)
       salted.mix(std::string_view("sim-backend:compiled"));
     key.hi = salted.digest();
-    if (const auto hit = ResultCache::global().find(key)) {
+    if (const auto hit = result_cache().find(key)) {
       static_cast<Measurement&>(res) = *hit;
       res.cache_hit = true;
     }
   }
   if (!res.cache_hit) {
     static_cast<Measurement&>(res) = measure_point(rq, chosen);
-    if (prep.cacheable) ResultCache::global().store(key, res);
+    if (prep.cacheable) result_cache().store(key, res);
   }
   SCPG_OBS_COUNT("engine.points", 1);
   if (res.cache_hit) SCPG_OBS_COUNT("engine.cache_hits", 1);
@@ -431,7 +440,7 @@ void Experiment::execute_unit(const Prepared& prep,
       salted.mix(digest);
       salted.mix(std::string_view("sim-backend:compiled"));
       keys[k].hi = salted.digest();
-      if (const auto hit = ResultCache::global().find(keys[k])) {
+      if (const auto hit = result_cache().find(keys[k])) {
         static_cast<Measurement&>(res) = *hit;
         res.cache_hit = true;
       }
@@ -465,7 +474,7 @@ void Experiment::execute_unit(const Prepared& prep,
         SCPG_ASSERT(tally.has_value());
       }
       static_cast<Measurement&>(res) = finish_measurement(*tally);
-      if (prep.cacheable) ResultCache::global().store(keys[k], res);
+      if (prep.cacheable) result_cache().store(keys[k], res);
     }
   }
 

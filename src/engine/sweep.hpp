@@ -39,6 +39,8 @@
 
 namespace scpg::engine {
 
+class ResultCache;
+
 /// What one simulation job measured.
 struct Measurement {
   PowerTally tally;   ///< energy buckets over the measurement window
@@ -202,6 +204,11 @@ public:
   /// Worker count; <= 0 means default_jobs() (SCPG_JOBS env or hardware).
   SweepSpec& jobs(int n);
   SweepSpec& use_cache(bool on);
+  /// Cache instance to consult/populate; nullptr (the default) selects
+  /// ResultCache::global().  The instance must outlive the experiment.
+  /// Long-running services pass their own so daemon hit accounting never
+  /// aliases other work in the process.
+  SweepSpec& cache(ResultCache* c);
   SweepSpec& on_progress(ProgressFn fn);
 
   // --- inspection ----------------------------------------------------------
@@ -240,6 +247,7 @@ private:
 
   int jobs_{0};
   bool use_cache_{true};
+  ResultCache* cache_{nullptr};
   ProgressFn progress_;
 };
 
@@ -286,6 +294,8 @@ private:
   };
 
   [[nodiscard]] const Prepared& prepare() const;
+  /// The spec-selected cache instance (the global one by default).
+  [[nodiscard]] ResultCache& result_cache() const;
   [[nodiscard]] PointResult execute_row(const Prepared& prep,
                                         std::size_t row) const;
   /// Runs a group of compiled-resolved rows that differ only in

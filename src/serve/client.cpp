@@ -1,0 +1,33 @@
+#include "serve/client.hpp"
+
+#include "util/error.hpp"
+#include "util/subprocess.hpp"
+
+namespace scpg::serve {
+
+Client::Client(const std::string& socket_path)
+    : sock_(connect_unix(socket_path)) {
+  ignore_sigpipe();
+}
+
+Response Client::call(const Request& rq) {
+  if (!write_frame(sock_, encode_request(rq)))
+    throw Error("serve client: daemon hung up before the request was sent");
+  const auto status_frame = read_frame(sock_);
+  if (!status_frame)
+    throw Error("serve client: daemon hung up before responding");
+  Response resp;
+  resp.status = decode_status(*status_frame);
+  const auto body_frame = read_frame(sock_);
+  if (!body_frame)
+    throw Error("serve client: daemon hung up before the response body");
+  resp.body = std::move(*body_frame);
+  return resp;
+}
+
+Response call_once(const std::string& socket_path, const Request& rq) {
+  Client c(socket_path);
+  return c.call(rq);
+}
+
+} // namespace scpg::serve

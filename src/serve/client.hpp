@@ -1,0 +1,37 @@
+// Client side of the serve protocol: one connection, any number of
+// request/response round trips.  `scpgc client`, the serve tests and
+// bench_serve_load all talk through this class so the wire conversation
+// (one request frame out, status + body frames back — protocol.hpp) has
+// a single implementation.
+#pragma once
+
+#include <string>
+
+#include "serve/protocol.hpp"
+#include "util/socket.hpp"
+
+namespace scpg::serve {
+
+struct Response {
+  Status status;
+  std::string body; ///< raw CLI-equivalent stdout bytes ("" on error)
+};
+
+class Client {
+public:
+  /// Connects immediately; throws scpg::Error when nothing listens.
+  explicit Client(const std::string& socket_path);
+
+  /// One round trip.  Throws scpg::Error if the daemon hangs up before
+  /// the response completes (e.g. killed mid-request).
+  Response call(const Request& rq);
+
+private:
+  Socket sock_;
+};
+
+/// Connect, send one request, disconnect.
+[[nodiscard]] Response call_once(const std::string& socket_path,
+                                 const Request& rq);
+
+} // namespace scpg::serve

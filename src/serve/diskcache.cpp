@@ -1,0 +1,293 @@
+#include "serve/diskcache.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "campaign/frame.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace scpg::serve {
+
+namespace {
+
+using campaign::bits_double;
+using campaign::decode_frame;
+using campaign::double_bits;
+using campaign::encode_frame;
+using campaign::hex64;
+using campaign::parse_hex64;
+
+std::string header_payload() {
+  std::string s = "{\"kind\": \"header\", \"cache_version\": ";
+  s += std::to_string(DiskCache::kCacheVersion);
+  s += ", \"key_schema\": \"";
+  s += DiskCache::kKeySchema;
+  s += "\"}";
+  return s;
+}
+
+std::string entry_payload(const engine::CacheKey& key,
+                          const engine::Measurement& m) {
+  const PowerTally& t = m.tally;
+  std::string s = "{\"kind\": \"entry\", \"key_lo\": \"" + hex64(key.lo) + "\"";
+  s += ", \"key_hi\": \"" + hex64(key.hi) + "\"";
+  s += ", \"cycles\": " + std::to_string(m.cycles);
+  // Bit patterns, not decimal: a reloaded hit must be byte-identical to
+  // the computation it replaces (the journal's convention).
+  s += ", \"avg_power\": \"" + hex64(double_bits(m.avg_power.v)) + "\"";
+  s += ", \"epc\": \"" + hex64(double_bits(m.energy_per_cycle.v)) + "\"";
+  s += ", \"switching\": \"" + hex64(double_bits(t.switching.v)) + "\"";
+  s += ", \"internal\": \"" + hex64(double_bits(t.internal.v)) + "\"";
+  s += ", \"leakage_aon\": \"" + hex64(double_bits(t.leakage_aon.v)) + "\"";
+  s += ", \"leakage_gated\": \"" + hex64(double_bits(t.leakage_gated.v)) +
+       "\"";
+  s += ", \"header_off\": \"" + hex64(double_bits(t.header_off.v)) + "\"";
+  s += ", \"rail_recharge\": \"" + hex64(double_bits(t.rail_recharge.v)) +
+       "\"";
+  s += ", \"crowbar\": \"" + hex64(double_bits(t.crowbar.v)) + "\"";
+  s += ", \"header_gate\": \"" + hex64(double_bits(t.header_gate.v)) + "\"";
+  s += ", \"macro_access\": \"" + hex64(double_bits(t.macro_access.v)) + "\"";
+  s += ", \"window\": \"" + hex64(double_bits(t.window.v)) + "\"";
+  s += "}";
+  return s;
+}
+
+[[noreturn]] void cache_error(const std::string& what,
+                              const std::string& source, int lineno) {
+  throw ParseError("result cache: " + what, source, lineno);
+}
+
+std::uint64_t hex_field(const json::Value& v, const char* key,
+                        const std::string& source, int lineno) {
+  const json::Value* f = v.get(key);
+  if (f == nullptr || !f->is(json::Value::Type::String))
+    cache_error(std::string("missing or non-string \"") + key + "\"", source,
+                lineno);
+  return parse_hex64(f->str, source, lineno);
+}
+
+double hex_double_field(const json::Value& v, const char* key,
+                        const std::string& source, int lineno) {
+  return bits_double(hex_field(v, key, source, lineno));
+}
+
+struct ParsedEntry {
+  engine::CacheKey key;
+  engine::Measurement m;
+};
+
+ParsedEntry entry_from_payload(const json::Value& payload,
+                               const std::string& source, int lineno) {
+  ParsedEntry e;
+  e.key.lo = hex_field(payload, "key_lo", source, lineno);
+  e.key.hi = hex_field(payload, "key_hi", source, lineno);
+  const json::Value* cycles = payload.get("cycles");
+  if (cycles == nullptr || !cycles->is(json::Value::Type::Number) ||
+      cycles->num < 0)
+    cache_error("entry has no valid \"cycles\"", source, lineno);
+  e.m.cycles = int(cycles->num);
+  e.m.avg_power.v = hex_double_field(payload, "avg_power", source, lineno);
+  e.m.energy_per_cycle.v = hex_double_field(payload, "epc", source, lineno);
+  PowerTally& t = e.m.tally;
+  t.switching.v = hex_double_field(payload, "switching", source, lineno);
+  t.internal.v = hex_double_field(payload, "internal", source, lineno);
+  t.leakage_aon.v = hex_double_field(payload, "leakage_aon", source, lineno);
+  t.leakage_gated.v =
+      hex_double_field(payload, "leakage_gated", source, lineno);
+  t.header_off.v = hex_double_field(payload, "header_off", source, lineno);
+  t.rail_recharge.v =
+      hex_double_field(payload, "rail_recharge", source, lineno);
+  t.crowbar.v = hex_double_field(payload, "crowbar", source, lineno);
+  t.header_gate.v = hex_double_field(payload, "header_gate", source, lineno);
+  t.macro_access.v = hex_double_field(payload, "macro_access", source, lineno);
+  t.window.v = hex_double_field(payload, "window", source, lineno);
+  return e;
+}
+
+std::string kind_of(const json::Value& payload, const std::string& source,
+                    int lineno) {
+  const json::Value* kind = payload.get("kind");
+  if (kind == nullptr || !kind->is(json::Value::Type::String))
+    cache_error("frame payload has no \"kind\"", source, lineno);
+  return kind->str;
+}
+
+void write_all_or_throw(int fd, std::string_view data,
+                        const std::string& path) {
+  const char* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error("cache write failed: " + path + ": " +
+                  std::strerror(errno));
+    }
+    p += n;
+    left -= std::size_t(n);
+  }
+}
+
+} // namespace
+
+DiskCache::DiskCache(std::string path, engine::ResultCache& mem)
+    : path_(std::move(path)), mem_(mem) {}
+
+DiskCache::~DiskCache() { close(); }
+
+DiskCache::LoadReport DiskCache::open() {
+  SCPG_REQUIRE(!open_, "disk cache is already open");
+  LoadReport rep;
+  std::vector<ParsedEntry> entries;
+  bool have_file = false;
+  bool have_header = false;
+
+  {
+    std::ifstream in(path_, std::ios::binary);
+    if (in) {
+      have_file = true;
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      const std::string text = buf.str();
+      int lineno = 0;
+      std::size_t pos = 0;
+      while (pos < text.size()) {
+        const std::size_t nl = text.find('\n', pos);
+        ++lineno;
+        if (nl == std::string::npos) {
+          // Torn tail: the one shape a killed append leaves.  Dropping
+          // it loses at most one cached measurement.
+          rep.dropped_torn_tail = true;
+          rep.rebuilt = true;
+          break;
+        }
+        const std::string_view line(text.data() + pos, nl - pos);
+        try {
+          const json::Value payload =
+              decode_frame(line, path_, lineno, kCacheTool);
+          const std::string kind = kind_of(payload, path_, lineno);
+          if (kind == "header") {
+            if (have_header)
+              cache_error("duplicate header frame", path_, lineno);
+            const json::Value* ver = payload.get("cache_version");
+            if (ver == nullptr || !ver->is(json::Value::Type::Number) ||
+                int(ver->num) != kCacheVersion)
+              cache_error("unsupported cache_version", path_, lineno);
+            const json::Value* schema = payload.get("key_schema");
+            if (schema == nullptr ||
+                !schema->is(json::Value::Type::String) ||
+                schema->str != kKeySchema)
+              cache_error(
+                  "key_schema mismatch (digest or backend-salt scheme "
+                  "changed)",
+                  path_, lineno);
+            have_header = true;
+          } else if (kind == "entry") {
+            if (!have_header)
+              cache_error("entry frame before header", path_, lineno);
+            entries.push_back(entry_from_payload(payload, path_, lineno));
+          } else {
+            cache_error("unknown frame kind \"" + kind + "\"", path_, lineno);
+          }
+        } catch (const ParseError& e) {
+          // Reject from this line on: everything validated above the
+          // corruption survives, nothing below it is trusted (a flipped
+          // length or a resynchronized line must not smuggle an entry).
+          rep.rejected = 1;
+          rep.reject_reason = e.what();
+          rep.rebuilt = true;
+          break;
+        }
+        pos = nl + 1;
+      }
+      if (!have_header && !entries.empty())
+        entries.clear(); // unreachable, but keep the invariant obvious
+      if (!have_header && !rep.rebuilt && !text.empty()) {
+        // File of valid lines but no header never happens from our
+        // writer; treat as rejected.
+        rep.rejected = 1;
+        rep.reject_reason = path_ + ":1: result cache: no header frame";
+        rep.rebuilt = true;
+      }
+    }
+  }
+
+  // Replay in file order: coldest first, hottest last, so the memory
+  // LRU ends in the recency order the writer persisted.
+  for (const ParsedEntry& e : entries) mem_.preload(e.key, e.m);
+  rep.loaded = entries.size();
+
+  const std::lock_guard lock(io_m_);
+  if (!have_file || rep.rebuilt) {
+    rewrite_locked();
+    rep.rebuilt = true;
+  } else {
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+    if (fd_ < 0)
+      throw Error("cannot open cache for append: " + path_ + ": " +
+                  std::strerror(errno));
+  }
+  open_ = true;
+  mem_.set_store_hook([this](const engine::CacheKey& key,
+                             const engine::Measurement& m) {
+    append_entry(key, m);
+  });
+  return rep;
+}
+
+void DiskCache::append_entry(const engine::CacheKey& key,
+                             const engine::Measurement& m) {
+  const std::lock_guard lock(io_m_);
+  if (fd_ < 0) return;
+  write_all_or_throw(fd_, encode_frame(entry_payload(key, m), kCacheTool),
+                     path_);
+}
+
+void DiskCache::flush() {
+  const std::lock_guard lock(io_m_);
+  if (fd_ < 0) return;
+  if (::fsync(fd_) != 0)
+    throw Error("cache fsync failed: " + path_ + ": " + std::strerror(errno));
+}
+
+void DiskCache::rewrite_locked() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd_ < 0)
+    throw Error("cannot create cache file: " + path_ + ": " +
+                std::strerror(errno));
+  write_all_or_throw(fd_, encode_frame(header_payload(), kCacheTool), path_);
+  // entries_mru is hottest-first; persist coldest-first so a reload
+  // reconstructs the same recency order.
+  const auto entries = mem_.entries_mru();
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it)
+    write_all_or_throw(
+        fd_, encode_frame(entry_payload(it->first, it->second), kCacheTool),
+        path_);
+  if (::fsync(fd_) != 0)
+    throw Error("cache fsync failed: " + path_ + ": " + std::strerror(errno));
+}
+
+void DiskCache::close() {
+  if (!open_) return;
+  mem_.set_store_hook({});
+  const std::lock_guard lock(io_m_);
+  rewrite_locked(); // compact: exactly the live entries, in recency order
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  open_ = false;
+}
+
+} // namespace scpg::serve

@@ -1,0 +1,100 @@
+// Disk persistence for an engine::ResultCache: the daemon's warm cache
+// survives restarts.
+//
+// File format — one CRC frame per line, the src/campaign codec with its
+// own tool name ("scpgc-cache", so a journal fed to the cache loader or
+// vice versa rejects at line 1):
+//
+//   SCPGF1 <crc32> {"schema_version":1,"tool":"scpgc-cache","payload":
+//     {"kind":"header","cache_version":1,"key_schema":"..."}}
+//   SCPGF1 <crc32> {... {"kind":"entry","key_lo":"<hex64>",
+//     "key_hi":"<hex64>","cycles":N,"avg_power":"<hex64>", ...}}
+//   ...
+//
+// Entries carry the full Measurement as 64-bit patterns (the journal's
+// convention): a reloaded hit must be byte-identical to the computation
+// it replaces, so nothing rounds through decimal.  Keys are the engine's
+// 128-bit content keys, already salted by backend identity; the header's
+// key_schema names that scheme, so a build whose digest or salt scheme
+// changed rejects old files wholesale instead of serving stale results.
+//
+// Robustness contract (tests/test_cache_persistence.cpp): a cache file
+// is advisory, never trusted.  Loading validates line by line; the first
+// malformed complete line rejects the file from that point with a
+// located reason (path:line), a torn tail (no trailing newline — the
+// shape a SIGKILLed append leaves) is dropped silently, and in both
+// cases the file is immediately rebuilt from the entries that survived.
+// A header whose version or key schema mismatches rejects everything.
+// Wrong results are structurally impossible: an entry either reproduces
+// its exact bytes (CRC + strict lowercase-hex fields) or it is dropped.
+//
+// Ordering: the file is written coldest-first, hottest-last, and loading
+// replays insertions in file order — so reload reconstructs the LRU
+// recency the writer saw, and the in-memory capacity evicts the genuine
+// coldest entries when a smaller daemon reloads a bigger file.
+//
+// Lifecycle: open() loads + rebuilds if needed, then installs itself as
+// the cache's store hook — every fresh insert appends one frame
+// (write(2), no fsync; flush() fsyncs, the server calls it after each
+// batch).  close() uninstalls the hook and compacts: the file is
+// rewritten to exactly the live entries in recency order.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "engine/cache.hpp"
+
+namespace scpg::serve {
+
+class DiskCache {
+public:
+  static constexpr int kCacheVersion = 1;
+  static constexpr std::string_view kCacheTool = "scpgc-cache";
+  /// Names the key derivation this build writes; bump alongside any
+  /// change to the engine's digest scheme or backend salting.
+  static constexpr std::string_view kKeySchema = "fnv1a128+backend-salt:v1";
+
+  struct LoadReport {
+    std::size_t loaded{0};      ///< entries preloaded into memory
+    std::size_t rejected{0};    ///< complete lines discarded as invalid
+    bool rebuilt{false};        ///< file was rewritten during open
+    bool dropped_torn_tail{false};
+    std::string reject_reason;  ///< located "path:line: why" when rejected
+  };
+
+  /// `mem` must outlive this object (the store hook points into it).
+  DiskCache(std::string path, engine::ResultCache& mem);
+  ~DiskCache();
+
+  DiskCache(const DiskCache&) = delete;
+  DiskCache& operator=(const DiskCache&) = delete;
+
+  /// Loads `path` (a missing file is an empty cache, not an error),
+  /// preloads every valid entry, rebuilds the file when anything was
+  /// rejected, and installs the write-through store hook.
+  LoadReport open();
+
+  /// fsyncs everything appended so far.
+  void flush();
+
+  /// Uninstalls the hook, compacts the file to the live entries, closes.
+  /// Idempotent; the destructor calls it.
+  void close();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+private:
+  void append_entry(const engine::CacheKey& key, const engine::Measurement& m);
+  void rewrite_locked(); ///< header + mem entries, coldest first
+
+  std::string path_;
+  engine::ResultCache& mem_;
+  std::mutex io_m_;
+  int fd_{-1};
+  bool open_{false};
+};
+
+} // namespace scpg::serve

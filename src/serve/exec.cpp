@@ -1,0 +1,214 @@
+#include "serve/exec.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "lint/lint.hpp"
+#include "netlist/verilog.hpp"
+#include "scpg/model.hpp"
+#include "scpg/transform.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "verify/campaign.hpp"
+
+namespace scpg::serve {
+
+namespace {
+
+Netlist load_netlist(const Library& lib, const std::string& path) {
+  SCPG_REQUIRE(!path.empty(), "request has no input netlist path");
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open input netlist: " + path);
+  return read_verilog(in, lib, {}, path);
+}
+
+} // namespace
+
+std::size_t cold_cache_hits(const campaign::CampaignPlan& plan) {
+  std::set<std::uint64_t> seen;
+  std::size_t dups = 0;
+  for (std::size_t row = 0; row < plan.points().size(); ++row)
+    if (!seen.insert(plan.experiment->row_digest(row)).second) ++dups;
+  return dups;
+}
+
+std::string render_sweep_body(const campaign::CampaignPlan& plan,
+                              const SweepRequest& rq, const RowLookup& find) {
+  const campaign::CampaignSpec& cs = rq.spec;
+  const ScpgPowerModel& m = *plan.model;
+  std::ostringstream os;
+  json::Writer w(os);
+  json::write_envelope_open(w, "scpgc-sweep");
+  w.key("payload").begin_object();
+  w.key("design").value(plan.gated->name());
+  w.key("vdd").value(cs.vdd);
+  w.key("temp_c").value(cs.temp_c);
+  w.key("activity").value(cs.activity);
+  w.key("cycles").value(cs.cycles);
+  w.key("seed").value(cs.seed);
+  w.key("jobs").value(rq.jobs);
+  w.key("backend").value(std::string(sim::backend_name(cs.backend)));
+  w.key("cache_hits").value(std::uint64_t(cold_cache_hits(plan)));
+  w.key("rows").begin_array();
+  for (int i = 0; i < cs.points; ++i) {
+    const double f_mhz =
+        cs.fmax_mhz * std::pow(10.0, -3.0 + 3.0 * double(i) / (cs.points - 1));
+    const Frequency f{f_mhz * 1e6};
+    const auto dmax = m.duty_for(GatingMode::ScpgMax, f);
+    const bool f50 = m.feasible(f, 0.5);
+    const engine::PointResult* n = find("n:" + std::to_string(i));
+    SCPG_REQUIRE(n != nullptr, "sweep result row n:" + std::to_string(i) +
+                                   " missing from the merged table");
+    const engine::PointResult* g = find("g:" + std::to_string(i));
+    SCPG_REQUIRE((g != nullptr) == f50,
+                 "sweep result row g:" + std::to_string(i) +
+                     " disagrees with the model's feasibility gate");
+    w.begin_object(json::Writer::Style::Compact);
+    w.key("f_mhz").value(f_mhz);
+    w.key("none_uw").value(in_uW(m.average_power_ungated(f)));
+    w.key("scpg50_uw");
+    if (f50) w.value(in_uW(m.average_power_gated(f, 0.5)));
+    else w.null();
+    w.key("scpgmax_uw");
+    if (dmax) w.value(in_uW(m.average_power_gated(f, *dmax)));
+    else w.null();
+    w.key("duty_max");
+    if (dmax) w.value(*dmax);
+    else w.null();
+    w.key("measured_none_uw").value(in_uW(n->avg_power));
+    w.key("measured_scpg50_uw");
+    if (g != nullptr) w.value(in_uW(g->avg_power));
+    else w.null();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.end_object();
+  os << '\n';
+  return std::move(os).str();
+}
+
+ExecResult exec_sweep(const Library& lib, const SweepRequest& rq,
+                      engine::ResultCache* cache) {
+  const campaign::CampaignPlan plan =
+      campaign::build_campaign(lib, rq.spec, rq.jobs, cache);
+  const engine::SweepResult res = plan.experiment->run();
+  return {render_sweep_body(
+              plan, rq, [&](const std::string& tag) { return res.find(tag); }),
+          0};
+}
+
+ExecResult exec_lint(const Library& lib, const LintRequest& rq) {
+  const Netlist nl = load_netlist(lib, rq.netlist_path);
+  lint::LintOptions opt;
+  opt.clock_port = rq.clock_port;
+  opt.sim.corner = Corner{Voltage{rq.vdd}, rq.temp_c};
+  opt.duty_high = rq.duty;
+  if (rq.has_freq) opt.freq = Frequency{rq.freq_mhz * 1e6};
+  std::string list = rq.only;
+  while (!list.empty()) {
+    const auto comma = list.find(',');
+    const std::string id = list.substr(0, comma);
+    list = comma == std::string::npos ? "" : list.substr(comma + 1);
+    if (id.empty()) continue;
+    bool known = false;
+    for (const lint::RuleInfo& r : lint::rules()) known |= r.id == id;
+    SCPG_REQUIRE(known, "unknown lint rule '" + id + "'");
+    opt.only.push_back(id);
+  }
+
+  const lint::LintReport rep = lint::run_lint(nl, opt);
+  std::string payload = rep.to_json();
+  while (!payload.empty() && payload.back() == '\n') payload.pop_back();
+  std::ostringstream os;
+  json::write_envelope(os, "scpgc-lint", payload);
+  return {std::move(os).str(), rep.clean() ? 0 : 1};
+}
+
+ExecResult exec_verify(const Library& lib, const VerifyRequest& rq) {
+  Netlist nl = load_netlist(lib, rq.netlist_path);
+  const std::string design_name = nl.name();
+
+  bool already_gated = false;
+  for (std::uint32_t ci = 0; ci < nl.num_cells(); ++ci)
+    if (nl.cell(CellId{ci}).domain == Domain::Gated) already_gated = true;
+  if (!already_gated) {
+    ScpgOptions sopt;
+    sopt.clock_port = rq.clock_port;
+    apply_scpg(nl, sopt);
+  }
+
+  verify::CampaignOptions opt;
+  opt.f = Frequency{rq.freq_mhz * 1e6};
+  opt.duty_high = rq.duty;
+  opt.cycles = rq.cycles;
+  opt.warmup_cycles = rq.warmup;
+  opt.seed = rq.seed;
+  opt.sim.corner = Corner{Voltage{rq.vdd}, rq.temp_c};
+  opt.clock_port = rq.clock_port;
+  std::string list = rq.faults;
+  while (!list.empty()) {
+    const auto comma = list.find(',');
+    const std::string name = list.substr(0, comma);
+    list = comma == std::string::npos ? "" : list.substr(comma + 1);
+    if (name.empty()) continue;
+    const auto fc = verify::fault_class_from_name(name);
+    SCPG_REQUIRE(fc.has_value(), "unknown fault class '" + name + "'");
+    opt.faults.push_back({*fc, rq.rate, rq.magnitude});
+  }
+
+  // Same static pre-gate the CLI applies: reject broken power intent
+  // before burning simulation cycles on it.
+  if (rq.lint_gate) {
+    lint::LintOptions lopt;
+    lopt.clock_port = opt.clock_port;
+    lopt.freq = opt.f;
+    lopt.duty_high = opt.duty_high;
+    lopt.sim = opt.sim;
+    lint::enforce_lint(nl, lopt, "verify pre-gate");
+  }
+
+  const verify::CampaignResult res = verify::run_campaign(std::move(nl), opt);
+  const auto max_report = std::size_t(rq.max_report);
+  const auto& reports = res.hazards.reports();
+
+  std::ostringstream os;
+  json::Writer w(os);
+  json::write_envelope_open(w, "scpgc-verify");
+  w.key("payload").begin_object();
+  w.key("design").value(design_name);
+  w.key("freq_mhz").value(rq.freq_mhz);
+  w.key("cycles_run").value(std::int64_t(res.cycles_run));
+  w.key("seed").value(std::uint64_t(opt.seed));
+  w.key("backend").value("event");
+  w.key("injected").begin_object(json::Writer::Style::Compact);
+  for (int i = 0; i < verify::kNumFaultClasses; ++i)
+    if (res.injected[std::size_t(i)] > 0)
+      w.key(verify::fault_class_name(verify::FaultClass(i)))
+          .value(res.injected[std::size_t(i)]);
+  w.end_object();
+  w.key("hazards").begin_object();
+  w.key("total").value(std::uint64_t(res.hazards.total()));
+  w.key("dropped").value(std::uint64_t(res.hazards.dropped()));
+  w.key("by_kind").begin_object(json::Writer::Style::Compact);
+  for (int k = 0; k < verify::kNumHazardKinds; ++k)
+    if (res.hazards.count(verify::HazardKind(k)) > 0)
+      w.key(verify::hazard_kind_name(verify::HazardKind(k)))
+          .value(std::uint64_t(res.hazards.count(verify::HazardKind(k))));
+  w.end_object();
+  w.key("reports").begin_array();
+  for (std::size_t i = 0; i < reports.size() && i < max_report; ++i)
+    w.value(verify::format_hazard(reports[i]));
+  w.end_array();
+  w.end_object();
+  w.key("clean").value(!res.detected());
+  w.end_object();
+  w.end_object();
+  os << '\n';
+  return {std::move(os).str(), res.detected() ? 1 : 0};
+}
+
+} // namespace scpg::serve

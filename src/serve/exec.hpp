@@ -1,0 +1,112 @@
+// One definition of "run this request and render its --json body".
+//
+// The serve daemon's contract is byte-identity: the body it returns for
+// a sweep/lint/verify request must equal, byte for byte, what a direct
+// `scpgc <cmd> --json` of the same parameters writes to stdout — at any
+// client count, any cache state, and across daemon restarts.  Chasing
+// that with two renderers would be a standing bug farm, so there is one:
+// the CLI's --json paths (tools/scpgc.cpp) and the daemon's request
+// handlers (src/serve/server.cpp) both call the exec_* functions below.
+//
+// Requests are closed value types (no pointers, no closures) so the
+// protocol layer can carry them across the socket, and each exec_*
+// returns the exact stdout bytes plus the process exit code the CLI
+// would have produced.  Sweep rendering is split out (render_sweep_body)
+// so the daemon can execute many coalesced requests in one merged
+// Experiment::run and still render each client's body from its own rows.
+//
+// Determinism note: the payload's "cache_hits" field reports the
+// *within-run* duplicate-row count — the value a fresh process with a
+// cold cache observes — never the live cache's hit count, which varies
+// with history and would break byte-identity.  For the canonical grid
+// every row digest is distinct, so the value is 0; it is computed, not
+// assumed.  Live hit accounting belongs to the obs counters
+// ("engine.cache_hits", "serve.*"), which the stats op exposes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "campaign/spec.hpp"
+#include "engine/cache.hpp"
+
+namespace scpg::serve {
+
+/// Exact CLI behaviour of one request: stdout bytes + exit code.
+struct ExecResult {
+  std::string body; ///< the full envelope line(s), trailing '\n' included
+  int exit_code{0};
+};
+
+/// `scpgc sweep --json`: the campaign spec names everything that affects
+/// the measurement; `jobs` is rendered into the payload verbatim and
+/// sets the solo run's parallelism (it never changes a byte of results).
+struct SweepRequest {
+  campaign::CampaignSpec spec;
+  int jobs{1};
+};
+
+/// `scpgc lint --json` knobs.
+struct LintRequest {
+  std::string netlist_path;
+  double vdd{0.6};
+  double temp_c{25.0};
+  std::string clock_port{"clk"};
+  double duty{0.5};
+  bool has_freq{false};
+  double freq_mhz{1.0};
+  std::string only; ///< comma-separated rule ids, "" = all
+};
+
+/// `scpgc verify --json` knobs (the backend is always event: hazard
+/// monitors are observer hooks the compiled kernel does not have).
+struct VerifyRequest {
+  std::string netlist_path;
+  double vdd{0.6};
+  double temp_c{25.0};
+  std::string clock_port{"clk"};
+  std::string faults; ///< comma-separated fault classes, "" = none
+  double rate{0.0};
+  double magnitude{0.0};
+  double freq_mhz{1.0};
+  double duty{0.5};
+  int cycles{40};
+  int warmup{6};
+  int max_report{10};
+  std::uint64_t seed{1};
+  /// The CLI's --no-lint clears this; daemon requests always gate.
+  bool lint_gate{true};
+};
+
+/// Builds the plan, runs it (through `cache` when non-null), renders.
+/// Exit code 0; failures throw the same exceptions the CLI maps to exit
+/// codes.
+[[nodiscard]] ExecResult exec_sweep(const Library& lib, const SweepRequest& rq,
+                                    engine::ResultCache* cache = nullptr);
+
+/// Exit code 0 clean / 1 findings.
+[[nodiscard]] ExecResult exec_lint(const Library& lib, const LintRequest& rq);
+
+/// Exit code 0 clean / 1 hazards detected.
+[[nodiscard]] ExecResult exec_verify(const Library& lib,
+                                     const VerifyRequest& rq);
+
+/// Finds a result row by tag; nullptr when the row does not exist (only
+/// legal for "g:i" rows, whose existence feasibility gates).
+using RowLookup =
+    std::function<const engine::PointResult*(const std::string& tag)>;
+
+/// Renders the sweep payload envelope from `plan`'s model columns and
+/// the measured rows `find` resolves.  The daemon's merged runs pass a
+/// prefix-mapping lookup into the shared result table; exec_sweep passes
+/// the solo run's own table.
+[[nodiscard]] std::string render_sweep_body(const campaign::CampaignPlan& plan,
+                                            const SweepRequest& rq,
+                                            const RowLookup& find);
+
+/// The deterministic "cache_hits" payload value: how many of the plan's
+/// rows duplicate an earlier row's digest within one run.
+[[nodiscard]] std::size_t cold_cache_hits(const campaign::CampaignPlan& plan);
+
+} // namespace scpg::serve

@@ -1,0 +1,223 @@
+#include "serve/protocol.hpp"
+
+#include "campaign/frame.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace scpg::serve {
+
+namespace {
+
+constexpr const char* kSource = "serve-request";
+
+[[noreturn]] void proto_error(const std::string& what) {
+  throw ParseError("serve protocol: " + what, kSource, 1);
+}
+
+double num_field(const json::Value& v, const char* key) {
+  const json::Value* f = v.get(key);
+  if (f == nullptr || !f->is(json::Value::Type::Number))
+    proto_error(std::string("missing or non-numeric \"") + key + "\"");
+  return f->num;
+}
+
+std::string str_field(const json::Value& v, const char* key) {
+  const json::Value* f = v.get(key);
+  if (f == nullptr || !f->is(json::Value::Type::String))
+    proto_error(std::string("missing or non-string \"") + key + "\"");
+  return f->str;
+}
+
+/// Unwraps {"schema_version":1,"tool":"scpgc-serve","payload":{...}}.
+json::Value unwrap(const std::string& frame) {
+  json::Value doc;
+  try {
+    doc = json::parse(frame);
+  } catch (const ParseError& e) {
+    proto_error(std::string("frame JSON invalid: ") + e.what());
+  }
+  const json::Value* ver = doc.get("schema_version");
+  if (ver == nullptr || !ver->is(json::Value::Type::Number) ||
+      int(ver->num) != json::kSchemaVersion)
+    proto_error("wrong or missing schema_version");
+  const json::Value* tool = doc.get("tool");
+  if (tool == nullptr || !tool->is(json::Value::Type::String) ||
+      tool->str != kServeTool)
+    proto_error("envelope tool is not \"" + std::string(kServeTool) + "\"");
+  const json::Value* payload = doc.get("payload");
+  if (payload == nullptr || !payload->is(json::Value::Type::Object))
+    proto_error("no payload object");
+  return *payload;
+}
+
+std::string envelope(const std::string& payload) {
+  std::string s = "{\"schema_version\": ";
+  s += std::to_string(json::kSchemaVersion);
+  s += ", \"tool\": \"";
+  s += kServeTool;
+  s += "\", \"payload\": ";
+  s += payload;
+  s += "}";
+  return s;
+}
+
+void append_kv(std::string& s, const char* key, const std::string& str) {
+  s += ", \"";
+  s += key;
+  s += "\": ";
+  json::append_quoted(s, str);
+}
+
+void append_kv(std::string& s, const char* key, double num) {
+  s += ", \"";
+  s += key;
+  s += "\": ";
+  s += json::number(num);
+}
+
+void append_kv(std::string& s, const char* key, int num) {
+  s += ", \"";
+  s += key;
+  s += "\": ";
+  s += std::to_string(num);
+}
+
+} // namespace
+
+std::string_view op_name(Op op) {
+  switch (op) {
+    case Op::Ping: return "ping";
+    case Op::Stats: return "stats";
+    case Op::Shutdown: return "shutdown";
+    case Op::Sweep: return "sweep";
+    case Op::Lint: return "lint";
+    case Op::Verify: return "verify";
+  }
+  return "?";
+}
+
+std::string encode_request(const Request& rq) {
+  std::string p = "{\"kind\": ";
+  json::append_quoted(p, std::string(op_name(rq.op)));
+  switch (rq.op) {
+    case Op::Ping:
+    case Op::Stats:
+    case Op::Shutdown:
+      break;
+    case Op::Sweep:
+      append_kv(p, "jobs", rq.sweep.jobs);
+      p += ", \"spec\": " + campaign::to_json(rq.sweep.spec);
+      break;
+    case Op::Lint: {
+      const LintRequest& l = rq.lint;
+      append_kv(p, "netlist", l.netlist_path);
+      append_kv(p, "vdd", l.vdd);
+      append_kv(p, "temp_c", l.temp_c);
+      append_kv(p, "clock", l.clock_port);
+      append_kv(p, "duty", l.duty);
+      if (l.has_freq) append_kv(p, "freq_mhz", l.freq_mhz);
+      append_kv(p, "only", l.only);
+      break;
+    }
+    case Op::Verify: {
+      const VerifyRequest& v = rq.verify;
+      append_kv(p, "netlist", v.netlist_path);
+      append_kv(p, "vdd", v.vdd);
+      append_kv(p, "temp_c", v.temp_c);
+      append_kv(p, "clock", v.clock_port);
+      append_kv(p, "faults", v.faults);
+      append_kv(p, "rate", v.rate);
+      append_kv(p, "magnitude", v.magnitude);
+      append_kv(p, "freq_mhz", v.freq_mhz);
+      append_kv(p, "duty", v.duty);
+      append_kv(p, "cycles", v.cycles);
+      append_kv(p, "warmup", v.warmup);
+      append_kv(p, "max_report", v.max_report);
+      append_kv(p, "lint", v.lint_gate ? 1 : 0);
+      // Hex like the campaign spec: 64-bit seeds must not round through
+      // a JSON double.
+      append_kv(p, "seed", campaign::hex64(v.seed));
+      break;
+    }
+  }
+  p += "}";
+  return envelope(p);
+}
+
+Request decode_request(const std::string& frame) {
+  const json::Value payload = unwrap(frame);
+  const std::string kind = str_field(payload, "kind");
+  Request rq;
+  if (kind == "ping") {
+    rq.op = Op::Ping;
+  } else if (kind == "stats") {
+    rq.op = Op::Stats;
+  } else if (kind == "shutdown") {
+    rq.op = Op::Shutdown;
+  } else if (kind == "sweep") {
+    rq.op = Op::Sweep;
+    rq.sweep.jobs = int(num_field(payload, "jobs"));
+    const json::Value* spec = payload.get("spec");
+    if (spec == nullptr) proto_error("sweep request has no \"spec\"");
+    rq.sweep.spec = campaign::spec_from_json(*spec, kSource, 1);
+  } else if (kind == "lint") {
+    rq.op = Op::Lint;
+    LintRequest& l = rq.lint;
+    l.netlist_path = str_field(payload, "netlist");
+    l.vdd = num_field(payload, "vdd");
+    l.temp_c = num_field(payload, "temp_c");
+    l.clock_port = str_field(payload, "clock");
+    l.duty = num_field(payload, "duty");
+    if (payload.get("freq_mhz") != nullptr) {
+      l.has_freq = true;
+      l.freq_mhz = num_field(payload, "freq_mhz");
+    }
+    l.only = str_field(payload, "only");
+  } else if (kind == "verify") {
+    rq.op = Op::Verify;
+    VerifyRequest& v = rq.verify;
+    v.netlist_path = str_field(payload, "netlist");
+    v.vdd = num_field(payload, "vdd");
+    v.temp_c = num_field(payload, "temp_c");
+    v.clock_port = str_field(payload, "clock");
+    v.faults = str_field(payload, "faults");
+    v.rate = num_field(payload, "rate");
+    v.magnitude = num_field(payload, "magnitude");
+    v.freq_mhz = num_field(payload, "freq_mhz");
+    v.duty = num_field(payload, "duty");
+    v.cycles = int(num_field(payload, "cycles"));
+    v.warmup = int(num_field(payload, "warmup"));
+    v.max_report = int(num_field(payload, "max_report"));
+    v.lint_gate = num_field(payload, "lint") != 0;
+    v.seed =
+        campaign::parse_hex64(str_field(payload, "seed"), kSource, 1);
+  } else {
+    proto_error("unknown request kind \"" + kind + "\"");
+  }
+  return rq;
+}
+
+std::string encode_status(const Status& st) {
+  std::string p = "{\"status\": ";
+  json::append_quoted(p, st.ok ? "ok" : "error");
+  append_kv(p, "kind", st.kind);
+  append_kv(p, "exit", st.exit_code);
+  if (!st.ok) append_kv(p, "error", st.error);
+  p += "}";
+  return envelope(p);
+}
+
+Status decode_status(const std::string& frame) {
+  const json::Value payload = unwrap(frame);
+  Status st;
+  const std::string status = str_field(payload, "status");
+  if (status != "ok" && status != "error")
+    proto_error("status is neither ok nor error");
+  st.ok = status == "ok";
+  st.kind = str_field(payload, "kind");
+  st.exit_code = int(num_field(payload, "exit"));
+  if (!st.ok) st.error = str_field(payload, "error");
+  return st;
+}
+
+} // namespace scpg::serve

@@ -1,0 +1,72 @@
+// Request/response envelopes of the serve wire protocol.
+//
+// Transport: length-framed messages over a unix socket (util/socket.hpp,
+// magic "SCPGS1").  Every frame payload is one PR-5 versioned envelope
+// {"schema_version":1,"tool":"scpgc-serve","payload":{...}} — the same
+// shape every scpgc artifact uses, so a served response validates with
+// the same reader as a CLI dump.
+//
+// Conversation: the client sends one request frame per operation and
+// reads exactly two frames back —
+//
+//   1. a status envelope {"status":"ok"|"error","kind":<op>,
+//      "exit":<int>[,"error":<message>]}, and
+//   2. a body frame holding the RAW stdout bytes the equivalent CLI
+//      command would have printed ("" when there is no body, e.g. on
+//      errors).  Raw, not re-wrapped: the byte-identity contract is on
+//      these bytes, and wrapping them in another envelope would force a
+//      re-escape round trip.
+//
+// The "exit" field is the CLI exit code of the equivalent command
+// (0 ok, 1 findings/hazards, 2 malformed request, 3 parse error,
+// 4 infeasible, 5 flow error, 6 internal); `scpgc client` exits with it
+// verbatim, so scripts cannot tell a served run from a local one.
+//
+// Request kinds: "sweep", "lint" and "verify" carry the exec.hpp request
+// structs; "ping" (liveness), "stats" (obs snapshot + latency
+// percentiles as the body) and "shutdown" (graceful drain, like SIGTERM)
+// carry nothing.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "serve/exec.hpp"
+
+namespace scpg::serve {
+
+inline constexpr std::string_view kServeTool = "scpgc-serve";
+
+enum class Op { Ping, Stats, Shutdown, Sweep, Lint, Verify };
+
+[[nodiscard]] std::string_view op_name(Op op);
+
+/// One decoded request.  Exactly the member matching `op` is meaningful.
+struct Request {
+  Op op{Op::Ping};
+  SweepRequest sweep;
+  LintRequest lint;
+  VerifyRequest verify;
+};
+
+/// Renders the request as one compact envelope (a socket frame payload).
+[[nodiscard]] std::string encode_request(const Request& rq);
+
+/// Parses and validates a request frame.  Throws ParseError (source
+/// "serve-request") on anything malformed: wrong envelope, unknown kind,
+/// missing or ill-typed fields.
+[[nodiscard]] Request decode_request(const std::string& frame);
+
+struct Status {
+  bool ok{true};
+  std::string kind;  ///< op name echoed back
+  int exit_code{0};
+  std::string error; ///< non-empty iff !ok
+};
+
+[[nodiscard]] std::string encode_status(const Status& st);
+
+/// Throws ParseError on a malformed status frame.
+[[nodiscard]] Status decode_status(const std::string& frame);
+
+} // namespace scpg::serve

@@ -1,0 +1,431 @@
+#include "serve/server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <map>
+#include <utility>
+
+#include "campaign/spec.hpp"
+#include "obs/obs.hpp"
+#include "serve/exec.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/subprocess.hpp"
+
+namespace scpg::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Maps the in-flight exception to the exit code `scpgc <cmd>` would
+/// have returned (tools/scpgc.cpp main's catch ladder).
+Status status_of_current_exception(std::string_view kind) {
+  Status st;
+  st.ok = false;
+  st.kind = std::string(kind);
+  try {
+    throw;
+  } catch (const ParseError& e) {
+    st.exit_code = 3;
+    st.error = e.what();
+  } catch (const InfeasibleError& e) {
+    st.exit_code = 4;
+    st.error = e.what();
+  } catch (const Error& e) {
+    st.exit_code = 5;
+    st.error = e.what();
+  } catch (const std::exception& e) {
+    st.exit_code = 6;
+    st.error = e.what();
+  }
+  return st;
+}
+
+void send_response(const Socket& s, const Status& st,
+                   const std::string& body) {
+  // A vanished peer is not an error; its request was still executed
+  // (and cached) — only the delivery is moot.
+  if (!write_frame(s, encode_status(st))) return;
+  write_frame(s, body);
+}
+
+/// Grouping key for coalescing: everything that must match for two
+/// sweeps to share one merged plan — the full spec minus the seed (the
+/// one axis the merge multiplexes).
+std::string group_key(const campaign::CampaignSpec& spec) {
+  campaign::CampaignSpec keyed = spec;
+  keyed.seed = 0;
+  return campaign::to_json(keyed);
+}
+
+} // namespace
+
+struct Server::PendingSweep {
+  SweepRequest rq;
+  std::promise<std::pair<Status, std::string>> promise;
+};
+
+struct Server::Conn {
+  Socket sock;
+  std::thread thread;
+  std::atomic<bool> done{false};
+};
+
+Server::Server(const Library& lib, ServerOptions opt)
+    : lib_(lib), opt_(std::move(opt)) {}
+
+Server::~Server() { stop(); }
+
+DiskCache::LoadReport Server::start() {
+  SCPG_REQUIRE(!started_, "server already started");
+  ignore_sigpipe();
+  listener_ = listen_unix(opt_.socket_path);
+  int pipefd[2];
+  if (::pipe2(pipefd, O_CLOEXEC) != 0)
+    throw Error(std::string("pipe2 failed: ") + std::strerror(errno));
+  stop_r_ = pipefd[0];
+  stop_w_ = pipefd[1];
+
+  cache_.set_capacity(opt_.cache_capacity);
+  DiskCache::LoadReport rep;
+  if (!opt_.cache_path.empty()) {
+    disk_ = std::make_unique<DiskCache>(opt_.cache_path, cache_);
+    rep = disk_->open();
+    disk_loaded_ = rep.loaded;
+    disk_rejected_ = rep.rejected;
+    SCPG_OBS_COUNT("serve.cache.disk.loaded", rep.loaded);
+    SCPG_OBS_COUNT("serve.cache.disk.rejected", rep.rejected);
+    if (rep.rebuilt) SCPG_OBS_COUNT("serve.cache.disk.rebuilds", 1);
+  }
+
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  started_ = true;
+  return rep;
+}
+
+void Server::request_stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  if (stop_w_ >= 0) write_all(stop_w_, "x");
+  batch_cv_.notify_all();
+}
+
+void Server::stop() {
+  if (!started_ || stopped_) return;
+  request_stop();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  {
+    const std::lock_guard lock(conns_m_);
+    for (auto& c : conns_)
+      if (c->thread.joinable()) c->thread.join();
+    conns_.clear();
+  }
+  if (disk_) {
+    disk_->close();
+    disk_.reset();
+  }
+  listener_.close();
+  ::unlink(opt_.socket_path.c_str());
+  close_fd(stop_w_);
+  close_fd(stop_r_);
+  stopped_ = true;
+}
+
+void Server::reap_finished_conns() {
+  const std::lock_guard lock(conns_m_);
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->done.load()) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load()) {
+    pollfd fds[2] = {{listener_.fd(), POLLIN, 0}, {stop_r_, POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0 || stopping_.load()) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    Socket conn = accept_unix(listener_);
+    if (!conn.valid()) continue; // EINTR
+    reap_finished_conns();
+    auto c = std::make_unique<Conn>();
+    c->sock = std::move(conn);
+    Conn* raw = c.get();
+    {
+      const std::lock_guard lock(conns_m_);
+      conns_.push_back(std::move(c));
+    }
+    raw->thread = std::thread([this, raw] { connection_loop(raw); });
+  }
+}
+
+void Server::connection_loop(Conn* conn) {
+  while (!stopping_.load()) {
+    pollfd fds[2] = {{conn->sock.fd(), POLLIN, 0}, {stop_r_, POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    // Stop while idle closes the connection; a readable request frame
+    // that raced the stop is still served (drained), and the next loop
+    // iteration closes.
+    if ((fds[0].revents & POLLIN) == 0) {
+      if (fds[1].revents != 0 || stopping_.load()) break;
+      continue;
+    }
+    std::optional<std::string> frame;
+    try {
+      frame = read_frame(conn->sock);
+    } catch (const std::exception&) {
+      break; // broken framing: the stream is unrecoverable
+    }
+    if (!frame) break; // clean EOF
+    const auto t0 = Clock::now();
+    n_requests_.fetch_add(1);
+    SCPG_OBS_COUNT("serve.requests", 1);
+    Request rq;
+    try {
+      rq = decode_request(*frame);
+    } catch (const ParseError& e) {
+      n_errors_.fetch_add(1);
+      SCPG_OBS_COUNT("serve.errors", 1);
+      send_response(conn->sock,
+                    Status{false, "unknown", 2, e.what()}, std::string());
+      continue;
+    }
+    n_by_op_[std::size_t(rq.op)].fetch_add(1);
+    SCPG_OBS_COUNT("serve.requests." + std::string(op_name(rq.op)), 1);
+    handle_request(conn->sock, rq);
+    record_latency(std::chrono::duration<double, std::micro>(Clock::now() -
+                                                             t0)
+                       .count());
+    if (rq.op == Op::Shutdown) {
+      request_stop();
+      break;
+    }
+  }
+  conn->sock.close();
+  conn->done.store(true);
+}
+
+void Server::handle_request(const Socket& s, const Request& rq) {
+  switch (rq.op) {
+    case Op::Ping:
+      send_response(s, Status{true, "ping", 0, ""}, std::string());
+      return;
+    case Op::Shutdown:
+      send_response(s, Status{true, "shutdown", 0, ""}, std::string());
+      return;
+    case Op::Stats:
+      send_response(s, Status{true, "stats", 0, ""}, render_stats());
+      return;
+    case Op::Lint:
+    case Op::Verify: {
+      const std::string kind(op_name(rq.op));
+      try {
+        const ExecResult r = rq.op == Op::Lint ? exec_lint(lib_, rq.lint)
+                                               : exec_verify(lib_, rq.verify);
+        send_response(s, Status{true, kind, r.exit_code, ""}, r.body);
+      } catch (...) {
+        n_errors_.fetch_add(1);
+        SCPG_OBS_COUNT("serve.errors", 1);
+        send_response(s, status_of_current_exception(kind), std::string());
+      }
+      return;
+    }
+    case Op::Sweep: {
+      PendingSweep pending;
+      pending.rq = rq.sweep;
+      auto future = pending.promise.get_future();
+      bool enqueued = false;
+      {
+        const std::lock_guard lock(batch_m_);
+        if (dispatcher_live_) {
+          queue_.push_back(&pending);
+          enqueued = true;
+        }
+      }
+      if (enqueued) {
+        batch_cv_.notify_all();
+      } else {
+        // Shutdown race: the dispatcher already drained and exited.
+        // Serve solo on this thread — drained, never dropped.
+        execute_group({&pending});
+      }
+      const auto [st, body] = future.get();
+      if (!st.ok) {
+        n_errors_.fetch_add(1);
+        SCPG_OBS_COUNT("serve.errors", 1);
+      }
+      send_response(s, st, body);
+      return;
+    }
+  }
+}
+
+void Server::dispatcher_loop() {
+  std::unique_lock lock(batch_m_);
+  dispatcher_live_ = true;
+  for (;;) {
+    batch_cv_.wait(lock,
+                   [this] { return !queue_.empty() || stopping_.load(); });
+    if (queue_.empty()) break; // stopping, nothing left to drain
+    if (!stopping_.load() && opt_.batch_window_ms > 0) {
+      // Hold the door one window so concurrent clients coalesce; a stop
+      // request cuts the window short.
+      const auto deadline =
+          Clock::now() + std::chrono::milliseconds(opt_.batch_window_ms);
+      batch_cv_.wait_until(lock, deadline,
+                           [this] { return stopping_.load(); });
+    }
+    std::vector<PendingSweep*> batch;
+    batch.swap(queue_);
+    lock.unlock();
+
+    // Group by everything-but-the-seed; each group is one engine run.
+    std::map<std::string, std::vector<PendingSweep*>> groups;
+    for (PendingSweep* p : batch)
+      groups[group_key(p->rq.spec)].push_back(p);
+    for (const auto& [key, group] : groups) execute_group(group);
+    if (disk_) disk_->flush();
+
+    lock.lock();
+  }
+  dispatcher_live_ = false;
+}
+
+void Server::execute_group(const std::vector<PendingSweep*>& group) {
+  n_batches_.fetch_add(1);
+  n_batched_requests_.fetch_add(group.size());
+  SCPG_OBS_COUNT("serve.sweep.batches", 1);
+  SCPG_OBS_COUNT("serve.sweep.batched_requests", group.size());
+  try {
+    // One plan for the whole group: the grid's shape, model columns and
+    // design digests are seed-invariant, and the group key pinned
+    // everything else equal.
+    const campaign::CampaignPlan plan = campaign::build_campaign(
+        lib_, group[0]->rq.spec, opt_.jobs, &cache_);
+
+    if (group.size() == 1) {
+      const engine::SweepResult res = plan.experiment->run();
+      const std::string body = render_sweep_body(
+          plan, group[0]->rq,
+          [&](const std::string& tag) { return res.find(tag); });
+      group[0]->promise.set_value({Status{true, "sweep", 0, ""}, body});
+      return;
+    }
+
+    // Merged run: one grid copy per distinct seed, tag-prefixed "q<i>:".
+    // Equal-seed requests share a copy — their rows would collide on
+    // digest (the engine rejects aliased tags), and re-running identical
+    // content would be waste.
+    std::map<std::uint64_t, std::size_t> seed_slot;
+    std::vector<std::uint64_t> seeds;
+    for (const PendingSweep* p : group)
+      if (seed_slot.emplace(p->rq.spec.seed, seeds.size()).second)
+        seeds.push_back(p->rq.spec.seed);
+
+    const campaign::CampaignSpec& cs = group[0]->rq.spec;
+    SimConfig cfg;
+    cfg.corner = Corner{Voltage{cs.vdd}, cs.temp_c};
+    engine::SweepSpec merged;
+    merged.design(*plan.original, "original").design(*plan.gated, "gated");
+    merged.base_sim(cfg)
+        .cycles(cs.cycles)
+        .clock_port(cs.clock_port)
+        .jobs(opt_.jobs)
+        .cache(&cache_)
+        .backend(cs.backend)
+        .stimulus(campaign::random_stimulus(cs.activity, cs.clock_port));
+    for (std::size_t q = 0; q < seeds.size(); ++q)
+      campaign::append_campaign_grid(merged, cs, *plan.model,
+                                     plan.already_gated, seeds[q],
+                                     "q" + std::to_string(q) + ":");
+    const engine::SweepResult res = engine::Experiment(std::move(merged)).run();
+
+    for (PendingSweep* p : group) {
+      const std::string prefix =
+          "q" + std::to_string(seed_slot.at(p->rq.spec.seed)) + ":";
+      const std::string body = render_sweep_body(
+          plan, p->rq,
+          [&](const std::string& tag) { return res.find(prefix + tag); });
+      p->promise.set_value({Status{true, "sweep", 0, ""}, body});
+    }
+  } catch (...) {
+    const Status st = status_of_current_exception("sweep");
+    for (PendingSweep* p : group) p->promise.set_value({st, std::string()});
+  }
+}
+
+void Server::record_latency(double us) {
+  const std::lock_guard lock(lat_m_);
+  // Bounded: keep the most recent window if a very long-lived daemon
+  // would otherwise grow without limit.
+  if (latency_us_.size() >= 1u << 20)
+    latency_us_.erase(latency_us_.begin(),
+                      latency_us_.begin() + (1 << 19));
+  latency_us_.push_back(us);
+}
+
+std::string Server::render_stats() {
+  std::vector<double> lat;
+  {
+    const std::lock_guard lock(lat_m_);
+    lat = latency_us_;
+  }
+  std::sort(lat.begin(), lat.end());
+  const auto pct = [&](double q) {
+    if (lat.empty()) return 0.0;
+    const auto idx = std::min(lat.size() - 1,
+                              std::size_t(q * double(lat.size())));
+    return lat[idx];
+  };
+  std::string p = "{\"kind\": \"stats\"";
+  p += ", \"requests\": " + std::to_string(n_requests_.load());
+  for (const Op op : {Op::Ping, Op::Stats, Op::Shutdown, Op::Sweep, Op::Lint,
+                      Op::Verify}) {
+    p += ", \"" + std::string(op_name(op)) +
+         "\": " + std::to_string(n_by_op_[std::size_t(op)].load());
+  }
+  p += ", \"errors\": " + std::to_string(n_errors_.load());
+  p += ", \"batches\": " + std::to_string(n_batches_.load());
+  p += ", \"batched_requests\": " + std::to_string(n_batched_requests_.load());
+  p += ", \"cache_entries\": " + std::to_string(cache_.size());
+  p += ", \"cache_evictions\": " + std::to_string(cache_.evictions());
+  p += ", \"disk_loaded\": " + std::to_string(disk_loaded_.load());
+  p += ", \"disk_rejected\": " + std::to_string(disk_rejected_.load());
+  p += ", \"latency_us\": {\"count\": " + std::to_string(lat.size());
+  p += ", \"p50\": " + json::number(pct(0.50));
+  p += ", \"p99\": " + json::number(pct(0.99));
+  p += "}}";
+
+  std::string env = "{\"schema_version\": ";
+  env += std::to_string(json::kSchemaVersion);
+  env += ", \"tool\": \"";
+  env += kServeTool;
+  env += "\", \"payload\": ";
+  env += p;
+  env += "}\n";
+  return env;
+}
+
+} // namespace scpg::serve

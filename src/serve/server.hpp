@@ -1,0 +1,148 @@
+// The scpgc serve daemon: a long-running analysis service over a unix
+// socket.
+//
+// Why a daemon at all: the compiled backend (PR 7) made per-point
+// simulation cheap enough that process startup, netlist loading, model
+// extraction and cache warmup dominate a CLI sweep's latency.  A
+// resident process amortizes all four — the result cache stays hot
+// across requests (and, via DiskCache, across restarts), and concurrent
+// clients' points merge into shared engine runs.
+//
+// Threading model:
+//
+//   accept thread --- one connection thread per client ---+
+//                         |  lint/verify/ping/stats       |
+//                         |  run inline                   |
+//                         v                               v
+//                    sweep admission queue -----> dispatcher thread
+//                                                 (batch window, then
+//                                                  one merged
+//                                                  Experiment::run per
+//                                                  compatible group)
+//
+// Sweep coalescing: requests arriving within one batch window whose
+// specs are identical except for the seed execute as ONE merged
+// experiment — each request's grid is appended under a "q<i>:" tag
+// prefix with its own seed, so the rows differ only in (seed, digest)
+// and the compiled backend packs them into the same 64-lane units
+// (engine/sweep.cpp execute_unit).  Requests with equal seeds share one
+// grid copy (duplicate digests under different tags are illegal — and
+// pointless — to re-run).  Each client's response is rendered from its
+// own rows by the shared renderer (serve/exec.hpp), so a merged response
+// is byte-identical to a solo one by construction.
+//
+// Shutdown: request_stop() (SIGTERM in `scpgc serve`, or a client
+// "shutdown" op) stops accepting, drains every queued and in-flight
+// request to a sent response, compacts the disk cache, unlinks the
+// socket.  Requests that race past the dispatcher's exit run solo on
+// their connection thread — drained, never dropped.
+//
+// Every request is counted under "serve.*" obs metrics and its wall
+// latency recorded; the "stats" op returns the aggregate (request
+// counts, batch counts, cache state, p50/p99 latency) as a JSON body.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/cache.hpp"
+#include "serve/diskcache.hpp"
+#include "serve/protocol.hpp"
+#include "util/socket.hpp"
+
+namespace scpg::serve {
+
+struct ServerOptions {
+  std::string socket_path;
+  /// Engine parallelism for merged sweep runs; <= 0 means default_jobs().
+  int jobs{0};
+  /// Disk cache file; empty runs memory-only.
+  std::string cache_path;
+  std::size_t cache_capacity{engine::ResultCache::kDefaultCapacity};
+  /// How long the dispatcher waits for more sweeps to coalesce after one
+  /// arrives.  0 still batches whatever is queued at wakeup.
+  int batch_window_ms{4};
+};
+
+class Server {
+public:
+  Server(const Library& lib, ServerOptions opt);
+  ~Server(); ///< calls stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket (SocketBusyError when a live daemon owns it),
+  /// loads the disk cache, starts the accept/dispatcher threads.
+  DiskCache::LoadReport start();
+
+  /// Signals shutdown; safe from any thread, idempotent, returns
+  /// immediately.  stop() performs the actual drain.
+  void request_stop();
+
+  /// Readable once request_stop() has fired (a self-pipe read end);
+  /// poll this alongside a signal pipe to wait for either.
+  [[nodiscard]] int shutdown_fd() const { return stop_r_; }
+
+  /// Drains and joins everything, compacts + closes the disk cache,
+  /// unlinks the socket.  Idempotent.
+  void stop();
+
+  [[nodiscard]] const std::string& socket_path() const {
+    return opt_.socket_path;
+  }
+
+private:
+  struct PendingSweep;
+  struct Conn;
+
+  void accept_loop();
+  void connection_loop(Conn* conn);
+  void dispatcher_loop();
+  /// One merged (or solo) execution of a compatible group.
+  void execute_group(const std::vector<PendingSweep*>& group);
+  void handle_request(const Socket& s, const Request& rq);
+  [[nodiscard]] std::string render_stats();
+  void record_latency(double us);
+  void reap_finished_conns();
+
+  const Library& lib_;
+  ServerOptions opt_;
+  engine::ResultCache cache_{"serve.cache"};
+  std::unique_ptr<DiskCache> disk_;
+  Socket listener_;
+  int stop_r_{-1};
+  int stop_w_{-1};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+  bool stopped_{false};
+
+  std::thread accept_thread_;
+  std::mutex conns_m_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+
+  std::thread dispatcher_;
+  std::mutex batch_m_;
+  std::condition_variable batch_cv_;
+  std::vector<PendingSweep*> queue_;
+  bool dispatcher_live_{false};
+
+  // Aggregate stats (the "stats" op's body; obs counters mirror them).
+  std::atomic<std::uint64_t> n_requests_{0};
+  std::atomic<std::uint64_t> n_by_op_[6]{};
+  std::atomic<std::uint64_t> n_errors_{0};
+  std::atomic<std::uint64_t> n_batches_{0};
+  std::atomic<std::uint64_t> n_batched_requests_{0};
+  std::atomic<std::uint64_t> disk_loaded_{0};
+  std::atomic<std::uint64_t> disk_rejected_{0};
+  std::mutex lat_m_;
+  std::vector<double> latency_us_;
+};
+
+} // namespace scpg::serve

@@ -1,0 +1,174 @@
+#include "util/socket.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/subprocess.hpp"
+
+namespace scpg {
+
+namespace {
+
+constexpr std::string_view kFrameMagic = "SCPGS1 ";
+constexpr std::size_t kHeaderBytes = 16; // "SCPGS1 " + 8 hex + '\n'
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  SCPG_REQUIRE(path.size() < sizeof(addr.sun_path),
+               "socket path too long (" + std::to_string(path.size()) +
+                   " bytes, max " + std::to_string(sizeof(addr.sun_path) - 1) +
+                   "): " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+/// Reads exactly n bytes into buf; returns the count read before EOF
+/// (== n when complete).  Throws on read errors.
+std::size_t read_exact(int fd, char* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, buf + got, n - got);
+    if (r > 0) {
+      got += std::size_t(r);
+      continue;
+    }
+    if (r == 0) return got;
+    if (errno == EINTR) continue;
+    throw_errno("socket read failed");
+  }
+  return got;
+}
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1; // uppercase is malformed, like the campaign frame codec
+}
+
+} // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() { close_fd(fd_); }
+
+Socket listen_unix(const std::string& path, int backlog) {
+  const sockaddr_un addr = make_addr(path);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    Socket s(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!s.valid()) throw_errno("socket() failed");
+    if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) == 0) {
+      if (::listen(s.fd(), backlog) != 0) throw_errno("listen() failed");
+      return s;
+    }
+    if (errno != EADDRINUSE)
+      throw_errno("bind(" + path + ") failed");
+    // The path exists.  Probe it: a live listener accepts (busy), a
+    // stale file refuses (unlink and retry the bind once).
+    Socket probe(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!probe.valid()) throw_errno("socket() failed");
+    if (::connect(probe.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0)
+      throw SocketBusyError("socket " + path +
+                            " is owned by a live daemon");
+    if (errno != ECONNREFUSED && errno != ENOENT)
+      throw_errno("probe connect(" + path + ") failed");
+    if (attempt > 0 || (::unlink(path.c_str()) != 0 && errno != ENOENT))
+      throw_errno("unlink stale socket " + path + " failed");
+  }
+  throw Error("bind(" + path + ") failed after stale-socket recovery");
+}
+
+Socket accept_unix(const Socket& listener) {
+  const int fd = ::accept4(listener.fd(), nullptr, nullptr, SOCK_CLOEXEC);
+  if (fd >= 0) return Socket(fd);
+  if (errno == EINTR) return Socket();
+  throw_errno("accept() failed");
+}
+
+Socket connect_unix(const std::string& path) {
+  const sockaddr_un addr = make_addr(path);
+  Socket s(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!s.valid()) throw_errno("socket() failed");
+  int rc;
+  do {
+    rc = ::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) throw_errno("connect(" + path + ") failed");
+  return s;
+}
+
+bool write_frame(const Socket& s, std::string_view payload) {
+  SCPG_REQUIRE(payload.size() <= kMaxFrameBytes,
+               "frame payload exceeds " + std::to_string(kMaxFrameBytes) +
+                   " bytes");
+  char header[kHeaderBytes];
+  std::memcpy(header, kFrameMagic.data(), kFrameMagic.size());
+  static const char* kHex = "0123456789abcdef";
+  const auto len = std::uint32_t(payload.size());
+  for (int i = 0; i < 8; ++i)
+    header[kFrameMagic.size() + std::size_t(i)] =
+        kHex[(len >> (28 - 4 * i)) & 0xF];
+  header[kHeaderBytes - 1] = '\n';
+  std::string msg;
+  msg.reserve(kHeaderBytes + payload.size());
+  msg.append(header, kHeaderBytes);
+  msg.append(payload);
+  return write_all(s.fd(), msg);
+}
+
+std::optional<std::string> read_frame(const Socket& s) {
+  char header[kHeaderBytes];
+  const std::size_t got = read_exact(s.fd(), header, kHeaderBytes);
+  if (got == 0) return std::nullopt; // clean EOF at a frame boundary
+  if (got < kHeaderBytes)
+    throw ParseError("socket frame truncated inside header (" +
+                         std::to_string(got) + " of " +
+                         std::to_string(kHeaderBytes) + " bytes)",
+                     "socket", 1);
+  if (std::string_view(header, kFrameMagic.size()) != kFrameMagic ||
+      header[kHeaderBytes - 1] != '\n')
+    throw ParseError("socket frame header lacks SCPGS1 magic",
+                     "socket", 1);
+  std::uint64_t len = 0;
+  for (std::size_t i = kFrameMagic.size(); i + 1 < kHeaderBytes; ++i) {
+    const int nib = hex_nibble(header[i]);
+    if (nib < 0)
+      throw ParseError("socket frame length is not lowercase hex",
+                       "socket", 1);
+    len = (len << 4) | std::uint64_t(nib);
+  }
+  if (len > kMaxFrameBytes)
+    throw ParseError("socket frame length " + std::to_string(len) +
+                         " exceeds the " + std::to_string(kMaxFrameBytes) +
+                         "-byte ceiling",
+                     "socket", 1);
+  std::string payload(len, '\0');
+  if (read_exact(s.fd(), payload.data(), payload.size()) != payload.size())
+    throw ParseError("socket frame truncated inside payload",
+                     "socket", 1);
+  return payload;
+}
+
+} // namespace scpg

@@ -1,0 +1,88 @@
+// Unix-domain stream sockets with length-framed messages.
+//
+// The serve daemon (src/serve) and its clients talk over a local socket;
+// this wrapper owns the POSIX plumbing — socket/bind/listen/accept/
+// connect, stale-socket-file recovery — and a single message framing
+// shared by both sides.  Nothing here knows about JSON envelopes or
+// requests; src/serve layers its protocol on these bytes.
+//
+// Framing: every message on the wire is
+//
+//   "SCPGS1 " <len:8 lowercase hex> "\n" <len payload bytes>
+//
+// The fixed-width header makes the reader state machine trivial (read 16
+// bytes, then exactly len more) and the magic catches a client speaking
+// the wrong protocol — or a human cat-ing text at the socket — with a
+// located error instead of a hang.
+//
+// Binding recovers from stale socket files: a previous daemon killed
+// with SIGKILL leaves its path behind, and a fresh bind would fail with
+// EADDRINUSE.  We probe with connect(2): a refused connection proves no
+// listener is alive, so the stale file is unlinked and the bind retried;
+// a successful connection proves a live daemon owns the path, reported
+// as SocketBusyError so callers can exit with a distinct code.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace scpg {
+
+/// A live daemon already listens on the requested socket path.
+class SocketBusyError : public Error {
+public:
+  using Error::Error;
+};
+
+/// An fd-owning handle; closes on destruction, move-only.
+class Socket {
+public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  void close();
+
+private:
+  int fd_{-1};
+};
+
+/// Creates, binds and listens on a unix stream socket at `path`,
+/// recovering from a stale socket file as described above.  Throws
+/// SocketBusyError when a live listener owns the path, scpg::Error on
+/// any other OS failure (path too long, permission, ...).
+[[nodiscard]] Socket listen_unix(const std::string& path, int backlog = 64);
+
+/// Blocking accept; returns an invalid Socket on EINTR (so signal-driven
+/// shutdown loops can re-check their flag).  Throws on other errors.
+[[nodiscard]] Socket accept_unix(const Socket& listener);
+
+/// Blocking connect to a listening unix socket.  Throws scpg::Error when
+/// nothing listens at `path`.
+[[nodiscard]] Socket connect_unix(const std::string& path);
+
+/// Writes one framed message (header + payload).  Returns false when the
+/// peer is gone (EPIPE/ECONNRESET); requires SIGPIPE ignored.
+bool write_frame(const Socket& s, std::string_view payload);
+
+/// Reads one framed message, blocking until it is complete.  Returns
+/// nullopt on clean EOF at a frame boundary; throws ParseError on a
+/// malformed header or mid-frame EOF, scpg::Error on read failure.
+[[nodiscard]] std::optional<std::string> read_frame(const Socket& s);
+
+/// Frame size ceiling (64 MiB): a header announcing more is treated as
+/// malformed rather than honoured, so a corrupt length cannot OOM the
+/// daemon.
+inline constexpr std::uint64_t kMaxFrameBytes = 64ull << 20;
+
+} // namespace scpg

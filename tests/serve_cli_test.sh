@@ -1,0 +1,171 @@
+#!/usr/bin/env bash
+# End-to-end soak of the scpgc serve daemon: starts a real daemon over a
+# unix socket, drives a mixed burst of sweep/lint/verify requests through
+# `scpgc client`, and pins the wire contract a script would depend on —
+# response bodies byte-identical to the direct --json subcommands, the
+# CLI exit code carried through the daemon verbatim (0 ok / 1 findings /
+# 2 usage / 3 parse / 5 flow), a second daemon on a live socket exiting
+# 8 (busy), SIGTERM draining in-flight work to complete responses, and a
+# warm restart serving the same bytes out of the disk cache.
+# Usage: serve_cli_test.sh <scpgc-binary> <examples/netlists-dir>
+set -u
+
+scpgc=$1
+dir=$2
+
+tmpdir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null
+  rm -rf "$tmpdir"
+}
+trap cleanup EXIT
+
+sock="$tmpdir/serve.sock"
+cache="$tmpdir/serve.cache"
+
+fail() { echo "serve_cli_test FAIL: $*" >&2; exit 1; }
+
+expect_rc() { # want-rc command...
+  local want=$1
+  shift
+  "$@" >/dev/null 2>&1
+  local rc=$?
+  [ "$rc" -eq "$want" ] || fail "expected exit $want, got $rc: $*"
+}
+
+wait_for_socket() {
+  for _ in $(seq 1 100); do
+    [ -S "$sock" ] && "$scpgc" client --socket "$sock" --op ping \
+      >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  fail "daemon never came up on $sock"
+}
+
+start_daemon() { # extra serve args...
+  "$scpgc" serve --socket "$sock" --cache "$cache" "$@" \
+    2>"$tmpdir/daemon.log" &
+  daemon_pid=$!
+  wait_for_socket
+}
+
+stop_daemon() { # via client shutdown; daemon must exit 0
+  "$scpgc" client --socket "$sock" --op shutdown >/dev/null \
+    || fail "shutdown op rc"
+  wait "$daemon_pid"
+  local rc=$?
+  daemon_pid=""
+  [ "$rc" -eq 0 ] || fail "daemon exited $rc after shutdown op"
+}
+
+sweep=(--in "$dir/mult4_scpg.v" --points 3 --cycles 4 --seed 7)
+
+# --- daemon lifecycle + byte-identity --------------------------------------
+start_daemon
+
+expect_rc 0 "$scpgc" client --socket "$sock" --op ping
+
+# The served sweep body must be byte-identical to the direct CLI's stdout.
+"$scpgc" sweep "${sweep[@]}" --json >"$tmpdir/direct.json" \
+  || fail "direct sweep rc"
+"$scpgc" client --socket "$sock" --op sweep "${sweep[@]}" \
+  >"$tmpdir/served.json" || fail "served sweep rc"
+cmp -s "$tmpdir/direct.json" "$tmpdir/served.json" \
+  || fail "served sweep body differs from direct scpgc sweep --json"
+grep -q '"tool": "scpgc-sweep"' "$tmpdir/served.json" \
+  || fail "served sweep envelope tool"
+
+# Same for lint and verify, including the findings exit code 1.
+"$scpgc" lint --in "$dir/broken/mult8_badpol.v" --json >"$tmpdir/lint.json"
+[ $? -eq 1 ] || fail "direct lint rc"
+"$scpgc" client --socket "$sock" --op lint --in "$dir/broken/mult8_badpol.v" \
+  >"$tmpdir/lint_served.json"
+[ $? -eq 1 ] || fail "served lint rc (findings must exit 1)"
+cmp -s "$tmpdir/lint.json" "$tmpdir/lint_served.json" \
+  || fail "served lint body differs"
+
+"$scpgc" verify --in "$dir/mult4_scpg.v" --cycles 8 --warmup 2 --json \
+  >"$tmpdir/verify.json" || fail "direct verify rc"
+"$scpgc" client --socket "$sock" --op verify --in "$dir/mult4_scpg.v" \
+  --cycles 8 --warmup 2 >"$tmpdir/verify_served.json" \
+  || fail "served verify rc"
+cmp -s "$tmpdir/verify.json" "$tmpdir/verify_served.json" \
+  || fail "served verify body differs"
+
+# --- exit codes carried through the daemon ---------------------------------
+expect_rc 2 "$scpgc" client
+expect_rc 2 "$scpgc" client --socket "$sock" --op frobnicate
+expect_rc 2 "$scpgc" client --socket "$sock" --op sweep # missing --in
+echo "this is not verilog" >"$tmpdir/garbage.v"
+expect_rc 3 "$scpgc" client --socket "$sock" --op sweep \
+  --in "$tmpdir/garbage.v" --points 3 --cycles 4
+expect_rc 5 "$scpgc" client --socket "$sock" --op sweep \
+  --in "$tmpdir/no_such_file.v" --points 3 --cycles 4
+expect_rc 5 "$scpgc" client --socket "$tmpdir/no_daemon.sock" --op ping
+
+# A second daemon on the live socket must exit 8 and leave it serving.
+expect_rc 8 "$scpgc" serve --socket "$sock"
+expect_rc 0 "$scpgc" client --socket "$sock" --op ping
+
+# --- mixed concurrent burst ------------------------------------------------
+burst_pids=()
+for seed in 11 12 13 11 12 13; do
+  "$scpgc" client --socket "$sock" --op sweep --in "$dir/mult4_scpg.v" \
+    --points 3 --cycles 4 --seed "$seed" >"$tmpdir/burst_$seed.$RANDOM.json" &
+  burst_pids+=($!)
+done
+"$scpgc" client --socket "$sock" --op lint --in "$dir/mult8_scpg.v" \
+  >/dev/null &
+burst_pids+=($!)
+for pid in "${burst_pids[@]}"; do
+  wait "$pid" || fail "burst request failed"
+done
+
+# Stats reflect the traffic: a JSON envelope with the counters and
+# latency percentiles.
+stats=$("$scpgc" client --socket "$sock" --op stats) || fail "stats rc"
+grep -q '"tool": "scpgc-serve"' <<<"$stats" || fail "stats envelope tool"
+grep -q '"kind": "stats"' <<<"$stats" || fail "stats kind"
+grep -q '"latency_us"' <<<"$stats" || fail "stats latency section"
+grep -q '"cache_entries"' <<<"$stats" || fail "stats cache section"
+
+# --- shutdown op drains, daemon exits 0 ------------------------------------
+stop_daemon
+grep -q "draining" "$tmpdir/daemon.log" || fail "daemon log: draining line"
+grep -q "stopped" "$tmpdir/daemon.log" || fail "daemon log: stopped line"
+[ -S "$sock" ] && fail "socket not unlinked after shutdown"
+
+# --- warm restart serves identical bytes from the disk cache ---------------
+[ -s "$cache" ] || fail "disk cache file not written"
+start_daemon
+grep -q "entries loaded" "$tmpdir/daemon.log" \
+  || fail "restart did not report loaded cache entries"
+"$scpgc" client --socket "$sock" --op sweep "${sweep[@]}" \
+  >"$tmpdir/served_warm.json" || fail "warm served sweep rc"
+cmp -s "$tmpdir/direct.json" "$tmpdir/served_warm.json" \
+  || fail "warm restart served different bytes"
+
+# --- SIGTERM drains an in-flight request -----------------------------------
+# Park a sweep inside a wide batch window, SIGTERM the daemon, and check
+# the client still gets the full, correct body and the daemon exits 0.
+stop_daemon
+rm -f "$cache"
+start_daemon --batch-window-ms 2000
+"$scpgc" client --socket "$sock" --op sweep "${sweep[@]}" \
+  >"$tmpdir/inflight.json" &
+client_pid=$!
+for _ in $(seq 1 50); do # wait until the request is admitted
+  "$scpgc" client --socket "$sock" --op stats | grep -q '"sweep": 1' && break
+  sleep 0.1
+done
+kill -TERM "$daemon_pid"
+wait "$client_pid" || fail "in-flight sweep failed across SIGTERM"
+wait "$daemon_pid"
+rc=$?
+daemon_pid=""
+[ "$rc" -eq 0 ] || fail "daemon exited $rc on SIGTERM"
+cmp -s "$tmpdir/direct.json" "$tmpdir/inflight.json" \
+  || fail "SIGTERM-drained sweep body differs from direct run"
+
+echo "serve_cli_test PASS"

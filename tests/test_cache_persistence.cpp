@@ -1,0 +1,398 @@
+// Adversarial robustness battery for the serve daemon's disk-backed
+// result cache (src/serve/diskcache.hpp), in the spirit of
+// test_journal_robustness.cpp: the cache file is advisory, never
+// trusted, and under any corruption the loader must either reproduce an
+// entry's exact bytes or drop it — a WRONG cached result is the one
+// unacceptable outcome, because it would silently break the daemon's
+// byte-identity contract.
+//
+// The sweeps below truncate a pristine file at every byte offset and
+// flip bits across the file at a stride, then reload each mutation into
+// a fresh cache and check three invariants:
+//
+//   1. every loaded entry is bit-identical (full 64-bit double patterns,
+//      sign of zero and denormals included) to the entry the writer
+//      stored under that key — corruption may shrink the cache, never
+//      skew it;
+//   2. rejections are located (the report's reason names path:line) and
+//      the file is rebuilt in place from the surviving prefix;
+//   3. the rebuilt file reloads cleanly — recovery converges in one
+//      round.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "campaign/frame.hpp"
+#include "engine/cache.hpp"
+#include "serve/diskcache.hpp"
+#include "util/error.hpp"
+
+namespace scpg {
+namespace {
+
+using engine::CacheKey;
+using engine::Measurement;
+using engine::ResultCache;
+using serve::DiskCache;
+
+constexpr int kEntries = 6;
+
+CacheKey key_of(int i) {
+  return CacheKey{0xabc0'0000 + std::uint64_t(i),
+                  0x5eed'0000 + std::uint64_t(i)};
+}
+
+/// Deliberately awkward bit patterns: negative zero, a denormal, a
+/// non-terminating binary fraction.  Decimal round-tripping would mangle
+/// all three; the hex64 encoding must not.
+Measurement meas_of(int i) {
+  Measurement m;
+  m.cycles = 3 + i;
+  m.avg_power.v = 1.25e-6 * double(i + 1);
+  m.energy_per_cycle.v = 3.5e-12 * double(i + 1);
+  PowerTally& t = m.tally;
+  t.switching.v = 1e-13 * double(i);
+  t.internal.v = 2e-13 * double(i);
+  t.leakage_aon.v = 5e-15 / double(i + 1);
+  t.leakage_gated.v = 4e-16 * double(i);
+  t.header_off.v = (i % 2 != 0) ? -0.0 : 0.0;
+  t.rail_recharge.v = 0x1p-1060 * double(i + 1); // subnormal
+  t.crowbar.v = 7.75e-14;
+  t.header_gate.v = 6e-15 * double(i);
+  t.macro_access.v = 0.0;
+  t.window.v = double(i + 1) / 3.0;
+  return m;
+}
+
+void expect_bit_identical(const Measurement& got, const Measurement& want,
+                          const std::string& context) {
+  using campaign::double_bits;
+  EXPECT_EQ(got.cycles, want.cycles) << context;
+  EXPECT_EQ(double_bits(got.avg_power.v), double_bits(want.avg_power.v))
+      << context;
+  EXPECT_EQ(double_bits(got.energy_per_cycle.v),
+            double_bits(want.energy_per_cycle.v))
+      << context;
+  const PowerTally& g = got.tally;
+  const PowerTally& w = want.tally;
+  EXPECT_EQ(double_bits(g.switching.v), double_bits(w.switching.v)) << context;
+  EXPECT_EQ(double_bits(g.internal.v), double_bits(w.internal.v)) << context;
+  EXPECT_EQ(double_bits(g.leakage_aon.v), double_bits(w.leakage_aon.v))
+      << context;
+  EXPECT_EQ(double_bits(g.leakage_gated.v), double_bits(w.leakage_gated.v))
+      << context;
+  EXPECT_EQ(double_bits(g.header_off.v), double_bits(w.header_off.v))
+      << context;
+  EXPECT_EQ(double_bits(g.rail_recharge.v), double_bits(w.rail_recharge.v))
+      << context;
+  EXPECT_EQ(double_bits(g.crowbar.v), double_bits(w.crowbar.v)) << context;
+  EXPECT_EQ(double_bits(g.header_gate.v), double_bits(w.header_gate.v))
+      << context;
+  EXPECT_EQ(double_bits(g.macro_access.v), double_bits(w.macro_access.v))
+      << context;
+  EXPECT_EQ(double_bits(g.window.v), double_bits(w.window.v)) << context;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+}
+
+/// Writes a pristine cache file holding kEntries entries (store order
+/// 0..kEntries-1, so entry 0 is the coldest) and returns its bytes.
+std::string pristine_file(const std::string& path) {
+  std::remove(path.c_str());
+  ResultCache mem;
+  DiskCache dc(path, mem);
+  const DiskCache::LoadReport rep = dc.open();
+  EXPECT_EQ(rep.loaded, 0u);
+  for (int i = 0; i < kEntries; ++i) mem.store(key_of(i), meas_of(i));
+  dc.close();
+  return read_file(path);
+}
+
+/// Loads `text` as a cache file into a fresh memory cache, checks the
+/// no-wrong-results invariant against meas_of, and returns the report.
+/// `out_mem` (optional) receives the loaded cache for further checks.
+DiskCache::LoadReport load_mutation(const std::string& path,
+                                    const std::string& text,
+                                    const std::string& context,
+                                    ResultCache* out_mem = nullptr) {
+  write_file(path, text);
+  ResultCache mem;
+  DiskCache dc(path, mem);
+  const DiskCache::LoadReport rep = dc.open();
+  const auto rows = mem.entries_mru();
+  for (const auto& [key, m] : rows) {
+    const int i = int(key.lo - key_of(0).lo);
+    if (i < 0 || i >= kEntries) {
+      ADD_FAILURE() << context << ": loaded an entry under a key the writer "
+                    << "never stored (corruption smuggled data in)";
+      continue;
+    }
+    EXPECT_EQ(key.hi, key_of(i).hi) << context;
+    expect_bit_identical(m, meas_of(i), context);
+  }
+  if (out_mem != nullptr) {
+    // Replay coldest-first so out_mem ends in the same recency order.
+    for (auto it = rows.rbegin(); it != rows.rend(); ++it)
+      out_mem->store(it->first, it->second);
+  }
+  dc.close();
+  return rep;
+}
+
+class CachePersistenceTest : public testing::Test {
+protected:
+  void SetUp() override {
+    // ctest runs each case as its own process against the shared
+    // TempDir, so the working file is salted per test and pid.
+    const testing::TestInfo* info =
+        testing::UnitTest::GetInstance()->current_test_info();
+    path_ = testing::TempDir() + "persist_" + std::to_string(::getpid()) +
+            "_" + info->name() + ".cache";
+    pristine_ = pristine_file(path_);
+    ASSERT_FALSE(pristine_.empty());
+  }
+
+  std::string path_;
+  std::string pristine_;
+};
+
+TEST_F(CachePersistenceTest, PristineRoundTripRestoresEveryBitAndTheLru) {
+  ResultCache mem;
+  const DiskCache::LoadReport rep =
+      load_mutation(path_, pristine_, "pristine", &mem);
+  EXPECT_EQ(rep.loaded, std::size_t(kEntries));
+  EXPECT_EQ(rep.rejected, 0u);
+  EXPECT_FALSE(rep.rebuilt);
+  EXPECT_FALSE(rep.dropped_torn_tail);
+  EXPECT_TRUE(rep.reject_reason.empty());
+  // Store order 0..N-1 means N-1 was hottest; MRU order must match.
+  const auto entries = mem.entries_mru();
+  ASSERT_EQ(entries.size(), std::size_t(kEntries));
+  for (int i = 0; i < kEntries; ++i)
+    EXPECT_EQ(entries[std::size_t(i)].first.lo,
+              key_of(kEntries - 1 - i).lo)
+        << "reload did not reconstruct the writer's recency order";
+}
+
+TEST_F(CachePersistenceTest, EveryOffsetTruncation) {
+  for (std::size_t len = 0; len < pristine_.size(); ++len) {
+    const std::string context = "truncated to " + std::to_string(len);
+    const std::string cut = pristine_.substr(0, len);
+    const bool at_boundary = len == 0 || cut.back() == '\n';
+    const DiskCache::LoadReport rep = load_mutation(path_, cut, context);
+
+    EXPECT_LE(rep.loaded, std::size_t(kEntries)) << context;
+    if (at_boundary) {
+      // A prefix of complete lines is simply a shorter valid file.
+      EXPECT_EQ(rep.rejected, 0u) << context;
+      EXPECT_FALSE(rep.dropped_torn_tail) << context;
+    } else {
+      // Mid-line cut: exactly what a SIGKILLed append leaves.  The torn
+      // tail is dropped, everything above it survives, and the file is
+      // rebuilt without it.
+      EXPECT_TRUE(rep.dropped_torn_tail) << context;
+      EXPECT_TRUE(rep.rebuilt) << context;
+    }
+
+    // Recovery converges: the rebuilt file reloads cleanly and keeps
+    // exactly what survived.
+    const DiskCache::LoadReport again =
+        load_mutation(path_, read_file(path_), context + " (rebuilt)");
+    EXPECT_EQ(again.loaded, rep.loaded) << context;
+    EXPECT_EQ(again.rejected, 0u) << context;
+    EXPECT_FALSE(again.dropped_torn_tail) << context;
+  }
+}
+
+TEST_F(CachePersistenceTest, BitFlipSweep) {
+  // Stride-7 walk hits every byte position class (magic, CRC, payload,
+  // newline); three masks cover a low bit, a case-changing bit and the
+  // high bit.
+  for (std::size_t pos = 0; pos < pristine_.size(); pos += 7) {
+    for (const unsigned char mask : {0x01, 0x20, 0x80}) {
+      std::string mutated = pristine_;
+      mutated[pos] = char(static_cast<unsigned char>(mutated[pos]) ^ mask);
+      const std::string context = "bit flip at " + std::to_string(pos) +
+                                  " mask " + std::to_string(int(mask));
+
+      const DiskCache::LoadReport rep = load_mutation(path_, mutated, context);
+
+      // Single-bit damage to a CRC-framed line cannot go unnoticed: the
+      // load either rejects from the damaged line (located reason) or,
+      // when the final newline itself was hit, drops the torn tail.
+      EXPECT_TRUE(rep.rejected != 0 || rep.dropped_torn_tail) << context;
+      EXPECT_TRUE(rep.rebuilt) << context;
+      EXPECT_LT(rep.loaded, std::size_t(kEntries)) << context;
+      if (rep.rejected != 0) {
+        EXPECT_NE(rep.reject_reason.find(path_ + ":"), std::string::npos)
+            << context << ": reason not located: " << rep.reject_reason;
+      }
+
+      const DiskCache::LoadReport again =
+          load_mutation(path_, read_file(path_), context + " (rebuilt)");
+      EXPECT_EQ(again.loaded, rep.loaded) << context;
+      EXPECT_EQ(again.rejected, 0u) << context;
+    }
+  }
+}
+
+TEST_F(CachePersistenceTest, TornAppendTailIsDroppedSilently) {
+  const std::string torn =
+      pristine_ + "SCPGF1 0badc0de {\"schema_version\": 1, \"tool";
+  const DiskCache::LoadReport rep = load_mutation(path_, torn, "torn append");
+  EXPECT_EQ(rep.loaded, std::size_t(kEntries));
+  EXPECT_EQ(rep.rejected, 0u);
+  EXPECT_TRUE(rep.dropped_torn_tail);
+  EXPECT_TRUE(rep.rebuilt);
+}
+
+TEST_F(CachePersistenceTest, CacheVersionMismatchRejectsWholesale) {
+  const std::string file = campaign::encode_frame(
+      "{\"kind\": \"header\", \"cache_version\": 999, \"key_schema\": \"" +
+          std::string(DiskCache::kKeySchema) + "\"}",
+      DiskCache::kCacheTool);
+  const DiskCache::LoadReport rep = load_mutation(path_, file, "version");
+  EXPECT_EQ(rep.loaded, 0u);
+  EXPECT_EQ(rep.rejected, 1u);
+  EXPECT_TRUE(rep.rebuilt);
+  EXPECT_NE(rep.reject_reason.find(path_ + ":1"), std::string::npos)
+      << rep.reject_reason;
+  EXPECT_NE(rep.reject_reason.find("cache_version"), std::string::npos)
+      << rep.reject_reason;
+}
+
+TEST_F(CachePersistenceTest, KeySchemaMismatchRejectsWholesale) {
+  // A build whose digest or backend-salt scheme changed must refuse to
+  // serve entries keyed under the old scheme — that is the one corruption
+  // CRCs cannot catch.
+  const std::string file = campaign::encode_frame(
+      "{\"kind\": \"header\", \"cache_version\": " +
+          std::to_string(DiskCache::kCacheVersion) +
+          ", \"key_schema\": \"fnv1a128+backend-salt:v0\"}",
+      DiskCache::kCacheTool);
+  const DiskCache::LoadReport rep = load_mutation(path_, file, "schema");
+  EXPECT_EQ(rep.loaded, 0u);
+  EXPECT_EQ(rep.rejected, 1u);
+  EXPECT_NE(rep.reject_reason.find("key_schema mismatch"), std::string::npos)
+      << rep.reject_reason;
+  EXPECT_NE(rep.reject_reason.find(path_ + ":1"), std::string::npos)
+      << rep.reject_reason;
+}
+
+TEST_F(CachePersistenceTest, EntryBeforeHeaderRejects) {
+  // Strip the header line off the pristine file: valid CRC frames, wrong
+  // shape.
+  const std::size_t first_nl = pristine_.find('\n');
+  ASSERT_NE(first_nl, std::string::npos);
+  const DiskCache::LoadReport rep = load_mutation(
+      path_, pristine_.substr(first_nl + 1), "entry before header");
+  EXPECT_EQ(rep.loaded, 0u);
+  EXPECT_EQ(rep.rejected, 1u);
+  EXPECT_NE(rep.reject_reason.find("before header"), std::string::npos)
+      << rep.reject_reason;
+}
+
+TEST_F(CachePersistenceTest, ForeignToolFileRejectsAtLineOne) {
+  // A campaign journal (or any other CRC-framed artifact) fed to the
+  // cache loader must reject on the envelope tool, not half-parse.
+  const std::string file = campaign::encode_frame(
+      "{\"kind\": \"header\", \"cache_version\": 1, \"key_schema\": \"x\"}",
+      "scpgc-campaign");
+  const DiskCache::LoadReport rep = load_mutation(path_, file, "foreign tool");
+  EXPECT_EQ(rep.loaded, 0u);
+  EXPECT_EQ(rep.rejected, 1u);
+  EXPECT_NE(rep.reject_reason.find(path_ + ":1"), std::string::npos)
+      << rep.reject_reason;
+}
+
+TEST_F(CachePersistenceTest, GarbageFileRejectsWithLocatedReason) {
+  const DiskCache::LoadReport rep =
+      load_mutation(path_, "this is not a cache file\n", "garbage");
+  EXPECT_EQ(rep.loaded, 0u);
+  EXPECT_EQ(rep.rejected, 1u);
+  EXPECT_TRUE(rep.rebuilt);
+  EXPECT_NE(rep.reject_reason.find(path_ + ":1"), std::string::npos)
+      << rep.reject_reason;
+}
+
+TEST_F(CachePersistenceTest, DuplicateHeaderRejectsFromTheSecondHeader) {
+  const std::size_t first_nl = pristine_.find('\n');
+  ASSERT_NE(first_nl, std::string::npos);
+  const std::string header = pristine_.substr(0, first_nl + 1);
+  const DiskCache::LoadReport rep =
+      load_mutation(path_, header + pristine_, "duplicate header");
+  EXPECT_EQ(rep.loaded, 0u); // second line is the duplicate; nothing above
+  EXPECT_EQ(rep.rejected, 1u);
+  EXPECT_NE(rep.reject_reason.find("duplicate header"), std::string::npos)
+      << rep.reject_reason;
+  EXPECT_NE(rep.reject_reason.find(path_ + ":2"), std::string::npos)
+      << rep.reject_reason;
+}
+
+TEST_F(CachePersistenceTest, SmallerCapacityReloadKeepsTheHottestEntries) {
+  write_file(path_, pristine_);
+  ResultCache mem;
+  mem.set_capacity(std::size_t(kEntries) - 2);
+  DiskCache dc(path_, mem);
+  const DiskCache::LoadReport rep = dc.open();
+  // The file is replayed coldest-first, so the memory LRU evicts the
+  // genuinely coldest entries (0 and 1) on the way in.
+  EXPECT_EQ(rep.loaded, std::size_t(kEntries));
+  EXPECT_EQ(mem.size(), std::size_t(kEntries) - 2);
+  for (int i = 0; i < kEntries; ++i) {
+    const bool want_present = i >= 2;
+    EXPECT_EQ(mem.find(key_of(i)).has_value(), want_present)
+        << "entry " << i << (want_present ? " evicted" : " survived")
+        << " against LRU order";
+  }
+  dc.close();
+  // close() compacts to the live entries; a full-capacity reload then
+  // sees exactly the survivors.
+  ResultCache mem2;
+  DiskCache dc2(path_, mem2);
+  EXPECT_EQ(dc2.open().loaded, std::size_t(kEntries) - 2);
+  dc2.close();
+}
+
+TEST_F(CachePersistenceTest, WriteThroughAppendIsReloadableWithoutClose) {
+  // Simulate a daemon that never reached close(): snapshot the file
+  // right after the store hook appended (flush() only fsyncs), and
+  // reload the snapshot.
+  const std::string live =
+      testing::TempDir() + "persist_live_" + std::to_string(::getpid()) +
+      ".cache";
+  std::remove(live.c_str());
+  {
+    ResultCache mem;
+    DiskCache dc(live, mem);
+    (void)dc.open();
+    for (int i = 0; i < kEntries; ++i) mem.store(key_of(i), meas_of(i));
+    dc.flush();
+    const DiskCache::LoadReport rep =
+        load_mutation(path_, read_file(live), "append snapshot");
+    EXPECT_EQ(rep.loaded, std::size_t(kEntries));
+    EXPECT_EQ(rep.rejected, 0u);
+    dc.close();
+  }
+  std::remove(live.c_str());
+}
+
+} // namespace
+} // namespace scpg

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include "campaign/coordinator.hpp"
@@ -36,7 +38,8 @@ const Library& lib() {
 /// by netlist *path* (the spec must cross process boundaries).
 const std::string& netlist_path() {
   static const std::string path = [] {
-    const std::string p = testing::TempDir() + "campaign_mult4.v";
+    const std::string p = testing::TempDir() + "campaign_mult4_" +
+                          std::to_string(::getpid()) + ".v";
     const Netlist nl = gen::make_multiplier(lib(), 4);
     std::ofstream os(p);
     write_verilog(nl, os);
@@ -203,7 +206,8 @@ TEST_P(CampaignDeterminism, MatchesInProcessEngineBitForBit) {
       testing::UnitTest::GetInstance()->current_test_info()->name();
   std::replace(case_tag.begin(), case_tag.end(), '/', '_');
   const std::string journal =
-      testing::TempDir() + "campaign_" + case_tag + ".journal";
+      testing::TempDir() + "campaign_" + case_tag + "_" +
+      std::to_string(::getpid()) + ".journal";
 
   switch (c.schedule) {
     case Schedule::None: {
@@ -286,7 +290,8 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(CampaignCoordinator, InProcessPathJournalsAndMatches) {
   const campaign::CampaignPlan plan =
       campaign::build_campaign(lib(), small_spec());
-  const std::string journal = testing::TempDir() + "campaign_inproc.journal";
+  const std::string journal = testing::TempDir() + "campaign_inproc_" +
+                              std::to_string(::getpid()) + ".journal";
   std::remove(journal.c_str());
   campaign::CoordinatorOptions opt;
   opt.workers = 0;
@@ -303,7 +308,8 @@ TEST(CampaignCoordinator, ResumeRejectsForeignJournal) {
   // Journal written by campaign A must not resume campaign B.
   const campaign::CampaignPlan a =
       campaign::build_campaign(lib(), small_spec());
-  const std::string journal = testing::TempDir() + "campaign_foreign.journal";
+  const std::string journal = testing::TempDir() + "campaign_foreign_" +
+                              std::to_string(::getpid()) + ".journal";
   std::remove(journal.c_str());
   campaign::CoordinatorOptions opt;
   opt.workers = 0;

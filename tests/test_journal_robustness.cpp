@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include "campaign/coordinator.hpp"
@@ -31,7 +33,8 @@ const Library& lib() {
 
 campaign::CampaignSpec small_spec() {
   static const std::string path = [] {
-    const std::string p = testing::TempDir() + "journal_mult4.v";
+    const std::string p = testing::TempDir() + "journal_mult4_" +
+                          std::to_string(::getpid()) + ".v";
     std::ofstream os(p);
     write_verilog(gen::make_multiplier(lib(), 4), os);
     return p;
@@ -47,7 +50,8 @@ campaign::CampaignSpec small_spec() {
 /// One complete journal's bytes, produced once by an in-process run.
 const std::string& good_journal_text() {
   static const std::string text = [] {
-    const std::string path = testing::TempDir() + "robust_good.journal";
+    const std::string path = testing::TempDir() + "robust_good_" +
+                             std::to_string(::getpid()) + ".journal";
     std::remove(path.c_str());
     const campaign::CampaignPlan plan =
         campaign::build_campaign(lib(), small_spec());
@@ -63,8 +67,11 @@ const std::string& good_journal_text() {
   return text;
 }
 
+// Paths carry the pid: ctest runs each case as its own process against
+// the shared TempDir, so fixed names collide across parallel cases.
 std::string write_temp(const std::string& text, const std::string& name) {
-  const std::string path = testing::TempDir() + name;
+  const std::string path =
+      testing::TempDir() + std::to_string(::getpid()) + "_" + name;
   std::ofstream(path, std::ios::binary) << text;
   return path;
 }

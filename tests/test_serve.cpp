@@ -1,0 +1,437 @@
+// Concurrency battery for the serve daemon (src/serve): a matrix of
+// {1, 4, 16} concurrent clients x {cold, warm, restarted-warm} cache
+// states, asserting the daemon's central contract — every response body
+// is byte-identical to what an in-process run of the same request
+// renders — plus exact cache-hit accounting and sweep coalescing,
+// both observed through the obs counters the server and engine emit.
+//
+// Determinism notes: request bodies are compared against
+// serve::exec_sweep (the single renderer the CLI's --json path also
+// uses), computed before metrics collection starts so the expected-value
+// runs do not pollute the counters under test.  Cache-miss counts are
+// exact at ANY batch split ("engine.points" - "engine.cache_hits" ==
+// unique rows on a cold cache, == 0 on a warm one), so those assertions
+// hold even if a slow machine splits one burst into several batches.
+// The coalescing assertion (batches < clients) is the only one that
+// needs the batch window; clients connect first, rendezvous on a spin
+// barrier, then send, and the window is generous.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "campaign/spec.hpp"
+#include "gen/mult16.hpp"
+#include "netlist/verilog.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "serve/client.hpp"
+#include "serve/exec.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/error.hpp"
+#include "util/socket.hpp"
+
+namespace scpg {
+namespace {
+
+using obs::Registry;
+
+const Library& lib() {
+  static const Library l = Library::scpg90();
+  return l;
+}
+
+// ctest runs every case in this binary as its own process, all sharing
+// testing::TempDir() — any fixed socket/cache/netlist filename would
+// collide across concurrently scheduled cases (a sibling's live daemon
+// makes Server::start() throw SocketBusyError).  Every path is salted
+// with the pid.
+std::string unique_path(const std::string& stem, const std::string& ext) {
+  return testing::TempDir() + stem + "_" + std::to_string(::getpid()) + ext;
+}
+
+const std::string& netlist_path() {
+  static const std::string path = [] {
+    const std::string p = unique_path("serve_mult4", ".v");
+    std::ofstream os(p);
+    write_verilog(gen::make_multiplier(lib(), 4), os);
+    return p;
+  }();
+  return path;
+}
+
+campaign::CampaignSpec spec_with_seed(std::uint64_t seed) {
+  campaign::CampaignSpec s;
+  s.netlist_path = netlist_path();
+  s.points = 3;
+  s.cycles = 4;
+  s.seed = seed;
+  return s;
+}
+
+constexpr int kJobs = 2;
+
+/// Seeds cycle through 4 values: a 16-client burst carries duplicate
+/// seeds (merged groups must share one grid copy, not alias tags) and
+/// 4 distinct grids (merged groups must keep them apart).
+std::uint64_t seed_of(int client) { return 21 + std::uint64_t(client % 4); }
+
+serve::Request sweep_request(std::uint64_t seed) {
+  serve::Request rq;
+  rq.op = serve::Op::Sweep;
+  rq.sweep.spec = spec_with_seed(seed);
+  rq.sweep.jobs = kJobs;
+  return rq;
+}
+
+/// The in-process ground truth, one body per distinct seed.  Computed
+/// once, with metrics disabled, against the process-global result cache
+/// (which the daemon never touches — it owns a "serve.cache" instance).
+const std::vector<std::string>& expected_bodies() {
+  static const std::vector<std::string> bodies = [] {
+    std::vector<std::string> b;
+    for (int i = 0; i < 4; ++i) {
+      const serve::ExecResult r =
+          serve::exec_sweep(lib(), {spec_with_seed(seed_of(i)), kJobs});
+      EXPECT_EQ(r.exit_code, 0);
+      b.push_back(r.body);
+    }
+    return b;
+  }();
+  return bodies;
+}
+
+/// Rows one spec expands to (the grid's shape is seed-invariant).
+std::size_t rows_per_spec() {
+  static const std::size_t n =
+      campaign::build_campaign(lib(), spec_with_seed(1)).points().size();
+  return n;
+}
+
+std::uint64_t counter(const char* name) {
+  return Registry::global().counter(name).value();
+}
+
+enum class CacheState { Cold, Warm, RestartedWarm };
+
+const char* cache_state_name(CacheState s) {
+  switch (s) {
+    case CacheState::Cold: return "Cold";
+    case CacheState::Warm: return "Warm";
+    case CacheState::RestartedWarm: return "RestartedWarm";
+  }
+  return "?";
+}
+
+struct MatrixCase {
+  int clients;
+  CacheState state;
+};
+
+/// Fires `clients` concurrent sweep requests (connections established
+/// up front, then a spin-barrier rendezvous so the sends land inside
+/// one batch window) and returns the responses in client order.
+std::vector<serve::Response> burst(const std::string& socket, int clients) {
+  std::vector<serve::Response> out(static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  std::atomic<int> ready{0};
+  for (int i = 0; i < clients; ++i) {
+    threads.emplace_back([&, i] {
+      serve::Client c(socket);
+      ready.fetch_add(1);
+      while (ready.load() < clients) std::this_thread::yield();
+      out[std::size_t(i)] = c.call(sweep_request(seed_of(i)));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return out;
+}
+
+class ServeMatrix : public testing::TestWithParam<MatrixCase> {
+protected:
+  void SetUp() override { obs::reset(); }
+  void TearDown() override { obs::reset(); }
+};
+
+TEST_P(ServeMatrix, ByteIdenticalWithExactCacheAccounting) {
+  const MatrixCase mc = GetParam();
+  const std::string tag =
+      std::to_string(mc.clients) + "_" + cache_state_name(mc.state);
+  const std::string socket = unique_path("serve_" + tag, ".sock");
+  const std::string cache_file = unique_path("serve_" + tag, ".cache");
+  std::remove(cache_file.c_str());
+
+  // Ground truth before any counters matter.
+  const std::vector<std::string>& expected = expected_bodies();
+  const int distinct_seeds = std::min(mc.clients, 4);
+  const std::size_t unique_rows = rows_per_spec() * std::size_t(distinct_seeds);
+
+  serve::ServerOptions opt;
+  opt.socket_path = socket;
+  opt.jobs = kJobs;
+  opt.cache_path = cache_file;
+  opt.batch_window_ms = 150;
+
+  if (mc.state == CacheState::RestartedWarm) {
+    // A first daemon computes everything, persists it, and goes away.
+    serve::Server warmer(lib(), opt);
+    (void)warmer.start();
+    (void)burst(socket, mc.clients);
+    warmer.stop();
+  }
+
+  auto server = std::make_unique<serve::Server>(lib(), opt);
+  obs::configure(/*enable_metrics=*/true, /*enable_trace=*/false);
+  Registry::global().reset_values();
+  const serve::DiskCache::LoadReport rep = server->start();
+
+  if (mc.state == CacheState::RestartedWarm) {
+    EXPECT_EQ(rep.loaded, unique_rows);
+    EXPECT_EQ(rep.rejected, 0u);
+    EXPECT_FALSE(rep.rebuilt);
+    EXPECT_EQ(counter("serve.cache.disk.loaded"), unique_rows);
+  } else {
+    EXPECT_EQ(rep.loaded, 0u);
+  }
+
+  if (mc.state == CacheState::Warm) {
+    // Same daemon, second round: a warmup burst fills its memory cache,
+    // then the counters restart from zero for the burst under test.
+    (void)burst(socket, mc.clients);
+    Registry::global().reset_values();
+  }
+
+  const std::vector<serve::Response> responses = burst(socket, mc.clients);
+
+  ASSERT_EQ(responses.size(), std::size_t(mc.clients));
+  for (int i = 0; i < mc.clients; ++i) {
+    const serve::Response& r = responses[std::size_t(i)];
+    EXPECT_TRUE(r.status.ok) << "client " << i << ": " << r.status.error;
+    EXPECT_EQ(r.status.exit_code, 0) << "client " << i;
+    EXPECT_EQ(r.body, expected[std::size_t(i % 4)])
+        << "client " << i << " body diverged from the in-process render";
+  }
+
+  // Exact cache accounting, valid at ANY batch split: each unique row is
+  // computed exactly once ever; everything else must be a cache hit.
+  const std::uint64_t points = counter("engine.points");
+  const std::uint64_t hits = counter("engine.cache_hits");
+  ASSERT_GE(points, hits);
+  const std::uint64_t misses = points - hits;
+  if (mc.state == CacheState::Cold) {
+    EXPECT_EQ(misses, unique_rows);
+  } else {
+    EXPECT_EQ(misses, 0u) << "a warm daemon recomputed cached rows";
+    EXPECT_EQ(hits, points);
+  }
+
+  // Every request went through the sweep admission path.
+  EXPECT_EQ(counter("serve.requests"), std::uint64_t(mc.clients));
+  EXPECT_EQ(counter("serve.requests.sweep"), std::uint64_t(mc.clients));
+  EXPECT_EQ(counter("serve.sweep.batched_requests"),
+            std::uint64_t(mc.clients));
+  EXPECT_EQ(counter("serve.errors"), 0u);
+
+  // Coalescing: concurrent clients that rendezvoused before sending must
+  // not each get a private engine run.
+  if (mc.clients > 1) {
+    EXPECT_LT(counter("serve.sweep.batches"), std::uint64_t(mc.clients))
+        << "no two concurrent requests were coalesced";
+  }
+
+  server->stop();
+  server.reset();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Serve, ServeMatrix,
+    testing::ValuesIn(std::vector<MatrixCase>{
+        {1, CacheState::Cold},
+        {1, CacheState::Warm},
+        {1, CacheState::RestartedWarm},
+        {4, CacheState::Cold},
+        {4, CacheState::Warm},
+        {4, CacheState::RestartedWarm},
+        {16, CacheState::Cold},
+        {16, CacheState::Warm},
+        {16, CacheState::RestartedWarm},
+    }),
+    [](const testing::TestParamInfo<MatrixCase>& i) {
+      return "c" + std::to_string(i.param.clients) +
+             cache_state_name(i.param.state);
+    });
+
+// ---------------------------------------------------------------------------
+// Protocol-level behaviour the matrix does not cover.
+// ---------------------------------------------------------------------------
+
+class ServeTest : public testing::Test {
+protected:
+  void SetUp() override {
+    const testing::TestInfo* info =
+        testing::UnitTest::GetInstance()->current_test_info();
+    socket_ = unique_path(std::string("serve_unit_") + info->name(), ".sock");
+    opt_.socket_path = socket_;
+    opt_.jobs = kJobs;
+    server_ = std::make_unique<serve::Server>(lib(), opt_);
+    (void)server_->start();
+  }
+  void TearDown() override { server_->stop(); }
+
+  std::string socket_;
+  serve::ServerOptions opt_;
+  std::unique_ptr<serve::Server> server_;
+};
+
+TEST_F(ServeTest, PingStatsAndErrorStatuses) {
+  serve::Client c(socket_);
+  serve::Request ping;
+  ping.op = serve::Op::Ping;
+  const serve::Response pr = c.call(ping);
+  EXPECT_TRUE(pr.status.ok);
+  EXPECT_EQ(pr.status.exit_code, 0);
+  EXPECT_TRUE(pr.body.empty());
+
+  // A sweep against a missing netlist maps to the CLI's flow-error exit.
+  serve::Request bad = sweep_request(1);
+  bad.sweep.spec.netlist_path = testing::TempDir() + "serve_missing.v";
+  const serve::Response br = c.call(bad);
+  EXPECT_FALSE(br.status.ok);
+  EXPECT_EQ(br.status.exit_code, 5);
+  EXPECT_TRUE(br.body.empty());
+  EXPECT_FALSE(br.status.error.empty());
+
+  serve::Request stats;
+  stats.op = serve::Op::Stats;
+  const serve::Response sr = c.call(stats);
+  EXPECT_TRUE(sr.status.ok);
+  EXPECT_NE(sr.body.find("\"tool\": \"scpgc-serve\""), std::string::npos);
+  EXPECT_NE(sr.body.find("\"kind\": \"stats\""), std::string::npos);
+  EXPECT_NE(sr.body.find("\"latency_us\""), std::string::npos);
+}
+
+TEST_F(ServeTest, LintAndVerifyMatchInProcessExecution) {
+  serve::LintRequest lrq;
+  lrq.netlist_path = netlist_path();
+  const serve::ExecResult lexp = serve::exec_lint(lib(), lrq);
+
+  serve::Request rq;
+  rq.op = serve::Op::Lint;
+  rq.lint = lrq;
+  serve::Client c(socket_);
+  const serve::Response lr = c.call(rq);
+  EXPECT_TRUE(lr.status.ok);
+  EXPECT_EQ(lr.status.exit_code, lexp.exit_code);
+  EXPECT_EQ(lr.body, lexp.body);
+
+  serve::VerifyRequest vrq;
+  vrq.netlist_path = netlist_path();
+  vrq.cycles = 8;
+  vrq.warmup = 2;
+  const serve::ExecResult vexp = serve::exec_verify(lib(), vrq);
+
+  rq.op = serve::Op::Verify;
+  rq.verify = vrq;
+  const serve::Response vr = c.call(rq);
+  EXPECT_EQ(vr.status.exit_code, vexp.exit_code);
+  EXPECT_EQ(vr.body, vexp.body);
+}
+
+TEST_F(ServeTest, MalformedRequestGetsExitTwoAndConnectionSurvives) {
+  // Hand-roll a frame that is valid JSON but not a valid request.
+  Socket s = connect_unix(socket_);
+  ASSERT_TRUE(write_frame(
+      s, "{\"schema_version\": 1, \"tool\": \"scpgc-serve\", "
+         "\"payload\": {\"kind\": \"launch-missiles\"}}"));
+  const auto status_frame = read_frame(s);
+  ASSERT_TRUE(status_frame.has_value());
+  const serve::Status st = serve::decode_status(*status_frame);
+  EXPECT_FALSE(st.ok);
+  EXPECT_EQ(st.exit_code, 2);
+  const auto body_frame = read_frame(s);
+  ASSERT_TRUE(body_frame.has_value());
+  EXPECT_TRUE(body_frame->empty());
+
+  // The same connection still serves a good request afterwards.
+  serve::Request ping;
+  ping.op = serve::Op::Ping;
+  ASSERT_TRUE(write_frame(s, serve::encode_request(ping)));
+  const auto ok_frame = read_frame(s);
+  ASSERT_TRUE(ok_frame.has_value());
+  EXPECT_TRUE(serve::decode_status(*ok_frame).ok);
+}
+
+TEST_F(ServeTest, SecondServerOnLiveSocketThrowsBusy) {
+  serve::Server second(lib(), opt_);
+  EXPECT_THROW((void)second.start(), SocketBusyError);
+  // The probe must not have unlinked the live daemon's socket.
+  serve::Request rq;
+  rq.op = serve::Op::Ping;
+  EXPECT_TRUE(serve::call_once(socket_, rq).status.ok);
+}
+
+TEST_F(ServeTest, StaleSocketFileIsRecovered) {
+  // What a SIGKILLed daemon leaves behind: a path with no live listener.
+  const std::string stale = unique_path("serve_stale", ".sock");
+  std::remove(stale.c_str());
+  std::ofstream(stale) << "";
+  serve::ServerOptions opt;
+  opt.socket_path = stale;
+  serve::Server fresh(lib(), opt);
+  EXPECT_NO_THROW((void)fresh.start());
+  serve::Request rq;
+  rq.op = serve::Op::Ping;
+  EXPECT_TRUE(serve::call_once(stale, rq).status.ok);
+  fresh.stop();
+}
+
+TEST(ServeShutdown, DrainsAdmittedSweepToAFullResponse) {
+  const std::string socket = unique_path("serve_drain", ".sock");
+  serve::ServerOptions opt;
+  opt.socket_path = socket;
+  opt.jobs = kJobs;
+  // A wide window parks the admitted sweep in the dispatcher; the
+  // shutdown must cut the window short and still deliver a full body.
+  opt.batch_window_ms = 10000;
+  serve::Server server(lib(), opt);
+  (void)server.start();
+
+  serve::Response sweep_resp;
+  std::thread sweeper(
+      [&] { sweep_resp = serve::call_once(socket, sweep_request(99)); });
+
+  // The stats body counts a request the moment it is read off the
+  // socket, so "sweep": 1 proves the sweep is admitted (queued or about
+  // to be) before the shutdown fires; drain then guarantees a response.
+  serve::Request stats;
+  stats.op = serve::Op::Stats;
+  serve::Client watcher(socket);
+  for (;;) {
+    const serve::Response sr = watcher.call(stats);
+    ASSERT_TRUE(sr.status.ok);
+    if (sr.body.find("\"sweep\": 1") != std::string::npos) break;
+    std::this_thread::yield();
+  }
+
+  serve::Request sd;
+  sd.op = serve::Op::Shutdown;
+  const serve::Response sr = serve::call_once(socket, sd);
+  EXPECT_TRUE(sr.status.ok);
+  sweeper.join();
+  EXPECT_TRUE(sweep_resp.status.ok) << sweep_resp.status.error;
+  EXPECT_EQ(sweep_resp.body,
+            serve::exec_sweep(lib(), {spec_with_seed(99), kJobs}).body);
+  server.stop(); // idempotent with the shutdown op
+}
+
+} // namespace
+} // namespace scpg

@@ -25,6 +25,12 @@
 #                              # backends must show the compiled kernel
 #                              # >= SCPG_SIMPERF_FLOOR x (default 10) the
 #                              # event simulator on mult16 AND scm0
+#   tools/check.sh --serve     # serve daemon pass: Serve/CachePersistence
+#                              # suites + the ServeCli soak in the normal
+#                              # build, bench_serve_load with a hot-sweep
+#                              # p99 budget (SCPG_SERVE_P99_US, default
+#                              # 100000), then the Serve suites again
+#                              # under ThreadSanitizer
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -214,6 +220,41 @@ run_simperf_pass() {
   echo "=== simperf: all designs clear the ${floor}x floor ==="
 }
 
+# Serve pass: the daemon's concurrency battery (Serve/ServeMatrix byte-
+# identity + coalescing + exact cache accounting), the adversarial disk-
+# cache suite (CachePersistence) and the ServeCli end-to-end soak in the
+# normal build; then bench_serve_load, gating the hot-sweep p99 — once
+# the result cache holds the grid a served sweep is pure daemon overhead
+# (framing + admission + batch window + render), so its p99 is the
+# daemon's own latency.  Measured ~11 ms on the reference box (X7); the
+# default 100 ms budget is an order-of-magnitude backstop, override with
+# SCPG_SERVE_P99_US.  Finally the Serve suites rerun under TSan: accept
+# thread, per-connection threads, admission queue and dispatcher batching
+# are the most lock-dense code in the repo.
+run_serve_pass() {
+  local budget=${SCPG_SERVE_P99_US:-100000}
+  run_pass "serve" build "^(Serve|CachePersistence)"
+  echo "=== serve: build bench_serve_load (build) ==="
+  cmake --build build -j "$jobs" --target bench_serve_load
+  echo "=== serve: bench_serve_load (hot-sweep p99 budget ${budget} us) ==="
+  local out
+  out=$(build/bench/bench_serve_load)
+  echo "$out"
+  awk -v budget="$budget" '
+    /^sweep_hot:/ {
+      n++
+      split($0, a, "p99_us=")
+      if (a[2] + 0 > budget + 0) { bad++ }
+    }
+    END {
+      if (n != 1) { print "serve: expected one sweep_hot line, got " n; exit 1 }
+      exit bad ? 1 : 0
+    }' <<<"$out" ||
+    { echo "serve: hot-sweep p99 exceeds ${budget} us budget"; exit 1; }
+  run_pass "tsan-serve" build-tsan "^Serve" -DSCPG_SANITIZE=thread
+  echo "=== serve: pass green ==="
+}
+
 # clang-tidy pass: gated on availability — the CI container may not ship
 # clang-tidy; the pass then reports and succeeds so `all` stays green.
 run_tidy_pass() {
@@ -229,15 +270,17 @@ run_tidy_pass() {
   echo "=== tidy: clean ==="
 }
 
-# TSan pass: the Engine* suites (test_engine.cpp) plus SimBackends —
-# the parallel sweep engine, thread pool, result cache, the backend
-# registry and the compiled kernel's shared Program cache / per-thread
-# scratch arenas are the code with real cross-thread interactions; the
-# rest of the suite is single-threaded.
+# TSan pass: the Engine* suites (test_engine.cpp) plus SimBackends and
+# Serve — the parallel sweep engine, thread pool, result cache, the
+# backend registry, the compiled kernel's shared Program cache /
+# per-thread scratch arenas, and the serve daemon's accept / connection /
+# dispatcher threads are the code with real cross-thread interactions;
+# the rest of the suite is single-threaded.
 case "$mode" in
   --fast)     run_pass "normal" build "" ;;
   --sanitize) run_pass "sanitized" build-asan "" -DSCPG_SANITIZE=ON ;;
-  --tsan)     run_pass "tsan-engine" build-tsan "^(Engine|SimBackends)" \
+  --tsan)     run_pass "tsan-engine" build-tsan \
+                       "^(Engine|SimBackends|Serve)" \
                        -DSCPG_SANITIZE=thread ;;
   --lint)     run_lint_pass ;;
   --tidy)     run_tidy_pass ;;
@@ -245,10 +288,11 @@ case "$mode" in
   --obs)      run_obs_pass ;;
   --crash)    run_crash_pass ;;
   --simperf)  run_simperf_pass ;;
+  --serve)    run_serve_pass ;;
   all)
     run_pass "normal" build ""
     run_pass "sanitized" build-asan "" -DSCPG_SANITIZE=ON
-    run_pass "tsan-engine" build-tsan "^(Engine|SimBackends)" \
+    run_pass "tsan-engine" build-tsan "^(Engine|SimBackends|Serve)" \
              -DSCPG_SANITIZE=thread
     run_lint_pass
     run_tidy_pass
@@ -256,8 +300,9 @@ case "$mode" in
     run_obs_pass
     run_crash_pass
     run_simperf_pass
+    run_serve_pass
     ;;
-  *) echo "usage: $0 [--fast|--sanitize|--tsan|--lint|--tidy|--fuzz-smoke|--obs|--crash|--simperf]" >&2
+  *) echo "usage: $0 [--fast|--sanitize|--tsan|--lint|--tidy|--fuzz-smoke|--obs|--crash|--simperf|--serve]" >&2
      exit 2 ;;
 esac
 

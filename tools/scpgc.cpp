@@ -33,6 +33,26 @@
 //                                                  (rules SCPG001-008);
 //                                                  --rules lists the rule
 //                                                  table
+//   scpgc serve     --socket PATH [--jobs N] [--cache FILE]
+//                   [--cache-capacity N] [--batch-window-ms MS]
+//                                                  long-running daemon:
+//                                                  sweep/lint/verify
+//                                                  requests over a unix
+//                                                  socket, concurrent
+//                                                  sweeps coalesced into
+//                                                  merged engine runs, a
+//                                                  disk-backed result
+//                                                  cache that survives
+//                                                  restarts; responses
+//                                                  are byte-identical to
+//                                                  the direct --json
+//                                                  commands
+//   scpgc client    --socket PATH --op OP [request options]
+//                                                  send one request to a
+//                                                  running daemon; prints
+//                                                  the response body and
+//                                                  exits with the
+//                                                  request's exit code
 //   scpgc fuzz      [--seed S] [--runs N] [--time-budget SECS] [--jobs N]
 //                   [--corpus DIR] [--no-minimize] [--inject BUG]
 //                   [--coverage-out FILE] [--json]
@@ -77,6 +97,7 @@
 //   2  usage error                         3  parse error
 //   4  infeasible design request           5  other flow error
 //   6  unexpected internal error           7  campaign: poisoned ranges
+//   8  serve: socket owned by a live daemon
 //
 // campaign exit codes: 0 every row measured; 3 corrupt journal (parse
 // error, incl. resume of a bit-flipped or hostile file); 5 journal/
@@ -86,9 +107,13 @@
 //
 // Netlists must be flat structural Verilog over scpg90 cells (the format
 // written by this library; see examples/design_flow).
+#include <poll.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -114,10 +139,14 @@
 #include "scpg/traditional.hpp"
 #include "scpg/transform.hpp"
 #include "scpg/upf.hpp"
+#include "serve/client.hpp"
+#include "serve/exec.hpp"
+#include "serve/server.hpp"
 #include "sta/sta.hpp"
 #include "tech/liberty.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
+#include "util/socket.hpp"
 #include "util/table.hpp"
 #include "verify/campaign.hpp"
 
@@ -149,6 +178,98 @@ sim::Backend backend_of(const cli::Parsed& p) {
     throw cli::UsageError("--backend must be event, compiled or auto; got '" +
                           name + "'");
   return *b;
+}
+
+// --- request builders -------------------------------------------------------
+//
+// `scpgc sweep/lint/verify --json` and `scpgc client --op ...` build the
+// same closed request values (src/serve/exec.hpp) from the same options;
+// usage validation (exit 2) happens here, before anything executes.
+
+campaign::CampaignSpec sweep_request_spec(const cli::Parsed& p) {
+  campaign::CampaignSpec cs;
+  cs.netlist_path = p.opt("in");
+  if (cs.netlist_path.empty())
+    throw cli::UsageError("missing required --in FILE");
+  cs.vdd = p.num("vdd", 0.6);
+  cs.temp_c = p.num("temp", 25.0);
+  cs.activity = p.num("activity", 0.15);
+  cs.fmax_mhz = p.num("fmax-mhz", 10.0);
+  cs.points = int(p.num("points", 12));
+  cs.cycles = int(p.num("cycles", 12));
+  cs.seed = std::uint64_t(p.num("seed", 1));
+  cs.clock_port = p.opt("clock", "clk");
+  cs.backend = backend_of(p);
+  return cs;
+}
+
+serve::LintRequest lint_request_of(const cli::Parsed& p) {
+  serve::LintRequest rq;
+  rq.netlist_path = p.opt("in");
+  if (rq.netlist_path.empty())
+    throw cli::UsageError("missing required --in FILE");
+  rq.vdd = p.num("vdd", 0.6);
+  rq.temp_c = p.num("temp", 25.0);
+  rq.clock_port = p.opt("clock", "clk");
+  rq.duty = p.num("duty", 0.5);
+  if (p.has_opt("freq-mhz")) {
+    rq.has_freq = true;
+    rq.freq_mhz = p.num("freq-mhz", 1.0);
+  }
+  rq.only = p.opt("only");
+  // Validate rule ids up front: a typo is a usage error (exit 2), not a
+  // flow error from deep inside the linter.
+  std::string list = rq.only;
+  while (!list.empty()) {
+    const auto comma = list.find(',');
+    const std::string id = list.substr(0, comma);
+    list = comma == std::string::npos ? "" : list.substr(comma + 1);
+    if (id.empty()) continue;
+    bool known = false;
+    for (const lint::RuleInfo& r : lint::rules()) known |= r.id == id;
+    if (!known)
+      throw cli::UsageError("unknown lint rule '" + id +
+                            "' (see scpgc lint --rules)");
+  }
+  return rq;
+}
+
+serve::VerifyRequest verify_request_of(const cli::Parsed& p) {
+  if (backend_of(p) == sim::Backend::Compiled)
+    throw Error(
+        "verify needs the event backend: runtime hazard monitors and "
+        "per-event rail timing are not modeled by the compiled kernel "
+        "(use --backend event or auto)");
+  serve::VerifyRequest rq;
+  rq.netlist_path = p.opt("in");
+  if (rq.netlist_path.empty())
+    throw cli::UsageError("missing required --in FILE");
+  rq.vdd = p.num("vdd", 0.6);
+  rq.temp_c = p.num("temp", 25.0);
+  rq.clock_port = p.opt("clock", "clk");
+  rq.faults = p.opt("fault");
+  rq.rate = p.num("rate", 0.0);
+  rq.magnitude = p.num("magnitude", 0.0);
+  rq.freq_mhz = p.num("freq-mhz", 1.0);
+  rq.duty = p.num("duty", 0.5);
+  rq.cycles = int(p.num("cycles", 40));
+  rq.warmup = int(p.num("warmup", 6));
+  rq.max_report = int(p.num("max-report", 10));
+  rq.seed = std::uint64_t(p.num("seed", 1));
+  rq.lint_gate = !p.has_flag("no-lint");
+  std::string list = rq.faults;
+  while (!list.empty()) {
+    const auto comma = list.find(',');
+    const std::string name = list.substr(0, comma);
+    list = comma == std::string::npos ? "" : list.substr(comma + 1);
+    if (name.empty()) continue;
+    if (!verify::fault_class_from_name(name))
+      throw cli::UsageError(
+          "unknown fault class '" + name +
+          "' (expected stuck-isolation, delayed-isolation, dropped-clamp, "
+          "slow-rail-restore, premature-edge or seu-flip)");
+  }
+  return rq;
 }
 
 // --- command specs ----------------------------------------------------------
@@ -298,6 +419,49 @@ cli::Spec lint_spec() {
   return s;
 }
 
+cli::Spec serve_spec() {
+  cli::Spec s("serve",
+              "long-running sweep/lint/verify daemon on a unix socket "
+              "with request coalescing and a disk-backed result cache");
+  s.opt("socket", "PATH", "unix socket path to listen on (required)")
+      .opt("cache", "FILE",
+           "disk-backed result cache; persists across restarts")
+      .opt("cache-capacity", "N",
+           "in-memory cache entry ceiling (default 65536)")
+      .opt("batch-window-ms", "MS",
+           "how long to hold a sweep for coalescing (default 4)")
+      .with_parallelism();
+  return s;
+}
+
+cli::Spec client_spec() {
+  cli::Spec s("client",
+              "send one request to a running scpgc serve daemon; prints "
+              "the response body, exits with the request's exit code");
+  s.opt("socket", "PATH", "daemon socket path (required)")
+      .opt("op", "OP", "ping, stats, shutdown, sweep, lint or verify");
+  // The union of the sweep/lint/verify request options; which ones are
+  // read depends on --op (defaults match the direct subcommands).
+  with_corner(with_in(s))
+      .opt("clock", "NAME", "clock port (default clk)")
+      .opt("activity", "A", "sweep: per-net toggle probability")
+      .opt("fmax-mhz", "F", "sweep: top of the frequency range")
+      .opt("points", "N", "sweep: operating points, log-spaced")
+      .opt("cycles", "N", "sweep/verify: cycles")
+      .opt("fault", "LIST", "verify: comma-separated fault classes")
+      .opt("rate", "R", "verify: fault intensity 0..1")
+      .opt("magnitude", "M", "verify: class magnitude")
+      .opt("freq-mhz", "F", "lint/verify: clock frequency")
+      .opt("duty", "D", "lint/verify: clock duty high")
+      .opt("warmup", "N", "verify: unmonitored settling cycles")
+      .opt("max-report", "N", "verify: hazard reports to include")
+      .opt("only", "IDS", "lint: comma-separated rule ids")
+      .with_seed()
+      .with_parallelism();
+  with_backend(s, kBackendSweepHelp);
+  return s;
+}
+
 cli::Spec fuzz_spec() {
   cli::Spec s("fuzz",
               "coverage-guided differential fuzzing of generated SCPG "
@@ -381,6 +545,15 @@ int cmd_transform(const Library& lib, const cli::Parsed& p) {
 }
 
 int cmd_verify(const Library& lib, const cli::Parsed& p) {
+  if (p.json()) {
+    // One renderer (src/serve/exec.hpp): the serve daemon returns this
+    // exact body for the same request, so byte-identity holds by
+    // construction rather than by parallel maintenance.
+    const serve::ExecResult r = serve::exec_verify(lib, verify_request_of(p));
+    std::cout << r.body;
+    return r.exit_code;
+  }
+
   // Hazard monitors are observer hooks on the event simulator; the
   // compiled kernel has no observers, so auto resolves to event and a
   // forced compiled request is an error rather than a silent downgrade.
@@ -504,6 +677,16 @@ int cmd_verify(const Library& lib, const cli::Parsed& p) {
 }
 
 int cmd_sweep(const Library& lib, const cli::Parsed& p) {
+  if (p.json()) {
+    // One renderer (src/serve/exec.hpp): the serve daemon returns this
+    // exact body for the same request, so byte-identity holds by
+    // construction rather than by parallel maintenance.
+    const serve::ExecResult r = serve::exec_sweep(
+        lib, {sweep_request_spec(p), int(p.num("jobs", 1))});
+    std::cout << r.body;
+    return r.exit_code;
+  }
+
   Netlist nl = load(lib, p.opt("in"));
   const Corner c = corner_of(p);
   const double activity = p.num("activity", 0.15);
@@ -777,6 +960,13 @@ int cmd_lint(const Library& lib, const cli::Parsed& p) {
     return 0;
   }
 
+  if (p.json()) {
+    // One renderer (src/serve/exec.hpp), shared with the serve daemon.
+    const serve::ExecResult r = serve::exec_lint(lib, lint_request_of(p));
+    std::cout << r.body;
+    return r.exit_code;
+  }
+
   Netlist nl = load(lib, p.opt("in"));
   lint::LintOptions opt;
   opt.clock_port = p.opt("clock", "clk");
@@ -895,6 +1085,91 @@ int cmd_fuzz(const Library& lib, const cli::Parsed& p) {
   return (st.mismatches > 0 || inject_escaped) ? 1 : 0;
 }
 
+// Self-pipe for signal-driven daemon shutdown: the handler may only
+// write(2); the main thread polls the read end next to the server's own
+// shutdown fd (a client "shutdown" op) and drains on either.
+int g_sig_pipe[2] = {-1, -1};
+
+void serve_signal(int /*sig*/) {
+  const char b = 's';
+  [[maybe_unused]] const ssize_t n = ::write(g_sig_pipe[1], &b, 1);
+}
+
+int cmd_serve(const Library& lib, const cli::Parsed& p) {
+  serve::ServerOptions opt;
+  opt.socket_path = p.opt("socket");
+  if (opt.socket_path.empty())
+    throw cli::UsageError("serve requires --socket PATH");
+  opt.jobs = int(p.num("jobs", 0));
+  opt.cache_path = p.opt("cache");
+  opt.cache_capacity = std::size_t(
+      p.num("cache-capacity", double(engine::ResultCache::kDefaultCapacity)));
+  opt.batch_window_ms = int(p.num("batch-window-ms", 4));
+
+  serve::Server server(lib, opt);
+  // A live daemon on the socket throws SocketBusyError -> exit 8.
+  const serve::DiskCache::LoadReport rep = server.start();
+  std::cerr << "scpgc serve: listening on " << opt.socket_path;
+  if (!opt.cache_path.empty()) {
+    std::cerr << " (cache " << opt.cache_path << ": " << rep.loaded
+              << " entries loaded";
+    if (rep.rejected > 0) std::cerr << "; rejected: " << rep.reject_reason;
+    if (rep.rebuilt) std::cerr << "; rebuilt";
+    std::cerr << ")";
+  }
+  std::cerr << "\n";
+
+  if (::pipe(g_sig_pipe) != 0)
+    throw Error("cannot create signal pipe: " + std::string(strerror(errno)));
+  std::signal(SIGTERM, serve_signal);
+  std::signal(SIGINT, serve_signal);
+  pollfd fds[2] = {{g_sig_pipe[0], POLLIN, 0},
+                   {server.shutdown_fd(), POLLIN, 0}};
+  for (;;) {
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0 && errno == EINTR) continue; // the handler also wrote
+    break;
+  }
+  std::cerr << "scpgc serve: draining\n";
+  server.stop(); // in-flight and queued requests complete first
+  std::cerr << "scpgc serve: stopped\n";
+  return 0; // kExitOk
+}
+
+int cmd_client(const Library& /*lib*/, const cli::Parsed& p) {
+  const std::string socket = p.opt("socket");
+  if (socket.empty()) throw cli::UsageError("client requires --socket PATH");
+  const std::string op = p.opt("op");
+  serve::Request rq;
+  if (op == "ping") {
+    rq.op = serve::Op::Ping;
+  } else if (op == "stats") {
+    rq.op = serve::Op::Stats;
+  } else if (op == "shutdown") {
+    rq.op = serve::Op::Shutdown;
+  } else if (op == "sweep") {
+    rq.op = serve::Op::Sweep;
+    rq.sweep.spec = sweep_request_spec(p);
+    rq.sweep.jobs = int(p.num("jobs", 1));
+  } else if (op == "lint") {
+    rq.op = serve::Op::Lint;
+    rq.lint = lint_request_of(p);
+  } else if (op == "verify") {
+    rq.op = serve::Op::Verify;
+    rq.verify = verify_request_of(p);
+  } else {
+    throw cli::UsageError(
+        "--op must be ping, stats, shutdown, sweep, lint or verify; got '" +
+        op + "'");
+  }
+  const serve::Response resp = serve::call_once(socket, rq);
+  std::cout << resp.body; // raw CLI-equivalent stdout bytes
+  if (!resp.status.ok)
+    std::cerr << "scpgc client: " << resp.status.kind << " failed (exit "
+              << resp.status.exit_code << "): " << resp.status.error << "\n";
+  return resp.status.exit_code;
+}
+
 // Exit codes (keep in sync with the header comment): scripts and the CI
 // harness branch on these.
 constexpr int kExitOk = 0;
@@ -905,6 +1180,7 @@ constexpr int kExitInfeasible = 4;
 constexpr int kExitError = 5;
 constexpr int kExitInternal = 6;
 constexpr int kExitPoisoned = 7; // campaign: ranges exhausted retries
+constexpr int kExitBusy = 8;     // serve: socket owned by a live daemon
 
 struct Command {
   const char* name;
@@ -922,6 +1198,8 @@ constexpr Command kCommands[] = {
     {"verify", verify_spec, cmd_verify},
     {"lint", lint_spec, cmd_lint},
     {"fuzz", fuzz_spec, cmd_fuzz},
+    {"serve", serve_spec, cmd_serve},
+    {"client", client_spec, cmd_client},
 };
 
 /// Writes the --metrics / --trace files requested on the command line.
@@ -947,8 +1225,8 @@ int main(int argc, char** argv) {
   const std::string command = argc >= 2 ? argv[1] : "";
   constexpr const char* kGlobalUsage =
       "usage: scpgc "
-      "{liberty|report|transform|sweep|campaign|worker|verify|lint|fuzz} "
-      "[options]\n"
+      "{liberty|report|transform|sweep|campaign|worker|verify|lint|fuzz|"
+      "serve|client} [options]\n"
       "       scpgc <command> --help for per-command options\n";
   if (command == "--help" || command == "-h" || command == "help") {
     std::cout << kGlobalUsage;
@@ -985,6 +1263,9 @@ int main(int argc, char** argv) {
   } catch (const InfeasibleError& e) {
     std::cerr << "scpgc: infeasible: " << e.what() << '\n';
     return kExitInfeasible;
+  } catch (const SocketBusyError& e) {
+    std::cerr << "scpgc: busy: " << e.what() << '\n';
+    return kExitBusy;
   } catch (const Error& e) {
     std::cerr << "scpgc: error: " << e.what() << '\n';
     return kExitError;
